@@ -1,0 +1,87 @@
+//! Criterion microbenchmarks for the Gist encoding kernels.
+//!
+//! These are the measured counterpart to the analytic overhead model of
+//! Figure 9/11: encode and decode are streaming passes, and the Binarize
+//! ReLU backward touches ~3.7x fewer bytes than its FP32 counterpart.
+//! Also includes the CSR-vs-bitmap ablation called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use gist_encodings::csr::SsdcConfig;
+use gist_encodings::dpr::DprBuffer;
+use gist_encodings::{BitMask, CsrMatrix, DprFormat};
+use std::hint::black_box;
+
+const N: usize = 1 << 20; // 1M elements = 4 MB FP32
+
+fn relu_output(sparsity_mod: usize) -> Vec<f32> {
+    (0..N)
+        .map(|i| if i % sparsity_mod == 0 { (i % 97) as f32 * 0.1 + 0.1 } else { 0.0 })
+        .collect()
+}
+
+fn bench_binarize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("binarize");
+    g.throughput(Throughput::Bytes((N * 4) as u64));
+    let y = relu_output(3);
+    let dy: Vec<f32> = (0..N).map(|i| i as f32 * 0.001).collect();
+    g.bench_function("encode", |b| b.iter(|| BitMask::encode(black_box(&y))));
+    let mask = BitMask::encode(&y);
+    g.bench_function("relu_backward_mask", |b| {
+        b.iter(|| mask.relu_backward(black_box(&dy)).unwrap())
+    });
+    let yt = gist_tensor::Tensor::from_vec(gist_tensor::Shape::vector(N), y.clone()).unwrap();
+    let dyt = gist_tensor::Tensor::from_vec(gist_tensor::Shape::vector(N), dy).unwrap();
+    g.bench_function("relu_backward_fp32", |b| {
+        b.iter(|| gist_tensor::ops::relu::backward(black_box(&yt), black_box(&dyt)))
+    });
+    g.finish();
+}
+
+fn bench_ssdc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ssdc");
+    g.throughput(Throughput::Bytes((N * 4) as u64));
+    for (label, m) in [("sparsity50", 2usize), ("sparsity80", 5), ("sparsity95", 20)] {
+        let y = relu_output(m);
+        g.bench_function(format!("encode_narrow_{label}"), |b| {
+            b.iter(|| CsrMatrix::encode(black_box(&y), SsdcConfig::default()))
+        });
+        let csr = CsrMatrix::encode(&y, SsdcConfig::default());
+        g.bench_function(format!("decode_narrow_{label}"), |b| b.iter(|| csr.decode()));
+    }
+    // Ablation: narrow (1-byte) vs wide (4-byte cuSPARSE-style) indices.
+    let y = relu_output(5);
+    g.bench_function("encode_wide_sparsity80", |b| {
+        b.iter(|| CsrMatrix::encode(black_box(&y), SsdcConfig { narrow: false, value_format: None }))
+    });
+    g.finish();
+}
+
+fn bench_dpr(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dpr");
+    g.throughput(Throughput::Bytes((N * 4) as u64));
+    let y: Vec<f32> = (0..N).map(|i| (i as f32 - N as f32 / 2.0) * 1e-3).collect();
+    for f in [DprFormat::Fp16, DprFormat::Fp10, DprFormat::Fp8] {
+        g.bench_function(format!("encode_{}", f.label()), |b| {
+            b.iter(|| DprBuffer::encode(f, black_box(&y)))
+        });
+        let buf = DprBuffer::encode(f, &y);
+        g.bench_function(format!("decode_{}", f.label()), |b| b.iter(|| buf.decode()));
+    }
+    g.finish();
+}
+
+fn bench_maxpool_map(c: &mut Criterion) {
+    let mut g = c.benchmark_group("poolmap");
+    let argmax: Vec<u8> = (0..N / 4).map(|i| (i % 9) as u8).collect();
+    g.bench_function("encode_4bit", |b| {
+        b.iter_batched(
+            || argmax.clone(),
+            |a| gist_encodings::PoolIndexMap::encode(&a, 3).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_binarize, bench_ssdc, bench_dpr, bench_maxpool_map);
+criterion_main!(benches);

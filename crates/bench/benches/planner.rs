@@ -1,0 +1,57 @@
+//! Criterion benchmarks for the Schedule Builder and the static memory
+//! planner — the offline analysis cost of Gist (it runs once per training
+//! job, so it only needs to be "fast enough", but we track it anyway).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gist_core::{Gist, GistConfig, ScheduleBuilder};
+use gist_memory::{plan_static, SharingPolicy};
+use std::hint::black_box;
+
+fn bench_schedule_builder(c: &mut Criterion) {
+    let mut g = c.benchmark_group("schedule_builder");
+    g.sample_size(20);
+    let vgg = gist_models::vgg16(64);
+    g.bench_function("vgg16_lossless", |b| {
+        b.iter(|| ScheduleBuilder::new(GistConfig::lossless()).build(black_box(&vgg)).unwrap())
+    });
+    let inception = gist_models::inception(64);
+    g.bench_function("inception_lossless", |b| {
+        b.iter(|| {
+            ScheduleBuilder::new(GistConfig::lossless()).build(black_box(&inception)).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_static_planner(c: &mut Criterion) {
+    let mut g = c.benchmark_group("static_planner");
+    g.sample_size(20);
+    let vgg = gist_models::vgg16(64);
+    let t = ScheduleBuilder::new(GistConfig::lossless()).build(&vgg).unwrap();
+    g.bench_function("vgg16_inventory", |b| {
+        b.iter(|| plan_static(black_box(&t.inventory), SharingPolicy::Full))
+    });
+    let deep = gist_models::resnet_cifar(50, 32); // 302 layers
+    let td = ScheduleBuilder::new(GistConfig::lossless()).build(&deep).unwrap();
+    g.bench_function("resnet302_inventory", |b| {
+        b.iter(|| plan_static(black_box(&td.inventory), SharingPolicy::Full))
+    });
+    g.finish();
+}
+
+fn bench_end_to_end_plan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gist_plan");
+    g.sample_size(10);
+    let net = gist_models::alexnet(64);
+    g.bench_function("alexnet_lossy_plan", |b| {
+        b.iter(|| {
+            Gist::new(GistConfig::lossy(gist_encodings::DprFormat::Fp8))
+                .plan(black_box(&net))
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_schedule_builder, bench_static_planner, bench_end_to_end_plan);
+criterion_main!(benches);

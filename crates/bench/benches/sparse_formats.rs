@@ -1,0 +1,63 @@
+//! The paper's sparse-format bake-off (Section IV-A): CSR vs ELL vs Hybrid
+//! (plus a bitmap format as an extra ablation point). The paper picked CSR
+//! for "lowest format-conversion latency"; this bench measures exactly
+//! that — encode and decode latency per format at ReLU-typical sparsity —
+//! and prints the encoded sizes alongside.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gist_encodings::csr::SsdcConfig;
+use gist_encodings::{BitmapMatrix, CsrMatrix, EllMatrix, HybMatrix};
+use std::hint::black_box;
+
+const N: usize = 1 << 20;
+
+fn relu_like(sparsity_mod: usize) -> Vec<f32> {
+    // Mildly irregular row densities, like real ReLU outputs.
+    (0..N)
+        .map(|i| {
+            let burst = (i / 256) % 7 == 0;
+            if i % sparsity_mod == 0 || (burst && i % 3 == 0) {
+                (i % 89) as f32 * 0.1 + 0.1
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+fn bench_conversion_latency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sparse_format_conversion");
+    g.throughput(Throughput::Bytes((N * 4) as u64));
+    let data = relu_like(5);
+
+    // Print the size comparison once, outside the timing loops.
+    let csr = CsrMatrix::encode(&data, SsdcConfig::default());
+    let ell = EllMatrix::encode(&data);
+    let hyb = HybMatrix::encode(&data);
+    let bmp = BitmapMatrix::encode(&data);
+    eprintln!(
+        "encoded sizes @ {:.1}% sparsity: dense {} | csr {} | ell {} | hyb {} | bitmap {}",
+        100.0 * data.iter().filter(|&&v| v == 0.0).count() as f64 / N as f64,
+        N * 4,
+        csr.encoded_bytes(),
+        ell.encoded_bytes(),
+        hyb.encoded_bytes(),
+        bmp.encoded_bytes()
+    );
+
+    g.bench_function("csr_encode", |b| {
+        b.iter(|| CsrMatrix::encode(black_box(&data), SsdcConfig::default()))
+    });
+    g.bench_function("ell_encode", |b| b.iter(|| EllMatrix::encode(black_box(&data))));
+    g.bench_function("hyb_encode", |b| b.iter(|| HybMatrix::encode(black_box(&data))));
+    g.bench_function("bitmap_encode", |b| b.iter(|| BitmapMatrix::encode(black_box(&data))));
+
+    g.bench_function("csr_decode", |b| b.iter(|| csr.decode()));
+    g.bench_function("ell_decode", |b| b.iter(|| ell.decode()));
+    g.bench_function("hyb_decode", |b| b.iter(|| hyb.decode()));
+    g.bench_function("bitmap_decode", |b| b.iter(|| bmp.decode()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_conversion_latency);
+criterion_main!(benches);

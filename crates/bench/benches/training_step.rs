@@ -1,0 +1,30 @@
+//! Criterion benchmark for full training steps under each stash mode —
+//! the measured CPU analogue of Figure 9 (Gist's overhead on real
+//! forward+backward execution).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gist_core::GistConfig;
+use gist_encodings::DprFormat;
+use gist_runtime::{ExecMode, Executor, SyntheticImages};
+
+fn bench_training_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("training_step");
+    g.sample_size(20);
+    let batch = 8;
+    let mut ds = SyntheticImages::new(4, 16, 0.3, 42);
+    let (x, y) = ds.minibatch(batch);
+    let modes: Vec<(&str, ExecMode)> = vec![
+        ("baseline_fp32", ExecMode::Baseline),
+        ("gist_lossless", ExecMode::Gist(GistConfig::lossless())),
+        ("gist_lossy_fp8", ExecMode::Gist(GistConfig::lossy(DprFormat::Fp8))),
+    ];
+    for (label, mode) in modes {
+        let mut exec =
+            Executor::new(gist_models::small_vgg(batch, 4), mode, 7).expect("executor");
+        g.bench_function(label, |b| b.iter(|| exec.step(&x, &y, 0.01).unwrap()));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_training_step);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Extension study: the paper's distributed-training argument (Sections
+//! II-B and VI) made quantitative. Swap-based schemes consume PCIe
+//! bandwidth that data-parallel training needs for gradient all-reduce;
+//! Gist keeps everything on the GPU and adds nothing.
+
+use gist_bench::banner;
+use gist_perf::{distributed_overhead, GpuModel, SwapStrategy};
+
+fn main() {
+    banner("Extra", "PCIe contention in data-parallel training (4 GPUs per switch)");
+    let gpu = GpuModel::titan_x();
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>12}",
+        "model", "gist%", "vdnn%", "cdma(2.5x)%", "naive%"
+    );
+    for g in gist_models::paper_suite(64) {
+        let gist = distributed_overhead(&g, None, 4, &gpu).expect("model");
+        let vdnn = distributed_overhead(&g, Some(SwapStrategy::Vdnn), 4, &gpu).expect("model");
+        let cdma =
+            distributed_overhead(&g, Some(SwapStrategy::Cdma { compression: 2.5 }), 4, &gpu)
+                .expect("model");
+        let naive = distributed_overhead(&g, Some(SwapStrategy::Naive), 4, &gpu).expect("model");
+        println!(
+            "{:<10} {:>11.1}% {:>11.1}% {:>11.1}% {:>11.1}%",
+            g.name(),
+            gist,
+            vdnn,
+            cdma,
+            naive
+        );
+    }
+    println!();
+    println!("paper: vDNN 'uses PCIe, which is a shared critical resource in distributed");
+    println!("       training, potentially causing performance issues'; Gist does not.");
+}

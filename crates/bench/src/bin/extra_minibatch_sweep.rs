@@ -1,0 +1,37 @@
+//! Extension study: footprint vs. minibatch size, with the 12 GB Titan X
+//! line — quantifying the paper's Section II observation that "VGG16 and
+//! Inception can only fit in our GPU memory if the minibatch size is 64 and
+//! start exceeding the 12 GB GPU memory limit at higher minibatch size",
+//! and how far Gist moves that wall.
+
+use gist_bench::{banner, gb};
+use gist_core::{Gist, GistConfig};
+use gist_encodings::DprFormat;
+
+fn main() {
+    banner("Extra", "footprint vs minibatch size (12 GB limit), baseline vs Gist");
+    let budget = 12usize << 30;
+    println!(
+        "{:<10} {:>6} {:>12} {:>12} {:>8} {:>8}",
+        "model", "batch", "baseline", "gist-lossy", "fits?", "fits?"
+    );
+    for build in [gist_models::vgg16 as fn(usize) -> _, gist_models::inception] {
+        for batch in [32usize, 64, 96, 128, 192] {
+            let g = build(batch);
+            let base = Gist::new(GistConfig::baseline()).plan(&g).expect("plan");
+            let gist = Gist::new(GistConfig::lossy(DprFormat::Fp16)).plan(&g).expect("plan");
+            println!(
+                "{:<10} {:>6} {:>11.2}G {:>11.2}G {:>8} {:>8}",
+                g.name(),
+                batch,
+                gb(base.optimized_bytes),
+                gb(gist.optimized_bytes),
+                if base.optimized_bytes <= budget { "yes" } else { "NO" },
+                if gist.optimized_bytes <= budget { "yes" } else { "NO" },
+            );
+        }
+        println!();
+    }
+    println!("paper: higher minibatch sizes are desirable for GPU utilization; Gist");
+    println!("       roughly doubles the largest batch that fits.");
+}

@@ -1,0 +1,47 @@
+//! Figure 2 (expository): the lifetime of one stashed feature map, baseline
+//! vs Gist — FP32 for the immediate forward use, the small encoded form
+//! across the temporal gap, and an FP32 decode buffer for the backward use.
+//!
+//! Rendered as a text timeline over the actual schedule steps of AlexNet's
+//! `conv3_relu` feature map (an SSDC target).
+
+use gist_bench::banner;
+use gist_core::{GistConfig, ScheduleBuilder};
+use gist_encodings::DprFormat;
+use gist_graph::DataStructure;
+
+fn bar(d: &DataStructure, steps: usize, label: &str) {
+    let mut line = String::new();
+    for s in 0..steps {
+        line.push(if d.interval.contains(s) { '#' } else { '.' });
+    }
+    println!("{label:<26} |{line}| {:>9.2} MB", d.bytes as f64 / (1 << 20) as f64);
+}
+
+fn main() {
+    banner("Figure 2", "one stashed feature map's lifetime, baseline vs Gist");
+    let graph = gist_models::alexnet(64);
+    let target = "conv3_relu";
+
+    let base = ScheduleBuilder::new(GistConfig::baseline()).build(&graph).expect("plan");
+    let gist =
+        ScheduleBuilder::new(GistConfig::lossy(DprFormat::Fp8)).build(&graph).expect("plan");
+    let steps = base.num_steps;
+    println!("schedule: steps 0..{} (forward 0..{}, backward {}..{})\n", steps, steps / 2, steps / 2, steps);
+
+    println!("baseline:");
+    for d in &base.inventory {
+        if d.name == format!("{target}.y") {
+            bar(d, steps, &d.name);
+        }
+    }
+    println!("\ngist (ssdc + fp8 values):");
+    for d in &gist.inventory {
+        if d.name.starts_with(target) {
+            bar(d, steps, &d.name);
+        }
+    }
+    println!();
+    println!("the FP32 map lives only for its forward use; the small encoded stash");
+    println!("bridges the gap; a decode buffer serves the backward use (Figure 2).");
+}

@@ -1,0 +1,30 @@
+//! Figure 3: breakdown of the stashed feature maps by layer-pair category
+//! (ReLU-Pool / ReLU-Conv / Others).
+//!
+//! Paper's claim to check: ReLU outputs form the major fraction of stashed
+//! feature maps — for VGG16, 40% ReLU-Pool + 49% ReLU-Conv = 89%.
+
+use gist_bench::{banner, gb, PAPER_BATCH};
+use gist_core::plan::stash_breakdown;
+
+fn main() {
+    banner("Figure 3", "stashed-feature-map breakdown by encoding-eligible category");
+    println!(
+        "{:<10} {:>11} {:>11} {:>11} {:>9} {:>8}",
+        "model", "ReLU-Pool", "ReLU-Conv", "Others", "total", "ReLU%"
+    );
+    for graph in gist_models::paper_suite(PAPER_BATCH) {
+        let b = stash_breakdown(&graph).expect("paper models infer shapes");
+        println!(
+            "{:<10} {:>9.2}G {:>9.2}G {:>9.2}G {:>7.2}G {:>7.1}%",
+            graph.name(),
+            gb(b.relu_pool),
+            gb(b.relu_conv),
+            gb(b.other),
+            gb(b.total()),
+            100.0 * b.relu_fraction()
+        );
+    }
+    println!();
+    println!("paper: VGG16 is 40% ReLU-Pool / 49% ReLU-Conv (89% ReLU outputs total).");
+}

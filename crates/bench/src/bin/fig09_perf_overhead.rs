@@ -1,0 +1,42 @@
+//! Figure 9: performance overhead of Gist's lossless and lossless+lossy
+//! configurations on the modelled Titan X.
+//!
+//! Paper's claims to check: minimal degradation — 3% average lossless, 4%
+//! average with lossy, max 7% (VGG16).
+
+use gist_bench::banner;
+use gist_core::GistConfig;
+use gist_encodings::DprFormat;
+use gist_perf::{gist_overhead, GpuModel};
+
+fn main() {
+    banner("Figure 9", "execution-time overhead of Gist encodings (modelled Titan X)");
+    let gpu = GpuModel::titan_x();
+    println!(
+        "{:<10} {:>11} {:>11} {:>11} {:>12} {:>12}",
+        "model", "base(ms)", "lossless", "+lossy", "ovh(ll)%", "ovh(ly)%"
+    );
+    let mut sum_ll = 0.0;
+    let mut sum_ly = 0.0;
+    let mut n = 0.0;
+    for graph in gist_models::paper_suite(64) {
+        let ll = gist_overhead(&graph, &GistConfig::lossless(), &gpu).expect("model");
+        let ly =
+            gist_overhead(&graph, &GistConfig::lossy(DprFormat::Fp16), &gpu).expect("model");
+        println!(
+            "{:<10} {:>10.1} {:>10.1} {:>10.1} {:>11.1}% {:>11.1}%",
+            graph.name(),
+            ll.baseline_s * 1e3,
+            ll.gist_s * 1e3,
+            ly.gist_s * 1e3,
+            ll.overhead_pct(),
+            ly.overhead_pct()
+        );
+        sum_ll += ll.overhead_pct();
+        sum_ly += ly.overhead_pct();
+        n += 1.0;
+    }
+    println!("{:<10} {:>11} {:>11} {:>11} {:>11.1}% {:>11.1}%", "average", "", "", "", sum_ll / n, sum_ly / n);
+    println!();
+    println!("paper: 3% average (lossless), 4% (lossless+lossy), max 7% for VGG16.");
+}

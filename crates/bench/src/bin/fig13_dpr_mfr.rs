@@ -1,0 +1,50 @@
+//! Figure 13: footprint reduction from DPR alone (no lossless encodings),
+//! against the investigation baseline, split stashed vs immediately
+//! consumed.
+//!
+//! Paper's example datapoints: FP16 compresses stashed maps 2x for a total
+//! MFR of 1.18x on AlexNet; FP8 compresses them 4x for 1.48x total. VGG16
+//! cannot use formats below FP16 without accuracy loss, so its FP8 row is
+//! omitted — exactly as in the paper.
+
+use gist_bench::{banner, gb, PAPER_BATCH};
+use gist_core::{Gist, GistConfig};
+use gist_encodings::DprFormat;
+
+fn smallest_safe_format(model: &str) -> Option<DprFormat> {
+    match model {
+        "VGG16" => None, // FP16 is already the minimum; no smaller row.
+        "Inception" => Some(DprFormat::Fp10),
+        _ => Some(DprFormat::Fp8),
+    }
+}
+
+fn dpr_only(format: DprFormat) -> GistConfig {
+    GistConfig { dpr: Some(format), ..GistConfig::baseline() }
+}
+
+fn main() {
+    banner("Figure 13", "DPR-only MFR vs investigation baseline (stashed vs immediate)");
+    println!(
+        "{:<10} {:<6} {:>10} {:>10} {:>8}",
+        "model", "fmt", "stashed", "immediate", "MFR"
+    );
+    for graph in gist_models::paper_suite(PAPER_BATCH) {
+        let mut formats = vec![DprFormat::Fp16];
+        formats.extend(smallest_safe_format(graph.name()));
+        for fmt in formats {
+            let plan = Gist::new(dpr_only(fmt)).plan(&graph).expect("plan");
+            let (stashed, immediate) = plan.raw_stashed_vs_immediate();
+            println!(
+                "{:<10} {:<6} {:>9.2}G {:>9.2}G {:>7.2}x",
+                graph.name(),
+                fmt.label(),
+                gb(stashed),
+                gb(immediate),
+                plan.investigation_mfr()
+            );
+        }
+        println!();
+    }
+    println!("paper: AlexNet 1.18x at FP16, 1.48x at FP8; VGG16 limited to FP16.");
+}

@@ -1,0 +1,70 @@
+//! Figure 17: MFR under dynamic memory allocation, Gist encodings on top of
+//! dynamic allocation, and the "optimized software" mode that removes the
+//! FP32 decode buffer.
+//!
+//! Paper's claims to check: dynamic allocation alone averages ~1.2x (over
+//! 1.5x for Overfeat); Gist lossless/lossy on dynamic reach 1.7x/2.6x; with
+//! optimized software, up to 4.1x for AlexNet (2.9x average).
+
+use gist_bench::{banner, PAPER_BATCH};
+use gist_core::{Gist, GistConfig};
+use gist_encodings::DprFormat;
+
+fn fmt_for(model: &str) -> DprFormat {
+    match model {
+        "VGG16" => DprFormat::Fp16,
+        "Inception" => DprFormat::Fp10,
+        _ => DprFormat::Fp8,
+    }
+}
+
+fn main() {
+    banner("Figure 17", "MFR with dynamic allocation and optimized software");
+    println!(
+        "{:<10} {:>9} {:>11} {:>11} {:>11}",
+        "model", "dynamic", "+lossless", "+lossy", "+optsw"
+    );
+    let mut sums = [0.0f64; 4];
+    let mut n = 0.0;
+    for graph in gist_models::paper_suite(PAPER_BATCH) {
+        let fmt = fmt_for(graph.name());
+        let dynamic = Gist::new(GistConfig::baseline().with_dynamic_allocation())
+            .plan(&graph)
+            .expect("plan");
+        let lossless = Gist::new(GistConfig::lossless().with_dynamic_allocation())
+            .plan(&graph)
+            .expect("plan");
+        let lossy = Gist::new(GistConfig::lossy(fmt).with_dynamic_allocation())
+            .plan(&graph)
+            .expect("plan");
+        let optsw = Gist::new(
+            GistConfig::lossy(fmt).with_dynamic_allocation().with_optimized_software(),
+        )
+        .plan(&graph)
+        .expect("plan");
+        let row = [dynamic.mfr(), lossless.mfr(), lossy.mfr(), optsw.mfr()];
+        println!(
+            "{:<10} {:>8.2}x {:>10.2}x {:>10.2}x {:>10.2}x",
+            graph.name(),
+            row[0],
+            row[1],
+            row[2],
+            row[3]
+        );
+        for (s, v) in sums.iter_mut().zip(row) {
+            *s += v;
+        }
+        n += 1.0;
+    }
+    println!(
+        "{:<10} {:>8.2}x {:>10.2}x {:>10.2}x {:>10.2}x",
+        "average",
+        sums[0] / n,
+        sums[1] / n,
+        sums[2] / n,
+        sums[3] / n
+    );
+    println!();
+    println!("paper: dynamic ~1.2x avg (>1.5x Overfeat); Gist on dynamic 1.7x/2.6x");
+    println!("       (lossless/lossy); optimized software up to 4.1x (2.9x avg).");
+}

@@ -1,0 +1,46 @@
+//! Table I: summary of Gist techniques and their target data structures,
+//! printed as the policy actually selects them on VGG16.
+
+use gist_bench::banner;
+use gist_core::{policy, Encoding, GistConfig};
+use gist_encodings::DprFormat;
+use gist_graph::PairKind;
+
+fn main() {
+    banner("Table I", "technique <-> target data structure (as selected on VGG16)");
+    println!("{:<28} {:<36} {:<9}", "target data structure", "footprint reduction technique", "type");
+    println!(
+        "{:<28} {:<36} {:<9}",
+        "ReLU-Pool feature map", "Binarize", "lossless"
+    );
+    println!(
+        "{:<28} {:<36} {:<9}",
+        "ReLU-Conv feature map", "Sparse Storage and Dense Compute", "lossless"
+    );
+    println!(
+        "{:<28} {:<36} {:<9}",
+        "other feature maps", "Delayed Precision Reduction", "lossy"
+    );
+    println!(
+        "{:<28} {:<36} {:<9}",
+        "immediately consumed", "inplace computation", "lossless"
+    );
+    println!();
+    println!("policy selections on VGG16 (minibatch 64):");
+    let g = gist_models::vgg16(64);
+    let assignments = policy::assign(&g, &GistConfig::lossy(DprFormat::Fp16));
+    let mut counts = std::collections::BTreeMap::new();
+    for a in &assignments {
+        let key = format!("{:<12} -> {}", a.kind.label(), a.encoding.label());
+        *counts.entry(key).or_insert(0usize) += 1;
+    }
+    for (k, v) in counts {
+        println!("  {k:<28} x{v}");
+    }
+    // Sanity: every ReLU-Pool map got binarize.
+    let violations = assignments
+        .iter()
+        .filter(|a| a.kind == PairKind::ReluPool && !matches!(a.encoding, Encoding::Binarize))
+        .count();
+    println!("\nReLU-Pool maps not binarized: {violations} (expect 0)");
+}

@@ -1,0 +1,242 @@
+//! `gist-cli` — plan, inspect and export model memory layouts.
+//!
+//! ```text
+//! gist-cli models
+//! gist-cli plan vgg16 --batch 64 --mode fp16
+//! gist-cli breakdown inception --batch 64
+//! gist-cli stashes alexnet
+//! gist-cli dot resnet50 > resnet50.dot
+//! ```
+
+use gist_core::{plan::stash_breakdown, Gist, GistConfig};
+use gist_encodings::DprFormat;
+use gist_graph::class::{baseline_inventory, WorkspaceMode};
+use gist_graph::Graph;
+use gist_memory::FootprintReport;
+use std::process::ExitCode;
+
+const MODELS: &[&str] = &[
+    "alexnet",
+    "alexnet-classic",
+    "nin",
+    "overfeat",
+    "vgg16",
+    "inception",
+    "resnet50",
+    "resnet-cifar",
+    "densenet",
+];
+
+fn build_model(name: &str, batch: usize) -> Option<Graph> {
+    Some(match name {
+        "alexnet" => gist_models::alexnet(batch),
+        "alexnet-classic" => gist_models::alexnet_classic(batch),
+        "nin" => gist_models::nin(batch),
+        "overfeat" => gist_models::overfeat(batch),
+        "vgg16" => gist_models::vgg16(batch),
+        "inception" => gist_models::inception(batch),
+        "resnet50" => gist_models::resnet50(batch),
+        "resnet-cifar" => gist_models::resnet_cifar(18, batch),
+        "densenet" => gist_models::densenet_cifar(16, 12, batch),
+        _ => return None,
+    })
+}
+
+fn parse_mode(mode: &str) -> Option<GistConfig> {
+    Some(match mode {
+        "baseline" => GistConfig::baseline(),
+        "lossless" => GistConfig::lossless(),
+        "fp16" => GistConfig::lossy(DprFormat::Fp16),
+        "fp10" => GistConfig::lossy(DprFormat::Fp10),
+        "fp8" => GistConfig::lossy(DprFormat::Fp8),
+        _ => return None,
+    })
+}
+
+struct Args {
+    command: String,
+    model: Option<String>,
+    batch: usize,
+    mode: String,
+    dynamic: bool,
+    optimized_software: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        command: argv.first().cloned().ok_or_else(usage)?,
+        model: None,
+        batch: 64,
+        mode: "lossless".into(),
+        dynamic: false,
+        optimized_software: false,
+    };
+    let mut it = argv[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--batch" => {
+                let v = it.next().ok_or("--batch needs a value")?;
+                args.batch = v.parse().map_err(|_| format!("bad batch size: {v}"))?;
+            }
+            "--mode" => {
+                args.mode = it.next().ok_or("--mode needs a value")?.clone();
+            }
+            "--dynamic" => args.dynamic = true,
+            "--optimized-software" => args.optimized_software = true,
+            other if !other.starts_with("--") && args.model.is_none() => {
+                args.model = Some(other.to_string());
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn usage() -> String {
+    "usage: gist-cli <models|plan|breakdown|stashes|report|dot|trace> [model] \
+     [--batch N] [--mode baseline|lossless|fp16|fp10|fp8] [--dynamic] [--optimized-software]"
+        .to_string()
+}
+
+fn run(args: Args) -> Result<(), String> {
+    if args.command == "models" {
+        for m in MODELS {
+            println!("{m}");
+        }
+        return Ok(());
+    }
+    let model_name = args.model.as_deref().ok_or_else(usage)?;
+    let graph = build_model(model_name, args.batch)
+        .ok_or_else(|| format!("unknown model {model_name}; try `gist-cli models`"))?;
+    match args.command.as_str() {
+        "plan" => {
+            let mut config = parse_mode(&args.mode)
+                .ok_or_else(|| format!("unknown mode {}", args.mode))?;
+            if args.dynamic {
+                config = config.with_dynamic_allocation();
+            }
+            if args.optimized_software {
+                config = config.with_optimized_software();
+            }
+            let plan = Gist::new(config).plan(&graph).map_err(|e| e.to_string())?;
+            let gb = |b: usize| b as f64 / (1u64 << 30) as f64;
+            println!("{} @ batch {} ({} mode)", plan.model, args.batch, args.mode);
+            println!("  baseline : {:8.3} GB", gb(plan.baseline_bytes));
+            println!("  optimized: {:8.3} GB", gb(plan.optimized_bytes));
+            println!("  MFR      : {:8.2}x", plan.mfr());
+            println!("\nencodings:");
+            for a in &plan.transformed.assignments {
+                println!(
+                    "  {:<24} {:<10} -> {}",
+                    graph.node(a.node).name,
+                    a.kind.label(),
+                    a.encoding.label()
+                );
+            }
+        }
+        "breakdown" => {
+            let inv = baseline_inventory(&graph, WorkspaceMode::MemoryOptimal)
+                .map_err(|e| e.to_string())?;
+            print!("{}", FootprintReport::from_inventory(graph.name(), &inv).to_table());
+        }
+        "stashes" => {
+            let b = stash_breakdown(&graph).map_err(|e| e.to_string())?;
+            let gb = |v: usize| v as f64 / (1u64 << 30) as f64;
+            println!("{} stashed feature maps @ batch {}", graph.name(), args.batch);
+            println!("  ReLU-Pool (binarize): {:8.3} GB", gb(b.relu_pool));
+            println!("  ReLU-Conv (ssdc)    : {:8.3} GB", gb(b.relu_conv));
+            println!("  Others    (dpr)     : {:8.3} GB", gb(b.other));
+            println!("  ReLU fraction       : {:7.1}%", 100.0 * b.relu_fraction());
+        }
+        "report" => {
+            let config = parse_mode(&args.mode)
+                .ok_or_else(|| format!("unknown mode {}", args.mode))?;
+            let plan = Gist::new(config).plan(&graph).map_err(|e| e.to_string())?;
+            println!(
+                "{:<24} {:<10} {:<9} {:>10} {:>10} {:>8}",
+                "layer", "kind", "encoding", "fp32(KB)", "enc(KB)", "ratio"
+            );
+            for row in plan.encoding_report(&graph) {
+                println!(
+                    "{:<24} {:<10} {:<9} {:>10.1} {:>10.1} {:>7.1}x",
+                    row.layer,
+                    row.kind.label(),
+                    row.encoding,
+                    row.fp32_bytes as f64 / 1024.0,
+                    row.encoded_bytes as f64 / 1024.0,
+                    row.compression()
+                );
+            }
+        }
+        "dot" => print!("{}", gist_graph::dot::to_dot(&graph)),
+        "trace" => {
+            let mut config = parse_mode(&args.mode)
+                .ok_or_else(|| format!("unknown mode {}", args.mode))?;
+            if args.dynamic {
+                config = config.with_dynamic_allocation();
+            }
+            let t = gist_core::ScheduleBuilder::new(config)
+                .build(&graph)
+                .map_err(|e| e.to_string())?;
+            print!("{}", gist_memory::to_chrome_trace(&t.inventory));
+        }
+        other => return Err(format!("unknown command {other}\n{}", usage())),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&argv).and_then(run) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_full_command_line() {
+        let a = parse_args(&args(&["plan", "vgg16", "--batch", "32", "--mode", "fp8", "--dynamic"]))
+            .unwrap();
+        assert_eq!(a.command, "plan");
+        assert_eq!(a.model.as_deref(), Some("vgg16"));
+        assert_eq!(a.batch, 32);
+        assert_eq!(a.mode, "fp8");
+        assert!(a.dynamic && !a.optimized_software);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&args(&[])).is_err());
+        assert!(parse_args(&args(&["plan", "--batch"])).is_err());
+        assert!(parse_args(&args(&["plan", "--bogus"])).is_err());
+        assert!(run(parse_args(&args(&["plan", "nosuchmodel"])).unwrap()).is_err());
+        assert!(run(parse_args(&args(&["frobnicate", "vgg16"])).unwrap()).is_err());
+    }
+
+    #[test]
+    fn every_listed_model_builds() {
+        for m in MODELS {
+            assert!(build_model(m, 2).is_some(), "{m}");
+        }
+        assert!(build_model("bogus", 2).is_none());
+    }
+
+    #[test]
+    fn all_commands_run_on_a_small_model() {
+        for cmd in ["plan", "breakdown", "stashes", "report", "dot", "trace"] {
+            let a = parse_args(&args(&[cmd, "alexnet", "--batch", "2"])).unwrap();
+            run(a).unwrap_or_else(|e| panic!("{cmd}: {e}"));
+        }
+    }
+}

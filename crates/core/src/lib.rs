@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # gist-core
+//!
+//! Gist itself: the **Schedule Builder** (Section IV-B) and its interaction
+//! with the static memory allocator (Section IV-C).
+//!
+//! Given an execution graph, the Schedule Builder
+//!
+//! 1. identifies the layer pairs each encoding applies to (ReLU→Pool for
+//!    Binarize, ReLU→Conv / Pool→Conv for SSDC, everything else for DPR),
+//! 2. splits each affected stashed feature map's lifetime into three
+//!    regions — FP32 for the immediate forward use, the small encoded form
+//!    for the long forward/backward gap, and an FP32 decode buffer for the
+//!    immediate backward use (Figure 2), and
+//! 3. hands the rewritten liveness table to the memory planner, which finds
+//!    the sharing strategy that turns smaller stashes into a smaller total
+//!    footprint.
+//!
+//! ```
+//! use gist_core::{Gist, GistConfig};
+//!
+//! let graph = gist_models::vgg16(64);
+//! let plan = Gist::new(GistConfig::lossless()).plan(&graph).unwrap();
+//! assert!(plan.mfr() > 1.4, "VGG16 lossless MFR {:.2}", plan.mfr());
+//! ```
+
+pub mod builder;
+pub mod config;
+pub mod plan;
+pub mod policy;
+
+pub use builder::{ScheduleBuilder, TransformedGraph};
+pub use config::{AllocationMode, GistConfig, SparsityModel};
+pub use plan::{EncodingRow, Gist, GistPlan, StashBreakdown};
+pub use policy::{Assignment, Encoding};

@@ -1,0 +1,352 @@
+//! The end-to-end Gist planning API and figure-oriented breakdowns.
+
+use crate::builder::{footprint_bytes, in_mfr_scope, ScheduleBuilder, TransformedGraph};
+use crate::config::{AllocationMode, GistConfig};
+use gist_graph::{DataClass, Graph, GraphError, PairKind, TensorRole};
+use gist_memory::SharingPolicy;
+
+/// Gist: plans the memory layout of a training graph under a configuration.
+#[derive(Debug, Clone)]
+pub struct Gist {
+    config: GistConfig,
+}
+
+impl Gist {
+    /// Creates Gist with a configuration.
+    pub fn new(config: GistConfig) -> Self {
+        Gist { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &GistConfig {
+        &self.config
+    }
+
+    /// Runs the Schedule Builder and both allocators, producing footprint
+    /// numbers against the CNTK and investigation baselines.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape-inference failures from the graph.
+    pub fn plan(&self, graph: &Graph) -> Result<GistPlan, GraphError> {
+        let baseline = ScheduleBuilder::new(GistConfig::baseline()).build(graph)?;
+        let transformed = ScheduleBuilder::new(self.config).build(graph)?;
+        let baseline_bytes = footprint_bytes(
+            &baseline.inventory,
+            baseline.num_steps,
+            AllocationMode::Static,
+            SharingPolicy::Full,
+        );
+        let optimized_bytes = footprint_bytes(
+            &transformed.inventory,
+            transformed.num_steps,
+            self.config.allocation,
+            SharingPolicy::Full,
+        );
+        let investigation_baseline_bytes = footprint_bytes(
+            &baseline.inventory,
+            baseline.num_steps,
+            AllocationMode::Static,
+            SharingPolicy::NoStashedSharing,
+        );
+        let investigation_bytes = footprint_bytes(
+            &transformed.inventory,
+            transformed.num_steps,
+            AllocationMode::Static,
+            SharingPolicy::NoStashedSharing,
+        );
+        Ok(GistPlan {
+            model: graph.name().to_string(),
+            config: self.config,
+            baseline_bytes,
+            optimized_bytes,
+            investigation_baseline_bytes,
+            investigation_bytes,
+            baseline,
+            transformed,
+        })
+    }
+}
+
+/// Footprints and inventories produced by [`Gist::plan`].
+#[derive(Debug, Clone)]
+pub struct GistPlan {
+    /// Model name.
+    pub model: String,
+    /// Configuration that produced this plan.
+    pub config: GistConfig,
+    /// CNTK-baseline static footprint (stashed + immediately consumed).
+    pub baseline_bytes: usize,
+    /// Footprint under the configured optimizations and allocation mode.
+    pub optimized_bytes: usize,
+    /// Investigation-baseline footprint (no sharing for stashed maps).
+    pub investigation_baseline_bytes: usize,
+    /// Optimized footprint under the investigation sharing policy.
+    pub investigation_bytes: usize,
+    /// Baseline inventory (for breakdowns).
+    pub baseline: TransformedGraph,
+    /// Transformed inventory.
+    pub transformed: TransformedGraph,
+}
+
+impl GistPlan {
+    /// Memory Footprint Ratio against the CNTK baseline (Figure 8).
+    pub fn mfr(&self) -> f64 {
+        gist_memory::mfr(self.baseline_bytes, self.optimized_bytes)
+    }
+
+    /// MFR against the investigation baseline (Figures 10 and 13).
+    pub fn investigation_mfr(&self) -> f64 {
+        gist_memory::mfr(self.investigation_baseline_bytes, self.investigation_bytes)
+    }
+
+    /// Per-stash encoding outcomes: layer, pair kind, chosen encoding, and
+    /// the FP32-vs-encoded sizes the planner charged.
+    pub fn encoding_report(&self, graph: &Graph) -> Vec<EncodingRow> {
+        use gist_graph::TensorRole;
+        let enc_bytes = |id: gist_graph::NodeId| -> Option<usize> {
+            self.transformed
+                .inventory
+                .iter()
+                .find(|d| {
+                    matches!(&d.role, TensorRole::Encoded { node, encoding }
+                        if *node == id && *encoding != "poolmap" && *encoding != "dropmask")
+                })
+                .map(|d| d.bytes)
+        };
+        let shapes = graph.infer_shapes().expect("planned graph infers");
+        self.transformed
+            .assignments
+            .iter()
+            .map(|a| {
+                let fp32 = shapes[a.node.index()].bytes_fp32();
+                EncodingRow {
+                    layer: graph.node(a.node).name.clone(),
+                    kind: a.kind,
+                    encoding: a.encoding.label(),
+                    fp32_bytes: fp32,
+                    encoded_bytes: enc_bytes(a.node).unwrap_or(fp32),
+                }
+            })
+            .collect()
+    }
+
+    /// Raw (unshared) bytes of stashed feature maps in the transformed
+    /// inventory, split stashed vs immediately-consumed — the Figure 13
+    /// presentation.
+    pub fn raw_stashed_vs_immediate(&self) -> (usize, usize) {
+        let stashed = self
+            .transformed
+            .inventory
+            .iter()
+            .filter(|d| in_mfr_scope(d) && d.class == DataClass::StashedFmap)
+            .map(|d| d.bytes)
+            .sum();
+        let immediate = self
+            .transformed
+            .inventory
+            .iter()
+            .filter(|d| in_mfr_scope(d) && d.class != DataClass::StashedFmap)
+            .map(|d| d.bytes)
+            .sum();
+        (stashed, immediate)
+    }
+}
+
+/// One row of [`GistPlan::encoding_report`]: what happened to one stashed
+/// feature map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncodingRow {
+    /// Layer name.
+    pub layer: String,
+    /// Detected pair kind.
+    pub kind: PairKind,
+    /// Chosen encoding label.
+    pub encoding: &'static str,
+    /// FP32 size of the map.
+    pub fp32_bytes: usize,
+    /// Encoded stash size (equals `fp32_bytes` when unencoded).
+    pub encoded_bytes: usize,
+}
+
+impl EncodingRow {
+    /// Per-map compression factor.
+    pub fn compression(&self) -> f64 {
+        self.fp32_bytes as f64 / self.encoded_bytes.max(1) as f64
+    }
+}
+
+/// Byte totals of stashed feature maps per layer-pair category (Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StashBreakdown {
+    /// ReLU outputs feeding pools (Binarize-eligible).
+    pub relu_pool: usize,
+    /// ReLU/Pool outputs feeding convolutions (SSDC-eligible).
+    pub relu_conv: usize,
+    /// Everything else (DPR-eligible).
+    pub other: usize,
+}
+
+impl StashBreakdown {
+    /// Total stashed bytes.
+    pub fn total(&self) -> usize {
+        self.relu_pool + self.relu_conv + self.other
+    }
+
+    /// Fraction of stashed bytes that are ReLU outputs (either category).
+    pub fn relu_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.relu_pool + self.relu_conv) as f64 / self.total() as f64
+    }
+}
+
+/// Computes the Figure 3 stashed-feature-map breakdown for a graph.
+///
+/// # Errors
+///
+/// Propagates shape-inference failures.
+pub fn stash_breakdown(graph: &Graph) -> Result<StashBreakdown, GraphError> {
+    let baseline = ScheduleBuilder::new(GistConfig::baseline()).build(graph)?;
+    let pairs = gist_graph::patterns::detect_pairs(graph);
+    let mut out = StashBreakdown::default();
+    for d in &baseline.inventory {
+        if d.class != DataClass::StashedFmap {
+            continue;
+        }
+        if let TensorRole::FeatureMap(id) = d.role {
+            let kind = pairs
+                .iter()
+                .find(|p| p.producer == id)
+                .map(|p| p.kind)
+                .unwrap_or(PairKind::Other);
+            match kind {
+                PairKind::ReluPool => out.relu_pool += d.bytes,
+                PairKind::ReluConv | PairKind::PoolConv => out.relu_conv += d.bytes,
+                PairKind::Other => out.other += d.bytes,
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gist_encodings::DprFormat;
+
+    #[test]
+    fn lossless_mfr_on_paper_models_is_meaningful() {
+        // Figure 8: lossless MFR over 1.5x for AlexNet and VGG16, 1.4x avg.
+        let mut product = 1.0f64;
+        let mut count = 0;
+        for g in gist_models::paper_suite(4) {
+            let plan = Gist::new(GistConfig::lossless()).plan(&g).unwrap();
+            let m = plan.mfr();
+            assert!(m > 1.0, "{}: lossless MFR should exceed 1, got {m:.2}", g.name());
+            product *= m;
+            count += 1;
+        }
+        let geo_mean = product.powf(1.0 / count as f64);
+        assert!(geo_mean > 1.2, "lossless average MFR should be substantial, got {geo_mean:.2}");
+    }
+
+    #[test]
+    fn lossy_mfr_exceeds_lossless() {
+        for g in [gist_models::alexnet(4), gist_models::vgg16(4)] {
+            let ll = Gist::new(GistConfig::lossless()).plan(&g).unwrap().mfr();
+            let ly = Gist::new(GistConfig::lossy(DprFormat::Fp8)).plan(&g).unwrap().mfr();
+            assert!(ly > ll, "{}: lossy {ly:.2} vs lossless {ll:.2}", g.name());
+        }
+    }
+
+    #[test]
+    fn alexnet_end_to_end_mfr_near_2x() {
+        // The paper reports AlexNet total MFR of ~2x with lossless+FP8 DPR.
+        let g = gist_models::alexnet(16);
+        let plan = Gist::new(GistConfig::lossy(DprFormat::Fp8)).plan(&g).unwrap();
+        let m = plan.mfr();
+        assert!(m > 1.5 && m < 3.5, "AlexNet lossy MFR should be near 2x, got {m:.2}");
+    }
+
+    #[test]
+    fn baseline_plan_is_identity() {
+        let g = gist_models::overfeat(2);
+        let plan = Gist::new(GistConfig::baseline()).plan(&g).unwrap();
+        assert_eq!(plan.baseline_bytes, plan.optimized_bytes);
+        assert_eq!(plan.mfr(), 1.0);
+    }
+
+    #[test]
+    fn figure3_relu_outputs_dominate_vgg_stash() {
+        // Paper: VGG16 has 40% ReLU-Pool + 49% ReLU-Conv = 89% ReLU outputs.
+        let g = gist_models::vgg16(4);
+        let b = stash_breakdown(&g).unwrap();
+        assert!(
+            b.relu_fraction() > 0.6,
+            "ReLU outputs should dominate VGG16 stash, got {:.2}",
+            b.relu_fraction()
+        );
+        assert!(b.relu_pool > 0 && b.relu_conv > 0 && b.other > 0);
+    }
+
+    #[test]
+    fn dynamic_allocation_beats_static_baseline() {
+        // Figure 17: dynamic allocation alone achieves MFR > 1.
+        let g = gist_models::overfeat(4);
+        let dynamic = Gist::new(GistConfig::baseline().with_dynamic_allocation())
+            .plan(&g)
+            .unwrap();
+        assert!(dynamic.mfr() >= 1.0);
+    }
+
+    #[test]
+    fn optimized_software_beats_plain_lossy() {
+        let g = gist_models::alexnet(4);
+        let plain = Gist::new(GistConfig::lossy(DprFormat::Fp8).with_dynamic_allocation())
+            .plan(&g)
+            .unwrap();
+        let opt = Gist::new(
+            GistConfig::lossy(DprFormat::Fp8)
+                .with_dynamic_allocation()
+                .with_optimized_software(),
+        )
+        .plan(&g)
+        .unwrap();
+        assert!(opt.mfr() >= plain.mfr());
+    }
+
+    #[test]
+    fn encoding_report_compressions_match_the_formats() {
+        let g = gist_models::alexnet(4);
+        let plan = Gist::new(GistConfig::lossy(DprFormat::Fp8)).plan(&g).unwrap();
+        let report = plan.encoding_report(&g);
+        assert_eq!(report.len(), plan.transformed.assignments.len());
+        for row in &report {
+            match row.encoding {
+                // Binarize: 32x up to word rounding.
+                "binarize" => assert!(row.compression() > 30.0, "{}: {:.1}", row.layer, row.compression()),
+                // FP8 DPR: exactly 4x up to word rounding.
+                "dpr" => assert!(
+                    (3.5..=4.5).contains(&row.compression()),
+                    "{}: {:.1}",
+                    row.layer,
+                    row.compression()
+                ),
+                "ssdc" => assert!(row.compression() > 1.0, "{}", row.layer),
+                "fp32" => assert_eq!(row.compression(), 1.0),
+                other => panic!("unexpected encoding {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn investigation_mfr_is_defined_and_positive() {
+        let g = gist_models::nin(2);
+        let plan = Gist::new(GistConfig::lossless()).plan(&g).unwrap();
+        assert!(plan.investigation_mfr() > 1.0);
+        let (stashed, immediate) = plan.raw_stashed_vs_immediate();
+        assert!(stashed > 0 && immediate > 0);
+    }
+}

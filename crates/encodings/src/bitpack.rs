@@ -1,0 +1,92 @@
+//! Low-level bit packing: 1-bit flags and 4-bit nibbles.
+
+/// Packs a slice of booleans into `u32` words, LSB-first.
+pub fn pack_bits(flags: &[bool]) -> Vec<u32> {
+    let mut words = vec![0u32; flags.len().div_ceil(32)];
+    for (i, &f) in flags.iter().enumerate() {
+        if f {
+            words[i / 32] |= 1 << (i % 32);
+        }
+    }
+    words
+}
+
+/// Reads bit `i` from packed words.
+#[inline]
+pub fn get_bit(words: &[u32], i: usize) -> bool {
+    (words[i / 32] >> (i % 32)) & 1 == 1
+}
+
+/// Unpacks the first `len` bits into booleans.
+pub fn unpack_bits(words: &[u32], len: usize) -> Vec<bool> {
+    (0..len).map(|i| get_bit(words, i)).collect()
+}
+
+/// Packs 4-bit values (must each be `< 16`) two per byte, low nibble first.
+///
+/// # Panics
+///
+/// Panics in debug builds if any value needs more than 4 bits; callers
+/// validate first (the largest pooling window in the paper's suite is 3x3,
+/// so indices are at most 8).
+pub fn pack_nibbles(values: &[u8]) -> Vec<u8> {
+    let mut bytes = vec![0u8; values.len().div_ceil(2)];
+    for (i, &v) in values.iter().enumerate() {
+        debug_assert!(v < 16, "nibble overflow: {v}");
+        bytes[i / 2] |= (v & 0x0F) << ((i % 2) * 4);
+    }
+    bytes
+}
+
+/// Reads nibble `i` from packed bytes.
+#[inline]
+pub fn get_nibble(bytes: &[u8], i: usize) -> u8 {
+    (bytes[i / 2] >> ((i % 2) * 4)) & 0x0F
+}
+
+/// Unpacks the first `len` nibbles.
+pub fn unpack_nibbles(bytes: &[u8], len: usize) -> Vec<u8> {
+    (0..len).map(|i| get_nibble(bytes, i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_roundtrip() {
+        let flags: Vec<bool> = (0..100).map(|i| i % 3 == 0).collect();
+        let packed = pack_bits(&flags);
+        assert_eq!(packed.len(), 4); // ceil(100/32)
+        assert_eq!(unpack_bits(&packed, 100), flags);
+    }
+
+    #[test]
+    fn bits_storage_is_one_bit_per_element() {
+        let flags = vec![true; 1024];
+        assert_eq!(pack_bits(&flags).len() * 4, 128); // 1024 bits = 128 bytes
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(pack_bits(&[]).is_empty());
+        assert!(pack_nibbles(&[]).is_empty());
+        assert!(unpack_bits(&[], 0).is_empty());
+    }
+
+    #[test]
+    fn nibbles_roundtrip() {
+        let vals: Vec<u8> = (0..33).map(|i| (i % 16) as u8).collect();
+        let packed = pack_nibbles(&vals);
+        assert_eq!(packed.len(), 17);
+        assert_eq!(unpack_nibbles(&packed, 33), vals);
+    }
+
+    #[test]
+    fn nibble_order_low_first() {
+        let packed = pack_nibbles(&[0x3, 0xA]);
+        assert_eq!(packed, vec![0xA3]);
+        assert_eq!(get_nibble(&packed, 0), 3);
+        assert_eq!(get_nibble(&packed, 1), 10);
+    }
+}

@@ -1,0 +1,92 @@
+//! A unified container for any Gist-encoded stash.
+
+use crate::binarize::{BitMask, PoolIndexMap};
+use crate::csr::CsrMatrix;
+use crate::dpr::DprBuffer;
+
+/// Any encoded stash produced by the Schedule Builder, with uniform size
+/// accounting and decode behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EncodedTensor {
+    /// Binarize positivity mask (ReLU output before a pool).
+    Binarized(BitMask),
+    /// Max-pool Y→X window-index map.
+    PoolMap(PoolIndexMap),
+    /// SSDC CSR stash.
+    Sparse(CsrMatrix),
+    /// DPR reduced-precision stash.
+    Reduced(DprBuffer),
+}
+
+impl EncodedTensor {
+    /// Encoded size in bytes — what the memory planner charges for the
+    /// stash during the forward/backward temporal gap.
+    pub fn encoded_bytes(&self) -> usize {
+        match self {
+            EncodedTensor::Binarized(m) => m.encoded_bytes(),
+            EncodedTensor::PoolMap(m) => m.encoded_bytes(),
+            EncodedTensor::Sparse(c) => c.encoded_bytes(),
+            EncodedTensor::Reduced(b) => b.encoded_bytes(),
+        }
+    }
+
+    /// Number of (dense) elements the stash represents.
+    pub fn len(&self) -> usize {
+        match self {
+            EncodedTensor::Binarized(m) => m.len(),
+            EncodedTensor::PoolMap(m) => m.len(),
+            EncodedTensor::Sparse(c) => c.dense_len(),
+            EncodedTensor::Reduced(b) => b.len(),
+        }
+    }
+
+    /// Whether the stash is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Short tag naming the encoding (for reports and planner labels).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            EncodedTensor::Binarized(_) => "binarize",
+            EncodedTensor::PoolMap(_) => "poolmap",
+            EncodedTensor::Sparse(_) => "ssdc",
+            EncodedTensor::Reduced(_) => "dpr",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::SsdcConfig;
+    use crate::dpr::DprFormat;
+
+    #[test]
+    fn uniform_size_accounting() {
+        let y = vec![1.0f32, -1.0, 0.0, 2.0];
+        let variants = vec![
+            EncodedTensor::Binarized(BitMask::encode(&y)),
+            EncodedTensor::PoolMap(PoolIndexMap::encode(&[0, 3], 2).unwrap()),
+            EncodedTensor::Sparse(CsrMatrix::encode(&y, SsdcConfig::default())),
+            EncodedTensor::Reduced(DprBuffer::encode(DprFormat::Fp8, &y)),
+        ];
+        for v in &variants {
+            assert!(v.encoded_bytes() > 0, "{}", v.tag());
+            assert!(!v.is_empty());
+        }
+        assert_eq!(variants[0].len(), 4);
+        assert_eq!(variants[1].len(), 2);
+    }
+
+    #[test]
+    fn tags_are_distinct() {
+        let y = vec![1.0f32];
+        let tags = [
+            EncodedTensor::Binarized(BitMask::encode(&y)).tag(),
+            EncodedTensor::Sparse(CsrMatrix::encode(&y, SsdcConfig::default())).tag(),
+            EncodedTensor::Reduced(DprBuffer::encode(DprFormat::Fp16, &y)).tag(),
+        ];
+        assert_eq!(tags.len(), tags.iter().collect::<std::collections::HashSet<_>>().len());
+    }
+}

@@ -1,0 +1,86 @@
+//! Graphviz DOT export of execution graphs, with nodes colored by the
+//! stash classification — handy for inspecting what the Schedule Builder
+//! will see.
+
+use crate::class::is_stashed;
+use crate::ir::Graph;
+
+/// Renders the graph in Graphviz DOT syntax.
+///
+/// Stashed feature-map producers are drawn as filled boxes; immediately
+/// consumed producers as plain ellipses.
+pub fn to_dot(graph: &Graph) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("digraph \"{}\" {{\n", graph.name()));
+    s.push_str("  rankdir=TB;\n");
+    for node in graph.nodes() {
+        let shape = if is_stashed(graph, node.id) {
+            "shape=box, style=filled, fillcolor=lightblue"
+        } else {
+            "shape=ellipse"
+        };
+        s.push_str(&format!(
+            "  n{} [label=\"{}\\n({})\", {}];\n",
+            node.id.index(),
+            node.name,
+            node.op.tag(),
+            shape
+        ));
+    }
+    for node in graph.nodes() {
+        for input in &node.inputs {
+            s.push_str(&format!("  n{} -> n{};\n", input.index(), node.id.index()));
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gist_tensor::ops::{conv::ConvParams, pool::PoolParams};
+    use gist_tensor::Shape;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let mut g = Graph::new("t");
+        let x = g.input(Shape::nchw(1, 3, 8, 8));
+        let c = g.conv(x, 4, ConvParams::new(3, 1, 1), true, "c1");
+        let r = g.relu(c, "r1");
+        g.max_pool(r, PoolParams::new(2, 2, 0), "p1");
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph \"t\""));
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.contains("n2 -> n3;"));
+        assert!(dot.contains("(conv)"));
+        // relu output is stashed -> filled box.
+        assert!(dot.contains("r1\\n(relu)\", shape=box"));
+        // conv output is immediate -> ellipse.
+        assert!(dot.contains("c1\\n(conv)\", shape=ellipse"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_is_valid_for_every_paper_model() {
+        for g in gist_models_like() {
+            let dot = to_dot(&g);
+            // Balanced braces, one edge line per input reference.
+            assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+            let edges: usize = g.nodes().iter().map(|n| n.inputs.len()).sum();
+            assert_eq!(dot.matches(" -> ").count(), edges);
+        }
+    }
+
+    /// A couple of structurally interesting graphs without depending on
+    /// gist-models (which would be a cyclic dev-dependency).
+    fn gist_models_like() -> Vec<Graph> {
+        let mut branchy = Graph::new("branchy");
+        let x = branchy.input(Shape::nchw(1, 2, 8, 8));
+        let a = branchy.conv(x, 2, ConvParams::new(1, 1, 0), false, "a");
+        let b = branchy.conv(x, 2, ConvParams::new(3, 1, 1), false, "b");
+        let cat = branchy.concat(&[a, b], "cat");
+        branchy.relu(cat, "r");
+        vec![branchy]
+    }
+}

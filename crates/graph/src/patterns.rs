@@ -1,0 +1,175 @@
+//! Detection of the layer pairs Gist's encodings target.
+//!
+//! Section III-A of the paper: convolutions are typically followed by ReLU,
+//! and each Conv-ReLU group is followed either by another such group
+//! (ReLU→Conv) or by a pooling layer (ReLU→Pool). A few Pool→Conv pairs are
+//! also SSDC-eligible because pool outputs inherit ReLU sparsity.
+
+use crate::class::is_stashed;
+use crate::ir::{Graph, NodeId, OpKind};
+
+/// Which encoding family a stashed feature map is eligible for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PairKind {
+    /// ReLU output consumed only by max-pool layers — Binarize (lossless,
+    /// 32x on the ReLU output, plus the pool Y→X map).
+    ReluPool,
+    /// ReLU output consumed by a convolution — SSDC (lossless, sparsity-
+    /// dependent).
+    ReluConv,
+    /// Max-pool output consumed by a convolution whose sparsity is inherited
+    /// from the preceding ReLU — SSDC.
+    PoolConv,
+    /// Any other stashed feature map — DPR (lossy) only.
+    Other,
+}
+
+impl PairKind {
+    /// Label used in figure output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PairKind::ReluPool => "ReLU-Pool",
+            PairKind::ReluConv => "ReLU-Conv",
+            PairKind::PoolConv => "Pool-Conv",
+            PairKind::Other => "Other",
+        }
+    }
+}
+
+/// A stashed feature map together with its detected pair kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerPair {
+    /// The producer node whose output feature map is stashed.
+    pub producer: NodeId,
+    /// Eligible encoding family.
+    pub kind: PairKind,
+}
+
+/// Classifies the stashed output of `id`.
+///
+/// Only meaningful for nodes whose output is actually stashed; callers
+/// normally iterate [`detect_pairs`].
+pub fn classify(graph: &Graph, id: NodeId) -> PairKind {
+    let node = graph.node(id);
+    let consumers = graph.consumers(id);
+    let any_conv = consumers
+        .iter()
+        .any(|&c| matches!(graph.node(c).op, OpKind::Conv { .. }));
+    match node.op {
+        OpKind::Relu => {
+            let all_pool = !consumers.is_empty()
+                && consumers
+                    .iter()
+                    .all(|&c| matches!(graph.node(c).op, OpKind::MaxPool(_)));
+            if all_pool {
+                PairKind::ReluPool
+            } else if any_conv {
+                PairKind::ReluConv
+            } else {
+                PairKind::Other
+            }
+        }
+        OpKind::MaxPool(_) => {
+            // Pool output sparsity is inherited only if the pool's own input
+            // came from a ReLU.
+            let from_relu = node
+                .inputs
+                .first()
+                .map(|&i| matches!(graph.node(i).op, OpKind::Relu))
+                .unwrap_or(false);
+            if any_conv && from_relu {
+                PairKind::PoolConv
+            } else {
+                PairKind::Other
+            }
+        }
+        _ => PairKind::Other,
+    }
+}
+
+/// Finds every stashed feature map in the graph and classifies it.
+pub fn detect_pairs(graph: &Graph) -> Vec<LayerPair> {
+    graph
+        .nodes()
+        .iter()
+        .filter(|n| is_stashed(graph, n.id))
+        .map(|n| LayerPair { producer: n.id, kind: classify(graph, n.id) })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gist_tensor::ops::{conv::ConvParams, pool::PoolParams};
+    use gist_tensor::Shape;
+
+    #[test]
+    fn vgg_style_chain_classification() {
+        // conv-relu-conv-relu-pool-fc: first relu is ReluConv, second ReluPool.
+        let mut g = Graph::new("v");
+        let x = g.input(Shape::nchw(1, 3, 8, 8));
+        let c1 = g.conv(x, 4, ConvParams::new(3, 1, 1), true, "c1");
+        let r1 = g.relu(c1, "r1");
+        let c2 = g.conv(r1, 4, ConvParams::new(3, 1, 1), true, "c2");
+        let r2 = g.relu(c2, "r2");
+        let p = g.max_pool(r2, PoolParams::new(2, 2, 0), "p1");
+        g.linear(p, 10, true, "fc");
+        assert_eq!(classify(&g, r1), PairKind::ReluConv);
+        assert_eq!(classify(&g, r2), PairKind::ReluPool);
+        // pool feeds fc (not conv) -> Other.
+        assert_eq!(classify(&g, p), PairKind::Other);
+    }
+
+    #[test]
+    fn pool_feeding_conv_after_relu_is_poolconv() {
+        let mut g = Graph::new("pc");
+        let x = g.input(Shape::nchw(1, 3, 8, 8));
+        let c1 = g.conv(x, 4, ConvParams::new(3, 1, 1), true, "c1");
+        let r1 = g.relu(c1, "r1");
+        let p = g.max_pool(r1, PoolParams::new(2, 2, 0), "p1");
+        let c2 = g.conv(p, 8, ConvParams::new(3, 1, 1), true, "c2");
+        g.relu(c2, "r2");
+        assert_eq!(classify(&g, p), PairKind::PoolConv);
+        assert_eq!(classify(&g, r1), PairKind::ReluPool);
+    }
+
+    #[test]
+    fn pool_without_relu_input_is_other() {
+        let mut g = Graph::new("npc");
+        let x = g.input(Shape::nchw(1, 3, 8, 8));
+        let p = g.max_pool(x, PoolParams::new(2, 2, 0), "p1");
+        let c = g.conv(p, 4, ConvParams::new(3, 1, 1), true, "c1");
+        g.relu(c, "r");
+        assert_eq!(classify(&g, p), PairKind::Other);
+    }
+
+    #[test]
+    fn relu_feeding_both_pool_and_conv_is_reluconv() {
+        // Conv needs actual values, so Binarize cannot apply.
+        let mut g = Graph::new("mix");
+        let x = g.input(Shape::nchw(1, 3, 8, 8));
+        let c1 = g.conv(x, 4, ConvParams::new(3, 1, 1), true, "c1");
+        let r = g.relu(c1, "r");
+        g.max_pool(r, PoolParams::new(2, 2, 0), "p");
+        g.conv(r, 4, ConvParams::new(3, 1, 1), true, "c2");
+        assert_eq!(classify(&g, r), PairKind::ReluConv);
+    }
+
+    #[test]
+    fn detect_pairs_only_reports_stashed_maps() {
+        let mut g = Graph::new("d");
+        let x = g.input(Shape::nchw(1, 3, 8, 8));
+        let c1 = g.conv(x, 4, ConvParams::new(3, 1, 1), true, "c1");
+        let r1 = g.relu(c1, "r1");
+        let p = g.max_pool(r1, PoolParams::new(2, 2, 0), "p1");
+        g.linear(p, 10, true, "fc");
+        let pairs = detect_pairs(&g);
+        // stashed: input (conv needs it), r1 (relu+pool need it), p (fc needs it)
+        // conv output c1 is immediate; fc output is immediate (no loss head).
+        let producers: Vec<NodeId> = pairs.iter().map(|p| p.producer).collect();
+        assert!(producers.contains(&x));
+        assert!(producers.contains(&r1));
+        assert!(producers.contains(&p));
+        assert!(!producers.contains(&c1));
+    }
+}

@@ -1,0 +1,83 @@
+//! The forward+backward execution timeline.
+//!
+//! A minibatch executes every node once forward (steps `0..n`) and once
+//! backward in reverse order (steps `n..2n`). Node `i` (topological position
+//! `t`) runs forward at step `t` and backward at step `2n - 1 - t` — the
+//! temporal structure behind Figure 2 of the paper: the deeper a layer, the
+//! longer the gap between its feature map's two uses.
+
+use crate::ir::{Graph, NodeId};
+
+/// The static schedule of one minibatch.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    num_nodes: usize,
+}
+
+impl Schedule {
+    /// Builds the schedule for a graph.
+    pub fn of(graph: &Graph) -> Self {
+        Schedule { num_nodes: graph.len() }
+    }
+
+    /// Number of nodes scheduled.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Total number of steps (forward + backward).
+    pub fn num_steps(&self) -> usize {
+        2 * self.num_nodes
+    }
+
+    /// Step at which a node's forward pass runs.
+    pub fn forward_step(&self, id: NodeId) -> usize {
+        id.index()
+    }
+
+    /// Step at which a node's backward pass runs.
+    pub fn backward_step(&self, id: NodeId) -> usize {
+        2 * self.num_nodes - 1 - id.index()
+    }
+
+    /// The temporal gap (in steps) between a node's forward and backward
+    /// execution — the window during which Gist keeps the encoded form.
+    pub fn stash_gap(&self, id: NodeId) -> usize {
+        self.backward_step(id) - self.forward_step(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gist_tensor::Shape;
+
+    #[test]
+    fn forward_then_mirrored_backward() {
+        let mut g = Graph::new("s");
+        let a = g.input(Shape::vector(1));
+        let b = g.relu(a, "r");
+        let c = g.relu(b, "r2");
+        let s = Schedule::of(&g);
+        assert_eq!(s.num_steps(), 6);
+        assert_eq!(s.forward_step(a), 0);
+        assert_eq!(s.forward_step(c), 2);
+        assert_eq!(s.backward_step(c), 3);
+        assert_eq!(s.backward_step(a), 5);
+    }
+
+    #[test]
+    fn earlier_layers_have_longer_stash_gaps() {
+        let mut g = Graph::new("s");
+        let mut prev = g.input(Shape::vector(1));
+        for i in 0..10 {
+            prev = g.relu(prev, format!("r{i}"));
+        }
+        let s = Schedule::of(&g);
+        let gaps: Vec<usize> =
+            g.nodes().iter().map(|n| s.stash_gap(n.id)).collect();
+        for w in gaps.windows(2) {
+            assert!(w[0] > w[1], "gaps strictly decrease with depth");
+        }
+    }
+}

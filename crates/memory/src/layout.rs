@@ -1,0 +1,215 @@
+//! Address-level layout: assigns concrete byte offsets to data structures.
+//!
+//! The group-based planner ([`crate::plan_static`]) reproduces CNTK's
+//! allocator. This module goes one step further and produces an actual
+//! offset assignment — useful both as a verifier (no two temporally-live
+//! structures may overlap in address space) and as an ablation: offset
+//! first-fit packing usually beats group sharing because a large region
+//! can host *several* small structures side by side at the same time.
+//! (Usually, not always: first-fit can fragment the address space and lose
+//! to grouping on adversarial lifetime patterns, so a production planner —
+//! and [`gist_core`'s `OffsetPacked` mode] — takes the better of the two.)
+
+use gist_graph::DataStructure;
+
+/// One placed data structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// Index into the planner's input slice.
+    pub item: usize,
+    /// Assigned byte offset.
+    pub offset: usize,
+}
+
+/// A concrete address-space layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OffsetPlan {
+    /// Placements, in input order.
+    pub placements: Vec<Placement>,
+    /// Total arena size in bytes.
+    pub total_bytes: usize,
+}
+
+impl OffsetPlan {
+    /// Verifies the layout: any two structures whose lifetimes overlap must
+    /// occupy disjoint address ranges. Returns the offending pair if not.
+    pub fn verify(&self, items: &[DataStructure]) -> Result<(), (usize, usize)> {
+        for (i, a) in self.placements.iter().enumerate() {
+            for b in &self.placements[i + 1..] {
+                let (da, db) = (&items[a.item], &items[b.item]);
+                if !da.interval.overlaps(&db.interval) {
+                    continue;
+                }
+                let a_end = a.offset + da.bytes;
+                let b_end = b.offset + db.bytes;
+                if a.offset < b_end && b.offset < a_end {
+                    return Err((a.item, b.item));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Greedy best-offset packing: process structures in descending size order
+/// and place each at the lowest offset where it fits next to everything
+/// temporally live alongside it.
+pub fn plan_offsets(items: &[DataStructure]) -> OffsetPlan {
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by(|&a, &b| {
+        items[b]
+            .bytes
+            .cmp(&items[a].bytes)
+            .then_with(|| items[a].interval.start.cmp(&items[b].interval.start))
+            .then_with(|| a.cmp(&b))
+    });
+    let mut placed: Vec<Placement> = Vec::with_capacity(items.len());
+    let mut total = 0usize;
+    for idx in order {
+        let item = &items[idx];
+        // Collect address ranges of temporally-overlapping placed items.
+        let mut blocked: Vec<(usize, usize)> = placed
+            .iter()
+            .filter(|p| items[p.item].interval.overlaps(&item.interval))
+            .map(|p| (p.offset, p.offset + items[p.item].bytes))
+            .collect();
+        blocked.sort_unstable();
+        // First-fit into the gaps.
+        let mut offset = 0usize;
+        for (lo, hi) in blocked {
+            if offset + item.bytes <= lo {
+                break;
+            }
+            offset = offset.max(hi);
+        }
+        placed.push(Placement { item: idx, offset });
+        total = total.max(offset + item.bytes);
+    }
+    placed.sort_by_key(|p| p.item);
+    OffsetPlan { placements: placed, total_bytes: total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::{plan_static, SharingPolicy};
+    use gist_graph::{DataClass, Interval, NodeId, TensorRole};
+
+    fn ds(bytes: usize, start: usize, end: usize) -> DataStructure {
+        DataStructure {
+            name: format!("t{bytes}_{start}"),
+            role: TensorRole::FeatureMap(NodeId::new(0)),
+            class: DataClass::ImmediateFmap,
+            bytes,
+            interval: Interval::new(start, end),
+        }
+    }
+
+    #[test]
+    fn non_overlapping_structures_share_offset_zero() {
+        let items = vec![ds(10, 0, 1), ds(8, 2, 3), ds(6, 4, 5)];
+        let plan = plan_offsets(&items);
+        assert_eq!(plan.total_bytes, 10);
+        assert!(plan.placements.iter().all(|p| p.offset == 0));
+        plan.verify(&items).unwrap();
+    }
+
+    #[test]
+    fn concurrent_structures_stack() {
+        let items = vec![ds(10, 0, 5), ds(8, 0, 5), ds(6, 0, 5)];
+        let plan = plan_offsets(&items);
+        assert_eq!(plan.total_bytes, 24);
+        plan.verify(&items).unwrap();
+    }
+
+    /// Offset packing can beat group sharing: two small concurrent tensors
+    /// fit side-by-side inside the footprint of one big one they don't
+    /// overlap with.
+    #[test]
+    fn offsets_beat_groups_when_small_pairs_fit_in_big_regions() {
+        let items = vec![
+            ds(100, 0, 1), // big, early
+            ds(40, 2, 3),  // two small ones, concurrent with each other
+            ds(40, 2, 3),
+        ];
+        let groups = plan_static(&items, SharingPolicy::Full);
+        let offsets = plan_offsets(&items);
+        // Group allocator: {big, small} + {small} = 140.
+        assert_eq!(groups.total_bytes, 140);
+        // Offset allocator: both smalls fit inside the 100-byte arena.
+        assert_eq!(offsets.total_bytes, 100);
+        offsets.verify(&items).unwrap();
+    }
+
+    #[test]
+    fn offsets_are_valid_and_bounded_on_random_inputs() {
+        // Pseudo-random spot check: the layout must verify, never beat the
+        // peak-live lower bound, and never exceed the no-sharing sum.
+        // (First-fit CAN exceed the group plan on fragmented lifetime
+        // patterns; the planner-facing mode takes min(offsets, groups).)
+        let mut seed = 99u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as usize
+        };
+        let items: Vec<DataStructure> = (0..80)
+            .map(|_| {
+                let start = next() % 50;
+                ds(1 + next() % 500, start, start + next() % 12)
+            })
+            .collect();
+        let offsets = plan_offsets(&items);
+        offsets.verify(&items).unwrap();
+        let peak = crate::planner::peak_dynamic(&items, 64);
+        let sum: usize = items.iter().map(|d| d.bytes).sum();
+        assert!(offsets.total_bytes >= peak);
+        assert!(offsets.total_bytes <= sum);
+    }
+
+    /// The fragmentation counterexample found by property testing: a
+    /// batchnorm-conv-batchnorm chain where first-fit offset packing loses
+    /// to group sharing (the gap at 18432 is too small for the 4 KB
+    /// gradient map). Kept as a regression test documenting WHY the
+    /// planner-facing mode takes the better of the two plans.
+    #[test]
+    fn first_fit_can_lose_to_groups_on_fragmented_lifetimes() {
+        let items = vec![
+            ds(6144, 0, 10),
+            ds(6144, 1, 9),
+            ds(6144, 9, 10),
+            ds(4096, 2, 8),
+            ds(4096, 8, 9),
+            ds(4096, 3, 7),
+            ds(4096, 7, 8),
+        ];
+        let groups = plan_static(&items, SharingPolicy::Full);
+        let offsets = plan_offsets(&items);
+        offsets.verify(&items).unwrap();
+        assert!(
+            offsets.total_bytes > groups.total_bytes,
+            "expected fragmentation: offsets {} vs groups {}",
+            offsets.total_bytes,
+            groups.total_bytes
+        );
+    }
+
+    #[test]
+    fn verify_catches_bad_layouts() {
+        let items = vec![ds(10, 0, 5), ds(10, 0, 5)];
+        let bad = OffsetPlan {
+            placements: vec![
+                Placement { item: 0, offset: 0 },
+                Placement { item: 1, offset: 5 }, // overlaps [0,10)
+            ],
+            total_bytes: 15,
+        };
+        assert_eq!(bad.verify(&items), Err((0, 1)));
+    }
+
+    #[test]
+    fn empty_input() {
+        let plan = plan_offsets(&[]);
+        assert_eq!(plan.total_bytes, 0);
+        plan.verify(&[]).unwrap();
+    }
+}

@@ -1,0 +1,251 @@
+//! Static memory-sharing planner and dynamic-allocation simulator.
+
+use gist_graph::{DataClass, DataStructure};
+
+/// How the static planner is allowed to share memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SharingPolicy {
+    /// The CNTK baseline: all data structures participate in sharing.
+    #[default]
+    Full,
+    /// The paper's *investigation baseline* (Section V-A): stashed feature
+    /// maps are excluded from sharing so per-encoding effects can be studied
+    /// in isolation; everything else shares as usual.
+    NoStashedSharing,
+}
+
+/// A set of data structures assigned to one shared memory region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryGroup {
+    /// Region size — the largest member.
+    pub bytes: usize,
+    /// Indices into the planner's input slice.
+    pub members: Vec<usize>,
+}
+
+/// The planner's output: region groups and the resulting total footprint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticPlan {
+    /// All allocated regions.
+    pub groups: Vec<MemoryGroup>,
+    /// Sum of region sizes — the static footprint.
+    pub total_bytes: usize,
+}
+
+impl StaticPlan {
+    /// Number of data structures placed.
+    pub fn num_items(&self) -> usize {
+        self.groups.iter().map(|g| g.members.len()).sum()
+    }
+}
+
+/// Runs the CNTK-style static allocator.
+///
+/// Sorts structures by descending size and greedily places each into the
+/// first group none of whose members' lifetimes overlap it; otherwise opens
+/// a new group. A group's size is its largest member, so total footprint is
+/// the sum of group maxima (Section IV-C).
+pub fn plan_static(items: &[DataStructure], policy: SharingPolicy) -> StaticPlan {
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by(|&a, &b| {
+        items[b]
+            .bytes
+            .cmp(&items[a].bytes)
+            .then_with(|| items[a].interval.start.cmp(&items[b].interval.start))
+            .then_with(|| a.cmp(&b))
+    });
+
+    let mut groups: Vec<MemoryGroup> = Vec::new();
+    for idx in order {
+        let item = &items[idx];
+        let isolated = policy == SharingPolicy::NoStashedSharing
+            && item.class == DataClass::StashedFmap;
+        let slot = if isolated {
+            None
+        } else {
+            groups.iter().position(|g| {
+                g.members.iter().all(|&m| {
+                    // Isolated members never accept roommates.
+                    let other = &items[m];
+                    let other_isolated = policy == SharingPolicy::NoStashedSharing
+                        && other.class == DataClass::StashedFmap;
+                    !other_isolated && !other.interval.overlaps(&item.interval)
+                })
+            })
+        };
+        match slot {
+            Some(g) => {
+                // Sorted descending, so the group's first member is largest.
+                groups[g].members.push(idx);
+            }
+            None => groups.push(MemoryGroup { bytes: item.bytes, members: vec![idx] }),
+        }
+    }
+    let total_bytes = groups.iter().map(|g| g.bytes).sum();
+    StaticPlan { groups, total_bytes }
+}
+
+/// Simulates ideal dynamic allocation: each region exists exactly for its
+/// lifetime, and the footprint is the peak of the live set (Section V-H).
+pub fn peak_dynamic(items: &[DataStructure], num_steps: usize) -> usize {
+    (0..num_steps)
+        .map(|step| {
+            items
+                .iter()
+                .filter(|d| d.interval.contains(step))
+                .map(|d| d.bytes)
+                .sum()
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gist_graph::{Interval, NodeId, TensorRole};
+
+    fn ds(name: &str, class: DataClass, bytes: usize, start: usize, end: usize) -> DataStructure {
+        DataStructure {
+            name: name.into(),
+            role: TensorRole::FeatureMap(NodeId::new(0)),
+            class,
+            bytes,
+            interval: Interval::new(start, end),
+        }
+    }
+
+    /// The paper's Figure 7(a) worked example: a long-lived 10 MB stashed
+    /// feature map X plus immediately-consumed variables; the baseline
+    /// allocator forms 2 groups totalling 18 MB (10 stashed + 8 shared
+    /// immediates).
+    #[test]
+    fn figure7a_baseline_example() {
+        let mb = 1 << 20;
+        let items = vec![
+            ds("X", DataClass::StashedFmap, 10 * mb, 0, 9),
+            ds("A", DataClass::ImmediateFmap, 8 * mb, 2, 3),
+            ds("B", DataClass::ImmediateFmap, 6 * mb, 4, 5),
+            ds("D", DataClass::GradientMap, 4 * mb, 8, 9),
+        ];
+        let plan = plan_static(&items, SharingPolicy::Full);
+        // X overlaps everything; A/B/D share one 8 MB region.
+        assert_eq!(plan.groups.len(), 2);
+        assert_eq!(plan.total_bytes, 18 * mb);
+    }
+
+    /// Figure 7(b): after encoding, X's FP32 lifetime shrinks to its forward
+    /// use, a 2 MB encoded stash spans the temporal gap, and a decode buffer
+    /// appears just before the backward use. The FP32 forward/decode buffers
+    /// now join the immediately-consumed sharing group, and the footprint
+    /// drops from 18 MB to 12 MB (10 shared + 2 encoded stash).
+    #[test]
+    fn figure7b_encoded_example() {
+        let mb = 1 << 20;
+        let items = vec![
+            ds("X.fp32", DataClass::ImmediateFmap, 10 * mb, 0, 1),
+            ds("X.enc", DataClass::StashedFmap, 2 * mb, 1, 5),
+            ds("X.dec", DataClass::ImmediateFmap, 10 * mb, 6, 7),
+            ds("A", DataClass::ImmediateFmap, 8 * mb, 2, 3),
+            ds("B", DataClass::ImmediateFmap, 6 * mb, 4, 5),
+            ds("D", DataClass::GradientMap, 4 * mb, 8, 9),
+        ];
+        let plan = plan_static(&items, SharingPolicy::Full);
+        assert_eq!(plan.total_bytes, 12 * mb);
+        // The encoded stash gets its own small region; everything else
+        // shares the 10 MB region.
+        assert_eq!(plan.groups.len(), 2);
+    }
+
+    #[test]
+    fn disjoint_structures_share_one_region() {
+        let items = vec![
+            ds("a", DataClass::GradientMap, 10, 0, 1),
+            ds("b", DataClass::GradientMap, 7, 2, 3),
+            ds("c", DataClass::GradientMap, 3, 4, 5),
+        ];
+        let plan = plan_static(&items, SharingPolicy::Full);
+        assert_eq!(plan.groups.len(), 1);
+        assert_eq!(plan.total_bytes, 10);
+        assert_eq!(plan.num_items(), 3);
+    }
+
+    #[test]
+    fn overlapping_structures_get_separate_regions() {
+        let items = vec![
+            ds("a", DataClass::GradientMap, 10, 0, 5),
+            ds("b", DataClass::GradientMap, 7, 2, 8),
+        ];
+        let plan = plan_static(&items, SharingPolicy::Full);
+        assert_eq!(plan.total_bytes, 17);
+    }
+
+    #[test]
+    fn group_size_is_max_member_not_sum() {
+        let items = vec![
+            ds("big", DataClass::GradientMap, 100, 0, 1),
+            ds("small", DataClass::GradientMap, 1, 5, 6),
+        ];
+        let plan = plan_static(&items, SharingPolicy::Full);
+        assert_eq!(plan.total_bytes, 100);
+    }
+
+    #[test]
+    fn investigation_baseline_isolates_stashed_maps() {
+        let items = vec![
+            ds("s1", DataClass::StashedFmap, 10, 0, 1),
+            ds("s2", DataClass::StashedFmap, 10, 5, 6),
+            ds("g", DataClass::GradientMap, 4, 3, 4),
+        ];
+        let full = plan_static(&items, SharingPolicy::Full);
+        // disjoint -> everything shares.
+        assert_eq!(full.total_bytes, 10);
+        let inv = plan_static(&items, SharingPolicy::NoStashedSharing);
+        // stashed maps each get dedicated space; g could share but has no
+        // non-isolated partner.
+        assert_eq!(inv.total_bytes, 24);
+    }
+
+    #[test]
+    fn dynamic_peak_is_max_concurrent_live_bytes() {
+        let items = vec![
+            ds("a", DataClass::StashedFmap, 10, 0, 4),
+            ds("b", DataClass::ImmediateFmap, 5, 3, 6),
+            ds("c", DataClass::GradientMap, 2, 8, 9),
+        ];
+        assert_eq!(peak_dynamic(&items, 10), 15);
+        assert!(peak_dynamic(&items, 10) <= plan_static(&items, SharingPolicy::Full).total_bytes);
+    }
+
+    #[test]
+    fn dynamic_never_exceeds_static() {
+        // Property spot-check with a pseudo-random batch of intervals.
+        let mut items = Vec::new();
+        let mut seed = 12345u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as usize
+        };
+        for i in 0..50 {
+            let start = next() % 40;
+            let len = next() % 10;
+            items.push(ds(
+                &format!("t{i}"),
+                DataClass::ImmediateFmap,
+                1 + next() % 1000,
+                start,
+                start + len,
+            ));
+        }
+        let stat = plan_static(&items, SharingPolicy::Full);
+        assert!(peak_dynamic(&items, 64) <= stat.total_bytes);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_plan() {
+        let plan = plan_static(&[], SharingPolicy::Full);
+        assert_eq!(plan.total_bytes, 0);
+        assert!(plan.groups.is_empty());
+        assert_eq!(peak_dynamic(&[], 10), 0);
+    }
+}

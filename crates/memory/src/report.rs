@@ -1,0 +1,102 @@
+//! Footprint reports and the Memory Footprint Ratio metric.
+
+use gist_graph::{DataClass, DataStructure};
+
+/// Memory Footprint Ratio: baseline footprint over optimized footprint
+/// (Section V-A). Values above 1 mean the optimization reduced footprint.
+///
+/// # Panics
+///
+/// Panics if `optimized` is zero.
+pub fn mfr(baseline_bytes: usize, optimized_bytes: usize) -> f64 {
+    assert!(optimized_bytes > 0, "optimized footprint must be non-zero");
+    baseline_bytes as f64 / optimized_bytes as f64
+}
+
+/// A per-class footprint breakdown for a model (Figure 1 style).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FootprintReport {
+    /// Model name.
+    pub model: String,
+    /// (class, bytes) rows in the paper's figure order.
+    pub rows: Vec<(DataClass, usize)>,
+}
+
+impl FootprintReport {
+    /// Builds a report from an inventory, summing raw bytes per class
+    /// (no sharing applied — this is the Figure 1 view of what exists).
+    pub fn from_inventory(model: impl Into<String>, inventory: &[DataStructure]) -> Self {
+        FootprintReport { model: model.into(), rows: gist_graph::class::class_totals(inventory) }
+    }
+
+    /// Total bytes across all classes.
+    pub fn total(&self) -> usize {
+        self.rows.iter().map(|(_, b)| b).sum()
+    }
+
+    /// Bytes for one class.
+    pub fn class_bytes(&self, class: DataClass) -> usize {
+        self.rows.iter().find(|(c, _)| *c == class).map(|(_, b)| *b).unwrap_or(0)
+    }
+
+    /// Formats the report as an aligned text table in GB.
+    pub fn to_table(&self) -> String {
+        let gb = |b: usize| b as f64 / (1u64 << 30) as f64;
+        let mut s = format!("{:<24} {:>10}\n", format!("[{}]", self.model), "GB");
+        for (class, bytes) in &self.rows {
+            s.push_str(&format!("{:<24} {:>10.3}\n", class.label(), gb(*bytes)));
+        }
+        s.push_str(&format!("{:<24} {:>10.3}\n", "total", gb(self.total())));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gist_graph::{Interval, NodeId, TensorRole};
+
+    fn ds(class: DataClass, bytes: usize) -> DataStructure {
+        DataStructure {
+            name: "x".into(),
+            role: TensorRole::FeatureMap(NodeId::new(0)),
+            class,
+            bytes,
+            interval: Interval::new(0, 0),
+        }
+    }
+
+    #[test]
+    fn mfr_is_baseline_over_optimized() {
+        assert_eq!(mfr(200, 100), 2.0);
+        assert_eq!(mfr(100, 100), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn mfr_rejects_zero_denominator() {
+        mfr(1, 0);
+    }
+
+    #[test]
+    fn report_sums_classes() {
+        let inv = vec![
+            ds(DataClass::StashedFmap, 100),
+            ds(DataClass::StashedFmap, 50),
+            ds(DataClass::Weight, 10),
+        ];
+        let r = FootprintReport::from_inventory("m", &inv);
+        assert_eq!(r.class_bytes(DataClass::StashedFmap), 150);
+        assert_eq!(r.class_bytes(DataClass::Weight), 10);
+        assert_eq!(r.class_bytes(DataClass::Workspace), 0);
+        assert_eq!(r.total(), 160);
+    }
+
+    #[test]
+    fn table_contains_all_labels() {
+        let r = FootprintReport::from_inventory("m", &[ds(DataClass::GradientMap, 1)]);
+        let t = r.to_table();
+        assert!(t.contains("gradient maps"));
+        assert!(t.contains("total"));
+    }
+}

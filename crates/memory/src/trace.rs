@@ -1,0 +1,76 @@
+//! Chrome-tracing export of data-structure lifetimes.
+//!
+//! Writes the `chrome://tracing` / Perfetto JSON array format: one complete
+//! event per data structure, with the schedule step as the timebase and the
+//! data-structure class as the track. Load the output in a trace viewer to
+//! see exactly the lifetime picture of the paper's Figure 2/7.
+
+use gist_graph::DataStructure;
+use std::fmt::Write as _;
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders an inventory as Chrome-tracing JSON. Durations are schedule
+/// steps scaled to microseconds (1 step = 1000 us) so viewers show readable
+/// spans; `args.bytes` carries the size.
+pub fn to_chrome_trace(items: &[DataStructure]) -> String {
+    let mut out = String::from("[\n");
+    for (i, d) in items.iter().enumerate() {
+        let ts = d.interval.start as u64 * 1000;
+        let dur = (d.interval.len() as u64).max(1) * 1000;
+        let _ = write!(
+            out,
+            "  {{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \"ts\": {}, \
+             \"dur\": {}, \"pid\": 1, \"tid\": \"{}\", \"args\": {{\"bytes\": {}}}}}",
+            escape(&d.name),
+            d.class.label(),
+            ts,
+            dur,
+            d.class.label(),
+            d.bytes
+        );
+        out.push_str(if i + 1 == items.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gist_graph::{DataClass, Interval, NodeId, TensorRole};
+
+    fn ds(name: &str, start: usize, end: usize) -> DataStructure {
+        DataStructure {
+            name: name.into(),
+            role: TensorRole::FeatureMap(NodeId::new(0)),
+            class: DataClass::StashedFmap,
+            bytes: 128,
+            interval: Interval::new(start, end),
+        }
+    }
+
+    #[test]
+    fn produces_one_complete_event_per_structure() {
+        let trace = to_chrome_trace(&[ds("a.y", 0, 3), ds("b.y", 2, 5)]);
+        assert_eq!(trace.matches("\"ph\": \"X\"").count(), 2);
+        assert!(trace.contains("\"name\": \"a.y\""));
+        assert!(trace.contains("\"ts\": 2000"));
+        assert!(trace.contains("\"bytes\": 128"));
+        assert!(trace.trim_start().starts_with('['));
+        assert!(trace.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn escapes_quotes_in_names() {
+        let trace = to_chrome_trace(&[ds("we\"ird", 0, 1)]);
+        assert!(trace.contains("we\\\"ird"));
+    }
+
+    #[test]
+    fn empty_inventory_is_valid_json_array() {
+        assert_eq!(to_chrome_trace(&[]).trim(), "[\n]");
+    }
+}

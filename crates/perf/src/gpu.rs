@@ -1,0 +1,161 @@
+//! The roofline GPU model.
+
+use gist_graph::stats::{node_stats, NodeStats};
+use gist_graph::{Graph, GraphError};
+
+/// An analytic GPU: peak rates derated by achievable-efficiency factors,
+/// plus a fixed per-kernel launch overhead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuModel {
+    /// Peak FP32 throughput in FLOP/s.
+    pub peak_flops: f64,
+    /// Fraction of peak FLOP/s real kernels achieve.
+    pub flops_efficiency: f64,
+    /// Peak memory bandwidth in bytes/s.
+    pub mem_bw: f64,
+    /// Fraction of peak bandwidth real kernels achieve.
+    pub bw_efficiency: f64,
+    /// Host↔device PCIe bandwidth in bytes/s (one direction).
+    pub pcie_bw: f64,
+    /// Fixed overhead per layer kernel, in seconds (launch latency plus
+    /// framework-side per-layer scheduling, the cost large minibatches
+    /// amortize in Figure 16).
+    pub kernel_launch: f64,
+}
+
+impl GpuModel {
+    /// The paper's testbed: Maxwell GTX Titan X (6.6 TFLOPS FP32 boost,
+    /// 336 GB/s GDDR5, PCIe 3.0 x16) with typical achieved efficiencies.
+    pub fn titan_x() -> Self {
+        GpuModel {
+            peak_flops: 6.6e12,
+            flops_efficiency: 0.45,
+            mem_bw: 336.0e9,
+            bw_efficiency: 0.75,
+            pcie_bw: 12.0e9,
+            kernel_launch: 20.0e-6,
+        }
+    }
+
+    /// Effective FLOP/s.
+    pub fn effective_flops(&self) -> f64 {
+        self.peak_flops * self.flops_efficiency
+    }
+
+    /// Effective bytes/s.
+    pub fn effective_bw(&self) -> f64 {
+        self.mem_bw * self.bw_efficiency
+    }
+
+    /// Roofline time for a kernel of `flops` and `bytes`.
+    pub fn kernel_time(&self, flops: f64, bytes: f64) -> f64 {
+        (flops / self.effective_flops()).max(bytes / self.effective_bw()) + self.kernel_launch
+    }
+
+    /// Time for a purely memory-bound pass moving `bytes`.
+    pub fn memcpy_time(&self, bytes: f64) -> f64 {
+        bytes / self.effective_bw() + self.kernel_launch
+    }
+
+    /// Host↔device transfer time for `bytes`.
+    pub fn pcie_time(&self, bytes: f64) -> f64 {
+        bytes / self.pcie_bw
+    }
+}
+
+impl Default for GpuModel {
+    fn default() -> Self {
+        Self::titan_x()
+    }
+}
+
+/// Estimated execution times for one training minibatch.
+#[derive(Debug, Clone)]
+pub struct TimeEstimate {
+    /// Total forward-pass seconds.
+    pub forward_s: f64,
+    /// Total backward-pass seconds.
+    pub backward_s: f64,
+    /// Per-node `(forward, backward)` seconds, indexed by node id.
+    pub per_node: Vec<(f64, f64)>,
+}
+
+impl TimeEstimate {
+    /// Total minibatch time.
+    pub fn total_s(&self) -> f64 {
+        self.forward_s + self.backward_s
+    }
+}
+
+/// Estimates the minibatch time of a graph on a GPU model.
+///
+/// # Errors
+///
+/// Propagates shape-inference failures.
+pub fn estimate_time(graph: &Graph, gpu: &GpuModel) -> Result<TimeEstimate, GraphError> {
+    let stats = node_stats(graph)?;
+    let mut per_node = Vec::with_capacity(stats.len());
+    let (mut fwd, mut bwd) = (0.0, 0.0);
+    for NodeStats { fwd_flops, bwd_flops, fwd_bytes, bwd_bytes, .. } in stats {
+        let f = if fwd_flops > 0.0 || fwd_bytes > 0.0 {
+            gpu.kernel_time(fwd_flops, fwd_bytes)
+        } else {
+            0.0
+        };
+        let b = if bwd_flops > 0.0 || bwd_bytes > 0.0 {
+            gpu.kernel_time(bwd_flops, bwd_bytes)
+        } else {
+            0.0
+        };
+        fwd += f;
+        bwd += b;
+        per_node.push((f, b));
+    }
+    Ok(TimeEstimate { forward_s: fwd, backward_s: bwd, per_node })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn titan_x_constants_sane() {
+        let g = GpuModel::titan_x();
+        assert!(g.effective_flops() > 2.0e12);
+        assert!(g.effective_bw() > 2.0e11);
+        assert!(g.pcie_time(12.0e9) > 0.99 && g.pcie_time(12.0e9) < 1.01);
+    }
+
+    #[test]
+    fn roofline_picks_the_binding_resource() {
+        let g = GpuModel::titan_x();
+        // compute bound: many flops, few bytes
+        let t1 = g.kernel_time(1e12, 1e6);
+        assert!((t1 - (1e12 / g.effective_flops() + g.kernel_launch)).abs() < 1e-9);
+        // memory bound: few flops, many bytes
+        let t2 = g.kernel_time(1e6, 1e11);
+        assert!((t2 - (1e11 / g.effective_bw() + g.kernel_launch)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vgg16_minibatch_time_is_plausible() {
+        // VGG16 @ batch 64 took ~0.4-0.7 s/minibatch on a Titan X in 2017
+        // frameworks; the model should land within a loose factor.
+        let g = gist_models::vgg16(64);
+        let t = estimate_time(&g, &GpuModel::titan_x()).unwrap();
+        assert!(
+            t.total_s() > 0.1 && t.total_s() < 3.0,
+            "VGG16 b=64 estimated at {:.3}s",
+            t.total_s()
+        );
+        assert!(t.backward_s > t.forward_s, "backward is ~2x forward work");
+    }
+
+    #[test]
+    fn deeper_networks_take_longer() {
+        let gpu = GpuModel::titan_x();
+        let t1 = estimate_time(&gist_models::resnet_cifar(3, 32), &gpu).unwrap();
+        let t2 = estimate_time(&gist_models::resnet_cifar(9, 32), &gpu).unwrap();
+        assert!(t2.total_s() > 2.0 * t1.total_s());
+    }
+}

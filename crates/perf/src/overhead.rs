@@ -1,0 +1,150 @@
+//! Gist encode/decode performance-overhead model (Figures 9 and 11).
+
+use crate::gpu::{estimate_time, GpuModel};
+use gist_core::{Encoding, GistConfig};
+use gist_graph::{Graph, GraphError, OpKind};
+
+/// Modelled minibatch times with and without Gist.
+#[derive(Debug, Clone)]
+pub struct OverheadReport {
+    /// Baseline minibatch seconds.
+    pub baseline_s: f64,
+    /// Added encode seconds (forward pass).
+    pub encode_s: f64,
+    /// Added decode seconds (backward pass).
+    pub decode_s: f64,
+    /// Seconds *saved* in the ReLU/pool backward passes by Binarize (the
+    /// kernels read 1-bit masks and 4-bit maps instead of FP32 maps).
+    pub binarize_saving_s: f64,
+    /// Gist minibatch seconds (baseline + encode + decode − savings).
+    pub gist_s: f64,
+}
+
+impl OverheadReport {
+    /// Relative overhead in percent (negative = speedup).
+    pub fn overhead_pct(&self) -> f64 {
+        (self.gist_s / self.baseline_s - 1.0) * 100.0
+    }
+}
+
+/// Models the execution-time overhead of running `graph` with Gist
+/// encodings versus the FP32 baseline.
+///
+/// Encode and decode are memory-bound streaming kernels; their cost is the
+/// bytes they touch divided by effective bandwidth. Binarize additionally
+/// *improves* the memory-bandwidth-bound ReLU backward pass, because it
+/// reads 1 bit instead of 32 bits per stashed element (Section IV-A).
+///
+/// # Errors
+///
+/// Propagates shape-inference failures.
+pub fn gist_overhead(
+    graph: &Graph,
+    config: &GistConfig,
+    gpu: &GpuModel,
+) -> Result<OverheadReport, GraphError> {
+    let time = estimate_time(graph, gpu)?;
+    let shapes = graph.infer_shapes()?;
+    let assignments = gist_core::policy::assign(graph, config);
+
+    let mut encode_s = 0.0;
+    let mut decode_s = 0.0;
+    let mut saving_s = 0.0;
+
+    for a in &assignments {
+        let numel = shapes[a.node.index()].numel() as f64;
+        match a.encoding {
+            Encoding::Binarize => {
+                // Encode: stream the FP32 map once, emit 1 bit/elt.
+                encode_s += gpu.memcpy_time(numel * (4.0 + 1.0 / 8.0));
+                // ReLU backward now reads mask (1/8 B) + dY (4 B) and writes
+                // dX (4 B) instead of Y + dY + dX at 4 B each.
+                let (_, bwd) = time.per_node[a.node.index()];
+                let baseline_bytes = 12.0;
+                let encoded_bytes = 8.0 + 1.0 / 8.0;
+                saving_s += bwd * (1.0 - encoded_bytes / baseline_bytes);
+                // Pool consumers write a 4-bit map in forward (folded into
+                // the pool kernel) — charge its write traffic.
+                for c in graph.consumers(a.node) {
+                    if matches!(graph.node(c).op, OpKind::MaxPool(_)) {
+                        let pool_numel = shapes[c.index()].numel() as f64;
+                        encode_s += gpu.memcpy_time(pool_numel * 0.5);
+                    }
+                }
+            }
+            Encoding::Ssdc { assumed_sparsity } => {
+                let nnz = numel * (1.0 - assumed_sparsity);
+                let value_bytes = match config.dpr {
+                    Some(f) => f.bits() as f64 / 8.0,
+                    None => 4.0,
+                };
+                // Encode: read dense, write CSR (values + 1 B index each).
+                encode_s += gpu.memcpy_time(numel * 4.0 + nnz * (value_bytes + 1.0));
+                // Decode: read CSR, write dense.
+                decode_s += gpu.memcpy_time(nnz * (value_bytes + 1.0) + numel * 4.0);
+            }
+            Encoding::Dpr(f) => {
+                let small = f.bits() as f64 / 8.0;
+                encode_s += gpu.memcpy_time(numel * (4.0 + small));
+                decode_s += gpu.memcpy_time(numel * (small + 4.0));
+            }
+            Encoding::None => {}
+        }
+    }
+
+    let baseline_s = time.total_s();
+    let gist_s = (baseline_s + encode_s + decode_s - saving_s).max(0.0);
+    Ok(OverheadReport { baseline_s, encode_s, decode_s, binarize_saving_s: saving_s, gist_s })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gist_encodings::DprFormat;
+
+    #[test]
+    fn lossless_overhead_is_a_few_percent() {
+        // Figure 9: ~3% average for lossless.
+        let gpu = GpuModel::titan_x();
+        for g in gist_models::paper_suite(64) {
+            let r = gist_overhead(&g, &GistConfig::lossless(), &gpu).unwrap();
+            let pct = r.overhead_pct();
+            assert!(
+                (-5.0..15.0).contains(&pct),
+                "{}: lossless overhead {pct:.1}% out of plausible range",
+                g.name()
+            );
+        }
+    }
+
+    #[test]
+    fn lossy_adds_modest_extra_overhead() {
+        let gpu = GpuModel::titan_x();
+        let g = gist_models::vgg16(64);
+        let ll = gist_overhead(&g, &GistConfig::lossless(), &gpu).unwrap();
+        let ly = gist_overhead(&g, &GistConfig::lossy(DprFormat::Fp16), &gpu).unwrap();
+        // Lossy adds DPR passes on the "Other" maps but also *shrinks* SSDC
+        // value traffic, so total time stays close to lossless.
+        assert!((ly.gist_s / ll.gist_s - 1.0).abs() < 0.2);
+        // Figure 9 max is 7% for VGG16 lossy+lossless.
+        assert!(ly.overhead_pct() < 15.0, "VGG16 lossy overhead {:.1}%", ly.overhead_pct());
+        assert!(ly.decode_s > 0.0 && ly.encode_s > 0.0);
+    }
+
+    #[test]
+    fn binarize_savings_are_positive_where_relu_pool_exists() {
+        let gpu = GpuModel::titan_x();
+        let g = gist_models::alexnet(64);
+        let r = gist_overhead(&g, &GistConfig::lossless(), &gpu).unwrap();
+        assert!(r.binarize_saving_s > 0.0);
+        assert!(r.encode_s > 0.0);
+    }
+
+    #[test]
+    fn baseline_config_has_zero_overhead() {
+        let gpu = GpuModel::titan_x();
+        let g = gist_models::nin(32);
+        let r = gist_overhead(&g, &GistConfig::baseline(), &gpu).unwrap();
+        assert_eq!(r.overhead_pct(), 0.0);
+    }
+}

@@ -1,0 +1,229 @@
+//! Layer recomputation (Chen et al., the paper's reference \[4\]) as a
+//! comparison and composition point.
+//!
+//! Instead of stashing every feature map, sqrt-N checkpointing keeps only
+//! every k-th stash (k ≈ √m) and re-runs the forward segment between two
+//! checkpoints when the backward pass reaches it — O(√N) stash memory for
+//! roughly one extra forward pass. The paper calls this approach
+//! "orthogonal [to Gist] and can achieve additional speedup with Gist
+//! encodings"; this module makes that comparison quantitative at the
+//! planner level.
+
+use crate::gpu::{estimate_time, GpuModel};
+use gist_core::{GistConfig, ScheduleBuilder};
+use gist_graph::{DataClass, DataStructure, Graph, GraphError, Interval, TensorRole};
+use gist_memory::{plan_static, SharingPolicy};
+
+/// A planner-level recomputation transform of an inventory.
+#[derive(Debug, Clone)]
+pub struct RecomputePlan {
+    /// The rewritten inventory (checkpoints kept, other stashes replaced by
+    /// short-lived forward copies plus backward-time recomputed copies).
+    pub inventory: Vec<DataStructure>,
+    /// Node indices whose forward computation is re-run in backward.
+    pub recomputed_nodes: Vec<usize>,
+}
+
+/// Applies sqrt-N checkpointing to the *feature-map* stashes of an
+/// inventory (encoded stashes and auxiliary maps are left alone — they are
+/// already small, which is exactly why combining with Gist works).
+pub fn apply_sqrt_recompute(inventory: &[DataStructure], num_steps: usize) -> RecomputePlan {
+    // Collect FP32 feature-map stashes in forward order.
+    let mut stash_idx: Vec<usize> = inventory
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| {
+            d.class == DataClass::StashedFmap && matches!(d.role, TensorRole::FeatureMap(_))
+        })
+        .map(|(i, _)| i)
+        .collect();
+    stash_idx.sort_by_key(|&i| inventory[i].interval.start);
+    let m = stash_idx.len();
+    if m <= 2 {
+        return RecomputePlan { inventory: inventory.to_vec(), recomputed_nodes: Vec::new() };
+    }
+    let k = (m as f64).sqrt().ceil() as usize;
+
+    let mut out = inventory.to_vec();
+    let mut recomputed_nodes = Vec::new();
+    for segment in stash_idx.chunks(k) {
+        // The first stash of each segment is the checkpoint; the rest are
+        // recomputed from it in the backward pass.
+        // Backward recomputation of this segment happens when the backward
+        // pass reaches the segment's deepest member: at that point every
+        // member is rematerialized and stays live until its own last
+        // backward use.
+        let seg_bwd_start = segment
+            .iter()
+            .map(|&i| num_steps - 1 - inventory[i].interval.start)
+            .min()
+            .expect("non-empty segment");
+        // Recomputing the segment re-runs EVERY node between the checkpoint
+        // and the segment's last stash (the convolutions in between
+        // dominate the recompute cost, not the stash producers themselves).
+        if segment.len() > 1 {
+            let first_node = match inventory[segment[0]].role {
+                TensorRole::FeatureMap(n) => n.index(),
+                _ => unreachable!("stash indices are feature maps"),
+            };
+            let last_node = match inventory[*segment.last().expect("non-empty")].role {
+                TensorRole::FeatureMap(n) => n.index(),
+                _ => unreachable!("stash indices are feature maps"),
+            };
+            recomputed_nodes.extend(first_node + 1..=last_node);
+        }
+        for &i in &segment[1..] {
+            let d = &inventory[i];
+            let fwd = d.interval.start;
+            // Forward copy: consumed by the next layer, then dropped.
+            out[i] = DataStructure {
+                name: format!("{}.fwd", d.name),
+                role: d.role.clone(),
+                class: DataClass::ImmediateFmap,
+                bytes: d.bytes,
+                interval: Interval::new(fwd, (fwd + 1).min(num_steps - 1)),
+            };
+            // Recomputed copy: live from the segment's backward entry to
+            // this stash's original last use.
+            let start = seg_bwd_start.min(d.interval.end);
+            out.push(DataStructure {
+                name: format!("{}.recomp", d.name),
+                role: d.role.clone(),
+                class: DataClass::ImmediateFmap,
+                bytes: d.bytes,
+                interval: Interval::new(start, d.interval.end.max(start)),
+            });
+        }
+    }
+    RecomputePlan { inventory: out, recomputed_nodes }
+}
+
+/// Footprint and time for baseline / Gist / recompute / Gist+recompute on
+/// one graph — the composition table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompositionReport {
+    /// Static footprint of the CNTK baseline (MFR scope), bytes.
+    pub baseline_bytes: usize,
+    /// With sqrt-N recomputation only.
+    pub recompute_bytes: usize,
+    /// With the given Gist config only.
+    pub gist_bytes: usize,
+    /// Gist plus recomputation of the remaining FP32 stashes.
+    pub combined_bytes: usize,
+    /// Modelled time overhead of recomputation alone, percent.
+    pub recompute_overhead_pct: f64,
+    /// Modelled time overhead of the combined scheme, percent.
+    pub combined_overhead_pct: f64,
+}
+
+fn scoped_static(inventory: &[DataStructure]) -> usize {
+    let scoped: Vec<DataStructure> = inventory
+        .iter()
+        .filter(|d| {
+            matches!(
+                d.class,
+                DataClass::StashedFmap | DataClass::ImmediateFmap | DataClass::GradientMap
+            )
+        })
+        .cloned()
+        .collect();
+    plan_static(&scoped, SharingPolicy::Full).total_bytes
+}
+
+/// Builds the four-way comparison.
+///
+/// # Errors
+///
+/// Propagates shape-inference failures.
+pub fn composition_report(
+    graph: &Graph,
+    gist_config: &GistConfig,
+    gpu: &GpuModel,
+) -> Result<CompositionReport, GraphError> {
+    let time = estimate_time(graph, gpu)?;
+    let baseline = ScheduleBuilder::new(GistConfig::baseline()).build(graph)?;
+    let gist = ScheduleBuilder::new(*gist_config).build(graph)?;
+
+    let recompute = apply_sqrt_recompute(&baseline.inventory, baseline.num_steps);
+    let combined = apply_sqrt_recompute(&gist.inventory, gist.num_steps);
+
+    let recompute_time: f64 = recompute
+        .recomputed_nodes
+        .iter()
+        .map(|&n| time.per_node[n].0)
+        .sum();
+    let combined_time: f64 = combined
+        .recomputed_nodes
+        .iter()
+        .map(|&n| time.per_node[n].0)
+        .sum();
+    // Gist's own encode/decode overhead for the combined row.
+    let gist_overhead =
+        crate::overhead::gist_overhead(graph, gist_config, gpu)?.gist_s - time.total_s();
+
+    Ok(CompositionReport {
+        baseline_bytes: scoped_static(&baseline.inventory),
+        recompute_bytes: scoped_static(&recompute.inventory),
+        gist_bytes: scoped_static(&gist.inventory),
+        combined_bytes: scoped_static(&combined.inventory),
+        recompute_overhead_pct: 100.0 * recompute_time / time.total_s(),
+        combined_overhead_pct: 100.0 * (combined_time + gist_overhead.max(0.0))
+            / time.total_s(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gist_encodings::DprFormat;
+
+    #[test]
+    fn recompute_reduces_footprint_for_a_time_cost() {
+        let gpu = GpuModel::titan_x();
+        let g = gist_models::vgg16(8);
+        let r = composition_report(&g, &GistConfig::lossless(), &gpu).unwrap();
+        assert!(
+            r.recompute_bytes < r.baseline_bytes,
+            "recompute {} vs baseline {}",
+            r.recompute_bytes,
+            r.baseline_bytes
+        );
+        assert!(r.recompute_overhead_pct > 0.0);
+        // Recomputation costs at most about one extra forward pass (~33%
+        // of fwd+bwd when bwd ~ 2x fwd).
+        assert!(r.recompute_overhead_pct < 60.0, "{:.1}%", r.recompute_overhead_pct);
+    }
+
+    #[test]
+    fn combining_with_gist_is_best_on_memory() {
+        let gpu = GpuModel::titan_x();
+        for g in [gist_models::alexnet(8), gist_models::vgg16(8)] {
+            let r = composition_report(&g, &GistConfig::lossy(DprFormat::Fp8), &gpu).unwrap();
+            assert!(r.gist_bytes < r.baseline_bytes, "{}", g.name());
+            assert!(
+                r.combined_bytes <= r.gist_bytes,
+                "{}: combined {} vs gist {}",
+                g.name(),
+                r.combined_bytes,
+                r.gist_bytes
+            );
+            assert!(r.combined_bytes <= r.recompute_bytes, "{}", g.name());
+        }
+    }
+
+    #[test]
+    fn tiny_inventories_pass_through_unchanged() {
+        let g = gist_models::tiny_convnet(2, 3);
+        let t = ScheduleBuilder::new(GistConfig::baseline()).build(&g).unwrap();
+        let small: Vec<DataStructure> = t
+            .inventory
+            .iter()
+            .filter(|d| d.class == DataClass::StashedFmap)
+            .take(2)
+            .cloned()
+            .collect();
+        let plan = apply_sqrt_recompute(&small, t.num_steps);
+        assert_eq!(plan.inventory.len(), small.len());
+        assert!(plan.recomputed_nodes.is_empty());
+    }
+}

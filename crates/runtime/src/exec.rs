@@ -1,0 +1,824 @@
+//! The graph executor: forward/backward with runtime encode/decode.
+
+use crate::params::{sgd_update, NodeParams, ParamGrads, ParamSet};
+use crate::RuntimeError;
+use gist_core::{Encoding, GistConfig};
+use gist_encodings::csr::SsdcConfig;
+use gist_encodings::dpr::DprBuffer;
+use gist_encodings::{BitMask, CsrMatrix, DprFormat};
+use gist_graph::{Graph, NodeId, OpKind};
+use gist_tensor::ops::batchnorm::BatchNormCache;
+use gist_tensor::ops::{batchnorm, conv, dropout, elementwise, linear, lrn, pool, relu, softmax};
+use gist_tensor::{Shape, Tensor};
+
+/// How the executor stashes feature maps for the backward pass.
+#[derive(Debug, Clone)]
+pub enum ExecMode {
+    /// FP32 stashes everywhere (the CNTK baseline).
+    Baseline,
+    /// Gist encodings chosen by the Schedule Builder's policy.
+    Gist(GistConfig),
+    /// The Figure 12 strawman: every feature map and gradient map is
+    /// quantized to the given format *immediately* when produced, so
+    /// quantization error propagates through the forward pass.
+    UniformImmediate(DprFormat),
+}
+
+/// A stashed feature map in whatever form the mode selected.
+#[derive(Debug, Clone)]
+enum Stash {
+    Dense(Tensor),
+    Bits(BitMask, Shape),
+    Sparse(CsrMatrix, Shape),
+    Reduced(DprBuffer, Shape),
+}
+
+impl Stash {
+    fn decode(&self) -> Tensor {
+        match self {
+            Stash::Dense(t) => t.clone(),
+            Stash::Bits(_, _) => {
+                unreachable!("binarized stashes are consumed via relu_backward, never decoded")
+            }
+            Stash::Sparse(c, s) => {
+                Tensor::from_vec(*s, c.decode()).expect("csr decode length")
+            }
+            Stash::Reduced(b, s) => {
+                Tensor::from_vec(*s, b.decode()).expect("dpr decode length")
+            }
+        }
+    }
+
+    fn encoded_bytes(&self) -> usize {
+        match self {
+            Stash::Dense(t) => t.numel() * 4,
+            Stash::Bits(m, _) => m.encoded_bytes(),
+            Stash::Sparse(c, _) => c.encoded_bytes(),
+            Stash::Reduced(b, _) => b.encoded_bytes(),
+        }
+    }
+}
+
+/// Tracks live bytes during a step to measure the actual peak footprint
+/// the executor needed — the runtime counterpart of the planner's
+/// dynamic-allocation estimate.
+#[derive(Debug, Default, Clone, Copy)]
+struct MemMeter {
+    live: usize,
+    peak: usize,
+}
+
+impl MemMeter {
+    fn alloc(&mut self, bytes: usize) {
+        self.live += bytes;
+        self.peak = self.peak.max(self.live);
+    }
+
+    fn free(&mut self, bytes: usize) {
+        self.live = self.live.saturating_sub(bytes);
+    }
+
+    /// A short-lived buffer (e.g. a decode target) that exists only inside
+    /// one backward computation.
+    fn transient(&mut self, bytes: usize) {
+        self.peak = self.peak.max(self.live + bytes);
+    }
+}
+
+/// Per-minibatch statistics.
+#[derive(Debug, Clone)]
+pub struct StepStats {
+    /// Mean cross-entropy loss.
+    pub loss: f32,
+    /// Correct top-1 predictions in the minibatch.
+    pub correct: usize,
+    /// Minibatch size.
+    pub batch: usize,
+    /// `(layer name, sparsity)` for every ReLU output.
+    pub relu_sparsity: Vec<(String, f64)>,
+    /// `(layer name, compression ratio)` for every SSDC stash this step.
+    pub ssdc_compression: Vec<(String, f64)>,
+    /// Total bytes of all stashes held between the passes this step (the
+    /// runtime-measured counterpart of the planner's stash accounting).
+    pub stash_bytes: usize,
+    /// Peak bytes of simultaneously-live feature maps, stashes, gradient
+    /// maps and decode buffers during the step — the executor's measured
+    /// dynamic footprint.
+    pub peak_live_bytes: usize,
+}
+
+impl StepStats {
+    /// Minibatch top-1 accuracy.
+    pub fn accuracy(&self) -> f64 {
+        if self.batch == 0 {
+            return 0.0;
+        }
+        self.correct as f64 / self.batch as f64
+    }
+}
+
+/// Executes training steps over a graph under a stash mode.
+#[derive(Debug)]
+pub struct Executor {
+    graph: Graph,
+    shapes: Vec<Shape>,
+    mode: ExecMode,
+    encodings: Vec<Encoding>,
+    seed: u64,
+    /// Minibatches executed so far; also salts the per-step dropout masks.
+    step_counter: u64,
+    /// Learned parameters (public so callers can inspect or checkpoint).
+    pub params: ParamSet,
+}
+
+impl Executor {
+    /// Builds an executor, initializing parameters deterministically.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the graph fails shape inference.
+    pub fn new(graph: Graph, mode: ExecMode, seed: u64) -> Result<Self, RuntimeError> {
+        let shapes = graph.infer_shapes()?;
+        let params = ParamSet::init(&graph, seed)?;
+        let encodings = match &mode {
+            ExecMode::Gist(cfg) => {
+                let assignments = gist_core::policy::assign(&graph, cfg);
+                let mut per_node = vec![Encoding::None; graph.len()];
+                for a in assignments {
+                    per_node[a.node.index()] = a.encoding;
+                }
+                per_node
+            }
+            _ => vec![Encoding::None; graph.len()],
+        };
+        Ok(Executor { graph, shapes, mode, encodings, seed, step_counter: 0, params })
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of minibatches executed so far.
+    pub fn steps_executed(&self) -> u64 {
+        self.step_counter
+    }
+
+    fn quantize_immediate(&self, t: &mut Tensor) {
+        if let ExecMode::UniformImmediate(f) = &self.mode {
+            for v in t.data_mut() {
+                *v = f.quantize(*v);
+            }
+        }
+    }
+
+    fn make_stash(&self, id: NodeId, y: &Tensor) -> Stash {
+        match (&self.mode, self.encodings[id.index()]) {
+            (ExecMode::Gist(_), Encoding::Binarize) => {
+                Stash::Bits(BitMask::encode(y.data()), y.shape())
+            }
+            (ExecMode::Gist(cfg), Encoding::Ssdc { .. }) => {
+                let ssdc = SsdcConfig { narrow: true, value_format: cfg.dpr };
+                Stash::Sparse(CsrMatrix::encode(y.data(), ssdc), y.shape())
+            }
+            (ExecMode::Gist(cfg), Encoding::Dpr(f)) => {
+                Stash::Reduced(DprBuffer::encode_with(f, y.data(), cfg.rounding), y.shape())
+            }
+            _ => Stash::Dense(y.clone()),
+        }
+    }
+
+    /// Forward-only inference: returns the argmax class per image.
+    ///
+    /// No stashes are created and no encodings run — inference has no
+    /// backward pass, which is exactly why the paper's problem (and Gist)
+    /// is specific to training.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::BatchMismatch`] on input-shape mismatch.
+    pub fn predict(&self, images: &Tensor) -> Result<Vec<usize>, RuntimeError> {
+        let logits = self.forward_logits(images)?;
+        let (n, k) = logits.shape().as_matrix();
+        Ok((0..n)
+            .map(|i| {
+                let row = &logits.data()[i * k..(i + 1) * k];
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+                    .map(|(j, _)| j)
+                    .expect("non-empty row")
+            })
+            .collect())
+    }
+
+    /// Runs the inference forward pass and returns the logits (the loss
+    /// head's input).
+    fn forward_logits(&self, images: &Tensor) -> Result<Tensor, RuntimeError> {
+        let expected = self.shapes[0];
+        if images.shape() != expected {
+            return Err(RuntimeError::BatchMismatch(format!(
+                "images {} vs input {expected}",
+                images.shape()
+            )));
+        }
+        let loss_node = self
+            .graph
+            .nodes()
+            .iter()
+            .find(|n| matches!(n.op, OpKind::SoftmaxLoss))
+            .expect("graph has a loss head");
+        let producer = loss_node.inputs[0];
+        let mut fmaps: Vec<Option<Tensor>> = vec![None; self.graph.len()];
+        for node in self.graph.nodes() {
+            if node.id.index() > producer.index() {
+                break;
+            }
+            let id = node.id;
+            let input = |i: usize| -> &Tensor {
+                fmaps[node.inputs[i].index()].as_ref().expect("producer already executed")
+            };
+            let y = match &node.op {
+                OpKind::Input(_) => images.clone(),
+                OpKind::Conv { params: cp, .. } => {
+                    let Some(NodeParams::Conv { weight, bias }) = self.params.get(id.index())
+                    else {
+                        unreachable!("conv has params")
+                    };
+                    conv::forward(input(0), weight, bias.as_ref(), *cp)?
+                }
+                OpKind::Relu => relu::forward(input(0)),
+                OpKind::MaxPool(p) => pool::maxpool_forward(input(0), *p)?.y,
+                OpKind::AvgPool(p) => pool::avgpool_forward(input(0), *p)?,
+                OpKind::Linear { .. } => {
+                    let Some(NodeParams::Linear { weight, bias }) = self.params.get(id.index())
+                    else {
+                        unreachable!("linear has params")
+                    };
+                    linear::forward(input(0), weight, bias.as_ref())?
+                }
+                OpKind::BatchNorm => {
+                    let Some(NodeParams::BatchNorm { gamma, beta }) = self.params.get(id.index())
+                    else {
+                        unreachable!("bn has params")
+                    };
+                    batchnorm::forward(input(0), gamma, beta, 1e-5)?.0
+                }
+                OpKind::Lrn(p) => lrn::forward(input(0), *p)?,
+                // Inference: dropout is the identity (inverted dropout).
+                OpKind::Dropout { .. } => input(0).clone(),
+                OpKind::Add => elementwise::add_forward(input(0), input(1))?,
+                OpKind::Concat => {
+                    let ins: Vec<&Tensor> = node
+                        .inputs
+                        .iter()
+                        .map(|&i| fmaps[i.index()].as_ref().expect("producer executed"))
+                        .collect();
+                    elementwise::concat_forward(&ins)?
+                }
+                OpKind::SoftmaxLoss => break,
+            };
+            fmaps[id.index()] = Some(y);
+        }
+        let logits = fmaps[producer.index()].take().expect("logits computed");
+        let (n, k) = logits.shape().as_matrix();
+        logits.reshape(Shape::matrix(n, k)).map_err(RuntimeError::from)
+    }
+
+    /// Runs one forward+backward pass and applies an SGD update.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::BatchMismatch`] if `images`/`labels` disagree
+    /// with the graph's input shape, or propagates kernel errors.
+    pub fn step(
+        &mut self,
+        images: &Tensor,
+        labels: &[usize],
+        lr: f32,
+    ) -> Result<StepStats, RuntimeError> {
+        let (stats, grads) = self.forward_backward(images, labels)?;
+        sgd_update(&mut self.params, &grads, lr);
+        Ok(stats)
+    }
+
+    /// Runs one forward+backward pass and returns the parameter gradients
+    /// without updating — used by equivalence tests and ablations.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Executor::step`].
+    #[allow(clippy::type_complexity)]
+    pub fn forward_backward(
+        &mut self,
+        images: &Tensor,
+        labels: &[usize],
+    ) -> Result<(StepStats, Vec<Option<ParamGrads>>), RuntimeError> {
+        let n = self.graph.len();
+        let input_node = self
+            .graph
+            .nodes()
+            .iter()
+            .find(|nd| matches!(nd.op, OpKind::Input(_)))
+            .expect("graph has an input");
+        let expected = self.shapes[input_node.id.index()];
+        if images.shape() != expected {
+            return Err(RuntimeError::BatchMismatch(format!(
+                "images {} vs input {expected}",
+                images.shape()
+            )));
+        }
+        if labels.len() != expected.n() {
+            return Err(RuntimeError::BatchMismatch(format!(
+                "{} labels for minibatch {}",
+                labels.len(),
+                expected.n()
+            )));
+        }
+
+        // Last forward step at which each node's dense output is read; the
+        // buffer is relinquished right after (the paper's "the full-fidelity
+        // feature maps are used in the forward pass and relinquished
+        // immediately").
+        let mut last_fwd_use: Vec<usize> = (0..n).collect();
+        for node in self.graph.nodes() {
+            for &inp in &node.inputs {
+                last_fwd_use[inp.index()] = node.id.index();
+            }
+        }
+        let mut meter = MemMeter::default();
+
+        // ---- Forward pass ----
+        let mut fmaps: Vec<Option<Tensor>> = vec![None; n];
+        let mut stashes: Vec<Option<Stash>> = vec![None; n];
+        let mut argmaxes: Vec<Option<Vec<u8>>> = vec![None; n];
+        let mut drop_masks: Vec<Option<Vec<bool>>> = vec![None; n];
+        let mut bn_caches: Vec<Option<BatchNormCache>> = vec![None; n];
+        let mut fwd_loss = 0.0f32;
+        let mut fwd_correct = 0usize;
+        let mut relu_sparsity = Vec::new();
+
+        let inplace_on = matches!(&self.mode, ExecMode::Gist(cfg) if cfg.inplace);
+        for node in self.graph.nodes() {
+            let id = node.id;
+            // Inplace ReLU (Section III-C): when this ReLU is the sole and
+            // final reader of its producer's buffer, overwrite it instead
+            // of allocating a fresh output.
+            if inplace_on && matches!(node.op, OpKind::Relu) {
+                let producer = node.inputs[0];
+                let sole_reader = last_fwd_use[producer.index()] == id.index()
+                    && self.graph.consumers(producer).len() == 1
+                    && !matches!(self.graph.node(producer).op, OpKind::Input(_));
+                if sole_reader {
+                    let mut y = fmaps[producer.index()].take().expect("producer executed");
+                    // The buffer is reused, not freed-and-reallocated: no
+                    // meter traffic for the producer's release.
+                    relu::forward_inplace(&mut y);
+                    relu_sparsity.push((node.name.clone(), y.sparsity()));
+                    if gist_graph::class::is_stashed(&self.graph, id) {
+                        let stash = self.make_stash(id, &y);
+                        meter.alloc(stash.encoded_bytes());
+                        stashes[id.index()] = Some(stash);
+                    }
+                    fmaps[id.index()] = Some(y);
+                    // Release this node's own buffer if nothing reads it.
+                    if last_fwd_use[id.index()] == id.index() {
+                        if let Some(t) = fmaps[id.index()].take() {
+                            meter.free(t.numel() * 4);
+                        }
+                    }
+                    continue;
+                }
+            }
+            let input = |i: usize| -> &Tensor {
+                fmaps[node.inputs[i].index()].as_ref().expect("producer already executed")
+            };
+            let mut y = match &node.op {
+                OpKind::Input(_) => images.clone(),
+                OpKind::Conv { params: cp, .. } => {
+                    let Some(NodeParams::Conv { weight, bias }) = self.params.get(id.index())
+                    else {
+                        unreachable!("conv has params")
+                    };
+                    conv::forward(input(0), weight, bias.as_ref(), *cp)?
+                }
+                OpKind::Relu => relu::forward(input(0)),
+                OpKind::MaxPool(p) => {
+                    let out = pool::maxpool_forward(input(0), *p)?;
+                    argmaxes[id.index()] = Some(out.argmax);
+                    out.y
+                }
+                OpKind::AvgPool(p) => pool::avgpool_forward(input(0), *p)?,
+                OpKind::Linear { .. } => {
+                    let Some(NodeParams::Linear { weight, bias }) = self.params.get(id.index())
+                    else {
+                        unreachable!("linear has params")
+                    };
+                    linear::forward(input(0), weight, bias.as_ref())?
+                }
+                OpKind::BatchNorm => {
+                    let Some(NodeParams::BatchNorm { gamma, beta }) = self.params.get(id.index())
+                    else {
+                        unreachable!("bn has params")
+                    };
+                    let (y, cache) = batchnorm::forward(input(0), gamma, beta, 1e-5)?;
+                    bn_caches[id.index()] = Some(cache);
+                    y
+                }
+                OpKind::Lrn(p) => lrn::forward(input(0), *p)?,
+                OpKind::Dropout { p } => {
+                    let mask_seed = self
+                        .seed
+                        .wrapping_add((id.index() as u64).wrapping_mul(0x51_7C_C1_B7_27_22_0A_95))
+                        .wrapping_add(self.step_counter);
+                    let mask = dropout::keep_mask(input(0).numel(), *p, mask_seed);
+                    let y = dropout::forward(input(0), &mask, *p)?;
+                    drop_masks[id.index()] = Some(mask);
+                    y
+                }
+                OpKind::Add => elementwise::add_forward(input(0), input(1))?,
+                OpKind::Concat => {
+                    let ins: Vec<&Tensor> = node
+                        .inputs
+                        .iter()
+                        .map(|&i| fmaps[i.index()].as_ref().expect("producer executed"))
+                        .collect();
+                    elementwise::concat_forward(&ins)?
+                }
+                OpKind::SoftmaxLoss => {
+                    // The forward "use" is the loss value itself; the
+                    // gradient is recomputed in backward from the stashed
+                    // (possibly encoded) logits.
+                    let out = softmax::cross_entropy(input(0), labels)?;
+                    fwd_loss = out.loss;
+                    fwd_correct = out.correct;
+                    input(0).clone()
+                }
+            };
+            self.quantize_immediate(&mut y);
+            if matches!(node.op, OpKind::Relu) {
+                relu_sparsity.push((node.name.clone(), y.sparsity()));
+            }
+            if gist_graph::class::is_stashed(&self.graph, id) {
+                let stash = self.make_stash(id, &y);
+                meter.alloc(stash.encoded_bytes());
+                stashes[id.index()] = Some(stash);
+            }
+            meter.alloc(y.numel() * 4);
+            fmaps[id.index()] = Some(y);
+            // Relinquish every dense buffer whose last forward use was this
+            // node (including this node's own output if nothing reads it).
+            for j in 0..=id.index() {
+                if last_fwd_use[j] == id.index() {
+                    if let Some(t) = fmaps[j].take() {
+                        meter.free(t.numel() * 4);
+                    }
+                }
+            }
+        }
+
+        let stash_bytes: usize =
+            stashes.iter().flatten().map(Stash::encoded_bytes).sum();
+        let ssdc_compression: Vec<(String, f64)> = self
+            .graph
+            .nodes()
+            .iter()
+            .filter_map(|nd| match &stashes[nd.id.index()] {
+                Some(Stash::Sparse(c, _)) => Some((nd.name.clone(), c.compression_ratio())),
+                _ => None,
+            })
+            .collect();
+
+        // Forward values are relinquished; backward may only read stashes.
+        drop(fmaps);
+
+        // ---- Backward pass ----
+        let mut grads: Vec<Option<Tensor>> = vec![None; n];
+        let mut pgrads: Vec<Option<ParamGrads>> = (0..n).map(|_| None).collect();
+        let mut meter_cell = meter;
+        let accumulate = |meter: &mut MemMeter, grads: &mut Vec<Option<Tensor>>, id: NodeId, g: Tensor| {
+            match &mut grads[id.index()] {
+                Some(existing) => existing.add_scaled(&g, 1.0).expect("gradient shapes agree"),
+                slot @ None => {
+                    meter.alloc(g.numel() * 4);
+                    *slot = Some(g);
+                }
+            }
+        };
+        let stash_dense = |meter: &mut MemMeter, stashes: &[Option<Stash>], id: NodeId| -> Tensor {
+            let t = stashes[id.index()].as_ref().expect("stash present for backward").decode();
+            // Decode buffer exists for the duration of this backward step.
+            meter.transient(t.numel() * 4);
+            t
+        };
+
+        for node in self.graph.nodes().iter().rev() {
+            let id = node.id;
+            if matches!(node.op, OpKind::SoftmaxLoss) {
+                let producer = node.inputs[0];
+                let logits = stash_dense(&mut meter_cell, &stashes, producer);
+                let mut dlogits = softmax::cross_entropy(&logits, labels)?.dlogits;
+                // Reshape the [N, K] gradient back to the producer's shape.
+                dlogits = dlogits.reshape(self.shapes[producer.index()])?;
+                self.quantize_immediate(&mut dlogits);
+                accumulate(&mut meter_cell, &mut grads, producer, dlogits);
+                continue;
+            }
+            if matches!(node.op, OpKind::Input(_)) {
+                continue;
+            }
+            let Some(mut dy) = grads[id.index()].take() else {
+                continue; // no gradient path through this node
+            };
+            meter_cell.free(dy.numel() * 4);
+            self.quantize_immediate(&mut dy);
+            match &node.op {
+                OpKind::Conv { params: cp, .. } => {
+                    let producer = node.inputs[0];
+                    let x = stash_dense(&mut meter_cell, &stashes, producer);
+                    let Some(NodeParams::Conv { weight, .. }) = self.params.get(id.index())
+                    else {
+                        unreachable!("conv has params")
+                    };
+                    let g = conv::backward(&x, weight, &dy, *cp)?;
+                    pgrads[id.index()] = Some(ParamGrads { main: g.dw, secondary: Some(g.db) });
+                    accumulate(&mut meter_cell, &mut grads, producer, g.dx);
+                }
+                OpKind::Linear { .. } => {
+                    let producer = node.inputs[0];
+                    let x = stash_dense(&mut meter_cell, &stashes, producer);
+                    let Some(NodeParams::Linear { weight, .. }) = self.params.get(id.index())
+                    else {
+                        unreachable!("linear has params")
+                    };
+                    let dy2 = dy.reshape(Shape::matrix(
+                        self.shapes[id.index()].as_matrix().0,
+                        self.shapes[id.index()].as_matrix().1,
+                    ))?;
+                    let g = linear::backward(&x, weight, &dy2)?;
+                    pgrads[id.index()] = Some(ParamGrads { main: g.dw, secondary: Some(g.db) });
+                    accumulate(&mut meter_cell, &mut grads, producer, g.dx.reshape(self.shapes[producer.index()])?);
+                }
+                OpKind::Relu => {
+                    let producer = node.inputs[0];
+                    let dx = match &stashes[id.index()] {
+                        Some(Stash::Bits(mask, shape)) => {
+                            // Binarize: backward directly on the 1-bit mask.
+                            Tensor::from_vec(*shape, mask.relu_backward(dy.data())?)?
+                        }
+                        Some(other) => relu::backward(&other.decode(), &dy),
+                        None => unreachable!("relu output is always stashed"),
+                    };
+                    accumulate(&mut meter_cell, &mut grads, producer, dx);
+                }
+                OpKind::MaxPool(p) => {
+                    let producer = node.inputs[0];
+                    let x_shape = self.shapes[producer.index()];
+                    let argmax = argmaxes[id.index()].as_ref().expect("maxpool ran forward");
+                    let dx = pool::maxpool_backward(x_shape, argmax, &dy, *p)?;
+                    accumulate(&mut meter_cell, &mut grads, producer, dx);
+                }
+                OpKind::AvgPool(p) => {
+                    let producer = node.inputs[0];
+                    let dx = pool::avgpool_backward(self.shapes[producer.index()], &dy, *p)?;
+                    accumulate(&mut meter_cell, &mut grads, producer, dx);
+                }
+                OpKind::BatchNorm => {
+                    let producer = node.inputs[0];
+                    let x = stash_dense(&mut meter_cell, &stashes, producer);
+                    let Some(NodeParams::BatchNorm { gamma, .. }) = self.params.get(id.index())
+                    else {
+                        unreachable!("bn has params")
+                    };
+                    let cache = bn_caches[id.index()].as_ref().expect("bn ran forward");
+                    let g = batchnorm::backward(&x, gamma, cache, &dy)?;
+                    pgrads[id.index()] =
+                        Some(ParamGrads { main: g.dgamma, secondary: Some(g.dbeta) });
+                    accumulate(&mut meter_cell, &mut grads, producer, g.dx);
+                }
+                OpKind::Lrn(p) => {
+                    let producer = node.inputs[0];
+                    let x = stash_dense(&mut meter_cell, &stashes, producer);
+                    let dx = lrn::backward(&x, &dy, *p)?;
+                    accumulate(&mut meter_cell, &mut grads, producer, dx);
+                }
+                OpKind::Dropout { p } => {
+                    let producer = node.inputs[0];
+                    let mask = drop_masks[id.index()].as_ref().expect("dropout ran forward");
+                    let dx = dropout::backward(&dy, mask, *p)?;
+                    accumulate(&mut meter_cell, &mut grads, producer, dx);
+                }
+                OpKind::Add => {
+                    let (da, db) = elementwise::add_backward(&dy);
+                    accumulate(&mut meter_cell, &mut grads, node.inputs[0], da);
+                    accumulate(&mut meter_cell, &mut grads, node.inputs[1], db);
+                }
+                OpKind::Concat => {
+                    let shapes: Vec<Shape> =
+                        node.inputs.iter().map(|&i| self.shapes[i.index()]).collect();
+                    let parts = elementwise::concat_backward(&dy, &shapes)?;
+                    for (&inp, part) in node.inputs.iter().zip(parts) {
+                        accumulate(&mut meter_cell, &mut grads, inp, part);
+                    }
+                }
+                OpKind::Input(_) | OpKind::SoftmaxLoss => unreachable!("handled above"),
+            }
+            // This node's backward pass was the last reader of its own
+            // stash (consumers' backward steps all ran earlier).
+            if let Some(stash) = stashes[id.index()].take() {
+                meter_cell.free(stash.encoded_bytes());
+            }
+        }
+
+        self.step_counter += 1;
+        let meter = meter_cell;
+        let stats = StepStats {
+            loss: fwd_loss,
+            correct: fwd_correct,
+            batch: labels.len(),
+            relu_sparsity,
+            ssdc_compression,
+            stash_bytes,
+            peak_live_bytes: meter.peak,
+        };
+        Ok((stats, pgrads))
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::SyntheticImages;
+
+    fn minibatch(batch: usize) -> (Tensor, Vec<usize>) {
+        let mut ds = SyntheticImages::new(3, 16, 0.3, 42);
+        ds.minibatch(batch)
+    }
+
+    fn weights_of(e: &Executor) -> Vec<f32> {
+        let mut out = Vec::new();
+        for i in 0..e.graph().len() {
+            if let Some(p) = e.params.get(i) {
+                match p {
+                    NodeParams::Conv { weight, bias } | NodeParams::Linear { weight, bias } => {
+                        out.extend_from_slice(weight.data());
+                        if let Some(b) = bias {
+                            out.extend_from_slice(b.data());
+                        }
+                    }
+                    NodeParams::BatchNorm { gamma, beta } => {
+                        out.extend_from_slice(gamma.data());
+                        out.extend_from_slice(beta.data());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn baseline_step_reduces_loss_over_time() {
+        let g = gist_models::tiny_convnet(8, 3);
+        let mut e = Executor::new(g, ExecMode::Baseline, 1).unwrap();
+        let mut ds = SyntheticImages::new(3, 16, 0.3, 7);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..30 {
+            let (x, y) = ds.minibatch(8);
+            let s = e.step(&x, &y, 0.05).unwrap();
+            first.get_or_insert(s.loss);
+            last = s.loss;
+        }
+        assert!(last < first.unwrap(), "loss should decrease: {first:?} -> {last}");
+    }
+
+    #[test]
+    fn lossless_gist_is_bit_exact_with_baseline() {
+        // Binarize + SSDC must produce IDENTICAL weights after training
+        // steps — they are lossless encodings.
+        let (x, y) = minibatch(4);
+        let g = gist_models::small_vgg(4, 3);
+        let mut base = Executor::new(g.clone(), ExecMode::Baseline, 5).unwrap();
+        let mut gist =
+            Executor::new(g, ExecMode::Gist(GistConfig::lossless()), 5).unwrap();
+        for _ in 0..3 {
+            base.step(&x, &y, 0.05).unwrap();
+            gist.step(&x, &y, 0.05).unwrap();
+        }
+        assert_eq!(weights_of(&base), weights_of(&gist));
+    }
+
+    #[test]
+    fn dpr_perturbs_backward_but_not_forward() {
+        let (x, y) = minibatch(4);
+        let g = gist_models::tiny_convnet(4, 3);
+        let mut base = Executor::new(g.clone(), ExecMode::Baseline, 5).unwrap();
+        let mut dpr = Executor::new(
+            g,
+            ExecMode::Gist(GistConfig::lossy(DprFormat::Fp8)),
+            5,
+        )
+        .unwrap();
+        // First forward pass identical (same init, forward untouched by DPR):
+        let (sb, _) = base.forward_backward(&x, &y).unwrap();
+        let (sd, _) = dpr.forward_backward(&x, &y).unwrap();
+        assert_eq!(sb.loss, sd.loss, "DPR must not change the forward pass");
+        // ...but gradients (and therefore weights after a step) differ.
+        base.step(&x, &y, 0.05).unwrap();
+        dpr.step(&x, &y, 0.05).unwrap();
+        assert_ne!(weights_of(&base), weights_of(&dpr));
+    }
+
+    #[test]
+    fn uniform_immediate_changes_forward_loss() {
+        let (x, y) = minibatch(4);
+        let g = gist_models::tiny_convnet(4, 3);
+        let mut base = Executor::new(g.clone(), ExecMode::Baseline, 5).unwrap();
+        let mut uni = Executor::new(g, ExecMode::UniformImmediate(DprFormat::Fp8), 5).unwrap();
+        let (sb, _) = base.forward_backward(&x, &y).unwrap();
+        let (su, _) = uni.forward_backward(&x, &y).unwrap();
+        assert_ne!(sb.loss, su.loss, "immediate quantization must inject forward error");
+    }
+
+    #[test]
+    fn resnet_trains_a_step() {
+        let g = gist_models::resnet_cifar(1, 2);
+        let mut e = Executor::new(g, ExecMode::Gist(GistConfig::lossless()), 3).unwrap();
+        let mut ds = SyntheticImages::rgb(4, 32, 0.2, 11);
+        let (x, y) = ds.minibatch(2);
+        let s = e.step(&x, &y, 0.01).unwrap();
+        assert!(s.loss.is_finite());
+    }
+
+    #[test]
+    fn stats_report_relu_sparsity_and_ssdc() {
+        let (x, y) = minibatch(4);
+        let g = gist_models::small_vgg(4, 3);
+        let mut e = Executor::new(g, ExecMode::Gist(GistConfig::lossless()), 5).unwrap();
+        let s = e.step(&x, &y, 0.05).unwrap();
+        assert!(!s.relu_sparsity.is_empty());
+        assert!(s.relu_sparsity.iter().all(|(_, sp)| (0.0..=1.0).contains(sp)));
+        assert!(!s.ssdc_compression.is_empty(), "small_vgg has relu-conv pairs");
+    }
+
+    #[test]
+    fn inplace_relu_lowers_peak_memory_without_changing_values() {
+        let (x, y) = minibatch(4);
+        let g = gist_models::small_vgg(4, 3);
+        let with_inplace = GistConfig::lossless();
+        let without = GistConfig { inplace: false, ..GistConfig::lossless() };
+        let mut a = Executor::new(g.clone(), ExecMode::Gist(with_inplace), 5).unwrap();
+        let mut b = Executor::new(g, ExecMode::Gist(without), 5).unwrap();
+        let (sa, _) = a.forward_backward(&x, &y).unwrap();
+        let (sb, _) = b.forward_backward(&x, &y).unwrap();
+        assert_eq!(sa.loss, sb.loss, "inplace must not change values");
+        assert!(
+            sa.peak_live_bytes < sb.peak_live_bytes,
+            "inplace should lower peak: {} vs {}",
+            sa.peak_live_bytes,
+            sb.peak_live_bytes
+        );
+    }
+
+    #[test]
+    fn predict_matches_training_labels_after_learning() {
+        let g = gist_models::tiny_convnet(8, 3);
+        let mut e = Executor::new(g, ExecMode::Baseline, 1).unwrap();
+        let mut ds = SyntheticImages::new(3, 16, 0.1, 7);
+        for _ in 0..40 {
+            let (x, y) = ds.minibatch(8);
+            e.step(&x, &y, 0.05).unwrap();
+        }
+        let (x, y) = ds.minibatch(8);
+        let pred = e.predict(&x).unwrap();
+        let correct = pred.iter().zip(&y).filter(|(p, l)| p == l).count();
+        assert!(correct >= 6, "trained net should predict held-out samples: {correct}/8");
+    }
+
+    #[test]
+    fn predict_is_side_effect_free() {
+        let g = gist_models::tiny_classic(4, 3);
+        let e = Executor::new(g, ExecMode::Baseline, 1).unwrap();
+        let mut ds = SyntheticImages::new(3, 16, 0.1, 7);
+        let (x, _) = ds.minibatch(4);
+        let before = e.steps_executed();
+        let a = e.predict(&x).unwrap();
+        let b = e.predict(&x).unwrap();
+        assert_eq!(a, b, "inference must be deterministic (dropout = identity)");
+        assert_eq!(e.steps_executed(), before);
+    }
+
+    #[test]
+    fn batch_mismatch_is_rejected() {
+        let g = gist_models::tiny_convnet(4, 3);
+        let mut e = Executor::new(g, ExecMode::Baseline, 1).unwrap();
+        let (x, y) = minibatch(4);
+        assert!(matches!(
+            e.step(&x, &y[..2], 0.1),
+            Err(RuntimeError::BatchMismatch(_))
+        ));
+        let bad = Tensor::zeros(Shape::nchw(4, 3, 16, 16));
+        assert!(matches!(e.step(&bad, &y, 0.1), Err(RuntimeError::BatchMismatch(_))));
+    }
+}

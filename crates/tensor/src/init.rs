@@ -1,0 +1,71 @@
+//! Deterministic weight initialization.
+//!
+//! Experiments in the paper depend on training dynamics (e.g., ReLU sparsity
+//! ramping up over the first few hundred minibatches in Figure 14), so weight
+//! initialization here is seeded and reproducible.
+
+use crate::{Shape, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform Xavier/Glorot initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(shape: Shape, fan_in: usize, fan_out: usize, seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    let data = (0..shape.numel()).map(|_| rng.gen_range(-a..a)).collect();
+    Tensor::from_vec(shape, data).expect("generated data matches shape")
+}
+
+/// Kaiming/He initialization for ReLU networks: `N(0, sqrt(2/fan_in))`,
+/// approximated by a uniform with matched variance (`U(-b, b)` with
+/// `b = sqrt(6/fan_in)`).
+pub fn kaiming_uniform(shape: Shape, fan_in: usize, seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let b = (6.0 / fan_in.max(1) as f32).sqrt();
+    let data = (0..shape.numel()).map(|_| rng.gen_range(-b..b)).collect();
+    Tensor::from_vec(shape, data).expect("generated data matches shape")
+}
+
+/// Uniform values in `[lo, hi)`, seeded.
+pub fn uniform(shape: Shape, lo: f32, hi: f32, seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = (0..shape.numel()).map(|_| rng.gen_range(lo..hi)).collect();
+    Tensor::from_vec(shape, data).expect("generated data matches shape")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_is_deterministic_per_seed() {
+        let s = Shape::nchw(4, 3, 3, 3);
+        let a = xavier_uniform(s, 27, 36, 42);
+        let b = xavier_uniform(s, 27, 36, 42);
+        let c = xavier_uniform(s, 27, 36, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn xavier_bounds_hold() {
+        let s = Shape::vector(1000);
+        let t = xavier_uniform(s, 50, 50, 1);
+        let a = (6.0f32 / 100.0).sqrt();
+        assert!(t.data().iter().all(|&v| v > -a && v < a));
+    }
+
+    #[test]
+    fn kaiming_bounds_hold() {
+        let t = kaiming_uniform(Shape::vector(1000), 24, 7);
+        let b = (6.0f32 / 24.0).sqrt();
+        assert!(t.data().iter().all(|&v| v > -b && v < b));
+    }
+
+    #[test]
+    fn uniform_respects_range() {
+        let t = uniform(Shape::vector(512), 0.25, 0.75, 9);
+        assert!(t.data().iter().all(|&v| (0.25..0.75).contains(&v)));
+    }
+}

@@ -1,0 +1,71 @@
+#![warn(missing_docs)]
+
+//! # gist-tensor
+//!
+//! A small, self-contained CPU tensor library used as the numerical substrate
+//! for the Gist reproduction. It provides an NCHW [`Tensor`] of `f32` values,
+//! a [`Shape`] type, deterministic random initialization, and the forward and
+//! backward kernels needed by convolutional image-classification networks:
+//! convolution, max/average pooling, ReLU, fully-connected layers, batch
+//! normalization, softmax with cross-entropy, and the elementwise/structural
+//! ops (residual add, concatenation) required by Inception and ResNet.
+//!
+//! The kernels are written for clarity and testability rather than peak
+//! throughput: the paper's performance results are reproduced through the
+//! analytic model in `gist-perf`, while this crate establishes *value-level*
+//! correctness (e.g., that Gist's lossless encodings are bit-exact and that
+//! delayed precision reduction does not perturb the forward pass).
+//!
+//! ```
+//! use gist_tensor::{Tensor, Shape};
+//!
+//! let x = Tensor::from_vec(Shape::nchw(1, 1, 2, 2), vec![1.0, -2.0, 3.0, -4.0]).unwrap();
+//! let y = gist_tensor::ops::relu::forward(&x);
+//! assert_eq!(y.data(), &[1.0, 0.0, 3.0, 0.0]);
+//! ```
+
+pub mod init;
+pub mod ops;
+pub mod shape;
+pub mod tensor;
+
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Errors produced by tensor construction and kernel invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The provided data length does not match the number of elements implied
+    /// by the shape.
+    LengthMismatch {
+        /// Elements implied by the shape.
+        expected: usize,
+        /// Elements actually provided.
+        actual: usize,
+    },
+    /// Two tensors that must agree in shape do not.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        left: Shape,
+        /// Shape of the right-hand operand.
+        right: Shape,
+    },
+    /// A kernel was invoked with a shape it does not support.
+    UnsupportedShape(String),
+}
+
+impl std::fmt::Display for TensorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "data length {actual} does not match shape volume {expected}")
+            }
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch: {left} vs {right}")
+            }
+            TensorError::UnsupportedShape(msg) => write!(f, "unsupported shape: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}

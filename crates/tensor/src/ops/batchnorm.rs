@@ -1,0 +1,220 @@
+//! Spatial batch normalization (per-channel over N×H×W).
+//!
+//! ResNet interleaves batch-norm between convolutions and ReLUs. The paper
+//! notes that recomputation (prior work) remains applicable to cheap layers
+//! like batch normalization and composes with Gist; here we implement the
+//! standard stash-based backward pass.
+
+use crate::{Shape, Tensor, TensorError};
+
+/// Saved statistics from the forward pass needed by the backward pass.
+#[derive(Debug, Clone)]
+pub struct BatchNormCache {
+    /// Per-channel batch mean.
+    pub mean: Vec<f32>,
+    /// Per-channel inverse standard deviation.
+    pub inv_std: Vec<f32>,
+}
+
+/// Forward pass with learned per-channel scale (`gamma`) and shift (`beta`).
+///
+/// # Errors
+///
+/// Returns an error if `gamma`/`beta` length differs from the channel count.
+pub fn forward(
+    x: &Tensor,
+    gamma: &Tensor,
+    beta: &Tensor,
+    eps: f32,
+) -> Result<(Tensor, BatchNormCache), TensorError> {
+    let s = x.shape();
+    let c = s.c();
+    if gamma.numel() != c || beta.numel() != c {
+        return Err(TensorError::ShapeMismatch { left: gamma.shape(), right: Shape::vector(c) });
+    }
+    let per = s.n() * s.h() * s.w();
+    let mut mean = vec![0.0f32; c];
+    let mut var = vec![0.0f32; c];
+    for n in 0..s.n() {
+        for (ci, m) in mean.iter_mut().enumerate() {
+            for h in 0..s.h() {
+                for w in 0..s.w() {
+                    *m += x.at(n, ci, h, w);
+                }
+            }
+        }
+    }
+    for m in &mut mean {
+        *m /= per as f32;
+    }
+    for n in 0..s.n() {
+        for ci in 0..c {
+            for h in 0..s.h() {
+                for w in 0..s.w() {
+                    let d = x.at(n, ci, h, w) - mean[ci];
+                    var[ci] += d * d;
+                }
+            }
+        }
+    }
+    let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v / per as f32 + eps).sqrt()).collect();
+    let mut y = Tensor::zeros(s);
+    for n in 0..s.n() {
+        for ci in 0..c {
+            let (g, b, m, is) = (gamma.data()[ci], beta.data()[ci], mean[ci], inv_std[ci]);
+            for h in 0..s.h() {
+                for w in 0..s.w() {
+                    y.set(n, ci, h, w, g * (x.at(n, ci, h, w) - m) * is + b);
+                }
+            }
+        }
+    }
+    Ok((y, BatchNormCache { mean, inv_std }))
+}
+
+/// Gradients from the batch-norm backward pass.
+#[derive(Debug, Clone)]
+pub struct BatchNormGrads {
+    /// Gradient w.r.t. the input.
+    pub dx: Tensor,
+    /// Gradient w.r.t. `gamma`.
+    pub dgamma: Tensor,
+    /// Gradient w.r.t. `beta`.
+    pub dbeta: Tensor,
+}
+
+/// Backward pass using the stashed input and forward statistics.
+///
+/// # Errors
+///
+/// Returns an error on shape mismatch.
+pub fn backward(
+    x: &Tensor,
+    gamma: &Tensor,
+    cache: &BatchNormCache,
+    dy: &Tensor,
+) -> Result<BatchNormGrads, TensorError> {
+    let s = x.shape();
+    if dy.shape() != s {
+        return Err(TensorError::ShapeMismatch { left: dy.shape(), right: s });
+    }
+    let c = s.c();
+    let per = (s.n() * s.h() * s.w()) as f32;
+    let mut dgamma = vec![0.0f32; c];
+    let mut dbeta = vec![0.0f32; c];
+    let mut sum_dy = vec![0.0f32; c];
+    let mut sum_dy_xhat = vec![0.0f32; c];
+    for n in 0..s.n() {
+        for ci in 0..c {
+            for h in 0..s.h() {
+                for w in 0..s.w() {
+                    let xhat = (x.at(n, ci, h, w) - cache.mean[ci]) * cache.inv_std[ci];
+                    let d = dy.at(n, ci, h, w);
+                    dgamma[ci] += d * xhat;
+                    dbeta[ci] += d;
+                    sum_dy[ci] += d;
+                    sum_dy_xhat[ci] += d * xhat;
+                }
+            }
+        }
+    }
+    let mut dx = Tensor::zeros(s);
+    for n in 0..s.n() {
+        for ci in 0..c {
+            let (g, m, is) = (gamma.data()[ci], cache.mean[ci], cache.inv_std[ci]);
+            for h in 0..s.h() {
+                for w in 0..s.w() {
+                    let xhat = (x.at(n, ci, h, w) - m) * is;
+                    let d = dy.at(n, ci, h, w);
+                    let v = g * is / per * (per * d - sum_dy[ci] - xhat * sum_dy_xhat[ci]);
+                    dx.set(n, ci, h, w, v);
+                }
+            }
+        }
+    }
+    Ok(BatchNormGrads {
+        dx,
+        dgamma: Tensor::from_vec(Shape::vector(c), dgamma)?,
+        dbeta: Tensor::from_vec(Shape::vector(c), dbeta)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_is_normalized() {
+        let x = crate::init::uniform(Shape::nchw(4, 2, 3, 3), -5.0, 5.0, 21);
+        let gamma = Tensor::full(Shape::vector(2), 1.0);
+        let beta = Tensor::zeros(Shape::vector(2));
+        let (y, _) = forward(&x, &gamma, &beta, 1e-5).unwrap();
+        // Per-channel mean ~0, var ~1.
+        let s = y.shape();
+        for ci in 0..2 {
+            let mut m = 0.0;
+            let mut v = 0.0;
+            let per = (s.n() * s.h() * s.w()) as f32;
+            for n in 0..s.n() {
+                for h in 0..s.h() {
+                    for w in 0..s.w() {
+                        m += y.at(n, ci, h, w);
+                    }
+                }
+            }
+            m /= per;
+            for n in 0..s.n() {
+                for h in 0..s.h() {
+                    for w in 0..s.w() {
+                        v += (y.at(n, ci, h, w) - m).powi(2);
+                    }
+                }
+            }
+            v /= per;
+            assert!(m.abs() < 1e-4, "mean {m}");
+            assert!((v - 1.0).abs() < 1e-2, "var {v}");
+        }
+    }
+
+    #[test]
+    fn gamma_beta_scale_shift() {
+        let x = crate::init::uniform(Shape::nchw(2, 1, 2, 2), -1.0, 1.0, 3);
+        let gamma = Tensor::full(Shape::vector(1), 2.0);
+        let beta = Tensor::full(Shape::vector(1), 10.0);
+        let (y, _) = forward(&x, &gamma, &beta, 1e-5).unwrap();
+        let mean: f32 = y.data().iter().sum::<f32>() / y.numel() as f32;
+        assert!((mean - 10.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gradient_check_dx() {
+        let x = crate::init::uniform(Shape::nchw(2, 2, 2, 2), -1.0, 1.0, 17);
+        let gamma = Tensor::from_vec(Shape::vector(2), vec![1.5, 0.5]).unwrap();
+        let beta = Tensor::from_vec(Shape::vector(2), vec![0.1, -0.2]).unwrap();
+        let eps_bn = 1e-5;
+        let loss = |x: &Tensor| -> f64 {
+            let (y, _) = forward(x, &gamma, &beta, eps_bn).unwrap();
+            y.data().iter().map(|&v| (v as f64).powi(2) / 2.0).sum()
+        };
+        let (y, cache) = forward(&x, &gamma, &beta, eps_bn).unwrap();
+        let g = backward(&x, &gamma, &cache, &y).unwrap();
+        let eps = 1e-3f32;
+        for idx in [0usize, 3, 7, 12, 15] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let num = (loss(&xp) - loss(&xm)) / (2.0 * eps as f64);
+            let ana = g.dx.data()[idx] as f64;
+            assert!((num - ana).abs() < 2e-2, "dx[{idx}]: {num} vs {ana}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_param_length() {
+        let x = Tensor::zeros(Shape::nchw(1, 3, 2, 2));
+        let bad = Tensor::zeros(Shape::vector(2));
+        let good = Tensor::zeros(Shape::vector(3));
+        assert!(forward(&x, &bad, &good, 1e-5).is_err());
+    }
+}

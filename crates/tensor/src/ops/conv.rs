@@ -1,0 +1,356 @@
+//! 2-D convolution via im2col + dense matmul.
+//!
+//! The convolution backward pass needs its stashed *input* feature map to
+//! compute weight gradients (Figure 4(d) in the paper) — which is why
+//! Binarize cannot apply to ReLU→Conv pairs and SSDC exists.
+
+use crate::ops::matmul::{matmul, matmul_a_bt, matmul_at_b};
+use crate::{Shape, Tensor, TensorError};
+
+/// Geometry of a 2-D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvParams {
+    /// Kernel height/width (square kernels).
+    pub kernel: usize,
+    /// Stride in both dimensions.
+    pub stride: usize,
+    /// Symmetric zero padding.
+    pub pad: usize,
+}
+
+impl ConvParams {
+    /// Creates convolution parameters.
+    pub fn new(kernel: usize, stride: usize, pad: usize) -> Self {
+        ConvParams { kernel, stride, pad }
+    }
+
+    /// Output spatial size for input `(h, w)`.
+    pub fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let oh = (h + 2 * self.pad - self.kernel) / self.stride + 1;
+        let ow = (w + 2 * self.pad - self.kernel) / self.stride + 1;
+        (oh, ow)
+    }
+
+    /// Output shape for an NCHW input with `out_channels` filters.
+    pub fn out_shape(&self, x: Shape, out_channels: usize) -> Shape {
+        let (oh, ow) = self.out_hw(x.h(), x.w());
+        Shape::nchw(x.n(), out_channels, oh, ow)
+    }
+}
+
+/// Lowers one image of `x` into an im2col matrix of shape
+/// `[C*K*K, OH*OW]` (row-major), zero-filling padding.
+fn im2col(x: &Tensor, n: usize, p: ConvParams, oh: usize, ow: usize) -> Vec<f32> {
+    let s = x.shape();
+    let (c, k) = (s.c(), p.kernel);
+    let mut cols = vec![0.0f32; c * k * k * oh * ow];
+    for ci in 0..c {
+        for kh in 0..k {
+            for kw in 0..k {
+                let row = (ci * k + kh) * k + kw;
+                for ohi in 0..oh {
+                    let ih = (ohi * p.stride + kh) as isize - p.pad as isize;
+                    if ih < 0 || ih >= s.h() as isize {
+                        continue;
+                    }
+                    for owi in 0..ow {
+                        let iw = (owi * p.stride + kw) as isize - p.pad as isize;
+                        if iw < 0 || iw >= s.w() as isize {
+                            continue;
+                        }
+                        cols[row * oh * ow + ohi * ow + owi] = x.at(n, ci, ih as usize, iw as usize);
+                    }
+                }
+            }
+        }
+    }
+    cols
+}
+
+/// Scatters an im2col matrix back into one image's `dx` slice (transpose
+/// of [`im2col`]), accumulating overlaps.
+fn col2im_slice(cols: &[f32], dst: &mut [f32], s: Shape, p: ConvParams, oh: usize, ow: usize) {
+    let (c, k) = (s.c(), p.kernel);
+    for ci in 0..c {
+        for kh in 0..k {
+            for kw in 0..k {
+                let row = (ci * k + kh) * k + kw;
+                for ohi in 0..oh {
+                    let ih = (ohi * p.stride + kh) as isize - p.pad as isize;
+                    if ih < 0 || ih >= s.h() as isize {
+                        continue;
+                    }
+                    for owi in 0..ow {
+                        let iw = (owi * p.stride + kw) as isize - p.pad as isize;
+                        if iw < 0 || iw >= s.w() as isize {
+                            continue;
+                        }
+                        let idx = (ci * s.h() + ih as usize) * s.w() + iw as usize;
+                        dst[idx] += cols[row * oh * ow + ohi * ow + owi];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Convolution forward pass.
+///
+/// `x` is `[N, C, H, W]`, `weight` is `[K, C, R, R]` (K filters), `bias` is
+/// `[K]` or `None`.
+///
+/// # Errors
+///
+/// Returns an error if channel counts or kernel geometry are inconsistent.
+pub fn forward(
+    x: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    p: ConvParams,
+) -> Result<Tensor, TensorError> {
+    let s = x.shape();
+    let ws = weight.shape();
+    if ws.c() != s.c() || ws.h() != p.kernel || ws.w() != p.kernel {
+        return Err(TensorError::UnsupportedShape(format!(
+            "weight {ws} incompatible with input {s} kernel {}",
+            p.kernel
+        )));
+    }
+    if s.h() + 2 * p.pad < p.kernel || s.w() + 2 * p.pad < p.kernel {
+        return Err(TensorError::UnsupportedShape(format!("kernel {} larger than padded input {s}", p.kernel)));
+    }
+    let out_c = ws.n();
+    if let Some(b) = bias {
+        if b.numel() != out_c {
+            return Err(TensorError::ShapeMismatch { left: b.shape(), right: Shape::vector(out_c) });
+        }
+    }
+    let out = p.out_shape(s, out_c);
+    let (oh, ow) = (out.h(), out.w());
+    let ckk = s.c() * p.kernel * p.kernel;
+    let mut y = Tensor::zeros(out);
+    let per_image = out_c * oh * ow;
+    // Images are independent; fan the minibatch out over worker threads.
+    let chunks: Vec<(usize, &mut [f32])> =
+        y.data_mut().chunks_mut(per_image).enumerate().collect();
+    std::thread::scope(|scope| {
+        let workers = worker_count(s.n());
+        for worker_chunks in split_work(chunks, workers) {
+            scope.spawn(move || {
+                for (n, dst) in worker_chunks {
+                    let cols = im2col(x, n, p, oh, ow);
+                    // weight viewed as [out_c, ckk] * cols [ckk, oh*ow]
+                    let prod = matmul(weight.data(), &cols, out_c, ckk, oh * ow);
+                    dst.copy_from_slice(&prod);
+                    if let Some(b) = bias {
+                        for k in 0..out_c {
+                            let bk = b.data()[k];
+                            for v in &mut dst[k * oh * ow..(k + 1) * oh * ow] {
+                                *v += bk;
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    Ok(y)
+}
+
+/// Number of worker threads for a minibatch of `n` images.
+fn worker_count(n: usize) -> usize {
+    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    cores.min(n).max(1)
+}
+
+/// Splits per-image work items round-robin across `workers` buckets.
+fn split_work<T>(items: Vec<T>, workers: usize) -> Vec<Vec<T>> {
+    let mut buckets: Vec<Vec<T>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        buckets[i % workers].push(item);
+    }
+    buckets
+}
+
+/// Gradients produced by the convolution backward pass.
+#[derive(Debug, Clone)]
+pub struct ConvGrads {
+    /// Gradient w.r.t. the input feature map.
+    pub dx: Tensor,
+    /// Gradient w.r.t. the weights.
+    pub dw: Tensor,
+    /// Gradient w.r.t. the bias (per output channel).
+    pub db: Tensor,
+}
+
+/// Convolution backward pass.
+///
+/// Requires the stashed input `x` — the dependency that motivates SSDC.
+///
+/// # Errors
+///
+/// Returns an error if `dy`'s shape is inconsistent with `x`/`weight`/`p`.
+pub fn backward(
+    x: &Tensor,
+    weight: &Tensor,
+    dy: &Tensor,
+    p: ConvParams,
+) -> Result<ConvGrads, TensorError> {
+    let s = x.shape();
+    let ws = weight.shape();
+    let out_c = ws.n();
+    let expected = p.out_shape(s, out_c);
+    if dy.shape() != expected {
+        return Err(TensorError::ShapeMismatch { left: dy.shape(), right: expected });
+    }
+    let (oh, ow) = (expected.h(), expected.w());
+    let ckk = s.c() * p.kernel * p.kernel;
+    let mut dx = Tensor::zeros(s);
+    let mut dw = Tensor::zeros(ws);
+    let mut db = Tensor::zeros(Shape::vector(out_c));
+    let per_dx = s.c() * s.h() * s.w();
+    let dx_chunks: Vec<(usize, &mut [f32])> =
+        dx.data_mut().chunks_mut(per_dx).enumerate().collect();
+    // Each worker accumulates private dW/db partials; images are disjoint
+    // in dX, so those chunks are written directly.
+    let partials: Vec<(Vec<f32>, Vec<f32>)> = std::thread::scope(|scope| {
+        let workers = worker_count(s.n());
+        let handles: Vec<_> = split_work(dx_chunks, workers)
+            .into_iter()
+            .map(|worker_chunks| {
+                scope.spawn(move || {
+                    let mut dw_part = vec![0.0f32; ws.numel()];
+                    let mut db_part = vec![0.0f32; out_c];
+                    for (n, dst) in worker_chunks {
+                        let cols = im2col(x, n, p, oh, ow);
+                        let dy_n =
+                            &dy.data()[n * out_c * oh * ow..(n + 1) * out_c * oh * ow];
+                        let dwn = matmul_a_bt(dy_n, &cols, out_c, oh * ow, ckk);
+                        for (a, b) in dw_part.iter_mut().zip(&dwn) {
+                            *a += b;
+                        }
+                        let dcols = matmul_at_b(weight.data(), dy_n, ckk, out_c, oh * ow);
+                        col2im_slice(&dcols, dst, s, p, oh, ow);
+                        for k in 0..out_c {
+                            db_part[k] +=
+                                dy_n[k * oh * ow..(k + 1) * oh * ow].iter().sum::<f32>();
+                        }
+                    }
+                    (dw_part, db_part)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("conv worker panicked")).collect()
+    });
+    for (dw_part, db_part) in partials {
+        for (a, b) in dw.data_mut().iter_mut().zip(&dw_part) {
+            *a += b;
+        }
+        for (a, b) in db.data_mut().iter_mut().zip(&db_part) {
+            *a += b;
+        }
+    }
+    Ok(ConvGrads { dx, dw, db })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_kernel_passes_through() {
+        // 1x1 kernel with weight 1.0 is identity.
+        let x = Tensor::from_vec(Shape::nchw(1, 1, 2, 2), vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let w = Tensor::from_vec(Shape::nchw(1, 1, 1, 1), vec![1.0]).unwrap();
+        let y = forward(&x, &w, None, ConvParams::new(1, 1, 0)).unwrap();
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn known_3x3_convolution() {
+        // 3x3 input, 3x3 sum kernel, no pad -> single output = sum of input.
+        let x = Tensor::from_vec(Shape::nchw(1, 1, 3, 3), (1..=9).map(|v| v as f32).collect()).unwrap();
+        let w = Tensor::full(Shape::nchw(1, 1, 3, 3), 1.0);
+        let y = forward(&x, &w, None, ConvParams::new(3, 1, 0)).unwrap();
+        assert_eq!(y.data(), &[45.0]);
+    }
+
+    #[test]
+    fn bias_is_added_per_channel() {
+        let x = Tensor::full(Shape::nchw(1, 1, 2, 2), 0.0);
+        let w = Tensor::full(Shape::nchw(2, 1, 1, 1), 1.0);
+        let b = Tensor::from_vec(Shape::vector(2), vec![0.5, -1.5]).unwrap();
+        let y = forward(&x, &w, Some(&b), ConvParams::new(1, 1, 0)).unwrap();
+        assert_eq!(y.shape(), Shape::nchw(1, 2, 2, 2));
+        assert_eq!(&y.data()[..4], &[0.5; 4]);
+        assert_eq!(&y.data()[4..], &[-1.5; 4]);
+    }
+
+    #[test]
+    fn padding_preserves_spatial_size() {
+        let x = Tensor::full(Shape::nchw(2, 3, 8, 8), 1.0);
+        let w = Tensor::full(Shape::nchw(4, 3, 3, 3), 0.1);
+        let y = forward(&x, &w, None, ConvParams::new(3, 1, 1)).unwrap();
+        assert_eq!(y.shape(), Shape::nchw(2, 4, 8, 8));
+    }
+
+    /// Numerical gradient check: perturb each input/weight element and compare
+    /// against the analytic backward pass.
+    #[test]
+    fn gradient_check_small_conv() {
+        let p = ConvParams::new(3, 1, 1);
+        let x = crate::init::uniform(Shape::nchw(1, 2, 4, 4), -1.0, 1.0, 11);
+        let w = crate::init::uniform(Shape::nchw(3, 2, 3, 3), -0.5, 0.5, 13);
+        let y = forward(&x, &w, None, p).unwrap();
+        // loss = sum(y^2)/2, dy = y
+        let grads = backward(&x, &w, &y, p).unwrap();
+        let loss = |x: &Tensor, w: &Tensor| -> f64 {
+            let y = forward(x, w, None, p).unwrap();
+            y.data().iter().map(|&v| (v as f64) * (v as f64) / 2.0).sum()
+        };
+        let eps = 1e-3f32;
+        for idx in [0usize, 5, 17, 31] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let num = (loss(&xp, &w) - loss(&xm, &w)) / (2.0 * eps as f64);
+            let ana = grads.dx.data()[idx] as f64;
+            assert!((num - ana).abs() < 1e-2, "dx[{idx}]: num {num} vs ana {ana}");
+        }
+        for idx in [0usize, 9, 26, 53] {
+            let mut wp = w.clone();
+            wp.data_mut()[idx] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[idx] -= eps;
+            let num = (loss(&x, &wp) - loss(&x, &wm)) / (2.0 * eps as f64);
+            let ana = grads.dw.data()[idx] as f64;
+            assert!((num - ana).abs() < 1e-2, "dw[{idx}]: num {num} vs ana {ana}");
+        }
+    }
+
+    #[test]
+    fn bias_gradient_sums_dy() {
+        let p = ConvParams::new(1, 1, 0);
+        let x = Tensor::full(Shape::nchw(2, 1, 2, 2), 1.0);
+        let w = Tensor::full(Shape::nchw(1, 1, 1, 1), 1.0);
+        let dy = Tensor::full(Shape::nchw(2, 1, 2, 2), 0.5);
+        let g = backward(&x, &w, &dy, p).unwrap();
+        assert_eq!(g.db.data(), &[4.0]); // 8 positions * 0.5
+    }
+
+    #[test]
+    fn rejects_channel_mismatch() {
+        let x = Tensor::zeros(Shape::nchw(1, 3, 4, 4));
+        let w = Tensor::zeros(Shape::nchw(2, 4, 3, 3));
+        assert!(forward(&x, &w, None, ConvParams::new(3, 1, 1)).is_err());
+    }
+
+    #[test]
+    fn conv_params_out_shape() {
+        // AlexNet conv1: 224x224, k=11, s=4, pad=2 -> 55x55
+        assert_eq!(ConvParams::new(11, 4, 2).out_hw(224, 224), (55, 55));
+        // VGG conv: 3x3 s1 p1 preserves
+        assert_eq!(ConvParams::new(3, 1, 1).out_hw(112, 112), (112, 112));
+    }
+}

@@ -1,0 +1,131 @@
+//! Structural ops: residual addition (ResNet) and channel concatenation
+//! (Inception).
+
+use crate::{Shape, Tensor, TensorError};
+
+/// Residual addition forward: `Y = A + B`.
+///
+/// # Errors
+///
+/// Returns an error on shape mismatch.
+pub fn add_forward(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    a.add(b)
+}
+
+/// Residual addition backward: the gradient flows unchanged to both inputs.
+pub fn add_backward(dy: &Tensor) -> (Tensor, Tensor) {
+    (dy.clone(), dy.clone())
+}
+
+/// Concatenation of tensors along the channel dimension.
+///
+/// # Errors
+///
+/// Returns an error if inputs disagree on N/H/W or the list is empty.
+pub fn concat_forward(inputs: &[&Tensor]) -> Result<Tensor, TensorError> {
+    let first = inputs
+        .first()
+        .ok_or_else(|| TensorError::UnsupportedShape("concat of zero tensors".into()))?;
+    let s0 = first.shape();
+    let mut total_c = 0;
+    for t in inputs {
+        let s = t.shape();
+        if s.n() != s0.n() || s.h() != s0.h() || s.w() != s0.w() {
+            return Err(TensorError::ShapeMismatch { left: s, right: s0 });
+        }
+        total_c += s.c();
+    }
+    let out_shape = Shape::nchw(s0.n(), total_c, s0.h(), s0.w());
+    let mut y = Tensor::zeros(out_shape);
+    let plane = s0.h() * s0.w();
+    for n in 0..s0.n() {
+        let mut c_off = 0;
+        for t in inputs {
+            let c = t.shape().c();
+            let src = &t.data()[n * c * plane..(n + 1) * c * plane];
+            let dst_start = (n * total_c + c_off) * plane;
+            y.data_mut()[dst_start..dst_start + c * plane].copy_from_slice(src);
+            c_off += c;
+        }
+    }
+    Ok(y)
+}
+
+/// Concatenation backward: splits `dy` back into per-input gradients.
+///
+/// # Errors
+///
+/// Returns an error if the channel sum of `input_shapes` differs from `dy`.
+pub fn concat_backward(dy: &Tensor, input_shapes: &[Shape]) -> Result<Vec<Tensor>, TensorError> {
+    let s = dy.shape();
+    let total_c: usize = input_shapes.iter().map(|sh| sh.c()).sum();
+    if total_c != s.c() {
+        return Err(TensorError::UnsupportedShape(format!(
+            "concat backward: channel sum {total_c} != dy channels {}",
+            s.c()
+        )));
+    }
+    let plane = s.h() * s.w();
+    let mut grads: Vec<Tensor> = input_shapes.iter().map(|&sh| Tensor::zeros(sh)).collect();
+    for n in 0..s.n() {
+        let mut c_off = 0;
+        for (g, sh) in grads.iter_mut().zip(input_shapes) {
+            let c = sh.c();
+            let src_start = (n * total_c + c_off) * plane;
+            let dst_start = n * c * plane;
+            g.data_mut()[dst_start..dst_start + c * plane]
+                .copy_from_slice(&dy.data()[src_start..src_start + c * plane]);
+            c_off += c;
+        }
+    }
+    Ok(grads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_roundtrip() {
+        let a = Tensor::full(Shape::nchw(1, 1, 2, 2), 1.0);
+        let b = Tensor::full(Shape::nchw(1, 1, 2, 2), 2.0);
+        let y = add_forward(&a, &b).unwrap();
+        assert_eq!(y.data(), &[3.0; 4]);
+        let (da, db) = add_backward(&y);
+        assert_eq!(da, y);
+        assert_eq!(db, y);
+    }
+
+    #[test]
+    fn concat_then_split_is_identity() {
+        let a = crate::init::uniform(Shape::nchw(2, 3, 4, 4), -1.0, 1.0, 1);
+        let b = crate::init::uniform(Shape::nchw(2, 5, 4, 4), -1.0, 1.0, 2);
+        let y = concat_forward(&[&a, &b]).unwrap();
+        assert_eq!(y.shape(), Shape::nchw(2, 8, 4, 4));
+        let parts = concat_backward(&y, &[a.shape(), b.shape()]).unwrap();
+        assert_eq!(parts[0], a);
+        assert_eq!(parts[1], b);
+    }
+
+    #[test]
+    fn concat_preserves_channel_order() {
+        let a = Tensor::full(Shape::nchw(1, 1, 1, 2), 1.0);
+        let b = Tensor::full(Shape::nchw(1, 2, 1, 2), 2.0);
+        let y = concat_forward(&[&a, &b]).unwrap();
+        assert_eq!(y.data(), &[1.0, 1.0, 2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn concat_rejects_spatial_mismatch_and_empty() {
+        let a = Tensor::zeros(Shape::nchw(1, 1, 2, 2));
+        let b = Tensor::zeros(Shape::nchw(1, 1, 3, 3));
+        assert!(concat_forward(&[&a, &b]).is_err());
+        assert!(concat_forward(&[]).is_err());
+    }
+
+    #[test]
+    fn concat_backward_validates_channels() {
+        let dy = Tensor::zeros(Shape::nchw(1, 4, 2, 2));
+        assert!(concat_backward(&dy, &[Shape::nchw(1, 1, 2, 2)]).is_err());
+    }
+}

@@ -1,0 +1,145 @@
+//! Fully-connected (inner-product) layer.
+//!
+//! Activations are `[N, F]` matrices (stored as degenerate NCHW); weights are
+//! `[F_out, F_in]`. Like convolution, the backward pass needs the stashed
+//! input to form weight gradients, so FC inputs fall in the paper's "Others"
+//! stash category (DPR-eligible).
+
+use crate::ops::matmul::{matmul_a_bt, matmul_at_b};
+use crate::{Shape, Tensor, TensorError};
+
+/// Forward pass: `Y[N, F_out] = X[N, F_in] * W^T + b`.
+///
+/// # Errors
+///
+/// Returns an error if `x`'s flattened feature count differs from `F_in` or
+/// the bias length differs from `F_out`.
+pub fn forward(x: &Tensor, weight: &Tensor, bias: Option<&Tensor>) -> Result<Tensor, TensorError> {
+    let (n, f_in) = x.shape().as_matrix();
+    let (f_out, wf_in) = weight.shape().as_matrix();
+    if wf_in != f_in {
+        return Err(TensorError::ShapeMismatch { left: x.shape(), right: weight.shape() });
+    }
+    if let Some(b) = bias {
+        if b.numel() != f_out {
+            return Err(TensorError::ShapeMismatch { left: b.shape(), right: Shape::vector(f_out) });
+        }
+    }
+    let mut y = matmul_a_bt(x.data(), weight.data(), n, f_in, f_out);
+    if let Some(b) = bias {
+        for row in y.chunks_mut(f_out) {
+            for (v, bv) in row.iter_mut().zip(b.data()) {
+                *v += bv;
+            }
+        }
+    }
+    Tensor::from_vec(Shape::matrix(n, f_out), y)
+}
+
+/// Gradients from the fully-connected backward pass.
+#[derive(Debug, Clone)]
+pub struct LinearGrads {
+    /// Gradient w.r.t. the input.
+    pub dx: Tensor,
+    /// Gradient w.r.t. the weight matrix.
+    pub dw: Tensor,
+    /// Gradient w.r.t. the bias.
+    pub db: Tensor,
+}
+
+/// Backward pass. `x` is the stashed input, `dy` is `[N, F_out]`.
+///
+/// # Errors
+///
+/// Returns an error on dimension mismatch.
+pub fn backward(x: &Tensor, weight: &Tensor, dy: &Tensor) -> Result<LinearGrads, TensorError> {
+    let (n, f_in) = x.shape().as_matrix();
+    let (f_out, wf_in) = weight.shape().as_matrix();
+    let (dn, df) = dy.shape().as_matrix();
+    if wf_in != f_in || dn != n || df != f_out {
+        return Err(TensorError::ShapeMismatch { left: dy.shape(), right: weight.shape() });
+    }
+    // dX[N, F_in] = dY[N, F_out] * W[F_out, F_in]
+    let dx = crate::ops::matmul::matmul(dy.data(), weight.data(), n, f_out, f_in);
+    // dW[F_out, F_in] = dY^T[F_out, N] * X[N, F_in]
+    let dw = matmul_at_b(dy.data(), x.data(), f_out, n, f_in);
+    let mut db = vec![0.0f32; f_out];
+    for row in dy.data().chunks(f_out) {
+        for (d, v) in db.iter_mut().zip(row) {
+            *d += v;
+        }
+    }
+    Ok(LinearGrads {
+        dx: Tensor::from_vec(Shape::matrix(n, f_in), dx)?,
+        dw: Tensor::from_vec(weight.shape(), dw)?,
+        db: Tensor::from_vec(Shape::vector(f_out), db)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_known_values() {
+        // X = [1 2], W = [[1 0],[0 1],[1 1]], b = [0.5, 0.5, 0.5]
+        let x = Tensor::from_vec(Shape::matrix(1, 2), vec![1.0, 2.0]).unwrap();
+        let w = Tensor::from_vec(Shape::matrix(3, 2), vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]).unwrap();
+        let b = Tensor::from_vec(Shape::vector(3), vec![0.5; 3]).unwrap();
+        let y = forward(&x, &w, Some(&b)).unwrap();
+        assert_eq!(y.data(), &[1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn forward_accepts_nchw_input() {
+        // Conv output [1, 2, 1, 1] flattens to 2 features.
+        let x = Tensor::from_vec(Shape::nchw(1, 2, 1, 1), vec![3.0, 4.0]).unwrap();
+        let w = Tensor::from_vec(Shape::matrix(1, 2), vec![1.0, 1.0]).unwrap();
+        assert_eq!(forward(&x, &w, None).unwrap().data(), &[7.0]);
+    }
+
+    #[test]
+    fn gradient_check() {
+        let x = crate::init::uniform(Shape::matrix(3, 4), -1.0, 1.0, 5);
+        let w = crate::init::uniform(Shape::matrix(2, 4), -1.0, 1.0, 6);
+        let y = forward(&x, &w, None).unwrap();
+        let g = backward(&x, &w, &y).unwrap(); // loss = sum(y^2)/2
+        let loss = |x: &Tensor, w: &Tensor| -> f64 {
+            forward(x, w, None).unwrap().data().iter().map(|&v| (v as f64).powi(2) / 2.0).sum()
+        };
+        let eps = 1e-3f32;
+        for idx in 0..x.numel() {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let num = (loss(&xp, &w) - loss(&xm, &w)) / (2.0 * eps as f64);
+            assert!((num - g.dx.data()[idx] as f64).abs() < 1e-2);
+        }
+        for idx in 0..w.numel() {
+            let mut wp = w.clone();
+            wp.data_mut()[idx] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[idx] -= eps;
+            let num = (loss(&x, &wp) - loss(&x, &wm)) / (2.0 * eps as f64);
+            assert!((num - g.dw.data()[idx] as f64).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn db_sums_over_batch() {
+        let x = Tensor::full(Shape::matrix(4, 2), 1.0);
+        let w = Tensor::full(Shape::matrix(3, 2), 1.0);
+        let dy = Tensor::full(Shape::matrix(4, 3), 1.0);
+        let g = backward(&x, &w, &dy).unwrap();
+        assert_eq!(g.db.data(), &[4.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn rejects_feature_mismatch() {
+        let x = Tensor::zeros(Shape::matrix(1, 3));
+        let w = Tensor::zeros(Shape::matrix(2, 4));
+        assert!(forward(&x, &w, None).is_err());
+        assert!(backward(&x, &w, &Tensor::zeros(Shape::matrix(1, 2))).is_err());
+    }
+}

@@ -1,0 +1,178 @@
+//! Local Response Normalization (cross-channel), as used by the original
+//! AlexNet and NiN.
+//!
+//! `y[c] = x[c] / (k + alpha/size * sum_{c' in win(c)} x[c']^2)^beta` with a
+//! channel window of `size` centred on `c`.
+
+use crate::{Tensor, TensorError};
+
+/// LRN hyperparameters (AlexNet defaults: size 5, alpha 1e-4, beta 0.75,
+/// k 2.0).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LrnParams {
+    /// Cross-channel window size.
+    pub size: usize,
+    /// Scale of the squared-sum term.
+    pub alpha: f32,
+    /// Exponent.
+    pub beta: f32,
+    /// Additive constant.
+    pub k: f32,
+}
+
+impl LrnParams {
+    /// AlexNet's published constants.
+    pub fn alexnet() -> Self {
+        LrnParams { size: 5, alpha: 1e-4, beta: 0.75, k: 2.0 }
+    }
+}
+
+fn window(c: usize, channels: usize, size: usize) -> (usize, usize) {
+    let half = size / 2;
+    let lo = c.saturating_sub(half);
+    let hi = (c + half).min(channels - 1);
+    (lo, hi)
+}
+
+/// Per-position squared-sum denominators `s[c] = k + alpha/size * sum x^2`.
+fn denominators(x: &Tensor, p: LrnParams) -> Vec<f32> {
+    let s = x.shape();
+    let mut den = vec![0.0f32; x.numel()];
+    for n in 0..s.n() {
+        for h in 0..s.h() {
+            for w in 0..s.w() {
+                for c in 0..s.c() {
+                    let (lo, hi) = window(c, s.c(), p.size);
+                    let mut acc = 0.0;
+                    for cc in lo..=hi {
+                        let v = x.at(n, cc, h, w);
+                        acc += v * v;
+                    }
+                    den[s.index(n, c, h, w)] = p.k + p.alpha / p.size as f32 * acc;
+                }
+            }
+        }
+    }
+    den
+}
+
+/// Forward pass.
+///
+/// # Errors
+///
+/// Returns an error if `size` is zero or the input has no channels.
+pub fn forward(x: &Tensor, p: LrnParams) -> Result<Tensor, TensorError> {
+    if p.size == 0 || x.shape().c() == 0 {
+        return Err(TensorError::UnsupportedShape(format!(
+            "lrn size {} on {}",
+            p.size,
+            x.shape()
+        )));
+    }
+    let den = denominators(x, p);
+    let data = x
+        .data()
+        .iter()
+        .zip(&den)
+        .map(|(&v, &d)| v / d.powf(p.beta))
+        .collect();
+    Tensor::from_vec(x.shape(), data)
+}
+
+/// Backward pass from the stashed input.
+///
+/// `dx[i] = dy[i]*s[i]^-beta - (2*alpha*beta/size) * x[i] *
+///          sum_{c in win(i)} dy[c]*y[c]/s[c]`
+///
+/// # Errors
+///
+/// Returns an error on shape mismatch.
+pub fn backward(x: &Tensor, dy: &Tensor, p: LrnParams) -> Result<Tensor, TensorError> {
+    let s = x.shape();
+    if dy.shape() != s {
+        return Err(TensorError::ShapeMismatch { left: dy.shape(), right: s });
+    }
+    let den = denominators(x, p);
+    // ratio[c] = dy[c]*y[c]/s[c] = dy[c]*x[c]*s[c]^(-beta-1)
+    let ratio: Vec<f32> = (0..x.numel())
+        .map(|i| dy.data()[i] * x.data()[i] * den[i].powf(-p.beta - 1.0))
+        .collect();
+    let mut dx = Tensor::zeros(s);
+    let scale = 2.0 * p.alpha * p.beta / p.size as f32;
+    for n in 0..s.n() {
+        for h in 0..s.h() {
+            for w in 0..s.w() {
+                for c in 0..s.c() {
+                    let i = s.index(n, c, h, w);
+                    let (lo, hi) = window(c, s.c(), p.size);
+                    let mut acc = 0.0;
+                    for cc in lo..=hi {
+                        acc += ratio[s.index(n, cc, h, w)];
+                    }
+                    dx.data_mut()[i] =
+                        dy.data()[i] * den[i].powf(-p.beta) - scale * x.data()[i] * acc;
+                }
+            }
+        }
+    }
+    Ok(dx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Shape;
+
+    #[test]
+    fn forward_normalizes_toward_smaller_magnitudes() {
+        let x = Tensor::full(Shape::nchw(1, 8, 2, 2), 10.0);
+        let y = forward(&x, LrnParams::alexnet()).unwrap();
+        assert!(y.data().iter().all(|&v| v > 0.0 && v < 10.0));
+    }
+
+    #[test]
+    fn small_inputs_pass_nearly_unchanged() {
+        // With tiny activations the denominator is ~k^beta, a constant.
+        let x = Tensor::full(Shape::nchw(1, 4, 1, 1), 1e-3);
+        let p = LrnParams::alexnet();
+        let y = forward(&x, p).unwrap();
+        let expected = 1e-3 / p.k.powf(p.beta);
+        for &v in y.data() {
+            assert!((v - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gradient_check() {
+        let p = LrnParams { size: 3, alpha: 0.1, beta: 0.75, k: 1.0 };
+        let x = crate::init::uniform(Shape::nchw(1, 5, 2, 2), 0.2, 1.5, 77);
+        let y = forward(&x, p).unwrap();
+        let dx = backward(&x, &y, p).unwrap(); // loss = sum(y^2)/2
+        let loss = |x: &Tensor| -> f64 {
+            forward(x, p).unwrap().data().iter().map(|&v| (v as f64).powi(2) / 2.0).sum()
+        };
+        let eps = 1e-3f32;
+        for idx in [0usize, 4, 9, 13, 19] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let num = (loss(&xp) - loss(&xm)) / (2.0 * eps as f64);
+            let ana = dx.data()[idx] as f64;
+            assert!((num - ana).abs() < 2e-3, "dx[{idx}]: {num} vs {ana}");
+        }
+    }
+
+    #[test]
+    fn window_clamps_at_channel_edges() {
+        assert_eq!(window(0, 8, 5), (0, 2));
+        assert_eq!(window(4, 8, 5), (2, 6));
+        assert_eq!(window(7, 8, 5), (5, 7));
+    }
+
+    #[test]
+    fn rejects_zero_window() {
+        let x = Tensor::zeros(Shape::nchw(1, 2, 2, 2));
+        assert!(forward(&x, LrnParams { size: 0, alpha: 1.0, beta: 1.0, k: 1.0 }).is_err());
+    }
+}

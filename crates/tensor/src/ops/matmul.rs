@@ -1,0 +1,113 @@
+//! Dense matrix multiplication helpers.
+//!
+//! These back the convolution (im2col) and fully-connected kernels. The
+//! paper's SSDC encoding is explicitly "sparse storage, dense compute":
+//! stashed data is decoded back to dense before being fed to these kernels.
+
+/// `C[m x n] = A[m x k] * B[k x n]`, row-major.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the given dimensions.
+pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "lhs length");
+    assert_eq!(b.len(), k * n, "rhs length");
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        for p in 0..k {
+            let av = a[i * k + p];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            let crow = &mut c[i * n..(i + 1) * n];
+            for (cv, bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+    }
+    c
+}
+
+/// `C[m x n] = A^T[m x k] * B[k x n]` where `A` is stored as `[k x m]`.
+pub fn matmul_at_b(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    assert_eq!(a.len(), k * m, "lhs length");
+    assert_eq!(b.len(), k * n, "rhs length");
+    let mut c = vec![0.0f32; m * n];
+    for p in 0..k {
+        let arow = &a[p * m..(p + 1) * m];
+        let brow = &b[p * n..(p + 1) * n];
+        for i in 0..m {
+            let av = arow[i];
+            if av == 0.0 {
+                continue;
+            }
+            let crow = &mut c[i * n..(i + 1) * n];
+            for (cv, bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+    }
+    c
+}
+
+/// `C[m x n] = A[m x k] * B^T[k x n]` where `B` is stored as `[n x k]`.
+pub fn matmul_a_bt(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "lhs length");
+    assert_eq!(b.len(), n * k, "rhs length");
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0;
+            for (av, bv) in arow.iter().zip(brow) {
+                acc += av * bv;
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small_identity() {
+        // [1 2; 3 4] * I = same
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let eye = vec![1.0, 0.0, 0.0, 1.0];
+        assert_eq!(matmul(&a, &eye, 2, 2, 2), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        // [1 2 3; 4 5 6] * [7 8; 9 10; 11 12] = [58 64; 139 154]
+        let a = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let b = vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0];
+        assert_eq!(matmul(&a, &b, 2, 3, 2), vec![58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn transposed_variants_agree_with_plain() {
+        let a = vec![1.0, -2.0, 0.5, 3.0, 4.0, -1.0]; // 2x3
+        let b = vec![2.0, 0.0, 1.0, -1.0, 0.5, 2.0]; // 3x2
+        let c = matmul(&a, &b, 2, 3, 2);
+
+        // a stored transposed as 3x2 -> use matmul_at_b
+        let at = vec![1.0, 3.0, -2.0, 4.0, 0.5, -1.0];
+        assert_eq!(matmul_at_b(&at, &b, 2, 3, 2), c);
+
+        // b stored transposed as 2x3 -> use matmul_a_bt
+        let bt = vec![2.0, 1.0, 0.5, 0.0, -1.0, 2.0];
+        assert_eq!(matmul_a_bt(&a, &bt, 2, 3, 2), c);
+    }
+
+    #[test]
+    #[should_panic(expected = "lhs length")]
+    fn matmul_checks_dims() {
+        matmul(&[1.0], &[1.0], 2, 2, 2);
+    }
+}

@@ -1,0 +1,98 @@
+//! ReLU forward and backward.
+//!
+//! The backward kernel is the heart of the paper's Binarize insight
+//! (Figure 4(b)): `dX[i] = dY[i] if Y[i] > 0 else 0`. Only the *sign* of the
+//! stashed output is needed, so a 1-bit representation suffices when the
+//! consumer layer (Pool) does not need the actual values.
+
+use crate::Tensor;
+
+/// Forward pass: `Y = max(X, 0)`.
+pub fn forward(x: &Tensor) -> Tensor {
+    let data = x.data().iter().map(|&v| if v > 0.0 { v } else { 0.0 }).collect();
+    Tensor::from_vec(x.shape(), data).expect("same shape")
+}
+
+/// In-place forward pass, reusing the input buffer.
+///
+/// This models the paper's *inplace computation* optimization (Section III-C):
+/// ReLU has a read-once/write-once property per element, so the convolution
+/// output buffer can be overwritten, removing one immediately-consumed
+/// data structure.
+pub fn forward_inplace(x: &mut Tensor) {
+    for v in x.data_mut() {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+}
+
+/// Backward pass from the stashed output: `dX = dY ⊙ [Y > 0]`.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn backward(y: &Tensor, dy: &Tensor) -> Tensor {
+    assert_eq!(y.shape(), dy.shape(), "relu backward shapes");
+    let data = y
+        .data()
+        .iter()
+        .zip(dy.data())
+        .map(|(&yv, &dv)| if yv > 0.0 { dv } else { 0.0 })
+        .collect();
+    Tensor::from_vec(y.shape(), data).expect("same shape")
+}
+
+/// Backward pass from a 1-bit positivity mask instead of the full `Y`.
+///
+/// `mask[i]` is true iff `Y[i] > 0`; this is exactly what Gist's Binarize
+/// encoding stashes. Bit-exact equivalent of [`backward`].
+///
+/// # Panics
+///
+/// Panics if `mask.len() != dy.numel()`.
+pub fn backward_from_mask(mask: &[bool], dy: &Tensor) -> Tensor {
+    assert_eq!(mask.len(), dy.numel(), "mask length");
+    let data = mask
+        .iter()
+        .zip(dy.data())
+        .map(|(&m, &dv)| if m { dv } else { 0.0 })
+        .collect();
+    Tensor::from_vec(dy.shape(), data).expect("same shape")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Shape;
+
+    #[test]
+    fn forward_clamps_negatives() {
+        let x = Tensor::from_vec(Shape::vector(4), vec![-1.0, 0.0, 2.0, -0.5]).unwrap();
+        assert_eq!(forward(&x).data(), &[0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn forward_inplace_matches_forward() {
+        let x = Tensor::from_vec(Shape::vector(5), vec![-1.0, 3.0, 0.0, -7.0, 0.25]).unwrap();
+        let y = forward(&x);
+        let mut xi = x;
+        forward_inplace(&mut xi);
+        assert_eq!(xi, y);
+    }
+
+    #[test]
+    fn backward_masks_by_positive_output() {
+        let y = Tensor::from_vec(Shape::vector(4), vec![0.0, 1.0, 0.0, 3.0]).unwrap();
+        let dy = Tensor::from_vec(Shape::vector(4), vec![5.0, 6.0, 7.0, 8.0]).unwrap();
+        assert_eq!(backward(&y, &dy).data(), &[0.0, 6.0, 0.0, 8.0]);
+    }
+
+    #[test]
+    fn backward_from_mask_is_bit_exact_with_backward() {
+        let y = Tensor::from_vec(Shape::vector(6), vec![0.0, 0.1, 2.5, 0.0, 9.0, 0.0]).unwrap();
+        let dy = Tensor::from_vec(Shape::vector(6), vec![1.0, -2.0, 3.0, -4.0, 5.0, -6.0]).unwrap();
+        let mask: Vec<bool> = y.data().iter().map(|&v| v > 0.0).collect();
+        assert_eq!(backward_from_mask(&mask, &dy), backward(&y, &dy));
+    }
+}

@@ -1,0 +1,143 @@
+//! Softmax and cross-entropy loss over `[N, classes]` logits.
+
+use crate::{Shape, Tensor, TensorError};
+
+/// Row-wise numerically-stable softmax.
+pub fn softmax(logits: &Tensor) -> Tensor {
+    let (n, k) = logits.shape().as_matrix();
+    let mut out = vec![0.0f32; n * k];
+    for (orow, irow) in out.chunks_mut(k).zip(logits.data().chunks(k)) {
+        let max = irow.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for (o, &v) in orow.iter_mut().zip(irow) {
+            *o = (v - max).exp();
+            sum += *o;
+        }
+        for o in orow.iter_mut() {
+            *o /= sum;
+        }
+    }
+    Tensor::from_vec(Shape::matrix(n, k), out).expect("same volume")
+}
+
+/// Mean cross-entropy loss and its gradient w.r.t. the logits
+/// (`(softmax - onehot) / N`), plus the number of correct top-1 predictions.
+#[derive(Debug, Clone)]
+pub struct SoftmaxLoss {
+    /// Mean negative log-likelihood over the minibatch.
+    pub loss: f32,
+    /// Gradient with respect to the logits.
+    pub dlogits: Tensor,
+    /// Count of rows whose argmax equals the label.
+    pub correct: usize,
+}
+
+/// Computes softmax cross-entropy against integer labels.
+///
+/// # Errors
+///
+/// Returns an error if `labels.len()` differs from the minibatch size or any
+/// label is out of range.
+pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<SoftmaxLoss, TensorError> {
+    let (n, k) = logits.shape().as_matrix();
+    if labels.len() != n {
+        return Err(TensorError::UnsupportedShape(format!(
+            "{} labels for minibatch of {n}",
+            labels.len()
+        )));
+    }
+    if let Some(&bad) = labels.iter().find(|&&l| l >= k) {
+        return Err(TensorError::UnsupportedShape(format!("label {bad} out of range 0..{k}")));
+    }
+    let probs = softmax(logits);
+    let mut loss = 0.0f64;
+    let mut correct = 0usize;
+    let mut dl = probs.data().to_vec();
+    for (i, &label) in labels.iter().enumerate() {
+        let row = &probs.data()[i * k..(i + 1) * k];
+        loss -= (row[label].max(1e-12) as f64).ln();
+        let argmax = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probs"))
+            .map(|(j, _)| j)
+            .expect("non-empty row");
+        if argmax == label {
+            correct += 1;
+        }
+        dl[i * k + label] -= 1.0;
+    }
+    for v in &mut dl {
+        *v /= n as f32;
+    }
+    Ok(SoftmaxLoss {
+        loss: (loss / n as f64) as f32,
+        dlogits: Tensor::from_vec(Shape::matrix(n, k), dl)?,
+        correct,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = crate::init::uniform(Shape::matrix(5, 7), -3.0, 3.0, 2);
+        let p = softmax(&t);
+        for row in p.data().chunks(7) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(row.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = Tensor::from_vec(Shape::matrix(1, 3), vec![1.0, 2.0, 3.0]).unwrap();
+        let b = Tensor::from_vec(Shape::matrix(1, 3), vec![1001.0, 1002.0, 1003.0]).unwrap();
+        let (pa, pb) = (softmax(&a), softmax(&b));
+        assert!(pa.max_abs_diff(&pb) < 1e-6);
+        assert!(pb.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn cross_entropy_uniform_logits() {
+        let logits = Tensor::zeros(Shape::matrix(2, 4));
+        let out = cross_entropy(&logits, &[0, 3]).unwrap();
+        assert!((out.loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_check_cross_entropy() {
+        let logits = crate::init::uniform(Shape::matrix(2, 3), -1.0, 1.0, 33);
+        let labels = [2usize, 0];
+        let out = cross_entropy(&logits, &labels).unwrap();
+        let eps = 1e-3f32;
+        for idx in 0..logits.numel() {
+            let mut lp = logits.clone();
+            lp.data_mut()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[idx] -= eps;
+            let num = (cross_entropy(&lp, &labels).unwrap().loss
+                - cross_entropy(&lm, &labels).unwrap().loss)
+                / (2.0 * eps);
+            assert!((num - out.dlogits.data()[idx]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn counts_correct_predictions() {
+        let logits =
+            Tensor::from_vec(Shape::matrix(2, 2), vec![5.0, 0.0, 0.0, 5.0]).unwrap();
+        assert_eq!(cross_entropy(&logits, &[0, 1]).unwrap().correct, 2);
+        assert_eq!(cross_entropy(&logits, &[1, 0]).unwrap().correct, 0);
+    }
+
+    #[test]
+    fn rejects_bad_labels() {
+        let logits = Tensor::zeros(Shape::matrix(2, 3));
+        assert!(cross_entropy(&logits, &[0]).is_err());
+        assert!(cross_entropy(&logits, &[0, 9]).is_err());
+    }
+}

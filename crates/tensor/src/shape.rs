@@ -1,0 +1,148 @@
+//! Tensor shapes.
+//!
+//! All feature maps in this reproduction are 4-dimensional NCHW tensors
+//! (minibatch, channels, height, width); weights and fully-connected
+//! activations use the same container with degenerate spatial dimensions.
+
+use std::fmt;
+
+/// The shape of a tensor, up to four dimensions, stored NCHW.
+///
+/// ```
+/// use gist_tensor::Shape;
+/// let s = Shape::nchw(64, 3, 224, 224);
+/// assert_eq!(s.numel(), 64 * 3 * 224 * 224);
+/// assert_eq!(s.bytes_fp32(), s.numel() * 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: [usize; 4],
+}
+
+impl Shape {
+    /// Creates a 4-D NCHW shape.
+    pub fn nchw(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Shape { dims: [n, c, h, w] }
+    }
+
+    /// Creates a 2-D shape `(rows, cols)`, stored as `(rows, cols, 1, 1)`.
+    ///
+    /// This is the layout used for fully-connected activations and for the
+    /// 2-D matrices that SSDC reshapes before CSR conversion.
+    pub fn matrix(rows: usize, cols: usize) -> Self {
+        Shape { dims: [rows, cols, 1, 1] }
+    }
+
+    /// Creates a 1-D shape of `len` elements.
+    pub fn vector(len: usize) -> Self {
+        Shape { dims: [len, 1, 1, 1] }
+    }
+
+    /// Minibatch dimension.
+    pub fn n(&self) -> usize {
+        self.dims[0]
+    }
+
+    /// Channel dimension.
+    pub fn c(&self) -> usize {
+        self.dims[1]
+    }
+
+    /// Height dimension.
+    pub fn h(&self) -> usize {
+        self.dims[2]
+    }
+
+    /// Width dimension.
+    pub fn w(&self) -> usize {
+        self.dims[3]
+    }
+
+    /// All four dimensions in NCHW order.
+    pub fn dims(&self) -> [usize; 4] {
+        self.dims
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Size in bytes when stored as single-precision floats, the baseline
+    /// stash format in the paper.
+    pub fn bytes_fp32(&self) -> usize {
+        self.numel() * 4
+    }
+
+    /// Collapses the shape to a 2-D `(rows, cols)` view with `rows = n` and
+    /// `cols = c*h*w`.
+    ///
+    /// The paper notes that "most DNN frameworks store data structures in an
+    /// n-dimensional matrix, which can always be collapsed into two
+    /// dimensions"; SSDC operates on this view.
+    pub fn as_matrix(&self) -> (usize, usize) {
+        (self.dims[0], self.dims[1] * self.dims[2] * self.dims[3])
+    }
+
+    /// Linear index of element `(n, c, h, w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any coordinate is out of range.
+    #[inline]
+    pub fn index(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        debug_assert!(n < self.dims[0] && c < self.dims[1] && h < self.dims[2] && w < self.dims[3]);
+        ((n * self.dims[1] + c) * self.dims[2] + h) * self.dims[3] + w
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}x{}x{}x{}]",
+            self.dims[0], self.dims[1], self.dims[2], self.dims[3]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nchw_accessors() {
+        let s = Shape::nchw(2, 3, 4, 5);
+        assert_eq!((s.n(), s.c(), s.h(), s.w()), (2, 3, 4, 5));
+        assert_eq!(s.numel(), 120);
+        assert_eq!(s.bytes_fp32(), 480);
+    }
+
+    #[test]
+    fn matrix_view_collapses_chw() {
+        let s = Shape::nchw(64, 96, 55, 55);
+        assert_eq!(s.as_matrix(), (64, 96 * 55 * 55));
+    }
+
+    #[test]
+    fn index_is_row_major_nchw() {
+        let s = Shape::nchw(2, 2, 2, 2);
+        assert_eq!(s.index(0, 0, 0, 0), 0);
+        assert_eq!(s.index(0, 0, 0, 1), 1);
+        assert_eq!(s.index(0, 0, 1, 0), 2);
+        assert_eq!(s.index(0, 1, 0, 0), 4);
+        assert_eq!(s.index(1, 0, 0, 0), 8);
+        assert_eq!(s.index(1, 1, 1, 1), 15);
+    }
+
+    #[test]
+    fn vector_and_matrix_constructors() {
+        assert_eq!(Shape::vector(7).numel(), 7);
+        assert_eq!(Shape::matrix(3, 9).as_matrix(), (3, 9));
+    }
+
+    #[test]
+    fn display_formats_dims() {
+        assert_eq!(Shape::nchw(1, 2, 3, 4).to_string(), "[1x2x3x4]");
+    }
+}

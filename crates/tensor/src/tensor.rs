@@ -1,0 +1,201 @@
+//! The dense `f32` tensor container.
+
+use crate::{Shape, TensorError};
+
+/// A dense, row-major NCHW tensor of `f32` values.
+///
+/// This is the "full fidelity" representation the paper's forward pass always
+/// operates on; Gist's encodings replace it only during the temporal gap
+/// between a feature map's forward and backward uses.
+///
+/// ```
+/// use gist_tensor::{Shape, Tensor};
+/// let t = Tensor::zeros(Shape::nchw(1, 2, 2, 2));
+/// assert_eq!(t.numel(), 8);
+/// assert!(t.data().iter().all(|&v| v == 0.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(shape: Shape) -> Self {
+        Tensor { shape, data: vec![0.0; shape.numel()] }
+    }
+
+    /// Creates a tensor filled with a constant.
+    pub fn full(shape: Shape, value: f32) -> Self {
+        Tensor { shape, data: vec![value; shape.numel()] }
+    }
+
+    /// Creates a tensor from existing data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `data.len() != shape.numel()`.
+    pub fn from_vec(shape: Shape, data: Vec<f32>) -> Result<Self, TensorError> {
+        if data.len() != shape.numel() {
+            return Err(TensorError::LengthMismatch { expected: shape.numel(), actual: data.len() });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Read-only view of the underlying buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at NCHW coordinates.
+    #[inline]
+    pub fn at(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
+        self.data[self.shape.index(n, c, h, w)]
+    }
+
+    /// Sets the element at NCHW coordinates.
+    #[inline]
+    pub fn set(&mut self, n: usize, c: usize, h: usize, w: usize, v: f32) {
+        let i = self.shape.index(n, c, h, w);
+        self.data[i] = v;
+    }
+
+    /// Reinterprets the tensor under a new shape with the same element count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if the volumes differ.
+    pub fn reshape(mut self, shape: Shape) -> Result<Self, TensorError> {
+        if shape.numel() != self.data.len() {
+            return Err(TensorError::LengthMismatch { expected: shape.numel(), actual: self.data.len() });
+        }
+        self.shape = shape;
+        Ok(self)
+    }
+
+    /// Fraction of elements that are exactly zero.
+    ///
+    /// ReLU-induced sparsity of stashed feature maps is the enabling
+    /// observation behind the paper's SSDC encoding (Section III-A).
+    pub fn sparsity(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let zeros = self.data.iter().filter(|&&v| v == 0.0).count();
+        zeros as f64 / self.data.len() as f64
+    }
+
+    /// Elementwise sum of two same-shaped tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn add(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch { left: self.shape, right: other.shape });
+        }
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
+        Ok(Tensor { shape: self.shape, data })
+    }
+
+    /// In-place `self += scale * other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn add_scaled(&mut self, other: &Tensor, scale: f32) -> Result<(), TensorError> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch { left: self.shape, right: other.shape });
+        }
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += scale * b;
+        }
+        Ok(())
+    }
+
+    /// Maximum absolute elementwise difference between two tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape, other.shape, "max_abs_diff requires equal shapes");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_checks_length() {
+        let err = Tensor::from_vec(Shape::nchw(1, 1, 2, 2), vec![1.0]).unwrap_err();
+        assert_eq!(err, TensorError::LengthMismatch { expected: 4, actual: 1 });
+    }
+
+    #[test]
+    fn at_and_set_roundtrip() {
+        let mut t = Tensor::zeros(Shape::nchw(2, 3, 4, 5));
+        t.set(1, 2, 3, 4, 7.5);
+        assert_eq!(t.at(1, 2, 3, 4), 7.5);
+        assert_eq!(t.at(0, 0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn sparsity_counts_exact_zeros() {
+        let t = Tensor::from_vec(Shape::vector(4), vec![0.0, 1.0, 0.0, -2.0]).unwrap();
+        assert_eq!(t.sparsity(), 0.5);
+        assert_eq!(Tensor::zeros(Shape::vector(3)).sparsity(), 1.0);
+    }
+
+    #[test]
+    fn add_and_add_scaled() {
+        let a = Tensor::from_vec(Shape::vector(3), vec![1.0, 2.0, 3.0]).unwrap();
+        let b = Tensor::from_vec(Shape::vector(3), vec![10.0, 20.0, 30.0]).unwrap();
+        assert_eq!(a.add(&b).unwrap().data(), &[11.0, 22.0, 33.0]);
+        let mut c = a.clone();
+        c.add_scaled(&b, -0.1).unwrap();
+        assert_eq!(c.data(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn add_rejects_shape_mismatch() {
+        let a = Tensor::zeros(Shape::vector(3));
+        let b = Tensor::zeros(Shape::vector(4));
+        assert!(matches!(a.add(&b), Err(TensorError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(Shape::nchw(1, 1, 2, 2), vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let m = t.reshape(Shape::matrix(2, 2)).unwrap();
+        assert_eq!(m.data(), &[1.0, 2.0, 3.0, 4.0]);
+        assert!(Tensor::zeros(Shape::vector(4)).reshape(Shape::vector(5)).is_err());
+    }
+}

@@ -1,0 +1,33 @@
+//! Automate the paper's Section V-D1 methodology: find the smallest DPR
+//! format that trains as accurately as FP32, by running short pilot
+//! trainings (the authors did this by hand per network; VGG16 landed on
+//! FP16, Inception on FP10, AlexNet/Overfeat on FP8).
+//!
+//! ```sh
+//! cargo run --release --example autotune_precision
+//! ```
+
+use gist::runtime::{select_dpr_format, AutotuneConfig};
+
+fn main() {
+    let graph = gist::models::tiny_convnet(8, 3);
+    let config = AutotuneConfig::default();
+    println!(
+        "searching FP16 -> FP10 -> FP8 on {} ({} pilot epochs each)...\n",
+        graph.name(),
+        config.epochs
+    );
+    let result = select_dpr_format(&graph, (42, 7), config).expect("pilots run");
+    println!("{:<8} {:>22} {:>10}", "format", "max accuracy deviation", "accepted");
+    for (fmt, dev, accepted) in &result.candidates {
+        println!("{:<8} {:>22.4} {:>10}", fmt.label(), dev, if *accepted { "yes" } else { "no" });
+    }
+    match result.selected {
+        Some(f) => println!(
+            "\nselected {}: stash compression {}x with no accuracy cost",
+            f.label(),
+            32 / f.bits()
+        ),
+        None => println!("\nno lossy format acceptable; stay at FP32 (or FP16 stash only)"),
+    }
+}

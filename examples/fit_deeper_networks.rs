@@ -1,0 +1,50 @@
+//! The paper's motivating scenario (Sections I and V-G): GPU memory caps
+//! how deep a network you can train. This example sweeps ResNet depth at a
+//! fixed minibatch and reports the deepest network that fits in a 12 GB
+//! Titan X with and without Gist — "making it possible to fit a network
+//! that can be twice as large".
+//!
+//! ```sh
+//! cargo run --release --example fit_deeper_networks
+//! ```
+
+use gist::core::{GistConfig, ScheduleBuilder};
+use gist::encodings::DprFormat;
+use gist::memory::{plan_static, SharingPolicy};
+
+fn footprint(depth: usize, batch: usize, config: &GistConfig) -> usize {
+    let graph = gist::models::resnet_deep(depth, batch);
+    let t = ScheduleBuilder::new(*config).build(&graph).expect("resnet plans");
+    plan_static(&t.inventory, SharingPolicy::Full).total_bytes
+}
+
+fn deepest_fitting(batch: usize, budget: usize, config: &GistConfig) -> usize {
+    let mut best = 0;
+    let mut n = 8; // depth = 6n+2
+    while n <= 1000 {
+        let depth = 6 * n + 2;
+        if footprint(depth, batch, config) <= budget {
+            best = depth;
+        } else {
+            break;
+        }
+        n = (n as f64 * 1.3) as usize + 1;
+    }
+    best
+}
+
+fn main() {
+    let budget = 12usize << 30;
+    let batch = 256;
+    println!("deepest CIFAR ResNet trainable at minibatch {batch} in 12 GB:");
+    let base = deepest_fitting(batch, budget, &GistConfig::baseline());
+    let lossless = deepest_fitting(batch, budget, &GistConfig::lossless());
+    let lossy = deepest_fitting(batch, budget, &GistConfig::lossy(DprFormat::Fp16));
+    println!("  baseline        : ResNet-{base}");
+    println!("  Gist lossless   : ResNet-{lossless}");
+    println!("  Gist + FP16 DPR : ResNet-{lossy}");
+    println!(
+        "\nGist trains a {:.1}x deeper network in the same memory.",
+        lossy as f64 / base.max(1) as f64
+    );
+}

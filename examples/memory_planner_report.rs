@@ -1,0 +1,54 @@
+//! Inspect what the Schedule Builder and memory planner actually did to a
+//! network: per-stash encoding decisions, lifetime splits, and the final
+//! shared-region layout — the Figure 2 / Figure 7 mechanics on AlexNet.
+//!
+//! ```sh
+//! cargo run --release --example memory_planner_report
+//! ```
+
+use gist::core::{Gist, GistConfig};
+use gist::encodings::DprFormat;
+use gist::graph::{DataClass, TensorRole};
+use gist::memory::{plan_static, SharingPolicy};
+
+fn main() {
+    let graph = gist::models::alexnet(64);
+    let plan = Gist::new(GistConfig::lossy(DprFormat::Fp8)).plan(&graph).expect("alexnet plans");
+    let mb = |b: usize| b as f64 / (1u64 << 20) as f64;
+
+    println!("AlexNet (minibatch 64) under Gist lossless + FP8 DPR\n");
+    println!("{:<22} {:<12} {:>10} {:>14}", "stash", "encoding", "size", "lifetime");
+    for d in &plan.transformed.inventory {
+        if let TensorRole::Encoded { encoding, .. } = &d.role {
+            println!(
+                "{:<22} {:<12} {:>8.1}MB {:>7}..{:<6}",
+                d.name, encoding, mb(d.bytes), d.interval.start, d.interval.end
+            );
+        }
+    }
+
+    // The planner's region layout.
+    let scoped: Vec<_> = plan
+        .transformed
+        .inventory
+        .iter()
+        .filter(|d| {
+            matches!(
+                d.class,
+                DataClass::StashedFmap | DataClass::ImmediateFmap | DataClass::GradientMap
+            )
+        })
+        .cloned()
+        .collect();
+    let layout = plan_static(&scoped, SharingPolicy::Full);
+    println!("\nshared memory regions: {}", layout.groups.len());
+    for (i, g) in layout.groups.iter().enumerate().take(8) {
+        println!("  region {:>2}: {:>8.1} MB, {} residents", i, mb(g.bytes), g.members.len());
+    }
+    println!(
+        "\ntotal: {:.1} MB (baseline {:.1} MB, MFR {:.2}x)",
+        mb(plan.optimized_bytes),
+        mb(plan.baseline_bytes),
+        plan.mfr()
+    );
+}

@@ -1,0 +1,43 @@
+//! Quickstart: plan Gist's memory optimizations for VGG16 and print the
+//! footprint reduction.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use gist::prelude::*;
+
+fn main() {
+    // Build VGG16 at the paper's minibatch size.
+    let graph = gist::models::vgg16(64);
+
+    // Plan with all lossless optimizations (Binarize + SSDC + inplace).
+    let lossless = Gist::new(GistConfig::lossless()).plan(&graph).expect("vgg16 plans");
+    // And with DPR FP16 on top (the smallest format VGG16 tolerates).
+    let lossy = Gist::new(GistConfig::lossy(DprFormat::Fp16)).plan(&graph).expect("vgg16 plans");
+
+    let gb = |b: usize| b as f64 / (1u64 << 30) as f64;
+    println!("VGG16, minibatch 64");
+    println!("  CNTK baseline footprint : {:6.2} GB", gb(lossless.baseline_bytes));
+    println!(
+        "  Gist lossless           : {:6.2} GB  (MFR {:.2}x)",
+        gb(lossless.optimized_bytes),
+        lossless.mfr()
+    );
+    println!(
+        "  Gist lossless + FP16 DPR: {:6.2} GB  (MFR {:.2}x)",
+        gb(lossy.optimized_bytes),
+        lossy.mfr()
+    );
+
+    // Which encodings did the Schedule Builder pick?
+    println!("\nencoding assignments (first 10):");
+    for a in lossy.transformed.assignments.iter().take(10) {
+        println!(
+            "  {:<14} {:<10} -> {}",
+            graph.node(a.node).name,
+            a.kind.label(),
+            a.encoding.label()
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! Train a small CNN end-to-end with Gist's encodings active at runtime,
+//! and verify the paper's two accuracy claims on live training:
+//! the lossless encodings change *nothing* (bit-exact weights), and FP8
+//! DPR — quantizing only the backward-use copy — still learns the task.
+//!
+//! ```sh
+//! cargo run --release --example train_with_gist
+//! ```
+
+use gist::core::GistConfig;
+use gist::encodings::DprFormat;
+use gist::runtime::{train, ExecMode};
+
+fn main() {
+    let epochs = 5;
+    let run = |label: &str, mode: ExecMode| {
+        train(gist::models::tiny_convnet(16, 4), mode, label, 42, 7, epochs, 25, 16, 0.05, 0.5)
+            .expect("training runs")
+    };
+
+    let baseline = run("Baseline-FP32", ExecMode::Baseline);
+    let lossless = run("Gist-Lossless", ExecMode::Gist(GistConfig::lossless()));
+    let lossy = run("Gist-FP8", ExecMode::Gist(GistConfig::lossy(DprFormat::Fp8)));
+
+    println!("{:<16} {:>8} {:>8}", "run", "loss", "acc%");
+    for r in [&baseline, &lossless, &lossy] {
+        let last = r.epochs.last().expect("trained at least one epoch");
+        println!("{:<16} {:>8.4} {:>7.1}%", r.label, last.mean_loss, 100.0 * last.accuracy);
+    }
+
+    println!(
+        "\nlossless max accuracy deviation from FP32: {:.6} (expected exactly 0)",
+        lossless.max_accuracy_deviation(&baseline)
+    );
+    println!(
+        "FP8 DPR  max accuracy deviation from FP32: {:.6} (expected small)",
+        lossy.max_accuracy_deviation(&baseline)
+    );
+    assert_eq!(
+        lossless.max_accuracy_deviation(&baseline),
+        0.0,
+        "lossless encodings must be bit-exact"
+    );
+}

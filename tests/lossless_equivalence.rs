@@ -1,0 +1,262 @@
+//! The paper's central lossless claim, checked on live training: Binarize
+//! and SSDC must leave training *bit-exactly* unchanged — same losses, same
+//! gradients, same weights — on every architecture family.
+
+use gist::core::GistConfig;
+use gist::encodings::DprFormat;
+use gist::runtime::{ExecMode, Executor, SyntheticImages};
+use gist::tensor::Tensor;
+
+fn train_losses(
+    graph: gist::graph::Graph,
+    mode: ExecMode,
+    channels: usize,
+    size: usize,
+    classes: usize,
+    steps: usize,
+) -> Vec<f32> {
+    let batch = 4;
+    let mut exec = Executor::new(graph, mode, 11).unwrap();
+    let mut ds = if channels == 3 {
+        SyntheticImages::rgb(classes, size, 0.4, 99)
+    } else {
+        SyntheticImages::new(classes, size, 0.4, 99)
+    };
+    (0..steps)
+        .map(|_| {
+            let (x, y) = ds.minibatch(batch);
+            exec.step(&x, &y, 0.03).unwrap().loss
+        })
+        .collect()
+}
+
+#[test]
+fn lossless_bit_exact_on_vgg_style_net() {
+    let base = train_losses(gist::models::small_vgg(4, 3), ExecMode::Baseline, 1, 16, 3, 6);
+    let gist = train_losses(
+        gist::models::small_vgg(4, 3),
+        ExecMode::Gist(GistConfig::lossless()),
+        1,
+        16,
+        3,
+        6,
+    );
+    assert_eq!(base, gist, "lossless Gist must match baseline bit-for-bit");
+}
+
+#[test]
+fn lossless_bit_exact_on_resnet_with_batchnorm() {
+    let base = train_losses(gist::models::resnet_cifar(1, 4), ExecMode::Baseline, 3, 32, 10, 3);
+    let gist = train_losses(
+        gist::models::resnet_cifar(1, 4),
+        ExecMode::Gist(GistConfig::lossless()),
+        3,
+        32,
+        10,
+        3,
+    );
+    assert_eq!(base, gist);
+}
+
+#[test]
+fn lossless_bit_exact_on_tiny_convnet_many_steps() {
+    let base = train_losses(gist::models::tiny_convnet(4, 3), ExecMode::Baseline, 1, 16, 3, 25);
+    let gist = train_losses(
+        gist::models::tiny_convnet(4, 3),
+        ExecMode::Gist(GistConfig::lossless()),
+        1,
+        16,
+        3,
+        25,
+    );
+    assert_eq!(base, gist);
+}
+
+#[test]
+fn lossless_bit_exact_with_lrn_and_dropout() {
+    // The classic-layer paths: LRN stashes its input (DPR-eligible under
+    // lossy), dropout's bit-packed mask is deterministic per step, so
+    // lossless Gist must still match the baseline exactly.
+    let base = train_losses(gist::models::tiny_classic(4, 3), ExecMode::Baseline, 1, 16, 3, 8);
+    let gist = train_losses(
+        gist::models::tiny_classic(4, 3),
+        ExecMode::Gist(GistConfig::lossless()),
+        1,
+        16,
+        3,
+        8,
+    );
+    assert_eq!(base, gist);
+    assert!(base.iter().all(|l| l.is_finite()));
+}
+
+#[test]
+fn dropout_masks_differ_across_steps() {
+    // The per-step mask salt must actually change the mask, or dropout
+    // degenerates into a fixed sub-network.
+    use gist::graph::OpKind;
+    let g = gist::models::tiny_classic(4, 3);
+    let mut exec = Executor::new(g, ExecMode::Baseline, 11).unwrap();
+    let mut ds = SyntheticImages::new(3, 16, 0.0, 99);
+    let (x, y) = ds.minibatch(4);
+    // Same data, zero noise, but different steps -> different dropout masks
+    // -> different losses after the first step's update is undone by lr=0.
+    let l1 = exec.step(&x, &y, 0.0).unwrap().loss;
+    let l2 = exec.step(&x, &y, 0.0).unwrap().loss;
+    let has_dropout = exec
+        .graph()
+        .nodes()
+        .iter()
+        .any(|n| matches!(n.op, OpKind::Dropout { .. }));
+    assert!(has_dropout);
+    assert_ne!(l1, l2, "identical masks across steps");
+}
+
+#[test]
+fn dpr_fp16_stays_close_but_not_identical() {
+    let base = train_losses(gist::models::tiny_convnet(4, 3), ExecMode::Baseline, 1, 16, 3, 10);
+    let dpr = train_losses(
+        gist::models::tiny_convnet(4, 3),
+        ExecMode::Gist(GistConfig::lossy(DprFormat::Fp16)),
+        1,
+        16,
+        3,
+        10,
+    );
+    assert_ne!(base, dpr, "FP16 DPR is lossy; losses should eventually diverge");
+    for (b, d) in base.iter().zip(&dpr) {
+        assert!((b - d).abs() < 0.1, "DPR drift too large: {b} vs {d}");
+    }
+}
+
+#[test]
+fn stochastic_rounding_dpr_also_tracks_fp32() {
+    // The rounding-mode ablation: unbiased stochastic rounding at FP8 must
+    // also learn the task (and produce different weights than
+    // round-to-nearest, proving the mode is actually active).
+    use gist::runtime::train;
+    let nearest = train(
+        gist::models::tiny_convnet(8, 3),
+        ExecMode::Gist(GistConfig::lossy(DprFormat::Fp8)),
+        "nearest",
+        42,
+        7,
+        3,
+        15,
+        8,
+        0.05,
+        0.3,
+    )
+    .unwrap();
+    let stochastic = train(
+        gist::models::tiny_convnet(8, 3),
+        ExecMode::Gist(GistConfig::lossy(DprFormat::Fp8).with_stochastic_rounding(13)),
+        "stochastic",
+        42,
+        7,
+        3,
+        15,
+        8,
+        0.05,
+        0.3,
+    )
+    .unwrap();
+    assert!(stochastic.final_accuracy() > 0.8, "{:.2}", stochastic.final_accuracy());
+    // Different rounding decisions -> different loss trajectories.
+    let same = nearest
+        .epochs
+        .iter()
+        .zip(&stochastic.epochs)
+        .all(|(a, b)| a.mean_loss == b.mean_loss);
+    assert!(!same, "stochastic rounding should perturb the trajectory");
+}
+
+#[test]
+fn first_step_forward_loss_is_identical_under_dpr() {
+    // DPR's defining property: the forward pass is untouched, so the very
+    // first minibatch's loss matches FP32 exactly (weights identical, no
+    // backward has run yet).
+    for fmt in [DprFormat::Fp16, DprFormat::Fp10, DprFormat::Fp8] {
+        let g = gist::models::small_vgg(4, 3);
+        let mut base = Executor::new(g.clone(), ExecMode::Baseline, 5).unwrap();
+        let mut dpr = Executor::new(g, ExecMode::Gist(GistConfig::lossy(fmt)), 5).unwrap();
+        let mut ds = SyntheticImages::new(3, 16, 0.4, 1);
+        let (x, y) = ds.minibatch(4);
+        let (lb, _) = base.forward_backward(&x, &y).unwrap();
+        let (ld, _) = dpr.forward_backward(&x, &y).unwrap();
+        assert_eq!(lb.loss, ld.loss, "{}", fmt.label());
+    }
+}
+
+#[test]
+fn gradients_match_bitwise_between_baseline_and_lossless() {
+    let g = gist::models::small_vgg(4, 3);
+    let mut base = Executor::new(g.clone(), ExecMode::Baseline, 5).unwrap();
+    let mut gist = Executor::new(g, ExecMode::Gist(GistConfig::lossless()), 5).unwrap();
+    let mut ds = SyntheticImages::new(3, 16, 0.4, 1);
+    let (x, y) = ds.minibatch(4);
+    let (_, gb) = base.forward_backward(&x, &y).unwrap();
+    let (_, gg) = gist.forward_backward(&x, &y).unwrap();
+    let flat = |grads: &[Option<gist::runtime::params::ParamGrads>]| -> Vec<f32> {
+        let mut out = Vec::new();
+        for g in grads.iter().flatten() {
+            out.extend_from_slice(g.main.data());
+            if let Some(s) = &g.secondary {
+                out.extend_from_slice(s.data());
+            }
+        }
+        out
+    };
+    assert_eq!(flat(&gb), flat(&gg));
+}
+
+#[test]
+fn executor_handles_inception_style_concat() {
+    // Concat + parallel branches through the full fwd/bwd path.
+    use gist::graph::Graph;
+    use gist::tensor::ops::conv::ConvParams;
+    use gist::tensor::Shape;
+    let mut g = Graph::new("mini-inception");
+    let x = g.input(Shape::nchw(2, 3, 8, 8));
+    let b1c = g.conv(x, 4, ConvParams::new(1, 1, 0), true, "b1");
+    let b1 = g.relu(b1c, "b1_relu");
+    let b2c = g.conv(x, 4, ConvParams::new(3, 1, 1), true, "b2");
+    let b2 = g.relu(b2c, "b2_relu");
+    let cat = g.concat(&[b1, b2], "cat");
+    let fc = g.linear(cat, 3, true, "fc");
+    g.softmax_loss(fc, "loss");
+
+    let mut exec = Executor::new(g, ExecMode::Gist(GistConfig::lossless()), 3).unwrap();
+    let x = gist::tensor::init::uniform(Shape::nchw(2, 3, 8, 8), -1.0, 1.0, 8);
+    let s = exec.step(&x, &[0, 2], 0.05).unwrap();
+    assert!(s.loss.is_finite());
+}
+
+#[test]
+fn deterministic_across_identical_runs() {
+    let mk = || {
+        let g = gist::models::tiny_convnet(4, 3);
+        Executor::new(g, ExecMode::Gist(GistConfig::lossy(DprFormat::Fp8)), 5).unwrap()
+    };
+    let mut a = mk();
+    let mut b = mk();
+    let x = gist::tensor::init::uniform(gist::tensor::Shape::nchw(4, 1, 16, 16), -1.0, 1.0, 2);
+    let labels = [0usize, 1, 2, 0];
+    for _ in 0..5 {
+        let sa = a.step(&x, &labels, 0.05).unwrap();
+        let sb = b.step(&x, &labels, 0.05).unwrap();
+        assert_eq!(sa.loss, sb.loss);
+    }
+}
+
+#[test]
+fn zero_input_edge_case() {
+    // An all-zero minibatch: ReLU outputs all zero, SSDC encodes an empty
+    // CSR, Binarize an all-zero mask; nothing should panic or NaN.
+    let g = gist::models::small_vgg(2, 3);
+    let mut exec = Executor::new(g, ExecMode::Gist(GistConfig::lossless()), 3).unwrap();
+    let x = Tensor::zeros(gist::tensor::Shape::nchw(2, 1, 16, 16));
+    let s = exec.step(&x, &[0, 1], 0.05).unwrap();
+    assert!(s.loss.is_finite());
+    assert!(s.relu_sparsity.iter().all(|(_, sp)| *sp >= 0.99 || *sp >= 0.0));
+}

@@ -1,0 +1,76 @@
+//! Model-zoo fidelity: each network's learnable-parameter count must match
+//! the published number — a strong end-to-end check that the layer shapes
+//! are the genuine ones (memory results inherit their credibility from
+//! this).
+
+use gist::runtime::ParamSet;
+
+fn params_of(graph: gist::graph::Graph) -> usize {
+    ParamSet::init(&graph, 0).unwrap().num_scalars()
+}
+
+fn assert_close(actual: usize, published_millions: f64, name: &str) {
+    let published = published_millions * 1e6;
+    let rel = (actual as f64 - published).abs() / published;
+    assert!(
+        rel < 0.03,
+        "{name}: {actual} params vs published ~{published_millions}M (off by {:.1}%)",
+        rel * 100.0
+    );
+}
+
+#[test]
+fn alexnet_has_61m_parameters() {
+    // Single-tower AlexNet: 60.97M.
+    assert_close(params_of(gist::models::alexnet(1)), 61.0, "AlexNet");
+}
+
+#[test]
+fn vgg16_has_138m_parameters() {
+    assert_close(params_of(gist::models::vgg16(1)), 138.36, "VGG16");
+}
+
+#[test]
+fn overfeat_fast_has_146m_parameters() {
+    assert_close(params_of(gist::models::overfeat(1)), 145.9, "Overfeat");
+}
+
+#[test]
+fn nin_has_7_6m_parameters() {
+    assert_close(params_of(gist::models::nin(1)), 7.59, "NiN");
+}
+
+#[test]
+fn inception_has_7m_parameters() {
+    // GoogLeNet without auxiliary classifiers: ~6.99M.
+    assert_close(params_of(gist::models::inception(1)), 6.99, "Inception");
+}
+
+#[test]
+fn resnet50_has_25m_parameters() {
+    // 25.56M including batch-norm scales/shifts.
+    assert_close(params_of(gist::models::resnet50(1)), 25.56, "ResNet-50");
+}
+
+#[test]
+fn resnet_cifar_depth_scales_parameters() {
+    // He et al. report 0.27M for ResNet-20 (n=3) and 1.7M for ResNet-110
+    // (n=18).
+    assert_close(params_of(gist::models::resnet_cifar(3, 1)), 0.27, "ResNet-20");
+    assert_close(params_of(gist::models::resnet_cifar(18, 1)), 1.73, "ResNet-110");
+}
+
+#[test]
+fn densenet_bc_100_has_0_8m_parameters() {
+    // Huang et al. round to "0.8M"; the reference torch implementation
+    // counts 0.77M, which is what our graph reproduces.
+    assert_close(params_of(gist::models::densenet_cifar(16, 12, 1)), 0.769, "DenseNet-BC-100");
+}
+
+#[test]
+fn parameter_count_is_batch_invariant() {
+    assert_eq!(
+        params_of(gist::models::alexnet(1)),
+        params_of(gist::models::alexnet(64))
+    );
+}

@@ -1,0 +1,166 @@
+//! Property tests over *randomly generated* network architectures: the
+//! Schedule Builder and planner invariants must hold for any valid chain of
+//! layers, not just the zoo models.
+
+use gist::core::{GistConfig, ScheduleBuilder};
+use gist::encodings::DprFormat;
+use gist::graph::{DataClass, Graph};
+use gist::memory::{peak_dynamic, plan_offsets, plan_static, SharingPolicy};
+use gist::tensor::ops::conv::ConvParams;
+use gist::tensor::ops::pool::PoolParams;
+use gist::tensor::Shape;
+use proptest::prelude::*;
+
+/// One randomly chosen layer in a chain.
+#[derive(Debug, Clone, Copy)]
+enum LayerChoice {
+    Conv { channels: usize, kernel: usize },
+    Relu,
+    MaxPool,
+    AvgPool,
+    BatchNorm,
+    Lrn,
+    Dropout,
+}
+
+fn layer_strategy() -> impl Strategy<Value = LayerChoice> {
+    prop_oneof![
+        (1usize..12, prop_oneof![Just(1usize), Just(3)])
+            .prop_map(|(channels, kernel)| LayerChoice::Conv { channels, kernel }),
+        Just(LayerChoice::Relu),
+        Just(LayerChoice::MaxPool),
+        Just(LayerChoice::AvgPool),
+        Just(LayerChoice::BatchNorm),
+        Just(LayerChoice::Lrn),
+        Just(LayerChoice::Dropout),
+    ]
+}
+
+/// Builds a valid chain graph from the choices, skipping pools that would
+/// shrink the spatial extent below 2x2.
+fn build_chain(choices: &[LayerChoice], classes: usize) -> Graph {
+    let mut g = Graph::new("random-chain");
+    let mut x = g.input(Shape::nchw(2, 3, 16, 16));
+    let mut hw = 16usize;
+    for (i, &c) in choices.iter().enumerate() {
+        x = match c {
+            LayerChoice::Conv { channels, kernel } => {
+                let pad = kernel / 2;
+                g.conv(x, channels, ConvParams::new(kernel, 1, pad), true, format!("conv{i}"))
+            }
+            LayerChoice::Relu => g.relu(x, format!("relu{i}")),
+            LayerChoice::MaxPool if hw >= 4 => {
+                hw /= 2;
+                g.max_pool(x, PoolParams::new(2, 2, 0), format!("maxpool{i}"))
+            }
+            LayerChoice::AvgPool if hw >= 4 => {
+                hw /= 2;
+                g.avg_pool(x, PoolParams::new(2, 2, 0), format!("avgpool{i}"))
+            }
+            LayerChoice::MaxPool | LayerChoice::AvgPool => g.relu(x, format!("relu{i}")),
+            LayerChoice::BatchNorm => g.batch_norm(x, format!("bn{i}")),
+            LayerChoice::Lrn => g.lrn(
+                x,
+                gist::tensor::ops::lrn::LrnParams { size: 3, alpha: 1e-3, beta: 0.75, k: 1.0 },
+                format!("lrn{i}"),
+            ),
+            LayerChoice::Dropout => g.dropout(x, 0.3, format!("drop{i}")),
+        };
+    }
+    let fc = g.linear(x, classes, true, "fc");
+    g.softmax_loss(fc, "loss");
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn any_chain_validates_and_plans(choices in prop::collection::vec(layer_strategy(), 0..12)) {
+        let g = build_chain(&choices, 4);
+        prop_assert!(g.validate().is_ok());
+        prop_assert!(g.infer_shapes().is_ok());
+        for config in [
+            GistConfig::baseline(),
+            GistConfig::lossless(),
+            GistConfig::lossy(DprFormat::Fp8),
+        ] {
+            let t = ScheduleBuilder::new(config).build(&g).unwrap();
+            // Intervals in range, positive sizes.
+            for d in &t.inventory {
+                prop_assert!(d.interval.end < t.num_steps, "{}", d.name);
+                prop_assert!(d.bytes > 0, "{}", d.name);
+            }
+            // Allocation-mode ordering.
+            let scoped: Vec<_> = t
+                .inventory
+                .iter()
+                .filter(|d| {
+                    matches!(
+                        d.class,
+                        DataClass::StashedFmap | DataClass::ImmediateFmap | DataClass::GradientMap
+                    )
+                })
+                .cloned()
+                .collect();
+            let stat = plan_static(&scoped, SharingPolicy::Full).total_bytes;
+            let off = plan_offsets(&scoped);
+            let dynamic = peak_dynamic(&scoped, t.num_steps);
+            // The planner-facing OffsetPacked mode takes min(offsets,
+            // groups); raw first-fit may fragment past the group plan.
+            prop_assert!(off.total_bytes.min(stat) <= stat);
+            prop_assert!(dynamic <= off.total_bytes);
+            prop_assert!(dynamic <= stat);
+            off.verify(&scoped).map_err(|(a, b)| {
+                TestCaseError::fail(format!("layout overlap between {a} and {b}"))
+            })?;
+        }
+    }
+
+    #[test]
+    fn encodings_never_grow_the_stash_on_any_chain(
+        choices in prop::collection::vec(layer_strategy(), 1..10)
+    ) {
+        let g = build_chain(&choices, 3);
+        let stashed = |config: GistConfig| -> usize {
+            ScheduleBuilder::new(config)
+                .build(&g)
+                .unwrap()
+                .inventory
+                .iter()
+                .filter(|d| d.class == DataClass::StashedFmap)
+                .map(|d| d.bytes)
+                .sum()
+        };
+        prop_assert!(stashed(GistConfig::lossless()) <= stashed(GistConfig::baseline()));
+        prop_assert!(
+            stashed(GistConfig::lossy(DprFormat::Fp8)) <= stashed(GistConfig::lossless())
+        );
+    }
+}
+
+/// Random chains must also *execute*: train one step and check the loss is
+/// finite and lossless mode matches baseline bit-for-bit. (A plain #[test]
+/// over a fixed set of seeds to keep runtime bounded.)
+#[test]
+fn random_chains_execute_losslessly() {
+    use gist::runtime::{ExecMode, Executor, SyntheticImages};
+    use proptest::strategy::ValueTree;
+    use proptest::test_runner::TestRunner;
+
+    let mut runner = TestRunner::deterministic();
+    let strat = prop::collection::vec(layer_strategy(), 0..8);
+    for _ in 0..6 {
+        let choices = strat.new_tree(&mut runner).unwrap().current();
+        let g = build_chain(&choices, 3);
+        // build_chain uses a 3-channel 16x16 input at batch 2.
+        let mut ds = SyntheticImages::rgb(3, 16, 0.4, 5);
+        let (x, y) = ds.minibatch(2);
+        let mut base = Executor::new(g.clone(), ExecMode::Baseline, 9).unwrap();
+        let mut gist = Executor::new(g, ExecMode::Gist(GistConfig::lossless()), 9).unwrap();
+        let (sb, _) = base.forward_backward(&x, &y).unwrap();
+        let (sg, _) = gist.forward_backward(&x, &y).unwrap();
+        assert!(sb.loss.is_finite());
+        assert_eq!(sb.loss, sg.loss, "chain {choices:?}");
+    }
+}

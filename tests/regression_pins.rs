@@ -1,0 +1,66 @@
+//! Regression pins: the exact headline numbers this reproduction measured
+//! (recorded in EXPERIMENTS.md), pinned with narrow bands so an accidental
+//! change to the planner, policy or model shapes shows up as a test
+//! failure rather than a silent drift of the published results.
+
+use gist::core::{Gist, GistConfig};
+use gist::encodings::DprFormat;
+
+fn mfr(graph: &gist::graph::Graph, config: GistConfig) -> f64 {
+    Gist::new(config).plan(graph).unwrap().mfr()
+}
+
+fn assert_band(value: f64, expected: f64, name: &str) {
+    assert!(
+        (value - expected).abs() <= 0.03,
+        "{name}: measured {value:.3}, pinned {expected:.3} (EXPERIMENTS.md needs updating if \
+         this change is intentional)"
+    );
+}
+
+/// Figure 8 lossless MFRs at minibatch 64 as recorded in EXPERIMENTS.md.
+#[test]
+fn figure8_lossless_pins() {
+    assert_band(mfr(&gist::models::alexnet(64), GistConfig::lossless()), 1.59, "AlexNet");
+    assert_band(mfr(&gist::models::nin(64), GistConfig::lossless()), 1.51, "NiN");
+    assert_band(mfr(&gist::models::overfeat(64), GistConfig::lossless()), 1.58, "Overfeat");
+    assert_band(mfr(&gist::models::vgg16(64), GistConfig::lossless()), 1.46, "VGG16");
+    assert_band(mfr(&gist::models::inception(64), GistConfig::lossless()), 1.31, "Inception");
+}
+
+/// Figure 8 lossy MFRs (accuracy-safe formats) as recorded.
+#[test]
+fn figure8_lossy_pins() {
+    assert_band(mfr(&gist::models::alexnet(64), GistConfig::lossy(DprFormat::Fp8)), 1.71, "AlexNet");
+    assert_band(mfr(&gist::models::vgg16(64), GistConfig::lossy(DprFormat::Fp16)), 1.67, "VGG16");
+    assert_band(
+        mfr(&gist::models::inception(64), GistConfig::lossy(DprFormat::Fp10)),
+        1.92,
+        "Inception",
+    );
+}
+
+/// Figure 17 averages: dynamic-allocation MFRs as recorded.
+#[test]
+fn figure17_dynamic_pins() {
+    assert_band(
+        mfr(&gist::models::alexnet(64), GistConfig::baseline().with_dynamic_allocation()),
+        1.41,
+        "AlexNet dynamic",
+    );
+    assert_band(
+        mfr(&gist::models::overfeat(64), GistConfig::lossless().with_dynamic_allocation()),
+        2.23,
+        "Overfeat dynamic+lossless",
+    );
+}
+
+/// Baseline footprints themselves (GB) — shape fidelity of the zoo.
+#[test]
+fn baseline_footprint_pins() {
+    let gb = |b: usize| b as f64 / (1u64 << 30) as f64;
+    let vgg = Gist::new(GistConfig::baseline()).plan(&gist::models::vgg16(64)).unwrap();
+    assert_band(gb(vgg.baseline_bytes), 5.16, "VGG16 baseline GB");
+    let alex = Gist::new(GistConfig::baseline()).plan(&gist::models::alexnet(64)).unwrap();
+    assert_band(gb(alex.baseline_bytes), 0.36, "AlexNet baseline GB");
+}
