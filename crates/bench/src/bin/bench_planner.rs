@@ -1,0 +1,49 @@
+//! Benchmarks for the Schedule Builder and the static memory planner —
+//! the offline analysis cost of Gist (it runs once per training job, so it
+//! only needs to be "fast enough", but we track it anyway).
+//!
+//! Run with `cargo run --release -p gist-bench --bin bench_planner`.
+
+use gist_core::{Gist, GistConfig, ScheduleBuilder};
+use gist_memory::{plan_static, SharingPolicy};
+use gist_testkit::BenchGroup;
+use std::hint::black_box;
+
+fn bench_schedule_builder() {
+    let mut g = BenchGroup::new("schedule_builder").samples(20);
+    let vgg = gist_models::vgg16(64);
+    g.bench("vgg16_lossless", || {
+        ScheduleBuilder::new(GistConfig::lossless()).build(black_box(&vgg)).unwrap()
+    });
+    let inception = gist_models::inception(64);
+    g.bench("inception_lossless", || {
+        ScheduleBuilder::new(GistConfig::lossless()).build(black_box(&inception)).unwrap()
+    });
+    g.finish();
+}
+
+fn bench_static_planner() {
+    let mut g = BenchGroup::new("static_planner").samples(20);
+    let vgg = gist_models::vgg16(64);
+    let t = ScheduleBuilder::new(GistConfig::lossless()).build(&vgg).unwrap();
+    g.bench("vgg16_inventory", || plan_static(black_box(&t.inventory), SharingPolicy::Full));
+    let deep = gist_models::resnet_cifar(50, 32); // 302 layers
+    let td = ScheduleBuilder::new(GistConfig::lossless()).build(&deep).unwrap();
+    g.bench("resnet302_inventory", || plan_static(black_box(&td.inventory), SharingPolicy::Full));
+    g.finish();
+}
+
+fn bench_end_to_end_plan() {
+    let mut g = BenchGroup::new("gist_plan").samples(10);
+    let net = gist_models::alexnet(64);
+    g.bench("alexnet_lossy_plan", || {
+        Gist::new(GistConfig::lossy(gist_encodings::DprFormat::Fp8)).plan(black_box(&net)).unwrap()
+    });
+    g.finish();
+}
+
+fn main() {
+    bench_schedule_builder();
+    bench_static_planner();
+    bench_end_to_end_plan();
+}

@@ -3,10 +3,12 @@
 //! for "lowest format-conversion latency"; this bench measures exactly
 //! that — encode and decode latency per format at ReLU-typical sparsity —
 //! and prints the encoded sizes alongside.
+//!
+//! Run with `cargo run --release -p gist-bench --bin bench_sparse_formats`.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use gist_encodings::csr::SsdcConfig;
 use gist_encodings::{BitmapMatrix, CsrMatrix, EllMatrix, HybMatrix};
+use gist_testkit::BenchGroup;
 use std::hint::black_box;
 
 const N: usize = 1 << 20;
@@ -25,9 +27,9 @@ fn relu_like(sparsity_mod: usize) -> Vec<f32> {
         .collect()
 }
 
-fn bench_conversion_latency(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sparse_format_conversion");
-    g.throughput(Throughput::Bytes((N * 4) as u64));
+fn main() {
+    let mut g = BenchGroup::new("sparse_format_conversion");
+    g.throughput_bytes((N * 4) as u64);
     let data = relu_like(5);
 
     // Print the size comparison once, outside the timing loops.
@@ -45,19 +47,14 @@ fn bench_conversion_latency(c: &mut Criterion) {
         bmp.encoded_bytes()
     );
 
-    g.bench_function("csr_encode", |b| {
-        b.iter(|| CsrMatrix::encode(black_box(&data), SsdcConfig::default()))
-    });
-    g.bench_function("ell_encode", |b| b.iter(|| EllMatrix::encode(black_box(&data))));
-    g.bench_function("hyb_encode", |b| b.iter(|| HybMatrix::encode(black_box(&data))));
-    g.bench_function("bitmap_encode", |b| b.iter(|| BitmapMatrix::encode(black_box(&data))));
+    g.bench("csr_encode", || CsrMatrix::encode(black_box(&data), SsdcConfig::default()));
+    g.bench("ell_encode", || EllMatrix::encode(black_box(&data)));
+    g.bench("hyb_encode", || HybMatrix::encode(black_box(&data)));
+    g.bench("bitmap_encode", || BitmapMatrix::encode(black_box(&data)));
 
-    g.bench_function("csr_decode", |b| b.iter(|| csr.decode()));
-    g.bench_function("ell_decode", |b| b.iter(|| ell.decode()));
-    g.bench_function("hyb_decode", |b| b.iter(|| hyb.decode()));
-    g.bench_function("bitmap_decode", |b| b.iter(|| bmp.decode()));
+    g.bench("csr_decode", || csr.decode());
+    g.bench("ell_decode", || ell.decode());
+    g.bench("hyb_decode", || hyb.decode());
+    g.bench("bitmap_decode", || bmp.decode());
     g.finish();
 }
-
-criterion_group!(benches, bench_conversion_latency);
-criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Benchmark for full training steps under each stash mode — the measured
+//! CPU analogue of Figure 9 (Gist's overhead on real forward+backward
+//! execution).
+//!
+//! Run with `cargo run --release -p gist-bench --bin bench_training_step`.
+
+use gist_core::GistConfig;
+use gist_encodings::DprFormat;
+use gist_runtime::{ExecMode, Executor, SyntheticImages};
+use gist_testkit::BenchGroup;
+
+fn main() {
+    let mut g = BenchGroup::new("training_step").samples(20);
+    let batch = 8;
+    let mut ds = SyntheticImages::new(4, 16, 0.3, 42);
+    let (x, y) = ds.minibatch(batch);
+    let modes: Vec<(&str, ExecMode)> = vec![
+        ("baseline_fp32", ExecMode::Baseline),
+        ("gist_lossless", ExecMode::Gist(GistConfig::lossless())),
+        ("gist_lossy_fp8", ExecMode::Gist(GistConfig::lossy(DprFormat::Fp8))),
+    ];
+    for (label, mode) in modes {
+        let mut exec = Executor::new(gist_models::small_vgg(batch, 4), mode, 7).expect("executor");
+        g.bench(label, || exec.step(&x, &y, 0.01).unwrap());
+    }
+    g.finish();
+}

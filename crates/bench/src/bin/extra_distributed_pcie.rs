@@ -16,9 +16,8 @@ fn main() {
     for g in gist_models::paper_suite(64) {
         let gist = distributed_overhead(&g, None, 4, &gpu).expect("model");
         let vdnn = distributed_overhead(&g, Some(SwapStrategy::Vdnn), 4, &gpu).expect("model");
-        let cdma =
-            distributed_overhead(&g, Some(SwapStrategy::Cdma { compression: 2.5 }), 4, &gpu)
-                .expect("model");
+        let cdma = distributed_overhead(&g, Some(SwapStrategy::Cdma { compression: 2.5 }), 4, &gpu)
+            .expect("model");
         let naive = distributed_overhead(&g, Some(SwapStrategy::Naive), 4, &gpu).expect("model");
         println!(
             "{:<10} {:>11.1}% {:>11.1}% {:>11.1}% {:>11.1}%",

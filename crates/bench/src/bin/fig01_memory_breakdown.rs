@@ -20,7 +20,8 @@ fn main() {
         let inv = baseline_inventory(&graph, WorkspaceMode::MemoryOptimal)
             .expect("paper models infer shapes");
         let totals = class_totals(&inv);
-        let get = |c: DataClass| totals.iter().find(|(cc, _)| *cc == c).map(|(_, b)| *b).unwrap_or(0);
+        let get =
+            |c: DataClass| totals.iter().find(|(cc, _)| *cc == c).map(|(_, b)| *b).unwrap_or(0);
         let w = get(DataClass::Weight);
         let wg = get(DataClass::WeightGrad);
         let st = get(DataClass::StashedFmap);

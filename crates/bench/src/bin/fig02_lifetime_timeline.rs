@@ -24,10 +24,15 @@ fn main() {
     let target = "conv3_relu";
 
     let base = ScheduleBuilder::new(GistConfig::baseline()).build(&graph).expect("plan");
-    let gist =
-        ScheduleBuilder::new(GistConfig::lossy(DprFormat::Fp8)).build(&graph).expect("plan");
+    let gist = ScheduleBuilder::new(GistConfig::lossy(DprFormat::Fp8)).build(&graph).expect("plan");
     let steps = base.num_steps;
-    println!("schedule: steps 0..{} (forward 0..{}, backward {}..{})\n", steps, steps / 2, steps / 2, steps);
+    println!(
+        "schedule: steps 0..{} (forward 0..{}, backward {}..{})\n",
+        steps,
+        steps / 2,
+        steps / 2,
+        steps
+    );
 
     println!("baseline:");
     for d in &base.inventory {

@@ -52,7 +52,12 @@ fn main() {
     }
     println!(
         "{:<10} {:>10} {:>12} {:>12} {:>9.2}x {:>9.2}x",
-        "average", "", "", "", mfr_ll_sum / n, mfr_ly_sum / n
+        "average",
+        "",
+        "",
+        "",
+        mfr_ll_sum / n,
+        mfr_ly_sum / n
     );
     println!();
     println!("paper: lossless >1.5x on AlexNet/VGG16 (avg 1.4x); +DPR up to 2x (avg 1.8x).");

@@ -21,8 +21,7 @@ fn main() {
     let mut n = 0.0;
     for graph in gist_models::paper_suite(64) {
         let ll = gist_overhead(&graph, &GistConfig::lossless(), &gpu).expect("model");
-        let ly =
-            gist_overhead(&graph, &GistConfig::lossy(DprFormat::Fp16), &gpu).expect("model");
+        let ly = gist_overhead(&graph, &GistConfig::lossy(DprFormat::Fp16), &gpu).expect("model");
         println!(
             "{:<10} {:>10.1} {:>10.1} {:>10.1} {:>11.1}% {:>11.1}%",
             graph.name(),
@@ -36,7 +35,15 @@ fn main() {
         sum_ly += ly.overhead_pct();
         n += 1.0;
     }
-    println!("{:<10} {:>11} {:>11} {:>11} {:>11.1}% {:>11.1}%", "average", "", "", "", sum_ll / n, sum_ly / n);
+    println!(
+        "{:<10} {:>11} {:>11} {:>11} {:>11.1}% {:>11.1}%",
+        "average",
+        "",
+        "",
+        "",
+        sum_ll / n,
+        sum_ly / n
+    );
     println!();
     println!("paper: 3% average (lossless), 4% (lossless+lossy), max 7% for VGG16.");
 }

@@ -25,10 +25,7 @@ fn dpr_only(format: DprFormat) -> GistConfig {
 
 fn main() {
     banner("Figure 13", "DPR-only MFR vs investigation baseline (stashed vs immediate)");
-    println!(
-        "{:<10} {:<6} {:>10} {:>10} {:>8}",
-        "model", "fmt", "stashed", "immediate", "MFR"
-    );
+    println!("{:<10} {:<6} {:>10} {:>10} {:>8}", "model", "fmt", "stashed", "immediate", "MFR");
     for graph in gist_models::paper_suite(PAPER_BATCH) {
         let mut formats = vec![DprFormat::Fp16];
         formats.extend(smallest_safe_format(graph.name()));

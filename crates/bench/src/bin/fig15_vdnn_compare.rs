@@ -13,10 +13,7 @@ use gist_perf::{gist_overhead, swap_overhead, GpuModel, SwapStrategy};
 fn main() {
     banner("Figure 15", "swap-based approaches vs Gist (overhead % vs baseline)");
     let gpu = GpuModel::titan_x();
-    println!(
-        "{:<10} {:>12} {:>12} {:>12}",
-        "model", "naive%", "vDNN%", "Gist%"
-    );
+    println!("{:<10} {:>12} {:>12} {:>12}", "model", "naive%", "vDNN%", "Gist%");
     let (mut sn, mut sv, mut sg, mut n) = (0.0, 0.0, 0.0, 0.0);
     for graph in gist_models::paper_suite(64) {
         let naive = swap_overhead(&graph, SwapStrategy::Naive, &gpu).expect("model");

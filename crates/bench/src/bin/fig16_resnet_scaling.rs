@@ -14,19 +14,13 @@ fn main() {
     banner("Figure 16", "deep ResNet speedup from larger Gist-enabled minibatches");
     let gpu = GpuModel::titan_x();
     let budget = 12usize << 30; // 12 GB Titan X
-    println!(
-        "{:<12} {:>12} {:>12} {:>10}",
-        "network", "base batch", "gist batch", "speedup"
-    );
+    println!("{:<12} {:>12} {:>12} {:>10}", "network", "base batch", "gist batch", "speedup");
     for depth in [509usize, 851, 1202] {
         let build = move |b: usize| gist_models::resnet_deep(depth, b);
         let name = gist_models::resnet_deep(depth, 1).name().to_string();
         let r = resnet_speedup(&build, &GistConfig::lossy(DprFormat::Fp16), budget, 2048, &gpu)
             .expect("model");
-        println!(
-            "{:<12} {:>12} {:>12} {:>9.2}x",
-            name, r.baseline_batch, r.gist_batch, r.speedup
-        );
+        println!("{:<12} {:>12} {:>12} {:>9.2}x", name, r.baseline_batch, r.gist_batch, r.speedup);
     }
     println!();
     println!("paper: speedup grows with depth, ~22% (1.22x) for ResNet-1202.");

@@ -28,20 +28,16 @@ fn main() {
     let mut n = 0.0;
     for graph in gist_models::paper_suite(PAPER_BATCH) {
         let fmt = fmt_for(graph.name());
-        let dynamic = Gist::new(GistConfig::baseline().with_dynamic_allocation())
-            .plan(&graph)
-            .expect("plan");
-        let lossless = Gist::new(GistConfig::lossless().with_dynamic_allocation())
-            .plan(&graph)
-            .expect("plan");
-        let lossy = Gist::new(GistConfig::lossy(fmt).with_dynamic_allocation())
-            .plan(&graph)
-            .expect("plan");
-        let optsw = Gist::new(
-            GistConfig::lossy(fmt).with_dynamic_allocation().with_optimized_software(),
-        )
-        .plan(&graph)
-        .expect("plan");
+        let dynamic =
+            Gist::new(GistConfig::baseline().with_dynamic_allocation()).plan(&graph).expect("plan");
+        let lossless =
+            Gist::new(GistConfig::lossless().with_dynamic_allocation()).plan(&graph).expect("plan");
+        let lossy =
+            Gist::new(GistConfig::lossy(fmt).with_dynamic_allocation()).plan(&graph).expect("plan");
+        let optsw =
+            Gist::new(GistConfig::lossy(fmt).with_dynamic_allocation().with_optimized_software())
+                .plan(&graph)
+                .expect("plan");
         let row = [dynamic.mfr(), lossless.mfr(), lossy.mfr(), optsw.mfr()];
         println!(
             "{:<10} {:>8.2}x {:>10.2}x {:>10.2}x {:>10.2}x",

@@ -8,23 +8,17 @@ use gist_graph::PairKind;
 
 fn main() {
     banner("Table I", "technique <-> target data structure (as selected on VGG16)");
-    println!("{:<28} {:<36} {:<9}", "target data structure", "footprint reduction technique", "type");
     println!(
         "{:<28} {:<36} {:<9}",
-        "ReLU-Pool feature map", "Binarize", "lossless"
+        "target data structure", "footprint reduction technique", "type"
     );
+    println!("{:<28} {:<36} {:<9}", "ReLU-Pool feature map", "Binarize", "lossless");
     println!(
         "{:<28} {:<36} {:<9}",
         "ReLU-Conv feature map", "Sparse Storage and Dense Compute", "lossless"
     );
-    println!(
-        "{:<28} {:<36} {:<9}",
-        "other feature maps", "Delayed Precision Reduction", "lossy"
-    );
-    println!(
-        "{:<28} {:<36} {:<9}",
-        "immediately consumed", "inplace computation", "lossless"
-    );
+    println!("{:<28} {:<36} {:<9}", "other feature maps", "Delayed Precision Reduction", "lossy");
+    println!("{:<28} {:<36} {:<9}", "immediately consumed", "inplace computation", "lossless");
     println!();
     println!("policy selections on VGG16 (minibatch 64):");
     let g = gist_models::vgg16(64);

@@ -4,8 +4,9 @@
 //!
 //! The experiment harness: one binary per table/figure in the paper's
 //! evaluation (run with `cargo run --release -p gist-bench --bin fig08_...`)
-//! plus Criterion microbenchmarks for the encoding kernels and the memory
-//! planner (`cargo bench`).
+//! plus gist-testkit microbenchmarks for the encoding kernels and the
+//! memory planner (`cargo run --release -p gist-bench --bin bench_...`,
+//! JSON medians under `results/`).
 //!
 //! Each binary prints the same rows/series the paper reports, labelled with
 //! the paper's reference numbers, so `EXPERIMENTS.md` can record
@@ -30,12 +31,7 @@ pub fn banner(figure: &str, caption: &str) {
 
 /// A simple fixed-width row printer: pads each cell to the given widths.
 pub fn row(cells: &[String], widths: &[usize]) -> String {
-    cells
-        .iter()
-        .zip(widths)
-        .map(|(c, w)| format!("{c:>w$}", w = w))
-        .collect::<Vec<_>>()
-        .join("  ")
+    cells.iter().zip(widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect::<Vec<_>>().join("  ")
 }
 
 /// The minibatch size the paper uses for its memory studies.

@@ -110,8 +110,8 @@ fn run(args: Args) -> Result<(), String> {
         .ok_or_else(|| format!("unknown model {model_name}; try `gist-cli models`"))?;
     match args.command.as_str() {
         "plan" => {
-            let mut config = parse_mode(&args.mode)
-                .ok_or_else(|| format!("unknown mode {}", args.mode))?;
+            let mut config =
+                parse_mode(&args.mode).ok_or_else(|| format!("unknown mode {}", args.mode))?;
             if args.dynamic {
                 config = config.with_dynamic_allocation();
             }
@@ -149,8 +149,8 @@ fn run(args: Args) -> Result<(), String> {
             println!("  ReLU fraction       : {:7.1}%", 100.0 * b.relu_fraction());
         }
         "report" => {
-            let config = parse_mode(&args.mode)
-                .ok_or_else(|| format!("unknown mode {}", args.mode))?;
+            let config =
+                parse_mode(&args.mode).ok_or_else(|| format!("unknown mode {}", args.mode))?;
             let plan = Gist::new(config).plan(&graph).map_err(|e| e.to_string())?;
             println!(
                 "{:<24} {:<10} {:<9} {:>10} {:>10} {:>8}",
@@ -170,14 +170,13 @@ fn run(args: Args) -> Result<(), String> {
         }
         "dot" => print!("{}", gist_graph::dot::to_dot(&graph)),
         "trace" => {
-            let mut config = parse_mode(&args.mode)
-                .ok_or_else(|| format!("unknown mode {}", args.mode))?;
+            let mut config =
+                parse_mode(&args.mode).ok_or_else(|| format!("unknown mode {}", args.mode))?;
             if args.dynamic {
                 config = config.with_dynamic_allocation();
             }
-            let t = gist_core::ScheduleBuilder::new(config)
-                .build(&graph)
-                .map_err(|e| e.to_string())?;
+            let t =
+                gist_core::ScheduleBuilder::new(config).build(&graph).map_err(|e| e.to_string())?;
             print!("{}", gist_memory::to_chrome_trace(&t.inventory));
         }
         other => return Err(format!("unknown command {other}\n{}", usage())),
@@ -206,8 +205,9 @@ mod tests {
 
     #[test]
     fn parses_full_command_line() {
-        let a = parse_args(&args(&["plan", "vgg16", "--batch", "32", "--mode", "fp8", "--dynamic"]))
-            .unwrap();
+        let a =
+            parse_args(&args(&["plan", "vgg16", "--batch", "32", "--mode", "fp8", "--dynamic"]))
+                .unwrap();
         assert_eq!(a.command, "plan");
         assert_eq!(a.model.as_deref(), Some("vgg16"));
         assert_eq!(a.batch, 32);

@@ -50,11 +50,7 @@ impl ScheduleBuilder {
         let sched = Schedule::of(graph);
         let assignments = assign(graph, &self.config);
         let encoding_of = |id: NodeId| -> Encoding {
-            assignments
-                .iter()
-                .find(|a| a.node == id)
-                .map(|a| a.encoding)
-                .unwrap_or(Encoding::None)
+            assignments.iter().find(|a| a.node == id).map(|a| a.encoding).unwrap_or(Encoding::None)
         };
 
         // Max-pool layers that receive a Y→X index map: the pool consumers
@@ -146,9 +142,7 @@ impl ScheduleBuilder {
                             let cfg = SsdcConfig { narrow: true, value_format: self.config.dpr };
                             ("ssdc", predicted_bytes(numel, *assumed_sparsity, cfg), true)
                         }
-                        Encoding::Dpr(f) => {
-                            ("dpr", numel.div_ceil(f.values_per_word()) * 4, true)
-                        }
+                        Encoding::Dpr(f) => ("dpr", numel.div_ceil(f.values_per_word()) * 4, true),
                         Encoding::None => unreachable!("handled above"),
                     };
                     let decode = needs_decode && !self.config.optimized_software;
@@ -200,11 +194,8 @@ impl ScheduleBuilder {
             // Gradient map (unchanged from baseline).
             if !matches!(node.op, OpKind::Input(_)) {
                 let own_bwd = sched.backward_step(id);
-                let birth = consumers
-                    .iter()
-                    .map(|&c| sched.backward_step(c))
-                    .min()
-                    .unwrap_or(own_bwd);
+                let birth =
+                    consumers.iter().map(|&c| sched.backward_step(c)).min().unwrap_or(own_bwd);
                 inventory.push(DataStructure {
                     name: format!("{}.dy", node.name),
                     role: TensorRole::GradientMap(id),
@@ -298,10 +289,7 @@ impl ScheduleBuilder {
 /// (stashed feature maps + immediately consumed data; weights, weight
 /// gradients and workspace are excluded, in line with Section V-A).
 pub fn in_mfr_scope(d: &DataStructure) -> bool {
-    matches!(
-        d.class,
-        DataClass::StashedFmap | DataClass::ImmediateFmap | DataClass::GradientMap
-    )
+    matches!(d.class, DataClass::StashedFmap | DataClass::ImmediateFmap | DataClass::GradientMap)
 }
 
 /// Footprint of an inventory under the configured allocation mode,
@@ -345,20 +333,15 @@ mod tests {
         let sum = |inv: &[DataStructure], c: DataClass| -> usize {
             inv.iter().filter(|d| d.class == c).map(|d| d.bytes).sum()
         };
-        assert_eq!(
-            sum(&t.inventory, DataClass::StashedFmap),
-            sum(&base, DataClass::StashedFmap)
-        );
-        assert_eq!(
-            sum(&t.inventory, DataClass::GradientMap),
-            sum(&base, DataClass::GradientMap)
-        );
+        assert_eq!(sum(&t.inventory, DataClass::StashedFmap), sum(&base, DataClass::StashedFmap));
+        assert_eq!(sum(&t.inventory, DataClass::GradientMap), sum(&base, DataClass::GradientMap));
     }
 
     #[test]
     fn binarize_splits_relu_lifetime() {
         let g = gist_models::alexnet(2);
-        let cfg = GistConfig { binarize: true, ssdc: false, inplace: false, ..GistConfig::baseline() };
+        let cfg =
+            GistConfig { binarize: true, ssdc: false, inplace: false, ..GistConfig::baseline() };
         let t = ScheduleBuilder::new(cfg).build(&g).unwrap();
         // conv1_relu got binarize: fp32 map is immediate now.
         let y = find(&t.inventory, "conv1_relu.y");
@@ -440,11 +423,7 @@ mod tests {
                 AllocationMode::Static,
                 SharingPolicy::Full,
             );
-            assert!(
-                fg < fb,
-                "{}: lossless should shrink footprint ({fg} vs {fb})",
-                g.name()
-            );
+            assert!(fg < fb, "{}: lossless should shrink footprint ({fg} vs {fb})", g.name());
         }
     }
 
@@ -467,12 +446,8 @@ mod tests {
     fn dynamic_footprint_never_exceeds_static() {
         let g = gist_models::overfeat(4);
         let t = ScheduleBuilder::new(GistConfig::lossless()).build(&g).unwrap();
-        let stat = footprint_bytes(
-            &t.inventory,
-            t.num_steps,
-            AllocationMode::Static,
-            SharingPolicy::Full,
-        );
+        let stat =
+            footprint_bytes(&t.inventory, t.num_steps, AllocationMode::Static, SharingPolicy::Full);
         let dyn_ = footprint_bytes(
             &t.inventory,
             t.num_steps,
@@ -495,7 +470,8 @@ mod tests {
         g.softmax_loss(a, "loss");
         let base = ScheduleBuilder::new(GistConfig::baseline()).build(&g).unwrap();
         assert_eq!(find(&base.inventory, "p.y").class, DataClass::StashedFmap);
-        let cfg = GistConfig { binarize: true, ssdc: false, inplace: false, ..GistConfig::baseline() };
+        let cfg =
+            GistConfig { binarize: true, ssdc: false, inplace: false, ..GistConfig::baseline() };
         let t = ScheduleBuilder::new(cfg).build(&g).unwrap();
         assert_eq!(find(&t.inventory, "p.y").class, DataClass::ImmediateFmap);
         assert!(t.inventory.iter().any(|d| d.name == "p.enc.poolmap"));

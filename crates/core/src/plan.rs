@@ -216,11 +216,8 @@ pub fn stash_breakdown(graph: &Graph) -> Result<StashBreakdown, GraphError> {
             continue;
         }
         if let TensorRole::FeatureMap(id) = d.role {
-            let kind = pairs
-                .iter()
-                .find(|p| p.producer == id)
-                .map(|p| p.kind)
-                .unwrap_or(PairKind::Other);
+            let kind =
+                pairs.iter().find(|p| p.producer == id).map(|p| p.kind).unwrap_or(PairKind::Other);
             match kind {
                 PairKind::ReluPool => out.relu_pool += d.bytes,
                 PairKind::ReluConv | PairKind::PoolConv => out.relu_conv += d.bytes,
@@ -295,9 +292,7 @@ mod tests {
     fn dynamic_allocation_beats_static_baseline() {
         // Figure 17: dynamic allocation alone achieves MFR > 1.
         let g = gist_models::overfeat(4);
-        let dynamic = Gist::new(GistConfig::baseline().with_dynamic_allocation())
-            .plan(&g)
-            .unwrap();
+        let dynamic = Gist::new(GistConfig::baseline().with_dynamic_allocation()).plan(&g).unwrap();
         assert!(dynamic.mfr() >= 1.0);
     }
 
@@ -308,9 +303,7 @@ mod tests {
             .plan(&g)
             .unwrap();
         let opt = Gist::new(
-            GistConfig::lossy(DprFormat::Fp8)
-                .with_dynamic_allocation()
-                .with_optimized_software(),
+            GistConfig::lossy(DprFormat::Fp8).with_dynamic_allocation().with_optimized_software(),
         )
         .plan(&g)
         .unwrap();
@@ -326,7 +319,9 @@ mod tests {
         for row in &report {
             match row.encoding {
                 // Binarize: 32x up to word rounding.
-                "binarize" => assert!(row.compression() > 30.0, "{}: {:.1}", row.layer, row.compression()),
+                "binarize" => {
+                    assert!(row.compression() > 30.0, "{}: {:.1}", row.layer, row.compression())
+                }
                 // FP8 DPR: exactly 4x up to word rounding.
                 "dpr" => assert!(
                     (3.5..=4.5).contains(&row.compression()),

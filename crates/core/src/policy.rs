@@ -140,7 +140,8 @@ mod tests {
         // Figure 10 applies SSDC in isolation; ReLU-Pool maps are sparse
         // ReLU outputs, so SSDC may be applied there when Binarize is off.
         let g = gist_models::alexnet(2);
-        let config = GistConfig { binarize: false, ssdc: true, inplace: false, ..GistConfig::baseline() };
+        let config =
+            GistConfig { binarize: false, ssdc: true, inplace: false, ..GistConfig::baseline() };
         let by_name: std::collections::HashMap<String, &str> =
             assignments_by_tag(&g, &config).into_iter().collect();
         assert_eq!(by_name["conv1_relu"], "ssdc");
@@ -150,11 +151,8 @@ mod tests {
     fn every_stashed_map_gets_an_assignment() {
         let g = gist_models::inception(2);
         let assignments = assign(&g, &GistConfig::lossy(DprFormat::Fp16));
-        let stashed_count = g
-            .nodes()
-            .iter()
-            .filter(|n| gist_graph::class::is_stashed(&g, n.id))
-            .count();
+        let stashed_count =
+            g.nodes().iter().filter(|n| gist_graph::class::is_stashed(&g, n.id)).count();
         assert_eq!(assignments.len(), stashed_count);
         // With lossy on, nothing except inputs stays FP32 unless it's
         // genuinely unencodable.

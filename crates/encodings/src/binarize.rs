@@ -54,11 +54,7 @@ impl BitMask {
         if dy.len() != self.len {
             return Err(EncodingError::LengthMismatch { expected: self.len, actual: dy.len() });
         }
-        Ok(dy
-            .iter()
-            .enumerate()
-            .map(|(i, &d)| if self.get(i) { d } else { 0.0 })
-            .collect())
+        Ok(dy.iter().enumerate().map(|(i, &d)| if self.get(i) { d } else { 0.0 }).collect())
     }
 }
 
@@ -168,9 +164,6 @@ mod tests {
 
     #[test]
     fn pool_map_rejects_wide_windows() {
-        assert_eq!(
-            PoolIndexMap::encode(&[16], 5).unwrap_err(),
-            EncodingError::IndexOutOfRange(16)
-        );
+        assert_eq!(PoolIndexMap::encode(&[16], 5).unwrap_err(), EncodingError::IndexOutOfRange(16));
     }
 }

@@ -176,9 +176,7 @@ mod tests {
     use super::*;
 
     fn sparse_data(len: usize, sparsity_mod: usize) -> Vec<f32> {
-        (0..len)
-            .map(|i| if i % sparsity_mod == 0 { (i + 1) as f32 * 0.5 } else { 0.0 })
-            .collect()
+        (0..len).map(|i| if i % sparsity_mod == 0 { (i + 1) as f32 * 0.5 } else { 0.0 }).collect()
     }
 
     #[test]
@@ -234,8 +232,7 @@ mod tests {
         let len = 256 * 16;
         let mut last = 0.0;
         for m in [2usize, 4, 8, 16] {
-            let data: Vec<f32> =
-                (0..len).map(|i| if i % m == 0 { 1.0 } else { 0.0 }).collect();
+            let data: Vec<f32> = (0..len).map(|i| if i % m == 0 { 1.0 } else { 0.0 }).collect();
             // sparsity = 1 - 1/m increases with m
             let csr = CsrMatrix::encode(&data, SsdcConfig::default());
             let ratio = csr.compression_ratio();

@@ -248,8 +248,7 @@ impl DprFormat {
                 if v.is_nan() || v == 0.0 {
                     return 0;
                 }
-                let sign: u16 =
-                    if v.is_sign_negative() { 1 << (e_bits + m_bits) } else { 0 };
+                let sign: u16 = if v.is_sign_negative() { 1 << (e_bits + m_bits) } else { 0 };
                 let a = v.abs() as f64;
                 if a >= self.max_value() as f64 {
                     let exp_field = (1u16 << e_bits) - 2;
@@ -485,7 +484,8 @@ mod tests {
         let mut ups = 0usize;
         let trials = 20_000;
         for seed in 0..trials {
-            let q = f.decode_one(f.encode_one_with(v, RoundingMode::Stochastic { seed: seed as u64 }));
+            let q =
+                f.decode_one(f.encode_one_with(v, RoundingMode::Stochastic { seed: seed as u64 }));
             assert!(q == 1.0 || q == 1.125, "unexpected neighbour {q}");
             if q == 1.125 {
                 ups += 1;
@@ -521,10 +521,21 @@ mod tests {
         // structured edge cases.
         for f in [DprFormat::Fp16, DprFormat::Fp10, DprFormat::Fp8] {
             let mut probes: Vec<f32> = vec![
-                0.0, -0.0, f32::INFINITY, f32::NEG_INFINITY, f32::MIN_POSITIVE,
-                f.min_normal(), f.min_normal() * 0.999, f.min_normal() * 0.5,
-                f.max_value(), f.max_value() * 0.999, f.max_value() * 1.001,
-                1e-30, -1e-30, 1e30, -1e30,
+                0.0,
+                -0.0,
+                f32::INFINITY,
+                f32::NEG_INFINITY,
+                f32::MIN_POSITIVE,
+                f.min_normal(),
+                f.min_normal() * 0.999,
+                f.min_normal() * 0.5,
+                f.max_value(),
+                f.max_value() * 0.999,
+                f.max_value() * 1.001,
+                1e-30,
+                -1e-30,
+                1e30,
+                -1e30,
             ];
             let mut x = 1.0e-6f32;
             while x < 1.0e6 {
@@ -534,12 +545,7 @@ mod tests {
                 x *= 1.37;
             }
             for &v in &probes {
-                assert_eq!(
-                    f.encode_one(v),
-                    f.encode_one_reference(v),
-                    "{}: v={v:e}",
-                    f.label()
-                );
+                assert_eq!(f.encode_one(v), f.encode_one_reference(v), "{}: v={v:e}", f.label());
             }
         }
     }
@@ -549,8 +555,8 @@ mod tests {
         let f = DprFormat::Fp8; // 3 mantissa bits: representable 1.0, 1.125, ...
         assert_eq!(f.quantize(1.051), 1.0);
         assert_eq!(f.quantize(1.074), 1.125); // above midpoint 1.0625
-        // Tie rounds to even mantissa: 1.0625 is midway between 1.0 (mant 0,
-        // even) and 1.125 (mant 1, odd) -> 1.0.
+                                              // Tie rounds to even mantissa: 1.0625 is midway between 1.0 (mant 0,
+                                              // even) and 1.125 (mant 1, odd) -> 1.0.
         assert_eq!(f.quantize(1.0625), 1.0);
         // Midway between 1.125 (odd) and 1.25 (mant 2, even) -> 1.25.
         assert_eq!(f.quantize(1.1875), 1.25);

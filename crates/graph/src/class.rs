@@ -100,7 +100,12 @@ pub enum WorkspaceMode {
     PerformanceOptimal,
 }
 
-fn conv_workspace_bytes(mode: WorkspaceMode, in_shape: Shape, out_shape: Shape, kernel: usize) -> usize {
+fn conv_workspace_bytes(
+    mode: WorkspaceMode,
+    in_shape: Shape,
+    out_shape: Shape,
+    kernel: usize,
+) -> usize {
     let ckk = in_shape.c() * kernel * kernel;
     match mode {
         WorkspaceMode::MemoryOptimal => ckk * out_shape.w() * 4,
@@ -115,10 +120,7 @@ pub fn is_stashed(graph: &Graph, id: NodeId) -> bool {
     if node.op.needs_output_in_backward() {
         return true;
     }
-    graph
-        .consumers(id)
-        .iter()
-        .any(|&c| graph.node(c).op.needs_input_in_backward())
+    graph.consumers(id).iter().any(|&c| graph.node(c).op.needs_input_in_backward())
 }
 
 /// Builds the complete baseline inventory of data structures for one
@@ -155,11 +157,7 @@ pub fn baseline_inventory(
             }
             Interval::new(fwd, death)
         } else {
-            let last_use = consumers
-                .iter()
-                .map(|&c| sched.forward_step(c))
-                .max()
-                .unwrap_or(fwd);
+            let last_use = consumers.iter().map(|&c| sched.forward_step(c)).max().unwrap_or(fwd);
             Interval::new(fwd, last_use)
         };
         out.push(DataStructure {
@@ -187,11 +185,7 @@ pub fn baseline_inventory(
         // loss head) and read by the node's own backward pass.
         if !matches!(node.op, OpKind::Input(_)) {
             let own_bwd = sched.backward_step(id);
-            let birth = consumers
-                .iter()
-                .map(|&c| sched.backward_step(c))
-                .min()
-                .unwrap_or(own_bwd);
+            let birth = consumers.iter().map(|&c| sched.backward_step(c)).min().unwrap_or(own_bwd);
             out.push(DataStructure {
                 name: format!("{}.dy", node.name),
                 role: TensorRole::GradientMap(id),
@@ -334,7 +328,10 @@ mod tests {
         let relu_id = g.nodes()[2].id;
         let pool_id = g.nodes()[3].id;
         // born when pool's backward writes it, dies when relu's backward reads it
-        assert_eq!(dy.interval, Interval::new(sched.backward_step(pool_id), sched.backward_step(relu_id)));
+        assert_eq!(
+            dy.interval,
+            Interval::new(sched.backward_step(pool_id), sched.backward_step(relu_id))
+        );
     }
 
     #[test]

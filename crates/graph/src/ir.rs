@@ -233,11 +233,7 @@ impl Graph {
 
     /// Ids of the nodes that consume `id`'s output.
     pub fn consumers(&self, id: NodeId) -> Vec<NodeId> {
-        self.nodes
-            .iter()
-            .filter(|n| n.inputs.contains(&id))
-            .map(|n| n.id)
-            .collect()
+        self.nodes.iter().filter(|n| n.inputs.contains(&id)).map(|n| n.id).collect()
     }
 
     fn push(&mut self, op: OpKind, inputs: Vec<NodeId>, name: impl Into<String>) -> NodeId {
@@ -381,14 +377,16 @@ impl Graph {
         }
         let mut shapes: Vec<Shape> = Vec::with_capacity(self.nodes.len());
         for node in &self.nodes {
-            let err = |reason: String| GraphError::ShapeInference { node: node.name.clone(), reason };
-            let input_shape =
-                |i: usize| -> Shape { shapes[node.inputs[i].0] };
+            let err =
+                |reason: String| GraphError::ShapeInference { node: node.name.clone(), reason };
+            let input_shape = |i: usize| -> Shape { shapes[node.inputs[i].0] };
             let s = match &node.op {
                 OpKind::Input(s) => *s,
                 OpKind::Conv { out_channels, params, .. } => {
                     let x = input_shape(0);
-                    if x.h() + 2 * params.pad < params.kernel || x.w() + 2 * params.pad < params.kernel {
+                    if x.h() + 2 * params.pad < params.kernel
+                        || x.w() + 2 * params.pad < params.kernel
+                    {
                         return Err(err(format!("kernel {} too large for {x}", params.kernel)));
                     }
                     params.out_shape(x, *out_channels)

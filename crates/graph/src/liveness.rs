@@ -67,11 +67,7 @@ impl LivenessTable {
 
     /// Total bytes live at a given step.
     pub fn live_bytes_at(&self, step: usize) -> usize {
-        self.entries
-            .iter()
-            .filter(|(_, iv, _)| iv.contains(step))
-            .map(|(_, _, b)| b)
-            .sum()
+        self.entries.iter().filter(|(_, iv, _)| iv.contains(step)).map(|(_, _, b)| b).sum()
     }
 
     /// Peak of [`Self::live_bytes_at`] over all steps — the footprint a

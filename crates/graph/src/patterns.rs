@@ -52,15 +52,11 @@ pub struct LayerPair {
 pub fn classify(graph: &Graph, id: NodeId) -> PairKind {
     let node = graph.node(id);
     let consumers = graph.consumers(id);
-    let any_conv = consumers
-        .iter()
-        .any(|&c| matches!(graph.node(c).op, OpKind::Conv { .. }));
+    let any_conv = consumers.iter().any(|&c| matches!(graph.node(c).op, OpKind::Conv { .. }));
     match node.op {
         OpKind::Relu => {
             let all_pool = !consumers.is_empty()
-                && consumers
-                    .iter()
-                    .all(|&c| matches!(graph.node(c).op, OpKind::MaxPool(_)));
+                && consumers.iter().all(|&c| matches!(graph.node(c).op, OpKind::MaxPool(_)));
             if all_pool {
                 PairKind::ReluPool
             } else if any_conv {

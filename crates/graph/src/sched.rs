@@ -74,8 +74,7 @@ mod tests {
             prev = g.relu(prev, format!("r{i}"));
         }
         let s = Schedule::of(&g);
-        let gaps: Vec<usize> =
-            g.nodes().iter().map(|n| s.stash_gap(n.id)).collect();
+        let gaps: Vec<usize> = g.nodes().iter().map(|n| s.stash_gap(n.id)).collect();
         for w in gaps.windows(2) {
             assert!(w[0] > w[1], "gaps strictly decrease with depth");
         }

@@ -67,10 +67,8 @@ pub fn node_stats(graph: &Graph) -> Result<Vec<NodeStats>, GraphError> {
             OpKind::Concat => (0.0, 0.0),
             OpKind::SoftmaxLoss => (5.0 * y.numel() as f64, 2.0 * y.numel() as f64),
         };
-        let weight_bytes = graph
-            .weight_shape(node.id, &shapes)
-            .map(|w| w.bytes_fp32() as f64)
-            .unwrap_or(0.0);
+        let weight_bytes =
+            graph.weight_shape(node.id, &shapes).map(|w| w.bytes_fp32() as f64).unwrap_or(0.0);
         let fwd_bytes = in_bytes + out_bytes + weight_bytes;
         // backward reads stashes + dY, writes dX (+dW).
         let bwd_bytes = in_bytes + 2.0 * out_bytes + 2.0 * weight_bytes;

@@ -58,8 +58,8 @@ pub fn plan_static(items: &[DataStructure], policy: SharingPolicy) -> StaticPlan
     let mut groups: Vec<MemoryGroup> = Vec::new();
     for idx in order {
         let item = &items[idx];
-        let isolated = policy == SharingPolicy::NoStashedSharing
-            && item.class == DataClass::StashedFmap;
+        let isolated =
+            policy == SharingPolicy::NoStashedSharing && item.class == DataClass::StashedFmap;
         let slot = if isolated {
             None
         } else {
@@ -89,13 +89,7 @@ pub fn plan_static(items: &[DataStructure], policy: SharingPolicy) -> StaticPlan
 /// lifetime, and the footprint is the peak of the live set (Section V-H).
 pub fn peak_dynamic(items: &[DataStructure], num_steps: usize) -> usize {
     (0..num_steps)
-        .map(|step| {
-            items
-                .iter()
-                .filter(|d| d.interval.contains(step))
-                .map(|d| d.bytes)
-                .sum()
-        })
+        .map(|step| items.iter().filter(|d| d.interval.contains(step)).map(|d| d.bytes).sum())
         .max()
         .unwrap_or(0)
 }

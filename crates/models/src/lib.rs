@@ -28,13 +28,7 @@ use gist_tensor::Shape;
 pub const IMAGENET_CLASSES: usize = 1000;
 
 /// Adds `conv -> relu`, returning the relu id.
-fn conv_relu(
-    g: &mut Graph,
-    x: NodeId,
-    out_c: usize,
-    p: ConvParams,
-    name: &str,
-) -> NodeId {
+fn conv_relu(g: &mut Graph, x: NodeId, out_c: usize, p: ConvParams, name: &str) -> NodeId {
     let c = g.conv(x, out_c, p, true, name.to_string());
     g.relu(c, format!("{name}_relu"))
 }
@@ -97,7 +91,13 @@ pub fn vgg16(batch: usize) -> Graph {
     let blocks: [(usize, usize); 5] = [(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)];
     for (bi, (ch, n)) in blocks.iter().enumerate() {
         for ci in 0..*n {
-            x = conv_relu(&mut g, x, *ch, ConvParams::new(3, 1, 1), &format!("conv{}_{}", bi + 1, ci + 1));
+            x = conv_relu(
+                &mut g,
+                x,
+                *ch,
+                ConvParams::new(3, 1, 1),
+                &format!("conv{}_{}", bi + 1, ci + 1),
+            );
         }
         x = g.max_pool(x, PoolParams::new(2, 2, 0), format!("pool{}", bi + 1));
     }
@@ -269,7 +269,15 @@ pub fn resnet50(batch: usize) -> Graph {
         for b in 0..*blocks {
             let stride = if si > 0 && b == 0 { 2 } else { 1 };
             let project = b == 0;
-            h = bottleneck_block(&mut g, h, *mid, *out, stride, project, &format!("s{}b{b}", si + 2));
+            h = bottleneck_block(
+                &mut g,
+                h,
+                *mid,
+                *out,
+                stride,
+                project,
+                &format!("s{}b{b}", si + 2),
+            );
         }
     }
     let gap = g.avg_pool(h, PoolParams::new(7, 1, 0), "global_avgpool");
@@ -445,11 +453,8 @@ mod tests {
     #[test]
     fn vgg16_has_13_convs_and_canonical_shapes() {
         let g = vgg16(1);
-        let convs = g
-            .nodes()
-            .iter()
-            .filter(|n| matches!(n.op, gist_graph::OpKind::Conv { .. }))
-            .count();
+        let convs =
+            g.nodes().iter().filter(|n| matches!(n.op, gist_graph::OpKind::Conv { .. })).count();
         assert_eq!(convs, 13);
         let s = g.infer_shapes().unwrap();
         let pool5 = g.nodes().iter().find(|n| n.name == "pool5").unwrap();
@@ -539,11 +544,8 @@ mod tests {
         assert_eq!(by_name("s5b2_relu3"), Shape::nchw(1, 2048, 7, 7));
         assert_eq!(by_name("global_avgpool"), Shape::nchw(1, 2048, 1, 1));
         // 53 convolutions: 1 stem + 3*3+3 + 4*3+1... = 1 + (9+1)+(12+1)+(18+1)+(9+1) = 53
-        let convs = g
-            .nodes()
-            .iter()
-            .filter(|n| matches!(n.op, gist_graph::OpKind::Conv { .. }))
-            .count();
+        let convs =
+            g.nodes().iter().filter(|n| matches!(n.op, gist_graph::OpKind::Conv { .. })).count();
         assert_eq!(convs, 53);
     }
 

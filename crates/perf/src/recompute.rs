@@ -147,16 +147,8 @@ pub fn composition_report(
     let recompute = apply_sqrt_recompute(&baseline.inventory, baseline.num_steps);
     let combined = apply_sqrt_recompute(&gist.inventory, gist.num_steps);
 
-    let recompute_time: f64 = recompute
-        .recomputed_nodes
-        .iter()
-        .map(|&n| time.per_node[n].0)
-        .sum();
-    let combined_time: f64 = combined
-        .recomputed_nodes
-        .iter()
-        .map(|&n| time.per_node[n].0)
-        .sum();
+    let recompute_time: f64 = recompute.recomputed_nodes.iter().map(|&n| time.per_node[n].0).sum();
+    let combined_time: f64 = combined.recomputed_nodes.iter().map(|&n| time.per_node[n].0).sum();
     // Gist's own encode/decode overhead for the combined row.
     let gist_overhead =
         crate::overhead::gist_overhead(graph, gist_config, gpu)?.gist_s - time.total_s();
@@ -167,8 +159,7 @@ pub fn composition_report(
         gist_bytes: scoped_static(&gist.inventory),
         combined_bytes: scoped_static(&combined.inventory),
         recompute_overhead_pct: 100.0 * recompute_time / time.total_s(),
-        combined_overhead_pct: 100.0 * (combined_time + gist_overhead.max(0.0))
-            / time.total_s(),
+        combined_overhead_pct: 100.0 * (combined_time + gist_overhead.max(0.0)) / time.total_s(),
     })
 }
 

@@ -35,11 +35,8 @@ pub fn swap_overhead(
 ) -> Result<f64, GraphError> {
     let time = estimate_time(graph, gpu)?;
     let inv = baseline_inventory(graph, WorkspaceMode::MemoryOptimal)?;
-    let stashed_bytes: usize = inv
-        .iter()
-        .filter(|d| d.class == DataClass::StashedFmap)
-        .map(|d| d.bytes)
-        .sum();
+    let stashed_bytes: usize =
+        inv.iter().filter(|d| d.class == DataClass::StashedFmap).map(|d| d.bytes).sum();
     let transfer_one_way = gpu.pcie_time(stashed_bytes as f64);
     let baseline = time.total_s();
     let with_swap = match strategy {

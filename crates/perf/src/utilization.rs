@@ -132,10 +132,7 @@ mod tests {
     #[test]
     fn zero_when_nothing_fits() {
         let build = |b: usize| gist_models::resnet_cifar(3, b);
-        assert_eq!(
-            max_batch_fitting(&build, &GistConfig::baseline(), 1 << 10, 64).unwrap(),
-            0
-        );
+        assert_eq!(max_batch_fitting(&build, &GistConfig::baseline(), 1 << 10, 64).unwrap(), 0);
     }
 
     #[test]

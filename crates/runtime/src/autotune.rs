@@ -137,10 +137,7 @@ mod tests {
         // on this short pilot — the selection is consistent with candidates.
         match r.selected {
             None => assert!(!r.candidates[0].2),
-            Some(f) => assert!(r
-                .candidates
-                .iter()
-                .any(|(cf, _, ok)| *cf == f && *ok)),
+            Some(f) => assert!(r.candidates.iter().any(|(cf, _, ok)| *cf == f && *ok)),
         }
     }
 }

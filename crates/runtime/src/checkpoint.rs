@@ -75,7 +75,10 @@ impl<'a> Reader<'a> {
     fn floats(&mut self) -> Result<Vec<f32>, CheckpointError> {
         let n = self.u64()? as usize;
         let raw = self.take(n * 4)?;
-        Ok(raw.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes"))).collect())
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect())
     }
 
     fn done(&self) -> bool {
@@ -160,18 +163,19 @@ pub fn load(params: &mut ParamSet, num_nodes: usize, bytes: &[u8]) -> Result<(),
                 match (bias, secondary) {
                     (Some(b), Some(s)) => write(b, &s)?,
                     (None, None) => {}
-                    _ => return Err(CheckpointError::Mismatch(format!("node {idx}: bias presence"))),
+                    _ => {
+                        return Err(CheckpointError::Mismatch(format!("node {idx}: bias presence")))
+                    }
                 }
             }
             (2, NodeParams::BatchNorm { gamma, beta }) => {
                 write(gamma, &main)?;
-                let s = secondary
-                    .ok_or_else(|| CheckpointError::Mismatch(format!("node {idx}: missing beta")))?;
+                let s = secondary.ok_or_else(|| {
+                    CheckpointError::Mismatch(format!("node {idx}: missing beta"))
+                })?;
                 write(beta, &s)?;
             }
-            (t, _) => {
-                return Err(CheckpointError::Mismatch(format!("node {idx}: kind tag {t}")))
-            }
+            (t, _) => return Err(CheckpointError::Mismatch(format!("node {idx}: kind tag {t}"))),
         }
     }
     Ok(())

@@ -8,8 +8,7 @@
 //! (Figure 14) require.
 
 use gist_tensor::{Shape, Tensor};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use gist_testkit::Rng;
 
 /// A deterministic synthetic labelled-image stream.
 #[derive(Debug, Clone)]
@@ -18,7 +17,7 @@ pub struct SyntheticImages {
     channels: usize,
     size: usize,
     noise: f32,
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl SyntheticImages {
@@ -34,9 +33,9 @@ impl SyntheticImages {
 
     fn with_channels(classes: usize, channels: usize, size: usize, noise: f32, seed: u64) -> Self {
         assert!(classes > 0, "need at least one class");
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let prototypes = (0..classes)
-            .map(|_| (0..channels * size * size).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .map(|_| (0..channels * size * size).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
             .collect();
         SyntheticImages { prototypes, channels, size, noise, rng }
     }

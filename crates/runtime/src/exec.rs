@@ -40,12 +40,8 @@ impl Stash {
             Stash::Bits(_, _) => {
                 unreachable!("binarized stashes are consumed via relu_backward, never decoded")
             }
-            Stash::Sparse(c, s) => {
-                Tensor::from_vec(*s, c.decode()).expect("csr decode length")
-            }
-            Stash::Reduced(b, s) => {
-                Tensor::from_vec(*s, b.decode()).expect("dpr decode length")
-            }
+            Stash::Sparse(c, s) => Tensor::from_vec(*s, c.decode()).expect("csr decode length"),
+            Stash::Reduced(b, s) => Tensor::from_vec(*s, b.decode()).expect("dpr decode length"),
         }
     }
 
@@ -477,8 +473,7 @@ impl Executor {
             }
         }
 
-        let stash_bytes: usize =
-            stashes.iter().flatten().map(Stash::encoded_bytes).sum();
+        let stash_bytes: usize = stashes.iter().flatten().map(Stash::encoded_bytes).sum();
         let ssdc_compression: Vec<(String, f64)> = self
             .graph
             .nodes()
@@ -496,15 +491,16 @@ impl Executor {
         let mut grads: Vec<Option<Tensor>> = vec![None; n];
         let mut pgrads: Vec<Option<ParamGrads>> = (0..n).map(|_| None).collect();
         let mut meter_cell = meter;
-        let accumulate = |meter: &mut MemMeter, grads: &mut Vec<Option<Tensor>>, id: NodeId, g: Tensor| {
-            match &mut grads[id.index()] {
-                Some(existing) => existing.add_scaled(&g, 1.0).expect("gradient shapes agree"),
-                slot @ None => {
-                    meter.alloc(g.numel() * 4);
-                    *slot = Some(g);
+        let accumulate =
+            |meter: &mut MemMeter, grads: &mut Vec<Option<Tensor>>, id: NodeId, g: Tensor| {
+                match &mut grads[id.index()] {
+                    Some(existing) => existing.add_scaled(&g, 1.0).expect("gradient shapes agree"),
+                    slot @ None => {
+                        meter.alloc(g.numel() * 4);
+                        *slot = Some(g);
+                    }
                 }
-            }
-        };
+            };
         let stash_dense = |meter: &mut MemMeter, stashes: &[Option<Stash>], id: NodeId| -> Tensor {
             let t = stashes[id.index()].as_ref().expect("stash present for backward").decode();
             // Decode buffer exists for the duration of this backward step.
@@ -536,8 +532,7 @@ impl Executor {
                 OpKind::Conv { params: cp, .. } => {
                     let producer = node.inputs[0];
                     let x = stash_dense(&mut meter_cell, &stashes, producer);
-                    let Some(NodeParams::Conv { weight, .. }) = self.params.get(id.index())
-                    else {
+                    let Some(NodeParams::Conv { weight, .. }) = self.params.get(id.index()) else {
                         unreachable!("conv has params")
                     };
                     let g = conv::backward(&x, weight, &dy, *cp)?;
@@ -557,7 +552,12 @@ impl Executor {
                     ))?;
                     let g = linear::backward(&x, weight, &dy2)?;
                     pgrads[id.index()] = Some(ParamGrads { main: g.dw, secondary: Some(g.db) });
-                    accumulate(&mut meter_cell, &mut grads, producer, g.dx.reshape(self.shapes[producer.index()])?);
+                    accumulate(
+                        &mut meter_cell,
+                        &mut grads,
+                        producer,
+                        g.dx.reshape(self.shapes[producer.index()])?,
+                    );
                 }
                 OpKind::Relu => {
                     let producer = node.inputs[0];
@@ -643,7 +643,6 @@ impl Executor {
         };
         Ok((stats, pgrads))
     }
-
 }
 
 #[cfg(test)]
@@ -700,8 +699,7 @@ mod tests {
         let (x, y) = minibatch(4);
         let g = gist_models::small_vgg(4, 3);
         let mut base = Executor::new(g.clone(), ExecMode::Baseline, 5).unwrap();
-        let mut gist =
-            Executor::new(g, ExecMode::Gist(GistConfig::lossless()), 5).unwrap();
+        let mut gist = Executor::new(g, ExecMode::Gist(GistConfig::lossless()), 5).unwrap();
         for _ in 0..3 {
             base.step(&x, &y, 0.05).unwrap();
             gist.step(&x, &y, 0.05).unwrap();
@@ -714,12 +712,8 @@ mod tests {
         let (x, y) = minibatch(4);
         let g = gist_models::tiny_convnet(4, 3);
         let mut base = Executor::new(g.clone(), ExecMode::Baseline, 5).unwrap();
-        let mut dpr = Executor::new(
-            g,
-            ExecMode::Gist(GistConfig::lossy(DprFormat::Fp8)),
-            5,
-        )
-        .unwrap();
+        let mut dpr =
+            Executor::new(g, ExecMode::Gist(GistConfig::lossy(DprFormat::Fp8)), 5).unwrap();
         // First forward pass identical (same init, forward untouched by DPR):
         let (sb, _) = base.forward_backward(&x, &y).unwrap();
         let (sd, _) = dpr.forward_backward(&x, &y).unwrap();
@@ -814,10 +808,7 @@ mod tests {
         let g = gist_models::tiny_convnet(4, 3);
         let mut e = Executor::new(g, ExecMode::Baseline, 1).unwrap();
         let (x, y) = minibatch(4);
-        assert!(matches!(
-            e.step(&x, &y[..2], 0.1),
-            Err(RuntimeError::BatchMismatch(_))
-        ));
+        assert!(matches!(e.step(&x, &y[..2], 0.1), Err(RuntimeError::BatchMismatch(_))));
         let bad = Tensor::zeros(Shape::nchw(4, 3, 16, 16));
         assert!(matches!(e.step(&bad, &y, 0.1), Err(RuntimeError::BatchMismatch(_))));
     }

@@ -54,8 +54,7 @@ impl MomentumSgd {
             }
             let (vm, vs) = slot.as_mut().expect("velocity just initialized");
             // v = momentum*v + g + decay*p
-            for ((v, &gv), &pv) in vm.data_mut().iter_mut().zip(g.main.data()).zip(main_p.data())
-            {
+            for ((v, &gv), &pv) in vm.data_mut().iter_mut().zip(g.main.data()).zip(main_p.data()) {
                 *v = self.momentum * *v + gv + decay * pv;
             }
             main_p.add_scaled(vm, -self.lr).expect("shapes fixed at init");
@@ -73,8 +72,8 @@ impl MomentumSgd {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::exec::{ExecMode, Executor};
     use crate::data::SyntheticImages;
+    use crate::exec::{ExecMode, Executor};
 
     #[test]
     fn zero_momentum_matches_plain_sgd() {

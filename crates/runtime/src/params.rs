@@ -59,8 +59,12 @@ impl ParamSet {
                 OpKind::Linear { out_features, bias } => {
                     let (_, f_in) = shapes[node.inputs[0].index()].as_matrix();
                     let w_shape = Shape::matrix(*out_features, f_in);
-                    let weight =
-                        init::xavier_uniform(w_shape, f_in, *out_features, seed ^ node.id.index() as u64);
+                    let weight = init::xavier_uniform(
+                        w_shape,
+                        f_in,
+                        *out_features,
+                        seed ^ node.id.index() as u64,
+                    );
                     let bias = bias.then(|| Tensor::zeros(Shape::vector(*out_features)));
                     Some(NodeParams::Linear { weight, bias })
                 }
@@ -161,7 +165,10 @@ mod tests {
         let b = ParamSet::init(&g, 7).unwrap();
         for i in 0..g.len() {
             match (a.get(i), b.get(i)) {
-                (Some(NodeParams::Conv { weight: wa, .. }), Some(NodeParams::Conv { weight: wb, .. })) => {
+                (
+                    Some(NodeParams::Conv { weight: wa, .. }),
+                    Some(NodeParams::Conv { weight: wb, .. }),
+                ) => {
                     assert_eq!(wa, wb)
                 }
                 (None, None) => {}
@@ -174,11 +181,7 @@ mod tests {
     fn resnet_gets_batchnorm_params() {
         let g = gist_models::resnet_cifar(1, 2);
         let p = ParamSet::init(&g, 1).unwrap();
-        let bn_count = g
-            .nodes()
-            .iter()
-            .filter(|n| matches!(n.op, OpKind::BatchNorm))
-            .count();
+        let bn_count = g.nodes().iter().filter(|n| matches!(n.op, OpKind::BatchNorm)).count();
         assert!(bn_count > 0);
         let has_bn_params = g
             .nodes()
@@ -198,10 +201,8 @@ mod tests {
             _ => unreachable!(),
         };
         let mut grads: Vec<Option<ParamGrads>> = vec![None; g.len()];
-        grads[conv_idx] = Some(ParamGrads {
-            main: Tensor::full(before.shape(), 1.0),
-            secondary: None,
-        });
+        grads[conv_idx] =
+            Some(ParamGrads { main: Tensor::full(before.shape(), 1.0), secondary: None });
         sgd_update(&mut p, &grads, 0.5);
         let after = match p.get(conv_idx).unwrap() {
             NodeParams::Conv { weight, .. } => weight.clone(),

@@ -123,7 +123,15 @@ pub fn train(
     } else {
         SyntheticImages::new(classes, input_shape.h(), noise, dataset_seed)
     };
-    train_loop(&mut exec, &mut ds, label, epochs, batches_per_epoch, batch, LrSchedule::Constant(lr))
+    train_loop(
+        &mut exec,
+        &mut ds,
+        label,
+        epochs,
+        batches_per_epoch,
+        batch,
+        LrSchedule::Constant(lr),
+    )
 }
 
 /// Like [`train`] but with an explicit learning-rate schedule; `train` is

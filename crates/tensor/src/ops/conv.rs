@@ -58,7 +58,8 @@ fn im2col(x: &Tensor, n: usize, p: ConvParams, oh: usize, ow: usize) -> Vec<f32>
                         if iw < 0 || iw >= s.w() as isize {
                             continue;
                         }
-                        cols[row * oh * ow + ohi * ow + owi] = x.at(n, ci, ih as usize, iw as usize);
+                        cols[row * oh * ow + ohi * ow + owi] =
+                            x.at(n, ci, ih as usize, iw as usize);
                     }
                 }
             }
@@ -117,12 +118,18 @@ pub fn forward(
         )));
     }
     if s.h() + 2 * p.pad < p.kernel || s.w() + 2 * p.pad < p.kernel {
-        return Err(TensorError::UnsupportedShape(format!("kernel {} larger than padded input {s}", p.kernel)));
+        return Err(TensorError::UnsupportedShape(format!(
+            "kernel {} larger than padded input {s}",
+            p.kernel
+        )));
     }
     let out_c = ws.n();
     if let Some(b) = bias {
         if b.numel() != out_c {
-            return Err(TensorError::ShapeMismatch { left: b.shape(), right: Shape::vector(out_c) });
+            return Err(TensorError::ShapeMismatch {
+                left: b.shape(),
+                right: Shape::vector(out_c),
+            });
         }
     }
     let out = p.out_shape(s, out_c);
@@ -131,8 +138,7 @@ pub fn forward(
     let mut y = Tensor::zeros(out);
     let per_image = out_c * oh * ow;
     // Images are independent; fan the minibatch out over worker threads.
-    let chunks: Vec<(usize, &mut [f32])> =
-        y.data_mut().chunks_mut(per_image).enumerate().collect();
+    let chunks: Vec<(usize, &mut [f32])> = y.data_mut().chunks_mut(per_image).enumerate().collect();
     std::thread::scope(|scope| {
         let workers = worker_count(s.n());
         for worker_chunks in split_work(chunks, workers) {
@@ -223,8 +229,7 @@ pub fn backward(
                     let mut db_part = vec![0.0f32; out_c];
                     for (n, dst) in worker_chunks {
                         let cols = im2col(x, n, p, oh, ow);
-                        let dy_n =
-                            &dy.data()[n * out_c * oh * ow..(n + 1) * out_c * oh * ow];
+                        let dy_n = &dy.data()[n * out_c * oh * ow..(n + 1) * out_c * oh * ow];
                         let dwn = matmul_a_bt(dy_n, &cols, out_c, oh * ow, ckk);
                         for (a, b) in dw_part.iter_mut().zip(&dwn) {
                             *a += b;
@@ -232,8 +237,7 @@ pub fn backward(
                         let dcols = matmul_at_b(weight.data(), dy_n, ckk, out_c, oh * ow);
                         col2im_slice(&dcols, dst, s, p, oh, ow);
                         for k in 0..out_c {
-                            db_part[k] +=
-                                dy_n[k * oh * ow..(k + 1) * oh * ow].iter().sum::<f32>();
+                            db_part[k] += dy_n[k * oh * ow..(k + 1) * oh * ow].iter().sum::<f32>();
                         }
                     }
                     (dw_part, db_part)
@@ -269,7 +273,8 @@ mod tests {
     #[test]
     fn known_3x3_convolution() {
         // 3x3 input, 3x3 sum kernel, no pad -> single output = sum of input.
-        let x = Tensor::from_vec(Shape::nchw(1, 1, 3, 3), (1..=9).map(|v| v as f32).collect()).unwrap();
+        let x =
+            Tensor::from_vec(Shape::nchw(1, 1, 3, 3), (1..=9).map(|v| v as f32).collect()).unwrap();
         let w = Tensor::full(Shape::nchw(1, 1, 3, 3), 1.0);
         let y = forward(&x, &w, None, ConvParams::new(3, 1, 0)).unwrap();
         assert_eq!(y.data(), &[45.0]);

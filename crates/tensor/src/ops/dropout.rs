@@ -39,12 +39,8 @@ pub fn forward(x: &Tensor, mask: &[bool], drop_p: f32) -> Result<Tensor, TensorE
         return Err(TensorError::LengthMismatch { expected: x.numel(), actual: mask.len() });
     }
     let scale = 1.0 / (1.0 - drop_p);
-    let data = x
-        .data()
-        .iter()
-        .zip(mask)
-        .map(|(&v, &keep)| if keep { v * scale } else { 0.0 })
-        .collect();
+    let data =
+        x.data().iter().zip(mask).map(|(&v, &keep)| if keep { v * scale } else { 0.0 }).collect();
     Tensor::from_vec(x.shape(), data)
 }
 
@@ -76,10 +72,7 @@ mod tests {
         for p in [0.1f32, 0.5, 0.9] {
             let mask = keep_mask(20_000, p, 3);
             let kept = mask.iter().filter(|&&k| k).count() as f64 / 20_000.0;
-            assert!(
-                (kept - (1.0 - p as f64)).abs() < 0.02,
-                "p={p}: kept {kept:.3}"
-            );
+            assert!((kept - (1.0 - p as f64)).abs() < 0.02, "p={p}: kept {kept:.3}");
         }
     }
 

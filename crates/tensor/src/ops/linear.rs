@@ -22,7 +22,10 @@ pub fn forward(x: &Tensor, weight: &Tensor, bias: Option<&Tensor>) -> Result<Ten
     }
     if let Some(b) = bias {
         if b.numel() != f_out {
-            return Err(TensorError::ShapeMismatch { left: b.shape(), right: Shape::vector(f_out) });
+            return Err(TensorError::ShapeMismatch {
+                left: b.shape(),
+                right: Shape::vector(f_out),
+            });
         }
     }
     let mut y = matmul_a_bt(x.data(), weight.data(), n, f_in, f_out);

@@ -63,19 +63,10 @@ fn denominators(x: &Tensor, p: LrnParams) -> Vec<f32> {
 /// Returns an error if `size` is zero or the input has no channels.
 pub fn forward(x: &Tensor, p: LrnParams) -> Result<Tensor, TensorError> {
     if p.size == 0 || x.shape().c() == 0 {
-        return Err(TensorError::UnsupportedShape(format!(
-            "lrn size {} on {}",
-            p.size,
-            x.shape()
-        )));
+        return Err(TensorError::UnsupportedShape(format!("lrn size {} on {}", p.size, x.shape())));
     }
     let den = denominators(x, p);
-    let data = x
-        .data()
-        .iter()
-        .zip(&den)
-        .map(|(&v, &d)| v / d.powf(p.beta))
-        .collect();
+    let data = x.data().iter().zip(&den).map(|(&v, &d)| v / d.powf(p.beta)).collect();
     Tensor::from_vec(x.shape(), data)
 }
 
@@ -94,9 +85,8 @@ pub fn backward(x: &Tensor, dy: &Tensor, p: LrnParams) -> Result<Tensor, TensorE
     }
     let den = denominators(x, p);
     // ratio[c] = dy[c]*y[c]/s[c] = dy[c]*x[c]*s[c]^(-beta-1)
-    let ratio: Vec<f32> = (0..x.numel())
-        .map(|i| dy.data()[i] * x.data()[i] * den[i].powf(-p.beta - 1.0))
-        .collect();
+    let ratio: Vec<f32> =
+        (0..x.numel()).map(|i| dy.data()[i] * x.data()[i] * den[i].powf(-p.beta - 1.0)).collect();
     let mut dx = Tensor::zeros(s);
     let scale = 2.0 * p.alpha * p.beta / p.size as f32;
     for n in 0..s.n() {

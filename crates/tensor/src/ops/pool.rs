@@ -61,7 +61,11 @@ pub struct MaxPoolOutput {
 /// Returns [`TensorError::UnsupportedShape`] if the window does not fit.
 pub fn maxpool_forward(x: &Tensor, p: PoolParams) -> Result<MaxPoolOutput, TensorError> {
     let s = x.shape();
-    if p.window == 0 || p.stride == 0 || s.h() + 2 * p.pad < p.window || s.w() + 2 * p.pad < p.window {
+    if p.window == 0
+        || p.stride == 0
+        || s.h() + 2 * p.pad < p.window
+        || s.w() + 2 * p.pad < p.window
+    {
         return Err(TensorError::UnsupportedShape(format!(
             "maxpool window {}x{} stride {} pad {} on {s}",
             p.window, p.window, p.stride, p.pad
@@ -131,7 +135,11 @@ pub fn maxpool_backward(
                     let kw = widx % p.window;
                     let ih = (oh * p.stride + kh) as isize - p.pad as isize;
                     let iw = (ow * p.stride + kw) as isize - p.pad as isize;
-                    if ih >= 0 && iw >= 0 && (ih as usize) < x_shape.h() && (iw as usize) < x_shape.w() {
+                    if ih >= 0
+                        && iw >= 0
+                        && (ih as usize) < x_shape.h()
+                        && (iw as usize) < x_shape.w()
+                    {
                         let idx = x_shape.index(n, c, ih as usize, iw as usize);
                         dx.data_mut()[idx] += dy.data()[oi];
                     }
@@ -150,7 +158,11 @@ pub fn maxpool_backward(
 /// Returns [`TensorError::UnsupportedShape`] if the window does not fit.
 pub fn avgpool_forward(x: &Tensor, p: PoolParams) -> Result<Tensor, TensorError> {
     let s = x.shape();
-    if p.window == 0 || p.stride == 0 || s.h() + 2 * p.pad < p.window || s.w() + 2 * p.pad < p.window {
+    if p.window == 0
+        || p.stride == 0
+        || s.h() + 2 * p.pad < p.window
+        || s.w() + 2 * p.pad < p.window
+    {
         return Err(TensorError::UnsupportedShape(format!(
             "avgpool window {} stride {} pad {} on {s}",
             p.window, p.stride, p.pad

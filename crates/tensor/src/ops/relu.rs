@@ -34,12 +34,8 @@ pub fn forward_inplace(x: &mut Tensor) {
 /// Panics if the shapes differ.
 pub fn backward(y: &Tensor, dy: &Tensor) -> Tensor {
     assert_eq!(y.shape(), dy.shape(), "relu backward shapes");
-    let data = y
-        .data()
-        .iter()
-        .zip(dy.data())
-        .map(|(&yv, &dv)| if yv > 0.0 { dv } else { 0.0 })
-        .collect();
+    let data =
+        y.data().iter().zip(dy.data()).map(|(&yv, &dv)| if yv > 0.0 { dv } else { 0.0 }).collect();
     Tensor::from_vec(y.shape(), data).expect("same shape")
 }
 
@@ -53,11 +49,7 @@ pub fn backward(y: &Tensor, dy: &Tensor) -> Tensor {
 /// Panics if `mask.len() != dy.numel()`.
 pub fn backward_from_mask(mask: &[bool], dy: &Tensor) -> Tensor {
     assert_eq!(mask.len(), dy.numel(), "mask length");
-    let data = mask
-        .iter()
-        .zip(dy.data())
-        .map(|(&m, &dv)| if m { dv } else { 0.0 })
-        .collect();
+    let data = mask.iter().zip(dy.data()).map(|(&m, &dv)| if m { dv } else { 0.0 }).collect();
     Tensor::from_vec(dy.shape(), data).expect("same shape")
 }
 

@@ -128,8 +128,7 @@ mod tests {
 
     #[test]
     fn counts_correct_predictions() {
-        let logits =
-            Tensor::from_vec(Shape::matrix(2, 2), vec![5.0, 0.0, 0.0, 5.0]).unwrap();
+        let logits = Tensor::from_vec(Shape::matrix(2, 2), vec![5.0, 0.0, 0.0, 5.0]).unwrap();
         assert_eq!(cross_entropy(&logits, &[0, 1]).unwrap().correct, 2);
         assert_eq!(cross_entropy(&logits, &[1, 0]).unwrap().correct, 0);
     }

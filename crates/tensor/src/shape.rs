@@ -98,11 +98,7 @@ impl Shape {
 
 impl fmt::Display for Shape {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "[{}x{}x{}x{}]",
-            self.dims[0], self.dims[1], self.dims[2], self.dims[3]
-        )
+        write!(f, "[{}x{}x{}x{}]", self.dims[0], self.dims[1], self.dims[2], self.dims[3])
     }
 }
 

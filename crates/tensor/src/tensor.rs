@@ -38,7 +38,10 @@ impl Tensor {
     /// Returns [`TensorError::LengthMismatch`] if `data.len() != shape.numel()`.
     pub fn from_vec(shape: Shape, data: Vec<f32>) -> Result<Self, TensorError> {
         if data.len() != shape.numel() {
-            return Err(TensorError::LengthMismatch { expected: shape.numel(), actual: data.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: shape.numel(),
+                actual: data.len(),
+            });
         }
         Ok(Tensor { shape, data })
     }
@@ -88,7 +91,10 @@ impl Tensor {
     /// Returns [`TensorError::LengthMismatch`] if the volumes differ.
     pub fn reshape(mut self, shape: Shape) -> Result<Self, TensorError> {
         if shape.numel() != self.data.len() {
-            return Err(TensorError::LengthMismatch { expected: shape.numel(), actual: self.data.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: shape.numel(),
+                actual: self.data.len(),
+            });
         }
         self.shape = shape;
         Ok(self)
@@ -141,11 +147,7 @@ impl Tensor {
     /// Panics if the shapes differ.
     pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
         assert_eq!(self.shape, other.shape, "max_abs_diff requires equal shapes");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f32::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0, f32::max)
     }
 }
 

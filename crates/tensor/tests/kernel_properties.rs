@@ -1,133 +1,171 @@
 //! Property-based tests for the tensor kernels: algebraic identities that
 //! must hold for arbitrary inputs, independent of the specific values.
+//! Each property runs 64 generated cases, matching the proptest-era count.
 
 use gist_tensor::ops::conv::{self, ConvParams};
 use gist_tensor::ops::pool::{self, PoolParams};
 use gist_tensor::ops::{elementwise, linear, relu, softmax};
 use gist_tensor::{Shape, Tensor};
-use proptest::prelude::*;
+use gist_testkit::prop::{map, vec_of, Strategy};
+use gist_testkit::Runner;
+
+const CASES: u32 = 64;
 
 fn small_tensor(n: usize, c: usize, h: usize, w: usize) -> impl Strategy<Value = Tensor> {
-    prop::collection::vec(-10.0f32..10.0, n * c * h * w)
-        .prop_map(move |v| Tensor::from_vec(Shape::nchw(n, c, h, w), v).unwrap())
+    map(vec_of(-10.0f32..10.0, n * c * h * w..n * c * h * w + 1), move |v| {
+        Tensor::from_vec(Shape::nchw(n, c, h, w), v).unwrap()
+    })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// ReLU is idempotent and its output non-negative.
+#[test]
+fn relu_idempotent() {
+    Runner::new("relu_idempotent").cases(CASES).run(&small_tensor(1, 2, 4, 4), |x| {
+        let y = relu::forward(x);
+        assert!(y.data().iter().all(|&v| v >= 0.0));
+        assert_eq!(relu::forward(&y), y);
+    });
+}
 
-    /// ReLU is idempotent and its output non-negative.
-    #[test]
-    fn relu_idempotent(x in small_tensor(1, 2, 4, 4)) {
-        let y = relu::forward(&x);
-        prop_assert!(y.data().iter().all(|&v| v >= 0.0));
-        prop_assert_eq!(relu::forward(&y), y);
-    }
+/// Convolution is linear in its input: conv(a+b) = conv(a) + conv(b).
+#[test]
+fn conv_is_linear_in_input() {
+    Runner::new("conv_is_linear_in_input").cases(CASES).run(
+        &(small_tensor(1, 2, 5, 5), small_tensor(1, 2, 5, 5)),
+        |(a, b)| {
+            let w = gist_tensor::init::uniform(Shape::nchw(3, 2, 3, 3), -1.0, 1.0, 7);
+            let p = ConvParams::new(3, 1, 1);
+            let ya = conv::forward(a, &w, None, p).unwrap();
+            let yb = conv::forward(b, &w, None, p).unwrap();
+            let yab = conv::forward(&a.add(b).unwrap(), &w, None, p).unwrap();
+            let sum = ya.add(&yb).unwrap();
+            assert!(yab.max_abs_diff(&sum) < 1e-3);
+        },
+    );
+}
 
-    /// Convolution is linear in its input: conv(a+b) = conv(a) + conv(b).
-    #[test]
-    fn conv_is_linear_in_input(
-        a in small_tensor(1, 2, 5, 5),
-        b in small_tensor(1, 2, 5, 5),
-    ) {
-        let w = gist_tensor::init::uniform(Shape::nchw(3, 2, 3, 3), -1.0, 1.0, 7);
-        let p = ConvParams::new(3, 1, 1);
-        let ya = conv::forward(&a, &w, None, p).unwrap();
-        let yb = conv::forward(&b, &w, None, p).unwrap();
-        let yab = conv::forward(&a.add(&b).unwrap(), &w, None, p).unwrap();
-        let sum = ya.add(&yb).unwrap();
-        prop_assert!(yab.max_abs_diff(&sum) < 1e-3);
-    }
+/// Max pooling commutes with adding a constant (max is translation-
+/// equivariant) for pad-free geometries.
+#[test]
+fn maxpool_translation_equivariant() {
+    Runner::new("maxpool_translation_equivariant").cases(CASES).run(
+        &(small_tensor(1, 1, 6, 6), -5.0f32..5.0),
+        |(x, shift)| {
+            let p = PoolParams::new(2, 2, 0);
+            let base = pool::maxpool_forward(x, p).unwrap();
+            let mut shifted = x.clone();
+            for v in shifted.data_mut() {
+                *v += shift;
+            }
+            let shifted_out = pool::maxpool_forward(&shifted, p).unwrap();
+            for (a, b) in base.y.data().iter().zip(shifted_out.y.data()) {
+                assert!((a + shift - b).abs() < 1e-4);
+            }
+        },
+    );
+}
 
-    /// Max pooling commutes with adding a constant (max is translation-
-    /// equivariant) for pad-free geometries.
-    #[test]
-    fn maxpool_translation_equivariant(x in small_tensor(1, 1, 6, 6), shift in -5.0f32..5.0) {
-        let p = PoolParams::new(2, 2, 0);
-        let base = pool::maxpool_forward(&x, p).unwrap();
-        let mut shifted = x.clone();
-        for v in shifted.data_mut() { *v += shift; }
-        let shifted_out = pool::maxpool_forward(&shifted, p).unwrap();
-        for (a, b) in base.y.data().iter().zip(shifted_out.y.data()) {
-            prop_assert!((a + shift - b).abs() < 1e-4);
-        }
-    }
+/// Max-pool backward conserves gradient mass for non-overlapping
+/// windows: every dY element lands on exactly one dX position.
+#[test]
+fn maxpool_backward_conserves_mass() {
+    Runner::new("maxpool_backward_conserves_mass").cases(CASES).run(
+        &small_tensor(1, 2, 4, 4),
+        |x| {
+            let p = PoolParams::new(2, 2, 0);
+            let out = pool::maxpool_forward(x, p).unwrap();
+            let dy = gist_tensor::init::uniform(out.y.shape(), -1.0, 1.0, 3);
+            let dx = pool::maxpool_backward(x.shape(), &out.argmax, &dy, p).unwrap();
+            let sum_dy: f32 = dy.data().iter().sum();
+            let sum_dx: f32 = dx.data().iter().sum();
+            assert!((sum_dy - sum_dx).abs() < 1e-3);
+        },
+    );
+}
 
-    /// Max-pool backward conserves gradient mass for non-overlapping
-    /// windows: every dY element lands on exactly one dX position.
-    #[test]
-    fn maxpool_backward_conserves_mass(x in small_tensor(1, 2, 4, 4)) {
-        let p = PoolParams::new(2, 2, 0);
-        let out = pool::maxpool_forward(&x, p).unwrap();
-        let dy = gist_tensor::init::uniform(out.y.shape(), -1.0, 1.0, 3);
-        let dx = pool::maxpool_backward(x.shape(), &out.argmax, &dy, p).unwrap();
-        let sum_dy: f32 = dy.data().iter().sum();
-        let sum_dx: f32 = dx.data().iter().sum();
-        prop_assert!((sum_dy - sum_dx).abs() < 1e-3);
-    }
+/// Average-pool backward also conserves gradient mass (pad-free).
+#[test]
+fn avgpool_backward_conserves_mass() {
+    Runner::new("avgpool_backward_conserves_mass").cases(CASES).run(
+        &small_tensor(1, 1, 4, 4),
+        |x| {
+            let p = PoolParams::new(2, 2, 0);
+            let y = pool::avgpool_forward(x, p).unwrap();
+            let dy = gist_tensor::init::uniform(y.shape(), -1.0, 1.0, 5);
+            let dx = pool::avgpool_backward(x.shape(), &dy, p).unwrap();
+            let sum_dy: f32 = dy.data().iter().sum();
+            let sum_dx: f32 = dx.data().iter().sum();
+            assert!((sum_dy - sum_dx).abs() < 1e-3);
+        },
+    );
+}
 
-    /// Average-pool backward also conserves gradient mass (pad-free).
-    #[test]
-    fn avgpool_backward_conserves_mass(x in small_tensor(1, 1, 4, 4)) {
-        let p = PoolParams::new(2, 2, 0);
-        let y = pool::avgpool_forward(&x, p).unwrap();
-        let dy = gist_tensor::init::uniform(y.shape(), -1.0, 1.0, 5);
-        let dx = pool::avgpool_backward(x.shape(), &dy, p).unwrap();
-        let sum_dy: f32 = dy.data().iter().sum();
-        let sum_dx: f32 = dx.data().iter().sum();
-        prop_assert!((sum_dy - sum_dx).abs() < 1e-3);
-    }
+/// Softmax outputs a probability distribution and never NaNs, even for
+/// extreme logits.
+#[test]
+fn softmax_is_a_distribution() {
+    Runner::new("softmax_is_a_distribution").cases(CASES).run(
+        &vec_of(-100.0f32..100.0, 8..9),
+        |v| {
+            let t = Tensor::from_vec(Shape::matrix(2, 4), v.clone()).unwrap();
+            let p = softmax::softmax(&t);
+            assert!(p.data().iter().all(|x| x.is_finite() && *x >= 0.0));
+            for row in p.data().chunks(4) {
+                let s: f32 = row.iter().sum();
+                assert!((s - 1.0).abs() < 1e-4);
+            }
+        },
+    );
+}
 
-    /// Softmax outputs a probability distribution and never NaNs, even for
-    /// extreme logits.
-    #[test]
-    fn softmax_is_a_distribution(v in prop::collection::vec(-100.0f32..100.0, 8)) {
-        let t = Tensor::from_vec(Shape::matrix(2, 4), v).unwrap();
-        let p = softmax::softmax(&t);
-        prop_assert!(p.data().iter().all(|x| x.is_finite() && *x >= 0.0));
-        for row in p.data().chunks(4) {
-            let s: f32 = row.iter().sum();
-            prop_assert!((s - 1.0).abs() < 1e-4);
-        }
-    }
+/// Cross-entropy gradient rows sum to ~0 (softmax minus one-hot).
+#[test]
+fn cross_entropy_gradient_rows_sum_to_zero() {
+    Runner::new("cross_entropy_gradient_rows_sum_to_zero").cases(CASES).run(
+        &(vec_of(-5.0f32..5.0, 12..13), vec_of(0usize..4, 3..4)),
+        |(v, labels)| {
+            let t = Tensor::from_vec(Shape::matrix(3, 4), v.clone()).unwrap();
+            let out = softmax::cross_entropy(&t, labels).unwrap();
+            for row in out.dlogits.data().chunks(4) {
+                let s: f32 = row.iter().sum();
+                assert!(s.abs() < 1e-5);
+            }
+        },
+    );
+}
 
-    /// Cross-entropy gradient rows sum to ~0 (softmax minus one-hot).
-    #[test]
-    fn cross_entropy_gradient_rows_sum_to_zero(
-        v in prop::collection::vec(-5.0f32..5.0, 12),
-        labels in prop::collection::vec(0usize..4, 3),
-    ) {
-        let t = Tensor::from_vec(Shape::matrix(3, 4), v).unwrap();
-        let out = softmax::cross_entropy(&t, &labels).unwrap();
-        for row in out.dlogits.data().chunks(4) {
-            let s: f32 = row.iter().sum();
-            prop_assert!(s.abs() < 1e-5);
-        }
-    }
+/// Linear layer respects scalar homogeneity: f(k*x) = k*f(x) (no bias).
+#[test]
+fn linear_homogeneous() {
+    Runner::new("linear_homogeneous").cases(CASES).run(
+        &(small_tensor(2, 1, 1, 6), -3.0f32..3.0),
+        |(x, k)| {
+            let w = gist_tensor::init::uniform(Shape::matrix(4, 6), -1.0, 1.0, 9);
+            let y = linear::forward(x, &w, None).unwrap();
+            let mut kx = x.clone();
+            for v in kx.data_mut() {
+                *v *= k;
+            }
+            let ky = linear::forward(&kx, &w, None).unwrap();
+            for (a, b) in y.data().iter().zip(ky.data()) {
+                assert!((a * k - b).abs() < 1e-2);
+            }
+        },
+    );
+}
 
-    /// Linear layer respects scalar homogeneity: f(k*x) = k*f(x) (no bias).
-    #[test]
-    fn linear_homogeneous(x in small_tensor(2, 1, 1, 6), k in -3.0f32..3.0) {
-        let w = gist_tensor::init::uniform(Shape::matrix(4, 6), -1.0, 1.0, 9);
-        let y = linear::forward(&x, &w, None).unwrap();
-        let mut kx = x.clone();
-        for v in kx.data_mut() { *v *= k; }
-        let ky = linear::forward(&kx, &w, None).unwrap();
-        for (a, b) in y.data().iter().zip(ky.data()) {
-            prop_assert!((a * k - b).abs() < 1e-2);
-        }
-    }
-
-    /// concat_backward(concat_forward(xs)) recovers each input exactly.
-    #[test]
-    fn concat_roundtrip(
-        a in small_tensor(1, 2, 3, 3),
-        b in small_tensor(1, 3, 3, 3),
-        c in small_tensor(1, 1, 3, 3),
-    ) {
-        let y = elementwise::concat_forward(&[&a, &b, &c]).unwrap();
-        let parts = elementwise::concat_backward(&y, &[a.shape(), b.shape(), c.shape()]).unwrap();
-        prop_assert_eq!(parts[0].clone(), a);
-        prop_assert_eq!(parts[1].clone(), b);
-        prop_assert_eq!(parts[2].clone(), c);
-    }
+/// concat_backward(concat_forward(xs)) recovers each input exactly.
+#[test]
+fn concat_roundtrip() {
+    Runner::new("concat_roundtrip").cases(CASES).run(
+        &(small_tensor(1, 2, 3, 3), small_tensor(1, 3, 3, 3), small_tensor(1, 1, 3, 3)),
+        |(a, b, c)| {
+            let y = elementwise::concat_forward(&[a, b, c]).unwrap();
+            let parts =
+                elementwise::concat_backward(&y, &[a.shape(), b.shape(), c.shape()]).unwrap();
+            assert_eq!(&parts[0], a);
+            assert_eq!(&parts[1], b);
+            assert_eq!(&parts[2], c);
+        },
+    );
 }

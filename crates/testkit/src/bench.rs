@@ -1,0 +1,226 @@
+//! A wall-clock micro-bench harness replacing `criterion`.
+//!
+//! Each benchmark auto-calibrates an iteration count so one sample takes a
+//! measurable slice of wall-clock time, runs warmup samples, then reports
+//! the **median of N timed samples** (robust to scheduler noise, no
+//! statistics dependencies). Results print as a fixed-width table and are
+//! written as JSON under `results/` (override the directory with the
+//! `GIST_RESULTS_DIR` environment variable) so EXPERIMENTS.md numbers can
+//! be regenerated from artifacts rather than scrollback.
+//!
+//! Benchmarks are plain binaries: `cargo run --release -p gist-bench --bin
+//! bench_encodings`. There is no `cargo bench` harness and no magic — a
+//! `main()` builds a [`BenchGroup`], calls [`BenchGroup::bench`] per case,
+//! and [`BenchGroup::finish`] writes the artifact.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time for one timed sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(10);
+/// Timed samples per benchmark (median is reported).
+const DEFAULT_SAMPLES: usize = 15;
+/// Warmup samples per benchmark (discarded).
+const DEFAULT_WARMUP: usize = 3;
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Benchmark label within the group.
+    pub label: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Minimum observed nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Maximum observed nanoseconds per iteration.
+    pub max_ns: f64,
+    /// Iterations per timed sample (calibrated).
+    pub iters_per_sample: u64,
+    /// Bytes processed per iteration, if declared via
+    /// [`BenchGroup::throughput_bytes`].
+    pub bytes: Option<u64>,
+}
+
+impl Record {
+    /// Throughput in GiB/s, if a byte count was declared.
+    pub fn gib_per_s(&self) -> Option<f64> {
+        self.bytes.map(|b| b as f64 / self.median_ns * 1e9 / (1u64 << 30) as f64)
+    }
+}
+
+/// A named group of related benchmarks sharing one JSON artifact.
+pub struct BenchGroup {
+    name: String,
+    samples: usize,
+    warmup: usize,
+    bytes: Option<u64>,
+    records: Vec<Record>,
+}
+
+impl BenchGroup {
+    /// Creates a group; `name` becomes the artifact file stem
+    /// (`results/bench_<name>.json`).
+    pub fn new(name: &str) -> Self {
+        BenchGroup {
+            name: name.to_string(),
+            samples: DEFAULT_SAMPLES,
+            warmup: DEFAULT_WARMUP,
+            bytes: None,
+            records: Vec::new(),
+        }
+    }
+
+    /// Overrides the timed-sample count (median of these is reported).
+    pub fn samples(mut self, n: usize) -> Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Declares bytes processed per iteration for subsequent benches, so
+    /// the report includes GiB/s (criterion's `Throughput::Bytes`).
+    pub fn throughput_bytes(&mut self, bytes: u64) {
+        self.bytes = Some(bytes);
+    }
+
+    /// Runs one benchmark: calibrate, warm up, time, record.
+    pub fn bench<R, F: FnMut() -> R>(&mut self, label: &str, mut f: F) {
+        // Calibrate: grow the per-sample iteration count until one sample
+        // meets the target duration (so short kernels aren't timer-noise).
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= TARGET_SAMPLE || iters >= 1 << 20 {
+                break;
+            }
+            let grow = if elapsed.is_zero() {
+                16
+            } else {
+                (TARGET_SAMPLE.as_nanos() / elapsed.as_nanos().max(1) + 1) as u64
+            };
+            iters = (iters * grow.clamp(2, 16)).min(1 << 20);
+        }
+        for _ in 0..self.warmup {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            black_box(t.elapsed());
+        }
+        let mut per_iter: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                t.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let rec = Record {
+            label: label.to_string(),
+            median_ns: per_iter[per_iter.len() / 2],
+            min_ns: per_iter[0],
+            max_ns: per_iter[per_iter.len() - 1],
+            iters_per_sample: iters,
+            bytes: self.bytes,
+        };
+        let tp = rec.gib_per_s().map(|g| format!("  {g:8.2} GiB/s")).unwrap_or_default();
+        println!(
+            "{:<24} {:>14}  (min {}, max {}){}",
+            format!("{}/{}", self.name, rec.label),
+            fmt_ns(rec.median_ns),
+            fmt_ns(rec.min_ns),
+            fmt_ns(rec.max_ns),
+            tp
+        );
+        self.records.push(rec);
+    }
+
+    /// Writes `results/bench_<name>.json` and returns the records.
+    pub fn finish(self) -> Vec<Record> {
+        let dir = std::env::var("GIST_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+        let path = std::path::Path::new(&dir).join(format!("bench_{}.json", self.name));
+        match std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, self.to_json())) {
+            Ok(()) => println!("[{}] wrote {}", self.name, path.display()),
+            Err(e) => eprintln!("[{}] could not write {}: {e}", self.name, path.display()),
+        }
+        self.records
+    }
+
+    /// The JSON artifact body (hand-rolled: no serde in the container).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"group\": {:?},\n", self.name));
+        s.push_str(&format!("  \"samples\": {},\n", self.samples));
+        s.push_str("  \"benches\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"label\": {:?}, \"median_ns\": {:.1}, \"min_ns\": {:.1}, \
+                 \"max_ns\": {:.1}, \"iters_per_sample\": {}, \"bytes_per_iter\": {}, \
+                 \"gib_per_s\": {}}}{}\n",
+                r.label,
+                r.median_ns,
+                r.min_ns,
+                r.max_ns,
+                r.iters_per_sample,
+                r.bytes.map(|b| b.to_string()).unwrap_or_else(|| "null".into()),
+                r.gib_per_s().map(|g| format!("{g:.3}")).unwrap_or_else(|| "null".into()),
+                if i + 1 < self.records.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_produces_sane_record() {
+        let mut g = BenchGroup::new("selftest").samples(5);
+        g.throughput_bytes(1024);
+        g.bench("noop_sum", || (0..100u64).sum::<u64>());
+        assert_eq!(g.records.len(), 1);
+        let r = &g.records[0];
+        assert!(r.median_ns > 0.0);
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
+        assert!(r.gib_per_s().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let mut g = BenchGroup::new("json").samples(3);
+        g.bench("a", || 1 + 1);
+        let j = g.to_json();
+        assert!(j.contains("\"group\": \"json\""));
+        assert!(j.contains("\"label\": \"a\""));
+        assert!(j.trim_end().ends_with('}'));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert_eq!(fmt_ns(12.3), "12.3 ns");
+        assert_eq!(fmt_ns(12_300.0), "12.300 µs");
+        assert_eq!(fmt_ns(12_300_000.0), "12.300 ms");
+        assert_eq!(fmt_ns(2_500_000_000.0), "2.500 s");
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! # gist-testkit
+//!
+//! The self-contained deterministic test substrate for the Gist
+//! reproduction. Every correctness claim in the workspace — regression
+//! pins, lossless round-trip proofs, property tests over random graphs,
+//! kernel microbenchmarks — runs on this crate, which has **zero external
+//! dependencies** so the tier-1 verify (`cargo build --release && cargo
+//! test -q`) works with no registry access.
+//!
+//! Three pieces:
+//!
+//! * [`rng`] — a seeded SplitMix64/xoshiro256++ PRNG with the
+//!   `gen_range`/shuffle surface the workspace previously used from the
+//!   `rand` crate;
+//! * [`prop`] — a minimal property-testing runner (strategy combinators,
+//!   configurable case counts, integer/vec shrinking, persisted regression
+//!   seeds) replacing `proptest`;
+//! * [`bench`] — a wall-clock micro-bench harness (warmup + median-of-N,
+//!   JSON output under `results/`) replacing `criterion`.
+
+pub mod bench;
+pub mod prop;
+pub mod rng;
+
+pub use bench::BenchGroup;
+pub use prop::{Config, Runner, Strategy};
+pub use rng::Rng;

@@ -1,0 +1,595 @@
+//! A minimal property-testing runner replacing `proptest`.
+//!
+//! The pieces the workspace's property suites actually use, and nothing
+//! else: strategy combinators (ranges, `just`, `one_of`, weighted choice,
+//! vectors, tuples, `map`), a configurable case count, failure shrinking
+//! for integer and vector inputs, and persisted regression seeds that
+//! replay before any novel case is generated.
+//!
+//! A property is a closure that panics (via `assert!` et al.) on failure.
+//! Each case is generated from its own 64-bit seed, so any failure is
+//! reproducible from the single `seed 0x…` line the failure report prints;
+//! committing that line to the suite's `.testkit-regressions` file pins the
+//! case forever.
+
+use crate::rng::Rng;
+use std::fmt::Debug;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+/// Something that can generate values from a [`Rng`] and propose smaller
+/// variants of a failing value.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Clone + Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+    /// Candidate simplifications of `value`, most aggressive first. An
+    /// empty list means the value is not shrinkable.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut Rng) -> $t {
+                rng.gen_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                // Halve the distance to the range minimum repeatedly: the
+                // candidates v-k, v-k/2, …, v-1 give binary convergence to
+                // the smallest failing value.
+                let mut out = Vec::new();
+                let v = *value;
+                if v <= self.start {
+                    return out;
+                }
+                out.push(self.start);
+                let mut delta = v - self.start;
+                while delta > 1 {
+                    delta /= 2;
+                    out.push(v - delta);
+                }
+                out.dedup();
+                out
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut Rng) -> f32 {
+        rng.gen_range(self.clone())
+    }
+    fn shrink(&self, value: &f32) -> Vec<f32> {
+        let mut out = Vec::new();
+        for c in [0.0f32, value / 2.0] {
+            if self.contains(&c) && c != *value {
+                out.push(c);
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut Rng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        for c in [0.0f64, value / 2.0] {
+            if self.contains(&c) && c != *value {
+                out.push(c);
+            }
+        }
+        out
+    }
+}
+
+/// A strategy that always yields `value` (proptest's `Just`).
+pub fn just<T: Clone + Debug>(value: T) -> Just<T> {
+    Just(value)
+}
+
+/// See [`just`].
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut Rng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform `bool` (proptest's `any::<bool>()`); `true` shrinks to `false`.
+pub fn bools() -> Bools {
+    Bools
+}
+
+/// See [`bools`].
+#[derive(Debug, Clone, Copy)]
+pub struct Bools;
+
+impl Strategy for Bools {
+    type Value = bool;
+    fn generate(&self, rng: &mut Rng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+    fn shrink(&self, value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Boxes a strategy for use in [`one_of`]/[`weighted`] alternative lists.
+pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+impl<V: Clone + Debug> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+    fn generate(&self, rng: &mut Rng) -> V {
+        self.as_ref().generate(rng)
+    }
+    fn shrink(&self, value: &V) -> Vec<V> {
+        self.as_ref().shrink(value)
+    }
+}
+
+/// Picks one alternative uniformly (proptest's unweighted `prop_oneof!`).
+pub fn one_of<V: Clone + Debug>(alts: Vec<Box<dyn Strategy<Value = V>>>) -> OneOf<V> {
+    OneOf { alts: alts.into_iter().map(|s| (1, s)).collect() }
+}
+
+/// Picks one alternative with integer weights (proptest's weighted
+/// `prop_oneof![w1 => s1, …]`).
+pub fn weighted<V: Clone + Debug>(alts: Vec<(u32, Box<dyn Strategy<Value = V>>)>) -> OneOf<V> {
+    assert!(!alts.is_empty(), "weighted() needs at least one alternative");
+    OneOf { alts }
+}
+
+/// See [`one_of`] / [`weighted`].
+pub struct OneOf<V> {
+    alts: Vec<(u32, Box<dyn Strategy<Value = V>>)>,
+}
+
+impl<V: Clone + Debug> Strategy for OneOf<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut Rng) -> V {
+        let total: u32 = self.alts.iter().map(|(w, _)| *w).sum();
+        let mut pick = rng.gen_range(0..total as u64) as u32;
+        for (w, s) in &self.alts {
+            if pick < *w {
+                return s.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights exhausted")
+    }
+    fn shrink(&self, value: &V) -> Vec<V> {
+        // The chosen branch is not recorded, so offer every branch's
+        // shrinks; wrong-branch candidates simply won't reproduce the
+        // failure and are discarded by the shrink loop.
+        self.alts.iter().flat_map(|(_, s)| s.shrink(value)).collect()
+    }
+}
+
+/// Vector of `inner`-generated elements with length drawn from `len`
+/// (proptest's `prop::collection::vec`).
+pub fn vec_of<S: Strategy>(inner: S, len: std::ops::Range<usize>) -> VecOf<S> {
+    assert!(len.start < len.end, "vec_of needs a non-empty length range");
+    VecOf { inner, len }
+}
+
+/// See [`vec_of`].
+pub struct VecOf<S> {
+    inner: S,
+    len: std::ops::Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecOf<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut Rng) -> Vec<S::Value> {
+        let n = rng.gen_range(self.len.clone());
+        (0..n).map(|_| self.inner.generate(rng)).collect()
+    }
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let min = self.len.start;
+        let mut out: Vec<Vec<S::Value>> = Vec::new();
+        let n = value.len();
+        // 1. Structural shrinks: drop whole chunks (halves first), then
+        //    single elements, never going below the minimum length.
+        if n > min {
+            let mut keep = n / 2;
+            while keep >= min {
+                out.push(value[..keep].to_vec());
+                if keep == 0 {
+                    break;
+                }
+                keep /= 2;
+                if keep < min {
+                    break;
+                }
+            }
+            let positions: Vec<usize> = if n <= 16 {
+                (0..n).collect()
+            } else {
+                // Cap candidate count for long vectors: spread 16 removal
+                // points across the vector.
+                (0..16).map(|i| i * n / 16).collect()
+            };
+            for i in positions {
+                if n - 1 >= min {
+                    let mut v = value.clone();
+                    v.remove(i);
+                    out.push(v);
+                }
+            }
+        }
+        // 2. Element shrinks: simplify individual positions in place.
+        let positions: Vec<usize> =
+            if n <= 8 { (0..n).collect() } else { (0..8).map(|i| i * n / 8).collect() };
+        for i in positions {
+            for cand in self.inner.shrink(&value[i]) {
+                let mut v = value.clone();
+                v[i] = cand;
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+/// Applies `f` to generated values (proptest's `prop_map`). Mapped values
+/// do not shrink element-wise (the source is not recoverable), but vectors
+/// *of* mapped values still shrink structurally.
+pub fn map<S, F, U>(inner: S, f: F) -> Mapped<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+    U: Clone + Debug,
+{
+    Mapped { inner, f }
+}
+
+/// See [`map`].
+pub struct Mapped<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Mapped<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+    U: Clone + Debug,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut Rng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($S:ident/$v:ident/$i:tt),+))*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut Rng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$i.shrink(&value.$i) {
+                        let mut v = value.clone();
+                        v.$i = cand;
+                        out.push(v);
+                    }
+                )+
+                out
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A/a/0, B/b/1)
+    (A/a/0, B/b/1, C/c/2)
+    (A/a/0, B/b/1, C/c/2, D/d/3)
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of novel cases to generate (regression replays are extra).
+    pub cases: u32,
+    /// Maximum accepted shrink steps before reporting the current smallest.
+    pub max_shrink_steps: u32,
+    /// Base seed the per-case seeds derive from.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256, max_shrink_steps: 4096, seed: 0 }
+    }
+}
+
+/// A reproducible property-test failure.
+#[derive(Debug, Clone)]
+pub struct Failure<V> {
+    /// The per-case seed that regenerates the original failing input.
+    pub seed: u64,
+    /// The input as generated.
+    pub input: V,
+    /// The smallest failing input shrinking reached.
+    pub minimal: V,
+    /// The panic message of the minimal failure.
+    pub message: String,
+    /// Accepted shrink steps taken.
+    pub shrink_steps: u32,
+}
+
+/// A named property-test runner. See the module docs for the model.
+pub struct Runner {
+    name: String,
+    config: Config,
+    regressions: Option<PathBuf>,
+}
+
+impl Runner {
+    /// Creates a runner with 256 cases and a base seed derived (stably)
+    /// from `name`, so distinct properties explore distinct streams.
+    pub fn new(name: &str) -> Self {
+        // FNV-1a: tiny, stable across platforms and releases.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Runner {
+            name: name.to_string(),
+            config: Config { seed: h, ..Config::default() },
+            regressions: None,
+        }
+    }
+
+    /// Sets the novel-case count.
+    pub fn cases(mut self, cases: u32) -> Self {
+        self.config.cases = cases;
+        self
+    }
+
+    /// Overrides the base seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Attaches a persisted-regression file. Each non-comment line has the
+    /// form `seed 0x0123… [# note]`; those cases replay before any novel
+    /// case is generated. A missing file is fine (no regressions yet).
+    pub fn regressions_file<P: AsRef<Path>>(mut self, path: P) -> Self {
+        self.regressions = Some(path.as_ref().to_path_buf());
+        self
+    }
+
+    /// Seeds the regression file lists, in order. Empty if no file.
+    pub fn regression_seeds(&self) -> Vec<u64> {
+        let Some(path) = &self.regressions else { return Vec::new() };
+        let Ok(text) = std::fs::read_to_string(path) else { return Vec::new() };
+        parse_regression_seeds(&text)
+    }
+
+    /// Runs the property over replayed regressions plus `cases` novel
+    /// inputs, panicking with a reproduction report on the first failure.
+    pub fn run<S, F>(&self, strategy: &S, property: F)
+    where
+        S: Strategy,
+        F: Fn(&S::Value),
+    {
+        if let Err(f) = self.check(strategy, &property) {
+            let file = self
+                .regressions
+                .as_ref()
+                .map(|p| p.display().to_string())
+                .unwrap_or_else(|| format!("tests/{}.testkit-regressions", self.name));
+            panic!(
+                "property '{}' failed\n  seed:    0x{:016x}\n  input:   {:?}\n  minimal: {:?} \
+                 (after {} shrink steps)\n  error:   {}\n  to pin this case, add the line \
+                 `seed 0x{:016x}  # {}` to {}\n",
+                self.name,
+                f.seed,
+                f.input,
+                f.minimal,
+                f.shrink_steps,
+                f.message,
+                f.seed,
+                self.name,
+                file,
+            );
+        }
+    }
+
+    /// Like [`Runner::run`] but returns the failure instead of panicking —
+    /// the hook the testkit self-tests use to inspect shrinking.
+    pub fn check<S, F>(&self, strategy: &S, property: &F) -> Result<(), Failure<S::Value>>
+    where
+        S: Strategy,
+        F: Fn(&S::Value),
+    {
+        // 1. Regression seeds replay first, in file order.
+        for seed in self.regression_seeds() {
+            self.run_one(strategy, property, seed)?;
+        }
+        // 2. Novel cases, each from its own derived seed.
+        let mut base = self.config.seed;
+        for _ in 0..self.config.cases {
+            let case_seed = crate::rng::splitmix64(&mut base);
+            self.run_one(strategy, property, case_seed)?;
+        }
+        Ok(())
+    }
+
+    fn run_one<S, F>(&self, strategy: &S, property: &F, seed: u64) -> Result<(), Failure<S::Value>>
+    where
+        S: Strategy,
+        F: Fn(&S::Value),
+    {
+        let mut rng = Rng::seed_from_u64(seed);
+        let input = strategy.generate(&mut rng);
+        match run_case(property, &input) {
+            Ok(()) => Ok(()),
+            Err(first_msg) => {
+                let (minimal, message, shrink_steps) =
+                    self.shrink_loop(strategy, property, input.clone(), first_msg);
+                Err(Failure { seed, input, minimal, message, shrink_steps })
+            }
+        }
+    }
+
+    fn shrink_loop<S, F>(
+        &self,
+        strategy: &S,
+        property: &F,
+        mut current: S::Value,
+        mut message: String,
+    ) -> (S::Value, String, u32)
+    where
+        S: Strategy,
+        F: Fn(&S::Value),
+    {
+        let mut steps = 0u32;
+        'outer: while steps < self.config.max_shrink_steps {
+            for cand in strategy.shrink(&current) {
+                if let Err(msg) = run_case(property, &cand) {
+                    current = cand;
+                    message = msg;
+                    steps += 1;
+                    continue 'outer;
+                }
+            }
+            break; // no candidate still fails: minimal reached
+        }
+        (current, message, steps)
+    }
+}
+
+fn run_case<V, F: Fn(&V)>(property: &F, input: &V) -> Result<(), String> {
+    match catch_unwind(AssertUnwindSafe(|| property(input))) {
+        Ok(()) => Ok(()),
+        Err(payload) => Err(panic_message(payload)),
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn parse_regression_seeds(text: &str) -> Vec<u64> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some(rest) = line.strip_prefix("seed") else { continue };
+        let token = rest.split('#').next().unwrap_or("").trim();
+        let parsed = if let Some(hex) = token.strip_prefix("0x") {
+            u64::from_str_radix(hex, 16).ok()
+        } else {
+            token.parse::<u64>().ok()
+        };
+        if let Some(seed) = parsed {
+            out.push(seed);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_passes() {
+        Runner::new("trivial").cases(64).run(&(0u32..100), |&v| assert!(v < 100));
+    }
+
+    #[test]
+    fn failing_property_reports_and_shrinks_integers() {
+        let f = Runner::new("int-shrink")
+            .cases(512)
+            .check(&(0u32..1000), &|&v: &u32| assert!(v < 500, "too big: {v}"))
+            .expect_err("must find a counterexample");
+        assert_eq!(f.minimal, 500, "binary shrink converges to the boundary");
+        assert!(f.message.contains("too big"));
+    }
+
+    #[test]
+    fn vectors_shrink_structurally() {
+        let strat = vec_of(0u32..1000, 0..30);
+        let f = Runner::new("vec-shrink")
+            .cases(512)
+            .check(&strat, &|v: &Vec<u32>| assert!(v.iter().all(|&x| x < 500)))
+            .expect_err("must find a counterexample");
+        assert_eq!(f.minimal, vec![500], "one element, shrunk to the boundary");
+    }
+
+    #[test]
+    fn regression_parsing() {
+        let seeds = parse_regression_seeds(
+            "# header\nseed 0x00ff  # shrinks to …\nseed 42\n\nnot a seed line\n",
+        );
+        assert_eq!(seeds, vec![0xff, 42]);
+    }
+
+    #[test]
+    fn case_seeds_reproduce() {
+        // The same (name, seed) always explores the same inputs.
+        let a = std::cell::RefCell::new(Vec::new());
+        Runner::new("repro").cases(16).run(&(0u64..u64::MAX), |&v| a.borrow_mut().push(v));
+        let b = std::cell::RefCell::new(Vec::new());
+        Runner::new("repro").cases(16).run(&(0u64..u64::MAX), |&v| b.borrow_mut().push(v));
+        assert_eq!(a.into_inner(), b.into_inner());
+    }
+
+    #[test]
+    fn weighted_choice_respects_weights() {
+        let strat = weighted(vec![(3, boxed(just(true))), (1, boxed(just(false)))]);
+        let mut rng = Rng::seed_from_u64(1);
+        let hits = (0..4000).filter(|_| strat.generate(&mut rng)).count();
+        assert!((2700..3300).contains(&hits), "{hits}");
+    }
+}

@@ -22,7 +22,11 @@ fn main() {
         if let TensorRole::Encoded { encoding, .. } = &d.role {
             println!(
                 "{:<22} {:<12} {:>8.1}MB {:>7}..{:<6}",
-                d.name, encoding, mb(d.bytes), d.interval.start, d.interval.end
+                d.name,
+                encoding,
+                mb(d.bytes),
+                d.interval.start,
+                d.interval.end
             );
         }
     }

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 offline verification gate (see ROADMAP.md).
+#
+# Runs the exact checks a PR must keep green, with no network access:
+#   1. release build of the whole workspace
+#   2. the full test suite (unit + integration + property suites)
+#   3. rustfmt conformance (rustfmt.toml at the repo root)
+#
+# Run this before committing; record what changed in CHANGELOG.md and
+# append a one-line summary to CHANGES.md as usual.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "verify: all tier-1 checks passed"

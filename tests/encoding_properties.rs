@@ -1,202 +1,222 @@
-//! Property-based tests (proptest) for the encoding substrates and the
+//! Property-based tests (gist-testkit) for the encoding substrates and the
 //! memory planner: the invariants that must hold for *any* input, not just
-//! the paper's networks.
+//! the paper's networks. Each property runs 256 generated cases (the same
+//! count the proptest version used) from seeds derived from the property
+//! name, so failures are reproducible from the printed `seed 0x…` line.
 
 use gist::encodings::csr::SsdcConfig;
 use gist::encodings::dpr::DprBuffer;
 use gist::encodings::{BitMask, CsrMatrix, DprFormat, PoolIndexMap};
 use gist::graph::{DataClass, DataStructure, Interval, NodeId, TensorRole};
 use gist::memory::{peak_dynamic, plan_static, SharingPolicy};
-use proptest::prelude::*;
+use gist_testkit::prop::{bools, boxed, just, one_of, vec_of, weighted, Strategy};
+use gist_testkit::Runner;
 
 fn finite_f32() -> impl Strategy<Value = f32> {
-    prop_oneof![
-        (-1e6f32..1e6f32),
-        (-1.0f32..1.0f32),
-        (-1e-3f32..1e-3f32),
-        Just(0.0f32),
-        Just(-0.0f32),
-    ]
+    one_of(vec![
+        boxed(-1e6f32..1e6f32),
+        boxed(-1.0f32..1.0),
+        boxed(-1e-3f32..1e-3),
+        boxed(just(0.0f32)),
+        boxed(just(-0.0f32)),
+    ])
 }
 
-proptest! {
-    #[test]
-    fn bitmask_records_positivity_exactly(values in prop::collection::vec(finite_f32(), 0..500)) {
-        let mask = BitMask::encode(&values);
-        prop_assert_eq!(mask.len(), values.len());
-        for (i, &v) in values.iter().enumerate() {
-            prop_assert_eq!(mask.get(i), v > 0.0);
-        }
-    }
+#[test]
+fn bitmask_records_positivity_exactly() {
+    Runner::new("bitmask_records_positivity_exactly").run(
+        &vec_of(finite_f32(), 0..500),
+        |values| {
+            let mask = BitMask::encode(values);
+            assert_eq!(mask.len(), values.len());
+            for (i, &v) in values.iter().enumerate() {
+                assert_eq!(mask.get(i), v > 0.0);
+            }
+        },
+    );
+}
 
-    #[test]
-    fn bitmask_backward_equals_fp32_reference(
-        values in prop::collection::vec((finite_f32(), finite_f32()), 1..300)
-    ) {
-        let (y, dy): (Vec<f32>, Vec<f32>) = values.into_iter().unzip();
-        let mask = BitMask::encode(&y);
-        let from_mask = mask.relu_backward(&dy).unwrap();
-        let reference: Vec<f32> =
-            y.iter().zip(&dy).map(|(&yv, &dv)| if yv > 0.0 { dv } else { 0.0 }).collect();
-        prop_assert_eq!(from_mask, reference);
-    }
+#[test]
+fn bitmask_backward_equals_fp32_reference() {
+    Runner::new("bitmask_backward_equals_fp32_reference").run(
+        &vec_of((finite_f32(), finite_f32()), 1..300),
+        |values| {
+            let (y, dy): (Vec<f32>, Vec<f32>) = values.iter().cloned().unzip();
+            let mask = BitMask::encode(&y);
+            let from_mask = mask.relu_backward(&dy).unwrap();
+            let reference: Vec<f32> =
+                y.iter().zip(&dy).map(|(&yv, &dv)| if yv > 0.0 { dv } else { 0.0 }).collect();
+            assert_eq!(from_mask, reference);
+        },
+    );
+}
 
-    #[test]
-    fn csr_roundtrip_is_lossless(
-        values in prop::collection::vec(prop_oneof![3 => Just(0.0f32), 1 => finite_f32()], 0..2000),
-        narrow in any::<bool>(),
-    ) {
-        let csr = CsrMatrix::encode(&values, SsdcConfig { narrow, value_format: None });
-        prop_assert_eq!(csr.decode(), values);
-    }
+#[test]
+fn csr_roundtrip_is_lossless() {
+    let sparse_value = weighted(vec![(3, boxed(just(0.0f32))), (1, boxed(finite_f32()))]);
+    Runner::new("csr_roundtrip_is_lossless").run(
+        &(vec_of(sparse_value, 0..2000), bools()),
+        |(values, narrow)| {
+            let csr = CsrMatrix::encode(values, SsdcConfig { narrow: *narrow, value_format: None });
+            assert_eq!(&csr.decode(), values);
+        },
+    );
+}
 
-    #[test]
-    fn csr_nnz_counts_nonzeros(
-        values in prop::collection::vec(prop_oneof![2 => Just(0.0f32), 1 => 0.1f32..10.0], 0..1500)
-    ) {
-        let csr = CsrMatrix::encode(&values, SsdcConfig::default());
-        prop_assert_eq!(csr.nnz(), values.iter().filter(|&&v| v != 0.0).count());
-    }
+#[test]
+fn csr_nnz_counts_nonzeros() {
+    let sparse_value = weighted(vec![(2, boxed(just(0.0f32))), (1, boxed(0.1f32..10.0))]);
+    Runner::new("csr_nnz_counts_nonzeros").run(&vec_of(sparse_value, 0..1500), |values| {
+        let csr = CsrMatrix::encode(values, SsdcConfig::default());
+        assert_eq!(csr.nnz(), values.iter().filter(|&&v| v != 0.0).count());
+    });
+}
 
-    #[test]
-    fn dpr_fast_encode_matches_reference(v in prop_oneof![
-        finite_f32(),
-        (-1e38f32..1e38f32),
-        (-7e4f32..7e4f32),
-    ]) {
+#[test]
+fn dpr_fast_encode_matches_reference() {
+    let wide = one_of(vec![boxed(finite_f32()), boxed(-1e38f32..1e38f32), boxed(-7e4f32..7e4f32)]);
+    Runner::new("dpr_fast_encode_matches_reference").run(&wide, |&v| {
         for f in [DprFormat::Fp16, DprFormat::Fp10, DprFormat::Fp8] {
-            prop_assert_eq!(
-                f.encode_one(v),
-                f.encode_one_reference(v),
-                "{}: v={}", f.label(), v
-            );
+            assert_eq!(f.encode_one(v), f.encode_one_reference(v), "{}: v={}", f.label(), v);
         }
-    }
+    });
+}
 
-    #[test]
-    fn dpr_quantize_is_idempotent_and_sign_preserving(v in finite_f32()) {
+#[test]
+fn dpr_quantize_is_idempotent_and_sign_preserving() {
+    Runner::new("dpr_quantize_is_idempotent_and_sign_preserving").run(&finite_f32(), |&v| {
         for f in [DprFormat::Fp16, DprFormat::Fp10, DprFormat::Fp8] {
             let q = f.quantize(v);
-            prop_assert_eq!(f.quantize(q), q);
+            assert_eq!(f.quantize(q), q);
             if q != 0.0 {
-                prop_assert_eq!(q.is_sign_negative(), v.is_sign_negative());
+                assert_eq!(q.is_sign_negative(), v.is_sign_negative());
             }
-            prop_assert!(q.abs() <= f.max_value());
+            assert!(q.abs() <= f.max_value());
         }
-    }
+    });
+}
 
-    #[test]
-    fn dpr_error_is_bounded(v in -60000.0f32..60000.0f32) {
+#[test]
+fn dpr_error_is_bounded() {
+    Runner::new("dpr_error_is_bounded").run(&(-60000.0f32..60000.0), |&v| {
         for f in [DprFormat::Fp16, DprFormat::Fp10, DprFormat::Fp8] {
             let q = f.quantize(v);
             if v.abs() >= f.min_normal() && v.abs() <= f.max_value() {
                 let rel = ((q - v) / v).abs();
                 let bound = (2.0f32).powi(-(f.mant_bits() as i32 + 1)) * 1.0001;
-                prop_assert!(rel <= bound, "{}: v={v} q={q} rel={rel}", f.label());
+                assert!(rel <= bound, "{}: v={v} q={q} rel={rel}", f.label());
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn dpr_quantize_is_monotone(a in finite_f32(), b in finite_f32()) {
-        // Round-to-nearest is order-preserving (weakly).
+#[test]
+fn dpr_quantize_is_monotone() {
+    // Round-to-nearest is order-preserving (weakly).
+    Runner::new("dpr_quantize_is_monotone").run(&(finite_f32(), finite_f32()), |&(a, b)| {
         for f in [DprFormat::Fp16, DprFormat::Fp8] {
             let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-            prop_assert!(f.quantize(lo) <= f.quantize(hi), "{}", f.label());
+            assert!(f.quantize(lo) <= f.quantize(hi), "{}", f.label());
         }
-    }
+    });
+}
 
-    #[test]
-    fn dpr_buffer_roundtrip_matches_scalar_path(
-        values in prop::collection::vec(finite_f32(), 0..700)
-    ) {
-        for f in [DprFormat::Fp16, DprFormat::Fp10, DprFormat::Fp8] {
-            let buf = DprBuffer::encode(f, &values);
-            let decoded = buf.decode();
-            let expected: Vec<f32> = values.iter().map(|&v| f.quantize(v)).collect();
-            prop_assert_eq!(&decoded, &expected, "{}", f.label());
-        }
-    }
-
-    #[test]
-    fn pool_map_roundtrips(indices in prop::collection::vec(0u8..9, 0..600)) {
-        let map = PoolIndexMap::encode(&indices, 3).unwrap();
-        prop_assert_eq!(map.decode(), indices.clone());
-        prop_assert_eq!(map.encoded_bytes(), indices.len().div_ceil(2));
-    }
-
-    #[test]
-    fn planner_static_at_least_dynamic_at_least_max_item(
-        items in prop::collection::vec((1usize..1000, 0usize..40, 0usize..10), 1..60)
-    ) {
-        let ds: Vec<DataStructure> = items
-            .iter()
-            .enumerate()
-            .map(|(i, &(bytes, start, len))| DataStructure {
-                name: format!("t{i}"),
-                role: TensorRole::FeatureMap(NodeId::new(i)),
-                class: DataClass::ImmediateFmap,
-                bytes,
-                interval: Interval::new(start, start + len),
-            })
-            .collect();
-        let stat = plan_static(&ds, SharingPolicy::Full);
-        let dynamic = peak_dynamic(&ds, 64);
-        let max_item = ds.iter().map(|d| d.bytes).max().unwrap();
-        let sum: usize = ds.iter().map(|d| d.bytes).sum();
-        prop_assert!(stat.total_bytes >= dynamic);
-        prop_assert!(dynamic >= max_item);
-        prop_assert!(stat.total_bytes <= sum);
-        prop_assert_eq!(stat.num_items(), ds.len());
-    }
-
-    #[test]
-    fn planner_groups_never_contain_overlapping_members(
-        items in prop::collection::vec((1usize..100, 0usize..20, 0usize..6), 1..40)
-    ) {
-        let ds: Vec<DataStructure> = items
-            .iter()
-            .enumerate()
-            .map(|(i, &(bytes, start, len))| DataStructure {
-                name: format!("t{i}"),
-                role: TensorRole::FeatureMap(NodeId::new(i)),
-                class: DataClass::GradientMap,
-                bytes,
-                interval: Interval::new(start, start + len),
-            })
-            .collect();
-        let plan = plan_static(&ds, SharingPolicy::Full);
-        for group in &plan.groups {
-            for (i, &a) in group.members.iter().enumerate() {
-                for &b in &group.members[i + 1..] {
-                    prop_assert!(
-                        !ds[a].interval.overlaps(&ds[b].interval),
-                        "members {a} and {b} overlap"
-                    );
-                }
+#[test]
+fn dpr_buffer_roundtrip_matches_scalar_path() {
+    Runner::new("dpr_buffer_roundtrip_matches_scalar_path").run(
+        &vec_of(finite_f32(), 0..700),
+        |values| {
+            for f in [DprFormat::Fp16, DprFormat::Fp10, DprFormat::Fp8] {
+                let buf = DprBuffer::encode(f, values);
+                let decoded = buf.decode();
+                let expected: Vec<f32> = values.iter().map(|&v| f.quantize(v)).collect();
+                assert_eq!(&decoded, &expected, "{}", f.label());
             }
-            let max = group.members.iter().map(|&m| ds[m].bytes).max().unwrap();
-            prop_assert_eq!(group.bytes, max);
-        }
-    }
+        },
+    );
+}
 
-    #[test]
-    fn ssdc_with_dpr_zeros_stay_zero(
-        values in prop::collection::vec(prop_oneof![1 => Just(0.0f32), 1 => 0.01f32..100.0], 0..800)
-    ) {
+#[test]
+fn pool_map_roundtrips() {
+    Runner::new("pool_map_roundtrips").run(&vec_of(0u8..9, 0..600), |indices| {
+        let map = PoolIndexMap::encode(indices, 3).unwrap();
+        assert_eq!(&map.decode(), indices);
+        assert_eq!(map.encoded_bytes(), indices.len().div_ceil(2));
+    });
+}
+
+fn items_to_structures(items: &[(usize, usize, usize)], class: DataClass) -> Vec<DataStructure> {
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, &(bytes, start, len))| DataStructure {
+            name: format!("t{i}"),
+            role: TensorRole::FeatureMap(NodeId::new(i)),
+            class,
+            bytes,
+            interval: Interval::new(start, start + len),
+        })
+        .collect()
+}
+
+#[test]
+fn planner_static_at_least_dynamic_at_least_max_item() {
+    Runner::new("planner_static_at_least_dynamic_at_least_max_item").run(
+        &vec_of((1usize..1000, 0usize..40, 0usize..10), 1..60),
+        |items| {
+            let ds = items_to_structures(items, DataClass::ImmediateFmap);
+            let stat = plan_static(&ds, SharingPolicy::Full);
+            let dynamic = peak_dynamic(&ds, 64);
+            let max_item = ds.iter().map(|d| d.bytes).max().unwrap();
+            let sum: usize = ds.iter().map(|d| d.bytes).sum();
+            assert!(stat.total_bytes >= dynamic);
+            assert!(dynamic >= max_item);
+            assert!(stat.total_bytes <= sum);
+            assert_eq!(stat.num_items(), ds.len());
+        },
+    );
+}
+
+#[test]
+fn planner_groups_never_contain_overlapping_members() {
+    Runner::new("planner_groups_never_contain_overlapping_members").run(
+        &vec_of((1usize..100, 0usize..20, 0usize..6), 1..40),
+        |items| {
+            let ds = items_to_structures(items, DataClass::GradientMap);
+            let plan = plan_static(&ds, SharingPolicy::Full);
+            for group in &plan.groups {
+                for (i, &a) in group.members.iter().enumerate() {
+                    for &b in &group.members[i + 1..] {
+                        assert!(
+                            !ds[a].interval.overlaps(&ds[b].interval),
+                            "members {a} and {b} overlap"
+                        );
+                    }
+                }
+                let max = group.members.iter().map(|&m| ds[m].bytes).max().unwrap();
+                assert_eq!(group.bytes, max);
+            }
+        },
+    );
+}
+
+#[test]
+fn ssdc_with_dpr_zeros_stay_zero() {
+    let sparse_value = weighted(vec![(1, boxed(just(0.0f32))), (1, boxed(0.01f32..100.0))]);
+    Runner::new("ssdc_with_dpr_zeros_stay_zero").run(&vec_of(sparse_value, 0..800), |values| {
         let csr = CsrMatrix::encode(
-            &values,
+            values,
             SsdcConfig { narrow: true, value_format: Some(DprFormat::Fp8) },
         );
         let decoded = csr.decode();
         for (orig, dec) in values.iter().zip(&decoded) {
             if *orig == 0.0 {
-                prop_assert_eq!(*dec, 0.0);
+                assert_eq!(*dec, 0.0);
             } else {
-                prop_assert_eq!(*dec, DprFormat::Fp8.quantize(*orig));
+                assert_eq!(*dec, DprFormat::Fp8.quantize(*orig));
             }
         }
-    }
+    });
 }
 
 #[test]

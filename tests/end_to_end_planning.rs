@@ -136,11 +136,8 @@ fn footprint_scales_with_minibatch() {
 fn assignments_cover_exactly_the_stashed_maps() {
     for graph in all_models() {
         let plan = Gist::new(GistConfig::lossy(DprFormat::Fp8)).plan(&graph).unwrap();
-        let stashed: usize = graph
-            .nodes()
-            .iter()
-            .filter(|n| gist::graph::class::is_stashed(&graph, n.id))
-            .count();
+        let stashed: usize =
+            graph.nodes().iter().filter(|n| gist::graph::class::is_stashed(&graph, n.id)).count();
         assert_eq!(plan.transformed.assignments.len(), stashed, "{}", graph.name());
     }
 }

@@ -85,14 +85,10 @@ fn figure16_speedup_grows_with_depth() {
 #[test]
 fn figure17_mfr_ordering() {
     let g = gist::models::alexnet(16);
-    let dynamic = Gist::new(GistConfig::baseline().with_dynamic_allocation())
-        .plan(&g)
-        .unwrap()
-        .mfr();
-    let lossless = Gist::new(GistConfig::lossless().with_dynamic_allocation())
-        .plan(&g)
-        .unwrap()
-        .mfr();
+    let dynamic =
+        Gist::new(GistConfig::baseline().with_dynamic_allocation()).plan(&g).unwrap().mfr();
+    let lossless =
+        Gist::new(GistConfig::lossless().with_dynamic_allocation()).plan(&g).unwrap().mfr();
     let lossy = Gist::new(GistConfig::lossy(DprFormat::Fp8).with_dynamic_allocation())
         .plan(&g)
         .unwrap()
@@ -150,12 +146,7 @@ fn runtime_peak_memory_matches_planner_estimates() {
 fn figure3_relu_dominance() {
     for g in [gist::models::vgg16(8), gist::models::alexnet(8), gist::models::nin(8)] {
         let b = gist::core::plan::stash_breakdown(&g).unwrap();
-        assert!(
-            b.relu_fraction() > 0.5,
-            "{}: ReLU fraction {:.2}",
-            g.name(),
-            b.relu_fraction()
-        );
+        assert!(b.relu_fraction() > 0.5, "{}: ReLU fraction {:.2}", g.name(), b.relu_fraction());
     }
 }
 

@@ -96,20 +96,14 @@ fn every_node_has_exactly_one_feature_map_unless_inplace_removed() {
         // Without inplace: one fmap structure per node.
         let cfg = GistConfig { inplace: false, ..GistConfig::lossless() };
         let t = ScheduleBuilder::new(cfg).build(&graph).unwrap();
-        let fmap_count = t
-            .inventory
-            .iter()
-            .filter(|d| matches!(d.role, TensorRole::FeatureMap(_)))
-            .count();
+        let fmap_count =
+            t.inventory.iter().filter(|d| matches!(d.role, TensorRole::FeatureMap(_))).count();
         assert_eq!(fmap_count, graph.len(), "{}", graph.name());
 
         // With inplace: exactly one fewer per eligible Conv/BN→ReLU edge.
         let t2 = ScheduleBuilder::new(GistConfig::lossless()).build(&graph).unwrap();
-        let fmap_count2 = t2
-            .inventory
-            .iter()
-            .filter(|d| matches!(d.role, TensorRole::FeatureMap(_)))
-            .count();
+        let fmap_count2 =
+            t2.inventory.iter().filter(|d| matches!(d.role, TensorRole::FeatureMap(_))).count();
         assert!(fmap_count2 <= fmap_count, "{}", graph.name());
     }
 }

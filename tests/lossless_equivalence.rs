@@ -103,11 +103,7 @@ fn dropout_masks_differ_across_steps() {
     // -> different losses after the first step's update is undone by lr=0.
     let l1 = exec.step(&x, &y, 0.0).unwrap().loss;
     let l2 = exec.step(&x, &y, 0.0).unwrap().loss;
-    let has_dropout = exec
-        .graph()
-        .nodes()
-        .iter()
-        .any(|n| matches!(n.op, OpKind::Dropout { .. }));
+    let has_dropout = exec.graph().nodes().iter().any(|n| matches!(n.op, OpKind::Dropout { .. }));
     assert!(has_dropout);
     assert_ne!(l1, l2, "identical masks across steps");
 }
@@ -163,11 +159,8 @@ fn stochastic_rounding_dpr_also_tracks_fp32() {
     .unwrap();
     assert!(stochastic.final_accuracy() > 0.8, "{:.2}", stochastic.final_accuracy());
     // Different rounding decisions -> different loss trajectories.
-    let same = nearest
-        .epochs
-        .iter()
-        .zip(&stochastic.epochs)
-        .all(|(a, b)| a.mean_loss == b.mean_loss);
+    let same =
+        nearest.epochs.iter().zip(&stochastic.epochs).all(|(a, b)| a.mean_loss == b.mean_loss);
     assert!(!same, "stochastic rounding should perturb the trajectory");
 }
 
@@ -247,6 +240,116 @@ fn deterministic_across_identical_runs() {
         let sb = b.step(&x, &labels, 0.05).unwrap();
         assert_eq!(sa.loss, sb.loss);
     }
+}
+
+/// Adversarial floating-point values for the encoding round-trip tests:
+/// NaN, both infinities, both zeros, subnormals at both ends of the
+/// denormal range, and extreme normals.
+fn adversarial_values() -> Vec<f32> {
+    vec![
+        f32::NAN,
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        0.0,
+        -0.0,
+        f32::MIN_POSITIVE,        // smallest positive normal
+        f32::MIN_POSITIVE / 2.0,  // subnormal
+        -f32::MIN_POSITIVE / 2.0, // negative subnormal
+        1e-45,                    // smallest positive subnormal
+        f32::MAX,
+        f32::MIN,
+        -1.5,
+        2.75,
+    ]
+}
+
+#[test]
+fn adversarial_ssdc_roundtrip_is_bitwise_for_nonzeros() {
+    use gist::encodings::csr::SsdcConfig;
+    use gist::encodings::CsrMatrix;
+    for narrow in [true, false] {
+        let values = adversarial_values();
+        let csr = CsrMatrix::encode(&values, SsdcConfig { narrow, value_format: None });
+        let decoded = csr.decode();
+        assert_eq!(decoded.len(), values.len());
+        for (i, (&orig, &dec)) in values.iter().zip(&decoded).enumerate() {
+            if orig == 0.0 {
+                // Both zeros are "zero" to CSR; decode restores +0.0. The
+                // sign of zero is the one thing SSDC does not preserve,
+                // and nothing downstream distinguishes it.
+                assert_eq!(dec.to_bits(), 0.0f32.to_bits(), "slot {i}");
+            } else {
+                // NaN and everything else must survive bit-for-bit, so
+                // compare representations rather than values.
+                assert_eq!(dec.to_bits(), orig.to_bits(), "slot {i}: {orig} vs {dec}");
+            }
+        }
+    }
+}
+
+#[test]
+fn adversarial_binarize_mask_matches_fp32_relu_backward() {
+    use gist::encodings::BitMask;
+    let y = adversarial_values();
+    let dy: Vec<f32> = (0..y.len()).map(|i| i as f32 - 4.0).collect();
+    let mask = BitMask::encode(&y);
+    for (i, &v) in y.iter().enumerate() {
+        // `v > 0.0` is false for NaN, -inf, both zeros and negatives —
+        // exactly the FP32 ReLU-backward predicate.
+        assert_eq!(mask.get(i), v > 0.0, "slot {i}: {v}");
+    }
+    let from_mask = mask.relu_backward(&dy).unwrap();
+    let reference: Vec<f32> =
+        y.iter().zip(&dy).map(|(&yv, &dv)| if yv > 0.0 { dv } else { 0.0 }).collect();
+    assert_eq!(from_mask, reference);
+}
+
+#[test]
+fn adversarial_dpr_quantization_semantics() {
+    // DPR's documented non-finite handling: NaN flushes to zero,
+    // infinities clamp to the largest finite value, subnormals (of the
+    // *target* format, which includes every f32 subnormal) flush to zero,
+    // and quantization stays idempotent on every adversarial input.
+    for f in [DprFormat::Fp16, DprFormat::Fp10, DprFormat::Fp8] {
+        assert_eq!(f.quantize(f32::NAN).to_bits(), 0, "{}: NaN", f.label());
+        assert_eq!(f.quantize(f32::INFINITY), f.max_value(), "{}", f.label());
+        assert_eq!(f.quantize(f32::NEG_INFINITY), -f.max_value(), "{}", f.label());
+        assert_eq!(f.quantize(f32::MIN_POSITIVE / 2.0), 0.0, "{}", f.label());
+        assert_eq!(f.quantize(1e-45), 0.0, "{}", f.label());
+        assert_eq!(f.quantize(-0.0).to_bits(), 0, "{}: -0.0 flushes to +0.0", f.label());
+        for v in adversarial_values() {
+            let q = f.quantize(v);
+            assert!(q.is_finite(), "{}: {v} -> {q}", f.label());
+            assert_eq!(f.quantize(q).to_bits(), q.to_bits(), "{}: idempotence at {v}", f.label());
+        }
+        // The buffer path must agree with the scalar path on all of them.
+        use gist::encodings::dpr::DprBuffer;
+        let values = adversarial_values();
+        let buf = DprBuffer::encode(f, &values);
+        let expected: Vec<f32> = values.iter().map(|&v| f.quantize(v)).collect();
+        let decoded = buf.decode();
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<u32>>();
+        assert_eq!(bits(&decoded), bits(&expected), "{}", f.label());
+    }
+}
+
+#[test]
+fn adversarial_all_zero_and_fully_dense_tensors() {
+    use gist::encodings::csr::SsdcConfig;
+    use gist::encodings::{BitMask, CsrMatrix};
+    // All-zero (maximum sparsity): empty CSR, empty mask semantics.
+    let zeros = vec![0.0f32; 4096];
+    let csr = CsrMatrix::encode(&zeros, SsdcConfig::default());
+    assert_eq!(csr.nnz(), 0);
+    assert_eq!(csr.decode(), zeros);
+    let mask = BitMask::encode(&zeros);
+    assert!((0..zeros.len()).all(|i| !mask.get(i)));
+    // Fully dense (zero sparsity): CSR must still round-trip exactly even
+    // though it compresses nothing.
+    let dense: Vec<f32> = (0..4096).map(|i| (i + 1) as f32 * 0.5).collect();
+    let csr = CsrMatrix::encode(&dense, SsdcConfig::default());
+    assert_eq!(csr.nnz(), dense.len());
+    assert_eq!(csr.decode(), dense);
 }
 
 #[test]

@@ -69,8 +69,5 @@ fn densenet_bc_100_has_0_8m_parameters() {
 
 #[test]
 fn parameter_count_is_batch_invariant() {
-    assert_eq!(
-        params_of(gist::models::alexnet(1)),
-        params_of(gist::models::alexnet(64))
-    );
+    assert_eq!(params_of(gist::models::alexnet(1)), params_of(gist::models::alexnet(64)));
 }

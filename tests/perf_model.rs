@@ -20,9 +20,7 @@ fn estimated_time_scales_with_minibatch() {
 fn per_image_time_improves_with_batch() {
     let gpu = GpuModel::titan_x();
     let per_image = |b: usize| {
-        gist::perf::gpu::estimate_time(&gist::models::resnet_cifar(10, b), &gpu)
-            .unwrap()
-            .total_s()
+        gist::perf::gpu::estimate_time(&gist::models::resnet_cifar(10, b), &gpu).unwrap().total_s()
             / b as f64
     };
     assert!(per_image(64) < per_image(4), "kernel-launch amortization");

@@ -1,6 +1,13 @@
 //! Property tests over *randomly generated* network architectures: the
 //! Schedule Builder and planner invariants must hold for any valid chain of
 //! layers, not just the zoo models.
+//!
+//! The two regression cases the proptest era persisted (a pool-heavy chain
+//! and a batch-norm/1x1-conv chain) are re-encoded as testkit regression
+//! seeds in `tests/random_graph_properties.testkit-regressions`; the runner
+//! replays them before generating novel cases, and
+//! [`regression_seeds_reproduce_the_known_shrunk_cases`] pins that the
+//! seeds still decode to exactly those chains.
 
 use gist::core::{GistConfig, ScheduleBuilder};
 use gist::encodings::DprFormat;
@@ -9,10 +16,11 @@ use gist::memory::{peak_dynamic, plan_offsets, plan_static, SharingPolicy};
 use gist::tensor::ops::conv::ConvParams;
 use gist::tensor::ops::pool::PoolParams;
 use gist::tensor::Shape;
-use proptest::prelude::*;
+use gist_testkit::prop::{boxed, just, map, one_of, vec_of, Strategy};
+use gist_testkit::{Rng, Runner};
 
 /// One randomly chosen layer in a chain.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum LayerChoice {
     Conv { channels: usize, kernel: usize },
     Relu,
@@ -24,16 +32,27 @@ enum LayerChoice {
 }
 
 fn layer_strategy() -> impl Strategy<Value = LayerChoice> {
-    prop_oneof![
-        (1usize..12, prop_oneof![Just(1usize), Just(3)])
-            .prop_map(|(channels, kernel)| LayerChoice::Conv { channels, kernel }),
-        Just(LayerChoice::Relu),
-        Just(LayerChoice::MaxPool),
-        Just(LayerChoice::AvgPool),
-        Just(LayerChoice::BatchNorm),
-        Just(LayerChoice::Lrn),
-        Just(LayerChoice::Dropout),
-    ]
+    one_of(vec![
+        boxed(map(
+            (1usize..12, one_of(vec![boxed(just(1usize)), boxed(just(3usize))])),
+            |(channels, kernel)| LayerChoice::Conv { channels, kernel },
+        )),
+        boxed(just(LayerChoice::Relu)),
+        boxed(just(LayerChoice::MaxPool)),
+        boxed(just(LayerChoice::AvgPool)),
+        boxed(just(LayerChoice::BatchNorm)),
+        boxed(just(LayerChoice::Lrn)),
+        boxed(just(LayerChoice::Dropout)),
+    ])
+}
+
+fn chains() -> impl Strategy<Value = Vec<LayerChoice>> {
+    vec_of(layer_strategy(), 0..12)
+}
+
+fn regressions_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/random_graph_properties.testkit-regressions")
 }
 
 /// Builds a valid chain graph from the choices, skipping pools that would
@@ -72,86 +91,113 @@ fn build_chain(choices: &[LayerChoice], classes: usize) -> Graph {
     g
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn any_chain_validates_and_plans(choices in prop::collection::vec(layer_strategy(), 0..12)) {
-        let g = build_chain(&choices, 4);
-        prop_assert!(g.validate().is_ok());
-        prop_assert!(g.infer_shapes().is_ok());
-        for config in [
-            GistConfig::baseline(),
-            GistConfig::lossless(),
-            GistConfig::lossy(DprFormat::Fp8),
-        ] {
-            let t = ScheduleBuilder::new(config).build(&g).unwrap();
-            // Intervals in range, positive sizes.
-            for d in &t.inventory {
-                prop_assert!(d.interval.end < t.num_steps, "{}", d.name);
-                prop_assert!(d.bytes > 0, "{}", d.name);
+#[test]
+fn any_chain_validates_and_plans() {
+    Runner::new("any_chain_validates_and_plans")
+        .cases(48)
+        .regressions_file(regressions_path())
+        .run(&chains(), |choices| {
+            let g = build_chain(choices, 4);
+            assert!(g.validate().is_ok());
+            assert!(g.infer_shapes().is_ok());
+            for config in
+                [GistConfig::baseline(), GistConfig::lossless(), GistConfig::lossy(DprFormat::Fp8)]
+            {
+                let t = ScheduleBuilder::new(config).build(&g).unwrap();
+                // Intervals in range, positive sizes.
+                for d in &t.inventory {
+                    assert!(d.interval.end < t.num_steps, "{}", d.name);
+                    assert!(d.bytes > 0, "{}", d.name);
+                }
+                // Allocation-mode ordering.
+                let scoped: Vec<_> = t
+                    .inventory
+                    .iter()
+                    .filter(|d| {
+                        matches!(
+                            d.class,
+                            DataClass::StashedFmap
+                                | DataClass::ImmediateFmap
+                                | DataClass::GradientMap
+                        )
+                    })
+                    .cloned()
+                    .collect();
+                let stat = plan_static(&scoped, SharingPolicy::Full).total_bytes;
+                let off = plan_offsets(&scoped);
+                let dynamic = peak_dynamic(&scoped, t.num_steps);
+                // The planner-facing OffsetPacked mode takes min(offsets,
+                // groups); raw first-fit may fragment past the group plan.
+                assert!(off.total_bytes.min(stat) <= stat);
+                assert!(dynamic <= off.total_bytes);
+                assert!(dynamic <= stat);
+                if let Err((a, b)) = off.verify(&scoped) {
+                    panic!("layout overlap between {a} and {b}");
+                }
             }
-            // Allocation-mode ordering.
-            let scoped: Vec<_> = t
-                .inventory
-                .iter()
-                .filter(|d| {
-                    matches!(
-                        d.class,
-                        DataClass::StashedFmap | DataClass::ImmediateFmap | DataClass::GradientMap
-                    )
-                })
-                .cloned()
-                .collect();
-            let stat = plan_static(&scoped, SharingPolicy::Full).total_bytes;
-            let off = plan_offsets(&scoped);
-            let dynamic = peak_dynamic(&scoped, t.num_steps);
-            // The planner-facing OffsetPacked mode takes min(offsets,
-            // groups); raw first-fit may fragment past the group plan.
-            prop_assert!(off.total_bytes.min(stat) <= stat);
-            prop_assert!(dynamic <= off.total_bytes);
-            prop_assert!(dynamic <= stat);
-            off.verify(&scoped).map_err(|(a, b)| {
-                TestCaseError::fail(format!("layout overlap between {a} and {b}"))
-            })?;
-        }
-    }
+        });
+}
 
-    #[test]
-    fn encodings_never_grow_the_stash_on_any_chain(
-        choices in prop::collection::vec(layer_strategy(), 1..10)
-    ) {
-        let g = build_chain(&choices, 3);
-        let stashed = |config: GistConfig| -> usize {
-            ScheduleBuilder::new(config)
-                .build(&g)
-                .unwrap()
-                .inventory
-                .iter()
-                .filter(|d| d.class == DataClass::StashedFmap)
-                .map(|d| d.bytes)
-                .sum()
-        };
-        prop_assert!(stashed(GistConfig::lossless()) <= stashed(GistConfig::baseline()));
-        prop_assert!(
-            stashed(GistConfig::lossy(DprFormat::Fp8)) <= stashed(GistConfig::lossless())
-        );
-    }
+#[test]
+fn encodings_never_grow_the_stash_on_any_chain() {
+    Runner::new("encodings_never_grow_the_stash_on_any_chain")
+        .cases(48)
+        .regressions_file(regressions_path())
+        .run(&vec_of(layer_strategy(), 1..10), |choices| {
+            let g = build_chain(choices, 3);
+            let stashed = |config: GistConfig| -> usize {
+                ScheduleBuilder::new(config)
+                    .build(&g)
+                    .unwrap()
+                    .inventory
+                    .iter()
+                    .filter(|d| d.class == DataClass::StashedFmap)
+                    .map(|d| d.bytes)
+                    .sum()
+            };
+            assert!(stashed(GistConfig::lossless()) <= stashed(GistConfig::baseline()));
+            assert!(stashed(GistConfig::lossy(DprFormat::Fp8)) <= stashed(GistConfig::lossless()));
+        });
+}
+
+/// The proptest era persisted two shrunk failure cases; their testkit
+/// re-encodings must still decode to exactly those chains, or the
+/// regression file has silently stopped guarding them.
+#[test]
+fn regression_seeds_reproduce_the_known_shrunk_cases() {
+    let seeds = Runner::new("any_chain_validates_and_plans")
+        .regressions_file(regressions_path())
+        .regression_seeds();
+    assert!(seeds.len() >= 2, "regression file must keep the two proptest-era cases");
+    let strat = chains();
+    let decode = |seed: u64| strat.generate(&mut Rng::seed_from_u64(seed));
+    assert_eq!(
+        decode(seeds[0]),
+        vec![LayerChoice::Relu, LayerChoice::MaxPool, LayerChoice::Relu],
+        "seed 0 must re-encode proptest case `[Relu, MaxPool, Relu]`"
+    );
+    assert_eq!(
+        decode(seeds[1]),
+        vec![
+            LayerChoice::BatchNorm,
+            LayerChoice::Conv { channels: 2, kernel: 1 },
+            LayerChoice::BatchNorm
+        ],
+        "seed 1 must re-encode proptest case `[BatchNorm, Conv {{2, 1}}, BatchNorm]`"
+    );
 }
 
 /// Random chains must also *execute*: train one step and check the loss is
-/// finite and lossless mode matches baseline bit-for-bit. (A plain #[test]
-/// over a fixed set of seeds to keep runtime bounded.)
+/// finite and lossless mode matches baseline bit-for-bit. (A fixed-seed
+/// sample of chains to keep runtime bounded.)
 #[test]
 fn random_chains_execute_losslessly() {
     use gist::runtime::{ExecMode, Executor, SyntheticImages};
-    use proptest::strategy::ValueTree;
-    use proptest::test_runner::TestRunner;
 
-    let mut runner = TestRunner::deterministic();
-    let strat = prop::collection::vec(layer_strategy(), 0..8);
+    let strat = chains();
+    let mut rng = Rng::seed_from_u64(0x6157_c4a1);
     for _ in 0..6 {
-        let choices = strat.new_tree(&mut runner).unwrap().current();
+        let choices = strat.generate(&mut rng);
         let g = build_chain(&choices, 3);
         // build_chain uses a 3-channel 16x16 input at batch 2.
         let mut ds = SyntheticImages::rgb(3, 16, 0.4, 5);

@@ -31,7 +31,11 @@ fn figure8_lossless_pins() {
 /// Figure 8 lossy MFRs (accuracy-safe formats) as recorded.
 #[test]
 fn figure8_lossy_pins() {
-    assert_band(mfr(&gist::models::alexnet(64), GistConfig::lossy(DprFormat::Fp8)), 1.71, "AlexNet");
+    assert_band(
+        mfr(&gist::models::alexnet(64), GistConfig::lossy(DprFormat::Fp8)),
+        1.71,
+        "AlexNet",
+    );
     assert_band(mfr(&gist::models::vgg16(64), GistConfig::lossy(DprFormat::Fp16)), 1.67, "VGG16");
     assert_band(
         mfr(&gist::models::inception(64), GistConfig::lossy(DprFormat::Fp10)),
@@ -52,6 +56,29 @@ fn figure17_dynamic_pins() {
         mfr(&gist::models::overfeat(64), GistConfig::lossless().with_dynamic_allocation()),
         2.23,
         "Overfeat dynamic+lossless",
+    );
+}
+
+/// Figure 16 scaling models: lossless MFR at minibatch 32 for the deep
+/// CIFAR-style ResNets, as recorded in EXPERIMENTS.md. The deep-ResNet
+/// speedup claim rests on these footprints, so drift here silently moves
+/// the Figure 16 batch sizes too.
+#[test]
+fn figure16_resnet_lossless_pins() {
+    assert_band(
+        mfr(&gist::models::resnet_deep(509, 32), GistConfig::lossless()),
+        1.37,
+        "ResNet-506",
+    );
+    assert_band(
+        mfr(&gist::models::resnet_deep(851, 32), GistConfig::lossless()),
+        1.38,
+        "ResNet-848",
+    );
+    assert_band(
+        mfr(&gist::models::resnet_deep(1202, 32), GistConfig::lossless()),
+        1.38,
+        "ResNet-1202",
     );
 }
 

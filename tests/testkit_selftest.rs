@@ -1,0 +1,109 @@
+//! Self-tests for the gist-testkit property runner: the machinery every
+//! other suite's correctness claims run on. Covers the two behaviours the
+//! rest of the workspace silently relies on — failure shrinking converges
+//! on a minimal counterexample, and persisted regression seeds replay
+//! before any novel case is generated.
+
+use gist_testkit::prop::{vec_of, Strategy};
+use gist_testkit::{Rng, Runner};
+use std::cell::RefCell;
+
+/// Shrinking a known-falsifiable integer property must converge on the
+/// exact boundary counterexample, not merely *a* counterexample.
+#[test]
+fn shrinking_finds_minimal_integer_counterexample() {
+    let failure = Runner::new("selftest-int")
+        .cases(1024)
+        .check(&(0u32..10_000), &|&v: &u32| assert!(v < 777, "v={v} too big"))
+        .expect_err("the property is falsifiable, a counterexample must be found");
+    assert_eq!(failure.minimal, 777, "binary shrink must land exactly on the boundary");
+    assert!(failure.message.contains("too big"));
+    assert!(failure.shrink_steps > 0, "the raw draw is almost surely not already minimal");
+}
+
+/// Shrinking a vector property must converge on the minimal failing vector:
+/// a single element, itself shrunk to the boundary value.
+#[test]
+fn shrinking_finds_minimal_vector_counterexample() {
+    let strategy = vec_of(0u32..10_000, 0..50);
+    let failure = Runner::new("selftest-vec")
+        .cases(1024)
+        .check(&strategy, &|v: &Vec<u32>| {
+            assert!(v.iter().all(|&x| x < 777), "some element too big in {v:?}")
+        })
+        .expect_err("the property is falsifiable, a counterexample must be found");
+    assert_eq!(
+        failure.minimal,
+        vec![777],
+        "structural + element shrinking must reach the one-element boundary case"
+    );
+}
+
+/// A failing case's reported seed must regenerate the identical input —
+/// that is the whole contract behind persisting `seed 0x…` lines.
+#[test]
+fn reported_seed_reproduces_the_failing_input() {
+    let strategy = vec_of(0u32..10_000, 1..30);
+    let failure = Runner::new("selftest-repro")
+        .cases(1024)
+        .check(&strategy, &|v: &Vec<u32>| assert!(v.iter().sum::<u32>() < 5_000))
+        .expect_err("falsifiable");
+    let replayed = strategy.generate(&mut Rng::seed_from_u64(failure.seed));
+    assert_eq!(replayed, failure.input);
+}
+
+/// Persisted regression seeds must replay, in file order, before any novel
+/// case is generated.
+#[test]
+fn regression_seeds_replay_first_and_in_order() {
+    let path = std::env::temp_dir()
+        .join(format!("gist-testkit-selftest-{}.testkit-regressions", std::process::id()));
+    std::fs::write(
+        &path,
+        "# selftest regressions\nseed 0x00000000000000aa  # first\nseed 170  # second (0xaa)\nseed 0x0000000000000bb8\n",
+    )
+    .unwrap();
+
+    let strategy = 0u64..u64::MAX;
+    let seen = RefCell::new(Vec::new());
+    let runner = Runner::new("selftest-regressions").cases(5).regressions_file(&path);
+    assert_eq!(runner.regression_seeds(), vec![0xaa, 170, 0xbb8], "file order preserved");
+    runner.run(&strategy, |&v| {
+        seen.borrow_mut().push(v);
+    });
+    let seen = seen.into_inner();
+    assert_eq!(seen.len(), 3 + 5, "three replays plus five novel cases");
+    // The first three inputs are the regression seeds' generations, in
+    // order; the remainder are novel.
+    for (i, &seed) in [0xaau64, 170, 0xbb8].iter().enumerate() {
+        let expected = strategy.generate(&mut Rng::seed_from_u64(seed));
+        assert_eq!(seen[i], expected, "replay {i} out of order");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// A regression seed that still fails must be reported with that same
+/// seed, so the pinned line keeps pointing at the real case.
+#[test]
+fn failing_regression_seed_is_reported_verbatim() {
+    let path = std::env::temp_dir()
+        .join(format!("gist-testkit-selftest-fail-{}.testkit-regressions", std::process::id()));
+    std::fs::write(&path, "seed 0x000000000000002a\n").unwrap();
+    let failure = Runner::new("selftest-regression-fail")
+        .cases(0)
+        .regressions_file(&path)
+        .check(&(0u64..u64::MAX), &|_| panic!("always fails"))
+        .expect_err("the replayed regression must fail");
+    assert_eq!(failure.seed, 0x2a);
+    std::fs::remove_file(&path).ok();
+}
+
+/// A passing property with a regression file runs replays + cases and
+/// stays green (missing files are fine too: no regressions yet).
+#[test]
+fn missing_regression_file_is_not_an_error() {
+    Runner::new("selftest-missing-file")
+        .cases(8)
+        .regressions_file("/nonexistent/definitely-not-here.testkit-regressions")
+        .run(&(0u32..10), |&v| assert!(v < 10));
+}

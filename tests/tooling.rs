@@ -36,9 +36,8 @@ fn chrome_trace_has_one_event_per_structure() {
 #[test]
 fn liveness_table_agrees_with_dynamic_planner() {
     let g = gist::models::overfeat(2);
-    let t = ScheduleBuilder::new(GistConfig::lossy(gist::encodings::DprFormat::Fp8))
-        .build(&g)
-        .unwrap();
+    let t =
+        ScheduleBuilder::new(GistConfig::lossy(gist::encodings::DprFormat::Fp8)).build(&g).unwrap();
     let mut table = LivenessTable::new();
     for d in &t.inventory {
         table.record(d.name.clone(), d.interval, d.bytes);
@@ -50,11 +49,7 @@ fn liveness_table_agrees_with_dynamic_planner() {
     );
     // Spot-check a mid-schedule step is consistent.
     let mid = t.num_steps / 2;
-    let direct: usize = t
-        .inventory
-        .iter()
-        .filter(|d| d.interval.contains(mid))
-        .map(|d| d.bytes)
-        .sum();
+    let direct: usize =
+        t.inventory.iter().filter(|d| d.interval.contains(mid)).map(|d| d.bytes).sum();
     assert_eq!(table.live_bytes_at(mid), direct);
 }
