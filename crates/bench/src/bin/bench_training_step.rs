@@ -11,6 +11,7 @@ use gist_testkit::BenchGroup;
 
 fn main() {
     let mut g = BenchGroup::new("training_step").samples(20);
+    g.meta("threads", gist_par::current_threads() as u64);
     let batch = 8;
     let mut ds = SyntheticImages::new(4, 16, 0.3, 42);
     let (x, y) = ds.minibatch(batch);

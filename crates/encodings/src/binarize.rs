@@ -8,6 +8,7 @@
 
 use crate::bitpack;
 use crate::EncodingError;
+use gist_par::{parallel_chunks_mut, parallel_map};
 
 /// A 1-bit-per-element positivity mask — the Binarize stash for a ReLU
 /// output.
@@ -19,9 +20,26 @@ pub struct BitMask {
 
 impl BitMask {
     /// Encodes a ReLU output: bit `i` records `y[i] > 0`.
+    ///
+    /// Packs straight from `f32` to words (no intermediate flag vector);
+    /// each output word depends only on its own 32 inputs, so the encoding
+    /// is identical at every thread count.
     pub fn encode(y: &[f32]) -> Self {
-        let flags: Vec<bool> = y.iter().map(|&v| v > 0.0).collect();
-        BitMask { words: bitpack::pack_bits(&flags), len: y.len() }
+        let mut words = vec![0u32; y.len().div_ceil(32)];
+        const GRAIN: usize = 1 << 11;
+        parallel_chunks_mut(&mut words, GRAIN, |ci, chunk| {
+            for (j, word) in chunk.iter_mut().enumerate() {
+                let base = (ci * GRAIN + j) * 32;
+                let mut w = 0u32;
+                for (b, &v) in y[base..(base + 32).min(y.len())].iter().enumerate() {
+                    if v > 0.0 {
+                        w |= 1 << b;
+                    }
+                }
+                *word = w;
+            }
+        });
+        BitMask { words, len: y.len() }
     }
 
     /// Number of encoded elements.
@@ -54,7 +72,7 @@ impl BitMask {
         if dy.len() != self.len {
             return Err(EncodingError::LengthMismatch { expected: self.len, actual: dy.len() });
         }
-        Ok(dy.iter().enumerate().map(|(i, &d)| if self.get(i) { d } else { 0.0 }).collect())
+        Ok(parallel_map(dy.len(), 1 << 14, |i| if self.get(i) { dy[i] } else { 0.0 }))
     }
 }
 

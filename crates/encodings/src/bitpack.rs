@@ -1,13 +1,29 @@
 //! Low-level bit packing: 1-bit flags and 4-bit nibbles.
+//!
+//! Packing is parallelized per output word/byte on the `gist-par` pool:
+//! each word is a pure function of its own 32 flags (or 2 nibbles), so the
+//! packed bytes are identical at every thread count.
+
+use gist_par::{parallel_chunks_mut, parallel_map};
+
+/// Output words/bytes per parallel chunk for the packing loops.
+const PACK_GRAIN: usize = 1 << 11;
 
 /// Packs a slice of booleans into `u32` words, LSB-first.
 pub fn pack_bits(flags: &[bool]) -> Vec<u32> {
     let mut words = vec![0u32; flags.len().div_ceil(32)];
-    for (i, &f) in flags.iter().enumerate() {
-        if f {
-            words[i / 32] |= 1 << (i % 32);
+    parallel_chunks_mut(&mut words, PACK_GRAIN, |ci, chunk| {
+        for (j, word) in chunk.iter_mut().enumerate() {
+            let base = (ci * PACK_GRAIN + j) * 32;
+            let mut w = 0u32;
+            for (b, &f) in flags[base..(base + 32).min(flags.len())].iter().enumerate() {
+                if f {
+                    w |= 1 << b;
+                }
+            }
+            *word = w;
         }
-    }
+    });
     words
 }
 
@@ -19,7 +35,7 @@ pub fn get_bit(words: &[u32], i: usize) -> bool {
 
 /// Unpacks the first `len` bits into booleans.
 pub fn unpack_bits(words: &[u32], len: usize) -> Vec<bool> {
-    (0..len).map(|i| get_bit(words, i)).collect()
+    parallel_map(len, PACK_GRAIN * 32, |i| get_bit(words, i))
 }
 
 /// Packs 4-bit values (must each be `< 16`) two per byte, low nibble first.
@@ -31,10 +47,17 @@ pub fn unpack_bits(words: &[u32], len: usize) -> Vec<bool> {
 /// so indices are at most 8).
 pub fn pack_nibbles(values: &[u8]) -> Vec<u8> {
     let mut bytes = vec![0u8; values.len().div_ceil(2)];
-    for (i, &v) in values.iter().enumerate() {
-        debug_assert!(v < 16, "nibble overflow: {v}");
-        bytes[i / 2] |= (v & 0x0F) << ((i % 2) * 4);
-    }
+    parallel_chunks_mut(&mut bytes, PACK_GRAIN, |ci, chunk| {
+        for (j, byte) in chunk.iter_mut().enumerate() {
+            let base = (ci * PACK_GRAIN + j) * 2;
+            let mut b = 0u8;
+            for (k, &v) in values[base..(base + 2).min(values.len())].iter().enumerate() {
+                debug_assert!(v < 16, "nibble overflow: {v}");
+                b |= (v & 0x0F) << (k * 4);
+            }
+            *byte = b;
+        }
+    });
     bytes
 }
 
@@ -46,7 +69,7 @@ pub fn get_nibble(bytes: &[u8], i: usize) -> u8 {
 
 /// Unpacks the first `len` nibbles.
 pub fn unpack_nibbles(bytes: &[u8], len: usize) -> Vec<u8> {
-    (0..len).map(|i| get_nibble(bytes, i)).collect()
+    parallel_map(len, PACK_GRAIN * 2, |i| get_nibble(bytes, i))
 }
 
 #[cfg(test)]

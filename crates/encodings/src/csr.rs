@@ -12,6 +12,13 @@
 //! index metadata, which "affects control").
 
 use crate::dpr::{DprBuffer, DprFormat};
+use gist_par::{parallel_chunks_mut, parallel_for, parallel_map, SendPtr};
+
+/// Rows per parallel chunk for the CSR encode/decode loops — a pure
+/// function of the matrix shape.
+fn csr_row_grain(rows: usize, cols: usize) -> usize {
+    ((1 << 14) / cols.max(1)).clamp(1, rows.max(1))
+}
 
 /// SSDC configuration knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,28 +71,57 @@ impl CsrMatrix {
     /// columns (last row ragged); otherwise as a single row with 4-byte
     /// indices, reproducing the conservative cuSPARSE layout the paper
     /// criticises.
+    /// The encode runs in three phases on the `gist-par` pool: (1) count
+    /// non-zeros per row in parallel, (2) serial prefix-sum into `row_ptr`,
+    /// (3) fill values and column indices at each row's offset in parallel.
+    /// Rows scan their elements in the same ascending order as a serial
+    /// sweep, so the encoding is byte-identical at every thread count.
     pub fn encode(data: &[f32], config: SsdcConfig) -> Self {
         let cols = if config.narrow { NARROW_COLS } else { data.len().max(1) };
         let rows = data.len().div_ceil(cols).max(1);
-        let mut values_f32 = Vec::new();
-        let mut col_u8 = Vec::new();
-        let mut col_u32 = Vec::new();
+        let grain = csr_row_grain(rows, cols);
+        let row = |r: usize| &data[r * cols..((r + 1) * cols).min(data.len())];
+        // Phase 1: per-row non-zero counts.
+        let counts = parallel_map(rows, grain, |r| row(r).iter().filter(|&&v| v != 0.0).count());
+        // Phase 2: exclusive prefix sum -> row_ptr.
         let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut acc = 0u32;
         row_ptr.push(0u32);
-        for r in 0..rows {
-            let start = r * cols;
-            let end = ((r + 1) * cols).min(data.len());
-            for (c, &v) in data[start..end].iter().enumerate() {
-                if v != 0.0 {
-                    values_f32.push(v);
-                    if config.narrow {
-                        col_u8.push(c as u8);
-                    } else {
-                        col_u32.push(c as u32);
+        for &c in &counts {
+            acc += c as u32;
+            row_ptr.push(acc);
+        }
+        let nnz = acc as usize;
+        // Phase 3: fill each row's slice of the value/index arrays.
+        let mut values_f32 = vec![0.0f32; nnz];
+        let mut col_u8 = vec![0u8; if config.narrow { nnz } else { 0 }];
+        let mut col_u32 = vec![0u32; if config.narrow { 0 } else { nnz }];
+        {
+            let vals = SendPtr::new(values_f32.as_mut_ptr());
+            let c8 = SendPtr::new(col_u8.as_mut_ptr());
+            let c32 = SendPtr::new(col_u32.as_mut_ptr());
+            let row_ptr = &row_ptr;
+            parallel_for(rows, grain, move |range| {
+                for r in range {
+                    let mut k = row_ptr[r] as usize;
+                    for (c, &v) in row(r).iter().enumerate() {
+                        if v != 0.0 {
+                            // SAFETY: rows own disjoint [row_ptr[r],
+                            // row_ptr[r+1]) slices of the output arrays,
+                            // which outlive the dispatch.
+                            unsafe {
+                                vals.get().add(k).write(v);
+                                if config.narrow {
+                                    c8.get().add(k).write(c as u8);
+                                } else {
+                                    c32.get().add(k).write(c as u32);
+                                }
+                            }
+                            k += 1;
+                        }
                     }
                 }
-            }
-            row_ptr.push(values_f32.len() as u32);
+            });
         }
         let values = match config.value_format {
             Some(f) => Values::Dpr(DprBuffer::encode(f, &values_f32)),
@@ -139,16 +175,22 @@ impl CsrMatrix {
             Values::F32(v) => v.clone(),
             Values::Dpr(b) => b.decode(),
         };
-        for r in 0..self.rows {
-            let (lo, hi) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
-            for k in lo..hi {
-                let c = match &self.col_idx {
-                    ColIndices::U8(v) => v[k] as usize,
-                    ColIndices::U32(v) => v[k] as usize,
-                };
-                out[r * self.cols + c] = values[k];
+        // Rows scatter into disjoint `cols`-sized slices of the output.
+        let grain = csr_row_grain(self.rows, self.cols);
+        parallel_chunks_mut(&mut out, grain * self.cols, |ci, chunk| {
+            let row0 = ci * grain;
+            for (i, dst) in chunk.chunks_mut(self.cols).enumerate() {
+                let r = row0 + i;
+                let (lo, hi) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
+                for k in lo..hi {
+                    let c = match &self.col_idx {
+                        ColIndices::U8(v) => v[k] as usize,
+                        ColIndices::U32(v) => v[k] as usize,
+                    };
+                    dst[c] = values[k];
+                }
             }
-        }
+        });
         out
     }
 }

@@ -309,14 +309,26 @@ impl DprBuffer {
     }
 
     /// Encodes with an explicit rounding mode (the stochastic ablation).
+    ///
+    /// Parallelized per output word on the `gist-par` pool: each word packs
+    /// only its own 2/3/4 values and every per-value conversion is pure
+    /// (stochastic rounding derives its decision from the seed and value
+    /// bits), so the buffer is byte-identical at every thread count.
     pub fn encode_with(format: DprFormat, values: &[f32], mode: RoundingMode) -> Self {
         let per = format.values_per_word();
         let bits = format.bits();
         let mut words = vec![0u32; values.len().div_ceil(per)];
-        for (i, &v) in values.iter().enumerate() {
-            let enc = format.encode_one_with(v, mode) as u32;
-            words[i / per] |= enc << ((i % per) as u32 * bits);
-        }
+        const GRAIN: usize = 1 << 12;
+        gist_par::parallel_chunks_mut(&mut words, GRAIN, |ci, chunk| {
+            for (j, word) in chunk.iter_mut().enumerate() {
+                let base = (ci * GRAIN + j) * per;
+                let mut w = 0u32;
+                for (k, &v) in values[base..(base + per).min(values.len())].iter().enumerate() {
+                    w |= (format.encode_one_with(v, mode) as u32) << (k as u32 * bits);
+                }
+                *word = w;
+            }
+        });
         DprBuffer { format, words, len: values.len() }
     }
 
@@ -345,12 +357,10 @@ impl DprBuffer {
         let per = self.format.values_per_word();
         let bits = self.format.bits();
         let mask = (1u32 << bits) - 1;
-        (0..self.len)
-            .map(|i| {
-                let raw = (self.words[i / per] >> ((i % per) as u32 * bits)) & mask;
-                self.format.decode_one(raw as u16)
-            })
-            .collect()
+        gist_par::parallel_map(self.len, 1 << 14, |i| {
+            let raw = (self.words[i / per] >> ((i % per) as u32 * bits)) & mask;
+            self.format.decode_one(raw as u16)
+        })
     }
 }
 

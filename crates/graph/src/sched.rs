@@ -12,12 +12,36 @@ use crate::ir::{Graph, NodeId};
 #[derive(Debug, Clone)]
 pub struct Schedule {
     num_nodes: usize,
+    waves: Vec<Vec<NodeId>>,
 }
 
 impl Schedule {
     /// Builds the schedule for a graph.
     pub fn of(graph: &Graph) -> Self {
-        Schedule { num_nodes: graph.len() }
+        // Wavefront levels: level(n) = 1 + max(level of n's inputs), with
+        // sources at level 0. Two nodes in the same wave can never depend
+        // on each other (any dependency path strictly increases the level),
+        // so a wave's nodes may execute concurrently. Within a wave, ids
+        // are ascending — the deterministic merge order the executor uses.
+        let mut level = vec![0usize; graph.len()];
+        let mut waves: Vec<Vec<NodeId>> = Vec::new();
+        for node in graph.nodes() {
+            let l = node.inputs.iter().map(|i| level[i.index()] + 1).max().unwrap_or(0);
+            level[node.id.index()] = l;
+            if waves.len() <= l {
+                waves.resize(l + 1, Vec::new());
+            }
+            waves[l].push(node.id);
+        }
+        Schedule { num_nodes: graph.len(), waves }
+    }
+
+    /// The forward wavefronts: each wave lists mutually-independent node
+    /// ids in ascending order. Executing waves in order (and the nodes of
+    /// a wave in any order) respects every data dependency. The backward
+    /// pass walks the same waves in reverse.
+    pub fn waves(&self) -> &[Vec<NodeId>] {
+        &self.waves
     }
 
     /// Number of nodes scheduled.
@@ -64,6 +88,30 @@ mod tests {
         assert_eq!(s.forward_step(c), 2);
         assert_eq!(s.backward_step(c), 3);
         assert_eq!(s.backward_step(a), 5);
+    }
+
+    #[test]
+    fn waves_respect_dependencies_and_group_independent_nodes() {
+        // Diamond: input -> (r1, r2) -> add; r1 and r2 share a wave.
+        let mut g = Graph::new("d");
+        let a = g.input(Shape::nchw(1, 1, 2, 2));
+        let r1 = g.relu(a, "r1");
+        let r2 = g.relu(a, "r2");
+        let add = g.add(r1, r2, "add");
+        let s = Schedule::of(&g);
+        assert_eq!(s.waves(), &[vec![a], vec![r1, r2], vec![add]]);
+    }
+
+    #[test]
+    fn chain_waves_are_singletons() {
+        let mut g = Graph::new("c");
+        let mut prev = g.input(Shape::vector(4));
+        for i in 0..5 {
+            prev = g.relu(prev, format!("r{i}"));
+        }
+        let s = Schedule::of(&g);
+        assert_eq!(s.waves().len(), 6);
+        assert!(s.waves().iter().all(|w| w.len() == 1));
     }
 
     #[test]

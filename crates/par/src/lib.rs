@@ -1,0 +1,622 @@
+//! `gist-par`: the deterministic parallel compute layer.
+//!
+//! Every hot path in the workspace — dense matmul, im2col convolution, the
+//! Binarize/SSDC/DPR codecs, and wavefront-level inter-op dispatch in the
+//! runtime — runs on the persistent thread pool defined here. The design
+//! goal is **bit-identical results at every thread count**: the paper's
+//! lossless claims (and this repo's differential test suites) compare runs
+//! bitwise, so parallelism must never change a single ULP.
+//!
+//! # Determinism contract
+//!
+//! 1. **Static chunking.** Work is split into chunks whose boundaries
+//!    depend only on `(len, grain)` — never on the thread count or on which
+//!    worker claims which chunk. Threads race only over *which chunk to run
+//!    next*, not over what a chunk computes.
+//! 2. **Disjoint writes.** [`parallel_for`] / [`parallel_chunks_mut`] /
+//!    [`parallel_map`] tasks write to disjoint output ranges; each output
+//!    element is computed by exactly the same scalar code, in the same
+//!    order, as the serial path.
+//! 3. **Fixed reduction shape.** [`parallel_reduce`] combines per-chunk
+//!    partials along a fixed pairwise tree over *chunk indices* (adjacent
+//!    pairs, repeatedly), so floating-point accumulation order is a pure
+//!    function of `(len, grain)` — independent of thread count and of
+//!    completion order. A pool with one thread computes the identical tree.
+//!
+//! # Pool model
+//!
+//! One global pool ([`global`]) is sized from the `GIST_THREADS` environment
+//! variable when set (a positive integer), else from
+//! `std::thread::available_parallelism()`. `GIST_THREADS=1` spawns **no**
+//! worker threads; every dispatch runs inline on the caller. Tests that
+//! need several thread counts inside one process use [`with_threads`],
+//! which installs a scoped pool for the current thread.
+//!
+//! Nested dispatch (a task calling back into `parallel_for`) degrades to
+//! serial execution on the calling worker — no deadlock, no oversubscription
+//! and, per the contract above, no change in results. Panics inside tasks
+//! are caught, the job is drained, and the first panic is re-raised on the
+//! dispatching thread.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+// ---------------------------------------------------------------------------
+// Job plumbing
+// ---------------------------------------------------------------------------
+
+/// Type-erased pointer to the job closure. The closure lives on the
+/// dispatching thread's stack; [`ThreadPool::run`] does not return until
+/// every chunk has completed, so workers never dereference it afterwards.
+#[derive(Clone, Copy)]
+struct TaskPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared calls are safe) and outlives every
+// use (see `ThreadPool::run`'s completion wait).
+unsafe impl Send for TaskPtr {}
+unsafe impl Sync for TaskPtr {}
+
+/// Locks ignoring poisoning: the pool deliberately survives panics in
+/// user tasks (they are captured and re-raised at the dispatch site), so
+/// a poisoned mutex just means "a task panicked", not corrupted state.
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+struct JobStatus {
+    completed: usize,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+struct Job {
+    task: TaskPtr,
+    nchunks: usize,
+    /// Next unclaimed chunk index.
+    next: AtomicUsize,
+    status: Mutex<JobStatus>,
+    done: Condvar,
+}
+
+impl Job {
+    /// Claims and runs chunks until none remain. Panics are captured into
+    /// the job status; every claimed chunk counts as completed either way.
+    fn run_chunks(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.nchunks {
+                break;
+            }
+            let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*self.task.0)(i) }));
+            let mut st = lock_ignore_poison(&self.status);
+            st.completed += 1;
+            if let Err(payload) = result {
+                st.panic.get_or_insert(payload);
+            }
+            if st.completed == self.nchunks {
+                self.done.notify_all();
+            }
+        }
+    }
+}
+
+struct PoolState {
+    job: Option<Arc<Job>>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    signal: Condvar,
+}
+
+// ---------------------------------------------------------------------------
+// The pool
+// ---------------------------------------------------------------------------
+
+/// A persistent pool of worker threads executing chunked jobs.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    threads: usize,
+    /// One job in flight at a time; concurrent dispatchers queue here.
+    submit: Mutex<()>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool").field("threads", &self.threads).finish()
+    }
+}
+
+thread_local! {
+    /// Set while this thread is executing pool chunks (worker threads and
+    /// dispatchers participating in their own job). Nested dispatch checks
+    /// this and degrades to serial.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+    /// Scoped pool override installed by [`with_pool`] / [`with_threads`].
+    static CURRENT: Cell<Option<*const ThreadPool>> = const { Cell::new(None) };
+}
+
+impl ThreadPool {
+    /// Creates a pool that executes jobs on `threads` threads total: the
+    /// dispatching thread plus `threads - 1` spawned workers. `threads <= 1`
+    /// spawns nothing — every dispatch runs inline.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState { job: None, shutdown: false }),
+            signal: Condvar::new(),
+        });
+        let handles = (1..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("gist-par-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn gist-par worker")
+            })
+            .collect();
+        ThreadPool { shared, handles, threads, submit: Mutex::new(()) }
+    }
+
+    /// Total execution threads (dispatcher + workers).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Spawned worker threads (0 when the pool is serial).
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Executes `f(0)`, `f(1)`, …, `f(nchunks - 1)` across the pool and
+    /// blocks until all chunks complete. Chunk-to-thread assignment is
+    /// dynamic, so `f` must not care which thread runs which chunk (the
+    /// callers in this workspace write disjoint outputs indexed by chunk).
+    ///
+    /// Runs serially inline when the pool has no workers, when `nchunks`
+    /// is small, or when called from inside another pool job (nesting).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first panic raised by any chunk, after all claimed
+    /// chunks have drained.
+    pub fn run<F: Fn(usize) + Sync>(&self, nchunks: usize, f: F) {
+        if nchunks == 0 {
+            return;
+        }
+        if self.handles.is_empty() || nchunks == 1 || IN_POOL.with(Cell::get) {
+            for i in 0..nchunks {
+                f(i);
+            }
+            return;
+        }
+        let _guard = lock_ignore_poison(&self.submit);
+        let f_ref: &(dyn Fn(usize) + Sync) = &f;
+        // SAFETY: erase the borrow's lifetime; `run` waits for completion
+        // below, so workers never call the closure after it is dropped.
+        let task = TaskPtr(unsafe {
+            std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(
+                f_ref as *const _,
+            )
+        });
+        let job = Arc::new(Job {
+            task,
+            nchunks,
+            next: AtomicUsize::new(0),
+            status: Mutex::new(JobStatus { completed: 0, panic: None }),
+            done: Condvar::new(),
+        });
+        {
+            let mut st = lock_ignore_poison(&self.shared.state);
+            st.job = Some(Arc::clone(&job));
+        }
+        self.shared.signal.notify_all();
+        // The dispatcher participates; its own chunks count as "in pool" so
+        // nested dispatch from inside them degrades to serial.
+        IN_POOL.with(|c| c.set(true));
+        job.run_chunks();
+        IN_POOL.with(|c| c.set(false));
+        let panic = {
+            let mut st = lock_ignore_poison(&job.status);
+            while st.completed < job.nchunks {
+                st = job.done.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            st.panic.take()
+        };
+        {
+            let mut st = lock_ignore_poison(&self.shared.state);
+            st.job = None;
+        }
+        if let Some(payload) = panic {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut st = lock_ignore_poison(&self.shared.state);
+            st.shutdown = true;
+        }
+        self.shared.signal.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    IN_POOL.with(|c| c.set(true));
+    loop {
+        let job = {
+            let mut st = lock_ignore_poison(&shared.state);
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if let Some(job) = &st.job {
+                    if job.next.load(Ordering::Relaxed) < job.nchunks {
+                        break Arc::clone(job);
+                    }
+                }
+                st = shared.signal.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        job.run_chunks();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Global + scoped pools
+// ---------------------------------------------------------------------------
+
+static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+
+/// Thread count from the environment: `GIST_THREADS` when set to a positive
+/// integer, else `available_parallelism()`.
+pub fn env_threads() -> usize {
+    match std::env::var("GIST_THREADS").ok().and_then(|s| s.trim().parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1),
+    }
+}
+
+/// The process-wide pool, created on first use from [`env_threads`].
+pub fn global() -> &'static ThreadPool {
+    GLOBAL.get_or_init(|| ThreadPool::new(env_threads()))
+}
+
+/// Runs `f` with every dispatch from the current thread routed to `pool`
+/// instead of the global one. Scoped and re-entrant; used by the
+/// differential test suites to compare thread counts in one process.
+pub fn with_pool<R>(pool: &ThreadPool, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<*const ThreadPool>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CURRENT.with(|c| c.set(self.0));
+        }
+    }
+    let prev = CURRENT.with(|c| c.replace(Some(pool as *const ThreadPool)));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Runs `f` on a freshly-built scoped pool of `threads` threads. The pool
+/// is joined before this returns.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    let pool = ThreadPool::new(threads);
+    with_pool(&pool, f)
+}
+
+fn with_current<R>(f: impl FnOnce(&ThreadPool) -> R) -> R {
+    match CURRENT.with(Cell::get) {
+        // SAFETY: the pointer was installed by `with_pool`, whose borrow of
+        // the pool is still on the stack of this thread.
+        Some(p) => f(unsafe { &*p }),
+        None => f(global()),
+    }
+}
+
+/// Thread count of the pool the current thread would dispatch to.
+pub fn current_threads() -> usize {
+    with_current(ThreadPool::threads)
+}
+
+// ---------------------------------------------------------------------------
+// High-level combinators
+// ---------------------------------------------------------------------------
+
+/// A `Send + Sync` raw-pointer wrapper for disjoint parallel writes.
+///
+/// # Safety
+///
+/// The caller must guarantee that concurrent tasks write through the
+/// pointer only to disjoint element ranges, and that the pointee outlives
+/// the dispatch (every `gist-par` dispatch blocks until completion).
+pub struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+// Manual impls: derive would add an unwanted `T: Copy` bound.
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Wraps a raw pointer for cross-task use (see the safety contract
+    /// on the type).
+    pub fn new(ptr: *mut T) -> Self {
+        SendPtr(ptr)
+    }
+
+    /// By-value accessor so closures capture the whole (Sync) wrapper
+    /// instead of edition-2021 precise-capturing the raw field.
+    pub fn get(self) -> *mut T {
+        self.0
+    }
+}
+
+/// Number of chunks a `(len, grain)` pair splits into.
+fn chunk_count(len: usize, grain: usize) -> usize {
+    len.div_ceil(grain.max(1))
+}
+
+/// Runs `f` over contiguous index sub-ranges of `0..len`, at most `grain`
+/// indices per call. Chunk boundaries depend only on `(len, grain)`.
+pub fn parallel_for<F: Fn(Range<usize>) + Sync>(len: usize, grain: usize, f: F) {
+    if len == 0 {
+        return;
+    }
+    let grain = grain.max(1);
+    with_current(|pool| {
+        pool.run(chunk_count(len, grain), |i| {
+            let start = i * grain;
+            f(start..(start + grain).min(len));
+        });
+    });
+}
+
+/// Splits `data` into consecutive chunks of `chunk` elements (last chunk
+/// ragged) and runs `f(chunk_index, chunk_slice)` over them in parallel.
+pub fn parallel_chunks_mut<T, F>(data: &mut [T], chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let len = data.len();
+    if len == 0 {
+        return;
+    }
+    let chunk = chunk.max(1);
+    let base = SendPtr::new(data.as_mut_ptr());
+    with_current(|pool| {
+        pool.run(chunk_count(len, chunk), move |i| {
+            let ptr = base.get();
+            let start = i * chunk;
+            let end = (start + chunk).min(len);
+            // SAFETY: chunks are disjoint sub-slices of `data`, which
+            // outlives the dispatch (run() blocks until completion).
+            let slice = unsafe { std::slice::from_raw_parts_mut(ptr.add(start), end - start) };
+            f(i, slice);
+        });
+    });
+}
+
+/// Builds `vec![f(0), f(1), …, f(len - 1)]` in parallel, `grain` indices
+/// per task. Element `i` is always computed by the same call `f(i)`, so
+/// the result is identical at every thread count.
+pub fn parallel_map<T, F>(len: usize, grain: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut out: Vec<T> = Vec::with_capacity(len);
+    if len == 0 {
+        return out;
+    }
+    let base = SendPtr::new(out.as_mut_ptr());
+    parallel_for(len, grain, move |range| {
+        let ptr = base.get();
+        for i in range {
+            // SAFETY: each index is written exactly once into capacity
+            // reserved above; set_len happens after all writes complete.
+            // (If `f` panics, already-written elements leak rather than
+            // drop — safe, and the pool re-raises the panic.)
+            unsafe { ptr.add(i).write(f(i)) };
+        }
+    });
+    // SAFETY: all `len` slots were initialized by the loop above.
+    unsafe { out.set_len(len) };
+    out
+}
+
+/// Deterministic parallel reduction: maps each `(len, grain)` chunk to a
+/// partial with `map`, then combines partials along a fixed pairwise tree
+/// over chunk indices — adjacent pairs `(0,1), (2,3), …`, repeated until
+/// one value remains. The combining shape depends only on `(len, grain)`,
+/// **never** on thread count or completion order, so floating-point results
+/// are reproducible. Returns `None` for `len == 0`.
+pub fn parallel_reduce<T, M, R>(len: usize, grain: usize, map: M, reduce: R) -> Option<T>
+where
+    T: Send,
+    M: Fn(Range<usize>) -> T + Sync,
+    R: Fn(T, T) -> T,
+{
+    if len == 0 {
+        return None;
+    }
+    let grain = grain.max(1);
+    let nchunks = chunk_count(len, grain);
+    let mut partials = parallel_map(nchunks, 1, |i| {
+        let start = i * grain;
+        map(start..(start + grain).min(len))
+    });
+    while partials.len() > 1 {
+        let mut next = Vec::with_capacity(partials.len().div_ceil(2));
+        let mut it = partials.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(reduce(a, b)),
+                None => next.push(a),
+            }
+        }
+        partials = next;
+    }
+    partials.pop()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn parallel_for_covers_every_index_once() {
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        with_threads(4, || {
+            parallel_for(1000, 7, |r| {
+                for i in r {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_map_matches_serial() {
+        let serial: Vec<u64> = (0..500u64).map(|i| i * i + 1).collect();
+        for threads in [1, 2, 5] {
+            let par =
+                with_threads(threads, || parallel_map(500, 13, |i| (i as u64) * (i as u64) + 1));
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn chunks_mut_writes_disjoint_slices() {
+        let mut data = vec![0usize; 101];
+        with_threads(3, || {
+            parallel_chunks_mut(&mut data, 10, |ci, chunk| {
+                for (k, v) in chunk.iter_mut().enumerate() {
+                    *v = ci * 10 + k;
+                }
+            });
+        });
+        let expect: Vec<usize> = (0..101).collect();
+        assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn reduce_tree_is_thread_count_invariant_for_floats() {
+        // Values chosen so that accumulation order changes the f32 sum:
+        // a naive racing reduction would be flaky here.
+        let vals: Vec<f32> =
+            (0..4096).map(|i| if i % 3 == 0 { 1e8 } else { -3.3e7 + i as f32 }).collect();
+        let sum_at = |threads: usize| {
+            with_threads(threads, || {
+                parallel_reduce(
+                    vals.len(),
+                    64,
+                    |r| r.map(|i| vals[i]).fold(0.0f32, |a, b| a + b),
+                    |a, b| a + b,
+                )
+                .unwrap()
+            })
+        };
+        let s1 = sum_at(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(s1.to_bits(), sum_at(threads).to_bits(), "threads={threads}");
+        }
+        // Sanity: the test has teeth — a different combining order would
+        // have produced different bits.
+        let reversed: f32 = {
+            let partials: Vec<f32> = (0..4096 / 64)
+                .map(|c| vals[c * 64..(c + 1) * 64].iter().fold(0.0f32, |a, &b| a + b))
+                .collect();
+            partials.iter().rev().fold(0.0f32, |a, &b| a + b)
+        };
+        assert_ne!(s1.to_bits(), reversed.to_bits(), "input must be order-sensitive");
+    }
+
+    #[test]
+    fn reduce_matches_explicit_pairwise_tree() {
+        let vals: Vec<f64> = (0..77).map(|i| (i as f64).sin() * 1e6).collect();
+        let got = with_threads(4, || {
+            parallel_reduce(77, 8, |r| r.map(|i| vals[i]).sum::<f64>(), |a, b| a + b).unwrap()
+        });
+        // Reference: same chunking, explicit tree.
+        let mut level: Vec<f64> =
+            (0..10).map(|c| vals[c * 8..(c * 8 + 8).min(77)].iter().sum::<f64>()).collect();
+        while level.len() > 1 {
+            level =
+                level.chunks(2).map(|p| if p.len() == 2 { p[0] + p[1] } else { p[0] }).collect();
+        }
+        assert_eq!(got.to_bits(), level[0].to_bits());
+    }
+
+    #[test]
+    fn nested_dispatch_degrades_to_serial() {
+        let count = AtomicU64::new(0);
+        with_threads(4, || {
+            parallel_for(8, 1, |outer| {
+                // Nested: must run inline without deadlock.
+                parallel_for(8, 1, |inner| {
+                    count.fetch_add((outer.start * 8 + inner.start) as u64, Ordering::Relaxed);
+                });
+            });
+        });
+        let expect: u64 = (0..64).sum();
+        assert_eq!(count.load(Ordering::Relaxed), expect);
+    }
+
+    #[test]
+    fn panic_in_task_propagates() {
+        let pool = ThreadPool::new(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            with_pool(&pool, || {
+                parallel_for(64, 1, |r| {
+                    if r.start == 17 {
+                        panic!("task 17 exploded");
+                    }
+                });
+            });
+        }));
+        let msg = result.expect_err("panic must propagate");
+        let text = msg.downcast_ref::<&str>().copied().unwrap_or("");
+        assert!(text.contains("task 17"), "payload preserved: {text:?}");
+        // Pool remains usable after a panic.
+        with_pool(&pool, || parallel_for(8, 1, |_| {}));
+    }
+
+    #[test]
+    fn single_thread_pool_spawns_no_workers() {
+        let pool = ThreadPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        assert_eq!(pool.workers(), 0);
+    }
+
+    #[test]
+    fn zero_len_and_oversized_grain() {
+        with_threads(3, || {
+            parallel_for(0, 8, |_| panic!("must not run"));
+            assert!(parallel_map(0, 8, |i| i).is_empty());
+            assert_eq!(parallel_reduce(0, 8, |_| 1usize, |a, b| a + b), None);
+            // grain > len: one chunk.
+            let v = parallel_map(3, 1000, |i| i * 2);
+            assert_eq!(v, vec![0, 2, 4]);
+            // grain 0 is clamped to 1.
+            let v = parallel_map(4, 0, |i| i);
+            assert_eq!(v, vec![0, 1, 2, 3]);
+        });
+    }
+}

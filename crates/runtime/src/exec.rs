@@ -6,7 +6,8 @@ use gist_core::{Encoding, GistConfig};
 use gist_encodings::csr::SsdcConfig;
 use gist_encodings::dpr::DprBuffer;
 use gist_encodings::{BitMask, CsrMatrix, DprFormat};
-use gist_graph::{Graph, NodeId, OpKind};
+use gist_graph::{Graph, Node, NodeId, OpKind, Schedule};
+use gist_par::parallel_map;
 use gist_tensor::ops::batchnorm::BatchNormCache;
 use gist_tensor::ops::{batchnorm, conv, dropout, elementwise, linear, lrn, pool, relu, softmax};
 use gist_tensor::{Shape, Tensor};
@@ -79,6 +80,28 @@ impl MemMeter {
     fn transient(&mut self, bytes: usize) {
         self.peak = self.peak.max(self.live + bytes);
     }
+}
+
+/// The raw output of one node's forward compute, before the sequential
+/// post-processing (quantization, stashing, metering, stats) that keeps the
+/// executor deterministic under wavefront parallelism.
+struct NodeOut {
+    y: Tensor,
+    argmax: Option<Vec<u8>>,
+    bn: Option<BatchNormCache>,
+    mask: Option<Vec<bool>>,
+    loss: Option<(f32, usize)>,
+}
+
+/// One node's backward contribution. Computed (possibly concurrently) per
+/// wave, then merged sequentially in descending node-id order so gradient
+/// accumulation has one fixed order at every thread count.
+struct BwdOut {
+    pgrads: Option<ParamGrads>,
+    /// `(producer, gradient)` pairs to accumulate, in input order.
+    contrib: Vec<(NodeId, Tensor)>,
+    /// Largest short-lived decode buffer this node's backward needed.
+    transient: usize,
 }
 
 /// Per-minibatch statistics.
@@ -182,6 +205,210 @@ impl Executor {
             }
             _ => Stash::Dense(y.clone()),
         }
+    }
+
+    /// Computes one node's forward output from already-materialized inputs.
+    ///
+    /// Pure with respect to the executor: nodes of one wave never read each
+    /// other's outputs (the wave invariant), so the scheduler may run them
+    /// concurrently against a shared `fmaps` view.
+    fn compute_forward(
+        &self,
+        node: &Node,
+        fmaps: &[Option<Tensor>],
+        images: &Tensor,
+        labels: &[usize],
+    ) -> Result<NodeOut, RuntimeError> {
+        let id = node.id;
+        let input = |i: usize| -> &Tensor {
+            fmaps[node.inputs[i].index()].as_ref().expect("producer already executed")
+        };
+        let mut argmax = None;
+        let mut bn = None;
+        let mut mask = None;
+        let mut loss = None;
+        let y = match &node.op {
+            OpKind::Input(_) => images.clone(),
+            OpKind::Conv { params: cp, .. } => {
+                let Some(NodeParams::Conv { weight, bias }) = self.params.get(id.index()) else {
+                    unreachable!("conv has params")
+                };
+                conv::forward(input(0), weight, bias.as_ref(), *cp)?
+            }
+            OpKind::Relu => relu::forward(input(0)),
+            OpKind::MaxPool(p) => {
+                let out = pool::maxpool_forward(input(0), *p)?;
+                argmax = Some(out.argmax);
+                out.y
+            }
+            OpKind::AvgPool(p) => pool::avgpool_forward(input(0), *p)?,
+            OpKind::Linear { .. } => {
+                let Some(NodeParams::Linear { weight, bias }) = self.params.get(id.index()) else {
+                    unreachable!("linear has params")
+                };
+                linear::forward(input(0), weight, bias.as_ref())?
+            }
+            OpKind::BatchNorm => {
+                let Some(NodeParams::BatchNorm { gamma, beta }) = self.params.get(id.index())
+                else {
+                    unreachable!("bn has params")
+                };
+                let (y, cache) = batchnorm::forward(input(0), gamma, beta, 1e-5)?;
+                bn = Some(cache);
+                y
+            }
+            OpKind::Lrn(p) => lrn::forward(input(0), *p)?,
+            OpKind::Dropout { p } => {
+                let mask_seed = self
+                    .seed
+                    .wrapping_add((id.index() as u64).wrapping_mul(0x51_7C_C1_B7_27_22_0A_95))
+                    .wrapping_add(self.step_counter);
+                let keep = dropout::keep_mask(input(0).numel(), *p, mask_seed);
+                let y = dropout::forward(input(0), &keep, *p)?;
+                mask = Some(keep);
+                y
+            }
+            OpKind::Add => elementwise::add_forward(input(0), input(1))?,
+            OpKind::Concat => {
+                let ins: Vec<&Tensor> = node
+                    .inputs
+                    .iter()
+                    .map(|&i| fmaps[i.index()].as_ref().expect("producer executed"))
+                    .collect();
+                elementwise::concat_forward(&ins)?
+            }
+            OpKind::SoftmaxLoss => {
+                // The forward "use" is the loss value itself; the gradient
+                // is recomputed in backward from the stashed (possibly
+                // encoded) logits.
+                let out = softmax::cross_entropy(input(0), labels)?;
+                loss = Some((out.loss, out.correct));
+                input(0).clone()
+            }
+        };
+        Ok(NodeOut { y, argmax, bn, mask, loss })
+    }
+
+    /// Computes one node's backward contributions without touching shared
+    /// state — the caller merges them in a fixed order.
+    ///
+    /// `dy` is `None` only for the loss head, whose upstream gradient is
+    /// synthesized from the stashed logits.
+    fn backward_node(
+        &self,
+        node: &Node,
+        dy: Option<&Tensor>,
+        stashes: &[Option<Stash>],
+        argmaxes: &[Option<Vec<u8>>],
+        drop_masks: &[Option<Vec<bool>>],
+        bn_caches: &[Option<BatchNormCache>],
+        labels: &[usize],
+    ) -> Result<BwdOut, RuntimeError> {
+        let id = node.id;
+        let mut transient = 0usize;
+        let mut stash_dense = |pid: NodeId| -> Tensor {
+            let t = stashes[pid.index()].as_ref().expect("stash present for backward").decode();
+            // Decode buffer exists for the duration of this backward step.
+            transient = transient.max(t.numel() * 4);
+            t
+        };
+        if matches!(node.op, OpKind::SoftmaxLoss) {
+            let producer = node.inputs[0];
+            let logits = stash_dense(producer);
+            let dlogits = softmax::cross_entropy(&logits, labels)?.dlogits;
+            // Reshape the [N, K] gradient back to the producer's shape.
+            let mut dlogits = dlogits.reshape(self.shapes[producer.index()])?;
+            self.quantize_immediate(&mut dlogits);
+            return Ok(BwdOut { pgrads: None, contrib: vec![(producer, dlogits)], transient });
+        }
+        let dy = dy.expect("non-loss nodes reach backward_node with a gradient");
+        let mut pg = None;
+        let mut contrib = Vec::new();
+        match &node.op {
+            OpKind::Conv { params: cp, .. } => {
+                let producer = node.inputs[0];
+                let x = stash_dense(producer);
+                let Some(NodeParams::Conv { weight, .. }) = self.params.get(id.index()) else {
+                    unreachable!("conv has params")
+                };
+                let g = conv::backward(&x, weight, dy, *cp)?;
+                pg = Some(ParamGrads { main: g.dw, secondary: Some(g.db) });
+                contrib.push((producer, g.dx));
+            }
+            OpKind::Linear { .. } => {
+                let producer = node.inputs[0];
+                let x = stash_dense(producer);
+                let Some(NodeParams::Linear { weight, .. }) = self.params.get(id.index()) else {
+                    unreachable!("linear has params")
+                };
+                let (rows, cols) = self.shapes[id.index()].as_matrix();
+                let dy2 = dy.clone().reshape(Shape::matrix(rows, cols))?;
+                let g = linear::backward(&x, weight, &dy2)?;
+                pg = Some(ParamGrads { main: g.dw, secondary: Some(g.db) });
+                contrib.push((producer, g.dx.reshape(self.shapes[producer.index()])?));
+            }
+            OpKind::Relu => {
+                let producer = node.inputs[0];
+                let dx = match &stashes[id.index()] {
+                    Some(Stash::Bits(mask, shape)) => {
+                        // Binarize: backward directly on the 1-bit mask.
+                        Tensor::from_vec(*shape, mask.relu_backward(dy.data())?)?
+                    }
+                    Some(other) => relu::backward(&other.decode(), dy),
+                    None => unreachable!("relu output is always stashed"),
+                };
+                contrib.push((producer, dx));
+            }
+            OpKind::MaxPool(p) => {
+                let producer = node.inputs[0];
+                let x_shape = self.shapes[producer.index()];
+                let argmax = argmaxes[id.index()].as_ref().expect("maxpool ran forward");
+                contrib.push((producer, pool::maxpool_backward(x_shape, argmax, dy, *p)?));
+            }
+            OpKind::AvgPool(p) => {
+                let producer = node.inputs[0];
+                contrib.push((
+                    producer,
+                    pool::avgpool_backward(self.shapes[producer.index()], dy, *p)?,
+                ));
+            }
+            OpKind::BatchNorm => {
+                let producer = node.inputs[0];
+                let x = stash_dense(producer);
+                let Some(NodeParams::BatchNorm { gamma, .. }) = self.params.get(id.index()) else {
+                    unreachable!("bn has params")
+                };
+                let cache = bn_caches[id.index()].as_ref().expect("bn ran forward");
+                let g = batchnorm::backward(&x, gamma, cache, dy)?;
+                pg = Some(ParamGrads { main: g.dgamma, secondary: Some(g.dbeta) });
+                contrib.push((producer, g.dx));
+            }
+            OpKind::Lrn(p) => {
+                let producer = node.inputs[0];
+                let x = stash_dense(producer);
+                contrib.push((producer, lrn::backward(&x, dy, *p)?));
+            }
+            OpKind::Dropout { p } => {
+                let producer = node.inputs[0];
+                let mask = drop_masks[id.index()].as_ref().expect("dropout ran forward");
+                contrib.push((producer, dropout::backward(dy, mask, *p)?));
+            }
+            OpKind::Add => {
+                let (da, db) = elementwise::add_backward(dy);
+                contrib.push((node.inputs[0], da));
+                contrib.push((node.inputs[1], db));
+            }
+            OpKind::Concat => {
+                let shapes: Vec<Shape> =
+                    node.inputs.iter().map(|&i| self.shapes[i.index()]).collect();
+                let parts = elementwise::concat_backward(dy, &shapes)?;
+                for (&inp, part) in node.inputs.iter().zip(parts) {
+                    contrib.push((inp, part));
+                }
+            }
+            OpKind::Input(_) | OpKind::SoftmaxLoss => unreachable!("handled by the caller"),
+        }
+        Ok(BwdOut { pgrads: pg, contrib, transient })
     }
 
     /// Forward-only inference: returns the argmax class per image.
@@ -332,14 +559,26 @@ impl Executor {
             )));
         }
 
-        // Last forward step at which each node's dense output is read; the
-        // buffer is relinquished right after (the paper's "the full-fidelity
-        // feature maps are used in the forward pass and relinquished
-        // immediately").
-        let mut last_fwd_use: Vec<usize> = (0..n).collect();
+        // Wavefront schedule: each wave holds mutually-independent nodes, so
+        // a wave's forward (and backward) computes may run concurrently on
+        // the gist-par pool. All cross-node state is still touched in one
+        // fixed sequential order (ascending position forward, descending id
+        // within reversed waves backward), so results are byte-identical at
+        // every thread count.
+        let sched = Schedule::of(&self.graph);
+        let mut pos = vec![0usize; n];
+        for (p, &id) in sched.waves().iter().flatten().enumerate() {
+            pos[id.index()] = p;
+        }
+        // Last execution position at which each node's dense output is read;
+        // the buffer is relinquished right after (the paper's "the
+        // full-fidelity feature maps are used in the forward pass and
+        // relinquished immediately").
+        let mut last_use_pos: Vec<usize> = (0..n).map(|j| pos[j]).collect();
         for node in self.graph.nodes() {
             for &inp in &node.inputs {
-                last_fwd_use[inp.index()] = node.id.index();
+                let lp = &mut last_use_pos[inp.index()];
+                *lp = (*lp).max(pos[node.id.index()]);
             }
         }
         let mut meter = MemMeter::default();
@@ -355,121 +594,94 @@ impl Executor {
         let mut relu_sparsity = Vec::new();
 
         let inplace_on = matches!(&self.mode, ExecMode::Gist(cfg) if cfg.inplace);
-        for node in self.graph.nodes() {
-            let id = node.id;
+        let mut cursor = 0usize;
+        for wave in sched.waves() {
             // Inplace ReLU (Section III-C): when this ReLU is the sole and
             // final reader of its producer's buffer, overwrite it instead
-            // of allocating a fresh output.
-            if inplace_on && matches!(node.op, OpKind::Relu) {
-                let producer = node.inputs[0];
-                let sole_reader = last_fwd_use[producer.index()] == id.index()
-                    && self.graph.consumers(producer).len() == 1
-                    && !matches!(self.graph.node(producer).op, OpKind::Input(_));
-                if sole_reader {
-                    let mut y = fmaps[producer.index()].take().expect("producer executed");
-                    // The buffer is reused, not freed-and-reallocated: no
-                    // meter traffic for the producer's release.
-                    relu::forward_inplace(&mut y);
-                    relu_sparsity.push((node.name.clone(), y.sparsity()));
-                    if gist_graph::class::is_stashed(&self.graph, id) {
-                        let stash = self.make_stash(id, &y);
-                        meter.alloc(stash.encoded_bytes());
-                        stashes[id.index()] = Some(stash);
+            // of allocating a fresh output. Applied only in singleton waves:
+            // overwriting a shared buffer while sibling nodes may read it is
+            // unsound, and keeping the rule wave-structural (never
+            // thread-count-dependent) keeps the meter deterministic.
+            if inplace_on && wave.len() == 1 {
+                let node = self.graph.node(wave[0]);
+                let id = node.id;
+                if matches!(node.op, OpKind::Relu) {
+                    let producer = node.inputs[0];
+                    let sole_reader = last_use_pos[producer.index()] == pos[id.index()]
+                        && self.graph.consumers(producer).len() == 1
+                        && !matches!(self.graph.node(producer).op, OpKind::Input(_));
+                    if sole_reader {
+                        let mut y = fmaps[producer.index()].take().expect("producer executed");
+                        // The buffer is reused, not freed-and-reallocated: no
+                        // meter traffic for the producer's release.
+                        relu::forward_inplace(&mut y);
+                        relu_sparsity.push((node.name.clone(), y.sparsity()));
+                        if gist_graph::class::is_stashed(&self.graph, id) {
+                            let stash = self.make_stash(id, &y);
+                            meter.alloc(stash.encoded_bytes());
+                            stashes[id.index()] = Some(stash);
+                        }
+                        fmaps[id.index()] = Some(y);
+                        // Release this node's own buffer if nothing reads it.
+                        if last_use_pos[id.index()] == pos[id.index()] {
+                            if let Some(t) = fmaps[id.index()].take() {
+                                meter.free(t.numel() * 4);
+                            }
+                        }
+                        cursor += 1;
+                        continue;
                     }
-                    fmaps[id.index()] = Some(y);
-                    // Release this node's own buffer if nothing reads it.
-                    if last_fwd_use[id.index()] == id.index() {
-                        if let Some(t) = fmaps[id.index()].take() {
+                }
+            }
+            // Compute the wave — concurrently when it has siblings — then
+            // post-process sequentially in ascending-id order.
+            let outs: Vec<Result<NodeOut, RuntimeError>> = if wave.len() == 1 {
+                vec![self.compute_forward(self.graph.node(wave[0]), &fmaps, images, labels)]
+            } else {
+                let this = &*self;
+                let fview = &fmaps;
+                parallel_map(wave.len(), 1, |wi| {
+                    this.compute_forward(this.graph.node(wave[wi]), fview, images, labels)
+                })
+            };
+            for (&id, out) in wave.iter().zip(outs) {
+                let node = self.graph.node(id);
+                let NodeOut { mut y, argmax, bn, mask, loss } = out?;
+                self.quantize_immediate(&mut y);
+                if matches!(node.op, OpKind::Relu) {
+                    relu_sparsity.push((node.name.clone(), y.sparsity()));
+                }
+                if let Some(a) = argmax {
+                    argmaxes[id.index()] = Some(a);
+                }
+                if let Some(c) = bn {
+                    bn_caches[id.index()] = Some(c);
+                }
+                if let Some(m) = mask {
+                    drop_masks[id.index()] = Some(m);
+                }
+                if let Some((l, c)) = loss {
+                    fwd_loss = l;
+                    fwd_correct = c;
+                }
+                if gist_graph::class::is_stashed(&self.graph, id) {
+                    let stash = self.make_stash(id, &y);
+                    meter.alloc(stash.encoded_bytes());
+                    stashes[id.index()] = Some(stash);
+                }
+                meter.alloc(y.numel() * 4);
+                fmaps[id.index()] = Some(y);
+                // Relinquish every dense buffer whose last forward use was
+                // this position (including this node's own output if nothing
+                // reads it).
+                for j in 0..n {
+                    if last_use_pos[j] == cursor {
+                        if let Some(t) = fmaps[j].take() {
                             meter.free(t.numel() * 4);
                         }
                     }
-                    continue;
                 }
-            }
-            let input = |i: usize| -> &Tensor {
-                fmaps[node.inputs[i].index()].as_ref().expect("producer already executed")
-            };
-            let mut y = match &node.op {
-                OpKind::Input(_) => images.clone(),
-                OpKind::Conv { params: cp, .. } => {
-                    let Some(NodeParams::Conv { weight, bias }) = self.params.get(id.index())
-                    else {
-                        unreachable!("conv has params")
-                    };
-                    conv::forward(input(0), weight, bias.as_ref(), *cp)?
-                }
-                OpKind::Relu => relu::forward(input(0)),
-                OpKind::MaxPool(p) => {
-                    let out = pool::maxpool_forward(input(0), *p)?;
-                    argmaxes[id.index()] = Some(out.argmax);
-                    out.y
-                }
-                OpKind::AvgPool(p) => pool::avgpool_forward(input(0), *p)?,
-                OpKind::Linear { .. } => {
-                    let Some(NodeParams::Linear { weight, bias }) = self.params.get(id.index())
-                    else {
-                        unreachable!("linear has params")
-                    };
-                    linear::forward(input(0), weight, bias.as_ref())?
-                }
-                OpKind::BatchNorm => {
-                    let Some(NodeParams::BatchNorm { gamma, beta }) = self.params.get(id.index())
-                    else {
-                        unreachable!("bn has params")
-                    };
-                    let (y, cache) = batchnorm::forward(input(0), gamma, beta, 1e-5)?;
-                    bn_caches[id.index()] = Some(cache);
-                    y
-                }
-                OpKind::Lrn(p) => lrn::forward(input(0), *p)?,
-                OpKind::Dropout { p } => {
-                    let mask_seed = self
-                        .seed
-                        .wrapping_add((id.index() as u64).wrapping_mul(0x51_7C_C1_B7_27_22_0A_95))
-                        .wrapping_add(self.step_counter);
-                    let mask = dropout::keep_mask(input(0).numel(), *p, mask_seed);
-                    let y = dropout::forward(input(0), &mask, *p)?;
-                    drop_masks[id.index()] = Some(mask);
-                    y
-                }
-                OpKind::Add => elementwise::add_forward(input(0), input(1))?,
-                OpKind::Concat => {
-                    let ins: Vec<&Tensor> = node
-                        .inputs
-                        .iter()
-                        .map(|&i| fmaps[i.index()].as_ref().expect("producer executed"))
-                        .collect();
-                    elementwise::concat_forward(&ins)?
-                }
-                OpKind::SoftmaxLoss => {
-                    // The forward "use" is the loss value itself; the
-                    // gradient is recomputed in backward from the stashed
-                    // (possibly encoded) logits.
-                    let out = softmax::cross_entropy(input(0), labels)?;
-                    fwd_loss = out.loss;
-                    fwd_correct = out.correct;
-                    input(0).clone()
-                }
-            };
-            self.quantize_immediate(&mut y);
-            if matches!(node.op, OpKind::Relu) {
-                relu_sparsity.push((node.name.clone(), y.sparsity()));
-            }
-            if gist_graph::class::is_stashed(&self.graph, id) {
-                let stash = self.make_stash(id, &y);
-                meter.alloc(stash.encoded_bytes());
-                stashes[id.index()] = Some(stash);
-            }
-            meter.alloc(y.numel() * 4);
-            fmaps[id.index()] = Some(y);
-            // Relinquish every dense buffer whose last forward use was this
-            // node (including this node's own output if nothing reads it).
-            for j in 0..=id.index() {
-                if last_fwd_use[j] == id.index() {
-                    if let Some(t) = fmaps[j].take() {
-                        meter.free(t.numel() * 4);
-                    }
-                }
+                cursor += 1;
             }
         }
 
@@ -501,132 +713,78 @@ impl Executor {
                     }
                 }
             };
-        let stash_dense = |meter: &mut MemMeter, stashes: &[Option<Stash>], id: NodeId| -> Tensor {
-            let t = stashes[id.index()].as_ref().expect("stash present for backward").decode();
-            // Decode buffer exists for the duration of this backward step.
-            meter.transient(t.numel() * 4);
-            t
-        };
-
-        for node in self.graph.nodes().iter().rev() {
-            let id = node.id;
-            if matches!(node.op, OpKind::SoftmaxLoss) {
-                let producer = node.inputs[0];
-                let logits = stash_dense(&mut meter_cell, &stashes, producer);
-                let mut dlogits = softmax::cross_entropy(&logits, labels)?.dlogits;
-                // Reshape the [N, K] gradient back to the producer's shape.
-                dlogits = dlogits.reshape(self.shapes[producer.index()])?;
-                self.quantize_immediate(&mut dlogits);
-                accumulate(&mut meter_cell, &mut grads, producer, dlogits);
-                continue;
+        // Walk the waves in reverse. A node's upstream gradient is complete
+        // once every consumer's backward has run — all consumers live in
+        // later waves, so the wave invariant holds backward too. Within a
+        // wave the computes may run concurrently; merging (gradient
+        // accumulation, param grads, meter, stash release) is sequential in
+        // descending-id order so shared producers always accumulate
+        // contributions in one fixed order.
+        for wave in sched.waves().iter().rev() {
+            let mut work: Vec<(NodeId, Option<Tensor>)> = Vec::new();
+            for &id in wave.iter().rev() {
+                let node = self.graph.node(id);
+                if matches!(node.op, OpKind::Input(_)) {
+                    continue;
+                }
+                if matches!(node.op, OpKind::SoftmaxLoss) {
+                    work.push((id, None));
+                    continue;
+                }
+                let Some(mut dy) = grads[id.index()].take() else {
+                    continue; // no gradient path through this node
+                };
+                meter_cell.free(dy.numel() * 4);
+                self.quantize_immediate(&mut dy);
+                work.push((id, Some(dy)));
             }
-            if matches!(node.op, OpKind::Input(_)) {
-                continue;
-            }
-            let Some(mut dy) = grads[id.index()].take() else {
-                continue; // no gradient path through this node
+            let outs: Vec<Result<BwdOut, RuntimeError>> = if work.len() <= 1 {
+                work.iter()
+                    .map(|(id, dy)| {
+                        self.backward_node(
+                            self.graph.node(*id),
+                            dy.as_ref(),
+                            &stashes,
+                            &argmaxes,
+                            &drop_masks,
+                            &bn_caches,
+                            labels,
+                        )
+                    })
+                    .collect()
+            } else {
+                let this = &*self;
+                let wview = &work;
+                let sview = &stashes;
+                parallel_map(work.len(), 1, |wi| {
+                    let (id, dy) = &wview[wi];
+                    this.backward_node(
+                        this.graph.node(*id),
+                        dy.as_ref(),
+                        sview,
+                        &argmaxes,
+                        &drop_masks,
+                        &bn_caches,
+                        labels,
+                    )
+                })
             };
-            meter_cell.free(dy.numel() * 4);
-            self.quantize_immediate(&mut dy);
-            match &node.op {
-                OpKind::Conv { params: cp, .. } => {
-                    let producer = node.inputs[0];
-                    let x = stash_dense(&mut meter_cell, &stashes, producer);
-                    let Some(NodeParams::Conv { weight, .. }) = self.params.get(id.index()) else {
-                        unreachable!("conv has params")
-                    };
-                    let g = conv::backward(&x, weight, &dy, *cp)?;
-                    pgrads[id.index()] = Some(ParamGrads { main: g.dw, secondary: Some(g.db) });
-                    accumulate(&mut meter_cell, &mut grads, producer, g.dx);
+            for ((id, _), out) in work.iter().zip(outs) {
+                let BwdOut { pgrads: pg, contrib, transient } = out?;
+                if transient > 0 {
+                    meter_cell.transient(transient);
                 }
-                OpKind::Linear { .. } => {
-                    let producer = node.inputs[0];
-                    let x = stash_dense(&mut meter_cell, &stashes, producer);
-                    let Some(NodeParams::Linear { weight, .. }) = self.params.get(id.index())
-                    else {
-                        unreachable!("linear has params")
-                    };
-                    let dy2 = dy.reshape(Shape::matrix(
-                        self.shapes[id.index()].as_matrix().0,
-                        self.shapes[id.index()].as_matrix().1,
-                    ))?;
-                    let g = linear::backward(&x, weight, &dy2)?;
-                    pgrads[id.index()] = Some(ParamGrads { main: g.dw, secondary: Some(g.db) });
-                    accumulate(
-                        &mut meter_cell,
-                        &mut grads,
-                        producer,
-                        g.dx.reshape(self.shapes[producer.index()])?,
-                    );
+                if pg.is_some() {
+                    pgrads[id.index()] = pg;
                 }
-                OpKind::Relu => {
-                    let producer = node.inputs[0];
-                    let dx = match &stashes[id.index()] {
-                        Some(Stash::Bits(mask, shape)) => {
-                            // Binarize: backward directly on the 1-bit mask.
-                            Tensor::from_vec(*shape, mask.relu_backward(dy.data())?)?
-                        }
-                        Some(other) => relu::backward(&other.decode(), &dy),
-                        None => unreachable!("relu output is always stashed"),
-                    };
-                    accumulate(&mut meter_cell, &mut grads, producer, dx);
+                for (target, g) in contrib {
+                    accumulate(&mut meter_cell, &mut grads, target, g);
                 }
-                OpKind::MaxPool(p) => {
-                    let producer = node.inputs[0];
-                    let x_shape = self.shapes[producer.index()];
-                    let argmax = argmaxes[id.index()].as_ref().expect("maxpool ran forward");
-                    let dx = pool::maxpool_backward(x_shape, argmax, &dy, *p)?;
-                    accumulate(&mut meter_cell, &mut grads, producer, dx);
+                // This node's backward pass was the last reader of its own
+                // stash (consumers' backward steps all ran earlier).
+                if let Some(stash) = stashes[id.index()].take() {
+                    meter_cell.free(stash.encoded_bytes());
                 }
-                OpKind::AvgPool(p) => {
-                    let producer = node.inputs[0];
-                    let dx = pool::avgpool_backward(self.shapes[producer.index()], &dy, *p)?;
-                    accumulate(&mut meter_cell, &mut grads, producer, dx);
-                }
-                OpKind::BatchNorm => {
-                    let producer = node.inputs[0];
-                    let x = stash_dense(&mut meter_cell, &stashes, producer);
-                    let Some(NodeParams::BatchNorm { gamma, .. }) = self.params.get(id.index())
-                    else {
-                        unreachable!("bn has params")
-                    };
-                    let cache = bn_caches[id.index()].as_ref().expect("bn ran forward");
-                    let g = batchnorm::backward(&x, gamma, cache, &dy)?;
-                    pgrads[id.index()] =
-                        Some(ParamGrads { main: g.dgamma, secondary: Some(g.dbeta) });
-                    accumulate(&mut meter_cell, &mut grads, producer, g.dx);
-                }
-                OpKind::Lrn(p) => {
-                    let producer = node.inputs[0];
-                    let x = stash_dense(&mut meter_cell, &stashes, producer);
-                    let dx = lrn::backward(&x, &dy, *p)?;
-                    accumulate(&mut meter_cell, &mut grads, producer, dx);
-                }
-                OpKind::Dropout { p } => {
-                    let producer = node.inputs[0];
-                    let mask = drop_masks[id.index()].as_ref().expect("dropout ran forward");
-                    let dx = dropout::backward(&dy, mask, *p)?;
-                    accumulate(&mut meter_cell, &mut grads, producer, dx);
-                }
-                OpKind::Add => {
-                    let (da, db) = elementwise::add_backward(&dy);
-                    accumulate(&mut meter_cell, &mut grads, node.inputs[0], da);
-                    accumulate(&mut meter_cell, &mut grads, node.inputs[1], db);
-                }
-                OpKind::Concat => {
-                    let shapes: Vec<Shape> =
-                        node.inputs.iter().map(|&i| self.shapes[i.index()]).collect();
-                    let parts = elementwise::concat_backward(&dy, &shapes)?;
-                    for (&inp, part) in node.inputs.iter().zip(parts) {
-                        accumulate(&mut meter_cell, &mut grads, inp, part);
-                    }
-                }
-                OpKind::Input(_) | OpKind::SoftmaxLoss => unreachable!("handled above"),
-            }
-            // This node's backward pass was the last reader of its own
-            // stash (consumers' backward steps all ran earlier).
-            if let Some(stash) = stashes[id.index()].take() {
-                meter_cell.free(stash.encoded_bytes());
             }
         }
 
@@ -801,6 +959,53 @@ mod tests {
         let b = e.predict(&x).unwrap();
         assert_eq!(a, b, "inference must be deterministic (dropout = identity)");
         assert_eq!(e.steps_executed(), before);
+    }
+
+    /// Two parallel conv branches off one input: waves with sibling nodes in
+    /// both directions, plus a shared producer whose gradient accumulates
+    /// contributions from two nodes of the same wave.
+    fn branchy_graph(batch: usize) -> Graph {
+        let mut g = Graph::new("branchy");
+        let x = g.input(Shape::nchw(batch, 3, 8, 8));
+        let p = gist_tensor::ops::conv::ConvParams::new(3, 1, 1);
+        let a = g.conv(x, 4, p, true, "conv_a");
+        let b = g.conv(x, 4, p, true, "conv_b");
+        let ra = g.relu(a, "relu_a");
+        let rb = g.relu(b, "relu_b");
+        let s = g.add(ra, rb, "add");
+        let fc = g.linear(s, 3, true, "fc");
+        g.softmax_loss(fc, "loss");
+        g
+    }
+
+    #[test]
+    fn multi_node_waves_are_thread_count_invariant() {
+        let sched = Schedule::of(&branchy_graph(2));
+        assert!(
+            sched.waves().iter().any(|w| w.len() > 1),
+            "test graph must exercise sibling waves"
+        );
+        let mut ds = SyntheticImages::rgb(3, 8, 0.3, 9);
+        let (x, y) = ds.minibatch(2);
+        let run = |threads: usize| {
+            gist_par::with_threads(threads, || {
+                let mut e = Executor::new(branchy_graph(2), ExecMode::Baseline, 3).unwrap();
+                let (stats, grads) = e.forward_backward(&x, &y).unwrap();
+                let mut bits: Vec<u32> = vec![stats.loss.to_bits()];
+                for g in grads.into_iter().flatten() {
+                    bits.extend(g.main.data().iter().map(|v| v.to_bits()));
+                    if let Some(s) = g.secondary {
+                        bits.extend(s.data().iter().map(|v| v.to_bits()));
+                    }
+                }
+                (bits, stats.peak_live_bytes)
+            })
+        };
+        let base = run(1);
+        assert!(base.0.len() > 1, "gradients flowed");
+        for t in [2, 4] {
+            assert_eq!(run(t), base, "threads={t} must be byte-identical to serial");
+        }
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! standard stash-based backward pass.
 
 use crate::{Shape, Tensor, TensorError};
+use gist_par::{parallel_chunks_mut, parallel_map};
 
 /// Saved statistics from the forward pass needed by the backward pass.
 #[derive(Debug, Clone)]
@@ -33,42 +34,50 @@ pub fn forward(
         return Err(TensorError::ShapeMismatch { left: gamma.shape(), right: Shape::vector(c) });
     }
     let per = s.n() * s.h() * s.w();
-    let mut mean = vec![0.0f32; c];
-    let mut var = vec![0.0f32; c];
-    for n in 0..s.n() {
-        for (ci, m) in mean.iter_mut().enumerate() {
-            for h in 0..s.h() {
-                for w in 0..s.w() {
-                    *m += x.at(n, ci, h, w);
+    let (sn, sh, sw) = (s.n(), s.h(), s.w());
+    // Channels are independent statistics; each channel accumulates over
+    // (n, h, w) in the same ascending order as a serial sweep, so the sums
+    // are bit-identical at every thread count.
+    let mut mean: Vec<f32> = parallel_map(c, 1, |ci| {
+        let mut m = 0.0f32;
+        for n in 0..sn {
+            for h in 0..sh {
+                for w in 0..sw {
+                    m += x.at(n, ci, h, w);
                 }
             }
         }
-    }
+        m
+    });
     for m in &mut mean {
         *m /= per as f32;
     }
-    for n in 0..s.n() {
-        for ci in 0..c {
-            for h in 0..s.h() {
-                for w in 0..s.w() {
+    let var: Vec<f32> = parallel_map(c, 1, |ci| {
+        let mut v = 0.0f32;
+        for n in 0..sn {
+            for h in 0..sh {
+                for w in 0..sw {
                     let d = x.at(n, ci, h, w) - mean[ci];
-                    var[ci] += d * d;
+                    v += d * d;
                 }
             }
         }
-    }
+        v
+    });
     let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v / per as f32 + eps).sqrt()).collect();
     let mut y = Tensor::zeros(s);
-    for n in 0..s.n() {
+    // Images are contiguous NCHW slices of y — disjoint elementwise writes.
+    parallel_chunks_mut(y.data_mut(), c * sh * sw, |n, img| {
         for ci in 0..c {
             let (g, b, m, is) = (gamma.data()[ci], beta.data()[ci], mean[ci], inv_std[ci]);
-            for h in 0..s.h() {
-                for w in 0..s.w() {
-                    y.set(n, ci, h, w, g * (x.at(n, ci, h, w) - m) * is + b);
+            let plane = &mut img[ci * sh * sw..(ci + 1) * sh * sw];
+            for h in 0..sh {
+                for w in 0..sw {
+                    plane[h * sw + w] = g * (x.at(n, ci, h, w) - m) * is + b;
                 }
             }
         }
-    }
+    });
     Ok((y, BatchNormCache { mean, inv_std }))
 }
 
@@ -99,39 +108,44 @@ pub fn backward(
         return Err(TensorError::ShapeMismatch { left: dy.shape(), right: s });
     }
     let c = s.c();
-    let per = (s.n() * s.h() * s.w()) as f32;
-    let mut dgamma = vec![0.0f32; c];
-    let mut dbeta = vec![0.0f32; c];
-    let mut sum_dy = vec![0.0f32; c];
-    let mut sum_dy_xhat = vec![0.0f32; c];
-    for n in 0..s.n() {
-        for ci in 0..c {
-            for h in 0..s.h() {
-                for w in 0..s.w() {
+    let (sn, sh, sw) = (s.n(), s.h(), s.w());
+    let per = (sn * sh * sw) as f32;
+    // Per-channel gradient statistics, each accumulated in serial (n, h, w)
+    // order — see the determinism note in `forward`.
+    let stats: Vec<(f32, f32, f32)> = parallel_map(c, 1, |ci| {
+        let mut dgamma = 0.0f32;
+        let mut dbeta = 0.0f32;
+        let mut sum_dy_xhat = 0.0f32;
+        for n in 0..sn {
+            for h in 0..sh {
+                for w in 0..sw {
                     let xhat = (x.at(n, ci, h, w) - cache.mean[ci]) * cache.inv_std[ci];
                     let d = dy.at(n, ci, h, w);
-                    dgamma[ci] += d * xhat;
-                    dbeta[ci] += d;
-                    sum_dy[ci] += d;
-                    sum_dy_xhat[ci] += d * xhat;
+                    dgamma += d * xhat;
+                    dbeta += d;
+                    sum_dy_xhat += d * xhat;
                 }
             }
         }
-    }
+        (dgamma, dbeta, sum_dy_xhat)
+    });
+    let dgamma: Vec<f32> = stats.iter().map(|s| s.0).collect();
+    let dbeta: Vec<f32> = stats.iter().map(|s| s.1).collect();
     let mut dx = Tensor::zeros(s);
-    for n in 0..s.n() {
+    parallel_chunks_mut(dx.data_mut(), c * sh * sw, |n, img| {
         for ci in 0..c {
             let (g, m, is) = (gamma.data()[ci], cache.mean[ci], cache.inv_std[ci]);
-            for h in 0..s.h() {
-                for w in 0..s.w() {
+            let (_, sum_dy, sum_dy_xhat) = stats[ci];
+            let plane = &mut img[ci * sh * sw..(ci + 1) * sh * sw];
+            for h in 0..sh {
+                for w in 0..sw {
                     let xhat = (x.at(n, ci, h, w) - m) * is;
                     let d = dy.at(n, ci, h, w);
-                    let v = g * is / per * (per * d - sum_dy[ci] - xhat * sum_dy_xhat[ci]);
-                    dx.set(n, ci, h, w, v);
+                    plane[h * sw + w] = g * is / per * (per * d - sum_dy - xhat * sum_dy_xhat);
                 }
             }
         }
-    }
+    });
     Ok(BatchNormGrads {
         dx,
         dgamma: Tensor::from_vec(Shape::vector(c), dgamma)?,

@@ -6,6 +6,7 @@
 
 use crate::ops::matmul::{matmul, matmul_a_bt, matmul_at_b};
 use crate::{Shape, Tensor, TensorError};
+use gist_par::{parallel_chunks_mut, parallel_reduce, SendPtr};
 
 /// Geometry of a 2-D convolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -137,45 +138,23 @@ pub fn forward(
     let ckk = s.c() * p.kernel * p.kernel;
     let mut y = Tensor::zeros(out);
     let per_image = out_c * oh * ow;
-    // Images are independent; fan the minibatch out over worker threads.
-    let chunks: Vec<(usize, &mut [f32])> = y.data_mut().chunks_mut(per_image).enumerate().collect();
-    std::thread::scope(|scope| {
-        let workers = worker_count(s.n());
-        for worker_chunks in split_work(chunks, workers) {
-            scope.spawn(move || {
-                for (n, dst) in worker_chunks {
-                    let cols = im2col(x, n, p, oh, ow);
-                    // weight viewed as [out_c, ckk] * cols [ckk, oh*ow]
-                    let prod = matmul(weight.data(), &cols, out_c, ckk, oh * ow);
-                    dst.copy_from_slice(&prod);
-                    if let Some(b) = bias {
-                        for k in 0..out_c {
-                            let bk = b.data()[k];
-                            for v in &mut dst[k * oh * ow..(k + 1) * oh * ow] {
-                                *v += bk;
-                            }
-                        }
-                    }
+    // Images are independent; fan the minibatch out over the gist-par pool.
+    // (Nested matmul dispatch degrades to serial inside each image task.)
+    parallel_chunks_mut(y.data_mut(), per_image, |n, dst| {
+        let cols = im2col(x, n, p, oh, ow);
+        // weight viewed as [out_c, ckk] * cols [ckk, oh*ow]
+        let prod = matmul(weight.data(), &cols, out_c, ckk, oh * ow);
+        dst.copy_from_slice(&prod);
+        if let Some(b) = bias {
+            for k in 0..out_c {
+                let bk = b.data()[k];
+                for v in &mut dst[k * oh * ow..(k + 1) * oh * ow] {
+                    *v += bk;
                 }
-            });
+            }
         }
     });
     Ok(y)
-}
-
-/// Number of worker threads for a minibatch of `n` images.
-fn worker_count(n: usize) -> usize {
-    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
-    cores.min(n).max(1)
-}
-
-/// Splits per-image work items round-robin across `workers` buckets.
-fn split_work<T>(items: Vec<T>, workers: usize) -> Vec<Vec<T>> {
-    let mut buckets: Vec<Vec<T>> = (0..workers).map(|_| Vec::new()).collect();
-    for (i, item) in items.into_iter().enumerate() {
-        buckets[i % workers].push(item);
-    }
-    buckets
 }
 
 /// Gradients produced by the convolution backward pass.
@@ -215,44 +194,51 @@ pub fn backward(
     let mut dw = Tensor::zeros(ws);
     let mut db = Tensor::zeros(Shape::vector(out_c));
     let per_dx = s.c() * s.h() * s.w();
-    let dx_chunks: Vec<(usize, &mut [f32])> =
-        dx.data_mut().chunks_mut(per_dx).enumerate().collect();
-    // Each worker accumulates private dW/db partials; images are disjoint
-    // in dX, so those chunks are written directly.
-    let partials: Vec<(Vec<f32>, Vec<f32>)> = std::thread::scope(|scope| {
-        let workers = worker_count(s.n());
-        let handles: Vec<_> = split_work(dx_chunks, workers)
-            .into_iter()
-            .map(|worker_chunks| {
-                scope.spawn(move || {
-                    let mut dw_part = vec![0.0f32; ws.numel()];
-                    let mut db_part = vec![0.0f32; out_c];
-                    for (n, dst) in worker_chunks {
-                        let cols = im2col(x, n, p, oh, ow);
-                        let dy_n = &dy.data()[n * out_c * oh * ow..(n + 1) * out_c * oh * ow];
-                        let dwn = matmul_a_bt(dy_n, &cols, out_c, oh * ow, ckk);
-                        for (a, b) in dw_part.iter_mut().zip(&dwn) {
-                            *a += b;
-                        }
-                        let dcols = matmul_at_b(weight.data(), dy_n, ckk, out_c, oh * ow);
-                        col2im_slice(&dcols, dst, s, p, oh, ow);
-                        for k in 0..out_c {
-                            db_part[k] += dy_n[k * oh * ow..(k + 1) * oh * ow].iter().sum::<f32>();
-                        }
-                    }
-                    (dw_part, db_part)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("conv worker panicked")).collect()
-    });
-    for (dw_part, db_part) in partials {
-        for (a, b) in dw.data_mut().iter_mut().zip(&dw_part) {
-            *a += b;
-        }
-        for (a, b) in db.data_mut().iter_mut().zip(&db_part) {
-            *a += b;
-        }
+    let dx_base = SendPtr::new(dx.data_mut().as_mut_ptr());
+    // Images are disjoint in dX, so each task writes its slice directly.
+    // Per-image dW/db partials are merged along gist-par's fixed pairwise
+    // tree over image indices: the accumulation order depends only on the
+    // minibatch size, never on thread count or completion order. (The old
+    // scoped-thread version merged per-worker partials in spawn-bucket
+    // order, which varied with the core count.)
+    let merged = parallel_reduce(
+        s.n(),
+        1,
+        move |range| {
+            let dx_ptr = dx_base.get();
+            let mut dw_part = vec![0.0f32; ws.numel()];
+            let mut db_part = vec![0.0f32; out_c];
+            for n in range {
+                let cols = im2col(x, n, p, oh, ow);
+                let dy_n = &dy.data()[n * out_c * oh * ow..(n + 1) * out_c * oh * ow];
+                let dwn = matmul_a_bt(dy_n, &cols, out_c, oh * ow, ckk);
+                for (a, b) in dw_part.iter_mut().zip(&dwn) {
+                    *a += b;
+                }
+                let dcols = matmul_at_b(weight.data(), dy_n, ckk, out_c, oh * ow);
+                // SAFETY: image slices of dx are disjoint; dx outlives the
+                // dispatch (parallel_reduce blocks until completion).
+                let dst = unsafe { std::slice::from_raw_parts_mut(dx_ptr.add(n * per_dx), per_dx) };
+                col2im_slice(&dcols, dst, s, p, oh, ow);
+                for k in 0..out_c {
+                    db_part[k] += dy_n[k * oh * ow..(k + 1) * oh * ow].iter().sum::<f32>();
+                }
+            }
+            (dw_part, db_part)
+        },
+        |(mut dw_a, mut db_a), (dw_b, db_b)| {
+            for (a, b) in dw_a.iter_mut().zip(&dw_b) {
+                *a += b;
+            }
+            for (a, b) in db_a.iter_mut().zip(&db_b) {
+                *a += b;
+            }
+            (dw_a, db_a)
+        },
+    );
+    if let Some((dw_sum, db_sum)) = merged {
+        dw.data_mut().copy_from_slice(&dw_sum);
+        db.data_mut().copy_from_slice(&db_sum);
     }
     Ok(ConvGrads { dx, dw, db })
 }
@@ -342,6 +328,30 @@ mod tests {
         let dy = Tensor::full(Shape::nchw(2, 1, 2, 2), 0.5);
         let g = backward(&x, &w, &dy, p).unwrap();
         assert_eq!(g.db.data(), &[4.0]); // 8 positions * 0.5
+    }
+
+    /// Pins the dW merge order to gist-par's fixed pairwise tree. With
+    /// per-image contributions [1e8, 1.0, -1e8] the tree computes
+    /// ((1e8 + 1.0) + -1e8) = 0.0 in f32 (the 1.0 is absorbed), while any
+    /// reordering — e.g. the old spawn-bucket merge, which on 2 workers
+    /// produced (1e8 + -1e8) + 1.0 = 1.0 — yields a different bit pattern.
+    #[test]
+    fn backward_merge_order_is_fixed_tree() {
+        let p = ConvParams::new(1, 1, 0);
+        let x = Tensor::full(Shape::nchw(3, 1, 1, 1), 1.0);
+        let w = Tensor::full(Shape::nchw(1, 1, 1, 1), 1.0);
+        let dy = Tensor::from_vec(Shape::nchw(3, 1, 1, 1), vec![1e8, 1.0, -1e8]).unwrap();
+        let reference = backward(&x, &w, &dy, p).unwrap();
+        assert_eq!(reference.dw.data(), &[0.0], "dw must follow the fixed pairwise tree");
+        for threads in [1usize, 2, 3, 4] {
+            let g = gist_par::with_threads(threads, || backward(&x, &w, &dy, p).unwrap());
+            assert_eq!(
+                g.dw.data()[0].to_bits(),
+                reference.dw.data()[0].to_bits(),
+                "dw reduction order changed at {threads} threads"
+            );
+            assert_eq!(g.db.data()[0].to_bits(), reference.db.data()[0].to_bits());
+        }
     }
 
     #[test]

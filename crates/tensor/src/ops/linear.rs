@@ -7,6 +7,12 @@
 
 use crate::ops::matmul::{matmul_a_bt, matmul_at_b};
 use crate::{Shape, Tensor, TensorError};
+use gist_par::{parallel_chunks_mut, parallel_reduce};
+
+/// Batch rows per parallel chunk — a pure function of the layer shape.
+fn batch_grain(n: usize, f: usize) -> usize {
+    ((1 << 12) / f.max(1)).clamp(1, n.max(1))
+}
 
 /// Forward pass: `Y[N, F_out] = X[N, F_in] * W^T + b`.
 ///
@@ -30,11 +36,14 @@ pub fn forward(x: &Tensor, weight: &Tensor, bias: Option<&Tensor>) -> Result<Ten
     }
     let mut y = matmul_a_bt(x.data(), weight.data(), n, f_in, f_out);
     if let Some(b) = bias {
-        for row in y.chunks_mut(f_out) {
-            for (v, bv) in row.iter_mut().zip(b.data()) {
-                *v += bv;
+        let grain = batch_grain(n, f_out);
+        parallel_chunks_mut(&mut y, grain * f_out, |_, rows| {
+            for row in rows.chunks_mut(f_out) {
+                for (v, bv) in row.iter_mut().zip(b.data()) {
+                    *v += bv;
+                }
             }
-        }
+        });
     }
     Tensor::from_vec(Shape::matrix(n, f_out), y)
 }
@@ -66,12 +75,29 @@ pub fn backward(x: &Tensor, weight: &Tensor, dy: &Tensor) -> Result<LinearGrads,
     let dx = crate::ops::matmul::matmul(dy.data(), weight.data(), n, f_out, f_in);
     // dW[F_out, F_in] = dY^T[F_out, N] * X[N, F_in]
     let dw = matmul_at_b(dy.data(), x.data(), f_out, n, f_in);
-    let mut db = vec![0.0f32; f_out];
-    for row in dy.data().chunks(f_out) {
-        for (d, v) in db.iter_mut().zip(row) {
-            *d += v;
-        }
-    }
+    // db[j] = sum over batch rows of dy[n][j], combined along gist-par's
+    // fixed pairwise tree so the result is thread-count invariant.
+    let grain = batch_grain(n, f_out);
+    let db = parallel_reduce(
+        n,
+        grain,
+        |range| {
+            let mut part = vec![0.0f32; f_out];
+            for row in range {
+                for (d, v) in part.iter_mut().zip(&dy.data()[row * f_out..(row + 1) * f_out]) {
+                    *d += v;
+                }
+            }
+            part
+        },
+        |mut a, b| {
+            for (d, v) in a.iter_mut().zip(&b) {
+                *d += v;
+            }
+            a
+        },
+    )
+    .unwrap_or_else(|| vec![0.0f32; f_out]);
     Ok(LinearGrads {
         dx: Tensor::from_vec(Shape::matrix(n, f_in), dx)?,
         dw: Tensor::from_vec(weight.shape(), dw)?,

@@ -5,6 +5,7 @@
 //! channel window of `size` centred on `c`.
 
 use crate::{Tensor, TensorError};
+use gist_par::parallel_chunks_mut;
 
 /// LRN hyperparameters (AlexNet defaults: size 5, alpha 1e-4, beta 0.75,
 /// k 2.0).
@@ -38,7 +39,10 @@ fn window(c: usize, channels: usize, size: usize) -> (usize, usize) {
 fn denominators(x: &Tensor, p: LrnParams) -> Vec<f32> {
     let s = x.shape();
     let mut den = vec![0.0f32; x.numel()];
-    for n in 0..s.n() {
+    let per = s.c() * s.h() * s.w();
+    // Each position's window sum is independent; images are contiguous NCHW
+    // slices, so fan the minibatch out over the pool with disjoint writes.
+    parallel_chunks_mut(&mut den, per, |n, img| {
         for h in 0..s.h() {
             for w in 0..s.w() {
                 for c in 0..s.c() {
@@ -48,11 +52,11 @@ fn denominators(x: &Tensor, p: LrnParams) -> Vec<f32> {
                         let v = x.at(n, cc, h, w);
                         acc += v * v;
                     }
-                    den[s.index(n, c, h, w)] = p.k + p.alpha / p.size as f32 * acc;
+                    img[(c * s.h() + h) * s.w() + w] = p.k + p.alpha / p.size as f32 * acc;
                 }
             }
         }
-    }
+    });
     den
 }
 
@@ -66,7 +70,13 @@ pub fn forward(x: &Tensor, p: LrnParams) -> Result<Tensor, TensorError> {
         return Err(TensorError::UnsupportedShape(format!("lrn size {} on {}", p.size, x.shape())));
     }
     let den = denominators(x, p);
-    let data = x.data().iter().zip(&den).map(|(&v, &d)| v / d.powf(p.beta)).collect();
+    let mut data = vec![0.0f32; x.numel()];
+    parallel_chunks_mut(&mut data, 1 << 14, |ci, chunk| {
+        let off = ci * (1 << 14);
+        for (j, v) in chunk.iter_mut().enumerate() {
+            *v = x.data()[off + j] / den[off + j].powf(p.beta);
+        }
+    });
     Tensor::from_vec(x.shape(), data)
 }
 
@@ -85,11 +95,18 @@ pub fn backward(x: &Tensor, dy: &Tensor, p: LrnParams) -> Result<Tensor, TensorE
     }
     let den = denominators(x, p);
     // ratio[c] = dy[c]*y[c]/s[c] = dy[c]*x[c]*s[c]^(-beta-1)
-    let ratio: Vec<f32> =
-        (0..x.numel()).map(|i| dy.data()[i] * x.data()[i] * den[i].powf(-p.beta - 1.0)).collect();
+    let mut ratio = vec![0.0f32; x.numel()];
+    parallel_chunks_mut(&mut ratio, 1 << 14, |ci, chunk| {
+        let off = ci * (1 << 14);
+        for (j, v) in chunk.iter_mut().enumerate() {
+            let i = off + j;
+            *v = dy.data()[i] * x.data()[i] * den[i].powf(-p.beta - 1.0);
+        }
+    });
     let mut dx = Tensor::zeros(s);
     let scale = 2.0 * p.alpha * p.beta / p.size as f32;
-    for n in 0..s.n() {
+    let per = s.c() * s.h() * s.w();
+    parallel_chunks_mut(dx.data_mut(), per, |n, img| {
         for h in 0..s.h() {
             for w in 0..s.w() {
                 for c in 0..s.c() {
@@ -99,12 +116,12 @@ pub fn backward(x: &Tensor, dy: &Tensor, p: LrnParams) -> Result<Tensor, TensorE
                     for cc in lo..=hi {
                         acc += ratio[s.index(n, cc, h, w)];
                     }
-                    dx.data_mut()[i] =
+                    img[(c * s.h() + h) * s.w() + w] =
                         dy.data()[i] * den[i].powf(-p.beta) - scale * x.data()[i] * acc;
                 }
             }
         }
-    }
+    });
     Ok(dx)
 }
 

@@ -3,6 +3,21 @@
 //! These back the convolution (im2col) and fully-connected kernels. The
 //! paper's SSDC encoding is explicitly "sparse storage, dense compute":
 //! stashed data is decoded back to dense before being fed to these kernels.
+//!
+//! All three kernels run on the `gist-par` pool, partitioned by blocks of
+//! output **rows**. Each output element is accumulated in exactly the same
+//! scalar order as a serial sweep (inner `p` ascending), so results are
+//! bit-identical at every thread count.
+
+use gist_par::parallel_chunks_mut;
+
+/// Rows per parallel chunk: a pure function of the matrix shape (never of
+/// thread count), targeting enough work per chunk to amortize dispatch.
+fn row_grain(m: usize, k: usize, n: usize) -> usize {
+    let flops_per_row = (2 * k * n).max(1);
+    let rows_per_chunk = (1 << 16) / flops_per_row;
+    rows_per_chunk.clamp(1, m.max(1))
+}
 
 /// `C[m x n] = A[m x k] * B[k x n]`, row-major.
 ///
@@ -13,41 +28,52 @@ pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
     assert_eq!(a.len(), m * k, "lhs length");
     assert_eq!(b.len(), k * n, "rhs length");
     let mut c = vec![0.0f32; m * n];
-    for i in 0..m {
-        for p in 0..k {
-            let av = a[i * k + p];
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &b[p * n..(p + 1) * n];
-            let crow = &mut c[i * n..(i + 1) * n];
-            for (cv, bv) in crow.iter_mut().zip(brow) {
-                *cv += av * bv;
+    let grain = row_grain(m, k, n);
+    parallel_chunks_mut(&mut c, grain * n, |ci, cchunk| {
+        let row0 = ci * grain;
+        for (r, crow) in cchunk.chunks_mut(n).enumerate() {
+            let i = row0 + r;
+            for p in 0..k {
+                let av = a[i * k + p];
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                for (cv, bv) in crow.iter_mut().zip(brow) {
+                    *cv += av * bv;
+                }
             }
         }
-    }
+    });
     c
 }
 
 /// `C[m x n] = A^T[m x k] * B[k x n]` where `A` is stored as `[k x m]`.
+///
+/// The serial reference sweeps `p` in the outer loop; here each output row
+/// accumulates its `p` contributions in the same ascending order, so the
+/// per-element floating-point sums are unchanged.
 pub fn matmul_at_b(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
     assert_eq!(a.len(), k * m, "lhs length");
     assert_eq!(b.len(), k * n, "rhs length");
     let mut c = vec![0.0f32; m * n];
-    for p in 0..k {
-        let arow = &a[p * m..(p + 1) * m];
-        let brow = &b[p * n..(p + 1) * n];
-        for i in 0..m {
-            let av = arow[i];
-            if av == 0.0 {
-                continue;
-            }
-            let crow = &mut c[i * n..(i + 1) * n];
-            for (cv, bv) in crow.iter_mut().zip(brow) {
-                *cv += av * bv;
+    let grain = row_grain(m, k, n);
+    parallel_chunks_mut(&mut c, grain * n, |ci, cchunk| {
+        let row0 = ci * grain;
+        for (r, crow) in cchunk.chunks_mut(n).enumerate() {
+            let i = row0 + r;
+            for p in 0..k {
+                let av = a[p * m + i];
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                for (cv, bv) in crow.iter_mut().zip(brow) {
+                    *cv += av * bv;
+                }
             }
         }
-    }
+    });
     c
 }
 
@@ -56,17 +82,22 @@ pub fn matmul_a_bt(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f3
     assert_eq!(a.len(), m * k, "lhs length");
     assert_eq!(b.len(), n * k, "rhs length");
     let mut c = vec![0.0f32; m * n];
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        for j in 0..n {
-            let brow = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0;
-            for (av, bv) in arow.iter().zip(brow) {
-                acc += av * bv;
+    let grain = row_grain(m, k, n);
+    parallel_chunks_mut(&mut c, grain * n, |ci, cchunk| {
+        let row0 = ci * grain;
+        for (r, crow) in cchunk.chunks_mut(n).enumerate() {
+            let i = row0 + r;
+            let arow = &a[i * k..(i + 1) * k];
+            for (j, cv) in crow.iter_mut().enumerate() {
+                let brow = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0;
+                for (av, bv) in arow.iter().zip(brow) {
+                    acc += av * bv;
+                }
+                *cv = acc;
             }
-            c[i * n + j] = acc;
         }
-    }
+    });
     c
 }
 

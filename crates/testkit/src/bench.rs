@@ -54,6 +54,7 @@ pub struct BenchGroup {
     samples: usize,
     warmup: usize,
     bytes: Option<u64>,
+    meta: Vec<(String, u64)>,
     records: Vec<Record>,
 }
 
@@ -66,7 +67,19 @@ impl BenchGroup {
             samples: DEFAULT_SAMPLES,
             warmup: DEFAULT_WARMUP,
             bytes: None,
+            meta: Vec::new(),
             records: Vec::new(),
+        }
+    }
+
+    /// Records an environment fact (e.g. `threads`) in the JSON artifact so
+    /// runs under different configurations stay distinguishable after the
+    /// fact. Keys repeat in insertion order; last write is authoritative.
+    pub fn meta(&mut self, key: &str, value: u64) {
+        if let Some(slot) = self.meta.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            self.meta.push((key.to_string(), value));
         }
     }
 
@@ -156,6 +169,10 @@ impl BenchGroup {
         let mut s = String::from("{\n");
         s.push_str(&format!("  \"group\": {:?},\n", self.name));
         s.push_str(&format!("  \"samples\": {},\n", self.samples));
+        if !self.meta.is_empty() {
+            let body: Vec<String> = self.meta.iter().map(|(k, v)| format!("{k:?}: {v}")).collect();
+            s.push_str(&format!("  \"meta\": {{{}}},\n", body.join(", ")));
+        }
         s.push_str("  \"benches\": [\n");
         for (i, r) in self.records.iter().enumerate() {
             s.push_str(&format!(
@@ -213,6 +230,18 @@ mod tests {
         assert!(j.contains("\"group\": \"json\""));
         assert!(j.contains("\"label\": \"a\""));
         assert!(j.trim_end().ends_with('}'));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn meta_lands_in_json_and_last_write_wins() {
+        let mut g = BenchGroup::new("meta").samples(3);
+        g.meta("threads", 2);
+        g.meta("threads", 8);
+        g.meta("batch", 4);
+        g.bench("a", || 1 + 1);
+        let j = g.to_json();
+        assert!(j.contains("\"meta\": {\"threads\": 8, \"batch\": 4}"), "got: {j}");
         assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 

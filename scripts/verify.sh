@@ -3,7 +3,9 @@
 #
 # Runs the exact checks a PR must keep green, with no network access:
 #   1. release build of the whole workspace
-#   2. the full test suite (unit + integration + property suites)
+#   2. the full test suite, twice: once forced serial (GIST_THREADS=1) and
+#      once on the default gist-par pool — the two runs must both pass, so
+#      any thread-count-dependent behaviour fails the gate
 #   3. rustfmt conformance (rustfmt.toml at the repo root)
 #
 # Run this before committing; record what changed in CHANGELOG.md and
@@ -14,8 +16,11 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release --offline"
 cargo build --release --offline --workspace
 
-echo "==> cargo test -q --offline"
-cargo test -q --offline --workspace
+echo "==> GIST_THREADS=1 cargo test -q --offline (forced serial)"
+GIST_THREADS=1 cargo test -q --offline --workspace
+
+echo "==> cargo test -q --offline (default thread pool)"
+env -u GIST_THREADS cargo test -q --offline --workspace
 
 echo "==> cargo fmt --check"
 cargo fmt --check

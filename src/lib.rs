@@ -28,6 +28,7 @@ pub use gist_encodings as encodings;
 pub use gist_graph as graph;
 pub use gist_memory as memory;
 pub use gist_models as models;
+pub use gist_par as par;
 pub use gist_perf as perf;
 pub use gist_runtime as runtime;
 pub use gist_tensor as tensor;
