@@ -1,13 +1,43 @@
 //! Benchmark for full training steps under each stash mode — the measured
 //! CPU analogue of Figure 9 (Gist's overhead on real forward+backward
-//! execution).
+//! execution) — plus the tracing-overhead guarantee: a disabled recorder
+//! must add zero heap allocations to the hot path, checked with a counting
+//! global allocator and recorded in the bench JSON meta.
 //!
 //! Run with `cargo run --release -p gist-bench --bin bench_training_step`.
 
 use gist_core::GistConfig;
 use gist_encodings::DprFormat;
+use gist_obs::NullRecorder;
 use gist_runtime::{ExecMode, Executor, SyntheticImages};
 use gist_testkit::BenchGroup;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// System allocator wrapper that counts allocation calls.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn alloc_calls(f: impl FnOnce()) -> u64 {
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    f();
+    ALLOC_CALLS.load(Ordering::Relaxed) - before
+}
 
 fn main() {
     let mut g = BenchGroup::new("training_step").samples(20);
@@ -15,6 +45,27 @@ fn main() {
     let batch = 8;
     let mut ds = SyntheticImages::new(4, 16, 0.3, 42);
     let (x, y) = ds.minibatch(batch);
+
+    // Tracing-off overhead: one identically-seeded executor per entry point,
+    // one step each — deterministic execution means identical allocation
+    // counts unless the traced path allocates where the plain path does not.
+    let fresh = || Executor::new(gist_models::small_vgg(batch, 4), ExecMode::Baseline, 7).unwrap();
+    let mut plain = fresh();
+    let mut traced = fresh();
+    let plain_allocs = alloc_calls(|| {
+        plain.step(&x, &y, 0.01).unwrap();
+    });
+    let traced_allocs = alloc_calls(|| {
+        traced.step_traced(&x, &y, 0.01, &NullRecorder).unwrap();
+    });
+    let delta = traced_allocs.abs_diff(plain_allocs);
+    assert_eq!(
+        delta, 0,
+        "disabled tracing must not allocate: step {plain_allocs} vs step_traced {traced_allocs}"
+    );
+    g.meta("trace", 0);
+    g.meta("trace_noop_extra_allocs", delta);
+
     let modes: Vec<(&str, ExecMode)> = vec![
         ("baseline_fp32", ExecMode::Baseline),
         ("gist_lossless", ExecMode::Gist(GistConfig::lossless())),

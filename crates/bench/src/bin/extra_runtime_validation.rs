@@ -1,54 +1,157 @@
-//! Extension study: cross-validate the static planner against the live
-//! executor. The executor frees each FP32 feature map right after its last
-//! forward use and holds only encoded stashes across the temporal gap —
-//! its measured peak footprint should track the planner's dynamic estimate
-//! and shrink under each Gist configuration.
+//! The memory oracle gate: cross-check the live executor, the runtime
+//! memory accountant, and the static predictor against each other, and fail
+//! (exit 1) on any disagreement. Run by `scripts/verify.sh`.
+//!
+//! For every small net x stash mode x thread count this checks that:
+//!
+//! 1. the traced memory-event stream folds cleanly (no double allocs,
+//!    mismatched frees, or reuse collisions);
+//! 2. the accountant's observed peak equals the executor's own meter
+//!    (`StepStats::peak_live_bytes`) exactly;
+//! 3. the statically predicted event stream (`gist_runtime::predict`)
+//!    matches the observed memory substream event-for-event;
+//! 4. `gist-memory`'s dynamic-allocation simulator over the observed buffer
+//!    lifetimes reproduces the accountant's peak, and its offset packer
+//!    finds a layout in which no two concurrently-live buffers overlap;
+//! 5. the memory substream is byte-identical at every thread count (the
+//!    spans carry wall-clock time; the memory discipline must not).
 
 use gist_bench::banner;
-use gist_core::{Gist, GistConfig};
+use gist_core::GistConfig;
 use gist_encodings::DprFormat;
-use gist_runtime::{ExecMode, Executor, SyntheticImages};
+use gist_memory::{check_no_overlap, observed_peak};
+use gist_obs::{Event, MemoryAccountant, TraceSink};
+use gist_runtime::{predict_step_events, ssdc_stash_sizes, ExecMode, Executor, SyntheticImages};
+use std::process::ExitCode;
 
-fn main() {
-    banner("Extra", "runtime-measured peak footprint vs planner (small nets)");
-    let batch = 16;
-    let nets: Vec<(&str, gist_graph::Graph)> = vec![
-        ("TinyConvNet", gist_models::tiny_convnet(batch, 4)),
-        ("SmallVGG", gist_models::small_vgg(batch, 4)),
-        ("TinyClassic", gist_models::tiny_classic(batch, 4)),
-    ];
+fn memory_substream(net: &str, mode: &ExecMode, threads: usize) -> (Vec<Event>, usize) {
+    gist_par::with_threads(threads, || {
+        let batch = 16;
+        let graph = match net {
+            "TinyConvNet" => gist_models::tiny_convnet(batch, 4),
+            "SmallVGG" => gist_models::small_vgg(batch, 4),
+            "TinyClassic" => gist_models::tiny_classic(batch, 4),
+            _ => unreachable!("unknown net"),
+        };
+        let mut ds = SyntheticImages::new(4, 16, 0.4, 3);
+        let (x, y) = ds.minibatch(batch);
+        let mut exec = Executor::new(graph, mode.clone(), 7).expect("executor");
+        let sink = TraceSink::new();
+        let stats = exec.step_traced(&x, &y, 0.05, &sink).expect("step");
+        let events: Vec<Event> = sink
+            .take()
+            .into_iter()
+            .filter(|e| e.is_memory() || matches!(e, Event::Encode { .. }))
+            .collect();
+        (events, stats.peak_live_bytes)
+    })
+}
+
+fn check(net: &str, mode_name: &str, mode: &ExecMode) -> Result<(), String> {
+    let fail = |msg: String| Err(format!("{net}/{mode_name}: {msg}"));
+    let graph = match net {
+        "TinyConvNet" => gist_models::tiny_convnet(16, 4),
+        "SmallVGG" => gist_models::small_vgg(16, 4),
+        "TinyClassic" => gist_models::tiny_classic(16, 4),
+        _ => unreachable!("unknown net"),
+    };
+    let (events, meter_peak) = memory_substream(net, mode, 1);
+
+    // (1) the stream folds cleanly.
+    let mut acc = MemoryAccountant::new();
+    if let Err(e) = acc.fold_all(&events) {
+        return fail(format!("malformed memory stream: {e}"));
+    }
+
+    // (2) accountant peak == executor meter peak.
+    if acc.peak_bytes() != meter_peak as u64 {
+        return fail(format!(
+            "accountant peak {} != executor meter peak {}",
+            acc.peak_bytes(),
+            meter_peak
+        ));
+    }
+
+    // (3) predicted stream == observed memory substream, event for event.
+    let ssdc = ssdc_stash_sizes(&events);
+    let predicted = match predict_step_events(&graph, mode, &ssdc) {
+        Ok(p) => p,
+        Err(e) => return fail(format!("predictor failed: {e}")),
+    };
+    let observed: Vec<&Event> = events.iter().filter(|e| e.is_memory()).collect();
+    if observed.len() != predicted.len() || observed.iter().zip(&predicted).any(|(a, b)| **a != *b)
+    {
+        let first = observed
+            .iter()
+            .zip(&predicted)
+            .position(|(a, b)| **a != *b)
+            .unwrap_or(observed.len().min(predicted.len()));
+        return fail(format!(
+            "predicted stream diverges from observed at event {first} \
+             (observed {} vs predicted {} events)",
+            observed.len(),
+            predicted.len()
+        ));
+    }
+
+    // (4) planner machinery over observed lifetimes agrees.
+    if observed_peak(&acc) != acc.peak_bytes() as usize {
+        return fail(format!(
+            "peak_dynamic over observed lifetimes {} != accountant peak {}",
+            observed_peak(&acc),
+            acc.peak_bytes()
+        ));
+    }
+    if let Err((a, b)) = check_no_overlap(&acc) {
+        return fail(format!("offset layout overlaps live buffers {a} and {b}"));
+    }
+
+    // (5) the memory substream is thread-count invariant.
+    let (events4, peak4) = memory_substream(net, mode, 4);
+    if events4 != events || peak4 != meter_peak {
+        return fail("memory substream differs between 1 and 4 threads".to_string());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    banner("Oracle", "observed footprint == planner prediction, per net x mode");
     let modes: Vec<(&str, ExecMode)> = vec![
         ("baseline", ExecMode::Baseline),
         ("lossless", ExecMode::Gist(GistConfig::lossless())),
         ("lossy-fp8", ExecMode::Gist(GistConfig::lossy(DprFormat::Fp8))),
     ];
-    println!(
-        "{:<14} {:<10} {:>12} {:>12} {:>12}",
-        "net", "mode", "peak(KB)", "stash(KB)", "plan-dyn(KB)"
-    );
-    for (name, graph) in nets {
-        let mut ds = SyntheticImages::new(4, 16, 0.4, 3);
-        let (x, y) = ds.minibatch(batch);
+    println!("{:<14} {:<10} {:>12} {:>10}", "net", "mode", "peak(KB)", "verdict");
+    let mut failures = 0usize;
+    for net in ["TinyConvNet", "SmallVGG", "TinyClassic"] {
         for (mode_name, mode) in &modes {
-            let mut exec = Executor::new(graph.clone(), mode.clone(), 7).expect("executor");
-            let stats = exec.step(&x, &y, 0.05).expect("step");
-            let config = match mode {
-                ExecMode::Baseline => GistConfig::baseline(),
-                ExecMode::Gist(c) => *c,
-                ExecMode::UniformImmediate(_) => GistConfig::baseline(),
-            };
-            let plan = Gist::new(config.with_dynamic_allocation()).plan(&graph).expect("plan");
-            println!(
-                "{:<14} {:<10} {:>11.1} {:>11.1} {:>11.1}",
-                name,
-                mode_name,
-                stats.peak_live_bytes as f64 / 1024.0,
-                stats.stash_bytes as f64 / 1024.0,
-                plan.optimized_bytes as f64 / 1024.0
-            );
+            let (_, peak) = memory_substream(net, mode, 1);
+            match check(net, mode_name, mode) {
+                Ok(()) => println!(
+                    "{:<14} {:<10} {:>11.1} {:>10}",
+                    net,
+                    mode_name,
+                    peak as f64 / 1024.0,
+                    "ok"
+                ),
+                Err(msg) => {
+                    failures += 1;
+                    println!(
+                        "{net:<14} {mode_name:<10} {:>11.1} {:>10}",
+                        peak as f64 / 1024.0,
+                        "FAIL"
+                    );
+                    eprintln!("  {msg}");
+                }
+            }
         }
         println!();
     }
-    println!("the live executor's peak tracks the planner's dynamic estimate and");
-    println!("drops under each Gist configuration — the planner is not just paper math.");
+    if failures > 0 {
+        eprintln!("{failures} oracle check(s) failed");
+        return ExitCode::FAILURE;
+    }
+    println!("every observed stream matches its static prediction exactly;");
+    println!("no two concurrently-live buffers overlap in the packed layout.");
+    ExitCode::SUCCESS
 }

@@ -6,6 +6,7 @@
 //! gist-cli breakdown inception --batch 64
 //! gist-cli stashes alexnet
 //! gist-cli dot resnet50 > resnet50.dot
+//! gist-cli train tiny-convnet --batch 4 --steps 3 --trace out.json
 //! ```
 
 use gist_core::{plan::stash_breakdown, Gist, GistConfig};
@@ -25,6 +26,9 @@ const MODELS: &[&str] = &[
     "resnet50",
     "resnet-cifar",
     "densenet",
+    "tiny-convnet",
+    "small-vgg",
+    "tiny-classic",
 ];
 
 fn build_model(name: &str, batch: usize) -> Option<Graph> {
@@ -38,6 +42,9 @@ fn build_model(name: &str, batch: usize) -> Option<Graph> {
         "resnet50" => gist_models::resnet50(batch),
         "resnet-cifar" => gist_models::resnet_cifar(18, batch),
         "densenet" => gist_models::densenet_cifar(16, 12, batch),
+        "tiny-convnet" => gist_models::tiny_convnet(batch, 3),
+        "small-vgg" => gist_models::small_vgg(batch, 3),
+        "tiny-classic" => gist_models::tiny_classic(batch, 3),
         _ => return None,
     })
 }
@@ -60,6 +67,8 @@ struct Args {
     mode: String,
     dynamic: bool,
     optimized_software: bool,
+    steps: usize,
+    trace: Option<String>,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -70,6 +79,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         mode: "lossless".into(),
         dynamic: false,
         optimized_software: false,
+        steps: 1,
+        trace: None,
     };
     let mut it = argv[1..].iter();
     while let Some(a) = it.next() {
@@ -80,6 +91,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--mode" => {
                 args.mode = it.next().ok_or("--mode needs a value")?.clone();
+            }
+            "--steps" => {
+                let v = it.next().ok_or("--steps needs a value")?;
+                args.steps = v.parse().map_err(|_| format!("bad step count: {v}"))?;
+            }
+            "--trace" => {
+                args.trace = Some(it.next().ok_or("--trace needs a file path")?.clone());
             }
             "--dynamic" => args.dynamic = true,
             "--optimized-software" => args.optimized_software = true,
@@ -93,8 +111,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: gist-cli <models|plan|breakdown|stashes|report|dot|trace> [model] \
-     [--batch N] [--mode baseline|lossless|fp16|fp10|fp8] [--dynamic] [--optimized-software]"
+    "usage: gist-cli <models|plan|breakdown|stashes|report|dot|trace|train> [model] \
+     [--batch N] [--mode baseline|lossless|fp16|fp10|fp8] [--dynamic] [--optimized-software] \
+     [--steps N] [--trace out.json]"
         .to_string()
 }
 
@@ -169,6 +188,16 @@ fn run(args: Args) -> Result<(), String> {
             }
         }
         "dot" => print!("{}", gist_graph::dot::to_dot(&graph)),
+        "train" => {
+            let mode = if args.mode == "baseline" {
+                gist_runtime::ExecMode::Baseline
+            } else {
+                let config =
+                    parse_mode(&args.mode).ok_or_else(|| format!("unknown mode {}", args.mode))?;
+                gist_runtime::ExecMode::Gist(config)
+            };
+            run_train(graph, mode, &args)?;
+        }
         "trace" => {
             let mut config =
                 parse_mode(&args.mode).ok_or_else(|| format!("unknown mode {}", args.mode))?;
@@ -180,6 +209,48 @@ fn run(args: Args) -> Result<(), String> {
             print!("{}", gist_memory::to_chrome_trace(&t.inventory));
         }
         other => return Err(format!("unknown command {other}\n{}", usage())),
+    }
+    Ok(())
+}
+
+/// Runs `--steps` training steps on synthetic data, optionally recording an
+/// execution trace (`--trace out.json`, chrome://tracing format) and
+/// printing the aggregate counters report.
+fn run_train(graph: Graph, mode: gist_runtime::ExecMode, args: &Args) -> Result<(), String> {
+    let shapes = graph.infer_shapes().map_err(|e| e.to_string())?;
+    let loss = graph
+        .nodes()
+        .iter()
+        .find(|n| matches!(n.op, gist_graph::OpKind::SoftmaxLoss))
+        .ok_or("model has no loss head")?;
+    let classes = shapes[loss.inputs[0].index()].as_matrix().1;
+    let input = shapes[0];
+    let mut ds = if input.c() == 3 {
+        gist_runtime::SyntheticImages::rgb(classes, input.h(), 0.3, 42)
+    } else {
+        gist_runtime::SyntheticImages::new(classes, input.h(), 0.3, 42)
+    };
+    let mut exec = gist_runtime::Executor::new(graph, mode, 7).map_err(|e| e.to_string())?;
+    let sink = gist_obs::TraceSink::new();
+    let null = gist_obs::NullRecorder;
+    let rec: &dyn gist_obs::Recorder = if args.trace.is_some() { &sink } else { &null };
+    for step in 0..args.steps {
+        let (x, y) = ds.minibatch(args.batch);
+        let stats = exec.step_traced(&x, &y, 0.05, rec).map_err(|e| e.to_string())?;
+        println!(
+            "step {:>3}: loss {:.4}  acc {:5.1}%  peak live {:.1} KB  stash {:.1} KB",
+            step,
+            stats.loss,
+            100.0 * stats.accuracy(),
+            stats.peak_live_bytes as f64 / 1024.0,
+            stats.stash_bytes as f64 / 1024.0
+        );
+    }
+    if let Some(path) = &args.trace {
+        let events = sink.take();
+        std::fs::write(path, gist_obs::export_chrome(&events)).map_err(|e| e.to_string())?;
+        println!("wrote {} trace events to {path}", events.len());
+        print!("{}", gist_obs::CountersReport::from_events(&events).to_table());
     }
     Ok(())
 }
@@ -238,5 +309,39 @@ mod tests {
             let a = parse_args(&args(&[cmd, "alexnet", "--batch", "2"])).unwrap();
             run(a).unwrap_or_else(|e| panic!("{cmd}: {e}"));
         }
+    }
+
+    #[test]
+    fn train_writes_a_parsable_chrome_trace() {
+        let path = std::env::temp_dir().join("gist_cli_train_trace_test.json");
+        let path_str = path.to_str().unwrap().to_string();
+        let a = parse_args(&args(&[
+            "train",
+            "tiny-convnet",
+            "--batch",
+            "4",
+            "--steps",
+            "2",
+            "--trace",
+            &path_str,
+        ]))
+        .unwrap();
+        assert_eq!((a.steps, a.trace.as_deref()), (2, Some(path_str.as_str())));
+        run(a).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let events = gist_obs::parse_chrome(&text).unwrap();
+        assert!(!events.is_empty());
+        // Two traced steps produce a well-formed memory stream.
+        let mut acc = gist_obs::MemoryAccountant::new();
+        acc.fold_all(&events).unwrap();
+        assert!(acc.peak_bytes() > 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn train_runs_without_tracing() {
+        let a =
+            parse_args(&args(&["train", "tiny-classic", "--batch", "2", "--mode", "fp8"])).unwrap();
+        run(a).unwrap();
     }
 }

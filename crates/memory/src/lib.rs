@@ -30,11 +30,13 @@
 //! ```
 
 pub mod layout;
+pub mod observed;
 pub mod planner;
 pub mod report;
 pub mod trace;
 
 pub use layout::{plan_offsets, OffsetPlan, Placement};
+pub use observed::{check_no_overlap, observed_inventory, observed_peak};
 pub use planner::{peak_dynamic, plan_static, MemoryGroup, SharingPolicy, StaticPlan};
 pub use report::{mfr, FootprintReport};
 pub use trace::to_chrome_trace;

@@ -1,0 +1,150 @@
+//! The structured trace event model.
+
+/// Which half of the training step an op span belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Forward pass.
+    Forward,
+    /// Backward pass.
+    Backward,
+}
+
+impl Phase {
+    /// Lowercase label used in trace output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Phase::Forward => "forward",
+            Phase::Backward => "backward",
+        }
+    }
+
+    /// Inverse of [`Phase::label`].
+    pub fn from_label(s: &str) -> Option<Self> {
+        match s {
+            "forward" => Some(Phase::Forward),
+            "backward" => Some(Phase::Backward),
+            _ => None,
+        }
+    }
+}
+
+/// One trace event.
+///
+/// Memory events (`Alloc`/`Free`/`Reuse`/`Transient`) are emitted only from
+/// the executor's sequential merge phases, in the same fixed order at every
+/// thread count — that determinism is what lets the [`memory
+/// accountant`](crate::MemoryAccountant) be cross-checked exactly against
+/// the static planner. `Span` timestamps are wall-clock and vary run to
+/// run; everything else is deterministic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// One op execution (forward or backward compute of one node).
+    Span {
+        /// Node name, e.g. `conv1_1`.
+        name: String,
+        /// Forward or backward.
+        phase: Phase,
+        /// Wavefront index in the schedule.
+        wave: u32,
+        /// Parallel lane within the wave (maps 1:1 onto pool workers for
+        /// waves no wider than the pool).
+        lane: u32,
+        /// Start time in nanoseconds since the step began.
+        ts_ns: u64,
+        /// Duration in nanoseconds.
+        dur_ns: u64,
+    },
+    /// A buffer came to life.
+    Alloc {
+        /// Buffer name, e.g. `conv1_1.y`, `relu2.stash`, `conv1_1.dy`.
+        name: String,
+        /// Size in bytes.
+        bytes: u64,
+    },
+    /// A buffer was relinquished.
+    Free {
+        /// Buffer name (must match a prior `Alloc`).
+        name: String,
+        /// Size in bytes (must match the `Alloc`).
+        bytes: u64,
+    },
+    /// An existing buffer was taken over in place (inplace ReLU): no
+    /// allocator traffic, but the buffer continues under a new name.
+    Reuse {
+        /// Name the buffer was allocated under.
+        from: String,
+        /// Name it continues under.
+        into: String,
+    },
+    /// A short-lived buffer (e.g. a decode target inside one backward
+    /// step) that bounds the peak but has no alloc/free pair.
+    Transient {
+        /// Buffer name, e.g. `conv1_1.dec`.
+        name: String,
+        /// Size in bytes.
+        bytes: u64,
+    },
+    /// A codec encoded a feature map into a stash.
+    Encode {
+        /// Node whose output was encoded.
+        name: String,
+        /// Codec label: `binarize`, `ssdc`, `dpr`.
+        codec: String,
+        /// Dense FP32 size in bytes.
+        raw_bytes: u64,
+        /// Encoded stash size in bytes.
+        encoded_bytes: u64,
+    },
+    /// A codec decoded a stash back to dense FP32 for a backward use.
+    Decode {
+        /// Node whose stash was decoded.
+        name: String,
+        /// Codec label: `dense`, `ssdc`, `dpr`.
+        codec: String,
+        /// Dense FP32 size in bytes.
+        raw_bytes: u64,
+        /// Encoded stash size in bytes.
+        encoded_bytes: u64,
+    },
+}
+
+impl Event {
+    /// Whether the event participates in the memory accountant's timeline.
+    pub fn is_memory(&self) -> bool {
+        matches!(
+            self,
+            Event::Alloc { .. }
+                | Event::Free { .. }
+                | Event::Reuse { .. }
+                | Event::Transient { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_labels_round_trip() {
+        for p in [Phase::Forward, Phase::Backward] {
+            assert_eq!(Phase::from_label(p.label()), Some(p));
+        }
+        assert_eq!(Phase::from_label("sideways"), None);
+    }
+
+    #[test]
+    fn memory_classification() {
+        assert!(Event::Alloc { name: "a".into(), bytes: 1 }.is_memory());
+        assert!(Event::Free { name: "a".into(), bytes: 1 }.is_memory());
+        assert!(Event::Reuse { from: "a".into(), into: "b".into() }.is_memory());
+        assert!(Event::Transient { name: "t".into(), bytes: 1 }.is_memory());
+        assert!(!Event::Encode {
+            name: "a".into(),
+            codec: "ssdc".into(),
+            raw_bytes: 4,
+            encoded_bytes: 2
+        }
+        .is_memory());
+    }
+}

@@ -1,0 +1,105 @@
+//! The `Recorder` trait: how the executor hands events to a consumer.
+
+use crate::event::Event;
+use std::sync::Mutex;
+
+/// A sink for trace events.
+///
+/// The contract that keeps the disabled path free: every call site first
+/// checks [`Recorder::enabled`] and only *then* constructs the event (event
+/// construction allocates strings). With [`NullRecorder`] the guard is a
+/// constant `false`, so a non-traced step performs exactly the same
+/// allocations as before tracing existed.
+pub trait Recorder {
+    /// Whether events should be constructed and recorded at all.
+    fn enabled(&self) -> bool;
+
+    /// Records one event. Callers only invoke this when [`Self::enabled`]
+    /// returned `true`.
+    fn record(&self, ev: Event);
+}
+
+/// The disabled recorder: `enabled()` is `false`, `record` is unreachable
+/// in practice and a no-op by contract.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&self, _ev: Event) {}
+}
+
+/// An in-memory event buffer.
+///
+/// Interior mutability (a mutex) because the executor holds the recorder
+/// behind a shared reference; all recording happens from the executor's
+/// sequential phases, so the lock is never contended.
+#[derive(Debug, Default)]
+pub struct TraceSink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl TraceSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("trace sink poisoned").len()
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A copy of the recorded events, in record order.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("trace sink poisoned").clone()
+    }
+
+    /// Drains and returns the recorded events.
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.events.lock().expect("trace sink poisoned"))
+    }
+}
+
+impl Recorder for TraceSink {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&self, ev: Event) {
+        self.events.lock().expect("trace sink poisoned").push(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_recorder_is_disabled() {
+        let r = NullRecorder;
+        assert!(!r.enabled());
+        r.record(Event::Alloc { name: "x".into(), bytes: 1 }); // no-op
+    }
+
+    #[test]
+    fn sink_records_in_order_and_drains() {
+        let s = TraceSink::new();
+        assert!(s.is_empty());
+        s.record(Event::Alloc { name: "a".into(), bytes: 4 });
+        s.record(Event::Free { name: "a".into(), bytes: 4 });
+        assert_eq!(s.len(), 2);
+        let evs = s.take();
+        assert_eq!(evs[0], Event::Alloc { name: "a".into(), bytes: 4 });
+        assert_eq!(evs[1], Event::Free { name: "a".into(), bytes: 4 });
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,231 @@
+//! Aggregate counters over an event stream: peak live bytes, per-op time,
+//! per-codec compression — the at-a-glance numbers behind the trace.
+
+use crate::accountant::MemoryAccountant;
+use crate::event::{Event, Phase};
+use std::fmt::Write as _;
+
+/// Time spent in one op (summed over forward or backward executions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpTime {
+    /// Node name.
+    pub name: String,
+    /// Forward or backward.
+    pub phase: Phase,
+    /// Executions observed.
+    pub calls: u64,
+    /// Total nanoseconds.
+    pub total_ns: u64,
+}
+
+/// Aggregate compression achieved by one codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecStats {
+    /// Codec label (`binarize`, `ssdc`, `dpr`).
+    pub codec: String,
+    /// Encode events observed.
+    pub encodes: u64,
+    /// Total dense FP32 bytes encoded.
+    pub raw_bytes: u64,
+    /// Total encoded bytes produced.
+    pub encoded_bytes: u64,
+}
+
+impl CodecStats {
+    /// Achieved compression ratio (raw / encoded).
+    pub fn ratio(&self) -> f64 {
+        if self.encoded_bytes == 0 {
+            return 0.0;
+        }
+        self.raw_bytes as f64 / self.encoded_bytes as f64
+    }
+}
+
+/// The counters report: everything aggregate about one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CountersReport {
+    /// Observed peak of simultaneously-live bytes.
+    pub peak_live_bytes: u64,
+    /// Bytes still live at the end of the trace.
+    pub final_live_bytes: u64,
+    /// Events in the trace.
+    pub num_events: usize,
+    /// Per-op times, sorted by descending total time.
+    pub op_times: Vec<OpTime>,
+    /// Per-codec compression, sorted by codec label.
+    pub codecs: Vec<CodecStats>,
+}
+
+impl CountersReport {
+    /// Aggregates a trace. Malformed memory streams still produce a report
+    /// (the accountant's view is best-effort here; the oracle tests check
+    /// stream validity separately).
+    pub fn from_events(events: &[Event]) -> Self {
+        let mut acc = MemoryAccountant::new();
+        for ev in events {
+            // Ignore (rather than fail on) inconsistencies: a report over a
+            // truncated trace is still useful for eyeballing.
+            let _ = acc.fold(ev);
+        }
+        let mut op_times: Vec<OpTime> = Vec::new();
+        let mut codecs: Vec<CodecStats> = Vec::new();
+        for ev in events {
+            match ev {
+                Event::Span { name, phase, dur_ns, .. } => {
+                    match op_times.iter_mut().find(|o| o.name == *name && o.phase == *phase) {
+                        Some(o) => {
+                            o.calls += 1;
+                            o.total_ns += dur_ns;
+                        }
+                        None => op_times.push(OpTime {
+                            name: name.clone(),
+                            phase: *phase,
+                            calls: 1,
+                            total_ns: *dur_ns,
+                        }),
+                    }
+                }
+                Event::Encode { codec, raw_bytes, encoded_bytes, .. } => {
+                    match codecs.iter_mut().find(|c| c.codec == *codec) {
+                        Some(c) => {
+                            c.encodes += 1;
+                            c.raw_bytes += raw_bytes;
+                            c.encoded_bytes += encoded_bytes;
+                        }
+                        None => codecs.push(CodecStats {
+                            codec: codec.clone(),
+                            encodes: 1,
+                            raw_bytes: *raw_bytes,
+                            encoded_bytes: *encoded_bytes,
+                        }),
+                    }
+                }
+                _ => {}
+            }
+        }
+        op_times.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then_with(|| a.name.cmp(&b.name)));
+        codecs.sort_by(|a, b| a.codec.cmp(&b.codec));
+        CountersReport {
+            peak_live_bytes: acc.peak_bytes(),
+            final_live_bytes: acc.live_bytes(),
+            num_events: events.len(),
+            op_times,
+            codecs,
+        }
+    }
+
+    /// Renders the report as a fixed-width table.
+    pub fn to_table(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "trace: {} events, peak live {:.1} KB, final live {:.1} KB",
+            self.num_events,
+            self.peak_live_bytes as f64 / 1024.0,
+            self.final_live_bytes as f64 / 1024.0
+        );
+        if !self.codecs.is_empty() {
+            let _ = writeln!(
+                s,
+                "{:<10} {:>8} {:>12} {:>12} {:>7}",
+                "codec", "encodes", "raw(KB)", "enc(KB)", "ratio"
+            );
+            for c in &self.codecs {
+                let _ = writeln!(
+                    s,
+                    "{:<10} {:>8} {:>12.1} {:>12.1} {:>6.2}x",
+                    c.codec,
+                    c.encodes,
+                    c.raw_bytes as f64 / 1024.0,
+                    c.encoded_bytes as f64 / 1024.0,
+                    c.ratio()
+                );
+            }
+        }
+        if !self.op_times.is_empty() {
+            let _ = writeln!(s, "{:<24} {:<9} {:>6} {:>12}", "op", "phase", "calls", "total(us)");
+            for o in &self.op_times {
+                let _ = writeln!(
+                    s,
+                    "{:<24} {:<9} {:>6} {:>12.1}",
+                    o.name,
+                    o.phase.label(),
+                    o.calls,
+                    o.total_ns as f64 / 1e3
+                );
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_ops_codecs_and_peak() {
+        let events = vec![
+            Event::Alloc { name: "a".into(), bytes: 100 },
+            Event::Span {
+                name: "conv1".into(),
+                phase: Phase::Forward,
+                wave: 0,
+                lane: 0,
+                ts_ns: 0,
+                dur_ns: 500,
+            },
+            Event::Span {
+                name: "conv1".into(),
+                phase: Phase::Forward,
+                wave: 0,
+                lane: 0,
+                ts_ns: 600,
+                dur_ns: 700,
+            },
+            Event::Span {
+                name: "conv1".into(),
+                phase: Phase::Backward,
+                wave: 0,
+                lane: 0,
+                ts_ns: 0,
+                dur_ns: 9000,
+            },
+            Event::Encode {
+                name: "r1".into(),
+                codec: "ssdc".into(),
+                raw_bytes: 400,
+                encoded_bytes: 100,
+            },
+            Event::Encode {
+                name: "r2".into(),
+                codec: "ssdc".into(),
+                raw_bytes: 200,
+                encoded_bytes: 200,
+            },
+            Event::Free { name: "a".into(), bytes: 100 },
+        ];
+        let r = CountersReport::from_events(&events);
+        assert_eq!(r.peak_live_bytes, 100);
+        assert_eq!(r.final_live_bytes, 0);
+        assert_eq!(r.num_events, 7);
+        // Backward conv1 (9000 ns) sorts first.
+        assert_eq!(r.op_times[0].phase, Phase::Backward);
+        let fwd = r.op_times.iter().find(|o| o.phase == Phase::Forward).unwrap();
+        assert_eq!((fwd.calls, fwd.total_ns), (2, 1200));
+        assert_eq!(r.codecs.len(), 1);
+        assert_eq!(r.codecs[0].encodes, 2);
+        assert!((r.codecs[0].ratio() - 2.0).abs() < 1e-9);
+        let table = r.to_table();
+        assert!(table.contains("ssdc"));
+        assert!(table.contains("conv1"));
+    }
+
+    #[test]
+    fn empty_trace_reports_zeroes() {
+        let r = CountersReport::from_events(&[]);
+        assert_eq!(r.peak_live_bytes, 0);
+        assert!(r.op_times.is_empty() && r.codecs.is_empty());
+        assert!(r.to_table().contains("0 events"));
+    }
+}

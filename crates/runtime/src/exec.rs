@@ -7,10 +7,12 @@ use gist_encodings::csr::SsdcConfig;
 use gist_encodings::dpr::DprBuffer;
 use gist_encodings::{BitMask, CsrMatrix, DprFormat};
 use gist_graph::{Graph, Node, NodeId, OpKind, Schedule};
+use gist_obs::{Event, NullRecorder, Phase, Recorder};
 use gist_par::parallel_map;
 use gist_tensor::ops::batchnorm::BatchNormCache;
 use gist_tensor::ops::{batchnorm, conv, dropout, elementwise, linear, lrn, pool, relu, softmax};
 use gist_tensor::{Shape, Tensor};
+use std::time::Instant;
 
 /// How the executor stashes feature maps for the backward pass.
 #[derive(Debug, Clone)]
@@ -54,6 +56,22 @@ impl Stash {
             Stash::Reduced(b, _) => b.encoded_bytes(),
         }
     }
+
+    /// Codec label for trace events; `None` for the dense (uncompressed)
+    /// representation.
+    fn codec_label(&self) -> Option<&'static str> {
+        match self {
+            Stash::Dense(_) => None,
+            Stash::Bits(_, _) => Some("binarize"),
+            Stash::Sparse(_, _) => Some("ssdc"),
+            Stash::Reduced(_, _) => Some("dpr"),
+        }
+    }
+}
+
+/// Nanoseconds since the step's epoch, as recorded in span events.
+fn elapsed_ns(epoch: &Instant) -> u64 {
+    epoch.elapsed().as_nanos() as u64
 }
 
 /// Tracks live bytes during a step to measure the actual peak footprint
@@ -91,6 +109,10 @@ struct NodeOut {
     bn: Option<BatchNormCache>,
     mask: Option<Vec<bool>>,
     loss: Option<(f32, usize)>,
+    /// Compute start, nanoseconds since the step epoch.
+    t0_ns: u64,
+    /// Compute duration in nanoseconds.
+    dur_ns: u64,
 }
 
 /// One node's backward contribution. Computed (possibly concurrently) per
@@ -102,6 +124,13 @@ struct BwdOut {
     contrib: Vec<(NodeId, Tensor)>,
     /// Largest short-lived decode buffer this node's backward needed.
     transient: usize,
+    /// Compute start, nanoseconds since the step epoch.
+    t0_ns: u64,
+    /// Compute duration in nanoseconds.
+    dur_ns: u64,
+    /// `(stashed node, codec, raw bytes, encoded bytes)` per codec decode,
+    /// populated only when the caller is recording a trace.
+    decodes: Vec<(NodeId, &'static str, u64, u64)>,
 }
 
 /// Per-minibatch statistics.
@@ -218,7 +247,9 @@ impl Executor {
         fmaps: &[Option<Tensor>],
         images: &Tensor,
         labels: &[usize],
+        epoch: &Instant,
     ) -> Result<NodeOut, RuntimeError> {
+        let t0_ns = elapsed_ns(epoch);
         let id = node.id;
         let input = |i: usize| -> &Tensor {
             fmaps[node.inputs[i].index()].as_ref().expect("producer already executed")
@@ -286,7 +317,8 @@ impl Executor {
                 input(0).clone()
             }
         };
-        Ok(NodeOut { y, argmax, bn, mask, loss })
+        let dur_ns = elapsed_ns(epoch).saturating_sub(t0_ns);
+        Ok(NodeOut { y, argmax, bn, mask, loss, t0_ns, dur_ns })
     }
 
     /// Computes one node's backward contributions without touching shared
@@ -294,6 +326,7 @@ impl Executor {
     ///
     /// `dy` is `None` only for the loss head, whose upstream gradient is
     /// synthesized from the stashed logits.
+    #[allow(clippy::too_many_arguments)]
     fn backward_node(
         &self,
         node: &Node,
@@ -303,13 +336,23 @@ impl Executor {
         drop_masks: &[Option<Vec<bool>>],
         bn_caches: &[Option<BatchNormCache>],
         labels: &[usize],
+        record: bool,
+        epoch: &Instant,
     ) -> Result<BwdOut, RuntimeError> {
+        let t0_ns = elapsed_ns(epoch);
         let id = node.id;
         let mut transient = 0usize;
+        let mut decodes: Vec<(NodeId, &'static str, u64, u64)> = Vec::new();
         let mut stash_dense = |pid: NodeId| -> Tensor {
-            let t = stashes[pid.index()].as_ref().expect("stash present for backward").decode();
+            let s = stashes[pid.index()].as_ref().expect("stash present for backward");
+            let t = s.decode();
             // Decode buffer exists for the duration of this backward step.
             transient = transient.max(t.numel() * 4);
+            if record {
+                if let Some(codec) = s.codec_label() {
+                    decodes.push((pid, codec, (t.numel() * 4) as u64, s.encoded_bytes() as u64));
+                }
+            }
             t
         };
         if matches!(node.op, OpKind::SoftmaxLoss) {
@@ -319,7 +362,15 @@ impl Executor {
             // Reshape the [N, K] gradient back to the producer's shape.
             let mut dlogits = dlogits.reshape(self.shapes[producer.index()])?;
             self.quantize_immediate(&mut dlogits);
-            return Ok(BwdOut { pgrads: None, contrib: vec![(producer, dlogits)], transient });
+            let dur_ns = elapsed_ns(epoch).saturating_sub(t0_ns);
+            return Ok(BwdOut {
+                pgrads: None,
+                contrib: vec![(producer, dlogits)],
+                transient,
+                t0_ns,
+                dur_ns,
+                decodes,
+            });
         }
         let dy = dy.expect("non-loss nodes reach backward_node with a gradient");
         let mut pg = None;
@@ -354,7 +405,23 @@ impl Executor {
                         // Binarize: backward directly on the 1-bit mask.
                         Tensor::from_vec(*shape, mask.relu_backward(dy.data())?)?
                     }
-                    Some(other) => relu::backward(&other.decode(), dy),
+                    Some(other) => {
+                        // Decode without transient metering: the executor has
+                        // always treated this path's scratch as part of the
+                        // backward compute, not a metered buffer.
+                        let x = other.decode();
+                        if record {
+                            if let Some(codec) = other.codec_label() {
+                                decodes.push((
+                                    id,
+                                    codec,
+                                    (x.numel() * 4) as u64,
+                                    other.encoded_bytes() as u64,
+                                ));
+                            }
+                        }
+                        relu::backward(&x, dy)
+                    }
                     None => unreachable!("relu output is always stashed"),
                 };
                 contrib.push((producer, dx));
@@ -408,7 +475,8 @@ impl Executor {
             }
             OpKind::Input(_) | OpKind::SoftmaxLoss => unreachable!("handled by the caller"),
         }
-        Ok(BwdOut { pgrads: pg, contrib, transient })
+        let dur_ns = elapsed_ns(epoch).saturating_sub(t0_ns);
+        Ok(BwdOut { pgrads: pg, contrib, transient, t0_ns, dur_ns, decodes })
     }
 
     /// Forward-only inference: returns the argmax class per image.
@@ -520,7 +588,25 @@ impl Executor {
         labels: &[usize],
         lr: f32,
     ) -> Result<StepStats, RuntimeError> {
-        let (stats, grads) = self.forward_backward(images, labels)?;
+        self.step_traced(images, labels, lr, &NullRecorder)
+    }
+
+    /// [`Executor::step`] with execution tracing: op spans, buffer
+    /// alloc/free/reuse, and codec encode/decode events are recorded into
+    /// `rec`. With a disabled recorder this is exactly `step` — the untraced
+    /// entry points delegate here, so the no-op path is the common path.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Executor::step`].
+    pub fn step_traced(
+        &mut self,
+        images: &Tensor,
+        labels: &[usize],
+        lr: f32,
+        rec: &dyn Recorder,
+    ) -> Result<StepStats, RuntimeError> {
+        let (stats, grads) = self.forward_backward_traced(images, labels, rec)?;
         sgd_update(&mut self.params, &grads, lr);
         Ok(stats)
     }
@@ -537,6 +623,31 @@ impl Executor {
         images: &Tensor,
         labels: &[usize],
     ) -> Result<(StepStats, Vec<Option<ParamGrads>>), RuntimeError> {
+        self.forward_backward_traced(images, labels, &NullRecorder)
+    }
+
+    /// [`Executor::forward_backward`] with execution tracing.
+    ///
+    /// The memory-event substream (alloc/free/reuse/transient) mirrors the
+    /// internal meter call-for-call: folding it through
+    /// `gist_obs::MemoryAccountant` reproduces `StepStats::peak_live_bytes`
+    /// exactly. Memory and codec events are emitted from the sequential
+    /// merge loops, so their order — and therefore the whole memory
+    /// substream — is identical at every thread count. Span events carry
+    /// wall-clock timing and are the only thread-count-dependent payload.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Executor::step`].
+    #[allow(clippy::type_complexity)]
+    pub fn forward_backward_traced(
+        &mut self,
+        images: &Tensor,
+        labels: &[usize],
+        rec: &dyn Recorder,
+    ) -> Result<(StepStats, Vec<Option<ParamGrads>>), RuntimeError> {
+        let on = rec.enabled();
+        let epoch = Instant::now();
         let n = self.graph.len();
         let input_node = self
             .graph
@@ -595,7 +706,7 @@ impl Executor {
 
         let inplace_on = matches!(&self.mode, ExecMode::Gist(cfg) if cfg.inplace);
         let mut cursor = 0usize;
-        for wave in sched.waves() {
+        for (wv, wave) in sched.waves().iter().enumerate() {
             // Inplace ReLU (Section III-C): when this ReLU is the sole and
             // final reader of its producer's buffer, overwrite it instead
             // of allocating a fresh output. Applied only in singleton waves:
@@ -614,11 +725,42 @@ impl Executor {
                         let mut y = fmaps[producer.index()].take().expect("producer executed");
                         // The buffer is reused, not freed-and-reallocated: no
                         // meter traffic for the producer's release.
+                        let t0_ns = elapsed_ns(&epoch);
                         relu::forward_inplace(&mut y);
+                        let dur_ns = elapsed_ns(&epoch).saturating_sub(t0_ns);
+                        if on {
+                            rec.record(Event::Span {
+                                name: node.name.clone(),
+                                phase: Phase::Forward,
+                                wave: wv as u32,
+                                lane: 0,
+                                ts_ns: t0_ns,
+                                dur_ns,
+                            });
+                            rec.record(Event::Reuse {
+                                from: format!("{}.y", self.graph.node(producer).name),
+                                into: format!("{}.y", node.name),
+                            });
+                        }
                         relu_sparsity.push((node.name.clone(), y.sparsity()));
                         if gist_graph::class::is_stashed(&self.graph, id) {
                             let stash = self.make_stash(id, &y);
-                            meter.alloc(stash.encoded_bytes());
+                            let stash_bytes = stash.encoded_bytes();
+                            meter.alloc(stash_bytes);
+                            if on {
+                                if let Some(codec) = stash.codec_label() {
+                                    rec.record(Event::Encode {
+                                        name: node.name.clone(),
+                                        codec: codec.to_string(),
+                                        raw_bytes: (y.numel() * 4) as u64,
+                                        encoded_bytes: stash_bytes as u64,
+                                    });
+                                }
+                                rec.record(Event::Alloc {
+                                    name: format!("{}.stash", node.name),
+                                    bytes: stash_bytes as u64,
+                                });
+                            }
                             stashes[id.index()] = Some(stash);
                         }
                         fmaps[id.index()] = Some(y);
@@ -626,6 +768,12 @@ impl Executor {
                         if last_use_pos[id.index()] == pos[id.index()] {
                             if let Some(t) = fmaps[id.index()].take() {
                                 meter.free(t.numel() * 4);
+                                if on {
+                                    rec.record(Event::Free {
+                                        name: format!("{}.y", node.name),
+                                        bytes: (t.numel() * 4) as u64,
+                                    });
+                                }
                             }
                         }
                         cursor += 1;
@@ -636,18 +784,29 @@ impl Executor {
             // Compute the wave — concurrently when it has siblings — then
             // post-process sequentially in ascending-id order.
             let outs: Vec<Result<NodeOut, RuntimeError>> = if wave.len() == 1 {
-                vec![self.compute_forward(self.graph.node(wave[0]), &fmaps, images, labels)]
+                vec![self.compute_forward(self.graph.node(wave[0]), &fmaps, images, labels, &epoch)]
             } else {
                 let this = &*self;
                 let fview = &fmaps;
+                let ep = &epoch;
                 parallel_map(wave.len(), 1, |wi| {
-                    this.compute_forward(this.graph.node(wave[wi]), fview, images, labels)
+                    this.compute_forward(this.graph.node(wave[wi]), fview, images, labels, ep)
                 })
             };
-            for (&id, out) in wave.iter().zip(outs) {
+            for (lane, (&id, out)) in wave.iter().zip(outs).enumerate() {
                 let node = self.graph.node(id);
-                let NodeOut { mut y, argmax, bn, mask, loss } = out?;
+                let NodeOut { mut y, argmax, bn, mask, loss, t0_ns, dur_ns } = out?;
                 self.quantize_immediate(&mut y);
+                if on {
+                    rec.record(Event::Span {
+                        name: node.name.clone(),
+                        phase: Phase::Forward,
+                        wave: wv as u32,
+                        lane: lane as u32,
+                        ts_ns: t0_ns,
+                        dur_ns,
+                    });
+                }
                 if matches!(node.op, OpKind::Relu) {
                     relu_sparsity.push((node.name.clone(), y.sparsity()));
                 }
@@ -666,10 +825,31 @@ impl Executor {
                 }
                 if gist_graph::class::is_stashed(&self.graph, id) {
                     let stash = self.make_stash(id, &y);
-                    meter.alloc(stash.encoded_bytes());
+                    let stash_bytes = stash.encoded_bytes();
+                    meter.alloc(stash_bytes);
+                    if on {
+                        if let Some(codec) = stash.codec_label() {
+                            rec.record(Event::Encode {
+                                name: node.name.clone(),
+                                codec: codec.to_string(),
+                                raw_bytes: (y.numel() * 4) as u64,
+                                encoded_bytes: stash_bytes as u64,
+                            });
+                        }
+                        rec.record(Event::Alloc {
+                            name: format!("{}.stash", node.name),
+                            bytes: stash_bytes as u64,
+                        });
+                    }
                     stashes[id.index()] = Some(stash);
                 }
                 meter.alloc(y.numel() * 4);
+                if on {
+                    rec.record(Event::Alloc {
+                        name: format!("{}.y", node.name),
+                        bytes: (y.numel() * 4) as u64,
+                    });
+                }
                 fmaps[id.index()] = Some(y);
                 // Relinquish every dense buffer whose last forward use was
                 // this position (including this node's own output if nothing
@@ -678,6 +858,12 @@ impl Executor {
                     if last_use_pos[j] == cursor {
                         if let Some(t) = fmaps[j].take() {
                             meter.free(t.numel() * 4);
+                            if on {
+                                rec.record(Event::Free {
+                                    name: format!("{}.y", self.graph.nodes()[j].name),
+                                    bytes: (t.numel() * 4) as u64,
+                                });
+                            }
                         }
                     }
                 }
@@ -703,12 +889,19 @@ impl Executor {
         let mut grads: Vec<Option<Tensor>> = vec![None; n];
         let mut pgrads: Vec<Option<ParamGrads>> = (0..n).map(|_| None).collect();
         let mut meter_cell = meter;
+        let nodes = self.graph.nodes();
         let accumulate =
             |meter: &mut MemMeter, grads: &mut Vec<Option<Tensor>>, id: NodeId, g: Tensor| {
                 match &mut grads[id.index()] {
                     Some(existing) => existing.add_scaled(&g, 1.0).expect("gradient shapes agree"),
                     slot @ None => {
                         meter.alloc(g.numel() * 4);
+                        if on {
+                            rec.record(Event::Alloc {
+                                name: format!("{}.dy", nodes[id.index()].name),
+                                bytes: (g.numel() * 4) as u64,
+                            });
+                        }
                         *slot = Some(g);
                     }
                 }
@@ -720,7 +913,7 @@ impl Executor {
         // accumulation, param grads, meter, stash release) is sequential in
         // descending-id order so shared producers always accumulate
         // contributions in one fixed order.
-        for wave in sched.waves().iter().rev() {
+        for (wv, wave) in sched.waves().iter().enumerate().rev() {
             let mut work: Vec<(NodeId, Option<Tensor>)> = Vec::new();
             for &id in wave.iter().rev() {
                 let node = self.graph.node(id);
@@ -735,6 +928,12 @@ impl Executor {
                     continue; // no gradient path through this node
                 };
                 meter_cell.free(dy.numel() * 4);
+                if on {
+                    rec.record(Event::Free {
+                        name: format!("{}.dy", node.name),
+                        bytes: (dy.numel() * 4) as u64,
+                    });
+                }
                 self.quantize_immediate(&mut dy);
                 work.push((id, Some(dy)));
             }
@@ -749,6 +948,8 @@ impl Executor {
                             &drop_masks,
                             &bn_caches,
                             labels,
+                            on,
+                            &epoch,
                         )
                     })
                     .collect()
@@ -756,6 +957,7 @@ impl Executor {
                 let this = &*self;
                 let wview = &work;
                 let sview = &stashes;
+                let ep = &epoch;
                 parallel_map(work.len(), 1, |wi| {
                     let (id, dy) = &wview[wi];
                     this.backward_node(
@@ -766,13 +968,40 @@ impl Executor {
                         &drop_masks,
                         &bn_caches,
                         labels,
+                        on,
+                        ep,
                     )
                 })
             };
-            for ((id, _), out) in work.iter().zip(outs) {
-                let BwdOut { pgrads: pg, contrib, transient } = out?;
+            for (lane, ((id, _), out)) in work.iter().zip(outs).enumerate() {
+                let node = self.graph.node(*id);
+                let BwdOut { pgrads: pg, contrib, transient, t0_ns, dur_ns, decodes } = out?;
+                if on {
+                    rec.record(Event::Span {
+                        name: node.name.clone(),
+                        phase: Phase::Backward,
+                        wave: wv as u32,
+                        lane: lane as u32,
+                        ts_ns: t0_ns,
+                        dur_ns,
+                    });
+                    for (pid, codec, raw_bytes, encoded_bytes) in decodes {
+                        rec.record(Event::Decode {
+                            name: self.graph.node(pid).name.clone(),
+                            codec: codec.to_string(),
+                            raw_bytes,
+                            encoded_bytes,
+                        });
+                    }
+                }
                 if transient > 0 {
                     meter_cell.transient(transient);
+                    if on {
+                        rec.record(Event::Transient {
+                            name: format!("{}.dec", node.name),
+                            bytes: transient as u64,
+                        });
+                    }
                 }
                 if pg.is_some() {
                     pgrads[id.index()] = pg;
@@ -783,7 +1012,38 @@ impl Executor {
                 // This node's backward pass was the last reader of its own
                 // stash (consumers' backward steps all ran earlier).
                 if let Some(stash) = stashes[id.index()].take() {
-                    meter_cell.free(stash.encoded_bytes());
+                    let stash_bytes = stash.encoded_bytes();
+                    meter_cell.free(stash_bytes);
+                    if on {
+                        rec.record(Event::Free {
+                            name: format!("{}.stash", node.name),
+                            bytes: stash_bytes as u64,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Close the stream: every buffer still live (the input's stash and
+        // gradient, plus anything off the gradient path) is dropped when
+        // this function returns, so a traced step always folds back to zero
+        // live bytes and consecutive steps share one well-formed trace. The
+        // meter ignores these frees — they cannot affect the peak.
+        if on {
+            for node in self.graph.nodes() {
+                if let Some(stash) = &stashes[node.id.index()] {
+                    rec.record(Event::Free {
+                        name: format!("{}.stash", node.name),
+                        bytes: stash.encoded_bytes() as u64,
+                    });
+                }
+            }
+            for node in self.graph.nodes() {
+                if let Some(g) = &grads[node.id.index()] {
+                    rec.record(Event::Free {
+                        name: format!("{}.dy", node.name),
+                        bytes: (g.numel() * 4) as u64,
+                    });
                 }
             }
         }

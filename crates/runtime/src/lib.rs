@@ -23,6 +23,7 @@ pub mod data;
 pub mod exec;
 pub mod optim;
 pub mod params;
+pub mod predict;
 pub mod trainer;
 
 pub use autotune::{select_dpr_format, AutotuneConfig, AutotuneResult};
@@ -31,7 +32,8 @@ pub use data::SyntheticImages;
 pub use exec::{ExecMode, Executor, StepStats};
 pub use optim::MomentumSgd;
 pub use params::ParamSet;
-pub use trainer::{train, train_loop, EpochStats, LrSchedule, TrainReport};
+pub use predict::{predict_step_events, predicted_peak_bytes, ssdc_stash_sizes};
+pub use trainer::{train, train_loop, train_loop_traced, EpochStats, LrSchedule, TrainReport};
 
 /// Errors from runtime execution.
 #[derive(Debug)]
@@ -44,6 +46,9 @@ pub enum RuntimeError {
     Encoding(gist_encodings::EncodingError),
     /// The minibatch fed to `step` does not match the graph's input shape.
     BatchMismatch(String),
+    /// A trace/prediction inconsistency (missing observed size, malformed
+    /// predicted event stream).
+    Trace(String),
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -53,6 +58,7 @@ impl std::fmt::Display for RuntimeError {
             RuntimeError::Tensor(e) => write!(f, "tensor error: {e}"),
             RuntimeError::Encoding(e) => write!(f, "encoding error: {e}"),
             RuntimeError::BatchMismatch(msg) => write!(f, "batch mismatch: {msg}"),
+            RuntimeError::Trace(msg) => write!(f, "trace error: {msg}"),
         }
     }
 }

@@ -1,0 +1,313 @@
+//! Static prediction of the executor's memory-event stream.
+//!
+//! [`predict_step_events`] replays the executor's allocation discipline —
+//! stash-then-output allocation order, last-use relinquishment, the inplace
+//! ReLU reuse rule, backward gradient-map recycling, decode transients, and
+//! stash release — without running any kernels. The result is the exact
+//! sequence of memory events a traced [`crate::Executor`] step emits, with
+//! one data-dependent input: SSDC stash sizes, which depend on the values
+//! being encoded and are supplied from observed
+//! [`gist_obs::Event::Encode`] events.
+//!
+//! This is the bridge between the runtime memory accountant (what the
+//! executor *did*) and the `gist-memory` planner (what the schedule
+//! *implies*): the oracle tests assert the two agree event-for-event, so
+//! the planner's footprint numbers are backed by execution, not just by a
+//! second copy of the same arithmetic.
+
+use crate::exec::ExecMode;
+use crate::RuntimeError;
+use gist_core::Encoding;
+use gist_graph::{Graph, NodeId, OpKind, Schedule};
+use gist_obs::{Event, MemoryAccountant};
+use std::collections::HashMap;
+
+/// Extracts observed SSDC stash sizes (`node name -> encoded bytes`) from a
+/// trace — the only data-dependent sizes the predictor needs.
+pub fn ssdc_stash_sizes(events: &[Event]) -> HashMap<String, u64> {
+    let mut sizes = HashMap::new();
+    for ev in events {
+        if let Event::Encode { name, codec, encoded_bytes, .. } = ev {
+            if codec == "ssdc" {
+                sizes.insert(name.clone(), *encoded_bytes);
+            }
+        }
+    }
+    sizes
+}
+
+/// Predicts the memory-event substream of one traced training step.
+///
+/// `ssdc_bytes` supplies observed encoded sizes for SSDC stashes (see
+/// [`ssdc_stash_sizes`]); it may be empty when the mode assigns no SSDC
+/// encodings.
+///
+/// # Errors
+///
+/// Returns an error if the graph fails shape inference, or
+/// [`RuntimeError::Trace`] if an SSDC-encoded node has no observed size.
+pub fn predict_step_events(
+    graph: &Graph,
+    mode: &ExecMode,
+    ssdc_bytes: &HashMap<String, u64>,
+) -> Result<Vec<Event>, RuntimeError> {
+    let n = graph.len();
+    let shapes = graph.infer_shapes()?;
+    let encodings: Vec<Encoding> = match mode {
+        ExecMode::Gist(cfg) => {
+            let assignments = gist_core::policy::assign(graph, cfg);
+            let mut per_node = vec![Encoding::None; n];
+            for a in assignments {
+                per_node[a.node.index()] = a.encoding;
+            }
+            per_node
+        }
+        _ => vec![Encoding::None; n],
+    };
+    let inplace_on = matches!(mode, ExecMode::Gist(cfg) if cfg.inplace);
+
+    // Same wave order and last-use positions as the executor.
+    let sched = Schedule::of(graph);
+    let mut pos = vec![0usize; n];
+    for (p, &id) in sched.waves().iter().flatten().enumerate() {
+        pos[id.index()] = p;
+    }
+    let mut last_use_pos: Vec<usize> = (0..n).map(|j| pos[j]).collect();
+    for node in graph.nodes() {
+        for &inp in &node.inputs {
+            let lp = &mut last_use_pos[inp.index()];
+            *lp = (*lp).max(pos[node.id.index()]);
+        }
+    }
+
+    let numel = |id: NodeId| -> u64 { shapes[id.index()].numel() as u64 };
+    let y_name = |id: NodeId| -> String { format!("{}.y", graph.node(id).name) };
+    let dy_name = |id: NodeId| -> String { format!("{}.dy", graph.node(id).name) };
+    let stash_size = |id: NodeId| -> Result<u64, RuntimeError> {
+        let ne = numel(id);
+        Ok(match (mode, encodings[id.index()]) {
+            (ExecMode::Gist(_), Encoding::Binarize) => ne.div_ceil(32) * 4,
+            (ExecMode::Gist(_), Encoding::Ssdc { .. }) => {
+                *ssdc_bytes.get(&graph.node(id).name).ok_or_else(|| {
+                    RuntimeError::Trace(format!(
+                        "no observed SSDC stash size for node {}",
+                        graph.node(id).name
+                    ))
+                })?
+            }
+            (ExecMode::Gist(_), Encoding::Dpr(f)) => ne.div_ceil(f.values_per_word() as u64) * 4,
+            _ => ne * 4,
+        })
+    };
+
+    let mut events = Vec::new();
+    // fmaps[j].is_some() / stashes[j].is_some() / grads[j].is_some() in the
+    // executor, respectively.
+    let mut live_fmap = vec![false; n];
+    let mut stashed = vec![false; n];
+    let mut grads_live = vec![false; n];
+
+    // ---- Forward pass ----
+    let mut cursor = 0usize;
+    for wave in sched.waves() {
+        if inplace_on && wave.len() == 1 {
+            let node = graph.node(wave[0]);
+            let id = node.id;
+            if matches!(node.op, OpKind::Relu) {
+                let producer = node.inputs[0];
+                let sole_reader = last_use_pos[producer.index()] == pos[id.index()]
+                    && graph.consumers(producer).len() == 1
+                    && !matches!(graph.node(producer).op, OpKind::Input(_));
+                if sole_reader {
+                    live_fmap[producer.index()] = false;
+                    events.push(Event::Reuse { from: y_name(producer), into: y_name(id) });
+                    live_fmap[id.index()] = true;
+                    if gist_graph::class::is_stashed(graph, id) {
+                        events.push(Event::Alloc {
+                            name: format!("{}.stash", node.name),
+                            bytes: stash_size(id)?,
+                        });
+                        stashed[id.index()] = true;
+                    }
+                    if last_use_pos[id.index()] == pos[id.index()] {
+                        live_fmap[id.index()] = false;
+                        events.push(Event::Free { name: y_name(id), bytes: numel(id) * 4 });
+                    }
+                    cursor += 1;
+                    continue;
+                }
+            }
+        }
+        for &id in wave {
+            let node = graph.node(id);
+            if gist_graph::class::is_stashed(graph, id) {
+                events.push(Event::Alloc {
+                    name: format!("{}.stash", node.name),
+                    bytes: stash_size(id)?,
+                });
+                stashed[id.index()] = true;
+            }
+            events.push(Event::Alloc { name: y_name(id), bytes: numel(id) * 4 });
+            live_fmap[id.index()] = true;
+            for j in 0..n {
+                if last_use_pos[j] == cursor && live_fmap[j] {
+                    live_fmap[j] = false;
+                    let jid = graph.nodes()[j].id;
+                    events.push(Event::Free { name: y_name(jid), bytes: numel(jid) * 4 });
+                }
+            }
+            cursor += 1;
+        }
+    }
+
+    // ---- Backward pass ----
+    for wave in sched.waves().iter().rev() {
+        let mut work: Vec<NodeId> = Vec::new();
+        for &id in wave.iter().rev() {
+            let node = graph.node(id);
+            if matches!(node.op, OpKind::Input(_)) {
+                continue;
+            }
+            if matches!(node.op, OpKind::SoftmaxLoss) {
+                work.push(id);
+                continue;
+            }
+            if !grads_live[id.index()] {
+                continue; // no gradient path through this node
+            }
+            grads_live[id.index()] = false;
+            events.push(Event::Free { name: dy_name(id), bytes: numel(id) * 4 });
+            work.push(id);
+        }
+        for &id in &work {
+            let node = graph.node(id);
+            // Ops whose backward decodes a stashed producer into a dense
+            // transient (the executor's `stash_dense`).
+            let transient = match &node.op {
+                OpKind::SoftmaxLoss
+                | OpKind::Conv { .. }
+                | OpKind::Linear { .. }
+                | OpKind::BatchNorm
+                | OpKind::Lrn(_) => numel(node.inputs[0]) * 4,
+                _ => 0,
+            };
+            if transient > 0 {
+                events.push(Event::Transient {
+                    name: format!("{}.dec", node.name),
+                    bytes: transient,
+                });
+            }
+            let targets: Vec<NodeId> = match &node.op {
+                OpKind::Add => vec![node.inputs[0], node.inputs[1]],
+                OpKind::Concat => node.inputs.clone(),
+                _ => vec![node.inputs[0]],
+            };
+            for t in targets {
+                if !grads_live[t.index()] {
+                    grads_live[t.index()] = true;
+                    events.push(Event::Alloc { name: dy_name(t), bytes: numel(t) * 4 });
+                }
+            }
+            if stashed[id.index()] {
+                stashed[id.index()] = false;
+                events.push(Event::Free {
+                    name: format!("{}.stash", node.name),
+                    bytes: stash_size(id)?,
+                });
+            }
+        }
+    }
+
+    // Stream close-out: buffers still live when the step returns (the
+    // executor's trailing frees).
+    for node in graph.nodes() {
+        if stashed[node.id.index()] {
+            events.push(Event::Free {
+                name: format!("{}.stash", node.name),
+                bytes: stash_size(node.id)?,
+            });
+        }
+    }
+    for node in graph.nodes() {
+        if grads_live[node.id.index()] {
+            events.push(Event::Free { name: dy_name(node.id), bytes: numel(node.id) * 4 });
+        }
+    }
+    Ok(events)
+}
+
+/// Predicted peak footprint in bytes: the predicted event stream folded
+/// through the memory accountant.
+///
+/// # Errors
+///
+/// As for [`predict_step_events`]; a malformed predicted stream is a
+/// predictor bug and is reported as [`RuntimeError::Trace`].
+pub fn predicted_peak_bytes(
+    graph: &Graph,
+    mode: &ExecMode,
+    ssdc_bytes: &HashMap<String, u64>,
+) -> Result<u64, RuntimeError> {
+    let events = predict_step_events(graph, mode, ssdc_bytes)?;
+    let mut acc = MemoryAccountant::new();
+    acc.fold_all(&events)
+        .map_err(|e| RuntimeError::Trace(format!("predicted stream malformed: {e}")))?;
+    Ok(acc.peak_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::SyntheticImages;
+    use crate::exec::Executor;
+    use gist_core::GistConfig;
+    use gist_obs::TraceSink;
+
+    fn observed_and_predicted(mode: ExecMode) -> (Vec<Event>, Vec<Event>) {
+        let g = gist_models::small_vgg(4, 3);
+        let mut e = Executor::new(g.clone(), mode.clone(), 5).unwrap();
+        let mut ds = SyntheticImages::new(3, 16, 0.3, 42);
+        let (x, y) = ds.minibatch(4);
+        let sink = TraceSink::new();
+        e.step_traced(&x, &y, 0.05, &sink).unwrap();
+        let trace = sink.take();
+        let ssdc = ssdc_stash_sizes(&trace);
+        let predicted = predict_step_events(&g, &mode, &ssdc).unwrap();
+        let observed: Vec<Event> = trace.into_iter().filter(|ev| ev.is_memory()).collect();
+        (observed, predicted)
+    }
+
+    #[test]
+    fn baseline_stream_is_predicted_event_for_event() {
+        let (observed, predicted) = observed_and_predicted(ExecMode::Baseline);
+        assert_eq!(observed, predicted);
+    }
+
+    #[test]
+    fn lossless_gist_stream_is_predicted_event_for_event() {
+        let (observed, predicted) = observed_and_predicted(ExecMode::Gist(GistConfig::lossless()));
+        assert_eq!(observed, predicted);
+    }
+
+    #[test]
+    fn predicted_peak_matches_executor_meter() {
+        let g = gist_models::small_vgg(4, 3);
+        let mode = ExecMode::Gist(GistConfig::lossless());
+        let mut e = Executor::new(g.clone(), mode.clone(), 5).unwrap();
+        let mut ds = SyntheticImages::new(3, 16, 0.3, 42);
+        let (x, y) = ds.minibatch(4);
+        let sink = TraceSink::new();
+        let stats = e.step_traced(&x, &y, 0.05, &sink).unwrap();
+        let ssdc = ssdc_stash_sizes(&sink.take());
+        let peak = predicted_peak_bytes(&g, &mode, &ssdc).unwrap();
+        assert_eq!(peak, stats.peak_live_bytes as u64);
+    }
+
+    #[test]
+    fn missing_ssdc_size_is_a_trace_error() {
+        let g = gist_models::small_vgg(4, 3);
+        let mode = ExecMode::Gist(GistConfig::lossless());
+        let err = predict_step_events(&g, &mode, &HashMap::new()).unwrap_err();
+        assert!(matches!(err, RuntimeError::Trace(_)));
+    }
+}

@@ -149,6 +149,36 @@ pub fn train_loop(
     batch: usize,
     schedule: LrSchedule,
 ) -> Result<TrainReport, RuntimeError> {
+    train_loop_traced(
+        exec,
+        ds,
+        label,
+        epochs,
+        batches_per_epoch,
+        batch,
+        schedule,
+        &gist_obs::NullRecorder,
+    )
+}
+
+/// [`train_loop`] with execution tracing: every step's events are recorded
+/// into `rec` (see [`Executor::step_traced`]). The untraced loop delegates
+/// here with a disabled recorder.
+///
+/// # Errors
+///
+/// Propagates executor failures.
+#[allow(clippy::too_many_arguments)]
+pub fn train_loop_traced(
+    exec: &mut Executor,
+    ds: &mut SyntheticImages,
+    label: impl Into<String>,
+    epochs: usize,
+    batches_per_epoch: usize,
+    batch: usize,
+    schedule: LrSchedule,
+    rec: &dyn gist_obs::Recorder,
+) -> Result<TrainReport, RuntimeError> {
     let mut report = TrainReport { label: label.into(), epochs: Vec::with_capacity(epochs) };
     for epoch in 0..epochs {
         let lr = schedule.rate_at(epoch);
@@ -157,7 +187,7 @@ pub fn train_loop(
         let mut seen = 0usize;
         for _ in 0..batches_per_epoch {
             let (x, y) = ds.minibatch(batch);
-            let stats = exec.step(&x, &y, lr)?;
+            let stats = exec.step_traced(&x, &y, lr, rec)?;
             loss_sum += stats.loss as f64;
             correct += stats.correct;
             seen += stats.batch;
@@ -270,5 +300,40 @@ mod tests {
     fn accuracy_loss_metric() {
         let e = EpochStats { epoch: 0, mean_loss: 1.0, accuracy: 0.78 };
         assert!((e.accuracy_loss_pct() - 22.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn traced_loop_records_steps_without_changing_results() {
+        let fresh = || {
+            crate::exec::Executor::new(
+                gist_models::tiny_convnet(4, 3),
+                crate::exec::ExecMode::Baseline,
+                7,
+            )
+            .unwrap()
+        };
+        let mut a = fresh();
+        let mut da = crate::data::SyntheticImages::new(3, 16, 0.3, 42);
+        let plain =
+            train_loop(&mut a, &mut da, "plain", 1, 3, 4, LrSchedule::Constant(0.05)).unwrap();
+        let mut b = fresh();
+        let mut db = crate::data::SyntheticImages::new(3, 16, 0.3, 42);
+        let sink = gist_obs::TraceSink::new();
+        let traced = train_loop_traced(
+            &mut b,
+            &mut db,
+            "traced",
+            1,
+            3,
+            4,
+            LrSchedule::Constant(0.05),
+            &sink,
+        )
+        .unwrap();
+        assert_eq!(plain.epochs[0].mean_loss, traced.epochs[0].mean_loss);
+        let events = sink.take();
+        let spans = events.iter().filter(|e| matches!(e, gist_obs::Event::Span { .. })).count();
+        // 3 steps x (forward + backward spans for each non-input node).
+        assert!(spans > 0 && spans % 3 == 0, "span count {spans} should cover 3 steps");
     }
 }

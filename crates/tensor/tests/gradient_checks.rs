@@ -1,0 +1,227 @@
+//! Finite-difference gradient checks for the backward kernels that consume
+//! stashed feature maps — conv, linear, batch-norm and LRN — the four ops
+//! whose stash traffic Gist targets. Each check builds the scalar loss
+//! `L = sum(forward(x) * r)` for a fixed random projection `r`, so the
+//! analytic gradient is just `backward(..., dy = r)`, and compares it
+//! element-wise against central differences accumulated in f64.
+//!
+//! A second group feeds hostile f32 values (NaN, infinities, subnormals,
+//! extreme normals) through the same forward/backward pairs: finite
+//! differences are meaningless there, but the kernels must still return
+//! shape-correct tensors without panicking.
+
+use gist_tensor::ops::conv::{self, ConvParams};
+use gist_tensor::ops::lrn::{self, LrnParams};
+use gist_tensor::ops::{batchnorm, linear};
+use gist_tensor::{Shape, Tensor};
+use gist_testkit::prop::{boxed, just, map, one_of, vec_of, Strategy};
+use gist_testkit::Runner;
+
+/// Property cases per op. Finite differences cost two forwards per
+/// parameter, so this stays modest; seeds still vary every case.
+const CASES: u32 = 8;
+const EPS: f32 = 1e-2;
+const TOL: f64 = 2e-2;
+
+fn tame_tensor(shape: Shape, lo: f32, hi: f32) -> impl Strategy<Value = Tensor> {
+    let n = shape.numel();
+    map(vec_of(lo..hi, n..n + 1), move |v| Tensor::from_vec(shape, v).unwrap())
+}
+
+/// `L = sum(y * r)`, accumulated in f64 so the loss itself adds no f32
+/// cancellation noise on top of the kernels'.
+fn loss(y: &Tensor, r: &Tensor) -> f64 {
+    y.data().iter().zip(r.data()).map(|(a, b)| f64::from(*a) * f64::from(*b)).sum()
+}
+
+/// Central-difference gradient of `f` w.r.t. every element of `param`.
+fn fd_grad(param: &Tensor, f: impl Fn(&Tensor) -> f64) -> Vec<f64> {
+    (0..param.numel())
+        .map(|i| {
+            let mut p = param.clone();
+            p.data_mut()[i] += EPS;
+            let lp = f(&p);
+            p.data_mut()[i] -= 2.0 * EPS;
+            let lm = f(&p);
+            (lp - lm) / (2.0 * f64::from(EPS))
+        })
+        .collect()
+}
+
+fn assert_grads_close(analytic: &Tensor, fd: &[f64], what: &str) {
+    assert_eq!(analytic.numel(), fd.len(), "{what}: gradient length");
+    for (i, (a, f)) in analytic.data().iter().zip(fd).enumerate() {
+        let a = f64::from(*a);
+        let denom = a.abs().max(f.abs()).max(0.1);
+        assert!(
+            (a - f).abs() / denom < TOL,
+            "{what}[{i}]: analytic {a:.6} vs finite-difference {f:.6}"
+        );
+    }
+}
+
+#[test]
+fn conv_backward_matches_finite_differences() {
+    let p = ConvParams::new(3, 1, 1);
+    let xs = tame_tensor(Shape::nchw(1, 2, 5, 5), -1.5, 1.5);
+    let ws = tame_tensor(Shape::nchw(2, 2, 3, 3), -0.8, 0.8);
+    let bs = tame_tensor(Shape::vector(2), -0.5, 0.5);
+    Runner::new("conv_backward_fd").cases(CASES).run(&(xs, ws, bs), |(x, w, b)| {
+        let y = conv::forward(x, w, Some(b), p).unwrap();
+        let r = gist_tensor::init::uniform(y.shape(), -1.0, 1.0, 9);
+        let grads = conv::backward(x, w, &r, p).unwrap();
+        assert_grads_close(
+            &grads.dx,
+            &fd_grad(x, |xp| loss(&conv::forward(xp, w, Some(b), p).unwrap(), &r)),
+            "conv dx",
+        );
+        assert_grads_close(
+            &grads.dw,
+            &fd_grad(w, |wp| loss(&conv::forward(x, wp, Some(b), p).unwrap(), &r)),
+            "conv dw",
+        );
+        assert_grads_close(
+            &grads.db,
+            &fd_grad(b, |bp| loss(&conv::forward(x, w, Some(bp), p).unwrap(), &r)),
+            "conv db",
+        );
+    });
+}
+
+#[test]
+fn linear_backward_matches_finite_differences() {
+    let xs = tame_tensor(Shape::matrix(3, 6), -1.5, 1.5);
+    let ws = tame_tensor(Shape::matrix(4, 6), -0.8, 0.8);
+    Runner::new("linear_backward_fd").cases(CASES).run(&(xs, ws), |(x, w)| {
+        let y = linear::forward(x, w, None).unwrap();
+        let r = gist_tensor::init::uniform(y.shape(), -1.0, 1.0, 9);
+        let grads = linear::backward(x, w, &r).unwrap();
+        assert_grads_close(
+            &grads.dx,
+            &fd_grad(x, |xp| loss(&linear::forward(xp, w, None).unwrap(), &r)),
+            "linear dx",
+        );
+        assert_grads_close(
+            &grads.dw,
+            &fd_grad(w, |wp| loss(&linear::forward(x, wp, None).unwrap(), &r)),
+            "linear dw",
+        );
+        // db = column sums of dy, independent of x and w; differentiate the
+        // biased forward w.r.t. a zero bias instead.
+        let b = Tensor::zeros(Shape::vector(4));
+        assert_grads_close(
+            &grads.db,
+            &fd_grad(&b, |bp| loss(&linear::forward(x, w, Some(bp)).unwrap(), &r)),
+            "linear db",
+        );
+    });
+}
+
+#[test]
+fn batchnorm_backward_matches_finite_differences() {
+    let eps = 1e-5;
+    let xs = tame_tensor(Shape::nchw(2, 2, 3, 3), -2.0, 2.0);
+    let gs = tame_tensor(Shape::vector(2), 0.5, 1.5);
+    let bs = tame_tensor(Shape::vector(2), -0.5, 0.5);
+    Runner::new("batchnorm_backward_fd").cases(CASES).run(&(xs, gs, bs), |(x, g, b)| {
+        let (y, cache) = batchnorm::forward(x, g, b, eps).unwrap();
+        let r = gist_tensor::init::uniform(y.shape(), -1.0, 1.0, 9);
+        let grads = batchnorm::backward(x, g, &cache, &r).unwrap();
+        // dx flows through the batch statistics too: the finite-difference
+        // loss recomputes mean and variance for every perturbation.
+        assert_grads_close(
+            &grads.dx,
+            &fd_grad(x, |xp| loss(&batchnorm::forward(xp, g, b, eps).unwrap().0, &r)),
+            "batchnorm dx",
+        );
+        assert_grads_close(
+            &grads.dgamma,
+            &fd_grad(g, |gp| loss(&batchnorm::forward(x, gp, b, eps).unwrap().0, &r)),
+            "batchnorm dgamma",
+        );
+        assert_grads_close(
+            &grads.dbeta,
+            &fd_grad(b, |bp| loss(&batchnorm::forward(x, g, bp, eps).unwrap().0, &r)),
+            "batchnorm dbeta",
+        );
+    });
+}
+
+#[test]
+fn lrn_backward_matches_finite_differences() {
+    // AlexNet's alpha (1e-4) makes the cross-channel term numerically
+    // invisible to finite differences; a large alpha exercises it for real.
+    let p = LrnParams { size: 3, alpha: 0.5, beta: 0.75, k: 2.0 };
+    let xs = tame_tensor(Shape::nchw(1, 4, 3, 3), -1.5, 1.5);
+    Runner::new("lrn_backward_fd").cases(CASES).run(&xs, |x| {
+        let y = lrn::forward(x, p).unwrap();
+        let r = gist_tensor::init::uniform(y.shape(), -1.0, 1.0, 9);
+        let dx = lrn::backward(x, &r, p).unwrap();
+        assert_grads_close(
+            &dx,
+            &fd_grad(x, |xp| loss(&lrn::forward(xp, p).unwrap(), &r)),
+            "lrn dx",
+        );
+    });
+}
+
+// ---- Hostile-input robustness ----------------------------------------
+
+/// f32 values including adversarial bit patterns: NaN, both infinities,
+/// both zeros, subnormals, and extreme normals.
+fn hostile_f32() -> impl Strategy<Value = f32> {
+    one_of(vec![
+        boxed(-2.0f32..2.0),
+        boxed(just(0.0f32)),
+        boxed(just(-0.0f32)),
+        boxed(just(f32::NAN)),
+        boxed(just(f32::INFINITY)),
+        boxed(just(f32::NEG_INFINITY)),
+        boxed(just(f32::MIN_POSITIVE)),
+        boxed(just(f32::MIN_POSITIVE / 2.0)),
+        boxed(just(f32::MAX)),
+        boxed(just(f32::MIN)),
+    ])
+}
+
+fn hostile_tensor(shape: Shape) -> impl Strategy<Value = Tensor> {
+    let n = shape.numel();
+    map(vec_of(hostile_f32(), n..n + 1), move |v| Tensor::from_vec(shape, v).unwrap())
+}
+
+/// Backward kernels on hostile inputs never panic and always produce
+/// gradients of the right shapes. (Values may be NaN/Inf — finite
+/// differences cannot judge them — but the kernels must stay total.)
+#[test]
+fn backward_kernels_survive_hostile_inputs() {
+    let p = ConvParams::new(3, 1, 1);
+    let lp = LrnParams::alexnet();
+    let xs = hostile_tensor(Shape::nchw(1, 2, 5, 5));
+    let ws = hostile_tensor(Shape::nchw(2, 2, 3, 3));
+    Runner::new("backward_hostile").cases(64).run(&(xs, ws), |(x, w)| {
+        let dy = gist_tensor::init::uniform(p.out_shape(x.shape(), 2), -1.0, 1.0, 3);
+        let g = conv::backward(x, w, &dy, p).unwrap();
+        assert_eq!(g.dx.shape(), x.shape());
+        assert_eq!(g.dw.shape(), w.shape());
+        assert_eq!(g.db.numel(), 2);
+
+        let flat = Tensor::from_vec(Shape::matrix(5, 10), x.data().to_vec()).unwrap();
+        let wm = Tensor::from_vec(Shape::matrix(2, 10), w.data()[..20].to_vec()).unwrap();
+        let dym = gist_tensor::init::uniform(Shape::matrix(5, 2), -1.0, 1.0, 3);
+        let lg = linear::backward(&flat, &wm, &dym).unwrap();
+        assert_eq!(lg.dx.shape(), flat.shape());
+        assert_eq!(lg.dw.shape(), wm.shape());
+
+        let gamma = Tensor::from_vec(Shape::vector(2), vec![1.0, 1.0]).unwrap();
+        let beta = Tensor::zeros(Shape::vector(2));
+        let dyx = gist_tensor::init::uniform(x.shape(), -1.0, 1.0, 3);
+        let (_, cache) = batchnorm::forward(x, &gamma, &beta, 1e-5).unwrap();
+        let bg = batchnorm::backward(x, &gamma, &cache, &dyx).unwrap();
+        assert_eq!(bg.dx.shape(), x.shape());
+        assert_eq!(bg.dgamma.numel(), 2);
+        assert_eq!(bg.dbeta.numel(), 2);
+
+        let ld = lrn::backward(x, &dyx, lp).unwrap();
+        assert_eq!(ld.shape(), x.shape());
+    });
+}

@@ -7,6 +7,9 @@
 #      once on the default gist-par pool — the two runs must both pass, so
 #      any thread-count-dependent behaviour fails the gate
 #   3. rustfmt conformance (rustfmt.toml at the repo root)
+#   4. the memory oracle gate: a traced training step per small net x stash
+#      mode, failing if the runtime accountant's observed peak disagrees
+#      with the static planner's prediction or any packed layout overlaps
 #
 # Run this before committing; record what changed in CHANGELOG.md and
 # append a one-line summary to CHANGES.md as usual.
@@ -24,5 +27,8 @@ env -u GIST_THREADS cargo test -q --offline --workspace
 
 echo "==> cargo fmt --check"
 cargo fmt --check
+
+echo "==> memory oracle gate (traced step vs static planner)"
+cargo run --release -q --offline -p gist-bench --bin extra_runtime_validation
 
 echo "verify: all tier-1 checks passed"

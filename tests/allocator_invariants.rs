@@ -1,0 +1,162 @@
+//! Allocator invariants over *random inventories*: arbitrary sets of data
+//! structures with random sizes, lifetimes and classes — a much wilder
+//! input space than the chain-derived inventories in
+//! `random_graph_properties.rs`.
+//!
+//! Two families of property:
+//!
+//! 1. **Layout safety**: the offset packer's placements never overlap in
+//!    address space for temporally-overlapping lifetimes, and every plan's
+//!    footprint is bracketed by the ideal dynamic peak below and the
+//!    no-sharing sum above.
+//! 2. **Greedy conformance**: `plan_static` is exactly DESIGN.md's
+//!    sort-by-size greedy (descending size, first group with no lifetime
+//!    conflict, group size = largest member). A from-scratch reference
+//!    implementation in this file must agree on every group and byte.
+
+use gist::graph::{DataClass, DataStructure, Interval, NodeId, TensorRole};
+use gist::memory::{peak_dynamic, plan_offsets, plan_static, SharingPolicy};
+use gist_testkit::prop::{map, vec_of, Strategy};
+use gist_testkit::Runner;
+
+const CASES: u32 = 128;
+/// Lifetimes are drawn from this many schedule ticks.
+const TICKS: usize = 24;
+
+fn classes() -> [DataClass; 4] {
+    [DataClass::ImmediateFmap, DataClass::StashedFmap, DataClass::GradientMap, DataClass::Workspace]
+}
+
+/// A random inventory: up to 24 structures with random sizes (including
+/// duplicate sizes, which exercise the sort's tie-breakers), random closed
+/// lifetime intervals, and random data classes.
+fn inventories() -> impl Strategy<Value = Vec<DataStructure>> {
+    let item = map(
+        (1usize..64, 0usize..TICKS, 0usize..8, 0usize..4),
+        |(size_units, start, len, class_idx)| {
+            let end = (start + len).min(TICKS - 1);
+            DataStructure {
+                name: format!("ds_{size_units}_{start}_{len}_{class_idx}"),
+                role: TensorRole::FeatureMap(NodeId::new(0)),
+                class: classes()[class_idx],
+                bytes: size_units * 256,
+                interval: Interval::new(start.min(end), end),
+            }
+        },
+    );
+    vec_of(item, 0..24)
+}
+
+/// Reference implementation of the DESIGN.md greedy, written independently
+/// of `gist-memory`: sort descending by size (ties: earlier start, then
+/// input index), scan existing groups in creation order, join the first
+/// whose members all have disjoint lifetimes, else open a new group.
+fn reference_greedy(items: &[DataStructure], policy: SharingPolicy) -> (usize, Vec<Vec<usize>>) {
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(items[i].bytes), items[i].interval.start, i));
+    let lonely = |i: usize| {
+        policy == SharingPolicy::NoStashedSharing && items[i].class == DataClass::StashedFmap
+    };
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    'items: for idx in order {
+        if !lonely(idx) {
+            for g in &mut groups {
+                let fits = g
+                    .iter()
+                    .all(|&m| !lonely(m) && !(items[m].interval.overlaps(&items[idx].interval)));
+                if fits {
+                    g.push(idx);
+                    continue 'items;
+                }
+            }
+        }
+        groups.push(vec![idx]);
+    }
+    // Group size is its largest member; members were pushed in descending
+    // size order, so that is the first one.
+    let total = groups.iter().map(|g| items[g[0]].bytes).sum();
+    (total, groups)
+}
+
+/// `plan_static` agrees with the from-scratch reference greedy on every
+/// group membership and on the total footprint, under both policies.
+#[test]
+fn static_plan_matches_reference_greedy() {
+    Runner::new("static_plan_matches_reference_greedy").cases(CASES).run(&inventories(), |items| {
+        for policy in [SharingPolicy::Full, SharingPolicy::NoStashedSharing] {
+            let plan = plan_static(items, policy);
+            let (ref_total, ref_groups) = reference_greedy(items, policy);
+            assert_eq!(plan.total_bytes, ref_total, "footprint under {policy:?}");
+            assert_eq!(plan.groups.len(), ref_groups.len(), "group count under {policy:?}");
+            for (g, rg) in plan.groups.iter().zip(&ref_groups) {
+                assert_eq!(&g.members, rg, "membership under {policy:?}");
+                let max = rg.iter().map(|&m| items[m].bytes).max().unwrap();
+                assert_eq!(g.bytes, max, "group size = largest member");
+            }
+        }
+    });
+}
+
+/// No two structures with overlapping lifetimes are placed at overlapping
+/// offsets, for any random inventory.
+#[test]
+fn offset_layout_never_overlaps_live_structures() {
+    Runner::new("offset_layout_never_overlaps_live_structures").cases(CASES).run(
+        &inventories(),
+        |items| {
+            let plan = plan_offsets(items);
+            if let Err((a, b)) = plan.verify(items) {
+                panic!(
+                    "{} and {} overlap in both time and address space",
+                    items[a].name, items[b].name
+                );
+            }
+            // Every structure actually fits inside the arena.
+            for p in &plan.placements {
+                assert!(p.offset + items[p.item].bytes <= plan.total_bytes);
+            }
+        },
+    );
+}
+
+/// Footprint ordering: ideal dynamic peak <= any legal layout <= no
+/// sharing at all; and a shared plan never exceeds the unshared sum.
+#[test]
+fn footprints_are_bracketed() {
+    Runner::new("footprints_are_bracketed").cases(CASES).run(&inventories(), |items| {
+        let unshared: usize = items.iter().map(|d| d.bytes).sum();
+        let dynamic = peak_dynamic(items, TICKS);
+        let offsets = plan_offsets(items).total_bytes;
+        let grouped = plan_static(items, SharingPolicy::Full).total_bytes;
+        assert!(dynamic <= offsets, "dynamic {dynamic} > offsets {offsets}");
+        assert!(dynamic <= grouped, "dynamic {dynamic} > grouped {grouped}");
+        assert!(offsets <= unshared, "offsets {offsets} > unshared {unshared}");
+        assert!(grouped <= unshared, "grouped {grouped} > unshared {unshared}");
+        // NoStashedSharing can only cost memory relative to full sharing.
+        let no_stash = plan_static(items, SharingPolicy::NoStashedSharing).total_bytes;
+        assert!(grouped <= no_stash, "full sharing {grouped} > isolated {no_stash}");
+    });
+}
+
+/// Under `NoStashedSharing` every stashed feature map sits alone in its own
+/// region — the Section V-A investigation-baseline contract.
+#[test]
+fn no_stashed_sharing_isolates_every_stash() {
+    Runner::new("no_stashed_sharing_isolates_every_stash").cases(CASES).run(
+        &inventories(),
+        |items| {
+            let plan = plan_static(items, SharingPolicy::NoStashedSharing);
+            for g in &plan.groups {
+                let has_stash = g.members.iter().any(|&m| items[m].class == DataClass::StashedFmap);
+                if has_stash {
+                    assert_eq!(
+                        g.members.len(),
+                        1,
+                        "stashed structure shares a region: {:?}",
+                        g.members
+                    );
+                }
+            }
+        },
+    );
+}

@@ -1,0 +1,125 @@
+//! The memory oracle, as a library-level invariant: for every zoo model x
+//! stash policy, the peak footprint the runtime accountant *observes* while
+//! folding a traced training step equals the footprint the static predictor
+//! *computes* from the graph alone, and the offset packer finds a layout in
+//! which no two concurrently-live buffers overlap. The same invariant is
+//! enforced as a release gate by `gist-bench`'s `extra_runtime_validation`
+//! binary; this test keeps it under plain `cargo test`.
+
+use gist::memory::{check_no_overlap, observed_peak};
+use gist::obs::{Event, MemoryAccountant, TraceSink};
+use gist::par::with_threads;
+use gist::prelude::*;
+use gist::runtime::{predict_step_events, predicted_peak_bytes, ssdc_stash_sizes};
+
+const BATCH: usize = 8;
+const CLASSES: usize = 4;
+
+fn zoo() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("tiny_convnet", gist::models::tiny_convnet(BATCH, CLASSES)),
+        ("small_vgg", gist::models::small_vgg(BATCH, CLASSES)),
+        ("tiny_classic", gist::models::tiny_classic(BATCH, CLASSES)),
+    ]
+}
+
+fn policies() -> Vec<(&'static str, ExecMode)> {
+    vec![
+        ("baseline", ExecMode::Baseline),
+        ("lossless", ExecMode::Gist(GistConfig::lossless())),
+        ("lossy_fp16", ExecMode::Gist(GistConfig::lossy(DprFormat::Fp16))),
+        ("lossy_fp8", ExecMode::Gist(GistConfig::lossy(DprFormat::Fp8))),
+    ]
+}
+
+/// Runs one traced step and returns the full trace plus the executor's own
+/// meter peak.
+fn traced_step(graph: &Graph, mode: &ExecMode) -> (Vec<Event>, usize) {
+    let mut exec = Executor::new(graph.clone(), mode.clone(), 7).expect("executor");
+    let mut ds = SyntheticImages::new(CLASSES, 16, 0.4, 11);
+    let (x, y) = ds.minibatch(BATCH);
+    let sink = TraceSink::new();
+    let stats = exec.step_traced(&x, &y, 0.05, &sink).expect("step");
+    (sink.take(), stats.peak_live_bytes)
+}
+
+/// Observed peak == predicted footprint, for every zoo model x policy.
+#[test]
+fn observed_peak_equals_predicted_footprint() {
+    for (net, graph) in zoo() {
+        for (policy, mode) in policies() {
+            let (trace, meter_peak) = traced_step(&graph, &mode);
+            let mut acc = MemoryAccountant::new();
+            acc.fold_all(&trace).unwrap_or_else(|e| panic!("{net}/{policy}: bad stream: {e}"));
+            assert_eq!(
+                acc.peak_bytes(),
+                meter_peak as u64,
+                "{net}/{policy}: accountant vs executor meter"
+            );
+            let predicted = predicted_peak_bytes(&graph, &mode, &ssdc_stash_sizes(&trace))
+                .unwrap_or_else(|e| panic!("{net}/{policy}: predictor: {e}"));
+            assert_eq!(
+                acc.peak_bytes(),
+                predicted,
+                "{net}/{policy}: observed peak != predicted footprint"
+            );
+        }
+    }
+}
+
+/// The predicted stream matches the observed memory substream event for
+/// event — a much stronger statement than equal peaks.
+#[test]
+fn predicted_stream_matches_observed_event_for_event() {
+    for (net, graph) in zoo() {
+        for (policy, mode) in policies() {
+            let (trace, _) = traced_step(&graph, &mode);
+            let predicted = predict_step_events(&graph, &mode, &ssdc_stash_sizes(&trace))
+                .unwrap_or_else(|e| panic!("{net}/{policy}: predictor: {e}"));
+            let observed: Vec<Event> = trace.into_iter().filter(|ev| ev.is_memory()).collect();
+            assert_eq!(observed, predicted, "{net}/{policy}: stream divergence");
+        }
+    }
+}
+
+/// No two concurrently-live buffers overlap in the packed offset layout,
+/// and the planner's dynamic simulator reproduces the accountant's peak.
+#[test]
+fn no_concurrently_live_buffers_overlap() {
+    for (net, graph) in zoo() {
+        for (policy, mode) in policies() {
+            let (trace, _) = traced_step(&graph, &mode);
+            let mut acc = MemoryAccountant::new();
+            acc.fold_all(&trace).unwrap_or_else(|e| panic!("{net}/{policy}: bad stream: {e}"));
+            assert_eq!(
+                observed_peak(&acc),
+                acc.peak_bytes() as usize,
+                "{net}/{policy}: peak_dynamic over observed lifetimes"
+            );
+            if let Err((a, b)) = check_no_overlap(&acc) {
+                panic!("{net}/{policy}: buffers {a} and {b} overlap while both live");
+            }
+        }
+    }
+}
+
+/// The memory substream — and therefore the observed peak — is identical
+/// at one thread and several: only span timings may vary with the pool.
+#[test]
+fn memory_substream_is_thread_invariant() {
+    let graph = gist::models::small_vgg(BATCH, CLASSES);
+    let mode = ExecMode::Gist(GistConfig::lossless());
+    let substream = |threads: usize| {
+        with_threads(threads, || {
+            let (trace, peak) = traced_step(&graph, &mode);
+            let mem: Vec<Event> = trace.into_iter().filter(|ev| ev.is_memory()).collect();
+            (mem, peak)
+        })
+    };
+    let (mem1, peak1) = substream(1);
+    for threads in [2, 4] {
+        let (memn, peakn) = substream(threads);
+        assert_eq!(mem1, memn, "memory substream differs at {threads} threads");
+        assert_eq!(peak1, peakn, "peak differs at {threads} threads");
+    }
+}

@@ -1,0 +1,70 @@
+//! Lossless round-trip for the chrome://tracing exporter: a recorded
+//! training-step trace, exported to JSON and re-parsed, must reproduce the
+//! original event vector exactly — spans with their wave/lane/timing
+//! attribution, memory events with their byte counts, codec events with raw
+//! and encoded sizes. Checked for traces captured at one thread and at
+//! several, since the pool changes span interleaving but must not change
+//! what survives the round trip.
+
+use gist::obs::{export_chrome, parse_chrome, Event, TraceSink};
+use gist::par::with_threads;
+use gist::prelude::*;
+
+fn capture(threads: usize) -> Vec<Event> {
+    with_threads(threads, || {
+        let graph = gist::models::tiny_convnet(8, 4);
+        let mut exec =
+            Executor::new(graph, ExecMode::Gist(GistConfig::lossless()), 7).expect("executor");
+        let mut ds = SyntheticImages::new(4, 16, 0.4, 11);
+        let (x, y) = ds.minibatch(8);
+        let sink = TraceSink::new();
+        exec.step_traced(&x, &y, 0.05, &sink).expect("step");
+        exec.step_traced(&x, &y, 0.05, &sink).expect("step");
+        sink.take()
+    })
+}
+
+/// export -> parse is the identity on a single-thread capture.
+#[test]
+fn roundtrip_is_lossless_single_thread() {
+    let events = capture(1);
+    assert!(!events.is_empty());
+    let json = export_chrome(&events);
+    let reparsed = parse_chrome(&json).expect("parse");
+    assert_eq!(events, reparsed);
+}
+
+/// export -> parse is the identity on a multi-thread capture too.
+#[test]
+fn roundtrip_is_lossless_multi_thread() {
+    let events = capture(4);
+    let json = export_chrome(&events);
+    let reparsed = parse_chrome(&json).expect("parse");
+    assert_eq!(events, reparsed);
+}
+
+/// The round-tripped trace is still a well-formed memory stream: it folds
+/// through the accountant with no errors and the same peak.
+#[test]
+fn roundtrip_preserves_accounting() {
+    let events = capture(2);
+    let reparsed = parse_chrome(&export_chrome(&events)).expect("parse");
+    let mut before = MemoryAccountant::new();
+    before.fold_all(&events).expect("original stream folds");
+    let mut after = MemoryAccountant::new();
+    after.fold_all(&reparsed).expect("round-tripped stream folds");
+    assert_eq!(before.peak_bytes(), after.peak_bytes());
+    assert_eq!(before.num_ticks(), after.num_ticks());
+}
+
+/// Only span events may differ between thread counts; every event class
+/// that feeds the accountant or the codec counters is thread-invariant.
+#[test]
+fn non_span_events_are_thread_invariant() {
+    let strip = |events: Vec<Event>| -> Vec<Event> {
+        events.into_iter().filter(|ev| !matches!(ev, Event::Span { .. })).collect()
+    };
+    let one = strip(capture(1));
+    let four = strip(capture(4));
+    assert_eq!(one, four);
+}
