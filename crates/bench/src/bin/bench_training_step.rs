@@ -1,15 +1,20 @@
 //! Benchmark for full training steps under each stash mode — the measured
 //! CPU analogue of Figure 9 (Gist's overhead on real forward+backward
-//! execution) — plus the tracing-overhead guarantee: a disabled recorder
-//! must add zero heap allocations to the hot path, checked with a counting
-//! global allocator and recorded in the bench JSON meta.
+//! execution) — plus two allocator-level guarantees checked with a counting
+//! global allocator and recorded in the bench JSON meta:
+//!
+//! 1. a disabled recorder must add zero heap allocations to the hot path;
+//! 2. `AllocPolicy::Arena` must cut steady-state allocations per step well
+//!    below the heap policy (feature maps, stash copies, gradient maps and
+//!    decode buffers all resolve into the pre-planned slab; what remains is
+//!    kernel-internal scratch and encoded-container payloads).
 //!
 //! Run with `cargo run --release -p gist-bench --bin bench_training_step`.
 
 use gist_core::GistConfig;
 use gist_encodings::DprFormat;
 use gist_obs::NullRecorder;
-use gist_runtime::{ExecMode, Executor, SyntheticImages};
+use gist_runtime::{AllocPolicy, ExecMode, Executor, SyntheticImages};
 use gist_testkit::BenchGroup;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -71,9 +76,52 @@ fn main() {
         ("gist_lossless", ExecMode::Gist(GistConfig::lossless())),
         ("gist_lossy_fp8", ExecMode::Gist(GistConfig::lossy(DprFormat::Fp8))),
     ];
-    for (label, mode) in modes {
-        let mut exec = Executor::new(gist_models::small_vgg(batch, 4), mode, 7).expect("executor");
+    for (label, mode) in &modes {
+        let mut exec =
+            Executor::new(gist_models::small_vgg(batch, 4), mode.clone(), 7).expect("executor");
         g.bench(label, || exec.step(&x, &y, 0.01).unwrap());
     }
+    g.finish();
+
+    // Arena-policy twin of the group above, plus steady-state allocation
+    // counts per step for both policies. The first arena step still touches
+    // the heap (encoded-container payloads grow to steady state); counts
+    // are taken after a warmup step so they reflect the per-step regime.
+    let mut g = BenchGroup::new("training_step_arena").samples(20);
+    g.meta("threads", gist_par::current_threads() as u64);
+    for (label, mode) in &modes {
+        let step_allocs = |policy: AllocPolicy| {
+            let mut exec = Executor::new_with_policy(
+                gist_models::small_vgg(batch, 4),
+                mode.clone(),
+                7,
+                policy,
+            )
+            .expect("executor");
+            exec.step(&x, &y, 0.01).unwrap();
+            alloc_calls(|| {
+                exec.step(&x, &y, 0.01).unwrap();
+            })
+        };
+        let heap_allocs = step_allocs(AllocPolicy::Heap);
+        let arena_allocs = step_allocs(AllocPolicy::Arena);
+        assert!(
+            arena_allocs < heap_allocs,
+            "{label}: arena steady state must allocate less than heap \
+             ({arena_allocs} vs {heap_allocs})"
+        );
+        g.meta(&format!("{label}_heap_allocs_per_step"), heap_allocs);
+        g.meta(&format!("{label}_arena_allocs_per_step"), arena_allocs);
+
+        let mut exec = Executor::new_with_policy(
+            gist_models::small_vgg(batch, 4),
+            mode.clone(),
+            7,
+            AllocPolicy::Arena,
+        )
+        .expect("executor");
+        g.bench(label, || exec.step(&x, &y, 0.01).unwrap());
+    }
+    g.meta("alloc_policy", 1);
     g.finish();
 }

@@ -14,28 +14,48 @@
 //!    lifetimes reproduces the accountant's peak, and its offset packer
 //!    finds a layout in which no two concurrently-live buffers overlap;
 //! 5. the memory substream is byte-identical at every thread count (the
-//!    spans carry wall-clock time; the memory discipline must not).
+//!    spans carry wall-clock time; the memory discipline must not);
+//! 6. under `AllocPolicy::Arena` the step executes out of the pre-planned
+//!    slab: the observed stream equals the fully static arena prediction,
+//!    every buffer life fits its planned region with no concurrent
+//!    overlap (`verify_offsets`), the observed peak fits the slab whose
+//!    capacity equals the planned bytes, and the loss is bit-identical to
+//!    the heap run.
 
 use gist_bench::banner;
 use gist_core::GistConfig;
 use gist_encodings::DprFormat;
 use gist_memory::{check_no_overlap, observed_peak};
 use gist_obs::{Event, MemoryAccountant, TraceSink};
-use gist_runtime::{predict_step_events, ssdc_stash_sizes, ExecMode, Executor, SyntheticImages};
+use gist_runtime::{
+    predict_step_events, predict_step_events_for, ssdc_stash_sizes, AllocPolicy, ExecMode,
+    Executor, SyntheticImages,
+};
+use std::collections::HashMap;
 use std::process::ExitCode;
 
-fn memory_substream(net: &str, mode: &ExecMode, threads: usize) -> (Vec<Event>, usize) {
+fn zoo_graph(net: &str) -> gist_graph::Graph {
+    let batch = 16;
+    match net {
+        "TinyConvNet" => gist_models::tiny_convnet(batch, 4),
+        "SmallVGG" => gist_models::small_vgg(batch, 4),
+        "TinyClassic" => gist_models::tiny_classic(batch, 4),
+        _ => unreachable!("unknown net"),
+    }
+}
+
+fn traced_step(
+    net: &str,
+    mode: &ExecMode,
+    threads: usize,
+    policy: AllocPolicy,
+) -> (Executor, Vec<Event>, gist_runtime::StepStats) {
     gist_par::with_threads(threads, || {
         let batch = 16;
-        let graph = match net {
-            "TinyConvNet" => gist_models::tiny_convnet(batch, 4),
-            "SmallVGG" => gist_models::small_vgg(batch, 4),
-            "TinyClassic" => gist_models::tiny_classic(batch, 4),
-            _ => unreachable!("unknown net"),
-        };
+        let graph = zoo_graph(net);
         let mut ds = SyntheticImages::new(4, 16, 0.4, 3);
         let (x, y) = ds.minibatch(batch);
-        let mut exec = Executor::new(graph, mode.clone(), 7).expect("executor");
+        let mut exec = Executor::new_with_policy(graph, mode.clone(), 7, policy).expect("executor");
         let sink = TraceSink::new();
         let stats = exec.step_traced(&x, &y, 0.05, &sink).expect("step");
         let events: Vec<Event> = sink
@@ -43,8 +63,13 @@ fn memory_substream(net: &str, mode: &ExecMode, threads: usize) -> (Vec<Event>, 
             .into_iter()
             .filter(|e| e.is_memory() || matches!(e, Event::Encode { .. }))
             .collect();
-        (events, stats.peak_live_bytes)
+        (exec, events, stats)
     })
+}
+
+fn memory_substream(net: &str, mode: &ExecMode, threads: usize) -> (Vec<Event>, usize) {
+    let (_, events, stats) = traced_step(net, mode, threads, AllocPolicy::Heap);
+    (events, stats.peak_live_bytes)
 }
 
 fn check(net: &str, mode_name: &str, mode: &ExecMode) -> Result<(), String> {
@@ -111,6 +136,50 @@ fn check(net: &str, mode_name: &str, mode: &ExecMode) -> Result<(), String> {
     if events4 != events || peak4 != meter_peak {
         return fail("memory substream differs between 1 and 4 threads".to_string());
     }
+
+    // (6) the arena-policy step runs inside the planned slab and is
+    // observationally identical to the heap step.
+    let (heap_exec, _, heap_stats) = traced_step(net, mode, 1, AllocPolicy::Heap);
+    drop(heap_exec);
+    let (arena_exec, arena_events, arena_stats) = traced_step(net, mode, 1, AllocPolicy::Arena);
+    if arena_stats.loss.to_bits() != heap_stats.loss.to_bits() {
+        return fail(format!(
+            "arena loss {} != heap loss {} (bitwise)",
+            arena_stats.loss, heap_stats.loss
+        ));
+    }
+    let arena_predicted =
+        match predict_step_events_for(&graph, mode, AllocPolicy::Arena, &HashMap::new()) {
+            Ok(p) => p,
+            Err(e) => return fail(format!("arena predictor failed: {e}")),
+        };
+    let arena_observed: Vec<&Event> = arena_events.iter().filter(|e| e.is_memory()).collect();
+    if arena_observed.len() != arena_predicted.len()
+        || arena_observed.iter().zip(&arena_predicted).any(|(a, b)| **a != *b)
+    {
+        return fail("arena stream diverges from its static prediction".to_string());
+    }
+    let mut arena_acc = MemoryAccountant::new();
+    if let Err(e) = arena_acc.fold_all(&arena_events) {
+        return fail(format!("malformed arena stream: {e}"));
+    }
+    if arena_acc.peak_bytes() != arena_stats.peak_live_bytes as u64 {
+        return fail("arena accountant peak != executor meter peak".to_string());
+    }
+    let arena = arena_exec.arena().expect("arena policy implies an arena");
+    if let Err(e) = arena_acc.verify_offsets(|name| arena.region(name)) {
+        return fail(format!("arena layout violates observed trace: {e}"));
+    }
+    if arena_acc.peak_bytes() as usize > arena.capacity_bytes() {
+        return fail(format!(
+            "arena observed peak {} exceeds slab capacity {}",
+            arena_acc.peak_bytes(),
+            arena.capacity_bytes()
+        ));
+    }
+    if arena.capacity_bytes() != arena.plan().total_bytes {
+        return fail("slab capacity != planned bytes".to_string());
+    }
     Ok(())
 }
 
@@ -152,6 +221,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("every observed stream matches its static prediction exactly;");
-    println!("no two concurrently-live buffers overlap in the packed layout.");
+    println!("no two concurrently-live buffers overlap in the packed layout;");
+    println!("arena steps run inside their planned slab, bit-identical to heap.");
     ExitCode::SUCCESS
 }

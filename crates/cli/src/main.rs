@@ -69,6 +69,7 @@ struct Args {
     optimized_software: bool,
     steps: usize,
     trace: Option<String>,
+    alloc: gist_runtime::AllocPolicy,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -81,6 +82,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         optimized_software: false,
         steps: 1,
         trace: None,
+        alloc: gist_runtime::AllocPolicy::Heap,
     };
     let mut it = argv[1..].iter();
     while let Some(a) = it.next() {
@@ -99,6 +101,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--trace" => {
                 args.trace = Some(it.next().ok_or("--trace needs a file path")?.clone());
             }
+            "--alloc" => {
+                args.alloc = match it.next().ok_or("--alloc needs heap or arena")?.as_str() {
+                    "heap" => gist_runtime::AllocPolicy::Heap,
+                    "arena" => gist_runtime::AllocPolicy::Arena,
+                    other => return Err(format!("unknown alloc policy: {other}")),
+                };
+            }
             "--dynamic" => args.dynamic = true,
             "--optimized-software" => args.optimized_software = true,
             other if !other.starts_with("--") && args.model.is_none() => {
@@ -113,7 +122,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
 fn usage() -> String {
     "usage: gist-cli <models|plan|breakdown|stashes|report|dot|trace|train> [model] \
      [--batch N] [--mode baseline|lossless|fp16|fp10|fp8] [--dynamic] [--optimized-software] \
-     [--steps N] [--trace out.json]"
+     [--steps N] [--trace out.json] [--alloc heap|arena]"
         .to_string()
 }
 
@@ -230,7 +239,11 @@ fn run_train(graph: Graph, mode: gist_runtime::ExecMode, args: &Args) -> Result<
     } else {
         gist_runtime::SyntheticImages::new(classes, input.h(), 0.3, 42)
     };
-    let mut exec = gist_runtime::Executor::new(graph, mode, 7).map_err(|e| e.to_string())?;
+    let mut exec = gist_runtime::Executor::new_with_policy(graph, mode, 7, args.alloc)
+        .map_err(|e| e.to_string())?;
+    if let Some(capacity) = exec.arena_capacity_bytes() {
+        println!("arena slab: {:.1} KB pre-planned", capacity as f64 / 1024.0);
+    }
     let sink = gist_obs::TraceSink::new();
     let null = gist_obs::NullRecorder;
     let rec: &dyn gist_obs::Recorder = if args.trace.is_some() { &sink } else { &null };
@@ -343,5 +356,14 @@ mod tests {
         let a =
             parse_args(&args(&["train", "tiny-classic", "--batch", "2", "--mode", "fp8"])).unwrap();
         run(a).unwrap();
+    }
+
+    #[test]
+    fn parses_alloc_policy_and_trains_in_arena() {
+        let a = parse_args(&args(&["train", "tiny-convnet", "--batch", "2", "--alloc", "arena"]))
+            .unwrap();
+        assert_eq!(a.alloc, gist_runtime::AllocPolicy::Arena);
+        run(a).unwrap();
+        assert!(parse_args(&args(&["train", "tiny-convnet", "--alloc", "stack"])).is_err());
     }
 }

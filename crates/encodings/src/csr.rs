@@ -171,13 +171,26 @@ impl CsrMatrix {
     /// configured; otherwise exact except for DPR quantization of non-zeros.
     pub fn decode(&self) -> Vec<f32> {
         let mut out = vec![0.0f32; self.total_len];
+        self.decode_into(&mut out);
+        out
+    }
+
+    /// Decodes into a preallocated dense buffer (e.g. an arena view),
+    /// zero-filling before the scatter. Bit-exact with [`decode`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.dense_len()`.
+    pub fn decode_into(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.total_len, "decode_into length");
+        out.fill(0.0);
         let values: Vec<f32> = match &self.values {
             Values::F32(v) => v.clone(),
             Values::Dpr(b) => b.decode(),
         };
         // Rows scatter into disjoint `cols`-sized slices of the output.
         let grain = csr_row_grain(self.rows, self.cols);
-        parallel_chunks_mut(&mut out, grain * self.cols, |ci, chunk| {
+        parallel_chunks_mut(out, grain * self.cols, |ci, chunk| {
             let row0 = ci * grain;
             for (i, dst) in chunk.chunks_mut(self.cols).enumerate() {
                 let r = row0 + i;
@@ -191,8 +204,15 @@ impl CsrMatrix {
                 }
             }
         });
-        out
     }
+}
+
+/// Worst-case encoded size (bytes) for a feature map of `len` elements:
+/// the [`predicted_bytes`] arithmetic at zero sparsity (`nnz == len`). The
+/// arena runtime reserves SSDC stash regions at this bound so a slab
+/// planned before execution can hold any data-dependent encoding.
+pub fn max_encoded_bytes(len: usize, config: SsdcConfig) -> usize {
+    predicted_bytes(len, 0.0, config)
 }
 
 /// Predicted encoded size (bytes) for a feature map of `len` elements at a
@@ -226,6 +246,49 @@ mod tests {
         let data = sparse_data(1000, 3);
         let csr = CsrMatrix::encode(&data, SsdcConfig::default());
         assert_eq!(csr.decode(), data);
+    }
+
+    #[test]
+    fn decode_into_matches_decode_over_garbage() {
+        let data = sparse_data(777, 3);
+        for config in [
+            SsdcConfig::default(),
+            SsdcConfig { narrow: false, value_format: None },
+            SsdcConfig { narrow: true, value_format: Some(crate::DprFormat::Fp16) },
+        ] {
+            let csr = CsrMatrix::encode(&data, config);
+            let mut out = vec![f32::NAN; data.len()];
+            csr.decode_into(&mut out);
+            assert_eq!(out, csr.decode());
+        }
+    }
+
+    #[test]
+    fn max_encoded_bytes_bounds_every_input() {
+        for config in [
+            SsdcConfig::default(),
+            SsdcConfig { narrow: false, value_format: None },
+            SsdcConfig { narrow: true, value_format: Some(crate::DprFormat::Fp8) },
+            SsdcConfig { narrow: true, value_format: Some(crate::DprFormat::Fp10) },
+        ] {
+            for len in [1usize, 255, 256, 257, 1000, 4096] {
+                // Fully dense input is the worst case; the bound must cover it
+                // and every sparser variant.
+                for sparsity_mod in [1usize, 2, 7] {
+                    let data: Vec<f32> = (0..len)
+                        .map(|i| if i % sparsity_mod == 0 { (i + 1) as f32 } else { 0.0 })
+                        .collect();
+                    let csr = CsrMatrix::encode(&data, config);
+                    assert!(
+                        csr.encoded_bytes() <= max_encoded_bytes(len, config),
+                        "len {len} mod {sparsity_mod} {:?}: {} > {}",
+                        config,
+                        csr.encoded_bytes(),
+                        max_encoded_bytes(len, config)
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -362,6 +362,28 @@ impl DprBuffer {
             self.format.decode_one(raw as u16)
         })
     }
+
+    /// Decodes into a preallocated buffer (e.g. an arena view). Every
+    /// element of `out` is overwritten; bit-exact with [`decode`] (each
+    /// element is a pure function of its packed word).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.len()`.
+    pub fn decode_into(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.len, "decode_into length");
+        let per = self.format.values_per_word();
+        let bits = self.format.bits();
+        let mask = (1u32 << bits) - 1;
+        gist_par::parallel_chunks_mut(out, 1 << 14, |ci, chunk| {
+            let off = ci * (1 << 14);
+            for (j, v) in chunk.iter_mut().enumerate() {
+                let i = off + j;
+                let raw = (self.words[i / per] >> ((i % per) as u32 * bits)) & mask;
+                *v = self.format.decode_one(raw as u16);
+            }
+        });
+    }
 }
 
 #[cfg(test)]

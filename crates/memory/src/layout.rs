@@ -30,20 +30,99 @@ pub struct OffsetPlan {
     pub total_bytes: usize,
 }
 
+/// A violation found by [`OffsetPlan::verify_aligned`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayoutViolation {
+    /// Two temporally-overlapping structures occupy overlapping address
+    /// ranges (item indices into the planner's input slice).
+    Overlap(usize, usize),
+    /// A placement's offset is not a multiple of the required alignment.
+    Misaligned {
+        /// Item index into the planner's input slice.
+        item: usize,
+        /// The offending byte offset.
+        offset: usize,
+    },
+}
+
 impl OffsetPlan {
     /// Verifies the layout: any two structures whose lifetimes overlap must
     /// occupy disjoint address ranges. Returns the offending pair if not.
     pub fn verify(&self, items: &[DataStructure]) -> Result<(), (usize, usize)> {
-        for (i, a) in self.placements.iter().enumerate() {
-            for b in &self.placements[i + 1..] {
-                let (da, db) = (&items[a.item], &items[b.item]);
-                if !da.interval.overlaps(&db.interval) {
-                    continue;
+        match self.verify_aligned(items, 1) {
+            Ok(()) => Ok(()),
+            Err(LayoutViolation::Overlap(a, b)) => Err((a, b)),
+            Err(LayoutViolation::Misaligned { .. }) => unreachable!("align 1 never misaligns"),
+        }
+    }
+
+    /// [`OffsetPlan::verify`] plus alignment assertions, as an interval
+    /// sweep over lifetime boundaries instead of an O(n²) pairwise scan.
+    ///
+    /// The sweep walks allocation/release boundaries in time order,
+    /// maintaining the address-sorted set of live regions. Because the scan
+    /// aborts on the first conflict, the live set is pairwise disjoint at
+    /// every step, so only the address-predecessor and -successor of an
+    /// incoming region can conflict with it — an O(n log n) check overall.
+    ///
+    /// # Errors
+    ///
+    /// The first [`LayoutViolation`] encountered, if any.
+    pub fn verify_aligned(
+        &self,
+        items: &[DataStructure],
+        align: usize,
+    ) -> Result<(), LayoutViolation> {
+        use std::collections::BTreeMap;
+        let align = align.max(1);
+        // Time boundaries: add at interval.start, remove at interval.end + 1
+        // (closed intervals). Removals sort before additions at equal times
+        // so back-to-back lifetimes may share an address range.
+        #[derive(PartialEq, Eq, PartialOrd, Ord)]
+        enum Edge {
+            Remove,
+            Add,
+        }
+        let mut edges: Vec<(usize, Edge, usize)> = Vec::with_capacity(self.placements.len() * 2);
+        for (pi, p) in self.placements.iter().enumerate() {
+            let d = &items[p.item];
+            if p.offset % align != 0 {
+                return Err(LayoutViolation::Misaligned { item: p.item, offset: p.offset });
+            }
+            if d.bytes == 0 {
+                continue; // empty regions cannot overlap anything
+            }
+            edges.push((d.interval.start, Edge::Add, pi));
+            edges.push((d.interval.end + 1, Edge::Remove, pi));
+        }
+        edges.sort_by(|a, b| (a.0, &a.1, a.2).cmp(&(b.0, &b.1, b.2)));
+        // Live regions keyed by (offset, placement index) -> end offset.
+        let mut live: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+        for (_, edge, pi) in edges {
+            let p = &self.placements[pi];
+            let end = p.offset + items[p.item].bytes;
+            match edge {
+                Edge::Remove => {
+                    live.remove(&(p.offset, pi));
                 }
-                let a_end = a.offset + da.bytes;
-                let b_end = b.offset + db.bytes;
-                if a.offset < b_end && b.offset < a_end {
-                    return Err((a.item, b.item));
+                Edge::Add => {
+                    // Predecessor: the live region with the largest offset
+                    // <= ours (ties included via the placement-index key).
+                    if let Some((&(_, qi), &q_end)) =
+                        live.range(..=(p.offset, usize::MAX)).next_back()
+                    {
+                        if q_end > p.offset {
+                            return Err(LayoutViolation::Overlap(self.placements[qi].item, p.item));
+                        }
+                    }
+                    // Successor: the live region with the smallest offset
+                    // strictly greater than ours.
+                    if let Some((&(q_off, qi), _)) = live.range((p.offset + 1, 0)..).next() {
+                        if q_off < end {
+                            return Err(LayoutViolation::Overlap(self.placements[qi].item, p.item));
+                        }
+                    }
+                    live.insert((p.offset, pi), end);
                 }
             }
         }
@@ -51,10 +130,21 @@ impl OffsetPlan {
     }
 }
 
+/// Rounds `n` up to the next multiple of `align` (`align >= 1`).
+fn align_up(n: usize, align: usize) -> usize {
+    n.div_ceil(align) * align
+}
+
 /// Greedy best-offset packing: process structures in descending size order
 /// and place each at the lowest offset where it fits next to everything
 /// temporally live alongside it.
 pub fn plan_offsets(items: &[DataStructure]) -> OffsetPlan {
+    plan_offsets_aligned(items, 1)
+}
+
+/// [`plan_offsets`] restricted to offsets that are multiples of `align` —
+/// the form the executable arena consumes (64-byte placement alignment).
+pub fn plan_offsets_aligned(items: &[DataStructure], align: usize) -> OffsetPlan {
     let mut order: Vec<usize> = (0..items.len()).collect();
     order.sort_by(|&a, &b| {
         items[b]
@@ -74,13 +164,14 @@ pub fn plan_offsets(items: &[DataStructure]) -> OffsetPlan {
             .map(|p| (p.offset, p.offset + items[p.item].bytes))
             .collect();
         blocked.sort_unstable();
-        // First-fit into the gaps.
+        // First-fit into the gaps, at aligned candidate offsets only.
+        let align = align.max(1);
         let mut offset = 0usize;
         for (lo, hi) in blocked {
             if offset + item.bytes <= lo {
                 break;
             }
-            offset = offset.max(hi);
+            offset = align_up(offset.max(hi), align);
         }
         placed.push(Placement { item: idx, offset });
         total = total.max(offset + item.bytes);
@@ -211,5 +302,94 @@ mod tests {
         let plan = plan_offsets(&[]);
         assert_eq!(plan.total_bytes, 0);
         plan.verify(&[]).unwrap();
+    }
+
+    /// Reference pairwise scan (the sweep's predecessor): used to check
+    /// that the interval sweep accepts/rejects exactly the same layouts.
+    fn pairwise_overlap(plan: &OffsetPlan, items: &[DataStructure]) -> bool {
+        for (i, a) in plan.placements.iter().enumerate() {
+            for b in &plan.placements[i + 1..] {
+                let (da, db) = (&items[a.item], &items[b.item]);
+                if da.bytes == 0 || db.bytes == 0 || !da.interval.overlaps(&db.interval) {
+                    continue;
+                }
+                if a.offset < b.offset + db.bytes && b.offset < a.offset + da.bytes {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    #[test]
+    fn sweep_verify_agrees_with_pairwise_reference_on_random_layouts() {
+        let mut seed = 1234u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as usize
+        };
+        for case in 0..200 {
+            let n = 2 + next() % 12;
+            let items: Vec<DataStructure> = (0..n)
+                .map(|_| {
+                    let start = next() % 8;
+                    ds(next() % 6, start, start + next() % 6)
+                })
+                .collect();
+            // Random (often invalid) placements stress the reject path too.
+            let plan = OffsetPlan {
+                placements: (0..n).map(|i| Placement { item: i, offset: next() % 12 }).collect(),
+                total_bytes: 0,
+            };
+            assert_eq!(
+                plan.verify(&items).is_err(),
+                pairwise_overlap(&plan, &items),
+                "case {case}: sweep and pairwise disagree on {items:?} / {plan:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn back_to_back_lifetimes_may_share_an_address() {
+        // b starts exactly when a ends: closed intervals [0,3] and [4,6]
+        // do not overlap, so offset reuse is legal.
+        let items = vec![ds(8, 0, 3), ds(8, 4, 6)];
+        let plan = OffsetPlan {
+            placements: vec![Placement { item: 0, offset: 0 }, Placement { item: 1, offset: 0 }],
+            total_bytes: 8,
+        };
+        plan.verify(&items).unwrap();
+    }
+
+    #[test]
+    fn verify_aligned_catches_misaligned_placements() {
+        let items = vec![ds(10, 0, 5)];
+        let plan =
+            OffsetPlan { placements: vec![Placement { item: 0, offset: 24 }], total_bytes: 34 };
+        plan.verify_aligned(&items, 8).unwrap();
+        assert_eq!(
+            plan.verify_aligned(&items, 64),
+            Err(LayoutViolation::Misaligned { item: 0, offset: 24 })
+        );
+    }
+
+    #[test]
+    fn aligned_planning_respects_alignment_and_stays_valid() {
+        let mut seed = 7u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as usize
+        };
+        let items: Vec<DataStructure> = (0..60)
+            .map(|_| {
+                let start = next() % 40;
+                ds(1 + next() % 700, start, start + next() % 10)
+            })
+            .collect();
+        let plan = plan_offsets_aligned(&items, 64);
+        plan.verify_aligned(&items, 64).unwrap();
+        assert!(plan.placements.iter().all(|p| p.offset % 64 == 0));
+        // Alignment can only grow the footprint relative to the packed plan.
+        assert!(plan.total_bytes >= plan_offsets(&items).total_bytes);
     }
 }

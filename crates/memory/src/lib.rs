@@ -29,13 +29,15 @@
 //! assert_eq!(plan.total_bytes, 10);
 //! ```
 
+pub mod arena;
 pub mod layout;
 pub mod observed;
 pub mod planner;
 pub mod report;
 pub mod trace;
 
-pub use layout::{plan_offsets, OffsetPlan, Placement};
+pub use arena::{align_arena, Arena, ArenaError, ARENA_ALIGN};
+pub use layout::{plan_offsets, plan_offsets_aligned, LayoutViolation, OffsetPlan, Placement};
 pub use observed::{check_no_overlap, observed_inventory, observed_peak};
 pub use planner::{peak_dynamic, plan_static, MemoryGroup, SharingPolicy, StaticPlan};
 pub use report::{mfr, FootprintReport};

@@ -207,6 +207,86 @@ impl MemoryAccountant {
         names.sort_unstable();
         names
     }
+
+    /// Verifies an *actual* address assignment against the observed
+    /// lifetimes: `region` maps each buffer name to its placed
+    /// `(byte_offset, bytes)` range (e.g. an arena's handle table), and any
+    /// two buffers live during overlapping ticks must occupy disjoint byte
+    /// ranges. Regions may also be larger than the observed buffer (a
+    /// worst-case stash reservation) but never smaller.
+    ///
+    /// This is the runtime end of the memory oracle: the planner's
+    /// `OffsetPlan::verify` checks the plan against *predicted* lifetimes,
+    /// while this checks the executed offsets against what the fold
+    /// actually saw.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violation: an unplaced
+    /// buffer, a region smaller than its buffer, or two concurrently-live
+    /// buffers with overlapping ranges.
+    pub fn verify_offsets(
+        &self,
+        region: impl Fn(&str) -> Option<(usize, usize)>,
+    ) -> Result<(), String> {
+        use std::collections::BTreeMap;
+        let last_tick = self.ticks.saturating_sub(1);
+        // Resolve every life to its placed range up front.
+        let mut placed: Vec<(usize, usize, &BufferLife)> = Vec::with_capacity(self.lives.len());
+        for life in &self.lives {
+            let (off, sz) = region(&life.name)
+                .ok_or_else(|| format!("buffer {} has no placed region", life.name))?;
+            if (sz as u64) < life.bytes {
+                return Err(format!(
+                    "buffer {}: region holds {sz} bytes but {} were observed",
+                    life.name, life.bytes
+                ));
+            }
+            if sz > 0 {
+                placed.push((off, sz, life));
+            }
+        }
+        // Interval sweep over tick boundaries (see `OffsetPlan::verify_aligned`
+        // in gist-memory — same algorithm, kept separate so the observation
+        // layer stays planner-independent). Removals before additions at the
+        // same tick let back-to-back lifetimes share a region.
+        let mut edges: Vec<(usize, u8, usize)> = Vec::with_capacity(placed.len() * 2);
+        for (i, (_, _, life)) in placed.iter().enumerate() {
+            edges.push((life.start, 1, i));
+            edges.push((life.end_or(last_tick) + 1, 0, i));
+        }
+        edges.sort_unstable();
+        let mut live: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+        for (_, kind, i) in edges {
+            let (off, sz, life) = placed[i];
+            if kind == 0 {
+                live.remove(&(off, i));
+                continue;
+            }
+            let overlap_err = |j: usize| {
+                let (qo, qs, other) = placed[j];
+                format!(
+                    "{} [{qo}, {}) and {} [{off}, {}) overlap while both live",
+                    other.name,
+                    qo + qs,
+                    life.name,
+                    off + sz
+                )
+            };
+            if let Some((&(_, j), &q_end)) = live.range(..=(off, usize::MAX)).next_back() {
+                if q_end > off {
+                    return Err(overlap_err(j));
+                }
+            }
+            if let Some((&(q_off, j), _)) = live.range((off + 1, 0)..).next() {
+                if q_off < off + sz {
+                    return Err(overlap_err(j));
+                }
+            }
+            live.insert((off, i), off + sz);
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -295,6 +375,55 @@ mod tests {
             a.fold(&Event::Reuse { from: "y".into(), into: "x".into() }),
             Err(AccountantError::ReuseCollision("x".into()))
         );
+    }
+
+    #[test]
+    fn verify_offsets_accepts_disjoint_and_time_shared_layouts() {
+        let mut a = MemoryAccountant::new();
+        // x and y live together; z reuses x's region after x is freed.
+        a.fold_all(&[alloc("x", 8), alloc("y", 4), free("x", 8), alloc("z", 8)]).unwrap();
+        let layout = |name: &str| match name {
+            "x" | "z" => Some((0usize, 8usize)),
+            "y" => Some((64, 4)),
+            _ => None,
+        };
+        a.verify_offsets(layout).unwrap();
+    }
+
+    #[test]
+    fn verify_offsets_rejects_overlap_small_region_and_missing_placement() {
+        let mut a = MemoryAccountant::new();
+        a.fold_all(&[alloc("x", 8), alloc("y", 4)]).unwrap();
+        let err =
+            a.verify_offsets(|n| if n == "x" { Some((0, 8)) } else { Some((4, 4)) }).unwrap_err();
+        assert!(err.contains("overlap"), "{err}");
+        let err =
+            a.verify_offsets(|n| if n == "x" { Some((0, 2)) } else { Some((64, 4)) }).unwrap_err();
+        assert!(err.contains("region holds"), "{err}");
+        let err = a.verify_offsets(|n| if n == "x" { Some((0, 8)) } else { None }).unwrap_err();
+        assert!(err.contains("no placed region"), "{err}");
+    }
+
+    #[test]
+    fn verify_offsets_allows_oversized_regions_and_transients() {
+        let mut a = MemoryAccountant::new();
+        a.fold_all(&[
+            alloc("x", 10),
+            Event::Transient { name: "d".into(), bytes: 7 },
+            free("x", 10),
+        ])
+        .unwrap();
+        // Stash-style worst-case reservation: region larger than observed.
+        a.verify_offsets(|n| match n {
+            "x" => Some((0, 64)),
+            "d" => Some((64, 64)),
+            _ => None,
+        })
+        .unwrap();
+        // The transient is live during x's lifetime, so sharing x's region
+        // is a violation.
+        let err = a.verify_offsets(|_| Some((0, 64))).unwrap_err();
+        assert!(err.contains("overlap"), "{err}");
     }
 
     #[test]

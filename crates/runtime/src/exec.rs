@@ -7,11 +7,14 @@ use gist_encodings::csr::SsdcConfig;
 use gist_encodings::dpr::DprBuffer;
 use gist_encodings::{BitMask, CsrMatrix, DprFormat};
 use gist_graph::{Graph, Node, NodeId, OpKind, Schedule};
+use gist_memory::{align_arena, Arena};
 use gist_obs::{Event, NullRecorder, Phase, Recorder};
 use gist_par::parallel_map;
 use gist_tensor::ops::batchnorm::BatchNormCache;
 use gist_tensor::ops::{batchnorm, conv, dropout, elementwise, linear, lrn, pool, relu, softmax};
 use gist_tensor::{Shape, Tensor};
+use std::collections::HashMap;
+use std::ops::Deref;
 use std::time::Instant;
 
 /// How the executor stashes feature maps for the backward pass.
@@ -27,7 +30,28 @@ pub enum ExecMode {
     UniformImmediate(DprFormat),
 }
 
+/// Where the executor's step buffers live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AllocPolicy {
+    /// Every buffer is a fresh heap allocation (the original discipline);
+    /// kept as the differential-testing reference for the arena.
+    #[default]
+    Heap,
+    /// All step buffers resolve to planned offsets inside one slab packed
+    /// by `gist-memory` before the first kernel runs. Event sizes are
+    /// [`align_arena`]-rounded reservations; SSDC stash regions reserve the
+    /// data-independent worst case. Wave execution is serialized in event
+    /// order so the plan's event-time disjointness implies real-time
+    /// safety for the shared storage.
+    Arena,
+}
+
 /// A stashed feature map in whatever form the mode selected.
+///
+/// Under [`AllocPolicy::Arena`] a `Dense` stash is a view of the node's
+/// planned `.stash` region. Encoded stashes keep their compact payload in
+/// the codec structs; the arena still reserves their planned region, so the
+/// accounting (and the plan the oracle checks) covers them either way.
 #[derive(Debug, Clone)]
 enum Stash {
     Dense(Tensor),
@@ -36,15 +60,39 @@ enum Stash {
     Reduced(DprBuffer, Shape),
 }
 
-impl Stash {
-    fn decode(&self) -> Tensor {
+/// A stash materialized for a backward read: either a zero-copy borrow of a
+/// dense stash or an owned/viewed decode buffer.
+enum Decoded<'a> {
+    Borrowed(&'a Tensor),
+    Owned(Tensor),
+}
+
+impl Deref for Decoded<'_> {
+    type Target = Tensor;
+
+    fn deref(&self) -> &Tensor {
         match self {
-            Stash::Dense(t) => t.clone(),
+            Decoded::Borrowed(t) => t,
+            Decoded::Owned(t) => t,
+        }
+    }
+}
+
+impl Stash {
+    /// Dense stashes are borrowed in place — the backward pass only reads
+    /// them, so the old decode-by-clone was a needless full copy.
+    fn decoded(&self) -> Decoded<'_> {
+        match self {
+            Stash::Dense(t) => Decoded::Borrowed(t),
             Stash::Bits(_, _) => {
                 unreachable!("binarized stashes are consumed via relu_backward, never decoded")
             }
-            Stash::Sparse(c, s) => Tensor::from_vec(*s, c.decode()).expect("csr decode length"),
-            Stash::Reduced(b, s) => Tensor::from_vec(*s, b.decode()).expect("dpr decode length"),
+            Stash::Sparse(c, s) => {
+                Decoded::Owned(Tensor::from_vec(*s, c.decode()).expect("csr decode length"))
+            }
+            Stash::Reduced(b, s) => {
+                Decoded::Owned(Tensor::from_vec(*s, b.decode()).expect("dpr decode length"))
+            }
         }
     }
 
@@ -122,7 +170,8 @@ struct BwdOut {
     pgrads: Option<ParamGrads>,
     /// `(producer, gradient)` pairs to accumulate, in input order.
     contrib: Vec<(NodeId, Tensor)>,
-    /// Largest short-lived decode buffer this node's backward needed.
+    /// Largest short-lived decode buffer this node's backward needed; zero
+    /// when every stashed input was dense (borrowed in place, no copy).
     transient: usize,
     /// Compute start, nanoseconds since the step epoch.
     t0_ns: u64,
@@ -131,6 +180,24 @@ struct BwdOut {
     /// `(stashed node, codec, raw bytes, encoded bytes)` per codec decode,
     /// populated only when the caller is recording a trace.
     decodes: Vec<(NodeId, &'static str, u64, u64)>,
+}
+
+/// All per-step mutable state, bundled so the compute/absorb split can pass
+/// it around without a dozen loose locals.
+struct StepState {
+    fmaps: Vec<Option<Tensor>>,
+    stashes: Vec<Option<Stash>>,
+    argmaxes: Vec<Option<Vec<u8>>>,
+    drop_masks: Vec<Option<Vec<bool>>>,
+    bn_caches: Vec<Option<BatchNormCache>>,
+    loss: f32,
+    correct: usize,
+    relu_sparsity: Vec<(String, f64)>,
+    meter: MemMeter,
+    cursor: usize,
+    last_use_pos: Vec<usize>,
+    grads: Vec<Option<Tensor>>,
+    pgrads: Vec<Option<ParamGrads>>,
 }
 
 /// Per-minibatch statistics.
@@ -151,7 +218,8 @@ pub struct StepStats {
     pub stash_bytes: usize,
     /// Peak bytes of simultaneously-live feature maps, stashes, gradient
     /// maps and decode buffers during the step — the executor's measured
-    /// dynamic footprint.
+    /// dynamic footprint. Under [`AllocPolicy::Arena`] this counts planned
+    /// (aligned, worst-case) reservations, matching the packed slab.
     pub peak_live_bytes: usize,
 }
 
@@ -165,6 +233,17 @@ impl StepStats {
     }
 }
 
+/// Per-node buffer names, built once at construction so the per-step hot
+/// path (arena region lookups, debug poisoning, event emission) never
+/// formats strings on the heap.
+#[derive(Debug)]
+struct BufNames {
+    y: String,
+    stash: String,
+    dy: String,
+    dec: String,
+}
+
 /// Executes training steps over a graph under a stash mode.
 #[derive(Debug)]
 pub struct Executor {
@@ -175,17 +254,45 @@ pub struct Executor {
     seed: u64,
     /// Minibatches executed so far; also salts the per-step dropout masks.
     step_counter: u64,
+    policy: AllocPolicy,
+    /// The pre-planned slab every step executes out of (arena policy only).
+    arena: Option<Arena>,
+    /// Planned per-node stash reservations (arena policy only): the event
+    /// and meter size for `{node}.stash`, matching the region the plan
+    /// packed, which for SSDC is a data-independent worst-case bound.
+    planned_stash: Vec<u64>,
+    /// Precomputed `{node}.y` / `.stash` / `.dy` / `.dec` names.
+    names: Vec<BufNames>,
     /// Learned parameters (public so callers can inspect or checkpoint).
     pub params: ParamSet,
 }
 
 impl Executor {
-    /// Builds an executor, initializing parameters deterministically.
+    /// Builds a heap-policy executor, initializing parameters
+    /// deterministically.
     ///
     /// # Errors
     ///
     /// Returns an error if the graph fails shape inference.
     pub fn new(graph: Graph, mode: ExecMode, seed: u64) -> Result<Self, RuntimeError> {
+        Self::new_with_policy(graph, mode, seed, AllocPolicy::Heap)
+    }
+
+    /// [`Executor::new`] with an explicit allocation policy. Under
+    /// [`AllocPolicy::Arena`] the step's memory-event stream is predicted
+    /// up front, packed into offsets, and backed by one slab — the whole
+    /// training loop then runs inside that pre-planned arena.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Executor::new`], plus [`RuntimeError::Trace`] if the
+    /// predicted stream cannot be lifted into an arena.
+    pub fn new_with_policy(
+        graph: Graph,
+        mode: ExecMode,
+        seed: u64,
+        policy: AllocPolicy,
+    ) -> Result<Self, RuntimeError> {
         let shapes = graph.infer_shapes()?;
         let params = ParamSet::init(&graph, seed)?;
         let encodings = match &mode {
@@ -199,7 +306,58 @@ impl Executor {
             }
             _ => vec![Encoding::None; graph.len()],
         };
-        Ok(Executor { graph, shapes, mode, encodings, seed, step_counter: 0, params })
+        let (arena, planned_stash) = match policy {
+            AllocPolicy::Heap => (None, Vec::new()),
+            AllocPolicy::Arena => {
+                let events = crate::predict::predict_step_events_for(
+                    &graph,
+                    &mode,
+                    AllocPolicy::Arena,
+                    &HashMap::new(),
+                )?;
+                let arena = Arena::from_events(&events)
+                    .map_err(|e| RuntimeError::Trace(format!("arena build: {e}")))?;
+                let planned: Vec<u64> = graph
+                    .nodes()
+                    .iter()
+                    .map(|nd| {
+                        if gist_graph::class::is_stashed(&graph, nd.id) {
+                            align_arena(crate::predict::static_stash_bytes(
+                                shapes[nd.id.index()].numel() as u64,
+                                &mode,
+                                encodings[nd.id.index()],
+                            ))
+                        } else {
+                            0
+                        }
+                    })
+                    .collect();
+                (Some(arena), planned)
+            }
+        };
+        let names = graph
+            .nodes()
+            .iter()
+            .map(|nd| BufNames {
+                y: format!("{}.y", nd.name),
+                stash: format!("{}.stash", nd.name),
+                dy: format!("{}.dy", nd.name),
+                dec: format!("{}.dec", nd.name),
+            })
+            .collect();
+        Ok(Executor {
+            graph,
+            shapes,
+            mode,
+            encodings,
+            seed,
+            step_counter: 0,
+            policy,
+            arena,
+            planned_stash,
+            names,
+            params,
+        })
     }
 
     /// The underlying graph.
@@ -212,6 +370,54 @@ impl Executor {
         self.step_counter
     }
 
+    /// The allocation policy this executor runs under.
+    pub fn alloc_policy(&self) -> AllocPolicy {
+        self.policy
+    }
+
+    /// The packed slab steps execute out of (arena policy only).
+    pub fn arena(&self) -> Option<&Arena> {
+        self.arena.as_ref()
+    }
+
+    /// Total bytes of the packed slab (arena policy only).
+    pub fn arena_capacity_bytes(&self) -> Option<usize> {
+        self.arena.as_ref().map(Arena::capacity_bytes)
+    }
+
+    /// Event/meter size of a plain buffer: exact on the heap, the aligned
+    /// arena reservation under the arena policy.
+    fn ev_bytes(&self, bytes: usize) -> u64 {
+        match self.policy {
+            AllocPolicy::Heap => bytes as u64,
+            AllocPolicy::Arena => align_arena(bytes as u64),
+        }
+    }
+
+    /// Event/meter size of a node's stash: actual encoded bytes on the
+    /// heap, the planned (worst-case, aligned) reservation in the arena.
+    fn stash_event_bytes(&self, id: NodeId, stash: &Stash) -> u64 {
+        match self.policy {
+            AllocPolicy::Heap => stash.encoded_bytes() as u64,
+            AllocPolicy::Arena => self.planned_stash[id.index()],
+        }
+    }
+
+    /// Debug-poisons a freed buffer's arena region with NaN so any stale
+    /// read downstream fails loudly instead of silently consuming reused
+    /// bytes. No-op on the heap policy and in release builds.
+    fn poison_region(&self, name: &str) {
+        if !cfg!(debug_assertions) {
+            return;
+        }
+        if let Some(arena) = &self.arena {
+            // SAFETY: callers poison a region only right after emitting its
+            // Free/Transient-expiry — no live view of it remains, and every
+            // later writer of an overlapping region fully overwrites it.
+            unsafe { arena.poison(name).expect("freed buffer has a planned region") }
+        }
+    }
+
     fn quantize_immediate(&self, t: &mut Tensor) {
         if let ExecMode::UniformImmediate(f) = &self.mode {
             for v in t.data_mut() {
@@ -220,8 +426,8 @@ impl Executor {
         }
     }
 
-    fn make_stash(&self, id: NodeId, y: &Tensor) -> Stash {
-        match (&self.mode, self.encodings[id.index()]) {
+    fn make_stash(&self, id: NodeId, y: &Tensor) -> Result<Stash, RuntimeError> {
+        Ok(match (&self.mode, self.encodings[id.index()]) {
             (ExecMode::Gist(_), Encoding::Binarize) => {
                 Stash::Bits(BitMask::encode(y.data()), y.shape())
             }
@@ -232,15 +438,67 @@ impl Executor {
             (ExecMode::Gist(cfg), Encoding::Dpr(f)) => {
                 Stash::Reduced(DprBuffer::encode_with(f, y.data(), cfg.rounding), y.shape())
             }
-            _ => Stash::Dense(y.clone()),
+            _ => match &self.arena {
+                Some(arena) => {
+                    let mut v = arena
+                        .view(&self.names[id.index()].stash, y.shape())
+                        .map_err(|e| RuntimeError::Trace(format!("arena: {e}")))?;
+                    v.copy_from(y);
+                    Stash::Dense(v)
+                }
+                None => Stash::Dense(y.clone()),
+            },
+        })
+    }
+
+    /// Materializes a stashed producer for a backward read. Dense stashes
+    /// are borrowed in place (zero copy, zero transient); encoded stashes
+    /// decode into the consuming node's planned `.dec` region under the
+    /// arena policy, or a fresh heap buffer on the heap policy. Returns the
+    /// value, the transient scratch bytes it needed, and the Decode trace
+    /// record (for codec stashes).
+    #[allow(clippy::type_complexity)]
+    fn decode_stash<'s>(
+        &self,
+        stashes: &'s [Option<Stash>],
+        pid: NodeId,
+        dec_name: &str,
+    ) -> Result<(Decoded<'s>, usize, Option<(NodeId, &'static str, u64, u64)>), RuntimeError> {
+        let s = stashes[pid.index()].as_ref().expect("stash present for backward");
+        if matches!(s, Stash::Dense(_)) {
+            return Ok((s.decoded(), 0, None));
         }
+        let decoded = match &self.arena {
+            Some(arena) => {
+                let shape = match s {
+                    Stash::Sparse(_, sh) | Stash::Reduced(_, sh) => *sh,
+                    _ => unreachable!("binarized stashes are never decoded here"),
+                };
+                let mut t = arena
+                    .view(dec_name, shape)
+                    .map_err(|e| RuntimeError::Trace(format!("arena: {e}")))?;
+                match s {
+                    Stash::Sparse(c, _) => c.decode_into(t.data_mut()),
+                    Stash::Reduced(b, _) => b.decode_into(t.data_mut()),
+                    _ => unreachable!(),
+                }
+                Decoded::Owned(t)
+            }
+            None => s.decoded(),
+        };
+        let raw = decoded.numel() * 4;
+        let codec = s.codec_label().expect("encoded stash has a codec");
+        Ok((decoded, raw, Some((pid, codec, raw as u64, s.encoded_bytes() as u64))))
     }
 
     /// Computes one node's forward output from already-materialized inputs.
     ///
     /// Pure with respect to the executor: nodes of one wave never read each
     /// other's outputs (the wave invariant), so the scheduler may run them
-    /// concurrently against a shared `fmaps` view.
+    /// concurrently against a shared `fmaps` view — except under the arena
+    /// policy, where the caller passes the node's planned output region as
+    /// `out` and serializes the wave so writes into the shared slab follow
+    /// the planned event order.
     fn compute_forward(
         &self,
         node: &Node,
@@ -248,6 +506,7 @@ impl Executor {
         images: &Tensor,
         labels: &[usize],
         epoch: &Instant,
+        out: Option<Tensor>,
     ) -> Result<NodeOut, RuntimeError> {
         let t0_ns = elapsed_ns(epoch);
         let id = node.id;
@@ -258,67 +517,130 @@ impl Executor {
         let mut bn = None;
         let mut mask = None;
         let mut loss = None;
-        let y = match &node.op {
-            OpKind::Input(_) => images.clone(),
-            OpKind::Conv { params: cp, .. } => {
-                let Some(NodeParams::Conv { weight, bias }) = self.params.get(id.index()) else {
-                    unreachable!("conv has params")
-                };
-                conv::forward(input(0), weight, bias.as_ref(), *cp)?
-            }
-            OpKind::Relu => relu::forward(input(0)),
-            OpKind::MaxPool(p) => {
-                let out = pool::maxpool_forward(input(0), *p)?;
-                argmax = Some(out.argmax);
-                out.y
-            }
-            OpKind::AvgPool(p) => pool::avgpool_forward(input(0), *p)?,
-            OpKind::Linear { .. } => {
-                let Some(NodeParams::Linear { weight, bias }) = self.params.get(id.index()) else {
-                    unreachable!("linear has params")
-                };
-                linear::forward(input(0), weight, bias.as_ref())?
-            }
-            OpKind::BatchNorm => {
-                let Some(NodeParams::BatchNorm { gamma, beta }) = self.params.get(id.index())
-                else {
-                    unreachable!("bn has params")
-                };
-                let (y, cache) = batchnorm::forward(input(0), gamma, beta, 1e-5)?;
-                bn = Some(cache);
+        let y = match out {
+            None => match &node.op {
+                OpKind::Input(_) => images.clone(),
+                OpKind::Conv { params: cp, .. } => {
+                    let Some(NodeParams::Conv { weight, bias }) = self.params.get(id.index())
+                    else {
+                        unreachable!("conv has params")
+                    };
+                    conv::forward(input(0), weight, bias.as_ref(), *cp)?
+                }
+                OpKind::Relu => relu::forward(input(0)),
+                OpKind::MaxPool(p) => {
+                    let out = pool::maxpool_forward(input(0), *p)?;
+                    argmax = Some(out.argmax);
+                    out.y
+                }
+                OpKind::AvgPool(p) => pool::avgpool_forward(input(0), *p)?,
+                OpKind::Linear { .. } => {
+                    let Some(NodeParams::Linear { weight, bias }) = self.params.get(id.index())
+                    else {
+                        unreachable!("linear has params")
+                    };
+                    linear::forward(input(0), weight, bias.as_ref())?
+                }
+                OpKind::BatchNorm => {
+                    let Some(NodeParams::BatchNorm { gamma, beta }) = self.params.get(id.index())
+                    else {
+                        unreachable!("bn has params")
+                    };
+                    let (y, cache) = batchnorm::forward(input(0), gamma, beta, 1e-5)?;
+                    bn = Some(cache);
+                    y
+                }
+                OpKind::Lrn(p) => lrn::forward(input(0), *p)?,
+                OpKind::Dropout { p } => {
+                    let keep = dropout::keep_mask(input(0).numel(), *p, self.dropout_mask_seed(id));
+                    let y = dropout::forward(input(0), &keep, *p)?;
+                    mask = Some(keep);
+                    y
+                }
+                OpKind::Add => elementwise::add_forward(input(0), input(1))?,
+                OpKind::Concat => {
+                    let ins: Vec<&Tensor> = node
+                        .inputs
+                        .iter()
+                        .map(|&i| fmaps[i.index()].as_ref().expect("producer executed"))
+                        .collect();
+                    elementwise::concat_forward(&ins)?
+                }
+                OpKind::SoftmaxLoss => {
+                    // The forward "use" is the loss value itself; the
+                    // gradient is recomputed in backward from the stashed
+                    // (possibly encoded) logits.
+                    let out = softmax::cross_entropy(input(0), labels)?;
+                    loss = Some((out.loss, out.correct));
+                    input(0).clone()
+                }
+            },
+            // Arena policy: write into the planned region via the `_into`
+            // kernels, which fully overwrite (the region may hold poison or
+            // a previous step's bytes).
+            Some(mut y) => {
+                match &node.op {
+                    OpKind::Input(_) => y.copy_from(images),
+                    OpKind::Conv { params: cp, .. } => {
+                        let Some(NodeParams::Conv { weight, bias }) = self.params.get(id.index())
+                        else {
+                            unreachable!("conv has params")
+                        };
+                        conv::forward_into(input(0), weight, bias.as_ref(), *cp, &mut y)?;
+                    }
+                    OpKind::Relu => relu::forward_into(input(0), &mut y),
+                    OpKind::MaxPool(p) => {
+                        argmax = Some(pool::maxpool_forward_into(input(0), *p, &mut y)?);
+                    }
+                    OpKind::AvgPool(p) => pool::avgpool_forward_into(input(0), *p, &mut y)?,
+                    OpKind::Linear { .. } => {
+                        let Some(NodeParams::Linear { weight, bias }) = self.params.get(id.index())
+                        else {
+                            unreachable!("linear has params")
+                        };
+                        linear::forward_into(input(0), weight, bias.as_ref(), &mut y)?;
+                    }
+                    OpKind::BatchNorm => {
+                        let Some(NodeParams::BatchNorm { gamma, beta }) =
+                            self.params.get(id.index())
+                        else {
+                            unreachable!("bn has params")
+                        };
+                        bn = Some(batchnorm::forward_into(input(0), gamma, beta, 1e-5, &mut y)?);
+                    }
+                    OpKind::Lrn(p) => lrn::forward_into(input(0), *p, &mut y)?,
+                    OpKind::Dropout { p } => {
+                        let keep =
+                            dropout::keep_mask(input(0).numel(), *p, self.dropout_mask_seed(id));
+                        dropout::forward_into(input(0), &keep, *p, &mut y)?;
+                        mask = Some(keep);
+                    }
+                    OpKind::Add => elementwise::add_forward_into(input(0), input(1), &mut y)?,
+                    OpKind::Concat => {
+                        let ins: Vec<&Tensor> = node
+                            .inputs
+                            .iter()
+                            .map(|&i| fmaps[i.index()].as_ref().expect("producer executed"))
+                            .collect();
+                        elementwise::concat_forward_into(&ins, &mut y)?;
+                    }
+                    OpKind::SoftmaxLoss => {
+                        let out = softmax::cross_entropy(input(0), labels)?;
+                        loss = Some((out.loss, out.correct));
+                        y.copy_from(input(0));
+                    }
+                }
                 y
-            }
-            OpKind::Lrn(p) => lrn::forward(input(0), *p)?,
-            OpKind::Dropout { p } => {
-                let mask_seed = self
-                    .seed
-                    .wrapping_add((id.index() as u64).wrapping_mul(0x51_7C_C1_B7_27_22_0A_95))
-                    .wrapping_add(self.step_counter);
-                let keep = dropout::keep_mask(input(0).numel(), *p, mask_seed);
-                let y = dropout::forward(input(0), &keep, *p)?;
-                mask = Some(keep);
-                y
-            }
-            OpKind::Add => elementwise::add_forward(input(0), input(1))?,
-            OpKind::Concat => {
-                let ins: Vec<&Tensor> = node
-                    .inputs
-                    .iter()
-                    .map(|&i| fmaps[i.index()].as_ref().expect("producer executed"))
-                    .collect();
-                elementwise::concat_forward(&ins)?
-            }
-            OpKind::SoftmaxLoss => {
-                // The forward "use" is the loss value itself; the gradient
-                // is recomputed in backward from the stashed (possibly
-                // encoded) logits.
-                let out = softmax::cross_entropy(input(0), labels)?;
-                loss = Some((out.loss, out.correct));
-                input(0).clone()
             }
         };
         let dur_ns = elapsed_ns(epoch).saturating_sub(t0_ns);
         Ok(NodeOut { y, argmax, bn, mask, loss, t0_ns, dur_ns })
+    }
+
+    fn dropout_mask_seed(&self, id: NodeId) -> u64 {
+        self.seed
+            .wrapping_add((id.index() as u64).wrapping_mul(0x51_7C_C1_B7_27_22_0A_95))
+            .wrapping_add(self.step_counter)
     }
 
     /// Computes one node's backward contributions without touching shared
@@ -343,21 +665,14 @@ impl Executor {
         let id = node.id;
         let mut transient = 0usize;
         let mut decodes: Vec<(NodeId, &'static str, u64, u64)> = Vec::new();
-        let mut stash_dense = |pid: NodeId| -> Tensor {
-            let s = stashes[pid.index()].as_ref().expect("stash present for backward");
-            let t = s.decode();
-            // Decode buffer exists for the duration of this backward step.
-            transient = transient.max(t.numel() * 4);
-            if record {
-                if let Some(codec) = s.codec_label() {
-                    decodes.push((pid, codec, (t.numel() * 4) as u64, s.encoded_bytes() as u64));
-                }
-            }
-            t
-        };
+        let dec_name = &self.names[id.index()].dec;
         if matches!(node.op, OpKind::SoftmaxLoss) {
             let producer = node.inputs[0];
-            let logits = stash_dense(producer);
+            let (logits, tr, drec) = self.decode_stash(stashes, producer, dec_name)?;
+            transient = transient.max(tr);
+            if record {
+                decodes.extend(drec);
+            }
             let dlogits = softmax::cross_entropy(&logits, labels)?.dlogits;
             // Reshape the [N, K] gradient back to the producer's shape.
             let mut dlogits = dlogits.reshape(self.shapes[producer.index()])?;
@@ -378,7 +693,11 @@ impl Executor {
         match &node.op {
             OpKind::Conv { params: cp, .. } => {
                 let producer = node.inputs[0];
-                let x = stash_dense(producer);
+                let (x, tr, drec) = self.decode_stash(stashes, producer, dec_name)?;
+                transient = transient.max(tr);
+                if record {
+                    decodes.extend(drec);
+                }
                 let Some(NodeParams::Conv { weight, .. }) = self.params.get(id.index()) else {
                     unreachable!("conv has params")
                 };
@@ -388,7 +707,11 @@ impl Executor {
             }
             OpKind::Linear { .. } => {
                 let producer = node.inputs[0];
-                let x = stash_dense(producer);
+                let (x, tr, drec) = self.decode_stash(stashes, producer, dec_name)?;
+                transient = transient.max(tr);
+                if record {
+                    decodes.extend(drec);
+                }
                 let Some(NodeParams::Linear { weight, .. }) = self.params.get(id.index()) else {
                     unreachable!("linear has params")
                 };
@@ -406,10 +729,11 @@ impl Executor {
                         Tensor::from_vec(*shape, mask.relu_backward(dy.data())?)?
                     }
                     Some(other) => {
-                        // Decode without transient metering: the executor has
-                        // always treated this path's scratch as part of the
-                        // backward compute, not a metered buffer.
-                        let x = other.decode();
+                        // Decode scratch here stays heap-allocated under
+                        // both policies: it has never been metered (it is
+                        // part of the backward compute, not a tracked
+                        // buffer), so the plan reserves no region for it.
+                        let x = other.decoded();
                         if record {
                             if let Some(codec) = other.codec_label() {
                                 decodes.push((
@@ -441,7 +765,11 @@ impl Executor {
             }
             OpKind::BatchNorm => {
                 let producer = node.inputs[0];
-                let x = stash_dense(producer);
+                let (x, tr, drec) = self.decode_stash(stashes, producer, dec_name)?;
+                transient = transient.max(tr);
+                if record {
+                    decodes.extend(drec);
+                }
                 let Some(NodeParams::BatchNorm { gamma, .. }) = self.params.get(id.index()) else {
                     unreachable!("bn has params")
                 };
@@ -452,7 +780,11 @@ impl Executor {
             }
             OpKind::Lrn(p) => {
                 let producer = node.inputs[0];
-                let x = stash_dense(producer);
+                let (x, tr, drec) = self.decode_stash(stashes, producer, dec_name)?;
+                transient = transient.max(tr);
+                if record {
+                    decodes.extend(drec);
+                }
                 contrib.push((producer, lrn::backward(&x, dy, *p)?));
             }
             OpKind::Dropout { p } => {
@@ -483,7 +815,8 @@ impl Executor {
     ///
     /// No stashes are created and no encodings run — inference has no
     /// backward pass, which is exactly why the paper's problem (and Gist)
-    /// is specific to training.
+    /// is specific to training. Always heap-allocated: the arena plans the
+    /// training step, not this path.
     ///
     /// # Errors
     ///
@@ -626,6 +959,198 @@ impl Executor {
         self.forward_backward_traced(images, labels, &NullRecorder)
     }
 
+    /// Sequential forward post-processing of one node's output:
+    /// quantization, stats, stashing, metering/events, and last-use
+    /// relinquishment. Shared by the parallel heap path and the serialized
+    /// arena path.
+    #[allow(clippy::too_many_arguments)]
+    fn absorb_forward(
+        &self,
+        st: &mut StepState,
+        wv: usize,
+        lane: usize,
+        id: NodeId,
+        out: NodeOut,
+        rec: &dyn Recorder,
+        on: bool,
+    ) -> Result<(), RuntimeError> {
+        let node = self.graph.node(id);
+        let NodeOut { mut y, argmax, bn, mask, loss, t0_ns, dur_ns } = out;
+        self.quantize_immediate(&mut y);
+        if on {
+            rec.record(Event::Span {
+                name: node.name.clone(),
+                phase: Phase::Forward,
+                wave: wv as u32,
+                lane: lane as u32,
+                ts_ns: t0_ns,
+                dur_ns,
+            });
+        }
+        if matches!(node.op, OpKind::Relu) {
+            st.relu_sparsity.push((node.name.clone(), y.sparsity()));
+        }
+        if let Some(a) = argmax {
+            st.argmaxes[id.index()] = Some(a);
+        }
+        if let Some(c) = bn {
+            st.bn_caches[id.index()] = Some(c);
+        }
+        if let Some(m) = mask {
+            st.drop_masks[id.index()] = Some(m);
+        }
+        if let Some((l, c)) = loss {
+            st.loss = l;
+            st.correct = c;
+        }
+        if gist_graph::class::is_stashed(&self.graph, id) {
+            let stash = self.make_stash(id, &y)?;
+            let stash_bytes = self.stash_event_bytes(id, &stash);
+            st.meter.alloc(stash_bytes as usize);
+            if on {
+                if let Some(codec) = stash.codec_label() {
+                    rec.record(Event::Encode {
+                        name: node.name.clone(),
+                        codec: codec.to_string(),
+                        raw_bytes: (y.numel() * 4) as u64,
+                        encoded_bytes: stash.encoded_bytes() as u64,
+                    });
+                }
+                rec.record(Event::Alloc {
+                    name: self.names[id.index()].stash.clone(),
+                    bytes: stash_bytes,
+                });
+            }
+            st.stashes[id.index()] = Some(stash);
+        }
+        let y_bytes = self.ev_bytes(y.numel() * 4);
+        st.meter.alloc(y_bytes as usize);
+        if on {
+            rec.record(Event::Alloc { name: self.names[id.index()].y.clone(), bytes: y_bytes });
+        }
+        st.fmaps[id.index()] = Some(y);
+        // Relinquish every dense buffer whose last forward use was this
+        // position (including this node's own output if nothing reads it).
+        for j in 0..self.graph.len() {
+            if st.last_use_pos[j] == st.cursor {
+                if let Some(t) = st.fmaps[j].take() {
+                    let bytes = self.ev_bytes(t.numel() * 4);
+                    st.meter.free(bytes as usize);
+                    let name = &self.names[j].y;
+                    if on {
+                        rec.record(Event::Free { name: name.clone(), bytes });
+                    }
+                    drop(t);
+                    self.poison_region(name);
+                }
+            }
+        }
+        st.cursor += 1;
+        Ok(())
+    }
+
+    /// Sequential backward merge of one node's contributions: trace events,
+    /// transient accounting, gradient-map release/accumulation, and stash
+    /// release. The per-node event order here — transient, own-`dy` free,
+    /// contribution allocs, stash free — is the contract the predictor and
+    /// the arena plan replicate.
+    #[allow(clippy::too_many_arguments)]
+    fn absorb_backward(
+        &self,
+        st: &mut StepState,
+        wv: usize,
+        lane: usize,
+        id: NodeId,
+        dy: Option<Tensor>,
+        out: BwdOut,
+        rec: &dyn Recorder,
+        on: bool,
+    ) -> Result<(), RuntimeError> {
+        let node = self.graph.node(id);
+        let BwdOut { pgrads: pg, contrib, transient, t0_ns, dur_ns, decodes } = out;
+        if on {
+            rec.record(Event::Span {
+                name: node.name.clone(),
+                phase: Phase::Backward,
+                wave: wv as u32,
+                lane: lane as u32,
+                ts_ns: t0_ns,
+                dur_ns,
+            });
+            for (pid, codec, raw_bytes, encoded_bytes) in decodes {
+                rec.record(Event::Decode {
+                    name: self.graph.node(pid).name.clone(),
+                    codec: codec.to_string(),
+                    raw_bytes,
+                    encoded_bytes,
+                });
+            }
+        }
+        if transient > 0 {
+            let bytes = self.ev_bytes(transient);
+            st.meter.transient(bytes as usize);
+            let name = &self.names[id.index()].dec;
+            if on {
+                rec.record(Event::Transient { name: name.clone(), bytes });
+            }
+            // The decode scratch died with this node's backward compute.
+            self.poison_region(name);
+        }
+        if let Some(dy) = dy {
+            // The upstream gradient's last read was this node's backward
+            // compute; releasing it only now (not at wave collection) keeps
+            // the plan from reusing its region under a concurrent reader.
+            let bytes = self.ev_bytes(dy.numel() * 4);
+            st.meter.free(bytes as usize);
+            let name = &self.names[id.index()].dy;
+            if on {
+                rec.record(Event::Free { name: name.clone(), bytes });
+            }
+            drop(dy);
+            self.poison_region(name);
+        }
+        if pg.is_some() {
+            st.pgrads[id.index()] = pg;
+        }
+        for (target, g) in contrib {
+            match &mut st.grads[target.index()] {
+                Some(existing) => existing.add_scaled(&g, 1.0).expect("gradient shapes agree"),
+                slot @ None => {
+                    let bytes = self.ev_bytes(g.numel() * 4);
+                    st.meter.alloc(bytes as usize);
+                    let name = &self.names[target.index()].dy;
+                    if on {
+                        rec.record(Event::Alloc { name: name.clone(), bytes });
+                    }
+                    let held = match &self.arena {
+                        Some(arena) => {
+                            let mut v = arena
+                                .view(name, g.shape())
+                                .map_err(|e| RuntimeError::Trace(format!("arena: {e}")))?;
+                            v.copy_from(&g);
+                            v
+                        }
+                        None => g,
+                    };
+                    *slot = Some(held);
+                }
+            }
+        }
+        // This node's backward pass was the last reader of its own stash
+        // (consumers' backward steps all ran earlier).
+        if let Some(stash) = st.stashes[id.index()].take() {
+            let bytes = self.stash_event_bytes(id, &stash);
+            st.meter.free(bytes as usize);
+            let name = &self.names[id.index()].stash;
+            if on {
+                rec.record(Event::Free { name: name.clone(), bytes });
+            }
+            drop(stash);
+            self.poison_region(name);
+        }
+        Ok(())
+    }
+
     /// [`Executor::forward_backward`] with execution tracing.
     ///
     /// The memory-event substream (alloc/free/reuse/transient) mirrors the
@@ -635,6 +1160,10 @@ impl Executor {
     /// merge loops, so their order — and therefore the whole memory
     /// substream — is identical at every thread count. Span events carry
     /// wall-clock timing and are the only thread-count-dependent payload.
+    ///
+    /// Under [`AllocPolicy::Arena`] the same event order is additionally
+    /// the *real* execution order: waves are serialized so every write into
+    /// the shared slab happens inside its buffer's planned lifetime.
     ///
     /// # Errors
     ///
@@ -692,20 +1221,25 @@ impl Executor {
                 *lp = (*lp).max(pos[node.id.index()]);
             }
         }
-        let mut meter = MemMeter::default();
+
+        let mut st = StepState {
+            fmaps: vec![None; n],
+            stashes: vec![None; n],
+            argmaxes: vec![None; n],
+            drop_masks: vec![None; n],
+            bn_caches: vec![None; n],
+            loss: 0.0,
+            correct: 0,
+            relu_sparsity: Vec::new(),
+            meter: MemMeter::default(),
+            cursor: 0,
+            last_use_pos,
+            grads: vec![None; n],
+            pgrads: (0..n).map(|_| None).collect(),
+        };
 
         // ---- Forward pass ----
-        let mut fmaps: Vec<Option<Tensor>> = vec![None; n];
-        let mut stashes: Vec<Option<Stash>> = vec![None; n];
-        let mut argmaxes: Vec<Option<Vec<u8>>> = vec![None; n];
-        let mut drop_masks: Vec<Option<Vec<bool>>> = vec![None; n];
-        let mut bn_caches: Vec<Option<BatchNormCache>> = vec![None; n];
-        let mut fwd_loss = 0.0f32;
-        let mut fwd_correct = 0usize;
-        let mut relu_sparsity = Vec::new();
-
         let inplace_on = matches!(&self.mode, ExecMode::Gist(cfg) if cfg.inplace);
-        let mut cursor = 0usize;
         for (wv, wave) in sched.waves().iter().enumerate() {
             // Inplace ReLU (Section III-C): when this ReLU is the sole and
             // final reader of its producer's buffer, overwrite it instead
@@ -718,11 +1252,11 @@ impl Executor {
                 let id = node.id;
                 if matches!(node.op, OpKind::Relu) {
                     let producer = node.inputs[0];
-                    let sole_reader = last_use_pos[producer.index()] == pos[id.index()]
+                    let sole_reader = st.last_use_pos[producer.index()] == pos[id.index()]
                         && self.graph.consumers(producer).len() == 1
                         && !matches!(self.graph.node(producer).op, OpKind::Input(_));
                     if sole_reader {
-                        let mut y = fmaps[producer.index()].take().expect("producer executed");
+                        let mut y = st.fmaps[producer.index()].take().expect("producer executed");
                         // The buffer is reused, not freed-and-reallocated: no
                         // meter traffic for the producer's release.
                         let t0_ns = elapsed_ns(&epoch);
@@ -738,181 +1272,123 @@ impl Executor {
                                 dur_ns,
                             });
                             rec.record(Event::Reuse {
-                                from: format!("{}.y", self.graph.node(producer).name),
-                                into: format!("{}.y", node.name),
+                                from: self.names[producer.index()].y.clone(),
+                                into: self.names[id.index()].y.clone(),
                             });
                         }
-                        relu_sparsity.push((node.name.clone(), y.sparsity()));
+                        st.relu_sparsity.push((node.name.clone(), y.sparsity()));
                         if gist_graph::class::is_stashed(&self.graph, id) {
-                            let stash = self.make_stash(id, &y);
-                            let stash_bytes = stash.encoded_bytes();
-                            meter.alloc(stash_bytes);
+                            let stash = self.make_stash(id, &y)?;
+                            let stash_bytes = self.stash_event_bytes(id, &stash);
+                            st.meter.alloc(stash_bytes as usize);
                             if on {
                                 if let Some(codec) = stash.codec_label() {
                                     rec.record(Event::Encode {
                                         name: node.name.clone(),
                                         codec: codec.to_string(),
                                         raw_bytes: (y.numel() * 4) as u64,
-                                        encoded_bytes: stash_bytes as u64,
+                                        encoded_bytes: stash.encoded_bytes() as u64,
                                     });
                                 }
                                 rec.record(Event::Alloc {
-                                    name: format!("{}.stash", node.name),
-                                    bytes: stash_bytes as u64,
+                                    name: self.names[id.index()].stash.clone(),
+                                    bytes: stash_bytes,
                                 });
                             }
-                            stashes[id.index()] = Some(stash);
+                            st.stashes[id.index()] = Some(stash);
                         }
-                        fmaps[id.index()] = Some(y);
+                        st.fmaps[id.index()] = Some(y);
                         // Release this node's own buffer if nothing reads it.
-                        if last_use_pos[id.index()] == pos[id.index()] {
-                            if let Some(t) = fmaps[id.index()].take() {
-                                meter.free(t.numel() * 4);
+                        if st.last_use_pos[id.index()] == pos[id.index()] {
+                            if let Some(t) = st.fmaps[id.index()].take() {
+                                let bytes = self.ev_bytes(t.numel() * 4);
+                                st.meter.free(bytes as usize);
+                                let name = &self.names[id.index()].y;
                                 if on {
-                                    rec.record(Event::Free {
-                                        name: format!("{}.y", node.name),
-                                        bytes: (t.numel() * 4) as u64,
-                                    });
+                                    rec.record(Event::Free { name: name.clone(), bytes });
                                 }
+                                drop(t);
+                                self.poison_region(name);
                             }
                         }
-                        cursor += 1;
+                        st.cursor += 1;
                         continue;
                     }
                 }
             }
-            // Compute the wave — concurrently when it has siblings — then
-            // post-process sequentially in ascending-id order.
-            let outs: Vec<Result<NodeOut, RuntimeError>> = if wave.len() == 1 {
-                vec![self.compute_forward(self.graph.node(wave[0]), &fmaps, images, labels, &epoch)]
+            if let Some(arena) = &self.arena {
+                // Arena policy: compute and post-process one node at a
+                // time, in the exact order the plan's events were packed
+                // against — event-time disjointness then implies real-time
+                // safety for writes into the shared slab.
+                for (lane, &id) in wave.iter().enumerate() {
+                    let node = self.graph.node(id);
+                    let out_view = arena
+                        .view(&self.names[id.index()].y, self.shapes[id.index()])
+                        .map_err(|e| RuntimeError::Trace(format!("arena: {e}")))?;
+                    let out = self.compute_forward(
+                        node,
+                        &st.fmaps,
+                        images,
+                        labels,
+                        &epoch,
+                        Some(out_view),
+                    )?;
+                    self.absorb_forward(&mut st, wv, lane, id, out, rec, on)?;
+                }
             } else {
-                let this = &*self;
-                let fview = &fmaps;
-                let ep = &epoch;
-                parallel_map(wave.len(), 1, |wi| {
-                    this.compute_forward(this.graph.node(wave[wi]), fview, images, labels, ep)
-                })
-            };
-            for (lane, (&id, out)) in wave.iter().zip(outs).enumerate() {
-                let node = self.graph.node(id);
-                let NodeOut { mut y, argmax, bn, mask, loss, t0_ns, dur_ns } = out?;
-                self.quantize_immediate(&mut y);
-                if on {
-                    rec.record(Event::Span {
-                        name: node.name.clone(),
-                        phase: Phase::Forward,
-                        wave: wv as u32,
-                        lane: lane as u32,
-                        ts_ns: t0_ns,
-                        dur_ns,
-                    });
+                // Heap policy: compute the wave — concurrently when it has
+                // siblings — then post-process sequentially in ascending-id
+                // order.
+                let outs: Vec<Result<NodeOut, RuntimeError>> = if wave.len() == 1 {
+                    vec![self.compute_forward(
+                        self.graph.node(wave[0]),
+                        &st.fmaps,
+                        images,
+                        labels,
+                        &epoch,
+                        None,
+                    )]
+                } else {
+                    let this = &*self;
+                    let fview = &st.fmaps;
+                    let ep = &epoch;
+                    parallel_map(wave.len(), 1, |wi| {
+                        this.compute_forward(
+                            this.graph.node(wave[wi]),
+                            fview,
+                            images,
+                            labels,
+                            ep,
+                            None,
+                        )
+                    })
+                };
+                for (lane, (&id, out)) in wave.iter().zip(outs).enumerate() {
+                    self.absorb_forward(&mut st, wv, lane, id, out?, rec, on)?;
                 }
-                if matches!(node.op, OpKind::Relu) {
-                    relu_sparsity.push((node.name.clone(), y.sparsity()));
-                }
-                if let Some(a) = argmax {
-                    argmaxes[id.index()] = Some(a);
-                }
-                if let Some(c) = bn {
-                    bn_caches[id.index()] = Some(c);
-                }
-                if let Some(m) = mask {
-                    drop_masks[id.index()] = Some(m);
-                }
-                if let Some((l, c)) = loss {
-                    fwd_loss = l;
-                    fwd_correct = c;
-                }
-                if gist_graph::class::is_stashed(&self.graph, id) {
-                    let stash = self.make_stash(id, &y);
-                    let stash_bytes = stash.encoded_bytes();
-                    meter.alloc(stash_bytes);
-                    if on {
-                        if let Some(codec) = stash.codec_label() {
-                            rec.record(Event::Encode {
-                                name: node.name.clone(),
-                                codec: codec.to_string(),
-                                raw_bytes: (y.numel() * 4) as u64,
-                                encoded_bytes: stash_bytes as u64,
-                            });
-                        }
-                        rec.record(Event::Alloc {
-                            name: format!("{}.stash", node.name),
-                            bytes: stash_bytes as u64,
-                        });
-                    }
-                    stashes[id.index()] = Some(stash);
-                }
-                meter.alloc(y.numel() * 4);
-                if on {
-                    rec.record(Event::Alloc {
-                        name: format!("{}.y", node.name),
-                        bytes: (y.numel() * 4) as u64,
-                    });
-                }
-                fmaps[id.index()] = Some(y);
-                // Relinquish every dense buffer whose last forward use was
-                // this position (including this node's own output if nothing
-                // reads it).
-                for j in 0..n {
-                    if last_use_pos[j] == cursor {
-                        if let Some(t) = fmaps[j].take() {
-                            meter.free(t.numel() * 4);
-                            if on {
-                                rec.record(Event::Free {
-                                    name: format!("{}.y", self.graph.nodes()[j].name),
-                                    bytes: (t.numel() * 4) as u64,
-                                });
-                            }
-                        }
-                    }
-                }
-                cursor += 1;
             }
         }
 
-        let stash_bytes: usize = stashes.iter().flatten().map(Stash::encoded_bytes).sum();
+        let stash_bytes: usize = st.stashes.iter().flatten().map(Stash::encoded_bytes).sum();
         let ssdc_compression: Vec<(String, f64)> = self
             .graph
             .nodes()
             .iter()
-            .filter_map(|nd| match &stashes[nd.id.index()] {
+            .filter_map(|nd| match &st.stashes[nd.id.index()] {
                 Some(Stash::Sparse(c, _)) => Some((nd.name.clone(), c.compression_ratio())),
                 _ => None,
             })
             .collect();
 
-        // Forward values are relinquished; backward may only read stashes.
-        drop(fmaps);
-
         // ---- Backward pass ----
-        let mut grads: Vec<Option<Tensor>> = vec![None; n];
-        let mut pgrads: Vec<Option<ParamGrads>> = (0..n).map(|_| None).collect();
-        let mut meter_cell = meter;
-        let nodes = self.graph.nodes();
-        let accumulate =
-            |meter: &mut MemMeter, grads: &mut Vec<Option<Tensor>>, id: NodeId, g: Tensor| {
-                match &mut grads[id.index()] {
-                    Some(existing) => existing.add_scaled(&g, 1.0).expect("gradient shapes agree"),
-                    slot @ None => {
-                        meter.alloc(g.numel() * 4);
-                        if on {
-                            rec.record(Event::Alloc {
-                                name: format!("{}.dy", nodes[id.index()].name),
-                                bytes: (g.numel() * 4) as u64,
-                            });
-                        }
-                        *slot = Some(g);
-                    }
-                }
-            };
         // Walk the waves in reverse. A node's upstream gradient is complete
         // once every consumer's backward has run — all consumers live in
         // later waves, so the wave invariant holds backward too. Within a
-        // wave the computes may run concurrently; merging (gradient
-        // accumulation, param grads, meter, stash release) is sequential in
-        // descending-id order so shared producers always accumulate
-        // contributions in one fixed order.
+        // wave the computes may run concurrently (heap policy); merging
+        // (gradient accumulation, param grads, meter, stash release) is
+        // sequential in descending-id order so shared producers always
+        // accumulate contributions in one fixed order.
         for (wv, wave) in sched.waves().iter().enumerate().rev() {
             let mut work: Vec<(NodeId, Option<Tensor>)> = Vec::new();
             for &id in wave.iter().rev() {
@@ -924,102 +1400,73 @@ impl Executor {
                     work.push((id, None));
                     continue;
                 }
-                let Some(mut dy) = grads[id.index()].take() else {
+                let Some(mut dy) = st.grads[id.index()].take() else {
                     continue; // no gradient path through this node
                 };
-                meter_cell.free(dy.numel() * 4);
-                if on {
-                    rec.record(Event::Free {
-                        name: format!("{}.dy", node.name),
-                        bytes: (dy.numel() * 4) as u64,
-                    });
-                }
                 self.quantize_immediate(&mut dy);
                 work.push((id, Some(dy)));
             }
-            let outs: Vec<Result<BwdOut, RuntimeError>> = if work.len() <= 1 {
-                work.iter()
-                    .map(|(id, dy)| {
-                        self.backward_node(
-                            self.graph.node(*id),
-                            dy.as_ref(),
-                            &stashes,
-                            &argmaxes,
-                            &drop_masks,
-                            &bn_caches,
-                            labels,
-                            on,
-                            &epoch,
-                        )
-                    })
-                    .collect()
-            } else {
-                let this = &*self;
-                let wview = &work;
-                let sview = &stashes;
-                let ep = &epoch;
-                parallel_map(work.len(), 1, |wi| {
-                    let (id, dy) = &wview[wi];
-                    this.backward_node(
-                        this.graph.node(*id),
+            if self.arena.is_some() {
+                // Arena policy: serialize compute+merge per work item so
+                // the gradient-map and decode regions are only written
+                // inside their planned lifetimes.
+                for (lane, item) in work.iter_mut().enumerate() {
+                    let (id, dy) = (item.0, item.1.take());
+                    let out = self.backward_node(
+                        self.graph.node(id),
                         dy.as_ref(),
-                        sview,
-                        &argmaxes,
-                        &drop_masks,
-                        &bn_caches,
+                        &st.stashes,
+                        &st.argmaxes,
+                        &st.drop_masks,
+                        &st.bn_caches,
                         labels,
                         on,
-                        ep,
-                    )
-                })
-            };
-            for (lane, ((id, _), out)) in work.iter().zip(outs).enumerate() {
-                let node = self.graph.node(*id);
-                let BwdOut { pgrads: pg, contrib, transient, t0_ns, dur_ns, decodes } = out?;
-                if on {
-                    rec.record(Event::Span {
-                        name: node.name.clone(),
-                        phase: Phase::Backward,
-                        wave: wv as u32,
-                        lane: lane as u32,
-                        ts_ns: t0_ns,
-                        dur_ns,
-                    });
-                    for (pid, codec, raw_bytes, encoded_bytes) in decodes {
-                        rec.record(Event::Decode {
-                            name: self.graph.node(pid).name.clone(),
-                            codec: codec.to_string(),
-                            raw_bytes,
-                            encoded_bytes,
-                        });
-                    }
+                        &epoch,
+                    )?;
+                    self.absorb_backward(&mut st, wv, lane, id, dy, out, rec, on)?;
                 }
-                if transient > 0 {
-                    meter_cell.transient(transient);
-                    if on {
-                        rec.record(Event::Transient {
-                            name: format!("{}.dec", node.name),
-                            bytes: transient as u64,
-                        });
-                    }
-                }
-                if pg.is_some() {
-                    pgrads[id.index()] = pg;
-                }
-                for (target, g) in contrib {
-                    accumulate(&mut meter_cell, &mut grads, target, g);
-                }
-                // This node's backward pass was the last reader of its own
-                // stash (consumers' backward steps all ran earlier).
-                if let Some(stash) = stashes[id.index()].take() {
-                    let stash_bytes = stash.encoded_bytes();
-                    meter_cell.free(stash_bytes);
-                    if on {
-                        rec.record(Event::Free {
-                            name: format!("{}.stash", node.name),
-                            bytes: stash_bytes as u64,
-                        });
-                    }
+            } else {
+                let outs: Vec<Result<BwdOut, RuntimeError>> = if work.len() <= 1 {
+                    work.iter()
+                        .map(|(id, dy)| {
+                            self.backward_node(
+                                self.graph.node(*id),
+                                dy.as_ref(),
+                                &st.stashes,
+                                &st.argmaxes,
+                                &st.drop_masks,
+                                &st.bn_caches,
+                                labels,
+                                on,
+                                &epoch,
+                            )
+                        })
+                        .collect()
+                } else {
+                    let this = &*self;
+                    let wview = &work;
+                    let sview = &st.stashes;
+                    let aview = &st.argmaxes;
+                    let dview = &st.drop_masks;
+                    let bview = &st.bn_caches;
+                    let ep = &epoch;
+                    parallel_map(work.len(), 1, |wi| {
+                        let (id, dy) = &wview[wi];
+                        this.backward_node(
+                            this.graph.node(*id),
+                            dy.as_ref(),
+                            sview,
+                            aview,
+                            dview,
+                            bview,
+                            labels,
+                            on,
+                            ep,
+                        )
+                    })
+                };
+                for (lane, ((id, dy), out)) in work.into_iter().zip(outs).enumerate() {
+                    self.absorb_backward(&mut st, wv, lane, id, dy, out?, rec, on)?;
                 }
             }
         }
@@ -1031,35 +1478,34 @@ impl Executor {
         // meter ignores these frees — they cannot affect the peak.
         if on {
             for node in self.graph.nodes() {
-                if let Some(stash) = &stashes[node.id.index()] {
+                if let Some(stash) = &st.stashes[node.id.index()] {
                     rec.record(Event::Free {
-                        name: format!("{}.stash", node.name),
-                        bytes: stash.encoded_bytes() as u64,
+                        name: self.names[node.id.index()].stash.clone(),
+                        bytes: self.stash_event_bytes(node.id, stash),
                     });
                 }
             }
             for node in self.graph.nodes() {
-                if let Some(g) = &grads[node.id.index()] {
+                if let Some(g) = &st.grads[node.id.index()] {
                     rec.record(Event::Free {
-                        name: format!("{}.dy", node.name),
-                        bytes: (g.numel() * 4) as u64,
+                        name: self.names[node.id.index()].dy.clone(),
+                        bytes: self.ev_bytes(g.numel() * 4),
                     });
                 }
             }
         }
 
         self.step_counter += 1;
-        let meter = meter_cell;
         let stats = StepStats {
-            loss: fwd_loss,
-            correct: fwd_correct,
+            loss: st.loss,
+            correct: st.correct,
             batch: labels.len(),
-            relu_sparsity,
+            relu_sparsity: st.relu_sparsity,
             ssdc_compression,
             stash_bytes,
-            peak_live_bytes: meter.peak,
+            peak_live_bytes: st.meter.peak,
         };
-        Ok((stats, pgrads))
+        Ok((stats, st.pgrads))
     }
 }
 
@@ -1265,6 +1711,64 @@ mod tests {
         assert!(base.0.len() > 1, "gradients flowed");
         for t in [2, 4] {
             assert_eq!(run(t), base, "threads={t} must be byte-identical to serial");
+        }
+    }
+
+    #[test]
+    fn arena_steps_are_byte_identical_to_heap_steps() {
+        let (x, y) = minibatch(4);
+        for mode in [
+            ExecMode::Baseline,
+            ExecMode::Gist(GistConfig::lossless()),
+            ExecMode::Gist(GistConfig::lossy(DprFormat::Fp8)),
+            ExecMode::UniformImmediate(DprFormat::Fp8),
+        ] {
+            let g = gist_models::small_vgg(4, 3);
+            let mut heap = Executor::new(g.clone(), mode.clone(), 5).unwrap();
+            let mut arena =
+                Executor::new_with_policy(g, mode.clone(), 5, AllocPolicy::Arena).unwrap();
+            assert_eq!(arena.alloc_policy(), AllocPolicy::Arena);
+            assert!(arena.arena_capacity_bytes().unwrap() > 0);
+            for step in 0..2 {
+                let sh = heap.step(&x, &y, 0.05).unwrap();
+                let sa = arena.step(&x, &y, 0.05).unwrap();
+                assert_eq!(
+                    sh.loss.to_bits(),
+                    sa.loss.to_bits(),
+                    "loss diverged at step {step} for {mode:?}"
+                );
+            }
+            assert_eq!(
+                weights_of(&heap).iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                weights_of(&arena).iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "weights diverged for {mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn arena_branchy_graph_matches_heap() {
+        let mut ds = SyntheticImages::rgb(3, 8, 0.3, 9);
+        let (x, y) = ds.minibatch(2);
+        let mut heap = Executor::new(branchy_graph(2), ExecMode::Baseline, 3).unwrap();
+        let mut arena =
+            Executor::new_with_policy(branchy_graph(2), ExecMode::Baseline, 3, AllocPolicy::Arena)
+                .unwrap();
+        let (sh, gh) = heap.forward_backward(&x, &y).unwrap();
+        let (sa, ga) = arena.forward_backward(&x, &y).unwrap();
+        assert_eq!(sh.loss.to_bits(), sa.loss.to_bits());
+        for (h, a) in gh.iter().zip(&ga) {
+            match (h, a) {
+                (None, None) => {}
+                (Some(h), Some(a)) => {
+                    assert_eq!(h.main.data(), a.main.data());
+                    assert_eq!(
+                        h.secondary.as_ref().map(|t| t.data().to_vec()),
+                        a.secondary.as_ref().map(|t| t.data().to_vec())
+                    );
+                }
+                _ => panic!("gradient presence diverged"),
+            }
         }
     }
 

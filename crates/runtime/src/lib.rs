@@ -29,10 +29,13 @@ pub mod trainer;
 pub use autotune::{select_dpr_format, AutotuneConfig, AutotuneResult};
 pub use checkpoint::{load as load_checkpoint, save as save_checkpoint, CheckpointError};
 pub use data::SyntheticImages;
-pub use exec::{ExecMode, Executor, StepStats};
+pub use exec::{AllocPolicy, ExecMode, Executor, StepStats};
 pub use optim::MomentumSgd;
 pub use params::ParamSet;
-pub use predict::{predict_step_events, predicted_peak_bytes, ssdc_stash_sizes};
+pub use predict::{
+    predict_step_events, predict_step_events_for, predicted_peak_bytes, predicted_peak_bytes_for,
+    ssdc_stash_sizes,
+};
 pub use trainer::{train, train_loop, train_loop_traced, EpochStats, LrSchedule, TrainReport};
 
 /// Errors from runtime execution.

@@ -4,10 +4,18 @@
 //! stash-then-output allocation order, last-use relinquishment, the inplace
 //! ReLU reuse rule, backward gradient-map recycling, decode transients, and
 //! stash release — without running any kernels. The result is the exact
-//! sequence of memory events a traced [`crate::Executor`] step emits, with
-//! one data-dependent input: SSDC stash sizes, which depend on the values
-//! being encoded and are supplied from observed
-//! [`gist_obs::Event::Encode`] events.
+//! sequence of memory events a traced [`crate::Executor`] step emits.
+//!
+//! The prediction is policy-aware ([`predict_step_events_for`]):
+//!
+//! - Under [`AllocPolicy::Heap`] sizes are exact, with one data-dependent
+//!   input: SSDC stash sizes, which depend on the values being encoded and
+//!   are supplied from observed [`gist_obs::Event::Encode`] events.
+//! - Under [`AllocPolicy::Arena`] every size is the planned reservation —
+//!   [`align_arena`]-rounded, with SSDC stashes at their data-independent
+//!   worst case — so the stream is fully static and is exactly what
+//!   `gist_memory::Arena::from_events` packs into the slab the executor
+//!   then runs out of.
 //!
 //! This is the bridge between the runtime memory accountant (what the
 //! executor *did*) and the `gist-memory` planner (what the schedule
@@ -15,15 +23,17 @@
 //! the planner's footprint numbers are backed by execution, not just by a
 //! second copy of the same arithmetic.
 
-use crate::exec::ExecMode;
+use crate::exec::{AllocPolicy, ExecMode};
 use crate::RuntimeError;
 use gist_core::Encoding;
+use gist_encodings::csr::{max_encoded_bytes, SsdcConfig};
 use gist_graph::{Graph, NodeId, OpKind, Schedule};
+use gist_memory::align_arena;
 use gist_obs::{Event, MemoryAccountant};
 use std::collections::HashMap;
 
 /// Extracts observed SSDC stash sizes (`node name -> encoded bytes`) from a
-/// trace — the only data-dependent sizes the predictor needs.
+/// trace — the only data-dependent sizes the heap-policy predictor needs.
 pub fn ssdc_stash_sizes(events: &[Event]) -> HashMap<String, u64> {
     let mut sizes = HashMap::new();
     for ev in events {
@@ -36,11 +46,24 @@ pub fn ssdc_stash_sizes(events: &[Event]) -> HashMap<String, u64> {
     sizes
 }
 
-/// Predicts the memory-event substream of one traced training step.
-///
-/// `ssdc_bytes` supplies observed encoded sizes for SSDC stashes (see
-/// [`ssdc_stash_sizes`]); it may be empty when the mode assigns no SSDC
-/// encodings.
+/// Data-independent stash size for a node of `ne` elements: exact for
+/// Binarize/DPR/dense (their encoded size is shape-only), the worst-case
+/// bound for SSDC (whose actual size depends on the values). This is what
+/// the arena reserves, so a step can never outgrow its planned region.
+pub(crate) fn static_stash_bytes(ne: u64, mode: &ExecMode, enc: Encoding) -> u64 {
+    match (mode, enc) {
+        (ExecMode::Gist(_), Encoding::Binarize) => ne.div_ceil(32) * 4,
+        (ExecMode::Gist(cfg), Encoding::Ssdc { .. }) => {
+            max_encoded_bytes(ne as usize, SsdcConfig { narrow: true, value_format: cfg.dpr })
+                as u64
+        }
+        (ExecMode::Gist(_), Encoding::Dpr(f)) => ne.div_ceil(f.values_per_word() as u64) * 4,
+        _ => ne * 4,
+    }
+}
+
+/// Predicts the memory-event substream of one traced heap-policy training
+/// step. See [`predict_step_events_for`].
 ///
 /// # Errors
 ///
@@ -49,6 +72,25 @@ pub fn ssdc_stash_sizes(events: &[Event]) -> HashMap<String, u64> {
 pub fn predict_step_events(
     graph: &Graph,
     mode: &ExecMode,
+    ssdc_bytes: &HashMap<String, u64>,
+) -> Result<Vec<Event>, RuntimeError> {
+    predict_step_events_for(graph, mode, AllocPolicy::Heap, ssdc_bytes)
+}
+
+/// Predicts the memory-event substream of one traced training step under
+/// the given allocation policy.
+///
+/// `ssdc_bytes` supplies observed encoded sizes for SSDC stashes (see
+/// [`ssdc_stash_sizes`]); it is only consulted under the heap policy and
+/// may be empty when the mode assigns no SSDC encodings.
+///
+/// # Errors
+///
+/// As for [`predict_step_events`].
+pub fn predict_step_events_for(
+    graph: &Graph,
+    mode: &ExecMode,
+    policy: AllocPolicy,
     ssdc_bytes: &HashMap<String, u64>,
 ) -> Result<Vec<Event>, RuntimeError> {
     let n = graph.len();
@@ -65,6 +107,14 @@ pub fn predict_step_events(
         _ => vec![Encoding::None; n],
     };
     let inplace_on = matches!(mode, ExecMode::Gist(cfg) if cfg.inplace);
+    let arena = matches!(policy, AllocPolicy::Arena);
+    let sz = |bytes: u64| -> u64 {
+        if arena {
+            align_arena(bytes)
+        } else {
+            bytes
+        }
+    };
 
     // Same wave order and last-use positions as the executor.
     let sched = Schedule::of(graph);
@@ -85,6 +135,9 @@ pub fn predict_step_events(
     let dy_name = |id: NodeId| -> String { format!("{}.dy", graph.node(id).name) };
     let stash_size = |id: NodeId| -> Result<u64, RuntimeError> {
         let ne = numel(id);
+        if arena {
+            return Ok(align_arena(static_stash_bytes(ne, mode, encodings[id.index()])));
+        }
         Ok(match (mode, encodings[id.index()]) {
             (ExecMode::Gist(_), Encoding::Binarize) => ne.div_ceil(32) * 4,
             (ExecMode::Gist(_), Encoding::Ssdc { .. }) => {
@@ -98,6 +151,11 @@ pub fn predict_step_events(
             (ExecMode::Gist(_), Encoding::Dpr(f)) => ne.div_ceil(f.values_per_word() as u64) * 4,
             _ => ne * 4,
         })
+    };
+    // Whether a backward read of this producer's stash materializes a
+    // decode buffer: dense stashes are borrowed in place (no transient).
+    let decode_is_transient = |pid: NodeId| -> bool {
+        matches!(encodings[pid.index()], Encoding::Ssdc { .. } | Encoding::Dpr(_))
     };
 
     let mut events = Vec::new();
@@ -131,7 +189,7 @@ pub fn predict_step_events(
                     }
                     if last_use_pos[id.index()] == pos[id.index()] {
                         live_fmap[id.index()] = false;
-                        events.push(Event::Free { name: y_name(id), bytes: numel(id) * 4 });
+                        events.push(Event::Free { name: y_name(id), bytes: sz(numel(id) * 4) });
                     }
                     cursor += 1;
                     continue;
@@ -147,13 +205,13 @@ pub fn predict_step_events(
                 });
                 stashed[id.index()] = true;
             }
-            events.push(Event::Alloc { name: y_name(id), bytes: numel(id) * 4 });
+            events.push(Event::Alloc { name: y_name(id), bytes: sz(numel(id) * 4) });
             live_fmap[id.index()] = true;
             for j in 0..n {
                 if last_use_pos[j] == cursor && live_fmap[j] {
                     live_fmap[j] = false;
                     let jid = graph.nodes()[j].id;
-                    events.push(Event::Free { name: y_name(jid), bytes: numel(jid) * 4 });
+                    events.push(Event::Free { name: y_name(jid), bytes: sz(numel(jid) * 4) });
                 }
             }
             cursor += 1;
@@ -162,33 +220,36 @@ pub fn predict_step_events(
 
     // ---- Backward pass ----
     for wave in sched.waves().iter().rev() {
-        let mut work: Vec<NodeId> = Vec::new();
+        let mut work: Vec<(NodeId, bool)> = Vec::new();
         for &id in wave.iter().rev() {
             let node = graph.node(id);
             if matches!(node.op, OpKind::Input(_)) {
                 continue;
             }
             if matches!(node.op, OpKind::SoftmaxLoss) {
-                work.push(id);
+                work.push((id, false));
                 continue;
             }
             if !grads_live[id.index()] {
                 continue; // no gradient path through this node
             }
-            grads_live[id.index()] = false;
-            events.push(Event::Free { name: dy_name(id), bytes: numel(id) * 4 });
-            work.push(id);
+            work.push((id, true));
         }
-        for &id in &work {
+        for &(id, has_dy) in &work {
             let node = graph.node(id);
             // Ops whose backward decodes a stashed producer into a dense
-            // transient (the executor's `stash_dense`).
+            // transient (the executor's `decode_stash` on an encoded stash;
+            // dense stashes are borrowed in place and leave no trace).
             let transient = match &node.op {
                 OpKind::SoftmaxLoss
                 | OpKind::Conv { .. }
                 | OpKind::Linear { .. }
                 | OpKind::BatchNorm
-                | OpKind::Lrn(_) => numel(node.inputs[0]) * 4,
+                | OpKind::Lrn(_)
+                    if decode_is_transient(node.inputs[0]) =>
+                {
+                    sz(numel(node.inputs[0]) * 4)
+                }
                 _ => 0,
             };
             if transient > 0 {
@@ -196,6 +257,12 @@ pub fn predict_step_events(
                     name: format!("{}.dec", node.name),
                     bytes: transient,
                 });
+            }
+            // The upstream gradient is released at merge time, after this
+            // node's backward compute has read it for the last time.
+            if has_dy {
+                grads_live[id.index()] = false;
+                events.push(Event::Free { name: dy_name(id), bytes: sz(numel(id) * 4) });
             }
             let targets: Vec<NodeId> = match &node.op {
                 OpKind::Add => vec![node.inputs[0], node.inputs[1]],
@@ -205,7 +272,7 @@ pub fn predict_step_events(
             for t in targets {
                 if !grads_live[t.index()] {
                     grads_live[t.index()] = true;
-                    events.push(Event::Alloc { name: dy_name(t), bytes: numel(t) * 4 });
+                    events.push(Event::Alloc { name: dy_name(t), bytes: sz(numel(t) * 4) });
                 }
             }
             if stashed[id.index()] {
@@ -230,14 +297,14 @@ pub fn predict_step_events(
     }
     for node in graph.nodes() {
         if grads_live[node.id.index()] {
-            events.push(Event::Free { name: dy_name(node.id), bytes: numel(node.id) * 4 });
+            events.push(Event::Free { name: dy_name(node.id), bytes: sz(numel(node.id) * 4) });
         }
     }
     Ok(events)
 }
 
-/// Predicted peak footprint in bytes: the predicted event stream folded
-/// through the memory accountant.
+/// Predicted peak footprint in bytes under the heap policy: the predicted
+/// event stream folded through the memory accountant.
 ///
 /// # Errors
 ///
@@ -248,7 +315,21 @@ pub fn predicted_peak_bytes(
     mode: &ExecMode,
     ssdc_bytes: &HashMap<String, u64>,
 ) -> Result<u64, RuntimeError> {
-    let events = predict_step_events(graph, mode, ssdc_bytes)?;
+    predicted_peak_bytes_for(graph, mode, AllocPolicy::Heap, ssdc_bytes)
+}
+
+/// [`predicted_peak_bytes`] under an explicit allocation policy.
+///
+/// # Errors
+///
+/// As for [`predict_step_events`].
+pub fn predicted_peak_bytes_for(
+    graph: &Graph,
+    mode: &ExecMode,
+    policy: AllocPolicy,
+    ssdc_bytes: &HashMap<String, u64>,
+) -> Result<u64, RuntimeError> {
+    let events = predict_step_events_for(graph, mode, policy, ssdc_bytes)?;
     let mut acc = MemoryAccountant::new();
     acc.fold_all(&events)
         .map_err(|e| RuntimeError::Trace(format!("predicted stream malformed: {e}")))?;
@@ -301,6 +382,32 @@ mod tests {
         let ssdc = ssdc_stash_sizes(&sink.take());
         let peak = predicted_peak_bytes(&g, &mode, &ssdc).unwrap();
         assert_eq!(peak, stats.peak_live_bytes as u64);
+    }
+
+    #[test]
+    fn arena_predicted_stream_matches_arena_observed() {
+        let g = gist_models::small_vgg(4, 3);
+        for mode in [ExecMode::Baseline, ExecMode::Gist(GistConfig::lossless())] {
+            let mut e =
+                Executor::new_with_policy(g.clone(), mode.clone(), 5, AllocPolicy::Arena).unwrap();
+            let mut ds = SyntheticImages::new(3, 16, 0.3, 42);
+            let (x, y) = ds.minibatch(4);
+            let sink = TraceSink::new();
+            let stats = e.step_traced(&x, &y, 0.05, &sink).unwrap();
+            let observed: Vec<Event> =
+                sink.take().into_iter().filter(|ev| ev.is_memory()).collect();
+            // The arena stream is fully static: no observed sizes needed.
+            let predicted =
+                predict_step_events_for(&g, &mode, AllocPolicy::Arena, &HashMap::new()).unwrap();
+            assert_eq!(observed, predicted, "arena stream divergence under {mode:?}");
+            let peak =
+                predicted_peak_bytes_for(&g, &mode, AllocPolicy::Arena, &HashMap::new()).unwrap();
+            assert_eq!(peak, stats.peak_live_bytes as u64);
+            assert!(
+                peak as usize <= e.arena_capacity_bytes().unwrap(),
+                "peak cannot exceed the packed slab"
+            );
+        }
     }
 
     #[test]

@@ -27,9 +27,11 @@
 pub mod init;
 pub mod ops;
 pub mod shape;
+pub mod storage;
 pub mod tensor;
 
 pub use shape::Shape;
+pub use storage::Storage;
 pub use tensor::Tensor;
 
 /// Errors produced by tensor construction and kernel invocation.

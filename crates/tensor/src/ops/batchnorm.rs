@@ -28,10 +28,32 @@ pub fn forward(
     beta: &Tensor,
     eps: f32,
 ) -> Result<(Tensor, BatchNormCache), TensorError> {
+    let mut y = Tensor::zeros(x.shape());
+    let cache = forward_into(x, gamma, beta, eps, &mut y)?;
+    Ok((y, cache))
+}
+
+/// Forward pass writing into a preallocated output (e.g. an arena view),
+/// returning the saved statistics. Every element of `y` is overwritten;
+/// bit-exact with [`forward`].
+///
+/// # Errors
+///
+/// As for [`forward`], plus a shape mismatch on `y`.
+pub fn forward_into(
+    x: &Tensor,
+    gamma: &Tensor,
+    beta: &Tensor,
+    eps: f32,
+    y: &mut Tensor,
+) -> Result<BatchNormCache, TensorError> {
     let s = x.shape();
     let c = s.c();
     if gamma.numel() != c || beta.numel() != c {
         return Err(TensorError::ShapeMismatch { left: gamma.shape(), right: Shape::vector(c) });
+    }
+    if y.shape() != s {
+        return Err(TensorError::ShapeMismatch { left: y.shape(), right: s });
     }
     let per = s.n() * s.h() * s.w();
     let (sn, sh, sw) = (s.n(), s.h(), s.w());
@@ -65,7 +87,6 @@ pub fn forward(
         v
     });
     let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v / per as f32 + eps).sqrt()).collect();
-    let mut y = Tensor::zeros(s);
     // Images are contiguous NCHW slices of y — disjoint elementwise writes.
     parallel_chunks_mut(y.data_mut(), c * sh * sw, |n, img| {
         for ci in 0..c {
@@ -78,7 +99,7 @@ pub fn forward(
             }
         }
     });
-    Ok((y, BatchNormCache { mean, inv_std }))
+    Ok(BatchNormCache { mean, inv_std })
 }
 
 /// Gradients from the batch-norm backward pass.

@@ -110,6 +110,19 @@ pub fn forward(
     bias: Option<&Tensor>,
     p: ConvParams,
 ) -> Result<Tensor, TensorError> {
+    check_forward_shapes(x, weight, bias, p)?;
+    let mut y = Tensor::zeros(p.out_shape(x.shape(), weight.shape().n()));
+    forward_into(x, weight, bias, p, &mut y)?;
+    Ok(y)
+}
+
+/// Validates forward-pass operand shapes before any output-shape arithmetic.
+fn check_forward_shapes(
+    x: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    p: ConvParams,
+) -> Result<(), TensorError> {
     let s = x.shape();
     let ws = weight.shape();
     if ws.c() != s.c() || ws.h() != p.kernel || ws.w() != p.kernel {
@@ -133,10 +146,32 @@ pub fn forward(
             });
         }
     }
+    Ok(())
+}
+
+/// Forward pass writing into a preallocated output (e.g. an arena view).
+/// Every element of `y` is overwritten; bit-exact with [`forward`].
+///
+/// # Errors
+///
+/// As for [`forward`], plus a shape mismatch on `y`.
+pub fn forward_into(
+    x: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    p: ConvParams,
+    y: &mut Tensor,
+) -> Result<(), TensorError> {
+    check_forward_shapes(x, weight, bias, p)?;
+    let s = x.shape();
+    let ws = weight.shape();
+    let out_c = ws.n();
     let out = p.out_shape(s, out_c);
+    if y.shape() != out {
+        return Err(TensorError::ShapeMismatch { left: y.shape(), right: out });
+    }
     let (oh, ow) = (out.h(), out.w());
     let ckk = s.c() * p.kernel * p.kernel;
-    let mut y = Tensor::zeros(out);
     let per_image = out_c * oh * ow;
     // Images are independent; fan the minibatch out over the gist-par pool.
     // (Nested matmul dispatch degrades to serial inside each image task.)
@@ -154,7 +189,7 @@ pub fn forward(
             }
         }
     });
-    Ok(y)
+    Ok(())
 }
 
 /// Gradients produced by the convolution backward pass.

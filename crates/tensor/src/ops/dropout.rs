@@ -38,10 +38,38 @@ pub fn forward(x: &Tensor, mask: &[bool], drop_p: f32) -> Result<Tensor, TensorE
     if mask.len() != x.numel() {
         return Err(TensorError::LengthMismatch { expected: x.numel(), actual: mask.len() });
     }
+    let mut y = Tensor::zeros(x.shape());
+    forward_into(x, mask, drop_p, &mut y)?;
+    Ok(y)
+}
+
+/// Forward pass writing into a preallocated output (e.g. an arena view).
+/// Every element of `y` is overwritten; bit-exact with [`forward`].
+///
+/// # Errors
+///
+/// As for [`forward`], plus a shape mismatch on `y`.
+pub fn forward_into(
+    x: &Tensor,
+    mask: &[bool],
+    drop_p: f32,
+    y: &mut Tensor,
+) -> Result<(), TensorError> {
+    if !(0.0..1.0).contains(&drop_p) {
+        return Err(TensorError::UnsupportedShape(format!("dropout p {drop_p} outside [0,1)")));
+    }
+    if mask.len() != x.numel() {
+        return Err(TensorError::LengthMismatch { expected: x.numel(), actual: mask.len() });
+    }
+    if y.shape() != x.shape() {
+        return Err(TensorError::ShapeMismatch { left: y.shape(), right: x.shape() });
+    }
     let scale = 1.0 / (1.0 - drop_p);
-    let data =
-        x.data().iter().zip(mask).map(|(&v, &keep)| if keep { v * scale } else { 0.0 }).collect();
-    Tensor::from_vec(x.shape(), data)
+    let src = x.data();
+    for (i, out) in y.data_mut().iter_mut().enumerate() {
+        *out = if mask[i] { src[i] * scale } else { 0.0 };
+    }
+    Ok(())
 }
 
 /// Backward pass: the same mask and scale applied to `dy`.

@@ -12,6 +12,27 @@ pub fn add_forward(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     a.add(b)
 }
 
+/// Residual addition writing into a preallocated output (e.g. an arena
+/// view). Every element of `y` is overwritten; bit-exact with
+/// [`add_forward`].
+///
+/// # Errors
+///
+/// Returns an error on shape mismatch.
+pub fn add_forward_into(a: &Tensor, b: &Tensor, y: &mut Tensor) -> Result<(), TensorError> {
+    if a.shape() != b.shape() {
+        return Err(TensorError::ShapeMismatch { left: a.shape(), right: b.shape() });
+    }
+    if y.shape() != a.shape() {
+        return Err(TensorError::ShapeMismatch { left: y.shape(), right: a.shape() });
+    }
+    let (av, bv) = (a.data(), b.data());
+    for (i, out) in y.data_mut().iter_mut().enumerate() {
+        *out = av[i] + bv[i];
+    }
+    Ok(())
+}
+
 /// Residual addition backward: the gradient flows unchanged to both inputs.
 pub fn add_backward(dy: &Tensor) -> (Tensor, Tensor) {
     (dy.clone(), dy.clone())
@@ -27,6 +48,24 @@ pub fn concat_forward(inputs: &[&Tensor]) -> Result<Tensor, TensorError> {
         .first()
         .ok_or_else(|| TensorError::UnsupportedShape("concat of zero tensors".into()))?;
     let s0 = first.shape();
+    let total_c = inputs.iter().map(|t| t.shape().c()).sum();
+    let mut y = Tensor::zeros(Shape::nchw(s0.n(), total_c, s0.h(), s0.w()));
+    concat_forward_into(inputs, &mut y)?;
+    Ok(y)
+}
+
+/// Concatenation writing into a preallocated output (e.g. an arena view).
+/// Every element of `y` is overwritten; bit-exact with [`concat_forward`].
+///
+/// # Errors
+///
+/// Returns an error if inputs disagree on N/H/W, the list is empty, or `y`
+/// has the wrong shape.
+pub fn concat_forward_into(inputs: &[&Tensor], y: &mut Tensor) -> Result<(), TensorError> {
+    let first = inputs
+        .first()
+        .ok_or_else(|| TensorError::UnsupportedShape("concat of zero tensors".into()))?;
+    let s0 = first.shape();
     let mut total_c = 0;
     for t in inputs {
         let s = t.shape();
@@ -36,7 +75,9 @@ pub fn concat_forward(inputs: &[&Tensor]) -> Result<Tensor, TensorError> {
         total_c += s.c();
     }
     let out_shape = Shape::nchw(s0.n(), total_c, s0.h(), s0.w());
-    let mut y = Tensor::zeros(out_shape);
+    if y.shape() != out_shape {
+        return Err(TensorError::ShapeMismatch { left: y.shape(), right: out_shape });
+    }
     let plane = s0.h() * s0.w();
     for n in 0..s0.n() {
         let mut c_off = 0;
@@ -48,7 +89,7 @@ pub fn concat_forward(inputs: &[&Tensor]) -> Result<Tensor, TensorError> {
             c_off += c;
         }
     }
-    Ok(y)
+    Ok(())
 }
 
 /// Concatenation backward: splits `dy` back into per-input gradients.

@@ -5,7 +5,7 @@
 //! input to form weight gradients, so FC inputs fall in the paper's "Others"
 //! stash category (DPR-eligible).
 
-use crate::ops::matmul::{matmul_a_bt, matmul_at_b};
+use crate::ops::matmul::{matmul_a_bt_into, matmul_at_b};
 use crate::{Shape, Tensor, TensorError};
 use gist_par::{parallel_chunks_mut, parallel_reduce};
 
@@ -21,6 +21,26 @@ fn batch_grain(n: usize, f: usize) -> usize {
 /// Returns an error if `x`'s flattened feature count differs from `F_in` or
 /// the bias length differs from `F_out`.
 pub fn forward(x: &Tensor, weight: &Tensor, bias: Option<&Tensor>) -> Result<Tensor, TensorError> {
+    let (n, _) = x.shape().as_matrix();
+    let (f_out, _) = weight.shape().as_matrix();
+    let mut y = Tensor::zeros(Shape::matrix(n, f_out));
+    forward_into(x, weight, bias, &mut y)?;
+    Ok(y)
+}
+
+/// Forward pass writing into a preallocated output (e.g. an arena view).
+/// Every element of `y` is overwritten; bit-exact with [`forward`].
+///
+/// # Errors
+///
+/// As for [`forward`], plus a shape mismatch if `y` does not flatten to
+/// `[N, F_out]`.
+pub fn forward_into(
+    x: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    y: &mut Tensor,
+) -> Result<(), TensorError> {
     let (n, f_in) = x.shape().as_matrix();
     let (f_out, wf_in) = weight.shape().as_matrix();
     if wf_in != f_in {
@@ -34,10 +54,13 @@ pub fn forward(x: &Tensor, weight: &Tensor, bias: Option<&Tensor>) -> Result<Ten
             });
         }
     }
-    let mut y = matmul_a_bt(x.data(), weight.data(), n, f_in, f_out);
+    if y.shape().as_matrix() != (n, f_out) {
+        return Err(TensorError::ShapeMismatch { left: y.shape(), right: Shape::matrix(n, f_out) });
+    }
+    matmul_a_bt_into(x.data(), weight.data(), n, f_in, f_out, y.data_mut());
     if let Some(b) = bias {
         let grain = batch_grain(n, f_out);
-        parallel_chunks_mut(&mut y, grain * f_out, |_, rows| {
+        parallel_chunks_mut(y.data_mut(), grain * f_out, |_, rows| {
             for row in rows.chunks_mut(f_out) {
                 for (v, bv) in row.iter_mut().zip(b.data()) {
                     *v += bv;
@@ -45,7 +68,7 @@ pub fn forward(x: &Tensor, weight: &Tensor, bias: Option<&Tensor>) -> Result<Ten
             }
         });
     }
-    Tensor::from_vec(Shape::matrix(n, f_out), y)
+    Ok(())
 }
 
 /// Gradients from the fully-connected backward pass.

@@ -66,18 +66,32 @@ fn denominators(x: &Tensor, p: LrnParams) -> Vec<f32> {
 ///
 /// Returns an error if `size` is zero or the input has no channels.
 pub fn forward(x: &Tensor, p: LrnParams) -> Result<Tensor, TensorError> {
+    let mut y = Tensor::zeros(x.shape());
+    forward_into(x, p, &mut y)?;
+    Ok(y)
+}
+
+/// Forward pass writing into a preallocated output (e.g. an arena view).
+/// Every element of `y` is overwritten; bit-exact with [`forward`].
+///
+/// # Errors
+///
+/// As for [`forward`], plus a shape mismatch on `y`.
+pub fn forward_into(x: &Tensor, p: LrnParams, y: &mut Tensor) -> Result<(), TensorError> {
     if p.size == 0 || x.shape().c() == 0 {
         return Err(TensorError::UnsupportedShape(format!("lrn size {} on {}", p.size, x.shape())));
     }
+    if y.shape() != x.shape() {
+        return Err(TensorError::ShapeMismatch { left: y.shape(), right: x.shape() });
+    }
     let den = denominators(x, p);
-    let mut data = vec![0.0f32; x.numel()];
-    parallel_chunks_mut(&mut data, 1 << 14, |ci, chunk| {
+    parallel_chunks_mut(y.data_mut(), 1 << 14, |ci, chunk| {
         let off = ci * (1 << 14);
         for (j, v) in chunk.iter_mut().enumerate() {
             *v = x.data()[off + j] / den[off + j].powf(p.beta);
         }
     });
-    Tensor::from_vec(x.shape(), data)
+    Ok(())
 }
 
 /// Backward pass from the stashed input.

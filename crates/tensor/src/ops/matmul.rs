@@ -79,11 +79,24 @@ pub fn matmul_at_b(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f3
 
 /// `C[m x n] = A[m x k] * B^T[k x n]` where `B` is stored as `[n x k]`.
 pub fn matmul_a_bt(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut c = vec![0.0f32; m * n];
+    matmul_a_bt_into(a, b, m, k, n, &mut c);
+    c
+}
+
+/// [`matmul_a_bt`] writing into a preallocated output slice (e.g. an arena
+/// view). Every element of `c` is overwritten (`*cv = acc`), so the slice
+/// may hold garbage on entry; bit-exact with [`matmul_a_bt`].
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the given dimensions.
+pub fn matmul_a_bt_into(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, c: &mut [f32]) {
     assert_eq!(a.len(), m * k, "lhs length");
     assert_eq!(b.len(), n * k, "rhs length");
-    let mut c = vec![0.0f32; m * n];
+    assert_eq!(c.len(), m * n, "out length");
     let grain = row_grain(m, k, n);
-    parallel_chunks_mut(&mut c, grain * n, |ci, cchunk| {
+    parallel_chunks_mut(c, grain * n, |ci, cchunk| {
         let row0 = ci * grain;
         for (r, crow) in cchunk.chunks_mut(n).enumerate() {
             let i = row0 + r;
@@ -98,7 +111,6 @@ pub fn matmul_a_bt(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f3
             }
         }
     });
-    c
 }
 
 #[cfg(test)]

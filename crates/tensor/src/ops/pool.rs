@@ -51,6 +51,21 @@ pub struct MaxPoolOutput {
     pub argmax: Vec<u8>,
 }
 
+/// Rejects degenerate pooling geometry before any output-shape arithmetic.
+fn check_geometry(kind: &str, s: Shape, p: PoolParams) -> Result<(), TensorError> {
+    if p.window == 0
+        || p.stride == 0
+        || s.h() + 2 * p.pad < p.window
+        || s.w() + 2 * p.pad < p.window
+    {
+        return Err(TensorError::UnsupportedShape(format!(
+            "{kind} window {}x{} stride {} pad {} on {s}",
+            p.window, p.window, p.stride, p.pad
+        )));
+    }
+    Ok(())
+}
+
 /// Max-pool forward pass.
 ///
 /// Padding positions are treated as `-inf` (never selected unless the whole
@@ -60,19 +75,31 @@ pub struct MaxPoolOutput {
 ///
 /// Returns [`TensorError::UnsupportedShape`] if the window does not fit.
 pub fn maxpool_forward(x: &Tensor, p: PoolParams) -> Result<MaxPoolOutput, TensorError> {
+    check_geometry("maxpool", x.shape(), p)?;
+    let mut y = Tensor::zeros(p.out_shape(x.shape()));
+    let argmax = maxpool_forward_into(x, p, &mut y)?;
+    Ok(MaxPoolOutput { y, argmax })
+}
+
+/// Max-pool forward pass writing into a preallocated output (e.g. an arena
+/// view), returning the Y→X window-index map. Every element of `y` is
+/// overwritten; bit-exact with [`maxpool_forward`].
+///
+/// # Errors
+///
+/// Returns [`TensorError::UnsupportedShape`] if the window does not fit, or
+/// [`TensorError::ShapeMismatch`] if `y` has the wrong shape.
+pub fn maxpool_forward_into(
+    x: &Tensor,
+    p: PoolParams,
+    y: &mut Tensor,
+) -> Result<Vec<u8>, TensorError> {
     let s = x.shape();
-    if p.window == 0
-        || p.stride == 0
-        || s.h() + 2 * p.pad < p.window
-        || s.w() + 2 * p.pad < p.window
-    {
-        return Err(TensorError::UnsupportedShape(format!(
-            "maxpool window {}x{} stride {} pad {} on {s}",
-            p.window, p.window, p.stride, p.pad
-        )));
-    }
+    check_geometry("maxpool", s, p)?;
     let out = p.out_shape(s);
-    let mut y = Tensor::zeros(out);
+    if y.shape() != out {
+        return Err(TensorError::ShapeMismatch { left: y.shape(), right: out });
+    }
     let mut argmax = vec![0u8; out.numel()];
     let mut oi = 0usize;
     for n in 0..s.n() {
@@ -102,7 +129,7 @@ pub fn maxpool_forward(x: &Tensor, p: PoolParams) -> Result<MaxPoolOutput, Tenso
             }
         }
     }
-    Ok(MaxPoolOutput { y, argmax })
+    Ok(argmax)
 }
 
 /// Max-pool backward pass using only the Y→X map (no stashed `X` or `Y`).
@@ -157,19 +184,26 @@ pub fn maxpool_backward(
 ///
 /// Returns [`TensorError::UnsupportedShape`] if the window does not fit.
 pub fn avgpool_forward(x: &Tensor, p: PoolParams) -> Result<Tensor, TensorError> {
+    check_geometry("avgpool", x.shape(), p)?;
+    let mut y = Tensor::zeros(p.out_shape(x.shape()));
+    avgpool_forward_into(x, p, &mut y)?;
+    Ok(y)
+}
+
+/// Average-pool forward pass writing into a preallocated output (e.g. an
+/// arena view). Every element of `y` is overwritten; bit-exact with
+/// [`avgpool_forward`].
+///
+/// # Errors
+///
+/// As for [`avgpool_forward`], plus a shape mismatch on `y`.
+pub fn avgpool_forward_into(x: &Tensor, p: PoolParams, y: &mut Tensor) -> Result<(), TensorError> {
     let s = x.shape();
-    if p.window == 0
-        || p.stride == 0
-        || s.h() + 2 * p.pad < p.window
-        || s.w() + 2 * p.pad < p.window
-    {
-        return Err(TensorError::UnsupportedShape(format!(
-            "avgpool window {} stride {} pad {} on {s}",
-            p.window, p.stride, p.pad
-        )));
-    }
+    check_geometry("avgpool", s, p)?;
     let out = p.out_shape(s);
-    let mut y = Tensor::zeros(out);
+    if y.shape() != out {
+        return Err(TensorError::ShapeMismatch { left: y.shape(), right: out });
+    }
     let area = (p.window * p.window) as f32;
     let mut oi = 0usize;
     for n in 0..s.n() {
@@ -193,7 +227,7 @@ pub fn avgpool_forward(x: &Tensor, p: PoolParams) -> Result<Tensor, TensorError>
             }
         }
     }
-    Ok(y)
+    Ok(())
 }
 
 /// Average-pool backward pass: distributes `dY / area` over each window.

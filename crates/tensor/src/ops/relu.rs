@@ -9,8 +9,23 @@ use crate::Tensor;
 
 /// Forward pass: `Y = max(X, 0)`.
 pub fn forward(x: &Tensor) -> Tensor {
-    let data = x.data().iter().map(|&v| if v > 0.0 { v } else { 0.0 }).collect();
-    Tensor::from_vec(x.shape(), data).expect("same shape")
+    let mut y = Tensor::zeros(x.shape());
+    forward_into(x, &mut y);
+    y
+}
+
+/// Forward pass writing into a preallocated output (e.g. an arena view).
+/// Every element of `y` is overwritten. Bit-exact with [`forward`]: `-0.0`
+/// inputs map to `+0.0`, unlike [`forward_inplace`] which preserves them.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn forward_into(x: &Tensor, y: &mut Tensor) {
+    assert_eq!(x.shape(), y.shape(), "relu forward shapes");
+    for (out, &v) in y.data_mut().iter_mut().zip(x.data()) {
+        *out = if v > 0.0 { v } else { 0.0 };
+    }
 }
 
 /// In-place forward pass, reusing the input buffer.
@@ -62,6 +77,16 @@ mod tests {
     fn forward_clamps_negatives() {
         let x = Tensor::from_vec(Shape::vector(4), vec![-1.0, 0.0, 2.0, -0.5]).unwrap();
         assert_eq!(forward(&x).data(), &[0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn forward_into_overwrites_poisoned_output() {
+        let x = Tensor::from_vec(Shape::vector(4), vec![-1.0, -0.0, 2.0, f32::MIN]).unwrap();
+        let mut y = Tensor::full(Shape::vector(4), f32::NAN);
+        forward_into(&x, &mut y);
+        assert_eq!(y, forward(&x));
+        // -0.0 normalizes to +0.0, matching `forward` exactly.
+        assert!(y.data()[1].is_sign_positive());
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! Shared flat `f32` storage backing tensor views.
+//!
+//! A [`Storage`] is one contiguous slab of `f32` cells that many
+//! [`crate::Tensor`] *views* index into at fixed offsets. It exists so that
+//! the `gist-memory` offset plan can be executed rather than merely
+//! accounted: the arena runtime allocates one `Storage` per training step
+//! plan and hands out views at the planned offsets.
+//!
+//! # Safety discipline
+//!
+//! `Storage` hands out overlapping-capable slices through `unsafe`
+//! accessors, mirroring the `SendPtr` discipline in `gist-par`: the *safe*
+//! surface lives in the callers (the arena executor), which uphold the
+//! contract structurally —
+//!
+//! 1. every view's `[offset, offset + len)` range comes from an offset plan
+//!    whose pairwise disjointness for temporally-overlapping buffers has
+//!    been verified (`OffsetPlan::verify`), and
+//! 2. regions whose lifetimes *do* overlap in plan time are only written
+//!    while no reader of an aliased range is live, because the arena
+//!    executor serializes the compute of each wave.
+//!
+//! Violating either rule is undefined behavior, which is exactly why the
+//! accessors are `unsafe fn` and every call site records its justification.
+
+use std::cell::UnsafeCell;
+use std::sync::Arc;
+
+/// A contiguous, shareable slab of `f32` cells.
+///
+/// See the module docs for the aliasing discipline. The slab's length is
+/// fixed at construction; contents start zeroed.
+pub struct Storage {
+    cell: UnsafeCell<Box<[f32]>>,
+}
+
+// SAFETY: `Storage` is a raw slab; cross-thread access is governed by the
+// callers' plan-verified disjointness discipline (module docs). This mirrors
+// `SendPtr` in gist-par: the unsafe accessors carry the actual proof burden.
+unsafe impl Send for Storage {}
+unsafe impl Sync for Storage {}
+
+impl Storage {
+    /// Allocates a zero-filled slab of `len` elements, shared behind an
+    /// [`Arc`] so many views can reference it.
+    pub fn new(len: usize) -> Arc<Self> {
+        Arc::new(Storage { cell: UnsafeCell::new(vec![0.0f32; len].into_boxed_slice()) })
+    }
+
+    /// Number of `f32` cells in the slab.
+    pub fn len(&self) -> usize {
+        // SAFETY: reading the slice length never touches cell contents.
+        unsafe { (&*self.cell.get()).len() }
+    }
+
+    /// Whether the slab holds zero cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Read-only slice of `[offset, offset + len)`.
+    ///
+    /// # Safety
+    ///
+    /// For the returned lifetime, no mutable slice overlapping the range may
+    /// exist or be created (see the module-level discipline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the slab.
+    pub unsafe fn slice(&self, offset: usize, len: usize) -> &[f32] {
+        // SAFETY: in-bounds per the assert below; aliasing per caller contract.
+        unsafe {
+            let slab: &[f32] = &*self.cell.get();
+            assert!(offset + len <= slab.len(), "storage slice out of bounds");
+            &slab[offset..offset + len]
+        }
+    }
+
+    /// Mutable slice of `[offset, offset + len)`.
+    ///
+    /// # Safety
+    ///
+    /// For the returned lifetime, no other slice (shared or mutable)
+    /// overlapping the range may exist or be created (see the module-level
+    /// discipline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the slab.
+    #[allow(clippy::mut_from_ref)] // interior mutability is this type's purpose
+    pub unsafe fn slice_mut(&self, offset: usize, len: usize) -> &mut [f32] {
+        // SAFETY: in-bounds per the assert below; aliasing per caller contract.
+        unsafe {
+            let slab: &mut [f32] = &mut *self.cell.get();
+            assert!(offset + len <= slab.len(), "storage slice_mut out of bounds");
+            &mut slab[offset..offset + len]
+        }
+    }
+
+    /// Fills `[offset, offset + len)` with `value` — used by the arena's
+    /// debug poisoning of dead regions.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`Storage::slice_mut`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the slab.
+    pub unsafe fn fill(&self, offset: usize, len: usize, value: f32) {
+        // SAFETY: forwarded caller contract.
+        unsafe {
+            self.slice_mut(offset, len).fill(value);
+        }
+    }
+}
+
+impl std::fmt::Debug for Storage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Storage").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_storage_is_zeroed() {
+        let s = Storage::new(8);
+        assert_eq!(s.len(), 8);
+        assert!(!s.is_empty());
+        // SAFETY: no other slices exist.
+        let all = unsafe { s.slice(0, 8) };
+        assert!(all.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn disjoint_slices_read_back_writes() {
+        let s = Storage::new(8);
+        // SAFETY: the two ranges are disjoint and no reads overlap them.
+        unsafe {
+            s.slice_mut(0, 4).copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+            s.fill(4, 4, 9.0);
+        }
+        // SAFETY: no mutable slices remain.
+        unsafe {
+            assert_eq!(s.slice(0, 4), &[1.0, 2.0, 3.0, 4.0]);
+            assert_eq!(s.slice(4, 4), &[9.0; 4]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_slice_panics() {
+        let s = Storage::new(4);
+        // SAFETY: bounds are checked before any reference is formed.
+        let _ = unsafe { s.slice(2, 3) };
+    }
+
+    #[test]
+    fn empty_storage() {
+        let s = Storage::new(0);
+        assert!(s.is_empty());
+        // SAFETY: zero-length slice of an empty slab.
+        assert_eq!(unsafe { s.slice(0, 0) }.len(), 0);
+    }
+}

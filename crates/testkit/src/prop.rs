@@ -240,7 +240,7 @@ impl<S: Strategy> Strategy for VecOf<S> {
                 (0..16).map(|i| i * n / 16).collect()
             };
             for i in positions {
-                if n - 1 >= min {
+                if n > min {
                     let mut v = value.clone();
                     v.remove(i);
                     out.push(v);

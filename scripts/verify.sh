@@ -7,9 +7,11 @@
 #      once on the default gist-par pool — the two runs must both pass, so
 #      any thread-count-dependent behaviour fails the gate
 #   3. rustfmt conformance (rustfmt.toml at the repo root)
-#   4. the memory oracle gate: a traced training step per small net x stash
-#      mode, failing if the runtime accountant's observed peak disagrees
-#      with the static planner's prediction or any packed layout overlaps
+#   4. clippy over all targets with warnings denied
+#   5. the memory oracle gate: a traced training step per small net x stash
+#      mode (heap and arena policies), failing if the runtime accountant's
+#      observed peak disagrees with the static planner's prediction, any
+#      packed layout overlaps, or an arena step escapes its planned slab
 #
 # Run this before committing; record what changed in CHANGELOG.md and
 # append a one-line summary to CHANGES.md as usual.
@@ -27,6 +29,9 @@ env -u GIST_THREADS cargo test -q --offline --workspace
 
 echo "==> cargo fmt --check"
 cargo fmt --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets --offline -- -D warnings
 
 echo "==> memory oracle gate (traced step vs static planner)"
 cargo run --release -q --offline -p gist-bench --bin extra_runtime_validation

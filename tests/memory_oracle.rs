@@ -10,7 +10,11 @@ use gist::memory::{check_no_overlap, observed_peak};
 use gist::obs::{Event, MemoryAccountant, TraceSink};
 use gist::par::with_threads;
 use gist::prelude::*;
-use gist::runtime::{predict_step_events, predicted_peak_bytes, ssdc_stash_sizes};
+use gist::runtime::{
+    predict_step_events, predict_step_events_for, predicted_peak_bytes, predicted_peak_bytes_for,
+    ssdc_stash_sizes, AllocPolicy,
+};
+use std::collections::HashMap;
 
 const BATCH: usize = 8;
 const CLASSES: usize = 4;
@@ -100,6 +104,86 @@ fn no_concurrently_live_buffers_overlap() {
                 panic!("{net}/{policy}: buffers {a} and {b} overlap while both live");
             }
         }
+    }
+}
+
+/// The arena oracle: under `AllocPolicy::Arena` the step executes out of
+/// one pre-planned slab, and three independently-derived numbers agree —
+/// the peak the accountant observes while folding the live trace, the peak
+/// the static predictor computes from the graph alone, and (as an upper
+/// bound) the capacity of the slab the executor actually ran out of.
+/// Stronger still: every observed buffer life resolves to its planned
+/// region and no two concurrently-live regions overlap byte-for-byte
+/// (`verify_offsets`), so the layout is proven against execution, not just
+/// against the planner's own arithmetic.
+#[test]
+fn arena_step_runs_inside_the_planned_slab() {
+    for (net, graph) in zoo() {
+        for (policy, mode) in policies() {
+            let mut exec =
+                Executor::new_with_policy(graph.clone(), mode.clone(), 7, AllocPolicy::Arena)
+                    .unwrap_or_else(|e| panic!("{net}/{policy}: arena executor: {e}"));
+            let mut ds = SyntheticImages::new(CLASSES, 16, 0.4, 11);
+            let (x, y) = ds.minibatch(BATCH);
+            let sink = TraceSink::new();
+            let stats = exec.step_traced(&x, &y, 0.05, &sink).expect("step");
+            let trace = sink.take();
+
+            // Observed == predicted, event for event (the arena stream is
+            // fully static — no observed SSDC sizes needed).
+            let predicted =
+                predict_step_events_for(&graph, &mode, AllocPolicy::Arena, &HashMap::new())
+                    .unwrap_or_else(|e| panic!("{net}/{policy}: predictor: {e}"));
+            let observed: Vec<Event> = trace.iter().filter(|ev| ev.is_memory()).cloned().collect();
+            assert_eq!(observed, predicted, "{net}/{policy}: arena stream divergence");
+
+            // Peaks agree across all three derivations.
+            let mut acc = MemoryAccountant::new();
+            acc.fold_all(&trace).unwrap_or_else(|e| panic!("{net}/{policy}: bad stream: {e}"));
+            assert_eq!(acc.peak_bytes(), stats.peak_live_bytes as u64);
+            let predicted_peak =
+                predicted_peak_bytes_for(&graph, &mode, AllocPolicy::Arena, &HashMap::new())
+                    .unwrap();
+            assert_eq!(acc.peak_bytes(), predicted_peak, "{net}/{policy}: peak mismatch");
+
+            // Every life fits its planned region; concurrently-live regions
+            // are disjoint; the whole step fits the slab.
+            let arena = exec.arena().expect("arena policy implies an arena");
+            acc.verify_offsets(|name| arena.region(name))
+                .unwrap_or_else(|e| panic!("{net}/{policy}: layout violates trace: {e}"));
+            assert!(
+                acc.peak_bytes() as usize <= arena.capacity_bytes(),
+                "{net}/{policy}: observed peak exceeds slab capacity"
+            );
+            assert_eq!(
+                arena.capacity_bytes(),
+                arena.plan().total_bytes,
+                "{net}/{policy}: slab capacity != planned bytes"
+            );
+        }
+    }
+}
+
+/// Arena and heap execution are observationally equivalent where it
+/// matters: same loss, same accuracy, bit-for-bit — only the allocation
+/// discipline differs.
+#[test]
+fn arena_and_heap_steps_agree_bitwise() {
+    let graph = gist::models::tiny_convnet(BATCH, CLASSES);
+    for (policy, mode) in policies() {
+        let run = |alloc: AllocPolicy| {
+            let mut exec = Executor::new_with_policy(graph.clone(), mode.clone(), 7, alloc)
+                .unwrap_or_else(|e| panic!("{policy}: executor: {e}"));
+            let mut ds = SyntheticImages::new(CLASSES, 16, 0.4, 11);
+            let (x, y) = ds.minibatch(BATCH);
+            let stats = exec.step(&x, &y, 0.05).expect("step");
+            (stats.loss.to_bits(), stats.correct)
+        };
+        assert_eq!(
+            run(AllocPolicy::Heap),
+            run(AllocPolicy::Arena),
+            "{policy}: arena step diverged from heap step"
+        );
     }
 }
 
