@@ -99,19 +99,31 @@ fn main() {
             )
             .expect("executor");
             exec.step(&x, &y, 0.01).unwrap();
-            alloc_calls(|| {
+            let (leases0, misses0) = exec.scratch_counters();
+            let allocs = alloc_calls(|| {
                 exec.step(&x, &y, 0.01).unwrap();
-            })
+            });
+            let (leases1, misses1) = exec.scratch_counters();
+            (allocs, leases1 - leases0, misses1 - misses0)
         };
-        let heap_allocs = step_allocs(AllocPolicy::Heap);
-        let arena_allocs = step_allocs(AllocPolicy::Arena);
+        let (heap_allocs, leases, misses) = step_allocs(AllocPolicy::Heap);
+        let (arena_allocs, _, _) = step_allocs(AllocPolicy::Arena);
         assert!(
             arena_allocs < heap_allocs,
             "{label}: arena steady state must allocate less than heap \
              ({arena_allocs} vs {heap_allocs})"
         );
+        // The backward scratch pool should absorb the vast majority of
+        // post-warmup leases (misses are interleaving-dependent: a LIFO pop
+        // can hand a task a buffer smaller than its lease).
+        assert!(
+            misses <= leases / 2,
+            "{label}: scratch pool missed {misses}/{leases} leases post-warmup"
+        );
         g.meta(&format!("{label}_heap_allocs_per_step"), heap_allocs);
         g.meta(&format!("{label}_arena_allocs_per_step"), arena_allocs);
+        g.meta(&format!("{label}_scratch_leases_per_step"), leases);
+        g.meta(&format!("{label}_scratch_absorbed_per_step"), leases - misses);
 
         let mut exec = Executor::new_with_policy(
             gist_models::small_vgg(batch, 4),

@@ -7,6 +7,7 @@
 //! gist-cli stashes alexnet
 //! gist-cli dot resnet50 > resnet50.dot
 //! gist-cli train tiny-convnet --batch 4 --steps 3 --trace out.json
+//! gist-cli train small-vgg --batch 4 --alloc arena --offload recompute
 //! ```
 
 use gist_core::{plan::stash_breakdown, Gist, GistConfig};
@@ -70,6 +71,7 @@ struct Args {
     steps: usize,
     trace: Option<String>,
     alloc: gist_runtime::AllocPolicy,
+    offload: gist_runtime::OffloadMode,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -83,6 +85,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         steps: 1,
         trace: None,
         alloc: gist_runtime::AllocPolicy::Heap,
+        offload: gist_runtime::OffloadMode::None,
     };
     let mut it = argv[1..].iter();
     while let Some(a) = it.next() {
@@ -108,6 +111,21 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     other => return Err(format!("unknown alloc policy: {other}")),
                 };
             }
+            "--offload" => {
+                use gist_runtime::{OffloadMode, SwapStrategy};
+                args.offload = match it.next().ok_or("--offload needs a mechanism")?.as_str() {
+                    "recompute" => OffloadMode::Recompute,
+                    "swap" | "swap:vdnn" => OffloadMode::Swap(SwapStrategy::Vdnn),
+                    "swap:naive" => OffloadMode::Swap(SwapStrategy::Naive),
+                    "swap:cdma" => OffloadMode::Swap(SwapStrategy::Cdma { compression: 2.0 }),
+                    other => {
+                        return Err(format!(
+                            "unknown offload mechanism: {other} \
+                             (try recompute|swap|swap:naive|swap:vdnn|swap:cdma)"
+                        ))
+                    }
+                };
+            }
             "--dynamic" => args.dynamic = true,
             "--optimized-software" => args.optimized_software = true,
             other if !other.starts_with("--") && args.model.is_none() => {
@@ -122,7 +140,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
 fn usage() -> String {
     "usage: gist-cli <models|plan|breakdown|stashes|report|dot|trace|train> [model] \
      [--batch N] [--mode baseline|lossless|fp16|fp10|fp8] [--dynamic] [--optimized-software] \
-     [--steps N] [--trace out.json] [--alloc heap|arena]"
+     [--steps N] [--trace out.json] [--alloc heap|arena] \
+     [--offload recompute|swap|swap:naive|swap:vdnn|swap:cdma]"
         .to_string()
 }
 
@@ -239,10 +258,27 @@ fn run_train(graph: Graph, mode: gist_runtime::ExecMode, args: &Args) -> Result<
     } else {
         gist_runtime::SyntheticImages::new(classes, input.h(), 0.3, 42)
     };
-    let mut exec = gist_runtime::Executor::new_with_policy(graph, mode, 7, args.alloc)
-        .map_err(|e| e.to_string())?;
+    let mut exec =
+        gist_runtime::Executor::new_with_offload(graph, mode, 7, args.alloc, args.offload)
+            .map_err(|e| e.to_string())?;
     if let Some(capacity) = exec.arena_capacity_bytes() {
         println!("arena slab: {:.1} KB pre-planned", capacity as f64 / 1024.0);
+    }
+    if let Some(plan) = exec.offload_plan() {
+        let r = gist_offload::simulate(exec.graph(), plan, &gist_perf::GpuModel::titan_x())
+            .map_err(|e| e.to_string())?;
+        println!(
+            "offload: {} segment(s), {} swap transfer(s), {:.1} KB host-pinned",
+            plan.segments.len(),
+            r.transfers.len(),
+            exec.host_pinned_bytes() as f64 / 1024.0
+        );
+        println!(
+            "simulated step: {:.3} ms total, {:.3} ms stalled, {:.1}% overhead (Titan X clock)",
+            r.total_s * 1e3,
+            r.stall_s * 1e3,
+            r.overhead_pct()
+        );
     }
     let sink = gist_obs::TraceSink::new();
     let null = gist_obs::NullRecorder;
@@ -356,6 +392,37 @@ mod tests {
         let a =
             parse_args(&args(&["train", "tiny-classic", "--batch", "2", "--mode", "fp8"])).unwrap();
         run(a).unwrap();
+    }
+
+    #[test]
+    fn parses_offload_and_trains_offloaded() {
+        use gist_runtime::{OffloadMode, SwapStrategy};
+        let a = parse_args(&args(&[
+            "train",
+            "tiny-convnet",
+            "--batch",
+            "2",
+            "--alloc",
+            "arena",
+            "--offload",
+            "recompute",
+        ]))
+        .unwrap();
+        assert_eq!(a.offload, OffloadMode::Recompute);
+        run(a).unwrap();
+        for (flag, want) in [
+            ("swap", OffloadMode::Swap(SwapStrategy::Vdnn)),
+            ("swap:naive", OffloadMode::Swap(SwapStrategy::Naive)),
+            ("swap:vdnn", OffloadMode::Swap(SwapStrategy::Vdnn)),
+        ] {
+            let a =
+                parse_args(&args(&["train", "tiny-convnet", "--batch", "2", "--offload", flag]))
+                    .unwrap();
+            assert_eq!(a.offload, want, "{flag}");
+            run(a).unwrap();
+        }
+        assert!(parse_args(&args(&["train", "tiny-convnet", "--offload", "teleport"])).is_err());
+        assert!(parse_args(&args(&["train", "tiny-convnet", "--offload"])).is_err());
     }
 
     #[test]

@@ -174,7 +174,10 @@ impl MemoryAccountant {
                 });
                 self.peak_bytes = self.peak_bytes.max(self.live_bytes + bytes);
             }
-            Event::Span { .. } | Event::Encode { .. } | Event::Decode { .. } => {}
+            Event::Span { .. }
+            | Event::Encode { .. }
+            | Event::Decode { .. }
+            | Event::Transfer { .. } => {}
         }
         Ok(())
     }

@@ -40,6 +40,13 @@ pub fn export_chrome(events: &[Event]) -> String {
             Event::Decode { name, codec, raw_bytes, encoded_bytes } => {
                 codec_event(i, name, "decode", codec, *raw_bytes, *encoded_bytes)
             }
+            Event::Transfer { name, to_host, bytes, ts_ns, dur_ns } => format!(
+                "{{\"name\": \"{}\", \"cat\": \"pcie\", \"ph\": \"X\", \"ts\": {ts_ns}, \
+                 \"dur\": {dur_ns}, \"pid\": 1, \"tid\": \"pcie-{}\", \"args\": \
+                 {{\"kind\": \"transfer\", \"to_host\": {to_host}, \"bytes\": {bytes}}}}}",
+                json::escape(name),
+                if *to_host { "out" } else { "in" },
+            ),
         };
         let _ = writeln!(out, "  {body}{}", if i + 1 == events.len() { "" } else { "," });
     }
@@ -144,6 +151,22 @@ fn parse_event(index: usize, item: &Value) -> Result<Event, ParseError> {
                 .ok_or_else(|| bad("missing into"))?
                 .to_string(),
         },
+        "transfer" => {
+            let top_u64 = |key: &str| -> Result<u64, ParseError> {
+                item.get(key).and_then(Value::as_u64).ok_or_else(|| bad(&format!("missing {key}")))
+            };
+            let to_host = args
+                .get("to_host")
+                .and_then(Value::as_bool)
+                .ok_or_else(|| bad("missing to_host"))?;
+            Event::Transfer {
+                name,
+                to_host,
+                bytes: arg_u64("bytes")?,
+                ts_ns: top_u64("ts")?,
+                dur_ns: top_u64("dur")?,
+            }
+        }
         "encode" | "decode" => {
             let codec = args
                 .get("codec")
@@ -200,6 +223,20 @@ mod tests {
                 dur_ns: 1,
             },
             Event::Free { name: "relu1.y".into(), bytes: 4096 },
+            Event::Transfer {
+                name: "relu1.stash".into(),
+                to_host: true,
+                bytes: 1033,
+                ts_ns: 42,
+                dur_ns: 86,
+            },
+            Event::Transfer {
+                name: "relu1.stash".into(),
+                to_host: false,
+                bytes: 1033,
+                ts_ns: 900,
+                dur_ns: 86,
+            },
         ]
     }
 
@@ -226,7 +263,7 @@ mod tests {
         let doc = export_chrome(&sample());
         assert!(doc.trim_start().starts_with('['));
         assert!(doc.trim_end().ends_with(']'));
-        assert_eq!(doc.matches("\"ph\": \"X\"").count(), 2);
+        assert_eq!(doc.matches("\"ph\": \"X\"").count(), 4);
         assert_eq!(doc.matches("\"ph\": \"i\"").count(), 6);
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
     }

@@ -7,6 +7,9 @@ pub enum Phase {
     Forward,
     /// Backward pass.
     Backward,
+    /// A forward kernel re-executed during backward to rebuild a dropped
+    /// stash (gist-offload recompute segments).
+    Recompute,
 }
 
 impl Phase {
@@ -15,6 +18,7 @@ impl Phase {
         match self {
             Phase::Forward => "forward",
             Phase::Backward => "backward",
+            Phase::Recompute => "recompute",
         }
     }
 
@@ -23,6 +27,7 @@ impl Phase {
         match s {
             "forward" => Some(Phase::Forward),
             "backward" => Some(Phase::Backward),
+            "recompute" => Some(Phase::Recompute),
             _ => None,
         }
     }
@@ -106,6 +111,22 @@ pub enum Event {
         /// Encoded stash size in bytes.
         encoded_bytes: u64,
     },
+    /// A stash crossed the (simulated) PCIe bus between the device arena and
+    /// host pinned memory (gist-offload swap modes). Not a memory event: the
+    /// device-side residency change is carried by the paired `Alloc`/`Free`;
+    /// this records the transfer lane for chrome://tracing overlap views.
+    Transfer {
+        /// Node whose stash moved.
+        name: String,
+        /// `true` for swap-out (device→host), `false` for swap-in.
+        to_host: bool,
+        /// Bytes moved over the bus.
+        bytes: u64,
+        /// Simulated start time in nanoseconds since the step began.
+        ts_ns: u64,
+        /// Simulated duration in nanoseconds.
+        dur_ns: u64,
+    },
 }
 
 impl Event {
@@ -127,7 +148,7 @@ mod tests {
 
     #[test]
     fn phase_labels_round_trip() {
-        for p in [Phase::Forward, Phase::Backward] {
+        for p in [Phase::Forward, Phase::Backward, Phase::Recompute] {
             assert_eq!(Phase::from_label(p.label()), Some(p));
         }
         assert_eq!(Phase::from_label("sideways"), None);
@@ -144,6 +165,14 @@ mod tests {
             codec: "ssdc".into(),
             raw_bytes: 4,
             encoded_bytes: 2
+        }
+        .is_memory());
+        assert!(!Event::Transfer {
+            name: "relu1.stash".into(),
+            to_host: true,
+            bytes: 4096,
+            ts_ns: 0,
+            dur_ns: 10
         }
         .is_memory());
     }

@@ -37,6 +37,14 @@ impl Value {
         }
     }
 
+    /// The boolean value, if a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The number as an exact u64, if a non-negative integer.
     pub fn as_u64(&self) -> Option<u64> {
         match self {

@@ -1,0 +1,67 @@
+//! Host-side "pinned" staging memory for swapped-out stashes.
+//!
+//! Real vDNN pins host pages so cudaMemcpyAsync can DMA them; here the
+//! analogue is a set of slots whose capacity is fixed at plan time and
+//! never reallocated during training — storing and loading a stash touches
+//! no allocator, so the executor's zero-alloc steady state survives.
+
+/// Preallocated host slots, one per swapped node, sized from the plan.
+#[derive(Debug)]
+pub struct HostStore {
+    slots: Vec<Vec<f32>>,
+    pinned_bytes: u64,
+}
+
+impl HostStore {
+    /// Allocates one zero-filled slot per node; `capacities[i]` is the
+    /// element count of node `i`'s stash (0 = node is never swapped).
+    pub fn new(capacities: &[usize]) -> Self {
+        let pinned_bytes = capacities.iter().map(|&ne| ne as u64 * 4).sum();
+        HostStore { slots: capacities.iter().map(|&ne| vec![0.0; ne]).collect(), pinned_bytes }
+    }
+
+    /// Copies a stash out to its host slot (swap-out).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node has no slot or the size disagrees with the plan.
+    pub fn store(&mut self, node: usize, data: &[f32]) {
+        self.slots[node].copy_from_slice(data);
+    }
+
+    /// Borrows a swapped-out stash (swap-in reads this back into a device
+    /// buffer).
+    pub fn load(&self, node: usize) -> &[f32] {
+        &self.slots[node]
+    }
+
+    /// Total bytes held pinned on the host.
+    pub fn pinned_bytes(&self) -> u64 {
+        self.pinned_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stores_and_loads_bit_exact() {
+        let mut h = HostStore::new(&[0, 4, 0]);
+        assert_eq!(h.pinned_bytes(), 16);
+        let data = [1.5f32, -0.0, f32::NAN, f32::MIN_POSITIVE / 2.0];
+        h.store(1, &data);
+        let back = h.load(1);
+        assert_eq!(
+            data.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            back.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn size_mismatch_panics() {
+        let mut h = HostStore::new(&[2]);
+        h.store(0, &[1.0, 2.0, 3.0]);
+    }
+}

@@ -9,12 +9,14 @@ use gist_encodings::{BitMask, CsrMatrix, DprFormat};
 use gist_graph::{Graph, Node, NodeId, OpKind, Schedule};
 use gist_memory::{align_arena, Arena};
 use gist_obs::{Event, NullRecorder, Phase, Recorder};
+use gist_offload::{Action, HostStore, OffloadMode, OffloadPlan, StashDisposition};
 use gist_par::parallel_map;
 use gist_tensor::ops::batchnorm::BatchNormCache;
 use gist_tensor::ops::{batchnorm, conv, dropout, elementwise, linear, lrn, pool, relu, softmax};
 use gist_tensor::{Shape, Tensor};
 use std::collections::HashMap;
 use std::ops::Deref;
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// How the executor stashes feature maps for the backward pass.
@@ -263,6 +265,19 @@ pub struct Executor {
     planned_stash: Vec<u64>,
     /// Precomputed `{node}.y` / `.stash` / `.dy` / `.dec` names.
     names: Vec<BufNames>,
+    /// The offload mechanism this executor runs under.
+    offload: OffloadMode,
+    /// The offload plan, present only when it actually changes something
+    /// relative to fully-resident execution. The executor and the static
+    /// predictor iterate the *same* plan, so their event streams agree.
+    oplan: Option<OffloadPlan>,
+    /// Host "pinned" slots for swapped-out stashes (swap modes only).
+    /// Behind a mutex because forward waves store into it from the
+    /// sequential absorb loop while `&self` is shared with worker threads.
+    host: Option<Mutex<HostStore>>,
+    /// Reusable backward scratch (im2col columns and matmul temporaries),
+    /// so steady-state steps stop heap-allocating per-image scratch.
+    scratch: gist_tensor::ScratchPool,
     /// Learned parameters (public so callers can inspect or checkpoint).
     pub params: ParamSet,
 }
@@ -293,6 +308,27 @@ impl Executor {
         seed: u64,
         policy: AllocPolicy,
     ) -> Result<Self, RuntimeError> {
+        Self::new_with_offload(graph, mode, seed, policy, OffloadMode::None)
+    }
+
+    /// [`Executor::new_with_policy`] with an offload mechanism: recompute
+    /// drops dense stashes and rebuilds them by re-running forward kernels
+    /// at their first backward use; swap copies them to host pinned memory
+    /// and fetches them back just before that use. Both compose with every
+    /// `ExecMode` (encoded stashes always stay resident) and both
+    /// allocation policies, and both train bit-identically to resident
+    /// execution.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Executor::new_with_policy`].
+    pub fn new_with_offload(
+        graph: Graph,
+        mode: ExecMode,
+        seed: u64,
+        policy: AllocPolicy,
+        offload: OffloadMode,
+    ) -> Result<Self, RuntimeError> {
         let shapes = graph.infer_shapes()?;
         let params = ParamSet::init(&graph, seed)?;
         let encodings = match &mode {
@@ -306,14 +342,28 @@ impl Executor {
             }
             _ => vec![Encoding::None; graph.len()],
         };
+        let oplan = match offload {
+            OffloadMode::None => None,
+            _ => {
+                let plan = OffloadPlan::plan(&graph, &encodings, offload)?;
+                plan.has_offload_work().then_some(plan)
+            }
+        };
+        let host = match (&oplan, offload) {
+            (Some(plan), OffloadMode::Swap(_)) => {
+                Some(Mutex::new(HostStore::new(&plan.host_slots)))
+            }
+            _ => None,
+        };
         let (arena, planned_stash) = match policy {
             AllocPolicy::Heap => (None, Vec::new()),
             AllocPolicy::Arena => {
-                let events = crate::predict::predict_step_events_for(
+                let events = crate::predict::predict_step_events_offload(
                     &graph,
                     &mode,
                     AllocPolicy::Arena,
                     &HashMap::new(),
+                    oplan.as_ref(),
                 )?;
                 let arena = Arena::from_events(&events)
                     .map_err(|e| RuntimeError::Trace(format!("arena build: {e}")))?;
@@ -356,6 +406,10 @@ impl Executor {
             arena,
             planned_stash,
             names,
+            offload,
+            oplan,
+            host,
+            scratch: gist_tensor::ScratchPool::new(),
             params,
         })
     }
@@ -383,6 +437,44 @@ impl Executor {
     /// Total bytes of the packed slab (arena policy only).
     pub fn arena_capacity_bytes(&self) -> Option<usize> {
         self.arena.as_ref().map(Arena::capacity_bytes)
+    }
+
+    /// The offload mechanism this executor runs under.
+    pub fn offload_mode(&self) -> OffloadMode {
+        self.offload
+    }
+
+    /// The offload plan, when the mode actually offloads anything.
+    pub fn offload_plan(&self) -> Option<&OffloadPlan> {
+        self.oplan.as_ref()
+    }
+
+    /// Host pinned bytes held for swapped-out stashes (swap modes only).
+    pub fn host_pinned_bytes(&self) -> u64 {
+        self.host.as_ref().map_or(0, |h| h.lock().expect("host store lock").pinned_bytes())
+    }
+
+    /// Cumulative scratch-pool counters `(leases, fresh allocations)`: the
+    /// difference is how many per-step backward scratch allocations the
+    /// pool absorbed.
+    pub fn scratch_counters(&self) -> (u64, u64) {
+        self.scratch.counters()
+    }
+
+    /// What the plan says happens to this node's stash (Resident when no
+    /// plan is active).
+    fn stash_disposition(&self, id: NodeId) -> StashDisposition {
+        self.oplan.as_ref().map_or(StashDisposition::Resident, |p| p.disposition[id.index()])
+    }
+
+    /// The name a node's stash is freed (and its arena region looked up)
+    /// under: the plan's swap-slot / rebuilt-stash name for offloaded
+    /// stashes, the default `{node}.stash` otherwise.
+    fn stash_free_name(&self, id: NodeId) -> &str {
+        self.oplan
+            .as_ref()
+            .and_then(|p| p.stash_free_name[id.index()].as_deref())
+            .unwrap_or(&self.names[id.index()].stash)
     }
 
     /// Event/meter size of a plain buffer: exact on the heap, the aligned
@@ -489,6 +581,70 @@ impl Executor {
         let raw = decoded.numel() * 4;
         let codec = s.codec_label().expect("encoded stash has a codec");
         Ok((decoded, raw, Some((pid, codec, raw as u64, s.encoded_bytes() as u64))))
+    }
+
+    /// The forward stash site, shared by [`Executor::absorb_forward`] and
+    /// the inplace-ReLU branch: materialize and meter the stash for
+    /// resident dispositions, skip it entirely for dropped ones, or copy it
+    /// out to the host store (a [`Event::Transfer`], not a memory event —
+    /// the bytes leave the device) for swapped ones.
+    fn stash_forward(
+        &self,
+        st: &mut StepState,
+        id: NodeId,
+        y: &Tensor,
+        rec: &dyn Recorder,
+        on: bool,
+        epoch: &Instant,
+    ) -> Result<(), RuntimeError> {
+        if !gist_graph::class::is_stashed(&self.graph, id) {
+            return Ok(());
+        }
+        let node = self.graph.node(id);
+        match self.stash_disposition(id) {
+            StashDisposition::Resident => {
+                let stash = self.make_stash(id, y)?;
+                let stash_bytes = self.stash_event_bytes(id, &stash);
+                st.meter.alloc(stash_bytes as usize);
+                if on {
+                    if let Some(codec) = stash.codec_label() {
+                        rec.record(Event::Encode {
+                            name: node.name.clone(),
+                            codec: codec.to_string(),
+                            raw_bytes: (y.numel() * 4) as u64,
+                            encoded_bytes: stash.encoded_bytes() as u64,
+                        });
+                    }
+                    rec.record(Event::Alloc {
+                        name: self.names[id.index()].stash.clone(),
+                        bytes: stash_bytes,
+                    });
+                }
+                st.stashes[id.index()] = Some(stash);
+            }
+            // Recompute will rebuild this stash in the backward pass (or
+            // nothing ever reads it): no device bytes, no events.
+            StashDisposition::Dropped => {}
+            StashDisposition::Swapped => {
+                let t0_ns = elapsed_ns(epoch);
+                self.host
+                    .as_ref()
+                    .expect("swap plan has a host store")
+                    .lock()
+                    .expect("host store lock")
+                    .store(id.index(), y.data());
+                if on {
+                    rec.record(Event::Transfer {
+                        name: node.name.clone(),
+                        to_host: true,
+                        bytes: (y.numel() * 4) as u64,
+                        ts_ns: t0_ns,
+                        dur_ns: elapsed_ns(epoch).saturating_sub(t0_ns),
+                    });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Computes one node's forward output from already-materialized inputs.
@@ -701,7 +857,7 @@ impl Executor {
                 let Some(NodeParams::Conv { weight, .. }) = self.params.get(id.index()) else {
                     unreachable!("conv has params")
                 };
-                let g = conv::backward(&x, weight, dy, *cp)?;
+                let g = conv::backward_with(&x, weight, dy, *cp, &self.scratch)?;
                 pg = Some(ParamGrads { main: g.dw, secondary: Some(g.db) });
                 contrib.push((producer, g.dx));
             }
@@ -717,7 +873,7 @@ impl Executor {
                 };
                 let (rows, cols) = self.shapes[id.index()].as_matrix();
                 let dy2 = dy.clone().reshape(Shape::matrix(rows, cols))?;
-                let g = linear::backward(&x, weight, &dy2)?;
+                let g = linear::backward_with(&x, weight, &dy2, &self.scratch)?;
                 pg = Some(ParamGrads { main: g.dw, secondary: Some(g.db) });
                 contrib.push((producer, g.dx.reshape(self.shapes[producer.index()])?));
             }
@@ -973,6 +1129,7 @@ impl Executor {
         out: NodeOut,
         rec: &dyn Recorder,
         on: bool,
+        epoch: &Instant,
     ) -> Result<(), RuntimeError> {
         let node = self.graph.node(id);
         let NodeOut { mut y, argmax, bn, mask, loss, t0_ns, dur_ns } = out;
@@ -1003,26 +1160,7 @@ impl Executor {
             st.loss = l;
             st.correct = c;
         }
-        if gist_graph::class::is_stashed(&self.graph, id) {
-            let stash = self.make_stash(id, &y)?;
-            let stash_bytes = self.stash_event_bytes(id, &stash);
-            st.meter.alloc(stash_bytes as usize);
-            if on {
-                if let Some(codec) = stash.codec_label() {
-                    rec.record(Event::Encode {
-                        name: node.name.clone(),
-                        codec: codec.to_string(),
-                        raw_bytes: (y.numel() * 4) as u64,
-                        encoded_bytes: stash.encoded_bytes() as u64,
-                    });
-                }
-                rec.record(Event::Alloc {
-                    name: self.names[id.index()].stash.clone(),
-                    bytes: stash_bytes,
-                });
-            }
-            st.stashes[id.index()] = Some(stash);
-        }
+        self.stash_forward(st, id, &y, rec, on, epoch)?;
         let y_bytes = self.ev_bytes(y.numel() * 4);
         st.meter.alloc(y_bytes as usize);
         if on {
@@ -1137,16 +1275,188 @@ impl Executor {
             }
         }
         // This node's backward pass was the last reader of its own stash
-        // (consumers' backward steps all ran earlier).
+        // (consumers' backward steps all ran earlier). Offloaded stashes
+        // free under the plan's name — the swap slot or rebuilt stash the
+        // materialization pass allocated.
         if let Some(stash) = st.stashes[id.index()].take() {
             let bytes = self.stash_event_bytes(id, &stash);
             st.meter.free(bytes as usize);
-            let name = &self.names[id.index()].stash;
+            let name = self.stash_free_name(id);
             if on {
-                rec.record(Event::Free { name: name.clone(), bytes });
+                rec.record(Event::Free { name: name.to_string(), bytes });
             }
             drop(stash);
             self.poison_region(name);
+        }
+        Ok(())
+    }
+
+    /// The backward wave-entry materialization pass: before any of a wave's
+    /// backward items run, fire every offload trigger attached to them — in
+    /// work order, sequentially — so swapped stashes are fetched and dropped
+    /// stashes rebuilt before a (possibly concurrent) backward compute reads
+    /// them. The event order this pass emits is the contract
+    /// `predict_step_events_offload` replays from the same plan.
+    #[allow(clippy::too_many_arguments)]
+    fn materialize_offload(
+        &self,
+        st: &mut StepState,
+        work: &[(NodeId, Option<Tensor>)],
+        wv: usize,
+        images: &Tensor,
+        labels: &[usize],
+        epoch: &Instant,
+        rec: &dyn Recorder,
+        on: bool,
+    ) -> Result<(), RuntimeError> {
+        let Some(plan) = &self.oplan else {
+            return Ok(());
+        };
+        for (id, _) in work {
+            for action in &plan.triggers[id.index()] {
+                match action {
+                    Action::SwapIn(v) => self.swap_in(st, plan, *v, rec, on, epoch)?,
+                    Action::Replay(s) => {
+                        self.replay_segment(st, plan, *s, wv, images, labels, epoch, rec, on)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Fetches one swapped-out stash from the host store into its planned
+    /// swap slot (`{node}.sin`), making it readable exactly like a resident
+    /// dense stash.
+    fn swap_in(
+        &self,
+        st: &mut StepState,
+        plan: &OffloadPlan,
+        v: NodeId,
+        rec: &dyn Recorder,
+        on: bool,
+        epoch: &Instant,
+    ) -> Result<(), RuntimeError> {
+        let vi = v.index();
+        let name = plan.swap_in_name[vi].as_ref().expect("triggered swap-in has a slot name");
+        let bytes = self.ev_bytes(plan.numel[vi] * 4);
+        st.meter.alloc(bytes as usize);
+        if on {
+            rec.record(Event::Alloc { name: name.clone(), bytes });
+        }
+        let t0_ns = elapsed_ns(epoch);
+        let host = self.host.as_ref().expect("swap plan has a host store");
+        let host = host.lock().expect("host store lock");
+        let tensor = match &self.arena {
+            Some(arena) => {
+                let mut t = arena
+                    .view(name, self.shapes[vi])
+                    .map_err(|e| RuntimeError::Trace(format!("arena: {e}")))?;
+                t.data_mut().copy_from_slice(host.load(vi));
+                t
+            }
+            None => Tensor::from_vec(self.shapes[vi], host.load(vi).to_vec())?,
+        };
+        drop(host);
+        if on {
+            rec.record(Event::Transfer {
+                name: self.graph.node(v).name.clone(),
+                to_host: false,
+                bytes: (plan.numel[vi] * 4) as u64,
+                ts_ns: t0_ns,
+                dur_ns: elapsed_ns(epoch).saturating_sub(t0_ns),
+            });
+        }
+        st.stashes[vi] = Some(Stash::Dense(tensor));
+        Ok(())
+    }
+
+    /// Re-executes one recompute segment's forward kernels, rebuilding its
+    /// dropped stashes (`{node}.rstash`) into their planned regions and
+    /// freeing replay-internal intermediates (`{node}.ry{segment}`) at
+    /// their last replay use.
+    #[allow(clippy::too_many_arguments)]
+    fn replay_segment(
+        &self,
+        st: &mut StepState,
+        plan: &OffloadPlan,
+        seg_index: usize,
+        wv: usize,
+        images: &Tensor,
+        labels: &[usize],
+        epoch: &Instant,
+        rec: &dyn Recorder,
+        on: bool,
+    ) -> Result<(), RuntimeError> {
+        let seg = &plan.segments[seg_index];
+        // Replay-local feature maps, seeded from data that is still live:
+        // resident dense stashes and the minibatch images. (Cloning a view
+        // deep-copies; like backward decode scratch, these short-lived reads
+        // are compute-internal and unmetered.)
+        let mut rmaps: Vec<Option<Tensor>> = vec![None; self.graph.len()];
+        for &e in &seg.externals {
+            let ei = e.index();
+            rmaps[ei] = Some(match &st.stashes[ei] {
+                Some(Stash::Dense(t)) => t.clone(),
+                Some(_) => unreachable!("replay externals are dense stashes"),
+                None => {
+                    debug_assert!(matches!(self.graph.node(e).op, OpKind::Input(_)));
+                    images.clone()
+                }
+            });
+        }
+        for (lane, step) in seg.replay.iter().enumerate() {
+            let node = self.graph.node(step.node);
+            let out_view = match &self.arena {
+                Some(arena) => Some(
+                    arena
+                        .view(&step.buf, self.shapes[step.node.index()])
+                        .map_err(|e| RuntimeError::Trace(format!("arena: {e}")))?,
+                ),
+                None => None,
+            };
+            let out = self.compute_forward(node, &rmaps, images, labels, epoch, out_view)?;
+            let NodeOut { mut y, t0_ns, dur_ns, .. } = out;
+            // The step counter has not advanced, so replayed dropout masks
+            // are bit-identical to the forward pass; argmax/BN/mask side
+            // outputs are likewise identical to the retained originals and
+            // are ignored (stats were already collected in the forward
+            // pass).
+            self.quantize_immediate(&mut y);
+            let bytes = self.ev_bytes(y.numel() * 4);
+            st.meter.alloc(bytes as usize);
+            if on {
+                rec.record(Event::Span {
+                    name: node.name.clone(),
+                    phase: Phase::Recompute,
+                    wave: wv as u32,
+                    lane: lane as u32,
+                    ts_ns: t0_ns,
+                    dur_ns,
+                });
+                rec.record(Event::Alloc { name: step.buf.clone(), bytes });
+            }
+            if step.is_stash {
+                let stash = match &self.arena {
+                    // A second view of the planned region the kernel just
+                    // wrote — reads only from here on.
+                    Some(arena) => arena
+                        .view(&step.buf, y.shape())
+                        .map_err(|e| RuntimeError::Trace(format!("arena: {e}")))?,
+                    None => y.clone(),
+                };
+                st.stashes[step.node.index()] = Some(Stash::Dense(stash));
+            }
+            rmaps[step.node.index()] = Some(y);
+            for (fid, fbuf) in &step.frees_after {
+                let fbytes = self.ev_bytes(self.shapes[fid.index()].numel() * 4);
+                st.meter.free(fbytes as usize);
+                if on {
+                    rec.record(Event::Free { name: fbuf.clone(), bytes: fbytes });
+                }
+                rmaps[fid.index()] = None;
+                self.poison_region(fbuf);
+            }
         }
         Ok(())
     }
@@ -1277,26 +1587,7 @@ impl Executor {
                             });
                         }
                         st.relu_sparsity.push((node.name.clone(), y.sparsity()));
-                        if gist_graph::class::is_stashed(&self.graph, id) {
-                            let stash = self.make_stash(id, &y)?;
-                            let stash_bytes = self.stash_event_bytes(id, &stash);
-                            st.meter.alloc(stash_bytes as usize);
-                            if on {
-                                if let Some(codec) = stash.codec_label() {
-                                    rec.record(Event::Encode {
-                                        name: node.name.clone(),
-                                        codec: codec.to_string(),
-                                        raw_bytes: (y.numel() * 4) as u64,
-                                        encoded_bytes: stash.encoded_bytes() as u64,
-                                    });
-                                }
-                                rec.record(Event::Alloc {
-                                    name: self.names[id.index()].stash.clone(),
-                                    bytes: stash_bytes,
-                                });
-                            }
-                            st.stashes[id.index()] = Some(stash);
-                        }
+                        self.stash_forward(&mut st, id, &y, rec, on, &epoch)?;
                         st.fmaps[id.index()] = Some(y);
                         // Release this node's own buffer if nothing reads it.
                         if st.last_use_pos[id.index()] == pos[id.index()] {
@@ -1334,7 +1625,7 @@ impl Executor {
                         &epoch,
                         Some(out_view),
                     )?;
-                    self.absorb_forward(&mut st, wv, lane, id, out, rec, on)?;
+                    self.absorb_forward(&mut st, wv, lane, id, out, rec, on, &epoch)?;
                 }
             } else {
                 // Heap policy: compute the wave — concurrently when it has
@@ -1365,7 +1656,7 @@ impl Executor {
                     })
                 };
                 for (lane, (&id, out)) in wave.iter().zip(outs).enumerate() {
-                    self.absorb_forward(&mut st, wv, lane, id, out?, rec, on)?;
+                    self.absorb_forward(&mut st, wv, lane, id, out?, rec, on, &epoch)?;
                 }
             }
         }
@@ -1406,6 +1697,7 @@ impl Executor {
                 self.quantize_immediate(&mut dy);
                 work.push((id, Some(dy)));
             }
+            self.materialize_offload(&mut st, &work, wv, images, labels, &epoch, rec, on)?;
             if self.arena.is_some() {
                 // Arena policy: serialize compute+merge per work item so
                 // the gradient-map and decode regions are only written
@@ -1480,7 +1772,7 @@ impl Executor {
             for node in self.graph.nodes() {
                 if let Some(stash) = &st.stashes[node.id.index()] {
                     rec.record(Event::Free {
-                        name: self.names[node.id.index()].stash.clone(),
+                        name: self.stash_free_name(node.id).to_string(),
                         bytes: self.stash_event_bytes(node.id, stash),
                     });
                 }

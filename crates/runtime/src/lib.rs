@@ -30,11 +30,12 @@ pub use autotune::{select_dpr_format, AutotuneConfig, AutotuneResult};
 pub use checkpoint::{load as load_checkpoint, save as save_checkpoint, CheckpointError};
 pub use data::SyntheticImages;
 pub use exec::{AllocPolicy, ExecMode, Executor, StepStats};
+pub use gist_offload::{OffloadMode, SwapStrategy};
 pub use optim::MomentumSgd;
 pub use params::ParamSet;
 pub use predict::{
-    predict_step_events, predict_step_events_for, predicted_peak_bytes, predicted_peak_bytes_for,
-    ssdc_stash_sizes,
+    predict_step_events, predict_step_events_for, predict_step_events_offload,
+    predicted_peak_bytes, predicted_peak_bytes_for, predicted_peak_bytes_offload, ssdc_stash_sizes,
 };
 pub use trainer::{train, train_loop, train_loop_traced, EpochStats, LrSchedule, TrainReport};
 

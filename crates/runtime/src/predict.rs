@@ -30,6 +30,7 @@ use gist_encodings::csr::{max_encoded_bytes, SsdcConfig};
 use gist_graph::{Graph, NodeId, OpKind, Schedule};
 use gist_memory::align_arena;
 use gist_obs::{Event, MemoryAccountant};
+use gist_offload::{Action, OffloadPlan, StashDisposition};
 use std::collections::HashMap;
 
 /// Extracts observed SSDC stash sizes (`node name -> encoded bytes`) from a
@@ -92,6 +93,28 @@ pub fn predict_step_events_for(
     mode: &ExecMode,
     policy: AllocPolicy,
     ssdc_bytes: &HashMap<String, u64>,
+) -> Result<Vec<Event>, RuntimeError> {
+    predict_step_events_offload(graph, mode, policy, ssdc_bytes, None)
+}
+
+/// [`predict_step_events_for`] under an offload plan: dropped and swapped
+/// stashes emit no forward allocation; each backward wave first replays the
+/// plan's triggers (swap-in slot allocations, recompute-segment replay
+/// allocations and replay-internal frees) in work order, exactly as the
+/// executor's wave-entry materialization pass does; and offloaded stashes
+/// free under the plan's swap-slot / rebuilt-stash names.
+///
+/// With `plan == None` this is exactly [`predict_step_events_for`].
+///
+/// # Errors
+///
+/// As for [`predict_step_events`].
+pub fn predict_step_events_offload(
+    graph: &Graph,
+    mode: &ExecMode,
+    policy: AllocPolicy,
+    ssdc_bytes: &HashMap<String, u64>,
+    plan: Option<&OffloadPlan>,
 ) -> Result<Vec<Event>, RuntimeError> {
     let n = graph.len();
     let shapes = graph.infer_shapes()?;
@@ -157,6 +180,15 @@ pub fn predict_step_events_for(
     let decode_is_transient = |pid: NodeId| -> bool {
         matches!(encodings[pid.index()], Encoding::Ssdc { .. } | Encoding::Dpr(_))
     };
+    // Offload-plan mirrors of the executor's stash_disposition /
+    // stash_free_name helpers.
+    let disposition = |id: NodeId| -> StashDisposition {
+        plan.map_or(StashDisposition::Resident, |p| p.disposition[id.index()])
+    };
+    let stash_free_name = |id: NodeId| -> String {
+        plan.and_then(|p| p.stash_free_name[id.index()].clone())
+            .unwrap_or_else(|| format!("{}.stash", graph.node(id).name))
+    };
 
     let mut events = Vec::new();
     // fmaps[j].is_some() / stashes[j].is_some() / grads[j].is_some() in the
@@ -180,7 +212,9 @@ pub fn predict_step_events_for(
                     live_fmap[producer.index()] = false;
                     events.push(Event::Reuse { from: y_name(producer), into: y_name(id) });
                     live_fmap[id.index()] = true;
-                    if gist_graph::class::is_stashed(graph, id) {
+                    if gist_graph::class::is_stashed(graph, id)
+                        && matches!(disposition(id), StashDisposition::Resident)
+                    {
                         events.push(Event::Alloc {
                             name: format!("{}.stash", node.name),
                             bytes: stash_size(id)?,
@@ -198,7 +232,9 @@ pub fn predict_step_events_for(
         }
         for &id in wave {
             let node = graph.node(id);
-            if gist_graph::class::is_stashed(graph, id) {
+            if gist_graph::class::is_stashed(graph, id)
+                && matches!(disposition(id), StashDisposition::Resident)
+            {
                 events.push(Event::Alloc {
                     name: format!("{}.stash", node.name),
                     bytes: stash_size(id)?,
@@ -234,6 +270,42 @@ pub fn predict_step_events_for(
                 continue; // no gradient path through this node
             }
             work.push((id, true));
+        }
+        // The executor's wave-entry materialization pass: swap-ins and
+        // recompute replays fire in work order before any per-item backward
+        // events of this wave.
+        if let Some(p) = plan {
+            for &(id, _) in &work {
+                for action in &p.triggers[id.index()] {
+                    match action {
+                        Action::SwapIn(v) => {
+                            let vi = v.index();
+                            let name = p.swap_in_name[vi]
+                                .clone()
+                                .expect("triggered swap-in has a slot name");
+                            events.push(Event::Alloc { name, bytes: sz(p.numel[vi] as u64 * 4) });
+                            stashed[vi] = true;
+                        }
+                        Action::Replay(s) => {
+                            for step in &p.segments[*s].replay {
+                                events.push(Event::Alloc {
+                                    name: step.buf.clone(),
+                                    bytes: sz(numel(step.node) * 4),
+                                });
+                                if step.is_stash {
+                                    stashed[step.node.index()] = true;
+                                }
+                                for (fid, fbuf) in &step.frees_after {
+                                    events.push(Event::Free {
+                                        name: fbuf.clone(),
+                                        bytes: sz(numel(*fid) * 4),
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
         }
         for &(id, has_dy) in &work {
             let node = graph.node(id);
@@ -277,10 +349,7 @@ pub fn predict_step_events_for(
             }
             if stashed[id.index()] {
                 stashed[id.index()] = false;
-                events.push(Event::Free {
-                    name: format!("{}.stash", node.name),
-                    bytes: stash_size(id)?,
-                });
+                events.push(Event::Free { name: stash_free_name(id), bytes: stash_size(id)? });
             }
         }
     }
@@ -289,10 +358,8 @@ pub fn predict_step_events_for(
     // executor's trailing frees).
     for node in graph.nodes() {
         if stashed[node.id.index()] {
-            events.push(Event::Free {
-                name: format!("{}.stash", node.name),
-                bytes: stash_size(node.id)?,
-            });
+            events
+                .push(Event::Free { name: stash_free_name(node.id), bytes: stash_size(node.id)? });
         }
     }
     for node in graph.nodes() {
@@ -330,6 +397,26 @@ pub fn predicted_peak_bytes_for(
     ssdc_bytes: &HashMap<String, u64>,
 ) -> Result<u64, RuntimeError> {
     let events = predict_step_events_for(graph, mode, policy, ssdc_bytes)?;
+    let mut acc = MemoryAccountant::new();
+    acc.fold_all(&events)
+        .map_err(|e| RuntimeError::Trace(format!("predicted stream malformed: {e}")))?;
+    Ok(acc.peak_bytes())
+}
+
+/// [`predicted_peak_bytes_for`] under an offload plan: the offload-aware
+/// predicted stream folded through the memory accountant.
+///
+/// # Errors
+///
+/// As for [`predict_step_events`].
+pub fn predicted_peak_bytes_offload(
+    graph: &Graph,
+    mode: &ExecMode,
+    policy: AllocPolicy,
+    ssdc_bytes: &HashMap<String, u64>,
+    plan: Option<&OffloadPlan>,
+) -> Result<u64, RuntimeError> {
+    let events = predict_step_events_offload(graph, mode, policy, ssdc_bytes, plan)?;
     let mut acc = MemoryAccountant::new();
     acc.fold_all(&events)
         .map_err(|e| RuntimeError::Trace(format!("predicted stream malformed: {e}")))?;

@@ -26,10 +26,12 @@
 
 pub mod init;
 pub mod ops;
+pub mod scratch;
 pub mod shape;
 pub mod storage;
 pub mod tensor;
 
+pub use scratch::{ScratchLease, ScratchPool};
 pub use shape::Shape;
 pub use storage::Storage;
 pub use tensor::Tensor;

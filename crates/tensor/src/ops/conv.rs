@@ -4,8 +4,8 @@
 //! compute weight gradients (Figure 4(d) in the paper) — which is why
 //! Binarize cannot apply to ReLU→Conv pairs and SSDC exists.
 
-use crate::ops::matmul::{matmul, matmul_a_bt, matmul_at_b};
-use crate::{Shape, Tensor, TensorError};
+use crate::ops::matmul::{matmul, matmul_a_bt_into, matmul_at_b_into};
+use crate::{ScratchPool, Shape, Tensor, TensorError};
 use gist_par::{parallel_chunks_mut, parallel_reduce, SendPtr};
 
 /// Geometry of a 2-D convolution.
@@ -45,6 +45,17 @@ fn im2col(x: &Tensor, n: usize, p: ConvParams, oh: usize, ow: usize) -> Vec<f32>
     let s = x.shape();
     let (c, k) = (s.c(), p.kernel);
     let mut cols = vec![0.0f32; c * k * k * oh * ow];
+    im2col_into(x, n, p, oh, ow, &mut cols);
+    cols
+}
+
+/// [`im2col`] writing into a preallocated, **zero-filled** buffer (padding
+/// cells are skipped, so the caller must provide zeros — a fresh
+/// [`ScratchPool`] lease qualifies).
+fn im2col_into(x: &Tensor, n: usize, p: ConvParams, oh: usize, ow: usize, cols: &mut [f32]) {
+    let s = x.shape();
+    let (c, k) = (s.c(), p.kernel);
+    debug_assert_eq!(cols.len(), c * k * k * oh * ow);
     for ci in 0..c {
         for kh in 0..k {
             for kw in 0..k {
@@ -66,7 +77,6 @@ fn im2col(x: &Tensor, n: usize, p: ConvParams, oh: usize, ow: usize) -> Vec<f32>
             }
         }
     }
-    cols
 }
 
 /// Scatters an im2col matrix back into one image's `dx` slice (transpose
@@ -216,6 +226,25 @@ pub fn backward(
     dy: &Tensor,
     p: ConvParams,
 ) -> Result<ConvGrads, TensorError> {
+    backward_with(x, weight, dy, p, &ScratchPool::new())
+}
+
+/// [`backward`] with its per-image scratch (im2col columns, the dW/dX
+/// matmul temporaries, and the per-task reduction partials) leased from a
+/// caller-owned [`ScratchPool`] instead of heap-allocated per call.
+/// Bit-exact with [`backward`] at every thread count: leases are
+/// zero-filled, and the merge tree is unchanged.
+///
+/// # Errors
+///
+/// As for [`backward`].
+pub fn backward_with(
+    x: &Tensor,
+    weight: &Tensor,
+    dy: &Tensor,
+    p: ConvParams,
+    scratch: &ScratchPool,
+) -> Result<ConvGrads, TensorError> {
     let s = x.shape();
     let ws = weight.shape();
     let out_c = ws.n();
@@ -241,16 +270,19 @@ pub fn backward(
         1,
         move |range| {
             let dx_ptr = dx_base.get();
-            let mut dw_part = vec![0.0f32; ws.numel()];
-            let mut db_part = vec![0.0f32; out_c];
+            let mut dw_part = scratch.lease(ws.numel());
+            let mut db_part = scratch.lease(out_c);
             for n in range {
-                let cols = im2col(x, n, p, oh, ow);
+                let mut cols = scratch.lease(ckk * oh * ow);
+                im2col_into(x, n, p, oh, ow, &mut cols);
                 let dy_n = &dy.data()[n * out_c * oh * ow..(n + 1) * out_c * oh * ow];
-                let dwn = matmul_a_bt(dy_n, &cols, out_c, oh * ow, ckk);
-                for (a, b) in dw_part.iter_mut().zip(&dwn) {
+                let mut dwn = scratch.lease(out_c * ckk);
+                matmul_a_bt_into(dy_n, &cols, out_c, oh * ow, ckk, &mut dwn);
+                for (a, b) in dw_part.iter_mut().zip(dwn.iter()) {
                     *a += b;
                 }
-                let dcols = matmul_at_b(weight.data(), dy_n, ckk, out_c, oh * ow);
+                let mut dcols = scratch.lease(ckk * oh * ow);
+                matmul_at_b_into(weight.data(), dy_n, ckk, out_c, oh * ow, &mut dcols);
                 // SAFETY: image slices of dx are disjoint; dx outlives the
                 // dispatch (parallel_reduce blocks until completion).
                 let dst = unsafe { std::slice::from_raw_parts_mut(dx_ptr.add(n * per_dx), per_dx) };
@@ -262,12 +294,14 @@ pub fn backward(
             (dw_part, db_part)
         },
         |(mut dw_a, mut db_a), (dw_b, db_b)| {
-            for (a, b) in dw_a.iter_mut().zip(&dw_b) {
+            for (a, b) in dw_a.iter_mut().zip(dw_b.iter()) {
                 *a += b;
             }
-            for (a, b) in db_a.iter_mut().zip(&db_b) {
+            for (a, b) in db_a.iter_mut().zip(db_b.iter()) {
                 *a += b;
             }
+            // Dropping the right-hand partials here returns their buffers
+            // to the pool for the next wave of tasks.
             (dw_a, db_a)
         },
     );

@@ -6,7 +6,7 @@
 //! stash category (DPR-eligible).
 
 use crate::ops::matmul::{matmul_a_bt_into, matmul_at_b};
-use crate::{Shape, Tensor, TensorError};
+use crate::{ScratchPool, Shape, Tensor, TensorError};
 use gist_par::{parallel_chunks_mut, parallel_reduce};
 
 /// Batch rows per parallel chunk — a pure function of the layer shape.
@@ -88,6 +88,22 @@ pub struct LinearGrads {
 ///
 /// Returns an error on dimension mismatch.
 pub fn backward(x: &Tensor, weight: &Tensor, dy: &Tensor) -> Result<LinearGrads, TensorError> {
+    backward_with(x, weight, dy, &ScratchPool::new())
+}
+
+/// [`backward`] with the per-task bias-reduction partials leased from a
+/// caller-owned [`ScratchPool`] instead of heap-allocated per call.
+/// Bit-exact with [`backward`] at every thread count.
+///
+/// # Errors
+///
+/// As for [`backward`].
+pub fn backward_with(
+    x: &Tensor,
+    weight: &Tensor,
+    dy: &Tensor,
+    scratch: &ScratchPool,
+) -> Result<LinearGrads, TensorError> {
     let (n, f_in) = x.shape().as_matrix();
     let (f_out, wf_in) = weight.shape().as_matrix();
     let (dn, df) = dy.shape().as_matrix();
@@ -105,7 +121,7 @@ pub fn backward(x: &Tensor, weight: &Tensor, dy: &Tensor) -> Result<LinearGrads,
         n,
         grain,
         |range| {
-            let mut part = vec![0.0f32; f_out];
+            let mut part = scratch.lease(f_out);
             for row in range {
                 for (d, v) in part.iter_mut().zip(&dy.data()[row * f_out..(row + 1) * f_out]) {
                     *d += v;
@@ -114,13 +130,13 @@ pub fn backward(x: &Tensor, weight: &Tensor, dy: &Tensor) -> Result<LinearGrads,
             part
         },
         |mut a, b| {
-            for (d, v) in a.iter_mut().zip(&b) {
+            for (d, v) in a.iter_mut().zip(b.iter()) {
                 *d += v;
             }
             a
         },
     )
-    .unwrap_or_else(|| vec![0.0f32; f_out]);
+    .map_or_else(|| vec![0.0f32; f_out], |part| part.to_vec());
     Ok(LinearGrads {
         dx: Tensor::from_vec(Shape::matrix(n, f_in), dx)?,
         dw: Tensor::from_vec(weight.shape(), dw)?,

@@ -54,11 +54,26 @@ pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
 /// accumulates its `p` contributions in the same ascending order, so the
 /// per-element floating-point sums are unchanged.
 pub fn matmul_at_b(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut c = vec![0.0f32; m * n];
+    matmul_at_b_into(a, b, m, k, n, &mut c);
+    c
+}
+
+/// [`matmul_at_b`] writing into a preallocated output slice (e.g. a leased
+/// scratch buffer). Every element of `c` is overwritten (each chunk is
+/// zeroed before accumulation), so the slice may hold garbage on entry;
+/// bit-exact with [`matmul_at_b`].
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the given dimensions.
+pub fn matmul_at_b_into(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, c: &mut [f32]) {
     assert_eq!(a.len(), k * m, "lhs length");
     assert_eq!(b.len(), k * n, "rhs length");
-    let mut c = vec![0.0f32; m * n];
+    assert_eq!(c.len(), m * n, "out length");
     let grain = row_grain(m, k, n);
-    parallel_chunks_mut(&mut c, grain * n, |ci, cchunk| {
+    parallel_chunks_mut(c, grain * n, |ci, cchunk| {
+        cchunk.fill(0.0);
         let row0 = ci * grain;
         for (r, crow) in cchunk.chunks_mut(n).enumerate() {
             let i = row0 + r;
@@ -74,7 +89,6 @@ pub fn matmul_at_b(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f3
             }
         }
     });
-    c
 }
 
 /// `C[m x n] = A[m x k] * B^T[k x n]` where `B` is stored as `[n x k]`.

@@ -1,0 +1,121 @@
+//! A reusable pool of backward scratch buffers.
+//!
+//! The conv/linear backward kernels need per-image scratch (im2col columns,
+//! matmul temporaries, per-task reduction partials) that the original code
+//! heap-allocated on every call — thousands of allocations per training
+//! step at steady state. A [`ScratchPool`] recycles those buffers across
+//! calls: a lease pops a retired buffer (or allocates on first use), hands
+//! it out zero-filled, and returns it to the pool on drop.
+//!
+//! Determinism: a lease is always zero-filled before use, so *which*
+//! recycled buffer a task receives can never affect numerics — results stay
+//! bit-identical at every thread count even though concurrent tasks race on
+//! the pool's free list. Only the [`ScratchPool::counters`] diagnostics are
+//! interleaving-dependent.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A shared, thread-safe pool of recycled `f32` scratch buffers.
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    bufs: Mutex<Vec<Vec<f32>>>,
+    leases: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ScratchPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Leases a zero-filled buffer of `len` elements. The buffer returns to
+    /// the pool when the lease drops.
+    pub fn lease(&self, len: usize) -> ScratchLease<'_> {
+        self.leases.fetch_add(1, Ordering::Relaxed);
+        let mut buf = self.bufs.lock().expect("scratch pool lock").pop().unwrap_or_default();
+        if buf.capacity() < len {
+            // The pool could not cover this lease without touching the
+            // allocator — the signal `counters` reports.
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        buf.clear();
+        buf.resize(len, 0.0);
+        ScratchLease { pool: self, buf }
+    }
+
+    /// Cumulative `(leases, misses)`: total buffers handed out and how many
+    /// of those had to grow or allocate. The difference is the number of
+    /// heap allocations the pool absorbed. Diagnostic only — under
+    /// concurrent leasing the split depends on task interleaving.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.leases.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+}
+
+/// An exclusively-held scratch buffer; dereferences to `[f32]` and returns
+/// its storage to the pool on drop.
+#[derive(Debug)]
+pub struct ScratchLease<'p> {
+    pool: &'p ScratchPool,
+    buf: Vec<f32>,
+}
+
+impl Deref for ScratchLease<'_> {
+    type Target = [f32];
+
+    fn deref(&self) -> &[f32] {
+        &self.buf
+    }
+}
+
+impl DerefMut for ScratchLease<'_> {
+    fn deref_mut(&mut self) -> &mut [f32] {
+        &mut self.buf
+    }
+}
+
+impl Drop for ScratchLease<'_> {
+    fn drop(&mut self) {
+        let buf = std::mem::take(&mut self.buf);
+        self.pool.bufs.lock().expect("scratch pool lock").push(buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leases_are_zero_filled_even_after_reuse() {
+        let pool = ScratchPool::new();
+        {
+            let mut a = pool.lease(8);
+            a.fill(7.5);
+        }
+        let b = pool.lease(4);
+        assert!(b.iter().all(|&v| v == 0.0), "recycled lease must be zeroed");
+        assert_eq!(b.len(), 4);
+    }
+
+    #[test]
+    fn pool_absorbs_allocations() {
+        let pool = ScratchPool::new();
+        drop(pool.lease(16));
+        drop(pool.lease(16));
+        drop(pool.lease(8));
+        let (leases, misses) = pool.counters();
+        assert_eq!(leases, 3);
+        assert_eq!(misses, 1, "only the first lease should allocate");
+    }
+
+    #[test]
+    fn growth_counts_as_miss() {
+        let pool = ScratchPool::new();
+        drop(pool.lease(4));
+        drop(pool.lease(64));
+        assert_eq!(pool.counters(), (2, 2));
+    }
+}

@@ -12,6 +12,10 @@
 #      mode (heap and arena policies), failing if the runtime accountant's
 #      observed peak disagrees with the static planner's prediction, any
 #      packed layout overlaps, or an arena step escapes its planned slab
+#   6. the offload differential gate: recompute/swap training steps must be
+#      bit-identical to resident execution and match the offload-aware
+#      static prediction event-for-event, plus a CLI smoke of
+#      `train --offload recompute|swap`
 #
 # Run this before committing; record what changed in CHANGELOG.md and
 # append a one-line summary to CHANGES.md as usual.
@@ -35,5 +39,18 @@ cargo clippy --all-targets --offline -- -D warnings
 
 echo "==> memory oracle gate (traced step vs static planner)"
 cargo run --release -q --offline -p gist-bench --bin extra_runtime_validation
+
+echo "==> offload differential gate (executed recompute/swap vs resident)"
+cargo run --release -q --offline -p gist-bench --bin extra_offload_validation
+
+echo "==> CLI offload smoke (slab capacity + simulated stall must print)"
+out=$(cargo run --release -q --offline -p gist-cli -- \
+    train small-vgg --batch 4 --steps 1 --alloc arena --offload recompute)
+echo "$out"
+grep -q "arena slab:" <<<"$out" && grep -q "simulated step:" <<<"$out"
+out=$(cargo run --release -q --offline -p gist-cli -- \
+    train small-vgg --batch 4 --steps 1 --alloc arena --offload swap)
+echo "$out"
+grep -q "arena slab:" <<<"$out" && grep -q "simulated step:" <<<"$out"
 
 echo "verify: all tier-1 checks passed"

@@ -20,6 +20,8 @@ pub mod prelude {
     pub use gist_graph::{Graph, NodeId, OpKind};
     pub use gist_memory::{plan_static, SharingPolicy};
     pub use gist_obs::{MemoryAccountant, NullRecorder, Recorder, TraceSink};
+    pub use gist_offload::OffloadMode;
+    pub use gist_perf::SwapStrategy;
     pub use gist_runtime::{train, ExecMode, Executor, SyntheticImages};
     pub use gist_tensor::{Shape, Tensor};
 }
@@ -30,6 +32,7 @@ pub use gist_graph as graph;
 pub use gist_memory as memory;
 pub use gist_models as models;
 pub use gist_obs as obs;
+pub use gist_offload as offload;
 pub use gist_par as par;
 pub use gist_perf as perf;
 pub use gist_runtime as runtime;

@@ -1,0 +1,274 @@
+//! Differential offload suite.
+//!
+//! Recomputation and swapping change *where bytes live*, never *what values
+//! flow*: a training run under `OffloadMode::Recompute` or
+//! `OffloadMode::Swap(_)` must produce bit-for-bit the losses and updated
+//! weights of fully-resident execution, across every execution mode,
+//! allocation policy, and thread count. These tests check that promise the
+//! only way that counts — raw bits — and then attack the virtual-clock
+//! transfer engine's core invariant on randomly generated architectures:
+//! no swap-in is ever consumed before it has fully arrived, and no stash is
+//! fetched before it finished leaving the device.
+
+use gist::graph::Graph;
+use gist::par::with_threads;
+use gist::perf::GpuModel;
+use gist::prelude::*;
+use gist::runtime::AllocPolicy;
+use gist::tensor::ops::conv::ConvParams;
+use gist::tensor::ops::pool::PoolParams;
+use gist_testkit::prop::{boxed, just, map, one_of, vec_of, Strategy};
+use gist_testkit::Runner;
+
+const BATCH: usize = 4;
+const CLASSES: usize = 3;
+const STEPS: usize = 2;
+
+fn modes() -> Vec<(&'static str, ExecMode)> {
+    vec![
+        ("baseline", ExecMode::Baseline),
+        ("lossless", ExecMode::Gist(GistConfig::lossless())),
+        ("lossy_fp16", ExecMode::Gist(GistConfig::lossy(DprFormat::Fp16))),
+    ]
+}
+
+fn offloads() -> Vec<(&'static str, OffloadMode)> {
+    vec![
+        ("recompute", OffloadMode::Recompute),
+        ("swap_naive", OffloadMode::Swap(SwapStrategy::Naive)),
+        ("swap_vdnn", OffloadMode::Swap(SwapStrategy::Vdnn)),
+    ]
+}
+
+/// Every per-step loss plus every trainable scalar, as raw bit patterns.
+fn train_fingerprint(
+    graph: &Graph,
+    mode: &ExecMode,
+    policy: AllocPolicy,
+    offload: OffloadMode,
+    mut ds: SyntheticImages,
+) -> Vec<u32> {
+    let mut exec = Executor::new_with_offload(graph.clone(), mode.clone(), 9, policy, offload)
+        .expect("executor");
+    let mut fp = Vec::new();
+    for _ in 0..STEPS {
+        let (x, y) = ds.minibatch(BATCH);
+        let stats = exec.step(&x, &y, 0.05).expect("step");
+        fp.push(stats.loss.to_bits());
+    }
+    for i in 0..exec.graph().len() {
+        if let Some(p) = exec.params.get(i) {
+            match p {
+                gist::runtime::params::NodeParams::Conv { weight, bias }
+                | gist::runtime::params::NodeParams::Linear { weight, bias } => {
+                    fp.extend(weight.data().iter().map(|v| v.to_bits()));
+                    if let Some(b) = bias {
+                        fp.extend(b.data().iter().map(|v| v.to_bits()));
+                    }
+                }
+                gist::runtime::params::NodeParams::BatchNorm { gamma, beta } => {
+                    fp.extend(gamma.data().iter().map(|v| v.to_bits()));
+                    fp.extend(beta.data().iter().map(|v| v.to_bits()));
+                }
+            }
+        }
+    }
+    fp
+}
+
+fn vgg_ds() -> SyntheticImages {
+    SyntheticImages::new(CLASSES, 16, 0.35, 23)
+}
+
+/// The tentpole differential: fingerprints are byte-identical across
+/// `OffloadMode x AllocPolicy x thread count x ExecMode`. The resident
+/// heap single-thread run is the reference; every offloaded cell must
+/// match it.
+#[test]
+fn offloaded_training_is_bitwise_identical_to_resident() {
+    let graph = gist::models::small_vgg(BATCH, CLASSES);
+    for (mode_name, mode) in modes() {
+        let reference = with_threads(1, || {
+            train_fingerprint(&graph, &mode, AllocPolicy::Heap, OffloadMode::None, vgg_ds())
+        });
+        for (off_name, offload) in offloads() {
+            for threads in [1, 2] {
+                for policy in [AllocPolicy::Heap, AllocPolicy::Arena] {
+                    let fp = with_threads(threads, || {
+                        train_fingerprint(&graph, &mode, policy, offload, vgg_ds())
+                    });
+                    assert_eq!(
+                        fp, reference,
+                        "{mode_name}/{off_name}: {policy:?} at {threads} threads \
+                         diverged from resident heap/1"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Branchy graphs exercise plans a chain never builds: residual `Add`
+/// fan-in makes recompute segments with multi-reader intermediates, and
+/// dense-block `Concat` stashes many convs per wave.
+#[test]
+fn branchy_graphs_match_resident_under_offload() {
+    let nets: Vec<(&str, Graph)> = vec![
+        ("resnet_cifar", gist::models::resnet_cifar(1, BATCH)),
+        ("densenet_cifar", gist::models::densenet_cifar(1, 4, BATCH)),
+    ];
+    for (net, graph) in nets {
+        for (mode_name, mode) in
+            [("baseline", ExecMode::Baseline), ("lossless", ExecMode::Gist(GistConfig::lossless()))]
+        {
+            let ds = || SyntheticImages::rgb(10, 32, 0.35, 23);
+            let reference =
+                train_fingerprint(&graph, &mode, AllocPolicy::Heap, OffloadMode::None, ds());
+            for (off_name, offload) in [
+                ("recompute", OffloadMode::Recompute),
+                ("swap", OffloadMode::Swap(SwapStrategy::Vdnn)),
+            ] {
+                for policy in [AllocPolicy::Heap, AllocPolicy::Arena] {
+                    let fp = train_fingerprint(&graph, &mode, policy, offload, ds());
+                    assert_eq!(
+                        fp, reference,
+                        "{net}/{mode_name}/{off_name}: {policy:?} diverged from resident"
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Virtual-clock properties on random architectures
+// ---------------------------------------------------------------------------
+
+/// One randomly chosen layer in a chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LayerChoice {
+    Conv { channels: usize },
+    Relu,
+    MaxPool,
+    BatchNorm,
+}
+
+fn layer_strategy() -> impl Strategy<Value = LayerChoice> {
+    one_of(vec![
+        boxed(map(1usize..8, |channels| LayerChoice::Conv { channels })),
+        boxed(just(LayerChoice::Relu)),
+        boxed(just(LayerChoice::MaxPool)),
+        boxed(just(LayerChoice::BatchNorm)),
+    ])
+}
+
+fn build_chain(choices: &[LayerChoice]) -> Graph {
+    let mut g = Graph::new("offload-random-chain");
+    let mut x = g.input(gist::tensor::Shape::nchw(2, 3, 16, 16));
+    let mut hw = 16usize;
+    for (i, &c) in choices.iter().enumerate() {
+        x = match c {
+            LayerChoice::Conv { channels } => {
+                g.conv(x, channels, ConvParams::new(3, 1, 1), true, format!("conv{i}"))
+            }
+            LayerChoice::Relu => g.relu(x, format!("relu{i}")),
+            LayerChoice::MaxPool if hw >= 4 => {
+                hw /= 2;
+                g.max_pool(x, PoolParams::new(2, 2, 0), format!("maxpool{i}"))
+            }
+            LayerChoice::MaxPool => g.relu(x, format!("relu{i}")),
+            LayerChoice::BatchNorm => g.batch_norm(x, format!("bn{i}")),
+        };
+    }
+    let fc = g.linear(x, 3, true, "fc");
+    g.softmax_loss(fc, "loss");
+    g
+}
+
+fn plan_for(graph: &Graph, mode: OffloadMode) -> gist::offload::OffloadPlan {
+    let enc = vec![gist::core::Encoding::None; graph.len()];
+    gist::offload::OffloadPlan::plan(graph, &enc, mode).expect("plan")
+}
+
+/// The prefetch queue never violates causality, for any chain and any
+/// transfer strategy: a swap-in starts only after its swap-out finished,
+/// completes before it is consumed, and the double-buffered queue holds at
+/// most two undelivered prefetches at any virtual instant.
+#[test]
+fn swap_schedule_never_reads_a_stash_before_swap_in_completes() {
+    let gpu = GpuModel::titan_x();
+    let strategies =
+        [SwapStrategy::Naive, SwapStrategy::Vdnn, SwapStrategy::Cdma { compression: 2.0 }];
+    Runner::new("swap_schedule_never_reads_a_stash_before_swap_in_completes").cases(48).run(
+        &vec_of(layer_strategy(), 0..14),
+        |choices| {
+            let g = build_chain(choices);
+            for strategy in strategies {
+                let plan = plan_for(&g, OffloadMode::Swap(strategy));
+                let r = gist::offload::simulate(&g, &plan, &gpu).expect("simulate");
+                for t in &r.transfers {
+                    assert!(t.end_s >= t.start_s, "negative transfer duration");
+                    assert!(t.consume_s >= t.end_s, "stash read before swap-in completed");
+                    if !t.to_host {
+                        let out = r
+                            .transfers
+                            .iter()
+                            .find(|o| o.to_host && o.node == t.node)
+                            .expect("swap-in without a matching swap-out");
+                        assert!(t.start_s >= out.end_s, "fetch began before swap-out finished");
+                    }
+                }
+                // Double buffering: when the k-th prefetch starts, at most
+                // the two most recent predecessors are still undelivered.
+                if !matches!(strategy, SwapStrategy::Naive) {
+                    let ins: Vec<_> = r.transfers.iter().filter(|t| !t.to_host).collect();
+                    for (k, t) in ins.iter().enumerate() {
+                        if k >= 2 {
+                            assert!(
+                                t.start_s >= ins[k - 2].consume_s,
+                                "prefetch {k} overtook the double buffer"
+                            );
+                        }
+                    }
+                }
+                // Pure arithmetic: re-simulation is bit-identical.
+                let again = gist::offload::simulate(&g, &plan, &gpu).expect("simulate");
+                assert_eq!(r.total_s.to_bits(), again.total_s.to_bits());
+                assert_eq!(r.transfers, again.transfers);
+            }
+        },
+    );
+}
+
+/// Recompute plans on random chains always replay a segment before the
+/// backward item that needs it, and every dropped-but-read stash is rebuilt
+/// by exactly one segment.
+#[test]
+fn recompute_plans_rebuild_every_read_stash_exactly_once() {
+    Runner::new("recompute_plans_rebuild_every_read_stash_exactly_once").cases(48).run(
+        &vec_of(layer_strategy(), 0..14),
+        |choices| {
+            let g = build_chain(choices);
+            let plan = plan_for(&g, OffloadMode::Recompute);
+            let mut rebuilt = vec![0usize; g.len()];
+            for seg in &plan.segments {
+                for step in &seg.replay {
+                    if step.is_stash {
+                        rebuilt[step.node.index()] += 1;
+                    }
+                }
+            }
+            let dropped_and_rebuilt: Vec<usize> =
+                (0..g.len()).filter(|&i| rebuilt[i] > 0).collect();
+            for i in dropped_and_rebuilt {
+                assert_eq!(
+                    plan.disposition[i],
+                    gist::offload::StashDisposition::Dropped,
+                    "rebuilt a stash the plan says is {:?}",
+                    plan.disposition[i]
+                );
+                assert_eq!(rebuilt[i], 1, "stash rebuilt by more than one segment");
+            }
+        },
+    );
+}
