@@ -23,6 +23,7 @@ fn relu_output(sparsity_mod: usize) -> Vec<f32> {
 fn bench_binarize() {
     let mut g = BenchGroup::new("binarize");
     g.meta("threads", gist_par::current_threads() as u64);
+    g.meta("simd", gist_simd::level() as u64);
     g.throughput_bytes((N * 4) as u64);
     let y = relu_output(3);
     let dy: Vec<f32> = (0..N).map(|i| i as f32 * 0.001).collect();
@@ -40,6 +41,7 @@ fn bench_binarize() {
 fn bench_ssdc() {
     let mut g = BenchGroup::new("ssdc");
     g.meta("threads", gist_par::current_threads() as u64);
+    g.meta("simd", gist_simd::level() as u64);
     g.throughput_bytes((N * 4) as u64);
     for (label, m) in [("sparsity50", 2usize), ("sparsity80", 5), ("sparsity95", 20)] {
         let y = relu_output(m);
@@ -60,6 +62,7 @@ fn bench_ssdc() {
 fn bench_dpr() {
     let mut g = BenchGroup::new("dpr");
     g.meta("threads", gist_par::current_threads() as u64);
+    g.meta("simd", gist_simd::level() as u64);
     g.throughput_bytes((N * 4) as u64);
     let y: Vec<f32> = (0..N).map(|i| (i as f32 - N as f32 / 2.0) * 1e-3).collect();
     for f in [DprFormat::Fp16, DprFormat::Fp10, DprFormat::Fp8] {

@@ -1,0 +1,126 @@
+//! Paired scalar-vs-vector microbenchmarks for every kernel that dispatches
+//! through `gist-simd` — the before/after evidence for the SIMD rewiring.
+//!
+//! Each group runs the *same* workload once per available `GIST_SIMD` level
+//! (forced via `gist_simd::with_level`, so one process covers the whole
+//! ladder); the `scalar_*` entries are the exact pre-SIMD code path and the
+//! `sse2_*`/`avx2_*` entries are the vector kernels that replaced it. The
+//! equivalence suite (`tests/simd_equivalence.rs`) proves all entries in a
+//! group compute bit-identical results, so any median gap is pure kernel
+//! speed. The `simd` meta column records the *ambient* level the process
+//! would use by default (0 = scalar, 1 = SSE2, 2 = AVX2).
+//!
+//! Run with `cargo run --release -p gist-bench --bin bench_simd_kernels`;
+//! medians land in `results/bench_simd_{matmul,conv3,codecs}.json`. On a
+//! single-core container the vector speedups here are the only ones
+//! available — thread scaling is a no-op — so this is also the cleanest
+//! signal for the per-kernel effect of the instruction set alone.
+
+use gist_encodings::csr::SsdcConfig;
+use gist_encodings::dpr::DprBuffer;
+use gist_encodings::{BitMask, CsrMatrix, DprFormat};
+use gist_simd::{available_levels, with_level};
+use gist_tensor::ops::conv::{self, ConvParams};
+use gist_tensor::ops::matmul;
+use gist_tensor::{Shape, Tensor};
+use gist_testkit::BenchGroup;
+use std::hint::black_box;
+
+/// Deterministic pseudo-random f32s (no rand dependency): a splitmix-style
+/// walk mapped into [-1, 1).
+fn filled(len: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed;
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 40) as f32 / (1u64 << 23) as f32) - 1.0
+        })
+        .collect()
+}
+
+fn bench_matmul() {
+    let mut g = BenchGroup::new("simd_matmul");
+    g.meta("threads", gist_par::current_threads() as u64);
+    g.meta("simd", gist_simd::level() as u64);
+    // One representative GEMM per kernel: the shapes a small_vgg linear /
+    // im2col-lowered conv actually produces.
+    let (m, k, n) = (64, 256, 256);
+    g.throughput_bytes(((m * k + k * n + m * n) * 4) as u64); // operand + result bytes
+    let a = filled(m * k, 1);
+    let b = filled(k * n, 2);
+    let at = filled(k * m, 3);
+    let bt = filled(n * k, 4);
+    for lvl in available_levels() {
+        with_level(lvl, || {
+            g.bench(&format!("{lvl}_matmul_{m}x{k}x{n}"), || {
+                matmul::matmul(black_box(&a), black_box(&b), m, k, n)
+            });
+            g.bench(&format!("{lvl}_at_b_{m}x{k}x{n}"), || {
+                matmul::matmul_at_b(black_box(&at), black_box(&b), m, k, n)
+            });
+            g.bench(&format!("{lvl}_a_bt_{m}x{k}x{n}"), || {
+                matmul::matmul_a_bt(black_box(&a), black_box(&bt), m, k, n)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_conv3() {
+    let mut g = BenchGroup::new("simd_conv3");
+    g.meta("threads", gist_par::current_threads() as u64);
+    g.meta("simd", gist_simd::level() as u64);
+    // The direct 3x3/stride-1 path (every resnet_cifar / small_vgg body
+    // conv): 8 images, 16->16 channels at 32x32.
+    let (bn, c, hw, f) = (8, 16, 32, 16);
+    let p = ConvParams::new(3, 1, 1);
+    g.throughput_bytes((bn * c * hw * hw * 4) as u64);
+    let x = Tensor::from_vec(Shape::nchw(bn, c, hw, hw), filled(bn * c * hw * hw, 5)).unwrap();
+    let w = Tensor::from_vec(Shape::nchw(f, c, 3, 3), filled(f * c * 9, 6)).unwrap();
+    let bias = Tensor::from_vec(Shape::vector(f), filled(f, 7)).unwrap();
+    for lvl in available_levels() {
+        with_level(lvl, || {
+            g.bench(&format!("{lvl}_conv3x3s1_{bn}x{c}x{hw}x{hw}"), || {
+                conv::forward(black_box(&x), black_box(&w), Some(black_box(&bias)), p).unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_codecs() {
+    let mut g = BenchGroup::new("simd_codecs");
+    g.meta("threads", gist_par::current_threads() as u64);
+    g.meta("simd", gist_simd::level() as u64);
+    const N: usize = 1 << 20; // 1M elements = 4 MB FP32, same as bench_encodings
+    g.throughput_bytes((N * 4) as u64);
+    // ~67% zeros: a realistic post-ReLU activation profile for SSDC.
+    let y: Vec<f32> = filled(N, 8).iter().map(|&v| if v > -0.33 { 0.0 } else { v }).collect();
+    let dy = filled(N, 9);
+    for lvl in available_levels() {
+        with_level(lvl, || {
+            g.bench(&format!("{lvl}_binarize_encode"), || BitMask::encode(black_box(&y)));
+            let mask = BitMask::encode(&y);
+            g.bench(&format!("{lvl}_binarize_select"), || {
+                mask.relu_backward(black_box(&dy)).unwrap()
+            });
+            g.bench(&format!("{lvl}_csr_encode"), || {
+                CsrMatrix::encode(black_box(&y), SsdcConfig::default())
+            });
+            let csr = CsrMatrix::encode(&y, SsdcConfig::default());
+            g.bench(&format!("{lvl}_csr_decode"), || csr.decode());
+            g.bench(&format!("{lvl}_dpr_encode_fp8"), || {
+                DprBuffer::encode(DprFormat::Fp8, black_box(&dy))
+            });
+            let buf = DprBuffer::encode(DprFormat::Fp8, &dy);
+            g.bench(&format!("{lvl}_dpr_decode_fp8"), || buf.decode());
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    bench_matmul();
+    bench_conv3();
+    bench_codecs();
+}

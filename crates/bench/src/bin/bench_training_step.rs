@@ -47,6 +47,7 @@ fn alloc_calls(f: impl FnOnce()) -> u64 {
 fn main() {
     let mut g = BenchGroup::new("training_step").samples(20);
     g.meta("threads", gist_par::current_threads() as u64);
+    g.meta("simd", gist_simd::level() as u64);
     let batch = 8;
     let mut ds = SyntheticImages::new(4, 16, 0.3, 42);
     let (x, y) = ds.minibatch(batch);
@@ -55,6 +56,12 @@ fn main() {
     // one step each — deterministic execution means identical allocation
     // counts unless the traced path allocates where the plain path does not.
     let fresh = || Executor::new(gist_models::small_vgg(batch, 4), ExecMode::Baseline, 7).unwrap();
+    // Warm kernel-internal thread-local scratch (the gist-simd matmul pack
+    // buffers grow once per thread and persist) so neither counted step
+    // pays one-time growth the other doesn't.
+    let mut warm = fresh();
+    warm.step(&x, &y, 0.01).unwrap();
+    drop(warm);
     let mut plain = fresh();
     let mut traced = fresh();
     let plain_allocs = alloc_calls(|| {
@@ -89,6 +96,7 @@ fn main() {
     // are taken after a warmup step so they reflect the per-step regime.
     let mut g = BenchGroup::new("training_step_arena").samples(20);
     g.meta("threads", gist_par::current_threads() as u64);
+    g.meta("simd", gist_simd::level() as u64);
     for (label, mode) in &modes {
         let step_allocs = |policy: AllocPolicy| {
             let mut exec = Executor::new_with_policy(

@@ -8,7 +8,7 @@
 
 use crate::bitpack;
 use crate::EncodingError;
-use gist_par::{parallel_chunks_mut, parallel_map};
+use gist_par::parallel_chunks_mut;
 
 /// A 1-bit-per-element positivity mask — the Binarize stash for a ReLU
 /// output.
@@ -21,23 +21,17 @@ pub struct BitMask {
 impl BitMask {
     /// Encodes a ReLU output: bit `i` records `y[i] > 0`.
     ///
-    /// Packs straight from `f32` to words (no intermediate flag vector);
+    /// Packs straight from `f32` to words (no intermediate flag vector)
+    /// via `gist_simd` (a compare + movemask per word at vector levels);
     /// each output word depends only on its own 32 inputs, so the encoding
-    /// is identical at every thread count.
+    /// is identical at every thread count and every `GIST_SIMD` level
+    /// (`NaN > 0.0` is false in both the scalar comparison and the ordered
+    /// vector predicate).
     pub fn encode(y: &[f32]) -> Self {
         let mut words = vec![0u32; y.len().div_ceil(32)];
         const GRAIN: usize = 1 << 11;
         parallel_chunks_mut(&mut words, GRAIN, |ci, chunk| {
-            for (j, word) in chunk.iter_mut().enumerate() {
-                let base = (ci * GRAIN + j) * 32;
-                let mut w = 0u32;
-                for (b, &v) in y[base..(base + 32).min(y.len())].iter().enumerate() {
-                    if v > 0.0 {
-                        w |= 1 << b;
-                    }
-                }
-                *word = w;
-            }
+            gist_simd::pack_gt_zero_words(y, ci * GRAIN, chunk);
         });
         BitMask { words, len: y.len() }
     }
@@ -63,7 +57,9 @@ impl BitMask {
     }
 
     /// ReLU backward pass directly on the encoded mask:
-    /// `dx[i] = dy[i] if mask[i] else 0`. Bit-exact with the FP32 version.
+    /// `dx[i] = dy[i] if mask[i] else 0`. Bit-exact with the FP32 version
+    /// at every `GIST_SIMD` level — passing lanes copy `dy`'s bits
+    /// untouched (NaN payloads included), masked lanes produce `+0.0`.
     ///
     /// # Errors
     ///
@@ -72,7 +68,14 @@ impl BitMask {
         if dy.len() != self.len {
             return Err(EncodingError::LengthMismatch { expected: self.len, actual: dy.len() });
         }
-        Ok(parallel_map(dy.len(), 1 << 14, |i| if self.get(i) { dy[i] } else { 0.0 }))
+        // Grain is a multiple of 32, so every chunk starts on a word
+        // boundary (select_by_mask's contract).
+        const GRAIN: usize = 1 << 14;
+        let mut dx = vec![0.0f32; dy.len()];
+        parallel_chunks_mut(&mut dx, GRAIN, |ci, chunk| {
+            gist_simd::select_by_mask(&self.words, dy, ci * GRAIN, chunk);
+        });
+        Ok(dx)
     }
 }
 

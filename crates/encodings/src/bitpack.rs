@@ -2,7 +2,9 @@
 //!
 //! Packing is parallelized per output word/byte on the `gist-par` pool:
 //! each word is a pure function of its own 32 flags (or 2 nibbles), so the
-//! packed bytes are identical at every thread count.
+//! packed bytes are identical at every thread count. Flag packing runs
+//! through `gist_simd` (movemask at vector levels) — bit packing is pure
+//! integer work, so every `GIST_SIMD` level produces identical bytes.
 
 use gist_par::{parallel_chunks_mut, parallel_map};
 
@@ -13,16 +15,7 @@ const PACK_GRAIN: usize = 1 << 11;
 pub fn pack_bits(flags: &[bool]) -> Vec<u32> {
     let mut words = vec![0u32; flags.len().div_ceil(32)];
     parallel_chunks_mut(&mut words, PACK_GRAIN, |ci, chunk| {
-        for (j, word) in chunk.iter_mut().enumerate() {
-            let base = (ci * PACK_GRAIN + j) * 32;
-            let mut w = 0u32;
-            for (b, &f) in flags[base..(base + 32).min(flags.len())].iter().enumerate() {
-                if f {
-                    w |= 1 << b;
-                }
-            }
-            *word = w;
-        }
+        gist_simd::pack_bools_into_words(flags, ci * PACK_GRAIN, chunk);
     });
     words
 }

@@ -81,8 +81,10 @@ impl CsrMatrix {
         let rows = data.len().div_ceil(cols).max(1);
         let grain = csr_row_grain(rows, cols);
         let row = |r: usize| &data[r * cols..((r + 1) * cols).min(data.len())];
-        // Phase 1: per-row non-zero counts.
-        let counts = parallel_map(rows, grain, |r| row(r).iter().filter(|&&v| v != 0.0).count());
+        // Phase 1: per-row non-zero counts (gist_simd: a vector compare +
+        // popcount per group; NaN is non-zero under the unordered `!=`
+        // predicate, exactly like the scalar comparison).
+        let counts = parallel_map(rows, grain, |r| gist_simd::count_nonzero(row(r)));
         // Phase 2: exclusive prefix sum -> row_ptr.
         let mut row_ptr = Vec::with_capacity(rows + 1);
         let mut acc = 0u32;

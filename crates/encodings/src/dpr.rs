@@ -216,6 +216,18 @@ impl DprFormat {
     pub fn quantize(&self, v: f32) -> f32 {
         self.decode_one(self.encode_one(v))
     }
+
+    /// The format geometry handed to `gist_simd`'s DPR kernels (which take
+    /// [`Self::encode_one`]/[`Self::decode_one`] as the scalar reference,
+    /// so the bit algorithm lives only here).
+    fn spec(&self) -> gist_simd::DprSpec {
+        gist_simd::DprSpec {
+            e_bits: self.exp_bits(),
+            m_bits: self.mant_bits(),
+            bits: self.bits(),
+            per_word: self.values_per_word(),
+        }
+    }
 }
 
 /// How conversion rounds values that fall between representable points.
@@ -314,11 +326,46 @@ impl DprBuffer {
     /// only its own 2/3/4 values and every per-value conversion is pure
     /// (stochastic rounding derives its decision from the seed and value
     /// bits), so the buffer is byte-identical at every thread count.
+    /// Nearest-mode conversion runs through `gist_simd::dpr_encode_codes`
+    /// (8 values at a time at the AVX2 level, `encode_one` elsewhere —
+    /// byte-identical either way); stochastic rounding stays scalar at
+    /// every level.
     pub fn encode_with(format: DprFormat, values: &[f32], mode: RoundingMode) -> Self {
         let per = format.values_per_word();
         let bits = format.bits();
         let mut words = vec![0u32; values.len().div_ceil(per)];
         const GRAIN: usize = 1 << 12;
+        if mode == RoundingMode::Nearest {
+            // Convert in word-groups: a stack buffer of codes feeds the
+            // vector encoder, then pure integer packing fills the words.
+            const GROUP_WORDS: usize = 64;
+            let spec = format.spec();
+            gist_par::parallel_chunks_mut(&mut words, GRAIN, |ci, chunk| {
+                let mut g = 0;
+                while g < chunk.len() {
+                    let gw = (chunk.len() - g).min(GROUP_WORDS);
+                    let base = (ci * GRAIN + g) * per;
+                    let count = (gw * per).min(values.len() - base);
+                    let mut codes = [0u16; GROUP_WORDS * 4];
+                    gist_simd::dpr_encode_codes(
+                        spec,
+                        &values[base..base + count],
+                        &mut codes[..count],
+                        |v| format.encode_one(v),
+                    );
+                    for (j, word) in chunk[g..g + gw].iter_mut().enumerate() {
+                        let hi = ((j + 1) * per).min(count);
+                        let mut w = 0u32;
+                        for (k, &c) in codes[j * per..hi].iter().enumerate() {
+                            w |= (c as u32) << (k as u32 * bits);
+                        }
+                        *word = w;
+                    }
+                    g += gw;
+                }
+            });
+            return DprBuffer { format, words, len: values.len() };
+        }
         gist_par::parallel_chunks_mut(&mut words, GRAIN, |ci, chunk| {
             for (j, word) in chunk.iter_mut().enumerate() {
                 let base = (ci * GRAIN + j) * per;
@@ -354,34 +401,27 @@ impl DprBuffer {
 
     /// Decodes the buffer back to `f32` values.
     pub fn decode(&self) -> Vec<f32> {
-        let per = self.format.values_per_word();
-        let bits = self.format.bits();
-        let mask = (1u32 << bits) - 1;
-        gist_par::parallel_map(self.len, 1 << 14, |i| {
-            let raw = (self.words[i / per] >> ((i % per) as u32 * bits)) & mask;
-            self.format.decode_one(raw as u16)
-        })
+        let mut out = vec![0.0f32; self.len];
+        self.decode_into(&mut out);
+        out
     }
 
     /// Decodes into a preallocated buffer (e.g. an arena view). Every
     /// element of `out` is overwritten; bit-exact with [`decode`] (each
-    /// element is a pure function of its packed word).
+    /// element is a pure function of its packed word). Runs through
+    /// `gist_simd::dpr_decode_into` — the decode is exact in every format,
+    /// so vectorization cannot change a single bit.
     ///
     /// # Panics
     ///
     /// Panics if `out.len() != self.len()`.
     pub fn decode_into(&self, out: &mut [f32]) {
         assert_eq!(out.len(), self.len, "decode_into length");
-        let per = self.format.values_per_word();
-        let bits = self.format.bits();
-        let mask = (1u32 << bits) - 1;
+        let spec = self.format.spec();
         gist_par::parallel_chunks_mut(out, 1 << 14, |ci, chunk| {
-            let off = ci * (1 << 14);
-            for (j, v) in chunk.iter_mut().enumerate() {
-                let i = off + j;
-                let raw = (self.words[i / per] >> ((i % per) as u32 * bits)) & mask;
-                *v = self.format.decode_one(raw as u16);
-            }
+            gist_simd::dpr_decode_into(spec, &self.words, ci * (1 << 14), chunk, |b| {
+                self.format.decode_one(b)
+            });
         });
     }
 }

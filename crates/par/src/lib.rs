@@ -75,6 +75,9 @@ struct JobStatus {
 struct Job {
     task: TaskPtr,
     nchunks: usize,
+    /// Ambient context of the dispatching thread, installed on every
+    /// worker for the duration of this job (see [`with_ambient`]).
+    ambient: u32,
     /// Next unclaimed chunk index.
     next: AtomicUsize,
     status: Mutex<JobStatus>,
@@ -85,6 +88,15 @@ impl Job {
     /// Claims and runs chunks until none remain. Panics are captured into
     /// the job status; every claimed chunk counts as completed either way.
     fn run_chunks(&self) {
+        struct RestoreAmbient(u32);
+        impl Drop for RestoreAmbient {
+            fn drop(&mut self) {
+                AMBIENT.with(|c| c.set(self.0));
+            }
+        }
+        // Install the dispatcher's ambient context; a panicking chunk must
+        // still restore the previous value (workers return to their loop).
+        let _restore = RestoreAmbient(AMBIENT.with(|c| c.replace(self.ambient)));
         loop {
             let i = self.next.fetch_add(1, Ordering::Relaxed);
             if i >= self.nchunks {
@@ -139,6 +151,8 @@ thread_local! {
     static IN_POOL: Cell<bool> = const { Cell::new(false) };
     /// Scoped pool override installed by [`with_pool`] / [`with_threads`].
     static CURRENT: Cell<Option<*const ThreadPool>> = const { Cell::new(None) };
+    /// Opaque ambient context (see [`with_ambient`]). `0` means "unset".
+    static AMBIENT: Cell<u32> = const { Cell::new(0) };
 }
 
 impl ThreadPool {
@@ -207,6 +221,7 @@ impl ThreadPool {
         let job = Arc::new(Job {
             task,
             nchunks,
+            ambient: AMBIENT.with(Cell::get),
             next: AtomicUsize::new(0),
             status: Mutex::new(JobStatus { completed: 0, panic: None }),
             done: Condvar::new(),
@@ -312,6 +327,33 @@ pub fn with_pool<R>(pool: &ThreadPool, f: impl FnOnce() -> R) -> R {
 pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
     let pool = ThreadPool::new(threads);
     with_pool(&pool, f)
+}
+
+/// The current thread's ambient context (`0` when unset).
+///
+/// The ambient context is an opaque `u32` that layers above `gist-par`
+/// (e.g. `gist-simd`'s scoped SIMD-level override) use to scope per-call
+/// configuration. Unlike a plain thread-local, the ambient context
+/// **propagates into pool tasks**: every job captures the dispatcher's
+/// value at submit time and installs it on whichever threads run its
+/// chunks, so a kernel resolving configuration inside a parallel task sees
+/// the dispatcher's override, not the worker's stale state.
+pub fn ambient() -> u32 {
+    AMBIENT.with(Cell::get)
+}
+
+/// Runs `f` with the current thread's ambient context set to `value`
+/// (restored afterwards, panic-safe). Jobs dispatched inside `f` carry the
+/// value to every worker that participates (see [`ambient`]).
+pub fn with_ambient<R>(value: u32, f: impl FnOnce() -> R) -> R {
+    struct Restore(u32);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            AMBIENT.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(AMBIENT.with(|c| c.replace(value)));
+    f()
 }
 
 fn with_current<R>(f: impl FnOnce(&ThreadPool) -> R) -> R {
@@ -603,6 +645,25 @@ mod tests {
         let pool = ThreadPool::new(1);
         assert_eq!(pool.threads(), 1);
         assert_eq!(pool.workers(), 0);
+    }
+
+    #[test]
+    fn ambient_context_reaches_pool_workers() {
+        assert_eq!(ambient(), 0);
+        with_threads(4, || {
+            with_ambient(7, || {
+                let seen: Vec<u32> = parallel_map(64, 1, |_| ambient());
+                assert!(seen.iter().all(|&v| v == 7), "workers saw {seen:?}");
+                // Nested dispatch (inline on a worker) still sees the value.
+                parallel_for(4, 1, |_| {
+                    parallel_for(4, 1, |_| assert_eq!(ambient(), 7));
+                });
+            });
+            // Restored after the scope, including on this thread.
+            assert_eq!(ambient(), 0);
+            let seen: Vec<u32> = parallel_map(64, 1, |_| ambient());
+            assert!(seen.iter().all(|&v| v == 0), "override leaked: {seen:?}");
+        });
     }
 
     #[test]

@@ -1,0 +1,579 @@
+//! Vectorized codec primitives: Binarize bitpack, SSDC/CSR non-zero
+//! counting, masked ReLU-backward select, and DPR quantize/dequantize.
+//!
+//! Each function is the single implementation `gist-encodings` calls at
+//! every level; the scalar arms reproduce the original codec loops
+//! verbatim, and the vector arms compute the identical per-element result
+//! (bit-compares enforced by `tests/simd_equivalence.rs`). There are no
+//! float reductions here at all — packing, counting and selecting are
+//! integer/bitwise per element — so the only discipline needed is exact
+//! per-element semantics: `> 0.0` is an *ordered* compare (false for NaN),
+//! `!= 0.0` is *unordered* (true for NaN), masked select must preserve
+//! NaN payloads bit-for-bit, and the DPR vector encode implements the
+//! same round-to-nearest-even bit algorithm as the scalar reference.
+//!
+//! DPR vector paths are AVX2-only (the integer blend/shift mix is not
+//! worth an SSE2 port); SSE2 falls back to the caller's scalar closure,
+//! which is a performance choice, not a correctness one.
+
+use crate::Level;
+
+// ---------------------------------------------------------------------------
+// Bit packing
+// ---------------------------------------------------------------------------
+
+/// Packs positivity bits: output word `word0 + j` records `y[i] > 0.0`
+/// (ordered: NaN is not positive) for its 32 elements `i`, LSB-first.
+/// The final ragged word, if any, is packed scalar in element order.
+pub fn pack_gt_zero_words(y: &[f32], word0: usize, words: &mut [u32]) {
+    let lvl = crate::level();
+    for (j, word) in words.iter_mut().enumerate() {
+        let base = (word0 + j) * 32;
+        *word = if base + 32 <= y.len() {
+            match lvl {
+                Level::Scalar => gt_zero_word_scalar(&y[base..base + 32]),
+                #[cfg(target_arch = "x86_64")]
+                // SAFETY: vector levels are only dispatched when detected;
+                // the slice covers exactly 32 elements.
+                Level::Sse2 => unsafe { x86::gt_zero_word_sse2(y.as_ptr().add(base)) },
+                #[cfg(target_arch = "x86_64")]
+                Level::Avx2 => unsafe { x86::gt_zero_word_avx2(y.as_ptr().add(base)) },
+                #[cfg(not(target_arch = "x86_64"))]
+                _ => unreachable!("vector codec path requires x86_64"),
+            }
+        } else {
+            gt_zero_word_scalar(&y[base.min(y.len())..])
+        };
+    }
+}
+
+fn gt_zero_word_scalar(y: &[f32]) -> u32 {
+    let mut w = 0u32;
+    for (b, &v) in y.iter().enumerate() {
+        if v > 0.0 {
+            w |= 1 << b;
+        }
+    }
+    w
+}
+
+/// Packs booleans into words, LSB-first: word `word0 + j` holds
+/// `flags[(word0 + j) * 32 ..][..32]`.
+pub fn pack_bools_into_words(flags: &[bool], word0: usize, words: &mut [u32]) {
+    let lvl = crate::level();
+    for (j, word) in words.iter_mut().enumerate() {
+        let base = (word0 + j) * 32;
+        *word = if base + 32 <= flags.len() {
+            match lvl {
+                Level::Scalar => bools_word_scalar(&flags[base..base + 32]),
+                #[cfg(target_arch = "x86_64")]
+                // SAFETY: `bool` is guaranteed 0x00/0x01; 32 bytes in range.
+                Level::Sse2 => unsafe { x86::bools_word_sse2(flags.as_ptr().add(base).cast()) },
+                #[cfg(target_arch = "x86_64")]
+                Level::Avx2 => unsafe { x86::bools_word_avx2(flags.as_ptr().add(base).cast()) },
+                #[cfg(not(target_arch = "x86_64"))]
+                _ => unreachable!("vector codec path requires x86_64"),
+            }
+        } else {
+            bools_word_scalar(&flags[base.min(flags.len())..])
+        };
+    }
+}
+
+fn bools_word_scalar(flags: &[bool]) -> u32 {
+    let mut w = 0u32;
+    for (b, &f) in flags.iter().enumerate() {
+        if f {
+            w |= 1 << b;
+        }
+    }
+    w
+}
+
+// ---------------------------------------------------------------------------
+// Masked select (ReLU backward on the encoded mask)
+// ---------------------------------------------------------------------------
+
+/// `out[j] = dy[elem0 + j]` where mask bit `elem0 + j` is set, else `0.0`.
+/// Gradients pass through with their exact bits (NaN payloads included);
+/// masked-off lanes become `+0.0`, as in the scalar reference.
+///
+/// # Panics
+///
+/// Panics if `elem0` is not 32-aligned (callers chunk on word boundaries).
+pub fn select_by_mask(words: &[u32], dy: &[f32], elem0: usize, out: &mut [f32]) {
+    assert_eq!(elem0 % 32, 0, "select_by_mask chunk must start on a word boundary");
+    let lvl = crate::level();
+    let full = match lvl {
+        Level::Scalar => 0,
+        _ => out.len() / 32 * 32,
+    };
+    let mut g = 0;
+    while g < full {
+        let word = words[(elem0 + g) / 32];
+        match lvl {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: 32 elements of both `dy` (at elem0 + g) and `out`
+            // (at g) are in range; vector level implies detection.
+            Level::Sse2 => unsafe {
+                x86::select32_sse2(word, dy.as_ptr().add(elem0 + g), out.as_mut_ptr().add(g));
+            },
+            #[cfg(target_arch = "x86_64")]
+            Level::Avx2 => unsafe {
+                x86::select32_avx2(word, dy.as_ptr().add(elem0 + g), out.as_mut_ptr().add(g));
+            },
+            _ => unreachable!("full-word groups only run at vector levels"),
+        }
+        g += 32;
+    }
+    for (j, o) in out.iter_mut().enumerate().skip(full) {
+        let i = elem0 + j;
+        *o = if (words[i / 32] >> (i % 32)) & 1 == 1 { dy[i] } else { 0.0 };
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Non-zero counting (CSR phase 1)
+// ---------------------------------------------------------------------------
+
+/// Counts values `!= 0.0` (unordered: NaN counts, both zeros do not) —
+/// the per-row CSR population pass.
+pub fn count_nonzero(values: &[f32]) -> usize {
+    let lvl = crate::level();
+    let full = match lvl {
+        Level::Scalar => 0,
+        Level::Sse2 => values.len() / 4 * 4,
+        Level::Avx2 => values.len() / 8 * 8,
+    };
+    let mut count = 0usize;
+    match lvl {
+        Level::Scalar => {}
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `full` is a multiple of the lane width within bounds.
+        Level::Sse2 => count = unsafe { x86::count_nonzero_sse2(values.as_ptr(), full) },
+        #[cfg(target_arch = "x86_64")]
+        Level::Avx2 => count = unsafe { x86::count_nonzero_avx2(values.as_ptr(), full) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => unreachable!("vector codec path requires x86_64"),
+    }
+    count + values[full..].iter().filter(|&&v| v != 0.0).count()
+}
+
+// ---------------------------------------------------------------------------
+// DPR quantize / dequantize
+// ---------------------------------------------------------------------------
+
+/// The format geometry the DPR kernels need (mirrors
+/// `gist_encodings::DprFormat` without a crate cycle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DprSpec {
+    /// Exponent field width.
+    pub e_bits: u32,
+    /// Mantissa field width.
+    pub m_bits: u32,
+    /// Total bits per encoded value (`1 + e + m`).
+    pub bits: u32,
+    /// Values packed per `u32` word.
+    pub per_word: usize,
+}
+
+impl DprSpec {
+    /// Exponent bias (`2^(e-1) - 1`).
+    pub fn bias(&self) -> i32 {
+        (1 << (self.e_bits - 1)) - 1
+    }
+}
+
+/// Round-to-nearest-even encode of `values[i]` into `codes[i]`.
+///
+/// `scalar` is the caller's reference encoder (`DprFormat::encode_one`);
+/// it handles the scalar level, the SSE2 level (no integer DPR port), and
+/// vector tails. The AVX2 arm re-implements the same bit algorithm on 8
+/// lanes and is differentially tested against `scalar`.
+pub fn dpr_encode_codes(
+    spec: DprSpec,
+    values: &[f32],
+    codes: &mut [u16],
+    scalar: impl Fn(f32) -> u16,
+) {
+    assert_eq!(values.len(), codes.len(), "codes length");
+    let lvl = crate::level();
+    let full = match lvl {
+        Level::Avx2 => values.len() / 8 * 8,
+        _ => 0,
+    };
+    let mut i = 0;
+    while i < full {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: AVX2 detected; 8 values/codes in range at `i`.
+        unsafe {
+            x86::dpr_encode8_avx2(spec, values.as_ptr().add(i), codes.as_mut_ptr().add(i));
+        }
+        i += 8;
+    }
+    for (v, c) in values[full..].iter().zip(codes[full..].iter_mut()) {
+        *c = scalar(*v);
+    }
+}
+
+/// Decodes packed DPR words into `out`, where `out[j]` is overall element
+/// `elem0 + j`. `scalar` is the caller's reference decoder
+/// (`DprFormat::decode_one`), used for the scalar/SSE2 levels and tails;
+/// the AVX2 arm vectorizes byte-aligned formats (16- and 8-bit codes) and
+/// extracts 10-bit codes scalar before the integer decode.
+pub fn dpr_decode_into(
+    spec: DprSpec,
+    words: &[u32],
+    elem0: usize,
+    out: &mut [f32],
+    scalar: impl Fn(u16) -> f32,
+) {
+    let lvl = crate::level();
+    let mask = (1u32 << spec.bits) - 1;
+    let extract = |i: usize| {
+        ((words[i / spec.per_word] >> ((i % spec.per_word) as u32 * spec.bits)) & mask) as u16
+    };
+    let full = match lvl {
+        Level::Avx2 => out.len() / 8 * 8,
+        _ => 0,
+    };
+    let mut j = 0;
+    while j < full {
+        let mut codes = [0u16; 8];
+        if spec.bits.is_multiple_of(8) {
+            // 16-/8-bit codes: words are a little-endian byte stream, so
+            // element `i` lives at byte offset `i * bits/8` regardless of
+            // word grouping.
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: 8 codes at byte offset `(elem0 + j) * bits/8` are in
+            // range (the slice holds ceil(len/per) whole words).
+            unsafe {
+                let bytes = words.as_ptr().cast::<u8>();
+                let off = (elem0 + j) * (spec.bits as usize / 8);
+                if spec.bits == 16 {
+                    x86::load8_u16(bytes.add(off), &mut codes);
+                } else {
+                    x86::load8_u8(bytes.add(off), &mut codes);
+                }
+            }
+        } else {
+            for (t, c) in codes.iter_mut().enumerate() {
+                *c = extract(elem0 + j + t);
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: AVX2 detected; 8 outputs in range at `j`.
+        unsafe {
+            x86::dpr_decode8_avx2(spec, &codes, out.as_mut_ptr().add(j));
+        }
+        j += 8;
+    }
+    for (j, o) in out.iter_mut().enumerate().skip(full) {
+        *o = scalar(extract(elem0 + j));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// x86 arms
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::DprSpec;
+    use std::arch::x86_64::*;
+
+    /// # Safety
+    ///
+    /// AVX2 available; `y` valid for 32 reads.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn gt_zero_word_avx2(y: *const f32) -> u32 {
+        let zero = _mm256_setzero_ps();
+        let mut w = 0u32;
+        for q in 0..4 {
+            let v = _mm256_loadu_ps(y.add(q * 8));
+            // Ordered greater-than: false for NaN, exactly `v > 0.0`.
+            let m = _mm256_movemask_ps(_mm256_cmp_ps::<_CMP_GT_OQ>(v, zero)) as u32;
+            w |= m << (q * 8);
+        }
+        w
+    }
+
+    /// # Safety
+    ///
+    /// `y` valid for 32 reads (SSE2 is the `x86_64` baseline).
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn gt_zero_word_sse2(y: *const f32) -> u32 {
+        let zero = _mm_setzero_ps();
+        let mut w = 0u32;
+        for q in 0..8 {
+            let v = _mm_loadu_ps(y.add(q * 4));
+            let m = _mm_movemask_ps(_mm_cmpgt_ps(v, zero)) as u32;
+            w |= m << (q * 4);
+        }
+        w
+    }
+
+    /// # Safety
+    ///
+    /// AVX2 available; `flags` valid for 32 byte reads of 0x00/0x01 bytes.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn bools_word_avx2(flags: *const u8) -> u32 {
+        let v = _mm256_loadu_si256(flags.cast());
+        let m = _mm256_cmpgt_epi8(v, _mm256_setzero_si256());
+        _mm256_movemask_epi8(m) as u32
+    }
+
+    /// # Safety
+    ///
+    /// `flags` valid for 32 byte reads of 0x00/0x01 bytes.
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn bools_word_sse2(flags: *const u8) -> u32 {
+        let zero = _mm_setzero_si128();
+        let lo = _mm_movemask_epi8(_mm_cmpgt_epi8(_mm_loadu_si128(flags.cast()), zero)) as u32;
+        let hi =
+            _mm_movemask_epi8(_mm_cmpgt_epi8(_mm_loadu_si128(flags.add(16).cast()), zero)) as u32;
+        lo | (hi << 16)
+    }
+
+    /// Expands mask word `bits` over 32 gradients: kept lanes pass their
+    /// exact bits (AND with all-ones), dropped lanes become `+0.0`.
+    ///
+    /// # Safety
+    ///
+    /// AVX2 available; `dy`/`out` valid for 32 reads/writes.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn select32_avx2(bits: u32, dy: *const f32, out: *mut f32) {
+        let lane_bits = _mm256_setr_epi32(1, 2, 4, 8, 16, 32, 64, 128);
+        for q in 0..4 {
+            let m8 = _mm256_set1_epi32(((bits >> (q * 8)) & 0xFF) as i32);
+            let keep = _mm256_cmpeq_epi32(_mm256_and_si256(m8, lane_bits), lane_bits);
+            let v = _mm256_and_ps(_mm256_loadu_ps(dy.add(q * 8)), _mm256_castsi256_ps(keep));
+            _mm256_storeu_ps(out.add(q * 8), v);
+        }
+    }
+
+    /// # Safety
+    ///
+    /// `dy`/`out` valid for 32 reads/writes.
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn select32_sse2(bits: u32, dy: *const f32, out: *mut f32) {
+        let lane_bits = _mm_setr_epi32(1, 2, 4, 8);
+        for q in 0..8 {
+            let m4 = _mm_set1_epi32(((bits >> (q * 4)) & 0xF) as i32);
+            let keep = _mm_cmpeq_epi32(_mm_and_si128(m4, lane_bits), lane_bits);
+            let v = _mm_and_ps(_mm_loadu_ps(dy.add(q * 4)), _mm_castsi128_ps(keep));
+            _mm_storeu_ps(out.add(q * 4), v);
+        }
+    }
+
+    /// # Safety
+    ///
+    /// AVX2 available; `v` valid for `full` reads, `full % 8 == 0`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn count_nonzero_avx2(v: *const f32, full: usize) -> usize {
+        let zero = _mm256_setzero_ps();
+        let mut count = 0usize;
+        let mut i = 0;
+        while i < full {
+            // Unordered not-equal: true for NaN, false for ±0.0.
+            let m = _mm256_cmp_ps::<_CMP_NEQ_UQ>(_mm256_loadu_ps(v.add(i)), zero);
+            count += (_mm256_movemask_ps(m) as u32).count_ones() as usize;
+            i += 8;
+        }
+        count
+    }
+
+    /// # Safety
+    ///
+    /// `v` valid for `full` reads, `full % 4 == 0`.
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn count_nonzero_sse2(v: *const f32, full: usize) -> usize {
+        let zero = _mm_setzero_ps();
+        let mut count = 0usize;
+        let mut i = 0;
+        while i < full {
+            let m = _mm_cmpneq_ps(_mm_loadu_ps(v.add(i)), zero);
+            count += (_mm_movemask_ps(m) as u32).count_ones() as usize;
+            i += 4;
+        }
+        count
+    }
+
+    /// # Safety
+    ///
+    /// `p` valid for 16 byte reads.
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn load8_u16(p: *const u8, codes: &mut [u16; 8]) {
+        std::ptr::copy_nonoverlapping(p, codes.as_mut_ptr().cast(), 16);
+    }
+
+    /// # Safety
+    ///
+    /// `p` valid for 8 byte reads.
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn load8_u8(p: *const u8, codes: &mut [u16; 8]) {
+        for (t, c) in codes.iter_mut().enumerate() {
+            *c = *p.add(t) as u16;
+        }
+    }
+
+    /// 8-lane integer round-to-nearest-even DPR encode, implementing the
+    /// exact branch structure of `DprFormat::encode_one`: NaN → 0,
+    /// ±Inf → sign|max, zero/denormal/underflow (tested on the
+    /// **pre-carry** target exponent, as the scalar does) → 0, overflow
+    /// (tested post-carry) → sign|max.
+    ///
+    /// # Safety
+    ///
+    /// AVX2 available; 8 values/codes in range.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dpr_encode8_avx2(spec: DprSpec, values: *const f32, codes: *mut u16) {
+        let (e, m) = (spec.e_bits, spec.m_bits);
+        let shift = 23 - m;
+        let sh = |n: u32| _mm_cvtsi32_si128(n as i32);
+        let ones = _mm256_set1_epi32(1);
+
+        let bits = _mm256_castps_si256(_mm256_loadu_ps(values));
+        let sign = _mm256_sll_epi32(_mm256_srl_epi32(bits, sh(31)), sh(e + m));
+        let expf = _mm256_and_si256(_mm256_srl_epi32(bits, sh(23)), _mm256_set1_epi32(0xFF));
+        let mant = _mm256_and_si256(bits, _mm256_set1_epi32(0x007F_FFFF));
+
+        // Pre-carry target exponent: exp - 127 + bias (signed lanes).
+        let target0 = _mm256_add_epi32(expf, _mm256_set1_epi32(spec.bias() - 127));
+
+        // Round the 23-bit mantissa to m bits, ties to even.
+        let mant_r = _mm256_srl_epi32(mant, sh(shift));
+        let rem = _mm256_and_si256(mant, _mm256_set1_epi32(((1u32 << shift) - 1) as i32));
+        let half = _mm256_set1_epi32((1u32 << (shift - 1)) as i32);
+        let odd = _mm256_cmpeq_epi32(_mm256_and_si256(mant_r, ones), ones);
+        let round_up = _mm256_or_si256(
+            _mm256_cmpgt_epi32(rem, half),
+            _mm256_and_si256(_mm256_cmpeq_epi32(rem, half), odd),
+        );
+        // `round_up` lanes are -1: subtracting adds 1.
+        let mant_r = _mm256_sub_epi32(mant_r, round_up);
+        // Mantissa carry: 1.11..1 rounded up to 10.0..0 bumps the exponent.
+        let carry = _mm256_cmpeq_epi32(mant_r, _mm256_set1_epi32(1 << m));
+        let mant_r = _mm256_andnot_si256(carry, mant_r);
+        let target = _mm256_sub_epi32(target0, carry);
+
+        let max_field = (1i32 << e) - 1;
+        let overflow = _mm256_cmpgt_epi32(target, _mm256_set1_epi32(max_field - 1));
+        let underflow = _mm256_cmpgt_epi32(ones, target0);
+        let inf_or_nan = _mm256_cmpeq_epi32(expf, _mm256_set1_epi32(0xFF));
+        let is_nan =
+            _mm256_andnot_si256(_mm256_cmpeq_epi32(mant, _mm256_setzero_si256()), inf_or_nan);
+
+        let max_code = _mm256_or_si256(
+            sign,
+            _mm256_set1_epi32((((1u32 << e) - 2) << m | ((1u32 << m) - 1)) as i32),
+        );
+        let normal =
+            _mm256_or_si256(sign, _mm256_or_si256(_mm256_sll_epi32(target, sh(m)), mant_r));
+
+        let zero = _mm256_setzero_si256();
+        let mut code = _mm256_blendv_epi8(normal, max_code, overflow);
+        code = _mm256_blendv_epi8(code, zero, underflow);
+        code = _mm256_blendv_epi8(code, max_code, inf_or_nan);
+        code = _mm256_blendv_epi8(code, zero, is_nan);
+
+        let mut lanes = [0i32; 8];
+        _mm256_storeu_si256(lanes.as_mut_ptr().cast(), code);
+        for (t, &l) in lanes.iter().enumerate() {
+            *codes.add(t) = l as u16;
+        }
+    }
+
+    /// 8-lane DPR decode: zero exponent field → ±0.0, otherwise rebase the
+    /// exponent and left-align the mantissa — the exact scalar bit recipe.
+    ///
+    /// # Safety
+    ///
+    /// AVX2 available; 8 outputs in range.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dpr_decode8_avx2(spec: DprSpec, codes: &[u16; 8], out: *mut f32) {
+        let (e, m) = (spec.e_bits, spec.m_bits);
+        let sh = |n: u32| _mm_cvtsi32_si128(n as i32);
+        let code = _mm256_cvtepu16_epi32(_mm_loadu_si128(codes.as_ptr().cast()));
+        let sign31 = _mm256_sll_epi32(_mm256_srl_epi32(code, sh(e + m)), sh(31));
+        let expf = _mm256_and_si256(_mm256_srl_epi32(code, sh(m)), _mm256_set1_epi32((1 << e) - 1));
+        let mant = _mm256_and_si256(code, _mm256_set1_epi32((1 << m) - 1));
+        let is_zero = _mm256_cmpeq_epi32(expf, _mm256_setzero_si256());
+        let f32_exp = _mm256_add_epi32(expf, _mm256_set1_epi32(127 - spec.bias()));
+        let normal = _mm256_or_si256(
+            sign31,
+            _mm256_or_si256(_mm256_sll_epi32(f32_exp, sh(23)), _mm256_sll_epi32(mant, sh(23 - m))),
+        );
+        let fbits = _mm256_blendv_epi8(normal, sign31, is_zero);
+        _mm256_storeu_ps(out, _mm256_castsi256_ps(fbits));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{available_levels, with_level};
+
+    const HOSTILE: [f32; 12] = [
+        f32::NAN,
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        0.0,
+        -0.0,
+        1e-40,
+        -1e-45,
+        f32::MAX,
+        f32::MIN,
+        1.5,
+        -2.5,
+        65504.0,
+    ];
+
+    #[test]
+    fn gt_zero_levels_agree() {
+        for len in [0usize, 1, 31, 32, 33, 100, 256] {
+            let y: Vec<f32> = (0..len).map(|i| HOSTILE[i % HOSTILE.len()]).collect();
+            let nwords = len.div_ceil(32);
+            let reference = with_level(Level::Scalar, || {
+                let mut w = vec![0u32; nwords];
+                pack_gt_zero_words(&y, 0, &mut w);
+                w
+            });
+            for lvl in available_levels() {
+                let mut w = vec![0xDEAD_BEEFu32; nwords];
+                with_level(lvl, || pack_gt_zero_words(&y, 0, &mut w));
+                assert_eq!(w, reference, "{lvl} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn select_preserves_nan_payload_bits() {
+        let n = 64usize;
+        let dy: Vec<f32> = (0..n).map(|i| f32::from_bits(0x7FC0_0000 | i as u32)).collect();
+        let words = vec![0xAAAA_AAAAu32, 0x5555_5555];
+        for lvl in available_levels() {
+            let mut out = vec![0.0f32; n];
+            with_level(lvl, || select_by_mask(&words, &dy, 0, &mut out));
+            for (i, &o) in out.iter().enumerate() {
+                let kept = (words[i / 32] >> (i % 32)) & 1 == 1;
+                if kept {
+                    assert_eq!(o.to_bits(), dy[i].to_bits(), "{lvl} lane {i} payload");
+                } else {
+                    assert_eq!(o.to_bits(), 0, "{lvl} lane {i} must be +0.0");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn count_nonzero_levels_agree() {
+        for len in [0usize, 1, 7, 8, 9, 255, 1000] {
+            let v: Vec<f32> = (0..len).map(|i| HOSTILE[(i * 7) % HOSTILE.len()]).collect();
+            let expect = v.iter().filter(|&&x| x != 0.0).count();
+            for lvl in available_levels() {
+                assert_eq!(with_level(lvl, || count_nonzero(&v)), expect, "{lvl} len={len}");
+            }
+        }
+    }
+}

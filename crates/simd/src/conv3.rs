@@ -1,0 +1,314 @@
+//! Im2col-free direct convolution for the 3×3 / stride-1 hot case.
+//!
+//! The im2col path materialises a `[C·9, OH·OW]` matrix per image and runs
+//! the packed matmul over it. For 3×3/stride-1 (the bulk of VGG/ResNet
+//! compute) the lowering is pure overhead: each filter tap is just a
+//! shifted row of the input, so the kernel can accumulate straight from
+//! `x` with contiguous vector loads.
+//!
+//! Bit-exactness with the im2col reference is engineered, not hoped for:
+//! the tap loop visits `p = (ci, kh, kw)` in exactly the matmul's
+//! ascending-`p` order, accumulating into the zero-initialised output in
+//! memory; taps with `weight == 0.0` are skipped (the matmul's lhs
+//! zero-skip); out-of-range taps still contribute `w · 0.0` — **not**
+//! skipped, because `Inf · 0.0 = NaN` must propagate exactly as the
+//! zero-padded im2col column does; bias is added after all taps. Every
+//! output element therefore sees the identical sequence of f32 operations,
+//! and matches the im2col result bit-for-bit except NaN payloads, which no
+//! compilation pins (see [`crate::canon_bits`]).
+
+use crate::Level;
+
+/// Geometry of one [`conv3x3s1_image`] call.
+#[derive(Debug, Clone, Copy)]
+pub struct Conv3Shape {
+    /// Input channels.
+    pub c: usize,
+    /// Input height.
+    pub h: usize,
+    /// Input width.
+    pub w: usize,
+    /// Output channels (filters).
+    pub out_c: usize,
+    /// Symmetric zero padding.
+    pub pad: usize,
+}
+
+impl Conv3Shape {
+    /// Output spatial size (stride 1, 3×3 kernel).
+    pub fn out_hw(&self) -> (usize, usize) {
+        (self.h + 2 * self.pad - 2, self.w + 2 * self.pad - 2)
+    }
+}
+
+/// `dst[j] += a * src[j]` over equal-length slices. Independent elements,
+/// one mul + one add each at every level.
+fn axpy(lvl: Level, dst: &mut [f32], src: &[f32], a: f32) {
+    debug_assert_eq!(dst.len(), src.len());
+    match lvl {
+        Level::Scalar => {
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d += a * s;
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: vector levels are only dispatched when detected.
+        Level::Sse2 => unsafe { x86::axpy_sse2(dst, src, a) },
+        #[cfg(target_arch = "x86_64")]
+        Level::Avx2 => unsafe { x86::axpy_avx2(dst, src, a) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => unreachable!("vector conv path requires x86_64"),
+    }
+}
+
+/// `dst[j] += t` — the padding tap (`t = w · 0.0`, which may be NaN) and
+/// the bias add.
+fn add_const(lvl: Level, dst: &mut [f32], t: f32) {
+    match lvl {
+        Level::Scalar => {
+            for d in dst.iter_mut() {
+                *d += t;
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: vector levels are only dispatched when detected.
+        Level::Sse2 => unsafe { x86::add_const_sse2(dst, t) },
+        #[cfg(target_arch = "x86_64")]
+        Level::Avx2 => unsafe { x86::add_const_avx2(dst, t) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => unreachable!("vector conv path requires x86_64"),
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use std::arch::x86_64::*;
+
+    /// # Safety
+    ///
+    /// AVX2 must be available; slices must be equal length.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn axpy_avx2(dst: &mut [f32], src: &[f32], a: f32) {
+        let n = dst.len();
+        let d = dst.as_mut_ptr();
+        let s = src.as_ptr();
+        let va = _mm256_set1_ps(a);
+        let mut j = 0;
+        while j + 8 <= n {
+            let acc = _mm256_add_ps(
+                _mm256_loadu_ps(d.add(j)),
+                _mm256_mul_ps(va, _mm256_loadu_ps(s.add(j))),
+            );
+            _mm256_storeu_ps(d.add(j), acc);
+            j += 8;
+        }
+        while j < n {
+            *d.add(j) += a * *s.add(j);
+            j += 1;
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Slices must be equal length (SSE2 is the `x86_64` baseline).
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn axpy_sse2(dst: &mut [f32], src: &[f32], a: f32) {
+        let n = dst.len();
+        let d = dst.as_mut_ptr();
+        let s = src.as_ptr();
+        let va = _mm_set1_ps(a);
+        let mut j = 0;
+        while j + 4 <= n {
+            let acc = _mm_add_ps(_mm_loadu_ps(d.add(j)), _mm_mul_ps(va, _mm_loadu_ps(s.add(j))));
+            _mm_storeu_ps(d.add(j), acc);
+            j += 4;
+        }
+        while j < n {
+            *d.add(j) += a * *s.add(j);
+            j += 1;
+        }
+    }
+
+    /// # Safety
+    ///
+    /// AVX2 must be available.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn add_const_avx2(dst: &mut [f32], t: f32) {
+        let n = dst.len();
+        let d = dst.as_mut_ptr();
+        let vt = _mm256_set1_ps(t);
+        let mut j = 0;
+        while j + 8 <= n {
+            _mm256_storeu_ps(d.add(j), _mm256_add_ps(_mm256_loadu_ps(d.add(j)), vt));
+            j += 8;
+        }
+        while j < n {
+            *d.add(j) += t;
+            j += 1;
+        }
+    }
+
+    /// # Safety
+    ///
+    /// None beyond the slice itself (SSE2 is the `x86_64` baseline).
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn add_const_sse2(dst: &mut [f32], t: f32) {
+        let n = dst.len();
+        let d = dst.as_mut_ptr();
+        let vt = _mm_set1_ps(t);
+        let mut j = 0;
+        while j + 4 <= n {
+            _mm_storeu_ps(d.add(j), _mm_add_ps(_mm_loadu_ps(d.add(j)), vt));
+            j += 4;
+        }
+        while j < n {
+            *d.add(j) += t;
+            j += 1;
+        }
+    }
+}
+
+/// Direct 3×3/stride-1 convolution of **one image**: `x` is `[C, H, W]`,
+/// `weight` is `[out_c, C, 3, 3]`, `dst` is `[out_c, OH, OW]` and is fully
+/// overwritten. Bit-exact with the im2col + matmul path (see module docs).
+/// Resolves the SIMD level itself, so it inherits [`crate::with_level`]
+/// overrides even when running inside a pool worker task.
+///
+/// # Panics
+///
+/// Panics if slice lengths are inconsistent with `shape`, or the padded
+/// input is smaller than the kernel.
+pub fn conv3x3s1_image(
+    x: &[f32],
+    weight: &[f32],
+    bias: Option<&[f32]>,
+    shape: Conv3Shape,
+    dst: &mut [f32],
+) {
+    let Conv3Shape { c, h, w, out_c, pad } = shape;
+    assert!(h + 2 * pad >= 3 && w + 2 * pad >= 3, "kernel larger than padded input");
+    let (oh, ow) = shape.out_hw();
+    assert_eq!(x.len(), c * h * w, "input length");
+    assert_eq!(weight.len(), out_c * c * 9, "weight length");
+    assert_eq!(dst.len(), out_c * oh * ow, "output length");
+    if let Some(b) = bias {
+        assert_eq!(b.len(), out_c, "bias length");
+    }
+    let lvl = crate::level();
+    for f in 0..out_c {
+        let dstf = &mut dst[f * oh * ow..(f + 1) * oh * ow];
+        dstf.fill(0.0);
+        for ci in 0..c {
+            for kh in 0..3 {
+                for kw in 0..3 {
+                    let wv = weight[((f * c + ci) * 3 + kh) * 3 + kw];
+                    if wv == 0.0 {
+                        // The matmul lhs zero-skip: semantic, since a
+                        // skipped 0.0 × Inf never produces its NaN.
+                        continue;
+                    }
+                    // Tail columns where the tap reads padding: the
+                    // product is the constant `wv * 0.0` (NaN for
+                    // non-finite weights), applied — not skipped.
+                    let t = wv * 0.0f32;
+                    let lo = (pad as isize - kw as isize).clamp(0, ow as isize) as usize;
+                    let hi =
+                        ((w + pad) as isize - kw as isize).clamp(lo as isize, ow as isize) as usize;
+                    for ohi in 0..oh {
+                        let row = &mut dstf[ohi * ow..(ohi + 1) * ow];
+                        let ih = ohi as isize + kh as isize - pad as isize;
+                        if ih < 0 || ih >= h as isize {
+                            add_const(lvl, row, t);
+                            continue;
+                        }
+                        let xrow = &x[(ci * h + ih as usize) * w..(ci * h + ih as usize + 1) * w];
+                        add_const(lvl, &mut row[..lo], t);
+                        if hi > lo {
+                            let src0 = lo + kw - pad;
+                            axpy(lvl, &mut row[lo..hi], &xrow[src0..src0 + (hi - lo)], wv);
+                        }
+                        add_const(lvl, &mut row[hi..], t);
+                    }
+                }
+            }
+        }
+        if let Some(b) = bias {
+            add_const(lvl, dstf, b[f]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{available_levels, with_level, Level};
+
+    /// The executable specification: the scalar im2col-order sweep.
+    fn reference(x: &[f32], weight: &[f32], bias: Option<&[f32]>, s: Conv3Shape) -> Vec<f32> {
+        let (oh, ow) = s.out_hw();
+        let mut out = vec![0.0f32; s.out_c * oh * ow];
+        for f in 0..s.out_c {
+            for ci in 0..s.c {
+                for kh in 0..3 {
+                    for kw in 0..3 {
+                        let wv = weight[((f * s.c + ci) * 3 + kh) * 3 + kw];
+                        if wv == 0.0 {
+                            continue;
+                        }
+                        for ohi in 0..oh {
+                            for owi in 0..ow {
+                                let ih = ohi as isize + kh as isize - s.pad as isize;
+                                let iw = owi as isize + kw as isize - s.pad as isize;
+                                let xv =
+                                    if ih < 0 || iw < 0 || ih >= s.h as isize || iw >= s.w as isize
+                                    {
+                                        0.0
+                                    } else {
+                                        x[(ci * s.h + ih as usize) * s.w + iw as usize]
+                                    };
+                                out[(f * oh + ohi) * ow + owi] += wv * xv;
+                            }
+                        }
+                    }
+                }
+            }
+            if let Some(b) = bias {
+                for v in &mut out[f * oh * ow..(f + 1) * oh * ow] {
+                    *v += b[f];
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_reference_on_hostile_inputs_at_every_level() {
+        let specials =
+            [f32::NAN, f32::INFINITY, f32::NEG_INFINITY, -0.0, 0.0, 1e-40, f32::MAX, 0.5];
+        for (c, hw, out_c, pad) in [(1, 3, 1, 1), (2, 5, 3, 1), (1, 4, 2, 0), (3, 9, 2, 1)] {
+            let s = Conv3Shape { c, h: hw, w: hw, out_c, pad };
+            let x: Vec<f32> = (0..c * hw * hw).map(|i| specials[i % specials.len()]).collect();
+            let wt: Vec<f32> = (0..out_c * c * 9).map(|i| specials[(i + 2) % 8]).collect();
+            let b: Vec<f32> = (0..out_c).map(|i| specials[(i + 4) % 8]).collect();
+            let (oh, ow) = s.out_hw();
+            let expect = reference(&x, &wt, Some(&b), s);
+            for lvl in available_levels() {
+                let mut dst = vec![f32::NAN; out_c * oh * ow];
+                with_level(lvl, || conv3x3s1_image(&x, &wt, Some(&b), s, &mut dst));
+                let eb: Vec<u32> = expect.iter().map(|&v| crate::canon_bits(v)).collect();
+                let db: Vec<u32> = dst.iter().map(|&v| crate::canon_bits(v)).collect();
+                assert_eq!(db, eb, "{lvl} diverged at c={c} hw={hw} f={out_c} pad={pad}");
+            }
+        }
+    }
+
+    #[test]
+    fn sum_kernel_no_pad() {
+        // 3×3 input, all-ones kernel, no pad: single output = sum of input.
+        let x: Vec<f32> = (1..=9).map(|v| v as f32).collect();
+        let s = Conv3Shape { c: 1, h: 3, w: 3, out_c: 1, pad: 0 };
+        let mut dst = vec![f32::NAN; 1];
+        with_level(Level::Scalar, || conv3x3s1_image(&x, &[1.0; 9], None, s, &mut dst));
+        assert_eq!(dst, vec![45.0]);
+    }
+}

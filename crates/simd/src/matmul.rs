@@ -1,0 +1,490 @@
+//! Blocked, panel-packed matrix multiplication.
+//!
+//! Three layouts back the conv/linear kernels: `C = A·B`, `C = Aᵀ·B`, and
+//! `C = A·Bᵀ`. All share one vector strategy: pack B once per call into a
+//! strip-major panel (8 consecutive output columns per strip, contiguous
+//! per `p`), then sweep output rows in `gist-par` chunks, each row walking
+//! the packed panel in L2-sized strip blocks. The panel is packed **before**
+//! the parallel dispatch and shared read-only by every chunk.
+//!
+//! Bit-exactness rules (see DESIGN.md §11): lanes hold *independent output
+//! columns*, so each `C[i][j]` accumulates its `p` terms in exactly the
+//! serial ascending order — there is no lane reduction to reassociate.
+//! `matmul`/`matmul_at_b` skip `a == 0.0` terms (and the vector paths
+//! preserve the skip, because skipping changes results when B holds
+//! NaN/Inf: `0.0 × Inf = NaN`); `matmul_a_bt` never skips. Multiplies and
+//! adds stay separate instructions — FMA's fused rounding would diverge
+//! from the scalar reference. Tail columns (`n % 8`) are computed scalar,
+//! same element order, straight from the unpacked B. Outputs match the
+//! scalar level bit-for-bit except NaN payloads, which no compilation
+//! pins (see [`crate::canon_bits`]).
+
+use crate::Level;
+use gist_par::parallel_chunks_mut;
+use std::cell::Cell;
+
+/// Output columns per packed strip (AVX2 register width; SSE2 processes a
+/// strip as two 4-lane halves so both widths share one panel layout).
+const LANES: usize = 8;
+
+/// Rows per parallel chunk: a pure function of the matrix shape (never of
+/// thread count or SIMD level), targeting enough work per chunk to
+/// amortize dispatch. Identical to the pre-SIMD grain, so chunk boundaries
+/// — and therefore the deterministic partition — are unchanged.
+pub fn row_grain(m: usize, k: usize, n: usize) -> usize {
+    let flops_per_row = (2 * k * n).max(1);
+    let rows_per_chunk = (1 << 16) / flops_per_row;
+    rows_per_chunk.clamp(1, m.max(1))
+}
+
+/// Strips per L2 block: the packed sub-panel a chunk's rows sweep before
+/// advancing. ~256 KiB of panel (`strips × k × 8 lanes × 4 bytes`) keeps
+/// the block cache-resident across rows. Pure function of `k`.
+fn block_strips(k: usize) -> usize {
+    ((1 << 16) / (LANES * k.max(1))).max(1)
+}
+
+thread_local! {
+    /// Reusable pack buffer. `take`/`set` (not a held `RefCell` borrow):
+    /// the packing scope encloses a pool dispatch, and a nested kernel on
+    /// this thread must get an empty slot, not a re-entrancy panic.
+    static PACK_BUF: Cell<Vec<f32>> = const { Cell::new(Vec::new()) };
+}
+
+/// Leases the thread-local pack buffer at `len` elements for the duration
+/// of `f`. Nested calls (a kernel inside a pool task that itself packs)
+/// simply allocate a fresh buffer; steady-state top-level calls reuse.
+fn with_pack_buf<R>(len: usize, f: impl FnOnce(&mut Vec<f32>) -> R) -> R {
+    PACK_BUF.with(|slot| {
+        let mut buf = slot.take();
+        buf.clear();
+        buf.resize(len, 0.0);
+        let r = f(&mut buf);
+        slot.set(buf);
+        r
+    })
+}
+
+/// Packs row-major `B[k × n]` full strips into strip-major panel layout:
+/// `panel[(s·k + p)·8 + l] = b[p·n + s·8 + l]`.
+fn pack_b_rowmajor(b: &[f32], k: usize, n: usize, nstrips: usize, panel: &mut [f32]) {
+    for p in 0..k {
+        let brow = &b[p * n..p * n + nstrips * LANES];
+        for s in 0..nstrips {
+            panel[(s * k + p) * LANES..][..LANES]
+                .copy_from_slice(&brow[s * LANES..(s + 1) * LANES]);
+        }
+    }
+}
+
+/// Packs transposed `B[n × k]` (rows are output columns) into the same
+/// strip-major layout: `panel[(s·k + p)·8 + l] = b[(s·8 + l)·k + p]`.
+fn pack_b_transposed(b: &[f32], k: usize, nstrips: usize, panel: &mut [f32]) {
+    for s in 0..nstrips {
+        for l in 0..LANES {
+            let brow = &b[(s * LANES + l) * k..][..k];
+            for (p, &v) in brow.iter().enumerate() {
+                panel[(s * k + p) * LANES + l] = v;
+            }
+        }
+    }
+}
+
+/// How tail columns (and nothing else) index the original B.
+#[derive(Clone, Copy)]
+enum TailB {
+    /// `b[p·n + j]` — row-major B.
+    RowMajor,
+    /// `b[j·k + p]` — transposed B.
+    Transposed,
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::LANES;
+    use std::arch::x86_64::*;
+
+    /// One output row × strips `[s0, s1)` of the packed panel, AVX2.
+    /// Each lane is an independent output column; `p` ascends exactly as
+    /// in the scalar sweep. Separate mul/add — never FMA.
+    ///
+    /// # Safety
+    ///
+    /// AVX2 must be available. `a` must be valid for reads at
+    /// `p * a_step` for `p < k`; `panel` covers strips `< s1`; `out` holds
+    /// at least `s1 * 8` elements.
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn row_strips_avx2<const SKIP: bool>(
+        a: *const f32,
+        a_step: usize,
+        k: usize,
+        panel: *const f32,
+        s0: usize,
+        s1: usize,
+        out: *mut f32,
+    ) {
+        for s in s0..s1 {
+            let pp = panel.add(s * k * LANES);
+            let mut acc = _mm256_setzero_ps();
+            for p in 0..k {
+                let av = *a.add(p * a_step);
+                if SKIP && av == 0.0 {
+                    continue;
+                }
+                let bv = _mm256_loadu_ps(pp.add(p * LANES));
+                acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_set1_ps(av), bv));
+            }
+            _mm256_storeu_ps(out.add(s * LANES), acc);
+        }
+    }
+
+    /// SSE2 twin of [`row_strips_avx2`]: each 8-wide strip is two 4-lane
+    /// halves. Lanes are still independent columns, so the arithmetic per
+    /// output element is identical to AVX2 and scalar.
+    ///
+    /// # Safety
+    ///
+    /// As for [`row_strips_avx2`] (SSE2 is the `x86_64` baseline).
+    #[target_feature(enable = "sse2")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn row_strips_sse2<const SKIP: bool>(
+        a: *const f32,
+        a_step: usize,
+        k: usize,
+        panel: *const f32,
+        s0: usize,
+        s1: usize,
+        out: *mut f32,
+    ) {
+        for s in s0..s1 {
+            let pp = panel.add(s * k * LANES);
+            let mut lo = _mm_setzero_ps();
+            let mut hi = _mm_setzero_ps();
+            for p in 0..k {
+                let av = *a.add(p * a_step);
+                if SKIP && av == 0.0 {
+                    continue;
+                }
+                let va = _mm_set1_ps(av);
+                lo = _mm_add_ps(lo, _mm_mul_ps(va, _mm_loadu_ps(pp.add(p * LANES))));
+                hi = _mm_add_ps(hi, _mm_mul_ps(va, _mm_loadu_ps(pp.add(p * LANES + 4))));
+            }
+            _mm_storeu_ps(out.add(s * LANES), lo);
+            _mm_storeu_ps(out.add(s * LANES + 4), hi);
+        }
+    }
+}
+
+/// Dispatches one row × strip-range to the level's kernel.
+///
+/// # Safety
+///
+/// Pointer contracts as for the per-level kernels; `lvl` must be a vector
+/// level that [`crate::detected_level`] reported available.
+#[allow(clippy::too_many_arguments)]
+unsafe fn row_strips<const SKIP: bool>(
+    lvl: Level,
+    a: *const f32,
+    a_step: usize,
+    k: usize,
+    panel: *const f32,
+    s0: usize,
+    s1: usize,
+    out: *mut f32,
+) {
+    #[cfg(target_arch = "x86_64")]
+    match lvl {
+        Level::Avx2 => x86::row_strips_avx2::<SKIP>(a, a_step, k, panel, s0, s1, out),
+        _ => x86::row_strips_sse2::<SKIP>(a, a_step, k, panel, s0, s1, out),
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (lvl, a, a_step, k, panel, s0, s1, out);
+        unreachable!("vector matmul path requires x86_64");
+    }
+}
+
+/// Shape/layout bundle for the shared vector row sweep.
+#[derive(Clone, Copy)]
+struct VecShape {
+    lvl: Level,
+    k: usize,
+    n: usize,
+    nstrips: usize,
+    /// `i * a_row_stride (+ p * a_step)` addresses `A`'s term for `(i, p)`.
+    a_row_stride: usize,
+    a_step: usize,
+    tail: TailB,
+}
+
+/// Computes `rows` full output rows of one chunk: full strips via the
+/// vector kernel (blocked so the active panel slice stays in L2 across the
+/// chunk's rows), then scalar tails in ascending column order.
+fn vector_chunk<const SKIP: bool>(
+    vs: VecShape,
+    a: &[f32],
+    b: &[f32],
+    panel: &[f32],
+    row0: usize,
+    cchunk: &mut [f32],
+) {
+    let VecShape { lvl, k, n, nstrips, a_row_stride, a_step, tail } = vs;
+    let rows = cchunk.len() / n;
+    let sb = block_strips(k);
+    let cbase = cchunk.as_mut_ptr();
+    let mut s0 = 0;
+    while s0 < nstrips {
+        let s1 = (s0 + sb).min(nstrips);
+        for r in 0..rows {
+            let i = row0 + r;
+            // SAFETY: row `i < m` keeps every `a` access in bounds for all
+            // three layouts; the panel covers strips `< nstrips`; each row
+            // writes `[s0*8, s1*8) ⊂ [0, n)` of its own chunk-local row.
+            unsafe {
+                row_strips::<SKIP>(
+                    lvl,
+                    a.as_ptr().add(i * a_row_stride),
+                    a_step,
+                    k,
+                    panel.as_ptr(),
+                    s0,
+                    s1,
+                    cbase.add(r * n),
+                );
+            }
+        }
+        s0 = s1;
+    }
+    // Tail columns: scalar, same per-element `p` order, from unpacked B.
+    for r in 0..rows {
+        let i = row0 + r;
+        let crow = &mut cchunk[r * n..(r + 1) * n];
+        for (j, cv) in crow.iter_mut().enumerate().skip(nstrips * LANES) {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                let av = a[i * a_row_stride + p * a_step];
+                if SKIP && av == 0.0 {
+                    continue;
+                }
+                let bv = match tail {
+                    TailB::RowMajor => b[p * n + j],
+                    TailB::Transposed => b[j * k + p],
+                };
+                acc += av * bv;
+            }
+            *cv = acc;
+        }
+    }
+}
+
+/// `C[m × n] = A[m × k] · B[k × n]`, row-major, into a preallocated `c`.
+/// Every element of `c` is overwritten. Terms with `a == 0.0` are skipped
+/// (at every level — the skip is semantic, not an optimization, once B may
+/// hold non-finite values).
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the given dimensions.
+pub fn matmul_into(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "lhs length");
+    assert_eq!(b.len(), k * n, "rhs length");
+    assert_eq!(c.len(), m * n, "out length");
+    let lvl = crate::level();
+    let grain = row_grain(m, k, n);
+    let nstrips = n / LANES;
+    if lvl == Level::Scalar || nstrips == 0 {
+        parallel_chunks_mut(c, grain * n, |ci, cchunk| {
+            cchunk.fill(0.0);
+            let row0 = ci * grain;
+            for (r, crow) in cchunk.chunks_mut(n).enumerate() {
+                let i = row0 + r;
+                for p in 0..k {
+                    let av = a[i * k + p];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[p * n..(p + 1) * n];
+                    for (cv, bv) in crow.iter_mut().zip(brow) {
+                        *cv += av * bv;
+                    }
+                }
+            }
+        });
+        return;
+    }
+    let vs = VecShape { lvl, k, n, nstrips, a_row_stride: k, a_step: 1, tail: TailB::RowMajor };
+    with_pack_buf(nstrips * k * LANES, |panel| {
+        pack_b_rowmajor(b, k, n, nstrips, panel);
+        let panel = &*panel;
+        parallel_chunks_mut(c, grain * n, |ci, cchunk| {
+            vector_chunk::<true>(vs, a, b, panel, ci * grain, cchunk);
+        });
+    });
+}
+
+/// `C[m × n] = Aᵀ · B` where `A` is stored `[k × m]`, into `c`. Zero-skip
+/// semantics as [`matmul_into`].
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the given dimensions.
+pub fn matmul_at_b_into(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, c: &mut [f32]) {
+    assert_eq!(a.len(), k * m, "lhs length");
+    assert_eq!(b.len(), k * n, "rhs length");
+    assert_eq!(c.len(), m * n, "out length");
+    let lvl = crate::level();
+    let grain = row_grain(m, k, n);
+    let nstrips = n / LANES;
+    if lvl == Level::Scalar || nstrips == 0 {
+        parallel_chunks_mut(c, grain * n, |ci, cchunk| {
+            cchunk.fill(0.0);
+            let row0 = ci * grain;
+            for (r, crow) in cchunk.chunks_mut(n).enumerate() {
+                let i = row0 + r;
+                for p in 0..k {
+                    let av = a[p * m + i];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[p * n..(p + 1) * n];
+                    for (cv, bv) in crow.iter_mut().zip(brow) {
+                        *cv += av * bv;
+                    }
+                }
+            }
+        });
+        return;
+    }
+    let vs = VecShape { lvl, k, n, nstrips, a_row_stride: 1, a_step: m, tail: TailB::RowMajor };
+    with_pack_buf(nstrips * k * LANES, |panel| {
+        pack_b_rowmajor(b, k, n, nstrips, panel);
+        let panel = &*panel;
+        parallel_chunks_mut(c, grain * n, |ci, cchunk| {
+            vector_chunk::<true>(vs, a, b, panel, ci * grain, cchunk);
+        });
+    });
+}
+
+/// `C[m × n] = A · Bᵀ` where `B` is stored `[n × k]`, into `c`. **No**
+/// zero-skip (matching the serial reference, which always multiplies
+/// through); the transposed pack turns the dot products into independent
+/// column lanes so the per-element accumulation order is untouched.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the given dimensions.
+pub fn matmul_a_bt_into(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "lhs length");
+    assert_eq!(b.len(), n * k, "rhs length");
+    assert_eq!(c.len(), m * n, "out length");
+    let lvl = crate::level();
+    let grain = row_grain(m, k, n);
+    let nstrips = n / LANES;
+    if lvl == Level::Scalar || nstrips == 0 {
+        parallel_chunks_mut(c, grain * n, |ci, cchunk| {
+            let row0 = ci * grain;
+            for (r, crow) in cchunk.chunks_mut(n).enumerate() {
+                let i = row0 + r;
+                let arow = &a[i * k..(i + 1) * k];
+                for (j, cv) in crow.iter_mut().enumerate() {
+                    let brow = &b[j * k..(j + 1) * k];
+                    let mut acc = 0.0;
+                    for (av, bv) in arow.iter().zip(brow) {
+                        acc += av * bv;
+                    }
+                    *cv = acc;
+                }
+            }
+        });
+        return;
+    }
+    let vs = VecShape { lvl, k, n, nstrips, a_row_stride: k, a_step: 1, tail: TailB::Transposed };
+    with_pack_buf(nstrips * k * LANES, |panel| {
+        pack_b_transposed(b, k, nstrips, panel);
+        let panel = &*panel;
+        parallel_chunks_mut(c, grain * n, |ci, cchunk| {
+            vector_chunk::<false>(vs, a, b, panel, ci * grain, cchunk);
+        });
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{available_levels, canon_bits, with_level};
+
+    fn bits(v: &[f32]) -> Vec<u32> {
+        v.iter().map(|&x| canon_bits(x)).collect()
+    }
+
+    fn run_all(a: &[f32], b_rm: &[f32], bt: &[f32], m: usize, k: usize, n: usize) -> [Vec<u32>; 3] {
+        let mut c1 = vec![f32::NAN; m * n];
+        let mut c2 = vec![f32::NAN; m * n];
+        let mut c3 = vec![f32::NAN; m * n];
+        // A stored transposed for at_b: at[p*m + i] = a[i*k + p].
+        let mut at = vec![0.0f32; k * m];
+        for i in 0..m {
+            for p in 0..k {
+                at[p * m + i] = a[i * k + p];
+            }
+        }
+        matmul_into(a, b_rm, m, k, n, &mut c1);
+        matmul_at_b_into(&at, b_rm, m, k, n, &mut c2);
+        matmul_a_bt_into(a, bt, m, k, n, &mut c3);
+        [bits(&c1), bits(&c2), bits(&c3)]
+    }
+
+    #[test]
+    fn levels_agree_on_hostile_inputs() {
+        // Shapes straddle the 8-lane strip boundary; values include the
+        // NaN/Inf interactions that make the zero-skip semantic.
+        let specials =
+            [f32::NAN, f32::INFINITY, f32::NEG_INFINITY, -0.0, 0.0, 1e-40, f32::MAX, -2.5];
+        for (m, k, n) in [(1, 1, 1), (3, 5, 7), (4, 9, 8), (5, 3, 17), (2, 16, 33)] {
+            let a: Vec<f32> = (0..m * k).map(|i| specials[i % specials.len()]).collect();
+            let b: Vec<f32> = (0..k * n).map(|i| specials[(i + 3) % specials.len()]).collect();
+            let bt: Vec<f32> = (0..n * k).map(|i| specials[(i + 5) % specials.len()]).collect();
+            let reference = with_level(Level::Scalar, || run_all(&a, &b, &bt, m, k, n));
+            for lvl in available_levels() {
+                let got = with_level(lvl, || run_all(&a, &b, &bt, m, k, n));
+                assert_eq!(got, reference, "{lvl} diverged at m={m} k={k} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn known_product() {
+        let a = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let b = vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0];
+        for lvl in available_levels() {
+            let mut c = vec![0.0f32; 4];
+            with_level(lvl, || matmul_into(&a, &b, 2, 3, 2, &mut c));
+            assert_eq!(c, vec![58.0, 64.0, 139.0, 154.0], "{lvl}");
+        }
+    }
+
+    #[test]
+    fn overwrites_garbage_output() {
+        // All three kernels promise every output element is overwritten.
+        let a = vec![1.0f32; 2 * 4];
+        let b = vec![2.0f32; 4 * 10];
+        let bt = vec![3.0f32; 10 * 4];
+        for lvl in available_levels() {
+            with_level(lvl, || {
+                let mut c = vec![f32::NAN; 2 * 10];
+                matmul_into(&a, &b, 2, 4, 10, &mut c);
+                assert!(c.iter().all(|&v| v == 8.0), "{lvl}");
+                c.fill(f32::NAN);
+                matmul_a_bt_into(&a, &bt, 2, 4, 10, &mut c);
+                assert!(c.iter().all(|&v| v == 12.0), "{lvl}");
+            });
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lhs length")]
+    fn checks_dims() {
+        matmul_into(&[1.0], &[1.0], 2, 2, 2, &mut [0.0; 4]);
+    }
+}

@@ -1,4 +1,5 @@
-//! 2-D convolution via im2col + dense matmul.
+//! 2-D convolution via im2col + dense matmul, with a direct (im2col-free)
+//! gist-simd kernel for the 3×3/stride-1 hot case.
 //!
 //! The convolution backward pass needs its stashed *input* feature map to
 //! compute weight gradients (Figure 4(d) in the paper) — which is why
@@ -183,8 +184,21 @@ pub fn forward_into(
     let (oh, ow) = (out.h(), out.w());
     let ckk = s.c() * p.kernel * p.kernel;
     let per_image = out_c * oh * ow;
+    let per_x = s.c() * s.h() * s.w();
     // Images are independent; fan the minibatch out over the gist-par pool.
     // (Nested matmul dispatch degrades to serial inside each image task.)
+    if p.kernel == 3 && p.stride == 1 {
+        // The VGG/ResNet hot case: gist-simd's im2col-free direct kernel.
+        // Bit-exact with the lowering below — each output element sees the
+        // identical tap sequence — so taking this branch never changes
+        // results, only skips materialising the [C*9, OH*OW] matrix.
+        let cs = gist_simd::Conv3Shape { c: s.c(), h: s.h(), w: s.w(), out_c, pad: p.pad };
+        parallel_chunks_mut(y.data_mut(), per_image, |n, dst| {
+            let xn = &x.data()[n * per_x..(n + 1) * per_x];
+            gist_simd::conv3x3s1_image(xn, weight.data(), bias.map(|b| b.data()), cs, dst);
+        });
+        return Ok(());
+    }
     parallel_chunks_mut(y.data_mut(), per_image, |n, dst| {
         let cols = im2col(x, n, p, oh, ow);
         // weight viewed as [out_c, ckk] * cols [ckk, oh*ow]
@@ -421,6 +435,37 @@ mod tests {
             );
             assert_eq!(g.db.data()[0].to_bits(), reference.db.data()[0].to_bits());
         }
+    }
+
+    /// The 3×3/stride-1 forward takes the direct gist-simd kernel; pin it
+    /// bit-for-bit against the im2col + matmul lowering it replaced.
+    #[test]
+    fn direct_3x3_path_matches_im2col_lowering() {
+        let p = ConvParams::new(3, 1, 1);
+        let x = crate::init::uniform(Shape::nchw(2, 3, 6, 6), -1.0, 1.0, 7);
+        let w = crate::init::uniform(Shape::nchw(4, 3, 3, 3), -0.5, 0.5, 9);
+        let b = crate::init::uniform(Shape::vector(4), -0.1, 0.1, 21);
+        let y = forward(&x, &w, Some(&b), p).unwrap();
+        let out = p.out_shape(x.shape(), 4);
+        let (oh, ow) = (out.h(), out.w());
+        let ckk = 3 * 9;
+        let mut expect = Tensor::zeros(out);
+        let per_image = 4 * oh * ow;
+        for n in 0..2 {
+            let cols = im2col(&x, n, p, oh, ow);
+            let prod = matmul(w.data(), &cols, 4, ckk, oh * ow);
+            let dst = &mut expect.data_mut()[n * per_image..(n + 1) * per_image];
+            dst.copy_from_slice(&prod);
+            for k in 0..4 {
+                let bk = b.data()[k];
+                for v in &mut dst[k * oh * ow..(k + 1) * oh * ow] {
+                    *v += bk;
+                }
+            }
+        }
+        let yb: Vec<u32> = y.data().iter().map(|v| v.to_bits()).collect();
+        let eb: Vec<u32> = expect.data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(yb, eb, "direct 3x3 kernel must match the im2col lowering");
     }
 
     #[test]

@@ -4,20 +4,13 @@
 //! paper's SSDC encoding is explicitly "sparse storage, dense compute":
 //! stashed data is decoded back to dense before being fed to these kernels.
 //!
-//! All three kernels run on the `gist-par` pool, partitioned by blocks of
-//! output **rows**. Each output element is accumulated in exactly the same
-//! scalar order as a serial sweep (inner `p` ascending), so results are
-//! bit-identical at every thread count.
-
-use gist_par::parallel_chunks_mut;
-
-/// Rows per parallel chunk: a pure function of the matrix shape (never of
-/// thread count), targeting enough work per chunk to amortize dispatch.
-fn row_grain(m: usize, k: usize, n: usize) -> usize {
-    let flops_per_row = (2 * k * n).max(1);
-    let rows_per_chunk = (1 << 16) / flops_per_row;
-    rows_per_chunk.clamp(1, m.max(1))
-}
+//! Since the gist-simd rewire, all three kernels delegate to
+//! `gist_simd`'s blocked, panel-packed implementations. Those run on the
+//! `gist-par` pool, partitioned by blocks of output **rows** with the same
+//! grain formula this module used pre-SIMD, and accumulate every output
+//! element in exactly the serial sweep's order (inner `p` ascending) — so
+//! results stay bit-identical at every thread count *and* at every
+//! `GIST_SIMD` level (NaN payloads canonical, see `gist_simd::canon_bits`).
 
 /// `C[m x n] = A[m x k] * B[k x n]`, row-major.
 ///
@@ -25,32 +18,14 @@ fn row_grain(m: usize, k: usize, n: usize) -> usize {
 ///
 /// Panics if slice lengths do not match the given dimensions.
 pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
-    assert_eq!(a.len(), m * k, "lhs length");
-    assert_eq!(b.len(), k * n, "rhs length");
     let mut c = vec![0.0f32; m * n];
-    let grain = row_grain(m, k, n);
-    parallel_chunks_mut(&mut c, grain * n, |ci, cchunk| {
-        let row0 = ci * grain;
-        for (r, crow) in cchunk.chunks_mut(n).enumerate() {
-            let i = row0 + r;
-            for p in 0..k {
-                let av = a[i * k + p];
-                if av == 0.0 {
-                    continue;
-                }
-                let brow = &b[p * n..(p + 1) * n];
-                for (cv, bv) in crow.iter_mut().zip(brow) {
-                    *cv += av * bv;
-                }
-            }
-        }
-    });
+    gist_simd::matmul_into(a, b, m, k, n, &mut c);
     c
 }
 
 /// `C[m x n] = A^T[m x k] * B[k x n]` where `A` is stored as `[k x m]`.
 ///
-/// The serial reference sweeps `p` in the outer loop; here each output row
+/// The serial reference sweeps `p` in the outer loop; each output row
 /// accumulates its `p` contributions in the same ascending order, so the
 /// per-element floating-point sums are unchanged.
 pub fn matmul_at_b(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
@@ -60,35 +35,14 @@ pub fn matmul_at_b(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f3
 }
 
 /// [`matmul_at_b`] writing into a preallocated output slice (e.g. a leased
-/// scratch buffer). Every element of `c` is overwritten (each chunk is
-/// zeroed before accumulation), so the slice may hold garbage on entry;
-/// bit-exact with [`matmul_at_b`].
+/// scratch buffer). Every element of `c` is overwritten, so the slice may
+/// hold garbage on entry; bit-exact with [`matmul_at_b`].
 ///
 /// # Panics
 ///
 /// Panics if slice lengths do not match the given dimensions.
 pub fn matmul_at_b_into(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, c: &mut [f32]) {
-    assert_eq!(a.len(), k * m, "lhs length");
-    assert_eq!(b.len(), k * n, "rhs length");
-    assert_eq!(c.len(), m * n, "out length");
-    let grain = row_grain(m, k, n);
-    parallel_chunks_mut(c, grain * n, |ci, cchunk| {
-        cchunk.fill(0.0);
-        let row0 = ci * grain;
-        for (r, crow) in cchunk.chunks_mut(n).enumerate() {
-            let i = row0 + r;
-            for p in 0..k {
-                let av = a[p * m + i];
-                if av == 0.0 {
-                    continue;
-                }
-                let brow = &b[p * n..(p + 1) * n];
-                for (cv, bv) in crow.iter_mut().zip(brow) {
-                    *cv += av * bv;
-                }
-            }
-        }
-    });
+    gist_simd::matmul_at_b_into(a, b, m, k, n, c);
 }
 
 /// `C[m x n] = A[m x k] * B^T[k x n]` where `B` is stored as `[n x k]`.
@@ -99,32 +53,14 @@ pub fn matmul_a_bt(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f3
 }
 
 /// [`matmul_a_bt`] writing into a preallocated output slice (e.g. an arena
-/// view). Every element of `c` is overwritten (`*cv = acc`), so the slice
-/// may hold garbage on entry; bit-exact with [`matmul_a_bt`].
+/// view). Every element of `c` is overwritten, so the slice may hold
+/// garbage on entry; bit-exact with [`matmul_a_bt`].
 ///
 /// # Panics
 ///
 /// Panics if slice lengths do not match the given dimensions.
 pub fn matmul_a_bt_into(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, c: &mut [f32]) {
-    assert_eq!(a.len(), m * k, "lhs length");
-    assert_eq!(b.len(), n * k, "rhs length");
-    assert_eq!(c.len(), m * n, "out length");
-    let grain = row_grain(m, k, n);
-    parallel_chunks_mut(c, grain * n, |ci, cchunk| {
-        let row0 = ci * grain;
-        for (r, crow) in cchunk.chunks_mut(n).enumerate() {
-            let i = row0 + r;
-            let arow = &a[i * k..(i + 1) * k];
-            for (j, cv) in crow.iter_mut().enumerate() {
-                let brow = &b[j * k..(j + 1) * k];
-                let mut acc = 0.0;
-                for (av, bv) in arow.iter().zip(brow) {
-                    acc += av * bv;
-                }
-                *cv = acc;
-            }
-        }
-    });
+    gist_simd::matmul_a_bt_into(a, b, m, k, n, c);
 }
 
 #[cfg(test)]

@@ -3,9 +3,12 @@
 #
 # Runs the exact checks a PR must keep green, with no network access:
 #   1. release build of the whole workspace
-#   2. the full test suite, twice: once forced serial (GIST_THREADS=1) and
-#      once on the default gist-par pool — the two runs must both pass, so
-#      any thread-count-dependent behaviour fails the gate
+#   2. the full test suite, twice: once forced serial AND forced-scalar
+#      kernels (GIST_THREADS=1 GIST_SIMD=scalar) and once on the default
+#      gist-par pool with runtime-detected SIMD — the two runs must both
+#      pass, so any thread-count- or vector-width-dependent behaviour fails
+#      the gate. tests/simd_equivalence.rs additionally crosses every
+#      available GIST_SIMD level in-process and bit-compares against scalar
 #   3. rustfmt conformance (rustfmt.toml at the repo root)
 #   4. clippy over all targets with warnings denied
 #   5. the memory oracle gate: a traced training step per small net x stash
@@ -25,11 +28,11 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release --offline"
 cargo build --release --offline --workspace
 
-echo "==> GIST_THREADS=1 cargo test -q --offline (forced serial)"
-GIST_THREADS=1 cargo test -q --offline --workspace
+echo "==> GIST_THREADS=1 GIST_SIMD=scalar cargo test -q --offline (forced serial + scalar kernels)"
+GIST_THREADS=1 GIST_SIMD=scalar cargo test -q --offline --workspace
 
-echo "==> cargo test -q --offline (default thread pool)"
-env -u GIST_THREADS cargo test -q --offline --workspace
+echo "==> cargo test -q --offline (default thread pool + detected SIMD)"
+env -u GIST_THREADS -u GIST_SIMD cargo test -q --offline --workspace
 
 echo "==> cargo fmt --check"
 cargo fmt --check

@@ -36,4 +36,5 @@ pub use gist_offload as offload;
 pub use gist_par as par;
 pub use gist_perf as perf;
 pub use gist_runtime as runtime;
+pub use gist_simd as simd;
 pub use gist_tensor as tensor;

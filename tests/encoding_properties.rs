@@ -9,6 +9,7 @@ use gist::encodings::dpr::DprBuffer;
 use gist::encodings::{BitMask, CsrMatrix, DprFormat, PoolIndexMap};
 use gist::graph::{DataClass, DataStructure, Interval, NodeId, TensorRole};
 use gist::memory::{peak_dynamic, plan_static, SharingPolicy};
+use gist::simd::{available_levels, with_level, Level};
 use gist_testkit::prop::{bools, boxed, just, one_of, vec_of, weighted, Strategy};
 use gist_testkit::Runner;
 
@@ -20,6 +21,76 @@ fn finite_f32() -> impl Strategy<Value = f32> {
         boxed(just(0.0f32)),
         boxed(just(-0.0f32)),
     ])
+}
+
+/// Adversarial f32s for the per-`GIST_SIMD`-level round-trips: NaN, both
+/// infinities, both zeros, subnormals, and extreme normals. The pinned
+/// seeds in `tests/encoding_properties.testkit-regressions` replay through
+/// this strategy.
+fn hostile_f32() -> impl Strategy<Value = f32> {
+    one_of(vec![
+        boxed(-2.0f32..2.0),
+        boxed(-1e6f32..1e6),
+        boxed(just(0.0f32)),
+        boxed(just(-0.0f32)),
+        boxed(just(f32::NAN)),
+        boxed(just(f32::INFINITY)),
+        boxed(just(f32::NEG_INFINITY)),
+        boxed(just(f32::MIN_POSITIVE)),
+        boxed(just(f32::MIN_POSITIVE / 2.0)),
+        boxed(just(-1e-45f32)),
+        boxed(just(f32::MAX)),
+        boxed(just(f32::MIN)),
+    ])
+}
+
+/// Bit-level snapshot of every codec round-trip over one `(y, dy)` input:
+/// Binarize mask bits + `relu_backward`, SSDC/CSR in both row-pointer
+/// widths, and DPR in all three formats. Raw `to_bits` throughout — codecs
+/// move bits rather than create NaNs, so even NaN payloads must survive
+/// byte-identically at every level.
+#[allow(clippy::type_complexity)]
+fn codec_snapshot(
+    y: &[f32],
+    dy: &[f32],
+) -> (Vec<bool>, Vec<u32>, Vec<(usize, Vec<u32>)>, Vec<Vec<u32>>) {
+    let raw = |v: &[f32]| -> Vec<u32> { v.iter().map(|x| x.to_bits()).collect() };
+    let mask = BitMask::encode(y);
+    let mask_bits: Vec<bool> = (0..mask.len()).map(|i| mask.get(i)).collect();
+    let dx = raw(&mask.relu_backward(dy).unwrap());
+    let csr: Vec<(usize, Vec<u32>)> = [true, false]
+        .iter()
+        .map(|&narrow| {
+            let c = CsrMatrix::encode(y, SsdcConfig { narrow, value_format: None });
+            (c.nnz(), raw(&c.decode()))
+        })
+        .collect();
+    let dpr: Vec<Vec<u32>> = [DprFormat::Fp16, DprFormat::Fp10, DprFormat::Fp8]
+        .iter()
+        .map(|&f| raw(&DprBuffer::encode(f, y).decode()))
+        .collect();
+    (mask_bits, dx, csr, dpr)
+}
+
+#[test]
+fn codec_roundtrips_hold_at_every_simd_level() {
+    Runner::new("codec_roundtrips_hold_at_every_simd_level")
+        .regressions_file("tests/encoding_properties.testkit-regressions")
+        .run(&vec_of((hostile_f32(), hostile_f32()), 0..600), |pairs| {
+            let (y, dy): (Vec<f32>, Vec<f32>) = pairs.iter().cloned().unzip();
+            let reference = with_level(Level::Scalar, || codec_snapshot(&y, &dy));
+            // The scalar snapshot obeys the FP32 reference semantics even on
+            // hostile inputs (NaN is not positive; masked lanes are +0.0).
+            for (i, (&yv, &dv)) in y.iter().zip(&dy).enumerate() {
+                assert_eq!(reference.0[i], yv > 0.0);
+                let want = if yv > 0.0 { dv.to_bits() } else { 0.0f32.to_bits() };
+                assert_eq!(reference.1[i], want);
+            }
+            for lvl in available_levels() {
+                let got = with_level(lvl, || codec_snapshot(&y, &dy));
+                assert_eq!(got, reference, "GIST_SIMD={lvl} diverged from scalar");
+            }
+        });
 }
 
 #[test]

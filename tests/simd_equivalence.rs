@@ -1,0 +1,390 @@
+//! Differential SIMD-level suite: the gate for `gist-simd`.
+//!
+//! Every kernel and codec that dispatches through `gist_simd` promises the
+//! same results at every `GIST_SIMD` level — scalar, SSE2, AVX2 — at every
+//! thread count, under both allocation policies. These properties check
+//! that promise the only way that counts: running identical inputs under
+//! [`gist::simd::with_level`] for each available level and comparing raw
+//! bits against the scalar reference.
+//!
+//! Two comparison keys are used, deliberately:
+//!
+//! * **Arithmetic kernels** (matmul, conv, linear) compare through
+//!   [`gist::simd::canon_bits`]: exact bits for every non-NaN output —
+//!   signed zeros, denormals, infinities, every rounding decision — and
+//!   element-wise NaN agreement with the payload canonicalised. Generated
+//!   NaN payloads are compiler-chosen (LLVM commutes `fadd`/`fmul`; x86
+//!   NaN propagation is operand-order dependent), so no implementation can
+//!   pin them — the same scalar source already flips them between `-O`
+//!   levels.
+//! * **Codecs** (Binarize, SSDC/CSR, DPR, bitpack) compare raw bits with
+//!   no canonicalisation: they move or classify bits rather than create
+//!   NaNs, so even NaN payloads must survive byte-identically.
+//!
+//! Inputs are adversarial on purpose: NaN, both infinities, both zeros,
+//! subnormals, extreme normals, shapes that straddle the 8-lane strip
+//! boundary, and empty/one-element tensors.
+
+use gist::core::GistConfig;
+use gist::encodings::bitpack;
+use gist::encodings::csr::SsdcConfig;
+use gist::encodings::dpr::DprBuffer;
+use gist::encodings::{BitMask, CsrMatrix, DprFormat, RoundingMode};
+use gist::offload::{OffloadMode, SwapStrategy};
+use gist::par::{env_threads, with_threads};
+use gist::runtime::{AllocPolicy, ExecMode, Executor, SyntheticImages};
+use gist::simd::{available_levels, canon_bits, with_level, Level};
+use gist::tensor::ops::conv::ConvParams;
+use gist::tensor::ops::{conv, linear, matmul};
+use gist::tensor::{Shape, Tensor};
+use gist_testkit::prop::{boxed, just, one_of, vec_of, Strategy};
+use gist_testkit::Runner;
+
+/// Property cases per kernel/codec (each case runs at every SIMD level).
+const CASES: u32 = 64;
+
+/// f32 values including adversarial bit patterns: NaN, both infinities,
+/// both zeros, subnormals at both ends of the denormal range, and extreme
+/// normals.
+fn hostile_f32() -> impl Strategy<Value = f32> {
+    one_of(vec![
+        boxed(-2.0f32..2.0),
+        boxed(-1e6f32..1e6),
+        boxed(just(0.0f32)),
+        boxed(just(-0.0f32)),
+        boxed(just(f32::NAN)),
+        boxed(just(f32::INFINITY)),
+        boxed(just(f32::NEG_INFINITY)),
+        boxed(just(f32::MIN_POSITIVE)),
+        boxed(just(f32::MIN_POSITIVE / 2.0)),
+        boxed(just(-1e-45f32)),
+        boxed(just(f32::MAX)),
+        boxed(just(f32::MIN)),
+    ])
+}
+
+/// Repeats a generated hostile base out to `len` values.
+fn tile(base: &[f32], len: usize) -> Vec<f32> {
+    base.iter().copied().cycle().take(len).collect()
+}
+
+/// Strict raw bits — the codec comparison key (NaN payloads included).
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Canonical bits — the arithmetic-kernel comparison key (NaN payloads
+/// collapsed, everything else raw).
+fn canon(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|&x| canon_bits(x)).collect()
+}
+
+/// Runs `f` under the scalar level and under every available level and
+/// asserts all results are identical.
+fn assert_level_invariant<T: PartialEq + std::fmt::Debug>(f: impl Fn() -> T) {
+    let reference = with_level(Level::Scalar, &f);
+    for lvl in available_levels() {
+        let got = with_level(lvl, &f);
+        assert_eq!(got, reference, "GIST_SIMD={lvl} diverged from scalar");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Arithmetic kernels
+// ---------------------------------------------------------------------------
+
+#[test]
+fn matmul_kernels_match_scalar_at_every_level() {
+    // Dims cross the 8-lane strip boundary both ways: pure-tail shapes
+    // (n < 8), exact-strip shapes, and strip+tail shapes; zero-sized m/k
+    // cover the degenerate dispatches.
+    let m_dim = || one_of(vec![boxed(0usize..3), boxed(1usize..9), boxed(16usize..41)]);
+    let k_dim = || one_of(vec![boxed(0usize..3), boxed(1usize..9), boxed(16usize..41)]);
+    let n_dim = || one_of(vec![boxed(1usize..9), boxed(8usize..9), boxed(15usize..42)]);
+    Runner::new("matmul_kernels_match_scalar_at_every_level").cases(CASES).run(
+        &((m_dim(), k_dim(), n_dim()), vec_of(hostile_f32(), 16..257)),
+        |((m, k, n), base)| {
+            let (m, k, n) = (*m, *k, *n);
+            let a = tile(base, m * k);
+            let b = tile(base, k * n);
+            let at = tile(base, k * m);
+            let bt = tile(base, n * k);
+            assert_level_invariant(|| {
+                [
+                    canon(&matmul::matmul(&a, &b, m, k, n)),
+                    canon(&matmul::matmul_at_b(&at, &b, m, k, n)),
+                    canon(&matmul::matmul_a_bt(&a, &bt, m, k, n)),
+                ]
+            });
+        },
+    );
+}
+
+#[test]
+fn conv_direct_and_im2col_paths_match_scalar_at_every_level() {
+    // kernel 3 / stride 1 exercises the direct gist-simd conv; other
+    // kernels go through im2col + packed matmul. Both must be level-stable,
+    // forward and backward.
+    Runner::new("conv_direct_and_im2col_paths_match_scalar_at_every_level").cases(CASES).run(
+        &(
+            (1usize..4, 1usize..4, 3usize..12),
+            (1usize..5, 1usize..4),
+            vec_of(hostile_f32(), 16..257),
+        ),
+        |((n, c, hw), (f, kernel), base)| {
+            let (n, c, hw, f, kernel) = (*n, *c, *hw, *f, *kernel);
+            let p = ConvParams::new(kernel, 1, kernel / 2);
+            let x =
+                Tensor::from_vec(Shape::nchw(n, c, hw, hw), tile(base, n * c * hw * hw)).unwrap();
+            let w = Tensor::from_vec(
+                Shape::nchw(f, c, kernel, kernel),
+                tile(base, f * c * kernel * kernel),
+            )
+            .unwrap();
+            let bias = Tensor::from_vec(Shape::vector(f), tile(base, f)).unwrap();
+            let y = conv::forward(&x, &w, Some(&bias), p).unwrap();
+            let dy = Tensor::from_vec(y.shape(), tile(base, y.numel())).unwrap();
+            assert_level_invariant(|| {
+                let y = conv::forward(&x, &w, Some(&bias), p).unwrap();
+                let g = conv::backward(&x, &w, &dy, p).unwrap();
+                [canon(y.data()), canon(g.dx.data()), canon(g.dw.data()), canon(g.db.data())]
+            });
+        },
+    );
+}
+
+#[test]
+fn linear_layers_match_scalar_at_every_level() {
+    Runner::new("linear_layers_match_scalar_at_every_level").cases(CASES).run(
+        &((1usize..66, 1usize..6, 1usize..49), vec_of(hostile_f32(), 16..257)),
+        |((n, f_in, f_out), base)| {
+            let (n, f_in, f_out) = (*n, *f_in, *f_out);
+            let x = Tensor::from_vec(Shape::matrix(n, f_in), tile(base, n * f_in)).unwrap();
+            let w = Tensor::from_vec(Shape::matrix(f_out, f_in), tile(base, f_out * f_in)).unwrap();
+            let bias = Tensor::from_vec(Shape::vector(f_out), tile(base, f_out)).unwrap();
+            let dy = Tensor::from_vec(Shape::matrix(n, f_out), tile(base, n * f_out)).unwrap();
+            assert_level_invariant(|| {
+                let y = linear::forward(&x, &w, Some(&bias)).unwrap();
+                let g = linear::backward(&x, &w, &dy).unwrap();
+                [canon(y.data()), canon(g.dx.data()), canon(g.dw.data()), canon(g.db.data())]
+            });
+        },
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Codecs — strict bit comparison, NaN payloads included
+// ---------------------------------------------------------------------------
+
+/// Long enough that every codec's parallel grain splits into several
+/// chunks and the vector kernels see both full groups and ragged tails.
+const CODEC_LEN: usize = 1 << 16;
+
+#[test]
+fn binarize_codec_matches_scalar_at_every_level() {
+    Runner::new("binarize_codec_matches_scalar_at_every_level").cases(CASES).run(
+        &(vec_of(hostile_f32(), 16..257), 1usize..CODEC_LEN),
+        |(base, extra)| {
+            let y = tile(base, CODEC_LEN + extra);
+            let dy: Vec<f32> = y.iter().rev().copied().collect();
+            assert_level_invariant(|| {
+                let mask = BitMask::encode(&y);
+                // Words via get() (strict), select via relu_backward
+                // (strict — passing lanes must preserve dy's NaN payloads).
+                let first_bits: Vec<bool> = (0..64.min(mask.len())).map(|i| mask.get(i)).collect();
+                (first_bits, bits(&mask.relu_backward(&dy).unwrap()))
+            });
+        },
+    );
+}
+
+#[test]
+fn csr_codec_matches_scalar_at_every_level() {
+    let sparse = one_of(vec![boxed(just(0.0f32)), boxed(just(0.0f32)), boxed(hostile_f32())]);
+    Runner::new("csr_codec_matches_scalar_at_every_level").cases(CASES).run(
+        &(vec_of(sparse, 64..513), 1usize..CODEC_LEN),
+        |(base, extra)| {
+            let values = tile(base, CODEC_LEN / 2 + extra);
+            for narrow in [true, false] {
+                assert_level_invariant(|| {
+                    let csr = CsrMatrix::encode(&values, SsdcConfig { narrow, value_format: None });
+                    (csr.nnz(), csr.encoded_bytes(), bits(&csr.decode()))
+                });
+            }
+        },
+    );
+}
+
+#[test]
+fn dpr_codec_matches_scalar_at_every_level() {
+    Runner::new("dpr_codec_matches_scalar_at_every_level").cases(CASES).run(
+        &(vec_of(hostile_f32(), 16..257), 1usize..CODEC_LEN),
+        |(base, extra)| {
+            let values = tile(base, CODEC_LEN / 2 + extra);
+            for format in [DprFormat::Fp16, DprFormat::Fp10, DprFormat::Fp8] {
+                assert_level_invariant(|| {
+                    // Buffer equality covers the packed words themselves
+                    // (DprBuffer derives PartialEq), decode covers the
+                    // unpack path.
+                    let buf = DprBuffer::encode(format, &values);
+                    let decoded = bits(&buf.decode());
+                    (buf, decoded)
+                });
+                // The stochastic ablation stays scalar at every level but
+                // must still be level-*invariant*.
+                assert_level_invariant(|| {
+                    DprBuffer::encode_with(format, &values, RoundingMode::Stochastic { seed: 0xD5 })
+                });
+            }
+        },
+    );
+}
+
+#[test]
+fn bitpack_flags_match_scalar_at_every_level() {
+    Runner::new("bitpack_flags_match_scalar_at_every_level").cases(CASES).run(
+        &(vec_of(hostile_f32(), 16..257), 1usize..CODEC_LEN),
+        |(base, extra)| {
+            let len = CODEC_LEN + extra;
+            let v = tile(base, len);
+            let flags: Vec<bool> = v.iter().map(|x| *x > 0.25).collect();
+            assert_level_invariant(|| {
+                let words = bitpack::pack_bits(&flags);
+                let back = bitpack::unpack_bits(&words, len);
+                (words, back)
+            });
+        },
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate shapes
+// ---------------------------------------------------------------------------
+
+#[test]
+fn empty_and_one_element_inputs_at_every_level() {
+    for lvl in available_levels() {
+        with_level(lvl, || {
+            // Kernels.
+            assert!(matmul::matmul(&[], &[], 0, 0, 1).is_empty(), "{lvl}");
+            assert_eq!(matmul::matmul(&[], &[], 1, 0, 5), vec![0.0; 5], "{lvl}");
+            assert_eq!(matmul::matmul(&[2.0], &[3.0], 1, 1, 1), vec![6.0], "{lvl}");
+            assert_eq!(matmul::matmul_a_bt(&[2.0], &[4.0], 1, 1, 1), vec![8.0], "{lvl}");
+            // Codecs.
+            let m = BitMask::encode(&[]);
+            assert_eq!(m.len(), 0, "{lvl}");
+            assert!(m.relu_backward(&[]).unwrap().is_empty(), "{lvl}");
+            let one = BitMask::encode(&[f32::NAN]);
+            assert!(!one.get(0), "{lvl}: NaN is not positive");
+            for f in [DprFormat::Fp16, DprFormat::Fp10, DprFormat::Fp8] {
+                assert!(DprBuffer::encode(f, &[]).decode().is_empty(), "{lvl}");
+                let single = DprBuffer::encode(f, &[1.0]);
+                assert_eq!(single.decode(), vec![1.0], "{lvl}");
+            }
+            let csr = CsrMatrix::encode(&[], SsdcConfig::default());
+            assert_eq!(csr.nnz(), 0, "{lvl}");
+            assert!(csr.decode().is_empty(), "{lvl}");
+            assert!(bitpack::pack_bits(&[]).is_empty(), "{lvl}");
+            assert_eq!(bitpack::pack_bits(&[true]), vec![1u32], "{lvl}");
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Whole-training-step fingerprints
+// ---------------------------------------------------------------------------
+
+/// Two training steps fingerprinted bit-for-bit (losses, peak bytes, all
+/// gradients, all updated weights) — the `tests/step_determinism.rs`
+/// machinery pointed at the SIMD axis.
+fn run_fingerprint_full(policy: AllocPolicy, mode: ExecMode, offload: OffloadMode) -> Vec<u32> {
+    let g = gist::models::resnet_cifar(1, 2);
+    let mut e = Executor::new_with_offload(g, mode, 17, policy, offload).unwrap();
+    let mut ds = SyntheticImages::rgb(4, 32, 0.2, 23);
+    let mut bits = Vec::new();
+    for _ in 0..2 {
+        let (x, y) = ds.minibatch(2);
+        let (stats, grads) = e.forward_backward(&x, &y).unwrap();
+        bits.push(stats.loss.to_bits());
+        bits.push(stats.peak_live_bytes as u32);
+        for g in grads.iter().flatten() {
+            bits.extend(g.main.data().iter().map(|v| v.to_bits()));
+            if let Some(s) = &g.secondary {
+                bits.extend(s.data().iter().map(|v| v.to_bits()));
+            }
+        }
+        e.step(&x, &y, 0.05).unwrap();
+    }
+    for i in 0..e.graph().len() {
+        if let Some(p) = e.params.get(i) {
+            match p {
+                gist::runtime::params::NodeParams::Conv { weight, bias }
+                | gist::runtime::params::NodeParams::Linear { weight, bias } => {
+                    bits.extend(weight.data().iter().map(|v| v.to_bits()));
+                    if let Some(b) = bias {
+                        bits.extend(b.data().iter().map(|v| v.to_bits()));
+                    }
+                }
+                gist::runtime::params::NodeParams::BatchNorm { gamma, beta } => {
+                    bits.extend(gamma.data().iter().map(|v| v.to_bits()));
+                    bits.extend(beta.data().iter().map(|v| v.to_bits()));
+                }
+            }
+        }
+    }
+    bits
+}
+
+fn run_fingerprint(policy: AllocPolicy) -> Vec<u32> {
+    run_fingerprint_full(policy, ExecMode::Gist(GistConfig::lossless()), OffloadMode::None)
+}
+
+fn thread_counts() -> Vec<usize> {
+    let mut counts = vec![1, 2, env_threads().max(2)];
+    counts.dedup();
+    counts
+}
+
+#[test]
+fn training_steps_are_byte_identical_across_levels_threads_and_policies() {
+    // Training data is finite, so the fingerprint comparison is strict —
+    // no NaN canonicalisation. Any level/thread/policy combination that
+    // perturbs one rounding step diverges in some weight bit.
+    for policy in [AllocPolicy::Heap, AllocPolicy::Arena] {
+        let reference = with_level(Level::Scalar, || with_threads(1, || run_fingerprint(policy)));
+        assert!(reference.len() > 1000, "fingerprint covers real state");
+        for lvl in available_levels() {
+            for t in thread_counts() {
+                let fp = with_level(lvl, || with_threads(t, || run_fingerprint(policy)));
+                assert_eq!(fp, reference, "GIST_SIMD={lvl} threads={t} policy={policy:?} diverged");
+            }
+        }
+    }
+}
+
+#[test]
+fn training_steps_are_byte_identical_across_levels_modes_and_offloads() {
+    // The remaining execution axes: every stash mode and offload plan must
+    // be level-invariant too (offload replays forward kernels, so a
+    // level-dependent kernel would surface here even if the resident path
+    // were bit-stable). Arena policy — the production configuration.
+    let modes = [ExecMode::Baseline, ExecMode::Gist(GistConfig::lossless())];
+    let offloads =
+        [OffloadMode::None, OffloadMode::Recompute, OffloadMode::Swap(SwapStrategy::Vdnn)];
+    for mode in &modes {
+        for offload in &offloads {
+            let reference = with_level(Level::Scalar, || {
+                run_fingerprint_full(AllocPolicy::Arena, mode.clone(), *offload)
+            });
+            for lvl in available_levels() {
+                let fp = with_level(lvl, || {
+                    run_fingerprint_full(AllocPolicy::Arena, mode.clone(), *offload)
+                });
+                assert_eq!(
+                    fp, reference,
+                    "GIST_SIMD={lvl} mode={mode:?} offload={offload:?} diverged"
+                );
+            }
+        }
+    }
+}
