@@ -1,0 +1,61 @@
+//! Benchmark for the distributed fixed-tree all-reduce: bytes on the wire
+//! raw vs SSDC vs DPR, and the virtual-clock stall each strategy pays on
+//! the serial link — the gradient-traffic counterpart of the paper's
+//! Section VI PCIe-contention argument. Gradients are dense, so SSDC's
+//! honest accounting (values + column indices) *costs* wire bytes while
+//! DPR's narrower formats save them; the JSON records both so the
+//! trade-off is a committed artifact.
+//!
+//! Run with `cargo run --release -p gist-bench --bin bench_dist_allreduce`.
+
+use gist_dist::{DistTrainer, GradCodec, DEFAULT_SHARDS};
+use gist_encodings::DprFormat;
+use gist_perf::GpuModel;
+use gist_runtime::{ExecMode, Executor, SyntheticImages};
+use gist_testkit::BenchGroup;
+
+fn main() {
+    let replicas = 4;
+    let batch = 4;
+    let mut g = BenchGroup::new("dist_allreduce").samples(10);
+    g.meta("threads", gist_par::current_threads() as u64);
+    g.meta("simd", gist_simd::level() as u64);
+    g.meta("replicas", replicas as u64);
+    g.meta("shards", DEFAULT_SHARDS as u64);
+    g.meta("shard_batch", batch as u64);
+
+    let gpu = GpuModel::titan_x();
+    let codecs: Vec<(&str, GradCodec)> = vec![
+        ("raw", GradCodec::None),
+        ("ssdc", GradCodec::Ssdc),
+        ("dpr_fp16", GradCodec::Dpr(DprFormat::Fp16)),
+        ("dpr_fp8", GradCodec::Dpr(DprFormat::Fp8)),
+    ];
+    for (label, codec) in codecs {
+        let mut ds = SyntheticImages::new(4, 16, 0.3, 42);
+        let mut shard = || ds.minibatch(batch);
+        let mut images = Vec::with_capacity(DEFAULT_SHARDS);
+        let mut labels = Vec::with_capacity(DEFAULT_SHARDS);
+        for _ in 0..DEFAULT_SHARDS {
+            let (x, y) = shard();
+            images.push(x);
+            labels.push(y);
+        }
+        let mut trainer = DistTrainer::new(replicas, DEFAULT_SHARDS, codec, || {
+            Executor::new(gist_models::tiny_convnet(batch, 4), ExecMode::Baseline, 7)
+        })
+        .expect("trainer");
+        let rep = trainer.step(&images, &labels, 0.01).expect("step");
+        let priced = trainer.price(&rep, &gpu);
+        g.meta(&format!("{label}_grad_codec"), codec.meta_id());
+        g.meta(&format!("{label}_wire_bytes"), priced.bytes_on_wire);
+        g.meta(&format!("{label}_reduce_bytes"), rep.reduce_bytes);
+        g.meta(&format!("{label}_broadcast_bytes"), rep.broadcast_bytes);
+        g.meta(&format!("{label}_dense_grad_bytes"), rep.dense_grad_bytes);
+        g.meta(&format!("{label}_stall_ns"), (priced.total_s * 1e9) as u64);
+        g.bench(label, || {
+            trainer.step(&images, &labels, 0.01).expect("step");
+        });
+    }
+    g.finish();
+}

@@ -48,6 +48,8 @@ fn main() {
     let mut g = BenchGroup::new("training_step").samples(20);
     g.meta("threads", gist_par::current_threads() as u64);
     g.meta("simd", gist_simd::level() as u64);
+    g.meta("replicas", 1);
+    g.meta("grad_codec", gist_dist::GradCodec::None.meta_id());
     let batch = 8;
     let mut ds = SyntheticImages::new(4, 16, 0.3, 42);
     let (x, y) = ds.minibatch(batch);
@@ -97,6 +99,8 @@ fn main() {
     let mut g = BenchGroup::new("training_step_arena").samples(20);
     g.meta("threads", gist_par::current_threads() as u64);
     g.meta("simd", gist_simd::level() as u64);
+    g.meta("replicas", 1);
+    g.meta("grad_codec", gist_dist::GradCodec::None.meta_id());
     for (label, mode) in &modes {
         let step_allocs = |policy: AllocPolicy| {
             let mut exec = Executor::new_with_policy(

@@ -72,6 +72,8 @@ struct Args {
     trace: Option<String>,
     alloc: gist_runtime::AllocPolicy,
     offload: gist_runtime::OffloadMode,
+    replicas: usize,
+    grad_codec: gist_dist::GradCodec,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -86,6 +88,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         trace: None,
         alloc: gist_runtime::AllocPolicy::Heap,
         offload: gist_runtime::OffloadMode::None,
+        replicas: 1,
+        grad_codec: gist_dist::GradCodec::None,
     };
     let mut it = argv[1..].iter();
     while let Some(a) = it.next() {
@@ -126,6 +130,19 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     }
                 };
             }
+            "--replicas" => {
+                let v = it.next().ok_or("--replicas needs a value")?;
+                args.replicas = v.parse().map_err(|_| format!("bad replica count: {v}"))?;
+                if args.replicas == 0 {
+                    return Err("--replicas must be at least 1".into());
+                }
+            }
+            "--grad-codec" => {
+                let v = it.next().ok_or("--grad-codec needs a value")?;
+                args.grad_codec = gist_dist::GradCodec::parse(v).ok_or(format!(
+                    "unknown grad codec: {v} (try none|ssdc|dpr:16|dpr:10|dpr:8)"
+                ))?;
+            }
             "--dynamic" => args.dynamic = true,
             "--optimized-software" => args.optimized_software = true,
             other if !other.starts_with("--") && args.model.is_none() => {
@@ -141,7 +158,8 @@ fn usage() -> String {
     "usage: gist-cli <models|plan|breakdown|stashes|report|dot|trace|train> [model] \
      [--batch N] [--mode baseline|lossless|fp16|fp10|fp8] [--dynamic] [--optimized-software] \
      [--steps N] [--trace out.json] [--alloc heap|arena] \
-     [--offload recompute|swap|swap:naive|swap:vdnn|swap:cdma]"
+     [--offload recompute|swap|swap:naive|swap:vdnn|swap:cdma] \
+     [--replicas N] [--grad-codec none|ssdc|dpr:16|dpr:10|dpr:8]"
         .to_string()
 }
 
@@ -224,7 +242,11 @@ fn run(args: Args) -> Result<(), String> {
                     parse_mode(&args.mode).ok_or_else(|| format!("unknown mode {}", args.mode))?;
                 gist_runtime::ExecMode::Gist(config)
             };
-            run_train(graph, mode, &args)?;
+            if args.replicas > 1 || args.grad_codec != gist_dist::GradCodec::None {
+                run_train_dist(graph, mode, &args)?;
+            } else {
+                run_train(graph, mode, &args)?;
+            }
         }
         "trace" => {
             let mut config =
@@ -300,6 +322,68 @@ fn run_train(graph: Graph, mode: gist_runtime::ExecMode, args: &Args) -> Result<
         std::fs::write(path, gist_obs::export_chrome(&events)).map_err(|e| e.to_string())?;
         println!("wrote {} trace events to {path}", events.len());
         print!("{}", gist_obs::CountersReport::from_events(&events).to_table());
+    }
+    Ok(())
+}
+
+/// Runs `--steps` distributed training steps: `--replicas` lockstep model
+/// replicas over `gist_dist::DEFAULT_SHARDS` micro-batch shards of
+/// `--batch` images each, all-reducing gradients through the fixed tree
+/// with `--grad-codec` on every transfer, and pricing the observed wire
+/// bytes on the virtual-clock link engine.
+fn run_train_dist(graph: Graph, mode: gist_runtime::ExecMode, args: &Args) -> Result<(), String> {
+    use gist_dist::{DistTrainer, DEFAULT_SHARDS};
+    let shards = DEFAULT_SHARDS;
+    if shards % args.replicas != 0 {
+        return Err(format!("--replicas must divide {shards} (got {})", args.replicas));
+    }
+    let shapes = graph.infer_shapes().map_err(|e| e.to_string())?;
+    let loss = graph
+        .nodes()
+        .iter()
+        .find(|n| matches!(n.op, gist_graph::OpKind::SoftmaxLoss))
+        .ok_or("model has no loss head")?;
+    let classes = shapes[loss.inputs[0].index()].as_matrix().1;
+    let input = shapes[0];
+    let mut ds = if input.c() == 3 {
+        gist_runtime::SyntheticImages::rgb(classes, input.h(), 0.3, 42)
+    } else {
+        gist_runtime::SyntheticImages::new(classes, input.h(), 0.3, 42)
+    };
+    let (per, total) = gist_runtime::predicted_replica_slab_bytes(&graph, &mode, args.replicas)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "replica slab: {:.1} KB per replica, {:.1} KB across {} replica(s)",
+        per as f64 / 1024.0,
+        total as f64 / 1024.0,
+        args.replicas
+    );
+    let mut trainer = DistTrainer::new(args.replicas, shards, args.grad_codec, || {
+        gist_runtime::Executor::new_with_policy(graph.clone(), mode.clone(), 7, args.alloc)
+    })
+    .map_err(|e| e.to_string())?;
+    let gpu = gist_perf::GpuModel::titan_x();
+    for step in 0..args.steps {
+        let mut images = Vec::with_capacity(shards);
+        let mut labels = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (x, y) = ds.minibatch(args.batch);
+            images.push(x);
+            labels.push(y);
+        }
+        let rep = trainer.step(&images, &labels, 0.05).map_err(|e| e.to_string())?;
+        let priced = trainer.price(&rep, &gpu);
+        println!(
+            "step {:>3}: loss {:.4}  acc {:5.1}%  wire {:.1} KB ({} codec, dense {:.1} KB)  \
+             all-reduce {:.3} ms",
+            step,
+            rep.loss,
+            100.0 * (rep.correct as f64 / rep.batch as f64),
+            priced.bytes_on_wire as f64 / 1024.0,
+            trainer.codec().label(),
+            rep.dense_grad_bytes as f64 / 1024.0,
+            priced.total_s * 1e3
+        );
     }
     Ok(())
 }
@@ -423,6 +507,44 @@ mod tests {
         }
         assert!(parse_args(&args(&["train", "tiny-convnet", "--offload", "teleport"])).is_err());
         assert!(parse_args(&args(&["train", "tiny-convnet", "--offload"])).is_err());
+    }
+
+    #[test]
+    fn parses_replicas_and_grad_codec_and_trains_distributed() {
+        let a = parse_args(&args(&[
+            "train",
+            "tiny-convnet",
+            "--batch",
+            "2",
+            "--replicas",
+            "2",
+            "--grad-codec",
+            "ssdc",
+        ]))
+        .unwrap();
+        assert_eq!(a.replicas, 2);
+        assert_eq!(a.grad_codec, gist_dist::GradCodec::Ssdc);
+        run(a).unwrap();
+        // A codec alone routes through the distributed path too.
+        let a = parse_args(&args(&[
+            "train",
+            "tiny-convnet",
+            "--batch",
+            "2",
+            "--grad-codec",
+            "dpr:8",
+            "--alloc",
+            "arena",
+        ]))
+        .unwrap();
+        assert_eq!(a.replicas, 1);
+        run(a).unwrap();
+        assert!(parse_args(&args(&["train", "tiny-convnet", "--replicas", "0"])).is_err());
+        assert!(parse_args(&args(&["train", "tiny-convnet", "--grad-codec", "zip"])).is_err());
+        // 3 does not divide the 8 fixed shards.
+        let a = parse_args(&args(&["train", "tiny-convnet", "--batch", "2", "--replicas", "3"]))
+            .unwrap();
+        assert!(run(a).is_err());
     }
 
     #[test]

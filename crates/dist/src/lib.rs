@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # gist-dist
+//!
+//! Deterministic data-parallel training with Gist's encodings on the wire.
+//!
+//! The paper's cDMA/compressed-transfer argument (§V-D, Figure 16) says
+//! encoded feature maps shrink the *bus traffic*, not just the device
+//! footprint. This crate makes the same argument for gradients: `N` model
+//! replicas step disjoint micro-batch shards, and every gradient tensor
+//! crosses the (virtual) link through a [`GradCodec`] — raw, SSDC, or
+//! delayed-precision — before landing in a **fixed reduction tree** whose
+//! accumulation order depends only on the shard count, never on the
+//! replica count or arrival order. The merged update is therefore
+//! byte-identical for `N ∈ {1, 2, 4, 8}`, which turns "data parallelism
+//! didn't change the model" from a hope into a fingerprint test.
+//!
+//! Three modules:
+//!
+//! - [`reduce`]: the fixed-tree schedule, the codec-on-every-edge combine,
+//!   and the arrival-order-independent [`GradReduceTree`].
+//! - [`trainer`]: [`DistTrainer`] — replica executors on scoped sub-pools
+//!   of the ambient `gist-par` pool (sequential on a single-core budget),
+//!   lockstep SGD from the merged mean gradient.
+//! - [`link`]: a virtual-clock serial-link engine that prices every
+//!   crossing edge from its **observed** encoded bytes, extending the
+//!   `gist-offload` clock from swap chains to reduction trees.
+
+pub mod link;
+pub mod reduce;
+pub mod trainer;
+
+pub use gist_encodings::TransferCodec as GradCodec;
+pub use link::{simulate_allreduce, AllReduceReport, LinkTransfer};
+pub use reduce::{combine_into, reduction_rounds, Edge, GradReduceTree};
+pub use trainer::{DistError, DistStepReport, DistTrainer, DEFAULT_SHARDS};

@@ -1,0 +1,205 @@
+//! Virtual-clock pricing of the all-reduce over a serial PCIe-class link.
+//!
+//! The numeric result of a step never depends on this module — placement
+//! decides *cost*, the fixed tree decides *values*. This engine extends the
+//! `gist-offload` virtual-clock idea from swap chains to reduction trees:
+//! every crossing edge is priced from the **observed** encoded wire bytes
+//! of its payload, transfers serialize on one link, and a transfer may not
+//! start before both endpoint partials exist. The simulation is pure
+//! arithmetic over its inputs, so re-running it is bit-identical.
+
+use crate::reduce::Edge;
+use gist_perf::GpuModel;
+
+/// One priced tree edge (or broadcast leg).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkTransfer {
+    /// Round index in the schedule; broadcast legs use `rounds.len()`.
+    pub round: usize,
+    /// Destination shard slot.
+    pub dst: usize,
+    /// Source shard slot.
+    pub src: usize,
+    /// Encoded wire bytes (0 for a same-replica combine, which never
+    /// touches the link).
+    pub bytes: u64,
+    /// Whether the edge crossed a replica boundary and used the link.
+    pub crossed: bool,
+    /// Transfer start, seconds of virtual time.
+    pub start_s: f64,
+    /// Transfer end, seconds of virtual time (equals `start_s` for
+    /// same-replica combines).
+    pub end_s: f64,
+}
+
+/// The priced all-reduce.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllReduceReport {
+    /// Virtual time until every replica holds the merged gradient.
+    pub total_s: f64,
+    /// Total encoded bytes that crossed the link (reduce + broadcast).
+    pub bytes_on_wire: u64,
+    /// Every edge in schedule order, then the broadcast legs.
+    pub transfers: Vec<LinkTransfer>,
+}
+
+/// Prices a fixed-tree all-reduce on `replicas` devices sharing one link.
+///
+/// `rounds` is the schedule (see [`crate::reduce::reduction_rounds`]) and
+/// `edge_bytes[r][e]` the observed encoded bytes of round `r`, edge `e` —
+/// summed over all gradient tensors that rode that edge. Shard slot `s`
+/// lives on replica `s % replicas`; an edge whose endpoints share a
+/// replica is a free local combine. After the tree drains into slot 0,
+/// `broadcast_bytes` travel from slot 0 to each other replica's primary
+/// slot (`1..replicas`), serialized on the same link.
+///
+/// Causality: a crossing edge starts no earlier than the link is free
+/// *and* both endpoint partials are ready; a local combine advances the
+/// destination's ready time without occupying the link.
+///
+/// # Panics
+///
+/// Panics if `replicas == 0` or `edge_bytes` disagrees with `rounds` in
+/// shape.
+#[must_use]
+pub fn simulate_allreduce(
+    rounds: &[Vec<Edge>],
+    edge_bytes: &[Vec<u64>],
+    replicas: usize,
+    broadcast_bytes: u64,
+    gpu: &GpuModel,
+) -> AllReduceReport {
+    assert!(replicas > 0, "simulate_allreduce: need at least one replica");
+    assert_eq!(rounds.len(), edge_bytes.len(), "edge_bytes rounds mismatch");
+    let slots =
+        rounds.iter().flatten().map(|&(d, s)| d.max(s) + 1).max().unwrap_or(replicas.max(1));
+    let mut ready = vec![0.0f64; slots.max(replicas)];
+    let mut link_free = 0.0f64;
+    let mut transfers = Vec::new();
+    let mut bytes_on_wire = 0u64;
+
+    for (r, round) in rounds.iter().enumerate() {
+        assert_eq!(round.len(), edge_bytes[r].len(), "edge_bytes round {r} mismatch");
+        for (e, &(dst, src)) in round.iter().enumerate() {
+            let bytes = edge_bytes[r][e];
+            let crossed = dst % replicas != src % replicas;
+            if crossed {
+                let start = link_free.max(ready[src]).max(ready[dst]);
+                let end = start + gpu.pcie_time(bytes as f64);
+                link_free = end;
+                ready[dst] = end;
+                bytes_on_wire += bytes;
+                transfers.push(LinkTransfer {
+                    round: r,
+                    dst,
+                    src,
+                    bytes,
+                    crossed,
+                    start_s: start,
+                    end_s: end,
+                });
+            } else {
+                let at = ready[src].max(ready[dst]);
+                ready[dst] = at;
+                transfers.push(LinkTransfer {
+                    round: r,
+                    dst,
+                    src,
+                    bytes: 0,
+                    crossed,
+                    start_s: at,
+                    end_s: at,
+                });
+            }
+        }
+    }
+
+    // Broadcast the merged gradient from slot 0 to every other replica's
+    // primary slot, still serialized on the one link.
+    for dst in 1..replicas {
+        let start = link_free.max(ready[0]).max(ready[dst]);
+        let end = start + gpu.pcie_time(broadcast_bytes as f64);
+        link_free = end;
+        ready[dst] = end;
+        bytes_on_wire += broadcast_bytes;
+        transfers.push(LinkTransfer {
+            round: rounds.len(),
+            dst,
+            src: 0,
+            bytes: broadcast_bytes,
+            crossed: true,
+            start_s: start,
+            end_s: end,
+        });
+    }
+
+    let total_s = transfers.iter().map(|t| t.end_s).fold(0.0f64, f64::max);
+    AllReduceReport { total_s, bytes_on_wire, transfers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduce::reduction_rounds;
+
+    fn flat_bytes(rounds: &[Vec<Edge>], b: u64) -> Vec<Vec<u64>> {
+        rounds.iter().map(|r| vec![b; r.len()]).collect()
+    }
+
+    #[test]
+    fn single_replica_everything_is_local_and_free() {
+        let rounds = reduction_rounds(8);
+        let rep =
+            simulate_allreduce(&rounds, &flat_bytes(&rounds, 4096), 1, 4096, &GpuModel::titan_x());
+        assert_eq!(rep.bytes_on_wire, 0);
+        assert_eq!(rep.total_s, 0.0);
+        assert!(rep.transfers.iter().all(|t| !t.crossed && t.bytes == 0));
+    }
+
+    #[test]
+    fn crossing_edges_serialize_on_one_link() {
+        let rounds = reduction_rounds(8);
+        let gpu = GpuModel::titan_x();
+        let rep = simulate_allreduce(&rounds, &flat_bytes(&rounds, 1 << 20), 8, 1 << 20, &gpu);
+        // All 7 tree edges cross (8 replicas) plus 7 broadcast legs.
+        let crossed: Vec<_> = rep.transfers.iter().filter(|t| t.crossed).collect();
+        assert_eq!(crossed.len(), 7 + 7);
+        assert_eq!(rep.bytes_on_wire, 14 << 20);
+        for w in crossed.windows(2) {
+            assert!(w[1].start_s >= w[0].end_s, "link overlapped: {:?} vs {:?}", w[0], w[1]);
+        }
+        assert!((rep.total_s - crossed.last().unwrap().end_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_replicas_skip_same_device_combines() {
+        // With slots 0..8 on 2 replicas (slot % 2), gap-1 edges all cross,
+        // gap-2 and gap-4 edges are local, broadcast is one leg.
+        let rounds = reduction_rounds(8);
+        let gpu = GpuModel::titan_x();
+        let rep = simulate_allreduce(&rounds, &flat_bytes(&rounds, 1000), 2, 1000, &gpu);
+        let crossed = rep.transfers.iter().filter(|t| t.crossed).count();
+        assert_eq!(crossed, 4 + 1);
+        assert_eq!(rep.bytes_on_wire, 5000);
+    }
+
+    #[test]
+    fn resimulation_is_bit_identical() {
+        let rounds = reduction_rounds(8);
+        let bytes: Vec<Vec<u64>> = rounds
+            .iter()
+            .enumerate()
+            .map(|(r, round)| {
+                (0..round.len()).map(|e| 1013 * (r as u64 * 7 + e as u64 + 1)).collect()
+            })
+            .collect();
+        let gpu = GpuModel::titan_x();
+        let a = simulate_allreduce(&rounds, &bytes, 4, 777, &gpu);
+        let b = simulate_allreduce(&rounds, &bytes, 4, 777, &gpu);
+        assert_eq!(a, b);
+        for (x, y) in a.transfers.iter().zip(&b.transfers) {
+            assert_eq!(x.start_s.to_bits(), y.start_s.to_bits());
+            assert_eq!(x.end_s.to_bits(), y.end_s.to_bits());
+        }
+    }
+}

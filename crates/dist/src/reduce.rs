@@ -1,0 +1,257 @@
+//! The fixed-reduction-tree all-reduce core.
+//!
+//! Determinism across replica counts hinges on two decisions made here:
+//!
+//! 1. The reduction tree is fixed over *shard slots*, not over replicas.
+//!    A global step always produces the same `S` shard gradients no matter
+//!    how many replicas computed them, and the tree always combines slot
+//!    `i+g` into slot `i` in the same gap order `g = 1, 2, 4, ...` — so the
+//!    floating-point accumulation order is a function of `S` alone.
+//! 2. The transfer codec is applied on **every** tree edge, whether or not
+//!    the two slots happen to live on the same replica. A lossy codec
+//!    (`Dpr`) therefore perturbs each partial identically for N = 1 and
+//!    N = 8; placement changes which edges cross a physical link (and thus
+//!    the wire bytes and simulated stall), never the merged values.
+
+use gist_encodings::{TransferCodec, Wire};
+
+/// One combine edge: `slots[dst] += decode(encode(slots[src]))`.
+pub type Edge = (usize, usize);
+
+/// The fixed adjacent-pair reduction schedule over `n` shard slots.
+///
+/// Round with gap `g` holds edges `(i, i + g)` for every `i` with
+/// `i % (2 g) == 0` and `i + g < n`; gaps double each round until slot 0
+/// has absorbed everything. For `n = 8`:
+///
+/// ```text
+/// g=1:  (0,1) (2,3) (4,5) (6,7)
+/// g=2:  (0,2) (4,6)
+/// g=4:  (0,4)
+/// ```
+///
+/// The schedule depends only on `n`, never on replica count or arrival
+/// order — it *is* the determinism contract, so it is public and tested.
+#[must_use]
+pub fn reduction_rounds(n: usize) -> Vec<Vec<Edge>> {
+    let mut rounds = Vec::new();
+    let mut g = 1;
+    while g < n {
+        let round: Vec<Edge> =
+            (0..n).step_by(2 * g).filter(|i| i + g < n).map(|i| (i, i + g)).collect();
+        if !round.is_empty() {
+            rounds.push(round);
+        }
+        g *= 2;
+    }
+    rounds
+}
+
+/// Accumulates `src` into `acc` through one codec round-trip, in serial
+/// element order: `acc[i] += decode(encode(src))[i]`.
+///
+/// Returns the wire bytes the encoded `src` would occupy on a link. The
+/// round-trip runs even for [`TransferCodec::None`] and even when both
+/// endpoints share a device, so lossy codecs perturb partials
+/// placement-independently.
+///
+/// # Panics
+///
+/// Panics if the slices disagree in length.
+pub fn combine_into(acc: &mut [f32], src: &[f32], codec: TransferCodec) -> u64 {
+    assert_eq!(acc.len(), src.len(), "combine_into: shard gradient length mismatch");
+    let wire = Wire::encode(codec, src);
+    let bytes = wire.wire_bytes();
+    let decoded = wire.decode();
+    for (a, d) in acc.iter_mut().zip(&decoded) {
+        *a += *d;
+    }
+    bytes
+}
+
+/// Arrival-order-independent fixed-tree reducer for one gradient tensor.
+///
+/// Shard gradients are [`ingest`](Self::ingest)ed into their slot in any
+/// order (replicas finish whenever they finish); [`finish`](Self::finish)
+/// then runs the fixed schedule, so the merged bits depend only on the
+/// shard *values*, never on which replica delivered them first.
+#[derive(Debug)]
+pub struct GradReduceTree {
+    slots: Vec<Option<Vec<f32>>>,
+    codec: TransferCodec,
+}
+
+impl GradReduceTree {
+    /// A tree over `shards` slots, applying `codec` on every edge.
+    #[must_use]
+    pub fn new(shards: usize, codec: TransferCodec) -> Self {
+        assert!(shards > 0, "GradReduceTree needs at least one shard");
+        Self { slots: (0..shards).map(|_| None).collect(), codec }
+    }
+
+    /// Number of shard slots.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Delivers shard `shard`'s gradient. Order across shards is free.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range slot, a double delivery, or a length that
+    /// disagrees with an already-delivered shard.
+    pub fn ingest(&mut self, shard: usize, grad: Vec<f32>) {
+        assert!(shard < self.slots.len(), "shard {shard} out of range");
+        if let Some(prev) = self.slots.iter().flatten().next() {
+            assert_eq!(prev.len(), grad.len(), "shard {shard} gradient length mismatch");
+        }
+        assert!(self.slots[shard].is_none(), "shard {shard} delivered twice");
+        self.slots[shard] = Some(grad);
+    }
+
+    /// Runs the fixed schedule and returns `(merged_sum, wire_bytes)`.
+    ///
+    /// The merged vector is the tree-ordered **sum** over shards (callers
+    /// scale by `1 / shards` themselves); `wire_bytes` is the total encoded
+    /// size of every edge payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any shard was never delivered.
+    #[must_use]
+    pub fn finish(self) -> (Vec<f32>, u64) {
+        let (merged, per_edge) = self.finish_detailed();
+        let total = per_edge.iter().flatten().sum();
+        (merged, total)
+    }
+
+    /// [`finish`](Self::finish), but returns the encoded bytes of every
+    /// individual edge (`bytes[round][edge]`, matching
+    /// [`reduction_rounds`]) so callers can price each link crossing
+    /// separately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any shard was never delivered.
+    #[must_use]
+    pub fn finish_detailed(mut self) -> (Vec<f32>, Vec<Vec<u64>>) {
+        let n = self.slots.len();
+        for (i, s) in self.slots.iter().enumerate() {
+            assert!(s.is_some(), "shard {i} never delivered (have {n} slots)");
+        }
+        let mut per_edge = Vec::new();
+        for round in reduction_rounds(n) {
+            let mut round_bytes = Vec::with_capacity(round.len());
+            for (dst, src) in round {
+                let incoming = self.slots[src].take().expect("source slot consumed twice");
+                let acc = self.slots[dst].as_mut().expect("destination slot missing");
+                round_bytes.push(combine_into(acc, &incoming, self.codec));
+            }
+            per_edge.push(round_bytes);
+        }
+        (self.slots[0].take().expect("root slot"), per_edge)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gist_encodings::DprFormat;
+
+    #[test]
+    fn rounds_cover_every_slot_exactly_once_as_source() {
+        for n in 1..=16 {
+            let rounds = reduction_rounds(n);
+            let mut consumed = vec![false; n];
+            for (dst, src) in rounds.iter().flatten() {
+                assert!(!consumed[*src], "slot {src} consumed twice (n={n})");
+                assert!(!consumed[*dst], "edge targets consumed slot {dst} (n={n})");
+                consumed[*src] = true;
+            }
+            assert!(!consumed[0], "root consumed (n={n})");
+            let total: usize = consumed.iter().filter(|&&c| c).count();
+            assert_eq!(total, n - 1, "n={n}: every non-root slot feeds exactly one edge");
+        }
+    }
+
+    #[test]
+    fn eight_shard_schedule_is_the_documented_one() {
+        assert_eq!(
+            reduction_rounds(8),
+            vec![vec![(0, 1), (2, 3), (4, 5), (6, 7)], vec![(0, 2), (4, 6)], vec![(0, 4)]]
+        );
+    }
+
+    #[test]
+    fn tree_matches_manual_fixed_order_sum() {
+        let shards: Vec<Vec<f32>> =
+            (0..8).map(|s| (0..5).map(|i| (s * 5 + i) as f32 * 0.37 - 3.0).collect()).collect();
+        let mut tree = GradReduceTree::new(8, TransferCodec::None);
+        for (s, g) in shards.iter().enumerate() {
+            tree.ingest(s, g.clone());
+        }
+        let (merged, bytes) = tree.finish();
+        // Manual replay of the documented schedule.
+        let mut slots = shards;
+        for (dst, src) in [(0, 1), (2, 3), (4, 5), (6, 7), (0, 2), (4, 6), (0, 4)] {
+            let src_v = slots[src].clone();
+            for i in 0..5 {
+                slots[dst][i] += src_v[i];
+            }
+        }
+        assert_eq!(
+            merged.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            slots[0].iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        // 7 edges x 5 f32 dense payload.
+        assert_eq!(bytes, 7 * 5 * 4);
+    }
+
+    #[test]
+    fn finish_is_ingest_order_independent_even_for_lossy_codecs() {
+        for codec in [TransferCodec::None, TransferCodec::Ssdc, TransferCodec::Dpr(DprFormat::Fp8)]
+        {
+            let shards: Vec<Vec<f32>> = (0..8u32)
+                .map(|s| {
+                    (0..7u32).map(|i| f32::from_bits(0x3f00_0000 ^ (s * 131 + i * 7))).collect()
+                })
+                .collect();
+            let mut fwd = GradReduceTree::new(8, codec);
+            for (s, g) in shards.iter().enumerate() {
+                fwd.ingest(s, g.clone());
+            }
+            let mut rev = GradReduceTree::new(8, codec);
+            for (s, g) in shards.iter().enumerate().rev() {
+                rev.ingest(s, g.clone());
+            }
+            let (a, ab) = fwd.finish();
+            let (b, bb) = rev.finish();
+            assert_eq!(
+                a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                b.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "codec {codec}"
+            );
+            assert_eq!(ab, bb, "codec {codec}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "delivered twice")]
+    fn double_delivery_panics() {
+        let mut t = GradReduceTree::new(2, TransferCodec::None);
+        t.ingest(0, vec![1.0]);
+        t.ingest(0, vec![2.0]);
+    }
+
+    #[test]
+    fn single_shard_tree_is_identity_with_zero_wire_bytes() {
+        let mut t = GradReduceTree::new(1, TransferCodec::Ssdc);
+        t.ingest(0, vec![1.5, -0.0, f32::NAN]);
+        let (m, b) = t.finish();
+        assert_eq!(b, 0);
+        assert_eq!(m[0].to_bits(), 1.5f32.to_bits());
+        assert_eq!(m[1].to_bits(), (-0.0f32).to_bits());
+        assert!(m[2].is_nan());
+    }
+}

@@ -1,0 +1,482 @@
+//! N deterministic model replicas stepping disjoint micro-batch shards.
+//!
+//! Every global step runs the same `S` shards no matter how many replicas
+//! exist: replica `r` of `N` computes shards `r, r + N, r + 2N, ...` (on
+//! its own scoped sub-pool when the ambient pool has threads to split,
+//! sequentially inline otherwise), the `S` shard gradients drain into the
+//! fixed reduction tree of [`crate::reduce`], the merged mean rides one
+//! codec round-trip as the broadcast, and the identical SGD update lands
+//! on every replica. The merged update is therefore byte-identical for
+//! `N ∈ {1, 2, 4, 8}` — placement only moves wire bytes and stall.
+
+use crate::link::{simulate_allreduce, AllReduceReport};
+use crate::reduce::{reduction_rounds, GradReduceTree};
+use gist_encodings::{TransferCodec, Wire};
+use gist_par as par;
+use gist_par::ThreadPool;
+use gist_perf::GpuModel;
+use gist_runtime::params::{sgd_update, ParamGrads};
+use gist_runtime::{Executor, RuntimeError, StepStats};
+use gist_tensor::Tensor;
+
+/// Micro-batch shards per global step, fixed regardless of replica count
+/// so the reduction order (and thus the merged bits) never moves.
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// Errors from distributed construction or stepping.
+#[derive(Debug)]
+pub enum DistError {
+    /// Invalid replica/shard configuration.
+    Config(String),
+    /// A replica's training step failed.
+    Runtime(RuntimeError),
+}
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistError::Config(msg) => write!(f, "dist config error: {msg}"),
+            DistError::Runtime(e) => write!(f, "dist runtime error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+impl From<RuntimeError> for DistError {
+    fn from(e: RuntimeError) -> Self {
+        DistError::Runtime(e)
+    }
+}
+
+/// What one global step produced.
+#[derive(Debug)]
+pub struct DistStepReport {
+    /// Mean of the shard mean losses (shard-id order).
+    pub loss: f32,
+    /// Correct top-1 predictions summed over all shards.
+    pub correct: usize,
+    /// Total examples over all shards.
+    pub batch: usize,
+    /// Per-shard step statistics, indexed by shard id.
+    pub shard_stats: Vec<StepStats>,
+    /// The merged (mean, broadcast-decoded) gradient actually applied to
+    /// every replica — what the equivalence tests fingerprint.
+    pub merged: Vec<Option<ParamGrads>>,
+    /// Observed encoded bytes per tree edge, `[round][edge]` matching
+    /// [`reduction_rounds`], summed over gradient tensors.
+    pub edge_bytes: Vec<Vec<u64>>,
+    /// Observed encoded bytes of one broadcast copy of the merged
+    /// gradient (the link engine multiplies by `replicas - 1`).
+    pub broadcast_bytes: u64,
+    /// Total encoded bytes over all reduction-tree edges.
+    pub reduce_bytes: u64,
+    /// Dense baseline bytes for one gradient copy (`scalars * 4`).
+    pub dense_grad_bytes: u64,
+}
+
+/// Data-parallel trainer: `N` lockstep replicas + fixed-tree all-reduce
+/// with a codec on every transfer.
+#[derive(Debug)]
+pub struct DistTrainer {
+    execs: Vec<Executor>,
+    pools: Vec<ThreadPool>,
+    codec: TransferCodec,
+    shards: usize,
+}
+
+impl DistTrainer {
+    /// Builds `replicas` identical executors by calling `build` once per
+    /// replica (same graph, same seed → identical initial parameters) and
+    /// carves the ambient thread budget into one sub-pool per replica
+    /// (`max(1, current_threads / replicas)` threads each).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::Config`] unless `1 <= replicas <= shards` and
+    /// `replicas` divides `shards`; propagates builder failures.
+    pub fn new(
+        replicas: usize,
+        shards: usize,
+        codec: TransferCodec,
+        mut build: impl FnMut() -> Result<Executor, RuntimeError>,
+    ) -> Result<Self, DistError> {
+        if replicas == 0 || shards == 0 {
+            return Err(DistError::Config("replicas and shards must be positive".into()));
+        }
+        if replicas > shards || !shards.is_multiple_of(replicas) {
+            return Err(DistError::Config(format!(
+                "replicas ({replicas}) must divide shards ({shards})"
+            )));
+        }
+        let execs: Vec<Executor> = (0..replicas).map(|_| build()).collect::<Result<_, _>>()?;
+        // Sub-pools only matter when there are both threads to split and
+        // replicas to run side by side; otherwise replicas step
+        // sequentially on the caller's ambient pool.
+        let pools = if replicas > 1 && par::current_threads() > 1 {
+            let per = (par::current_threads() / replicas).max(1);
+            (0..replicas).map(|_| ThreadPool::new(per)).collect()
+        } else {
+            Vec::new()
+        };
+        Ok(Self { execs, pools, codec, shards })
+    }
+
+    /// Replica count.
+    #[must_use]
+    pub fn replicas(&self) -> usize {
+        self.execs.len()
+    }
+
+    /// Micro-batch shards per global step.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The transfer codec applied on every tree edge and the broadcast.
+    #[must_use]
+    pub fn codec(&self) -> TransferCodec {
+        self.codec
+    }
+
+    /// Replica `r`'s executor (all replicas hold identical parameters
+    /// after every step — tests fingerprint replica 0).
+    #[must_use]
+    pub fn replica(&self, r: usize) -> &Executor {
+        &self.execs[r]
+    }
+
+    /// Runs one global step over `shards()` micro-batch shards: shard
+    /// forward/backward on each owning replica, fixed-tree all-reduce with
+    /// the codec on every edge, mean-scale, broadcast round-trip, and the
+    /// identical SGD update on every replica.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::Config`] if `images`/`labels` are not exactly
+    /// one entry per shard; propagates replica step failures.
+    pub fn step(
+        &mut self,
+        images: &[Tensor],
+        labels: &[Vec<usize>],
+        lr: f32,
+    ) -> Result<DistStepReport, DistError> {
+        let s = self.shards;
+        if images.len() != s || labels.len() != s {
+            return Err(DistError::Config(format!(
+                "expected {s} shard minibatches, got {} images / {} labels",
+                images.len(),
+                labels.len()
+            )));
+        }
+        for w in images.windows(2) {
+            if w[0].shape() != w[1].shape() {
+                return Err(DistError::Config("shard minibatch shapes differ".into()));
+            }
+        }
+
+        // Phase 1: every shard's forward+backward on its owning replica.
+        let mut per_replica = self.run_replicas(images, labels)?;
+
+        // Phase 2: slot the shard gradients into the fixed tree in
+        // arbitrary arrival order (here: replica-major, which for n > 1 is
+        // NOT shard order — the tree does not care).
+        let mut shard_out: Vec<Option<(StepStats, Vec<Option<ParamGrads>>)>> =
+            (0..s).map(|_| None).collect();
+        for bundle in per_replica.drain(..) {
+            for (shard, stats, grads) in bundle {
+                assert!(shard_out[shard].is_none(), "shard {shard} computed twice");
+                shard_out[shard] = Some((stats, grads));
+            }
+        }
+        let shard_out: Vec<(StepStats, Vec<Option<ParamGrads>>)> =
+            shard_out.into_iter().map(|o| o.expect("shard never computed")).collect();
+
+        // Phase 3: per-tensor fixed-tree reduce, mean-scale, broadcast
+        // round-trip.
+        let rounds = reduction_rounds(s);
+        let mut edge_bytes: Vec<Vec<u64>> = rounds.iter().map(|r| vec![0u64; r.len()]).collect();
+        let num_nodes = shard_out[0].1.len();
+        let inv = 1.0f32 / s as f32;
+        let mut merged: Vec<Option<ParamGrads>> = Vec::with_capacity(num_nodes);
+        let mut broadcast_bytes = 0u64;
+        let mut dense_grad_bytes = 0u64;
+        for node in 0..num_nodes {
+            if shard_out[0].1[node].is_none() {
+                merged.push(None);
+                continue;
+            }
+            let shape_main = shard_out[0].1[node].as_ref().expect("grads").main.shape();
+            let main = self.reduce_tensor(&shard_out, node, false, &mut edge_bytes);
+            dense_grad_bytes += main.len() as u64 * 4;
+            let (main, mb) = Self::broadcast_roundtrip(main, inv, self.codec);
+            broadcast_bytes += mb;
+            let main_t = Tensor::from_vec(shape_main, main).map_err(RuntimeError::from)?;
+            let secondary =
+                if let Some(sec) = &shard_out[0].1[node].as_ref().expect("grads").secondary {
+                    let shape_sec = sec.shape();
+                    let sec = self.reduce_tensor(&shard_out, node, true, &mut edge_bytes);
+                    dense_grad_bytes += sec.len() as u64 * 4;
+                    let (sec, sb) = Self::broadcast_roundtrip(sec, inv, self.codec);
+                    broadcast_bytes += sb;
+                    Some(Tensor::from_vec(shape_sec, sec).map_err(RuntimeError::from)?)
+                } else {
+                    None
+                };
+            merged.push(Some(ParamGrads { main: main_t, secondary }));
+        }
+
+        // Phase 4: the identical update lands on every replica — lockstep.
+        for exec in &mut self.execs {
+            sgd_update(&mut exec.params, &merged, lr);
+        }
+
+        let shard_stats: Vec<StepStats> = shard_out.into_iter().map(|(stats, _)| stats).collect();
+        let loss = shard_stats.iter().map(|st| st.loss).sum::<f32>() * inv;
+        let correct = shard_stats.iter().map(|st| st.correct).sum();
+        let batch = shard_stats.iter().map(|st| st.batch).sum();
+        let reduce_bytes = edge_bytes.iter().flatten().sum();
+        Ok(DistStepReport {
+            loss,
+            correct,
+            batch,
+            shard_stats,
+            merged,
+            edge_bytes,
+            broadcast_bytes,
+            reduce_bytes,
+            dense_grad_bytes,
+        })
+    }
+
+    /// Prices the report's observed wire bytes on the virtual-clock link
+    /// engine for this trainer's placement.
+    #[must_use]
+    pub fn price(&self, report: &DistStepReport, gpu: &GpuModel) -> AllReduceReport {
+        simulate_allreduce(
+            &reduction_rounds(self.shards),
+            &report.edge_bytes,
+            self.execs.len(),
+            report.broadcast_bytes,
+            gpu,
+        )
+    }
+
+    /// Phase 1: each replica steps its shards `r, r + N, ...`. With more
+    /// than one ambient thread, replicas run side by side on scoped OS
+    /// threads, each re-installing the parent's ambient word (spawned
+    /// threads start with ambient 0, which would drop the caller's
+    /// `GIST_SIMD` override) and its own sub-pool. On a single-thread
+    /// budget they step sequentially inline — bit-identical either way,
+    /// because each shard's computation is independent and the executor is
+    /// thread-count-invariant.
+    #[allow(clippy::type_complexity)]
+    fn run_replicas(
+        &mut self,
+        images: &[Tensor],
+        labels: &[Vec<usize>],
+    ) -> Result<Vec<Vec<(usize, StepStats, Vec<Option<ParamGrads>>)>>, DistError> {
+        let s = self.shards;
+        let n = self.execs.len();
+        if self.pools.is_empty() {
+            let mut out = Vec::with_capacity(n);
+            for (r, exec) in self.execs.iter_mut().enumerate() {
+                let mut bundle = Vec::with_capacity(s / n);
+                let mut shard = r;
+                while shard < s {
+                    let (stats, grads) = exec.forward_backward(&images[shard], &labels[shard])?;
+                    bundle.push((shard, stats, grads));
+                    shard += n;
+                }
+                out.push(bundle);
+            }
+            return Ok(out);
+        }
+        let ambient = par::ambient();
+        let joined: Vec<Result<Vec<_>, RuntimeError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .execs
+                .iter_mut()
+                .zip(&self.pools)
+                .enumerate()
+                .map(|(r, (exec, pool))| {
+                    scope.spawn(move || {
+                        par::with_ambient(ambient, || {
+                            par::with_pool(pool, || {
+                                let mut bundle = Vec::with_capacity(s / n);
+                                let mut shard = r;
+                                while shard < s {
+                                    let (stats, grads) =
+                                        exec.forward_backward(&images[shard], &labels[shard])?;
+                                    bundle.push((shard, stats, grads));
+                                    shard += n;
+                                }
+                                Ok(bundle)
+                            })
+                        })
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("replica thread panicked")).collect()
+        });
+        let mut out = Vec::with_capacity(n);
+        for bundle in joined {
+            out.push(bundle?);
+        }
+        Ok(out)
+    }
+
+    /// Reduces one gradient tensor (main or secondary) of `node` across
+    /// all shards through the fixed tree, accumulating per-edge wire
+    /// bytes.
+    fn reduce_tensor(
+        &self,
+        shard_out: &[(StepStats, Vec<Option<ParamGrads>>)],
+        node: usize,
+        secondary: bool,
+        edge_bytes: &mut [Vec<u64>],
+    ) -> Vec<f32> {
+        let mut tree = GradReduceTree::new(self.shards, self.codec);
+        for (shard, (_, grads)) in shard_out.iter().enumerate() {
+            let g = grads[node].as_ref().expect("shard grad structure mismatch");
+            let data = if secondary {
+                g.secondary.as_ref().expect("secondary grad").data()
+            } else {
+                g.main.data()
+            };
+            tree.ingest(shard, data.to_vec());
+        }
+        let (merged, per_edge) = tree.finish_detailed();
+        for (acc, add) in edge_bytes.iter_mut().zip(&per_edge) {
+            for (a, b) in acc.iter_mut().zip(add) {
+                *a += *b;
+            }
+        }
+        merged
+    }
+
+    /// Mean-scales the tree sum, then rides it through one codec
+    /// round-trip — the broadcast every replica decodes on arrival.
+    /// Returns the applied gradient and the bytes of one broadcast copy.
+    fn broadcast_roundtrip(mut sum: Vec<f32>, inv: f32, codec: TransferCodec) -> (Vec<f32>, u64) {
+        for v in &mut sum {
+            *v *= inv;
+        }
+        let wire = Wire::encode(codec, &sum);
+        let bytes = wire.wire_bytes();
+        (wire.decode(), bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gist_runtime::ExecMode;
+
+    fn build_exec() -> Result<Executor, RuntimeError> {
+        let g = gist_models::tiny_convnet(2, 4);
+        Executor::new(g, ExecMode::Baseline, 42)
+    }
+
+    fn shard_data(shards: usize, batch: usize) -> (Vec<Tensor>, Vec<Vec<usize>>) {
+        let mut data = gist_runtime::SyntheticImages::new(4, 16, 0.1, 1234);
+        let mut images = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..shards {
+            let (x, y) = data.minibatch(batch);
+            images.push(x);
+            labels.push(y);
+        }
+        (images, labels)
+    }
+
+    fn fingerprint(exec: &Executor) -> Vec<u32> {
+        let mut fp = Vec::new();
+        for i in 0..16 {
+            if let Some(p) = exec.params.get(i) {
+                match p {
+                    gist_runtime::params::NodeParams::Conv { weight, .. }
+                    | gist_runtime::params::NodeParams::Linear { weight, .. } => {
+                        fp.extend(weight.data().iter().map(|v| v.to_bits()));
+                    }
+                    gist_runtime::params::NodeParams::BatchNorm { gamma, .. } => {
+                        fp.extend(gamma.data().iter().map(|v| v.to_bits()));
+                    }
+                }
+            }
+        }
+        fp
+    }
+
+    #[test]
+    fn replica_counts_agree_bitwise() {
+        let (images, labels) = shard_data(8, 2);
+        let mut fps = Vec::new();
+        for n in [1usize, 2, 4, 8] {
+            let mut t = DistTrainer::new(n, 8, TransferCodec::None, build_exec).unwrap();
+            for _ in 0..2 {
+                t.step(&images, &labels, 0.05).unwrap();
+            }
+            fps.push(fingerprint(t.replica(0)));
+            // Every replica stays in lockstep with replica 0.
+            for r in 1..n {
+                assert_eq!(fingerprint(t.replica(r)), *fps.last().unwrap(), "replica {r} of {n}");
+            }
+        }
+        for fp in &fps[1..] {
+            assert_eq!(*fp, fps[0]);
+        }
+    }
+
+    #[test]
+    fn ssdc_codec_is_bitwise_lossless_on_the_wire() {
+        let (images, labels) = shard_data(8, 2);
+        let mut a = DistTrainer::new(2, 8, TransferCodec::None, build_exec).unwrap();
+        let mut b = DistTrainer::new(2, 8, TransferCodec::Ssdc, build_exec).unwrap();
+        let ra = a.step(&images, &labels, 0.05).unwrap();
+        let rb = b.step(&images, &labels, 0.05).unwrap();
+        assert_eq!(fingerprint(a.replica(0)), fingerprint(b.replica(0)));
+        assert_eq!(ra.loss.to_bits(), rb.loss.to_bits());
+        // Gradients are dense, so SSDC pays the column-index overhead and
+        // still reports honest wire bytes.
+        assert!(rb.reduce_bytes > 0);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(matches!(
+            DistTrainer::new(0, 8, TransferCodec::None, build_exec),
+            Err(DistError::Config(_))
+        ));
+        assert!(matches!(
+            DistTrainer::new(3, 8, TransferCodec::None, build_exec),
+            Err(DistError::Config(_))
+        ));
+        assert!(matches!(
+            DistTrainer::new(16, 8, TransferCodec::None, build_exec),
+            Err(DistError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn report_prices_on_the_link_engine() {
+        let (images, labels) = shard_data(8, 2);
+        let mut t = DistTrainer::new(4, 8, TransferCodec::None, build_exec).unwrap();
+        let rep = t.step(&images, &labels, 0.05).unwrap();
+        let priced = t.price(&rep, &GpuModel::titan_x());
+        // 4 replicas over 8 slots: gap-1 and gap-2 edges cross, gap-4 is
+        // local; 3 broadcast legs.
+        assert!(priced.total_s > 0.0);
+        let crossed_reduce: u64 = priced
+            .transfers
+            .iter()
+            .filter(|tr| tr.crossed && tr.round < 3)
+            .map(|tr| tr.bytes)
+            .sum();
+        let expected: u64 =
+            rep.edge_bytes[0].iter().sum::<u64>() + rep.edge_bytes[1].iter().sum::<u64>();
+        assert_eq!(crossed_reduce, expected);
+        assert_eq!(priced.bytes_on_wire, crossed_reduce + 3 * rep.broadcast_bytes);
+    }
+}

@@ -94,7 +94,9 @@ impl CsrMatrix {
             row_ptr.push(acc);
         }
         let nnz = acc as usize;
-        // Phase 3: fill each row's slice of the value/index arrays.
+        // Phase 3: fill each row's slice of the value/index arrays through
+        // the gist-simd row pack kernel (left-packed in column order, so
+        // byte-identical to the old scalar sweep at every level).
         let mut values_f32 = vec![0.0f32; nnz];
         let mut col_u8 = vec![0u8; if config.narrow { nnz } else { 0 }];
         let mut col_u32 = vec![0u32; if config.narrow { 0 } else { nnz }];
@@ -105,23 +107,21 @@ impl CsrMatrix {
             let row_ptr = &row_ptr;
             parallel_for(rows, grain, move |range| {
                 for r in range {
-                    let mut k = row_ptr[r] as usize;
-                    for (c, &v) in row(r).iter().enumerate() {
-                        if v != 0.0 {
-                            // SAFETY: rows own disjoint [row_ptr[r],
-                            // row_ptr[r+1]) slices of the output arrays,
-                            // which outlive the dispatch.
-                            unsafe {
-                                vals.get().add(k).write(v);
-                                if config.narrow {
-                                    c8.get().add(k).write(c as u8);
-                                } else {
-                                    c32.get().add(k).write(c as u32);
-                                }
-                            }
-                            k += 1;
-                        }
-                    }
+                    let lo = row_ptr[r] as usize;
+                    let n = row_ptr[r + 1] as usize - lo;
+                    // SAFETY: rows own disjoint [row_ptr[r], row_ptr[r+1])
+                    // slices of the output arrays, which outlive the
+                    // dispatch; phase 1 counted exactly `n` non-zeros, so
+                    // the pack fills the slices completely.
+                    let row_vals = unsafe { std::slice::from_raw_parts_mut(vals.get().add(lo), n) };
+                    let filled = if config.narrow {
+                        let cols = unsafe { std::slice::from_raw_parts_mut(c8.get().add(lo), n) };
+                        gist_simd::csr_pack_row_u8(row(r), row_vals, cols)
+                    } else {
+                        let cols = unsafe { std::slice::from_raw_parts_mut(c32.get().add(lo), n) };
+                        gist_simd::csr_pack_row_u32(row(r), row_vals, cols)
+                    };
+                    debug_assert_eq!(filled, n, "phase 1/3 non-zero count drift");
                 }
             });
         }
@@ -190,19 +190,22 @@ impl CsrMatrix {
             Values::F32(v) => v.clone(),
             Values::Dpr(b) => b.decode(),
         };
-        // Rows scatter into disjoint `cols`-sized slices of the output.
+        // Rows scatter into disjoint `cols`-sized slices of the output via
+        // the gist-simd row scatter kernel (dense column runs become vector
+        // stores; bit-identical to the scalar sweep at every level).
         let grain = csr_row_grain(self.rows, self.cols);
         parallel_chunks_mut(out, grain * self.cols, |ci, chunk| {
             let row0 = ci * grain;
             for (i, dst) in chunk.chunks_mut(self.cols).enumerate() {
                 let r = row0 + i;
                 let (lo, hi) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
-                for k in lo..hi {
-                    let c = match &self.col_idx {
-                        ColIndices::U8(v) => v[k] as usize,
-                        ColIndices::U32(v) => v[k] as usize,
-                    };
-                    dst[c] = values[k];
+                match &self.col_idx {
+                    ColIndices::U8(v) => {
+                        gist_simd::csr_scatter_row_u8(&v[lo..hi], &values[lo..hi], dst)
+                    }
+                    ColIndices::U32(v) => {
+                        gist_simd::csr_scatter_row_u32(&v[lo..hi], &values[lo..hi], dst)
+                    }
                 }
             }
         });

@@ -27,12 +27,14 @@ pub mod bitpack;
 pub mod csr;
 pub mod dpr;
 pub mod encoded;
+pub mod transfer;
 
 pub use altfmt::{BitmapMatrix, EllMatrix, HybMatrix};
 pub use binarize::{BitMask, PoolIndexMap};
 pub use csr::{CsrMatrix, SsdcConfig};
 pub use dpr::{DprFormat, RoundingMode};
 pub use encoded::EncodedTensor;
+pub use transfer::{max_wire_bytes, TransferCodec, Wire};
 
 /// Errors from encoding/decoding operations.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,0 +1,313 @@
+//! Codec-on-transfer: encode a dense `f32` buffer before it crosses a
+//! (virtual) link, decode it bit-exactly on arrival.
+//!
+//! Two consumers share this seam ("build once, use twice" per ROADMAP):
+//! the distributed gradient all-reduce in `gist-dist`, where every
+//! reduction-tree edge ships its partial through the chosen codec, and the
+//! executed cDMA swap path in `gist-runtime`, where a swapped-out stash is
+//! SSDC-encoded on its way to the host store and decoded back on swap-in.
+//!
+//! The SSDC payload alone is *not* bitwise lossless: CSR's `v != 0.0`
+//! predicate drops `-0.0`, which decodes to `+0.0`. A [`Wire`] therefore
+//! records the indices of negative-zero elements as fixups (there is
+//! nothing else to fix: every other bit pattern, NaN payloads included,
+//! rides through CSR raw) and rewrites them after the scatter, making
+//! `TransferCodec::Ssdc` exactly round-trip every input. DPR stays lossy
+//! by design — it is the paper's precision-reduction ablation — but its
+//! loss is a pure per-element function, so it is still deterministic.
+
+use crate::csr::{self, CsrMatrix, SsdcConfig};
+use crate::dpr::{DprBuffer, DprFormat};
+
+/// Which codec a transfer rides through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferCodec {
+    /// Raw dense `f32` — 4 bytes per element on the wire.
+    None,
+    /// Lossless SSDC (narrow CSR) plus negative-zero fixups.
+    Ssdc,
+    /// Lossy delayed-precision reduction at the given format.
+    Dpr(DprFormat),
+}
+
+impl TransferCodec {
+    /// Parses the CLI/bench spelling: `none`, `ssdc`, `dpr:16|10|8`.
+    pub fn parse(s: &str) -> Option<TransferCodec> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "none" => Some(TransferCodec::None),
+            "ssdc" => Some(TransferCodec::Ssdc),
+            "dpr:16" | "dpr16" => Some(TransferCodec::Dpr(DprFormat::Fp16)),
+            "dpr:10" | "dpr10" => Some(TransferCodec::Dpr(DprFormat::Fp10)),
+            "dpr:8" | "dpr8" => Some(TransferCodec::Dpr(DprFormat::Fp8)),
+            _ => None,
+        }
+    }
+
+    /// Display / JSON-meta label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TransferCodec::None => "none",
+            TransferCodec::Ssdc => "ssdc",
+            TransferCodec::Dpr(DprFormat::Fp16) => "dpr:16",
+            TransferCodec::Dpr(DprFormat::Fp10) => "dpr:10",
+            TransferCodec::Dpr(DprFormat::Fp8) => "dpr:8",
+        }
+    }
+
+    /// Whether decode(encode(x)) is bitwise `x` for every finite and
+    /// non-finite input.
+    pub fn is_lossless(&self) -> bool {
+        !matches!(self, TransferCodec::Dpr(_))
+    }
+
+    /// Stable numeric id for JSON meta columns (`0` none, `1` ssdc,
+    /// `2xx` = DPR with `xx` bits).
+    pub fn meta_id(&self) -> u64 {
+        match self {
+            TransferCodec::None => 0,
+            TransferCodec::Ssdc => 1,
+            TransferCodec::Dpr(f) => 200 + f.bits() as u64,
+        }
+    }
+}
+
+impl std::fmt::Display for TransferCodec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The encoded payload variants.
+#[derive(Debug, Clone, PartialEq)]
+enum Payload {
+    Dense(Vec<f32>),
+    Ssdc(CsrMatrix),
+    Dpr(DprBuffer),
+}
+
+/// One buffer as it travels a link: the encoded payload plus the fixup
+/// index list that restores bitwise exactness for the lossless codecs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Wire {
+    payload: Payload,
+    /// Indices whose source element was `-0.0` (SSDC only; the CSR
+    /// predicate drops them and the scatter leaves `+0.0` behind).
+    fixups: Vec<u32>,
+    len: usize,
+}
+
+impl Wire {
+    /// Encodes `data` for transfer under `codec`.
+    pub fn encode(codec: TransferCodec, data: &[f32]) -> Wire {
+        match codec {
+            TransferCodec::None => {
+                Wire { payload: Payload::Dense(data.to_vec()), fixups: Vec::new(), len: data.len() }
+            }
+            TransferCodec::Ssdc => {
+                let fixups = data
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, v)| v.to_bits() == 0x8000_0000)
+                    .map(|(i, _)| i as u32)
+                    .collect();
+                Wire {
+                    payload: Payload::Ssdc(CsrMatrix::encode(data, SsdcConfig::default())),
+                    fixups,
+                    len: data.len(),
+                }
+            }
+            TransferCodec::Dpr(format) => Wire {
+                payload: Payload::Dpr(DprBuffer::encode(format, data)),
+                fixups: Vec::new(),
+                len: data.len(),
+            },
+        }
+    }
+
+    /// Element count of the dense buffer this wire carries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the wire carries zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The codec this wire was encoded with.
+    pub fn codec(&self) -> TransferCodec {
+        match &self.payload {
+            Payload::Dense(_) => TransferCodec::None,
+            Payload::Ssdc(_) => TransferCodec::Ssdc,
+            Payload::Dpr(b) => TransferCodec::Dpr(b.format()),
+        }
+    }
+
+    /// Bytes this wire occupies on the link: the encoded payload plus 4
+    /// bytes per fixup index (the fixups travel too).
+    pub fn wire_bytes(&self) -> u64 {
+        let payload = match &self.payload {
+            Payload::Dense(v) => v.len() * 4,
+            Payload::Ssdc(c) => c.encoded_bytes(),
+            Payload::Dpr(b) => b.encoded_bytes(),
+        };
+        (payload + self.fixups.len() * 4) as u64
+    }
+
+    /// Decodes into a preallocated buffer (e.g. an arena view), applying
+    /// the negative-zero fixups after the payload decode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.len()`.
+    pub fn decode_into(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.len, "wire decode length");
+        match &self.payload {
+            Payload::Dense(v) => out.copy_from_slice(v),
+            Payload::Ssdc(c) => c.decode_into(out),
+            Payload::Dpr(b) => b.decode_into(out),
+        }
+        for &i in &self.fixups {
+            out[i as usize] = -0.0;
+        }
+    }
+
+    /// Decodes into a fresh buffer. Bit-exact with [`Self::decode_into`].
+    pub fn decode(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.len];
+        self.decode_into(&mut out);
+        out
+    }
+}
+
+/// Worst-case wire size (bytes) for `len` elements under `codec` — every
+/// element non-zero for SSDC plus every element a `-0.0` fixup is
+/// impossible simultaneously, so the bound is the dense-CSR worst case
+/// (fixups exist only for elements CSR dropped, and each dropped element
+/// saves 5 encoded bytes while costing 4).
+pub fn max_wire_bytes(len: usize, codec: TransferCodec) -> u64 {
+    match codec {
+        TransferCodec::None => len as u64 * 4,
+        TransferCodec::Ssdc => csr::max_encoded_bytes(len, SsdcConfig::default()) as u64,
+        TransferCodec::Dpr(format) => (len.div_ceil(format.values_per_word()) * 4) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HOSTILE: [f32; 12] = [
+        f32::NAN,
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        0.0,
+        -0.0,
+        1e-40,
+        -1e-45,
+        f32::MAX,
+        f32::MIN,
+        1.5,
+        -2.5,
+        65504.0,
+    ];
+
+    fn hostile(len: usize) -> Vec<f32> {
+        (0..len).map(|i| HOSTILE[(i * 7) % HOSTILE.len()]).collect()
+    }
+
+    #[test]
+    fn lossless_codecs_roundtrip_hostile_bits_exactly() {
+        for codec in [TransferCodec::None, TransferCodec::Ssdc] {
+            assert!(codec.is_lossless());
+            for len in [0usize, 1, 255, 256, 257, 1000] {
+                let data = hostile(len);
+                let wire = Wire::encode(codec, &data);
+                assert_eq!(wire.codec(), codec);
+                let back = wire.decode();
+                let want: Vec<u32> = data.iter().map(|v| v.to_bits()).collect();
+                let got: Vec<u32> = back.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(got, want, "{codec} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn negative_zero_survives_ssdc_via_fixups() {
+        let data = vec![-0.0f32, 0.0, -0.0, 1.0, -0.0];
+        let wire = Wire::encode(TransferCodec::Ssdc, &data);
+        assert_eq!(wire.fixups, vec![0, 2, 4]);
+        let back = wire.decode();
+        for (i, (&a, &b)) in data.iter().zip(&back).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "elem {i}");
+        }
+    }
+
+    #[test]
+    fn dpr_wire_matches_per_element_quantize() {
+        for format in [DprFormat::Fp16, DprFormat::Fp10, DprFormat::Fp8] {
+            let data: Vec<f32> = (0..301).map(|i| (i as f32 - 150.0) * 0.37).collect();
+            let wire = Wire::encode(TransferCodec::Dpr(format), &data);
+            assert!(!wire.codec().is_lossless());
+            let want: Vec<f32> = data.iter().map(|&v| format.quantize(v)).collect();
+            assert_eq!(wire.decode(), want, "{}", format.label());
+        }
+    }
+
+    #[test]
+    fn wire_bytes_track_payloads_and_respect_the_bound() {
+        for codec in [
+            TransferCodec::None,
+            TransferCodec::Ssdc,
+            TransferCodec::Dpr(DprFormat::Fp16),
+            TransferCodec::Dpr(DprFormat::Fp8),
+        ] {
+            for len in [0usize, 64, 256, 1000] {
+                let sparse: Vec<f32> =
+                    (0..len).map(|i| if i % 4 == 0 { i as f32 + 1.0 } else { 0.0 }).collect();
+                let wire = Wire::encode(codec, &sparse);
+                assert!(
+                    wire.wire_bytes() <= max_wire_bytes(len, codec),
+                    "{codec} len={len}: {} > {}",
+                    wire.wire_bytes(),
+                    max_wire_bytes(len, codec)
+                );
+            }
+        }
+        // Sparse SSDC genuinely shrinks the wire.
+        let sparse: Vec<f32> = (0..4096).map(|i| if i % 8 == 0 { 1.5 } else { 0.0 }).collect();
+        let wire = Wire::encode(TransferCodec::Ssdc, &sparse);
+        assert!(wire.wire_bytes() < 4096 * 4 / 2, "87.5% sparsity should beat 2x");
+    }
+
+    #[test]
+    fn parse_and_label_roundtrip() {
+        for codec in [
+            TransferCodec::None,
+            TransferCodec::Ssdc,
+            TransferCodec::Dpr(DprFormat::Fp16),
+            TransferCodec::Dpr(DprFormat::Fp10),
+            TransferCodec::Dpr(DprFormat::Fp8),
+        ] {
+            assert_eq!(TransferCodec::parse(codec.label()), Some(codec));
+        }
+        assert_eq!(TransferCodec::parse("DPR:8"), Some(TransferCodec::Dpr(DprFormat::Fp8)));
+        assert_eq!(TransferCodec::parse("zstd"), None);
+        assert_eq!(TransferCodec::parse("dpr:7"), None);
+    }
+
+    #[test]
+    fn decode_into_overwrites_garbage() {
+        let data = hostile(500);
+        for codec in [TransferCodec::None, TransferCodec::Ssdc, TransferCodec::Dpr(DprFormat::Fp16)]
+        {
+            let wire = Wire::encode(codec, &data);
+            let mut out = vec![f32::NAN; 500];
+            wire.decode_into(&mut out);
+            let fresh = wire.decode();
+            let a: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u32> = fresh.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b, "{codec}");
+        }
+    }
+}

@@ -59,7 +59,9 @@ impl SimReport {
     }
 }
 
-/// Simulates one training step of `graph` under `plan` on `gpu`.
+/// Simulates one training step of `graph` under `plan` on `gpu`, pricing
+/// every transfer from the modeled byte count (`numel * 4 / compression`
+/// for cDMA's analytic compression factor).
 ///
 /// # Errors
 ///
@@ -68,6 +70,26 @@ pub fn simulate(
     graph: &Graph,
     plan: &OffloadPlan,
     gpu: &GpuModel,
+) -> Result<SimReport, GraphError> {
+    simulate_observed(graph, plan, gpu, &[])
+}
+
+/// [`simulate`], but with per-node *observed* wire bytes overriding the
+/// model: `observed[i]` is the encoded byte count node `i`'s stash
+/// actually put on the bus (0 — or an `observed` too short to cover `i` —
+/// falls back to the modeled size). This is how the executed cDMA path
+/// cross-checks the virtual clock against reality: the executor reports
+/// what each swap actually cost after encoding, and the priced transfer
+/// records must carry exactly those bytes.
+///
+/// # Errors
+///
+/// Propagates shape-inference failures from the time estimator.
+pub fn simulate_observed(
+    graph: &Graph,
+    plan: &OffloadPlan,
+    gpu: &GpuModel,
+    observed: &[u64],
 ) -> Result<SimReport, GraphError> {
     let time = estimate_time(graph, gpu)?;
     let (strategy, compression) = match plan.mode {
@@ -79,6 +101,11 @@ pub fn simulate(
             (Some(s), c)
         }
         _ => (None, 1.0),
+    };
+
+    let priced_bytes = |i: usize| match observed.get(i) {
+        Some(&b) if b > 0 => b as f64,
+        _ => plan.numel[i] as f64 * 4.0 / compression,
     };
 
     let mut transfers: Vec<TransferRecord> = Vec::new();
@@ -98,7 +125,7 @@ pub fn simulate(
             if plan.host_slots[i] == 0 {
                 continue;
             }
-            let bytes = plan.numel[i] as f64 * 4.0 / compression;
+            let bytes = priced_bytes(i);
             let t = gpu.pcie_time(bytes);
             let start = match strategy {
                 // Naive swapping serializes the copy with compute.
@@ -141,7 +168,7 @@ pub fn simulate(
             match action {
                 Action::SwapIn(v) => {
                     let vi = v.index();
-                    let bytes = plan.numel[vi] as f64 * 4.0 / compression;
+                    let bytes = priced_bytes(vi);
                     let t = gpu.pcie_time(bytes);
                     let j = consume_times.len();
                     let start = match strategy {
@@ -281,6 +308,30 @@ mod tests {
                 assert!(saw_in, "{}: no swap-ins simulated", g.name());
             }
         }
+    }
+
+    #[test]
+    fn observed_bytes_flow_into_transfer_records_exactly() {
+        let g = gist_models::small_vgg(4, 3);
+        let gpu = GpuModel::titan_x();
+        let plan = plan_for(&g, OffloadMode::Swap(SwapStrategy::Cdma { compression: 2.5 }));
+        // Pretend every swapped node's encode produced a distinctive size.
+        let mut observed = vec![0u64; g.len()];
+        for (i, &slot) in plan.host_slots.iter().enumerate() {
+            if slot > 0 {
+                observed[i] = (i as u64 + 1) * 1013;
+            }
+        }
+        let r = simulate_observed(&g, &plan, &gpu, &observed).unwrap();
+        assert!(!r.transfers.is_empty());
+        for t in &r.transfers {
+            assert_eq!(t.bytes.to_bits(), (observed[t.node] as f64).to_bits(), "node {}", t.node);
+        }
+        // Zero entries (and an empty slice) fall back to the model.
+        let fallback = simulate_observed(&g, &plan, &gpu, &[]).unwrap();
+        let modeled = simulate(&g, &plan, &gpu).unwrap();
+        assert_eq!(fallback.total_s.to_bits(), modeled.total_s.to_bits());
+        assert_eq!(fallback.transfers, modeled.transfers);
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod clock;
 pub mod host;
 pub mod plan;
 
-pub use clock::{simulate, SimReport, TransferRecord};
+pub use clock::{simulate, simulate_observed, SimReport, TransferRecord};
 pub use gist_perf::SwapStrategy;
 pub use host::HostStore;
 pub use plan::{Action, OffloadMode, OffloadPlan, ReplayStep, Segment, StashDisposition};

@@ -5,11 +5,11 @@ use crate::RuntimeError;
 use gist_core::{Encoding, GistConfig};
 use gist_encodings::csr::SsdcConfig;
 use gist_encodings::dpr::DprBuffer;
-use gist_encodings::{BitMask, CsrMatrix, DprFormat};
+use gist_encodings::{BitMask, CsrMatrix, DprFormat, TransferCodec, Wire};
 use gist_graph::{Graph, Node, NodeId, OpKind, Schedule};
 use gist_memory::{align_arena, Arena};
 use gist_obs::{Event, NullRecorder, Phase, Recorder};
-use gist_offload::{Action, HostStore, OffloadMode, OffloadPlan, StashDisposition};
+use gist_offload::{Action, HostStore, OffloadMode, OffloadPlan, StashDisposition, SwapStrategy};
 use gist_par::parallel_map;
 use gist_tensor::ops::batchnorm::BatchNormCache;
 use gist_tensor::ops::{batchnorm, conv, dropout, elementwise, linear, lrn, pool, relu, softmax};
@@ -200,6 +200,7 @@ struct StepState {
     last_use_pos: Vec<usize>,
     grads: Vec<Option<Tensor>>,
     pgrads: Vec<Option<ParamGrads>>,
+    swap_transfers: Vec<(String, bool, u64)>,
 }
 
 /// Per-minibatch statistics.
@@ -223,6 +224,11 @@ pub struct StepStats {
     /// dynamic footprint. Under [`AllocPolicy::Arena`] this counts planned
     /// (aligned, worst-case) reservations, matching the packed slab.
     pub peak_live_bytes: usize,
+    /// `(layer name, to_host, bytes)` for every swap transfer this step, in
+    /// issue order — the *observed* bus traffic. Dense swap modes report
+    /// `numel * 4`; the executed cDMA path reports the encoded wire size,
+    /// which the virtual-clock engine's `simulate_observed` prices exactly.
+    pub swap_transfers: Vec<(String, bool, u64)>,
 }
 
 impl StepStats {
@@ -275,6 +281,12 @@ pub struct Executor {
     /// Behind a mutex because forward waves store into it from the
     /// sequential absorb loop while `&self` is shared with worker threads.
     host: Option<Mutex<HostStore>>,
+    /// The codec swapped stashes ride through on the (virtual) bus. `None`
+    /// for dense swap strategies; the executed cDMA path SSDC-encodes each
+    /// stash on its way to the host store and decodes it — bit-exactly —
+    /// on swap-in, so the traffic the trace reports is the traffic a
+    /// compressing DMA engine would actually move.
+    swap_codec: Option<TransferCodec>,
     /// Reusable backward scratch (im2col columns and matmul temporaries),
     /// so steady-state steps stop heap-allocating per-image scratch.
     scratch: gist_tensor::ScratchPool,
@@ -355,6 +367,10 @@ impl Executor {
             }
             _ => None,
         };
+        let swap_codec = match (&host, offload) {
+            (Some(_), OffloadMode::Swap(SwapStrategy::Cdma { .. })) => Some(TransferCodec::Ssdc),
+            _ => None,
+        };
         let (arena, planned_stash) = match policy {
             AllocPolicy::Heap => (None, Vec::new()),
             AllocPolicy::Arena => {
@@ -409,6 +425,7 @@ impl Executor {
             offload,
             oplan,
             host,
+            swap_codec,
             scratch: gist_tensor::ScratchPool::new(),
             params,
         })
@@ -627,17 +644,31 @@ impl Executor {
             StashDisposition::Dropped => {}
             StashDisposition::Swapped => {
                 let t0_ns = elapsed_ns(epoch);
-                self.host
+                let mut host = self
+                    .host
                     .as_ref()
                     .expect("swap plan has a host store")
                     .lock()
-                    .expect("host store lock")
-                    .store(id.index(), y.data());
+                    .expect("host store lock");
+                let wire_bytes = match self.swap_codec {
+                    Some(codec) => {
+                        let wire = Wire::encode(codec, y.data());
+                        let bytes = wire.wire_bytes();
+                        host.store_wire(id.index(), wire);
+                        bytes
+                    }
+                    None => {
+                        host.store(id.index(), y.data());
+                        (y.numel() * 4) as u64
+                    }
+                };
+                drop(host);
+                st.swap_transfers.push((node.name.clone(), true, wire_bytes));
                 if on {
                     rec.record(Event::Transfer {
                         name: node.name.clone(),
                         to_host: true,
-                        bytes: (y.numel() * 4) as u64,
+                        bytes: wire_bytes,
                         ts_ns: t0_ns,
                         dur_ns: elapsed_ns(epoch).saturating_sub(t0_ns),
                     });
@@ -1347,22 +1378,33 @@ impl Executor {
         let t0_ns = elapsed_ns(epoch);
         let host = self.host.as_ref().expect("swap plan has a host store");
         let host = host.lock().expect("host store lock");
+        let wire_bytes = match self.swap_codec {
+            Some(_) => host.load_wire(vi).wire_bytes(),
+            None => (plan.numel[vi] * 4) as u64,
+        };
         let tensor = match &self.arena {
             Some(arena) => {
                 let mut t = arena
                     .view(name, self.shapes[vi])
                     .map_err(|e| RuntimeError::Trace(format!("arena: {e}")))?;
-                t.data_mut().copy_from_slice(host.load(vi));
+                match self.swap_codec {
+                    Some(_) => host.load_wire(vi).decode_into(t.data_mut()),
+                    None => t.data_mut().copy_from_slice(host.load(vi)),
+                }
                 t
             }
-            None => Tensor::from_vec(self.shapes[vi], host.load(vi).to_vec())?,
+            None => match self.swap_codec {
+                Some(_) => Tensor::from_vec(self.shapes[vi], host.load_wire(vi).decode())?,
+                None => Tensor::from_vec(self.shapes[vi], host.load(vi).to_vec())?,
+            },
         };
         drop(host);
+        st.swap_transfers.push((self.graph.node(v).name.clone(), false, wire_bytes));
         if on {
             rec.record(Event::Transfer {
                 name: self.graph.node(v).name.clone(),
                 to_host: false,
-                bytes: (plan.numel[vi] * 4) as u64,
+                bytes: wire_bytes,
                 ts_ns: t0_ns,
                 dur_ns: elapsed_ns(epoch).saturating_sub(t0_ns),
             });
@@ -1546,6 +1588,7 @@ impl Executor {
             last_use_pos,
             grads: vec![None; n],
             pgrads: (0..n).map(|_| None).collect(),
+            swap_transfers: Vec::new(),
         };
 
         // ---- Forward pass ----
@@ -1796,6 +1839,7 @@ impl Executor {
             ssdc_compression,
             stash_bytes,
             peak_live_bytes: st.meter.peak,
+            swap_transfers: st.swap_transfers,
         };
         Ok((stats, st.pgrads))
     }

@@ -423,6 +423,25 @@ pub fn predicted_peak_bytes_offload(
     Ok(acc.peak_bytes())
 }
 
+/// Arena sizing for data-parallel training: every one of `replicas` model
+/// replicas runs the *same* per-shard graph, so each needs an identical
+/// pre-planned slab and the fleet needs `replicas` of them. Returns
+/// `(per_replica_bytes, total_bytes)`, both from the arena-policy predicted
+/// event stream (the same stream each replica's executor packs its slab
+/// from), so the whole fleet's footprint is known before any replica runs.
+///
+/// # Errors
+///
+/// As for [`predict_step_events`].
+pub fn predicted_replica_slab_bytes(
+    graph: &Graph,
+    mode: &ExecMode,
+    replicas: usize,
+) -> Result<(u64, u64), RuntimeError> {
+    let per = predicted_peak_bytes_for(graph, mode, AllocPolicy::Arena, &HashMap::new())?;
+    Ok((per, per * replicas as u64))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,413 @@
+//! Vectorized CSR pack (encode phase 3) and scatter (decode) row kernels.
+//!
+//! `count_nonzero` (phase 1) went vector in the first gist-simd PR; these
+//! kernels finish the job for the two remaining scalar inner loops the
+//! ROADMAP called out. Both operate on one CSR *row* at a time — rows own
+//! disjoint output ranges, so `gist-encodings` keeps its existing
+//! row-parallel structure and only the inner element sweeps change.
+//!
+//! The pack kernel keeps elements in ascending column order (a left-pack
+//! through a 256-entry permutation LUT indexed by the `!= 0.0` movemask),
+//! and copies exactly `popcount` results — never overstoring, because the
+//! destination slices of adjacent rows are contiguous and may be filled
+//! concurrently by other pool workers. The scatter kernel exploits that
+//! dense runs of a sparse row have *consecutive* column indices: a group of
+//! 8 whose indices form a ramp becomes one vector store, anything else
+//! falls back to the scalar sweep for that group. Values move as raw bits
+//! in both directions (NaN payloads, signed zeros and denormals are
+//! preserved exactly), so every level is byte-identical by construction.
+//!
+//! Per the DPR precedent, SSE2 falls back to scalar here (a 128-bit
+//! left-pack needs a byte-shuffle LUT that is not worth the surface); this
+//! is a performance choice, not a correctness one.
+
+use crate::Level;
+
+/// Permutation LUT for the AVX2 left-pack: entry `m` lists, front-aligned,
+/// the lane indices whose bit is set in `m`. The permuted lane ids double
+/// as the packed elements' column offsets within the group.
+#[cfg(target_arch = "x86_64")]
+static COMPACT: [[u32; 8]; 256] = build_compact_lut();
+
+#[cfg(target_arch = "x86_64")]
+const fn build_compact_lut() -> [[u32; 8]; 256] {
+    let mut lut = [[0u32; 8]; 256];
+    let mut m = 0usize;
+    while m < 256 {
+        let mut k = 0usize;
+        let mut b = 0usize;
+        while b < 8 {
+            if m & (1 << b) != 0 {
+                lut[m][k] = b as u32;
+                k += 1;
+            }
+            b += 1;
+        }
+        m += 1;
+    }
+    lut
+}
+
+macro_rules! pack_row_impl {
+    ($name:ident, $col:ty, $kernel:ident, $doc:literal) => {
+        #[doc = $doc]
+        ///
+        /// Writes the non-zero values of `row` (unordered `!= 0.0`: NaN is
+        /// kept with its payload bits, both zeros are dropped) into the
+        /// front of `vals` and their column indices into `cols`, in
+        /// ascending column order, returning the count. `vals`/`cols` must
+        /// hold at least that many elements; nothing past the count is
+        /// touched.
+        pub fn $name(row: &[f32], vals: &mut [f32], cols: &mut [$col]) -> usize {
+            let lvl = crate::level();
+            let full = match lvl {
+                Level::Avx2 => row.len() / 8 * 8,
+                _ => 0,
+            };
+            let mut k = 0usize;
+            let mut c = 0usize;
+            #[cfg(target_arch = "x86_64")]
+            while c < full {
+                // SAFETY: AVX2 is detected at this level; 8 row elements at
+                // `c` are in range, and `vals`/`cols` have room at `k` for
+                // every non-zero the group contributes (the caller sized
+                // them for the whole row's population).
+                k += unsafe {
+                    x86::$kernel(
+                        row.as_ptr().add(c),
+                        c as u32,
+                        vals.as_mut_ptr().add(k),
+                        cols.as_mut_ptr().add(k),
+                    )
+                };
+                c += 8;
+            }
+            let _ = c;
+            for (c, &v) in row.iter().enumerate().skip(full) {
+                if v != 0.0 {
+                    vals[k] = v;
+                    cols[k] = c as $col;
+                    k += 1;
+                }
+            }
+            k
+        }
+    };
+}
+
+pack_row_impl!(
+    csr_pack_row_u8,
+    u8,
+    pack8_u8_avx2,
+    "CSR encode fill for the narrow (≤256-column, 1-byte-index) layout."
+);
+pack_row_impl!(
+    csr_pack_row_u32,
+    u32,
+    pack8_u32_avx2,
+    "CSR encode fill for the wide (4-byte-index) layout."
+);
+
+macro_rules! scatter_row_impl {
+    ($name:ident, $col:ty, $kernel:ident, $doc:literal) => {
+        #[doc = $doc]
+        ///
+        /// The CSR decode inner loop: `dst[cols[k]] = values[k]` for every
+        /// stored element of one row, in `k` order, moving raw bits.
+        /// Elements whose column is absent keep whatever `dst` already
+        /// holds (callers zero-fill first).
+        ///
+        /// # Panics
+        ///
+        /// Panics if `cols` and `values` lengths differ, or a column
+        /// indexes past `dst`.
+        pub fn $name(cols: &[$col], values: &[f32], dst: &mut [f32]) {
+            assert_eq!(cols.len(), values.len(), "csr scatter row length");
+            let lvl = crate::level();
+            let full = match lvl {
+                Level::Avx2 => cols.len() / 8 * 8,
+                _ => 0,
+            };
+            let mut k = 0usize;
+            #[cfg(target_arch = "x86_64")]
+            while k < full {
+                // SAFETY: AVX2 is detected; 8 cols/values at `k` are in
+                // range. The kernel only stores when the 8 columns form a
+                // consecutive ramp, whose highest target `cols[k + 7]` it
+                // checks against `dst.len()` like the safe indexing below.
+                let done = unsafe {
+                    x86::$kernel(
+                        cols.as_ptr().add(k),
+                        values.as_ptr().add(k),
+                        dst.as_mut_ptr(),
+                        dst.len(),
+                    )
+                };
+                if !done {
+                    for j in k..k + 8 {
+                        dst[cols[j] as usize] = values[j];
+                    }
+                }
+                k += 8;
+            }
+            for j in k..cols.len() {
+                dst[cols[j] as usize] = values[j];
+            }
+        }
+    };
+}
+
+scatter_row_impl!(
+    csr_scatter_row_u8,
+    u8,
+    scatter8_u8_avx2,
+    "CSR decode scatter for the narrow (1-byte-index) layout."
+);
+scatter_row_impl!(
+    csr_scatter_row_u32,
+    u32,
+    scatter8_u32_avx2,
+    "CSR decode scatter for the wide (4-byte-index) layout."
+);
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::COMPACT;
+    use std::arch::x86_64::*;
+
+    /// Left-packs the non-zero lanes of 8 values starting at column `base`.
+    /// Returns how many elements were written (never more; never a store
+    /// past them).
+    ///
+    /// # Safety
+    ///
+    /// AVX2 available; `src` valid for 8 reads; `vals`/`cols` valid for as
+    /// many writes as `src` has non-zeros.
+    #[target_feature(enable = "avx2")]
+    unsafe fn pack8_avx2(src: *const f32, vals: *mut f32) -> (usize, [u32; 8]) {
+        let v = _mm256_loadu_ps(src);
+        // Unordered not-equal: NaN lanes are kept, ±0.0 lanes dropped —
+        // exactly the scalar `v != 0.0` predicate.
+        let m = _mm256_movemask_ps(_mm256_cmp_ps::<_CMP_NEQ_UQ>(v, _mm256_setzero_ps()));
+        let mask = (m as u32 & 0xFF) as usize;
+        let perm = _mm256_loadu_si256(COMPACT[mask].as_ptr().cast());
+        let packed = _mm256_permutevar8x32_ps(v, perm);
+        let n = mask.count_ones() as usize;
+        let mut vtmp = [0f32; 8];
+        _mm256_storeu_ps(vtmp.as_mut_ptr(), packed);
+        std::ptr::copy_nonoverlapping(vtmp.as_ptr(), vals, n);
+        (n, COMPACT[mask])
+    }
+
+    /// # Safety
+    ///
+    /// As [`pack8_avx2`]; every column fits in a byte (narrow layout).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn pack8_u8_avx2(
+        src: *const f32,
+        base: u32,
+        vals: *mut f32,
+        cols: *mut u8,
+    ) -> usize {
+        let (n, lanes) = pack8_avx2(src, vals);
+        for (t, &l) in lanes.iter().take(n).enumerate() {
+            *cols.add(t) = (base + l) as u8;
+        }
+        n
+    }
+
+    /// # Safety
+    ///
+    /// As [`pack8_avx2`].
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn pack8_u32_avx2(
+        src: *const f32,
+        base: u32,
+        vals: *mut f32,
+        cols: *mut u32,
+    ) -> usize {
+        let (n, lanes) = pack8_avx2(src, vals);
+        for (t, &l) in lanes.iter().take(n).enumerate() {
+            *cols.add(t) = base + l;
+        }
+        n
+    }
+
+    /// Stores 8 values at `dst + cols[0]` when the 8 columns are the
+    /// consecutive ramp `cols[0]..cols[0]+8` (the dense-run fast path);
+    /// returns `false` (no store at all) otherwise.
+    ///
+    /// # Safety
+    ///
+    /// AVX2 available; `cols`/`values` valid for 8 reads; `dst` valid for
+    /// `dst_len` elements.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn scatter8_u8_avx2(
+        cols: *const u8,
+        values: *const f32,
+        dst: *mut f32,
+        dst_len: usize,
+    ) -> bool {
+        let c32 = _mm256_cvtepu8_epi32(_mm_loadl_epi64(cols.cast()));
+        scatter8_ramp_avx2(c32, *cols as usize, values, dst, dst_len)
+    }
+
+    /// # Safety
+    ///
+    /// As [`scatter8_u8_avx2`] with 4-byte columns.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn scatter8_u32_avx2(
+        cols: *const u32,
+        values: *const f32,
+        dst: *mut f32,
+        dst_len: usize,
+    ) -> bool {
+        let c32 = _mm256_loadu_si256(cols.cast());
+        scatter8_ramp_avx2(c32, *cols as usize, values, dst, dst_len)
+    }
+
+    /// # Safety
+    ///
+    /// AVX2 available; `values` valid for 8 reads; `dst` valid for
+    /// `dst_len` elements; `c32` holds the group's 8 columns with `c0` the
+    /// first.
+    #[target_feature(enable = "avx2")]
+    unsafe fn scatter8_ramp_avx2(
+        c32: __m256i,
+        c0: usize,
+        values: *const f32,
+        dst: *mut f32,
+        dst_len: usize,
+    ) -> bool {
+        let ramp = _mm256_add_epi32(
+            _mm256_set1_epi32(c0 as i32),
+            _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7),
+        );
+        if _mm256_movemask_epi8(_mm256_cmpeq_epi32(c32, ramp)) != -1 {
+            return false;
+        }
+        // A consecutive group's highest target is c0 + 7; bounds-check it
+        // exactly as the scalar index would.
+        assert!(c0 + 8 <= dst_len, "csr scatter column out of range");
+        _mm256_storeu_ps(dst.add(c0), _mm256_loadu_ps(values));
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{available_levels, with_level};
+
+    const HOSTILE: [f32; 12] = [
+        f32::NAN,
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        0.0,
+        -0.0,
+        1e-40,
+        -1e-45,
+        f32::MAX,
+        f32::MIN,
+        1.5,
+        -2.5,
+        65504.0,
+    ];
+
+    fn hostile_row(len: usize, stride: usize) -> Vec<f32> {
+        (0..len).map(|i| HOSTILE[(i * stride) % HOSTILE.len()]).collect()
+    }
+
+    #[test]
+    fn pack_levels_agree_and_never_overstore() {
+        for len in [0usize, 1, 7, 8, 9, 31, 64, 255, 256] {
+            for stride in [1usize, 5, 7] {
+                let row = hostile_row(len, stride);
+                let nnz = row.iter().filter(|&&v| v != 0.0).count();
+                let reference = with_level(crate::Level::Scalar, || {
+                    let mut vals = vec![0.0f32; nnz];
+                    let mut cols = vec![0u8; nnz];
+                    assert_eq!(csr_pack_row_u8(&row, &mut vals, &mut cols), nnz);
+                    (vals.iter().map(|v| v.to_bits()).collect::<Vec<_>>(), cols)
+                });
+                for lvl in available_levels() {
+                    // Exactly-sized outputs: any overstore is an OOB panic
+                    // under the slice bounds the guard below re-checks.
+                    let mut vals = vec![0.0f32; nnz];
+                    let mut cols = vec![0u8; nnz];
+                    let got = with_level(lvl, || csr_pack_row_u8(&row, &mut vals, &mut cols));
+                    assert_eq!(got, nnz, "{lvl} len={len} stride={stride}");
+                    let bits: Vec<u32> = vals.iter().map(|v| v.to_bits()).collect();
+                    assert_eq!((bits, cols), reference.clone(), "{lvl} len={len} stride={stride}");
+
+                    let mut vals = vec![0.0f32; nnz];
+                    let mut cols32 = vec![0u32; nnz];
+                    let got = with_level(lvl, || csr_pack_row_u32(&row, &mut vals, &mut cols32));
+                    assert_eq!(got, nnz);
+                    assert_eq!(
+                        cols32,
+                        reference.1.iter().map(|&c| c as u32).collect::<Vec<_>>(),
+                        "{lvl} u32 cols"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_levels_agree_on_dense_runs_and_gaps() {
+        for len in [0usize, 1, 8, 9, 64, 256] {
+            for stride in [1usize, 3, 11] {
+                let row = hostile_row(256, stride);
+                // Build a row's (cols, values) with mixed runs and gaps.
+                let pairs: Vec<(u8, f32)> = row
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &v)| v != 0.0)
+                    .map(|(c, &v)| (c as u8, v))
+                    .take(len)
+                    .collect();
+                let cols: Vec<u8> = pairs.iter().map(|p| p.0).collect();
+                let values: Vec<f32> = pairs.iter().map(|p| p.1).collect();
+                let reference = with_level(crate::Level::Scalar, || {
+                    let mut dst = vec![0.0f32; 256];
+                    csr_scatter_row_u8(&cols, &values, &mut dst);
+                    dst.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+                });
+                for lvl in available_levels() {
+                    let mut dst = vec![0.0f32; 256];
+                    with_level(lvl, || csr_scatter_row_u8(&cols, &values, &mut dst));
+                    let bits: Vec<u32> = dst.iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(bits, reference, "{lvl} len={len} stride={stride}");
+
+                    let cols32: Vec<u32> = cols.iter().map(|&c| c as u32).collect();
+                    let mut dst = vec![0.0f32; 256];
+                    with_level(lvl, || csr_scatter_row_u32(&cols32, &values, &mut dst));
+                    let bits: Vec<u32> = dst.iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(bits, reference, "{lvl} u32 len={len} stride={stride}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pack_then_scatter_roundtrips_hostile_bits() {
+        let row = hostile_row(200, 1);
+        let nnz = row.iter().filter(|&&v| v != 0.0).count();
+        for lvl in available_levels() {
+            with_level(lvl, || {
+                let mut vals = vec![0.0f32; nnz];
+                let mut cols = vec![0u8; nnz];
+                csr_pack_row_u8(&row, &mut vals, &mut cols);
+                let mut back = vec![0.0f32; row.len()];
+                csr_scatter_row_u8(&cols, &vals, &mut back);
+                for (i, (&a, &b)) in row.iter().zip(&back).enumerate() {
+                    // -0.0 is dropped by the predicate and comes back +0.0;
+                    // everything else (NaN payloads included) is raw bits.
+                    let want = if a.to_bits() == 0x8000_0000 { 0 } else { a.to_bits() };
+                    assert_eq!(b.to_bits(), want, "{lvl} elem {i}");
+                }
+            });
+        }
+    }
+}

@@ -31,6 +31,7 @@
 
 mod codec;
 mod conv3;
+mod csr;
 mod matmul;
 
 pub use codec::{
@@ -38,6 +39,7 @@ pub use codec::{
     select_by_mask, DprSpec,
 };
 pub use conv3::{conv3x3s1_image, Conv3Shape};
+pub use csr::{csr_pack_row_u32, csr_pack_row_u8, csr_scatter_row_u32, csr_scatter_row_u8};
 pub use matmul::{matmul_a_bt_into, matmul_at_b_into, matmul_into, row_grain};
 
 use std::sync::OnceLock;

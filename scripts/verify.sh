@@ -19,6 +19,10 @@
 #      bit-identical to resident execution and match the offload-aware
 #      static prediction event-for-event, plus a CLI smoke of
 #      `train --offload recompute|swap`
+#   7. the replica-determinism gate (tests/dist_equivalence.rs, run twice
+#      by step 2): merged updates bitwise-invariant across replica counts,
+#      codecs on every wire, executed-cDMA bytes priced exactly — plus a
+#      CLI smoke of `train --replicas N --grad-codec ssdc|dpr:8`
 #
 # Run this before committing; record what changed in CHANGELOG.md and
 # append a one-line summary to CHANGES.md as usual.
@@ -55,5 +59,15 @@ out=$(cargo run --release -q --offline -p gist-cli -- \
     train small-vgg --batch 4 --steps 1 --alloc arena --offload swap)
 echo "$out"
 grep -q "arena slab:" <<<"$out" && grep -q "simulated step:" <<<"$out"
+
+echo "==> CLI distributed smoke (replica slab + wire bytes + all-reduce stall must print)"
+out=$(cargo run --release -q --offline -p gist-cli -- \
+    train tiny-convnet --batch 2 --steps 1 --replicas 2 --grad-codec ssdc)
+echo "$out"
+grep -q "replica slab:" <<<"$out" && grep -q "all-reduce" <<<"$out"
+out=$(cargo run --release -q --offline -p gist-cli -- \
+    train tiny-convnet --batch 2 --steps 1 --replicas 4 --grad-codec dpr:8)
+echo "$out"
+grep -q "replica slab:" <<<"$out" && grep -q "all-reduce" <<<"$out"
 
 echo "verify: all tier-1 checks passed"

@@ -16,6 +16,7 @@
 /// `use gist::prelude::*;`
 pub mod prelude {
     pub use gist_core::{Gist, GistConfig, GistPlan, ScheduleBuilder};
+    pub use gist_dist::{DistTrainer, GradCodec};
     pub use gist_encodings::DprFormat;
     pub use gist_graph::{Graph, NodeId, OpKind};
     pub use gist_memory::{plan_static, SharingPolicy};
@@ -27,6 +28,7 @@ pub mod prelude {
 }
 
 pub use gist_core as core;
+pub use gist_dist as dist;
 pub use gist_encodings as encodings;
 pub use gist_graph as graph;
 pub use gist_memory as memory;

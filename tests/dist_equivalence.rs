@@ -1,0 +1,435 @@
+//! Differential suite for `gist-dist`: the replica-determinism gate.
+//!
+//! The distributed subsystem promises that data parallelism is *invisible*
+//! to the model: one global step over the fixed `S = 8` micro-batch shards
+//! produces byte-identical merged gradients and parameter updates whether
+//! 1, 2, 4 or 8 replicas computed the shards — at every thread count,
+//! under both allocation policies, at every `GIST_SIMD` level, and with
+//! every `GradCodec` on the wire (SSDC bitwise-lossless, DPR lossy but
+//! placement-independent and pinned). The executed cDMA swap path is held
+//! to the acceptance criterion directly: the encoded bytes the executor
+//! *observes* on each swap transfer must be priced by the virtual-clock
+//! engine exactly, bit-for-bit in the `f64` transfer records.
+
+use gist::dist::{reduction_rounds, simulate_allreduce, DistTrainer, GradCodec, GradReduceTree};
+use gist::encodings::DprFormat;
+use gist::offload::{simulate_observed, OffloadMode, SwapStrategy};
+use gist::par::{env_threads, with_threads};
+use gist::perf::GpuModel;
+use gist::runtime::params::NodeParams;
+use gist::runtime::{AllocPolicy, ExecMode, Executor, SyntheticImages};
+use gist::simd::{available_levels, with_level, Level};
+use gist::tensor::Tensor;
+use gist_testkit::prop::{boxed, just, one_of, vec_of, Strategy};
+use gist_testkit::Runner;
+
+const SHARDS: usize = 8;
+const SHARD_BATCH: usize = 2;
+const STEPS: usize = 2;
+const LR: f32 = 0.05;
+
+fn shard_data() -> (Vec<Tensor>, Vec<Vec<usize>>) {
+    let mut ds = SyntheticImages::new(4, 16, 0.3, 1234);
+    let mut images = Vec::with_capacity(SHARDS);
+    let mut labels = Vec::with_capacity(SHARDS);
+    for _ in 0..SHARDS {
+        let (x, y) = ds.minibatch(SHARD_BATCH);
+        images.push(x);
+        labels.push(y);
+    }
+    (images, labels)
+}
+
+/// Bit-level snapshot of one distributed run: every step's loss, the last
+/// step's merged (applied) gradient, and replica 0's final parameters.
+fn run_fingerprint(replicas: usize, codec: GradCodec, alloc: AllocPolicy) -> Vec<u32> {
+    let (images, labels) = shard_data();
+    let mut trainer = DistTrainer::new(replicas, SHARDS, codec, || {
+        Executor::new_with_policy(
+            gist::models::tiny_convnet(SHARD_BATCH, 4),
+            ExecMode::Baseline,
+            7,
+            alloc,
+        )
+    })
+    .expect("trainer");
+    let mut fp = Vec::new();
+    for _ in 0..STEPS {
+        let rep = trainer.step(&images, &labels, LR).expect("step");
+        fp.push(rep.loss.to_bits());
+        for st in &rep.shard_stats {
+            fp.push(st.loss.to_bits());
+        }
+        for g in rep.merged.iter().flatten() {
+            fp.extend(g.main.data().iter().map(|v| v.to_bits()));
+            if let Some(sec) = &g.secondary {
+                fp.extend(sec.data().iter().map(|v| v.to_bits()));
+            }
+        }
+    }
+    // Every replica must be in lockstep; fingerprint replica 0 and check
+    // the rest against it.
+    let p0 = param_bits(trainer.replica(0));
+    for r in 1..replicas {
+        assert_eq!(param_bits(trainer.replica(r)), p0, "replica {r} of {replicas} diverged");
+    }
+    fp.extend(p0);
+    fp
+}
+
+fn param_bits(exec: &Executor) -> Vec<u32> {
+    let mut fp = Vec::new();
+    for i in 0..exec.graph().len() {
+        match exec.params.get(i) {
+            Some(NodeParams::Conv { weight, bias } | NodeParams::Linear { weight, bias }) => {
+                fp.extend(weight.data().iter().map(|v| v.to_bits()));
+                if let Some(b) = bias {
+                    fp.extend(b.data().iter().map(|v| v.to_bits()));
+                }
+            }
+            Some(NodeParams::BatchNorm { gamma, beta }) => {
+                fp.extend(gamma.data().iter().map(|v| v.to_bits()));
+                fp.extend(beta.data().iter().map(|v| v.to_bits()));
+            }
+            None => {}
+        }
+    }
+    fp
+}
+
+/// FNV-1a over the fingerprint words — the committed regression pin.
+fn fnv64(fp: &[u32]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for w in fp {
+        for b in w.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Replica-count / thread / alloc / SIMD invariance
+// ---------------------------------------------------------------------------
+
+#[test]
+fn merged_update_is_replica_count_invariant() {
+    let reference = run_fingerprint(1, GradCodec::None, AllocPolicy::Heap);
+    assert!(!reference.is_empty());
+    for n in [2, 4, 8] {
+        assert_eq!(
+            run_fingerprint(n, GradCodec::None, AllocPolicy::Heap),
+            reference,
+            "{n} replicas diverged from 1"
+        );
+    }
+}
+
+#[test]
+fn merged_update_is_thread_count_invariant() {
+    let reference = with_threads(1, || run_fingerprint(2, GradCodec::None, AllocPolicy::Heap));
+    let mut counts = vec![2, env_threads().max(4)];
+    counts.dedup();
+    for t in counts {
+        assert_eq!(
+            with_threads(t, || run_fingerprint(2, GradCodec::None, AllocPolicy::Heap)),
+            reference,
+            "GIST_THREADS={t} diverged"
+        );
+    }
+}
+
+#[test]
+fn merged_update_is_alloc_policy_invariant() {
+    for n in [1, 4] {
+        assert_eq!(
+            run_fingerprint(n, GradCodec::None, AllocPolicy::Arena),
+            run_fingerprint(n, GradCodec::None, AllocPolicy::Heap),
+            "arena diverged from heap at {n} replicas"
+        );
+    }
+}
+
+#[test]
+fn merged_update_is_simd_level_invariant() {
+    let reference =
+        with_level(Level::Scalar, || run_fingerprint(2, GradCodec::None, AllocPolicy::Arena));
+    for lvl in available_levels() {
+        assert_eq!(
+            with_level(lvl, || run_fingerprint(2, GradCodec::None, AllocPolicy::Arena)),
+            reference,
+            "GIST_SIMD={lvl} diverged"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codec-on-transfer semantics
+// ---------------------------------------------------------------------------
+
+#[test]
+fn ssdc_grad_codec_is_bitwise_lossless() {
+    for n in [1, 2] {
+        assert_eq!(
+            run_fingerprint(n, GradCodec::Ssdc, AllocPolicy::Heap),
+            run_fingerprint(n, GradCodec::None, AllocPolicy::Heap),
+            "SSDC wire round-trip changed bits at {n} replicas"
+        );
+    }
+}
+
+#[test]
+fn dpr_grad_codec_is_replica_count_invariant_and_pinned() {
+    // Lossy wire formats still may not care about placement: the codec
+    // runs on every tree edge whether or not it crosses a link.
+    let fp8 = run_fingerprint(1, GradCodec::Dpr(DprFormat::Fp8), AllocPolicy::Heap);
+    for n in [4, 8] {
+        assert_eq!(
+            run_fingerprint(n, GradCodec::Dpr(DprFormat::Fp8), AllocPolicy::Heap),
+            fp8,
+            "DPR fp8 diverged at {n} replicas"
+        );
+    }
+    let fp16 = run_fingerprint(2, GradCodec::Dpr(DprFormat::Fp16), AllocPolicy::Heap);
+    // Committed regression pins: these exact training trajectories were
+    // recorded from the run that landed the subsystem. The executor, the
+    // synthetic dataset, the tree schedule and the DPR tables are all
+    // deterministic by contract, so a changed hash here means the lossy
+    // wire semantics moved — update EXPERIMENTS.md if it's intentional.
+    assert_eq!(fnv64(&fp8), PIN_DPR_FP8, "DPR fp8 trajectory drifted");
+    assert_eq!(fnv64(&fp16), PIN_DPR_FP16, "DPR fp16 trajectory drifted");
+    // And the lossy formats genuinely differ from lossless training.
+    let raw = run_fingerprint(1, GradCodec::None, AllocPolicy::Heap);
+    assert_ne!(fnv64(&raw), fnv64(&fp8));
+}
+
+const PIN_DPR_FP8: u64 = 0xe93a_8b67_0d0a_3d6e;
+const PIN_DPR_FP16: u64 = 0xfac0_1088_52c1_de24;
+
+// ---------------------------------------------------------------------------
+// Executed cDMA: observed bytes == virtual-clock priced bytes, exactly
+// ---------------------------------------------------------------------------
+
+#[test]
+fn executed_cdma_observed_bytes_price_the_virtual_clock_exactly() {
+    let graph = gist::models::small_vgg(4, 4);
+    let mut exec = Executor::new_with_offload(
+        graph,
+        ExecMode::Baseline,
+        7,
+        AllocPolicy::Arena,
+        OffloadMode::Swap(SwapStrategy::Cdma { compression: 2.0 }),
+    )
+    .expect("executor");
+    let mut ds = SyntheticImages::new(4, 16, 0.3, 42);
+    let (x, y) = ds.minibatch(4);
+    let stats = exec.step(&x, &y, 0.05).expect("step");
+    assert!(!stats.swap_transfers.is_empty(), "cDMA plan swapped nothing");
+
+    // Observed wire bytes per node, from the executed step. Swap-out and
+    // swap-in must agree per node (the same encoded wire moves both ways).
+    let mut observed = vec![0u64; exec.graph().len()];
+    for (name, to_host, bytes) in &stats.swap_transfers {
+        let node = exec
+            .graph()
+            .nodes()
+            .iter()
+            .position(|n| &n.name == name)
+            .unwrap_or_else(|| panic!("unknown swap layer {name}"));
+        assert!(*bytes > 0, "{name}: zero-byte transfer");
+        if *to_host {
+            observed[node] = *bytes;
+        } else {
+            assert_eq!(observed[node], *bytes, "{name}: swap-in bytes != swap-out bytes");
+        }
+    }
+
+    // The virtual clock must price every transfer from those observed
+    // bytes, bit-exactly in the f64 records.
+    let plan = exec.offload_plan().expect("swap plan").clone();
+    let report = simulate_observed(exec.graph(), &plan, &GpuModel::titan_x(), &observed)
+        .expect("simulate_observed");
+    assert!(!report.transfers.is_empty());
+    for t in &report.transfers {
+        assert!(observed[t.node] > 0, "clock priced node {} the executor never swapped", t.node);
+        assert_eq!(
+            t.bytes.to_bits(),
+            (observed[t.node] as f64).to_bits(),
+            "node {}: modeled {} bytes vs observed {}",
+            t.node,
+            t.bytes,
+            observed[t.node]
+        );
+    }
+    // And the executor really did move encoded wires, not dense copies:
+    // SSDC wire bytes differ from numel * 4 for at least one stash.
+    let dense: Vec<u64> = report
+        .transfers
+        .iter()
+        .filter(|t| t.to_host)
+        .map(|t| plan.numel[t.node] as u64 * 4)
+        .collect();
+    let wired: Vec<u64> =
+        report.transfers.iter().filter(|t| t.to_host).map(|t| t.bytes as u64).collect();
+    assert_ne!(dense, wired, "every cDMA wire coincided with its dense size");
+}
+
+// ---------------------------------------------------------------------------
+// Property: fixed tree is arrival-order independent (64 hostile cases)
+// ---------------------------------------------------------------------------
+
+fn hostile_f32() -> impl Strategy<Value = f32> {
+    one_of(vec![
+        boxed(-2.0f32..2.0),
+        boxed(-1e6f32..1e6),
+        boxed(just(0.0f32)),
+        boxed(just(-0.0f32)),
+        boxed(just(f32::NAN)),
+        boxed(just(f32::INFINITY)),
+        boxed(just(f32::NEG_INFINITY)),
+        boxed(just(f32::MIN_POSITIVE)),
+        boxed(just(f32::MIN_POSITIVE / 2.0)),
+        boxed(just(-1e-45f32)),
+        boxed(just(f32::MAX)),
+        boxed(just(f32::MIN)),
+    ])
+}
+
+#[test]
+fn reduction_tree_is_arrival_order_independent() {
+    Runner::new("reduction_tree_is_arrival_order_independent")
+        .cases(64)
+        .regressions_file("tests/dist_equivalence.testkit-regressions")
+        .run(
+            // Shard length straddles vector-lane boundaries (the pool and
+            // SSDC wire both chunk by 8); arrival keys drive a permutation.
+            &(vec_of(hostile_f32(), 8..257), vec_of(0u64..u64::MAX, SHARDS..SHARDS + 1)),
+            |(pool, keys)| {
+                let chunk = (pool.len() / SHARDS).max(1);
+                let shards: Vec<Vec<f32>> = (0..SHARDS)
+                    .map(|s| pool.iter().copied().cycle().skip(s * chunk).take(chunk).collect())
+                    .collect();
+                let mut order: Vec<usize> = (0..SHARDS).collect();
+                order.sort_by_key(|&i| keys[i]);
+                for codec in [GradCodec::None, GradCodec::Ssdc, GradCodec::Dpr(DprFormat::Fp8)] {
+                    let mut in_order = GradReduceTree::new(SHARDS, codec);
+                    for (s, g) in shards.iter().enumerate() {
+                        in_order.ingest(s, g.clone());
+                    }
+                    let mut permuted = GradReduceTree::new(SHARDS, codec);
+                    for &s in &order {
+                        permuted.ingest(s, shards[s].clone());
+                    }
+                    let (a, ab) = in_order.finish();
+                    let (b, bb) = permuted.finish();
+                    assert_eq!(
+                        a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        b.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        "{codec}: arrival order {order:?} changed the merged bits"
+                    );
+                    assert_eq!(ab, bb, "{codec}: arrival order changed wire bytes");
+                }
+            },
+        );
+}
+
+// ---------------------------------------------------------------------------
+// Property: the link engine is causal on random reduction topologies
+// ---------------------------------------------------------------------------
+
+#[test]
+fn link_engine_is_causal_on_random_reduction_topologies() {
+    Runner::new("link_engine_is_causal_on_random_reduction_topologies")
+        .cases(64)
+        .regressions_file("tests/dist_equivalence.testkit-regressions")
+        .run(
+            &(2usize..13, vec_of(0u64..u64::MAX, 64..65), 1usize..9, 0u64..4_000_000),
+            |(slots, keys, replicas, bcast)| {
+                let (slots, replicas, bcast) = (*slots, *replicas, *bcast);
+                // Random reduction topology: repeatedly shuffle the alive
+                // slots by the next keys and merge adjacent pairs — this
+                // generalizes the fixed `reduction_rounds` shape (also
+                // exercised below) to arbitrary trees.
+                let mut k = keys.iter().copied().cycle();
+                let mut alive: Vec<usize> = (0..slots).collect();
+                let mut rounds: Vec<Vec<(usize, usize)>> = Vec::new();
+                let mut edge_bytes: Vec<Vec<u64>> = Vec::new();
+                while alive.len() > 1 {
+                    let mut keyed: Vec<(u64, usize)> =
+                        alive.iter().map(|&s| (k.next().unwrap(), s)).collect();
+                    keyed.sort_unstable();
+                    let mut round = Vec::new();
+                    let mut bytes = Vec::new();
+                    let mut next = Vec::new();
+                    let mut it = keyed.iter().map(|&(_, s)| s);
+                    while let Some(a) = it.next() {
+                        if let Some(b) = it.next() {
+                            round.push((a, b));
+                            bytes.push(k.next().unwrap() % 1_000_000 + 1);
+                            next.push(a);
+                        } else {
+                            next.push(a);
+                        }
+                    }
+                    rounds.push(round);
+                    edge_bytes.push(bytes);
+                    alive = next;
+                }
+                let gpu = GpuModel::titan_x();
+                for (rounds, edge_bytes) in [
+                    (&rounds, &edge_bytes),
+                    // The canonical fixed tree rides the same checks.
+                    (
+                        &reduction_rounds(slots),
+                        &reduction_rounds(slots)
+                            .iter()
+                            .map(|r| vec![4096u64; r.len()])
+                            .collect::<Vec<_>>(),
+                    ),
+                ] {
+                    let rep = simulate_allreduce(rounds, edge_bytes, replicas, bcast, &gpu);
+                    // Re-simulation is bit-identical.
+                    let again = simulate_allreduce(rounds, edge_bytes, replicas, bcast, &gpu);
+                    assert_eq!(rep, again);
+                    for (a, b) in rep.transfers.iter().zip(&again.transfers) {
+                        assert_eq!(a.start_s.to_bits(), b.start_s.to_bits());
+                        assert_eq!(a.end_s.to_bits(), b.end_s.to_bits());
+                    }
+                    // Causality, replayed independently from the records:
+                    // no transfer starts before either endpoint's partial
+                    // exists, crossing transfers never overlap on the one
+                    // link, and the totals are consistent.
+                    let n = slots.max(replicas);
+                    let mut ready = vec![0.0f64; n];
+                    let mut link_busy_until = 0.0f64;
+                    let mut wire = 0u64;
+                    for t in &rep.transfers {
+                        assert!(
+                            t.start_s >= ready[t.src],
+                            "transfer {t:?} started before its source was ready"
+                        );
+                        assert!(
+                            t.start_s >= ready[t.dst],
+                            "transfer {t:?} started before its destination was ready"
+                        );
+                        assert!(t.end_s >= t.start_s);
+                        if t.crossed {
+                            assert!(
+                                t.start_s >= link_busy_until,
+                                "transfer {t:?} overlapped the serial link"
+                            );
+                            link_busy_until = t.end_s;
+                            wire += t.bytes;
+                        } else {
+                            assert_eq!(t.bytes, 0, "local combine priced bytes");
+                        }
+                        ready[t.dst] = ready[t.dst].max(t.end_s);
+                    }
+                    assert_eq!(wire, rep.bytes_on_wire);
+                    let max_end = rep.transfers.iter().map(|t| t.end_s).fold(0.0f64, f64::max);
+                    assert_eq!(rep.total_s.to_bits(), max_end.to_bits());
+                }
+            },
+        );
+}

@@ -216,6 +216,38 @@ fn csr_codec_matches_scalar_at_every_level() {
 }
 
 #[test]
+fn csr_row_kernels_match_scalar_at_every_level() {
+    use gist::simd::{csr_pack_row_u32, csr_pack_row_u8, csr_scatter_row_u32, csr_scatter_row_u8};
+    let sparse = one_of(vec![boxed(just(0.0f32)), boxed(just(0.0f32)), boxed(hostile_f32())]);
+    Runner::new("csr_row_kernels_match_scalar_at_every_level").cases(CASES).run(
+        // Row lengths straddle the 8-lane group boundary in both
+        // directions; u8 column indices require rows <= 256 wide.
+        &vec_of(sparse, 0..256),
+        |row| {
+            assert_level_invariant(|| {
+                // Exact-sized outputs: any overstore panics right here.
+                let nnz = row.iter().filter(|v| **v != 0.0).count();
+                let mut vals8 = vec![0.0f32; nnz];
+                let mut cols8 = vec![0u8; nnz];
+                let n8 = csr_pack_row_u8(row, &mut vals8, &mut cols8);
+                let mut vals32 = vec![0.0f32; nnz];
+                let mut cols32 = vec![0u32; nnz];
+                let n32 = csr_pack_row_u32(row, &mut vals32, &mut cols32);
+                assert_eq!((n8, n32), (nnz, nnz));
+                // Scatter back over poisoned zeros: the round-trip must
+                // reproduce the row with -0.0 collapsed to +0.0 (the
+                // `v != 0.0` predicate drops it) and NaN payloads intact.
+                let mut back8 = vec![0.0f32; row.len()];
+                csr_scatter_row_u8(&cols8, &vals8, &mut back8);
+                let mut back32 = vec![0.0f32; row.len()];
+                csr_scatter_row_u32(&cols32, &vals32, &mut back32);
+                (bits(&vals8), cols8, bits(&back8), bits(&vals32), cols32, bits(&back32))
+            });
+        },
+    );
+}
+
+#[test]
 fn dpr_codec_matches_scalar_at_every_level() {
     Runner::new("dpr_codec_matches_scalar_at_every_level").cases(CASES).run(
         &(vec_of(hostile_f32(), 16..257), 1usize..CODEC_LEN),
