@@ -1,0 +1,97 @@
+//! Benchmark for the gist-serve scheduler: wall-clock throughput and queue
+//! latency of a fixed four-job mix as the `--mem-budget` shrinks. The
+//! interesting shape is the knee — a generous budget runs every job
+//! concurrently (low queue latency, one residency per job), while a tight
+//! budget serializes admissions and pays park/resume round-trips through
+//! the SSDC host store. Per-budget metadata records jobs/sec (×1000, since
+//! meta values are integers), mean queue ticks (×1000), admissions, parks
+//! and the observed live-byte peak, so the committed JSON documents both
+//! the cost curve and the budget oracle holding at every point.
+//!
+//! Run with `cargo run --release -p gist-bench --bin bench_serve_throughput`.
+
+use gist_serve::{JobSpec, ServeConfig, Server, StepOrder};
+use gist_testkit::BenchGroup;
+use std::time::Instant;
+
+fn mix() -> Vec<JobSpec> {
+    vec![
+        JobSpec::builder("tiny-convnet").name("j0").steps(3).build().unwrap(),
+        JobSpec::builder("tiny-classic")
+            .name("j1")
+            .steps(2)
+            .mode(gist_serve::spec::parse_exec_mode("fp8").unwrap())
+            .build()
+            .unwrap(),
+        JobSpec::builder("small-vgg")
+            .name("j2")
+            .steps(2)
+            .alloc(gist_runtime::AllocPolicy::Heap)
+            .build()
+            .unwrap(),
+        JobSpec::builder("tiny-convnet")
+            .name("j3")
+            .steps(2)
+            .replicas(2)
+            .codec(gist_encodings::TransferCodec::Ssdc)
+            .build()
+            .unwrap(),
+    ]
+}
+
+fn main() {
+    let mut g = BenchGroup::new("serve_throughput").samples(5);
+    g.meta("threads", gist_par::current_threads() as u64);
+    g.meta("simd", gist_simd::level() as u64);
+    g.meta("jobs", mix().len() as u64);
+
+    // Price the mix once so the budget sweep is expressed in leases.
+    let mut probe = Server::new(ServeConfig::new(u64::MAX));
+    let mut leases = Vec::new();
+    for spec in mix() {
+        let id = probe.submit(spec).expect("probe submit");
+        leases.push(probe.lease_bytes(id));
+    }
+    let sum: u64 = leases.iter().sum();
+    let max = *leases.iter().max().expect("non-empty mix");
+    g.meta("lease_sum_bytes", sum);
+    g.meta("lease_max_bytes", max);
+
+    // all → everything concurrent; half → some queueing; tight → barely
+    // above the largest single lease, forcing serialization and parks.
+    let budgets: Vec<(&str, u64)> =
+        vec![("budget_all", sum), ("budget_half", sum / 2), ("budget_tight", max + max / 8)];
+    for (label, budget) in budgets {
+        let run = || {
+            let mut config = ServeConfig::new(budget);
+            config.order = StepOrder::Ascending;
+            config.park_patience = 1;
+            let mut server = Server::new(config);
+            for spec in mix() {
+                server.submit(spec).expect("submit");
+            }
+            server.run().expect("serve run")
+        };
+        let start = Instant::now();
+        let report = run();
+        let elapsed = start.elapsed().as_secs_f64();
+        assert!(report.all_completed(), "{label}: every job must finish");
+        assert!(report.max_live_bytes <= budget, "{label}: budget oracle");
+        let jobs_per_s = report.jobs.len() as f64 / elapsed.max(1e-9);
+        g.meta(&format!("{label}_bytes"), budget);
+        g.meta(&format!("{label}_ticks"), report.ticks);
+        g.meta(&format!("{label}_admissions"), report.admissions);
+        g.meta(&format!("{label}_parks"), report.parks);
+        g.meta(&format!("{label}_max_live_bytes"), report.max_live_bytes);
+        g.meta(&format!("{label}_jobs_per_s_milli"), (jobs_per_s * 1000.0) as u64);
+        g.meta(
+            &format!("{label}_mean_queue_ticks_milli"),
+            (report.mean_queue_ticks() * 1000.0) as u64,
+        );
+        g.bench(label, || {
+            let report = run();
+            assert!(report.all_completed());
+        });
+    }
+    g.finish();
+}

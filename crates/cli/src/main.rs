@@ -17,37 +17,12 @@ use gist_graph::Graph;
 use gist_memory::FootprintReport;
 use std::process::ExitCode;
 
-const MODELS: &[&str] = &[
-    "alexnet",
-    "alexnet-classic",
-    "nin",
-    "overfeat",
-    "vgg16",
-    "inception",
-    "resnet50",
-    "resnet-cifar",
-    "densenet",
-    "tiny-convnet",
-    "small-vgg",
-    "tiny-classic",
-];
+// The model table lives in gist-models (`MODEL_NAMES` / `by_name`) so the
+// CLI, the serve scheduler and the test suites all agree on spellings.
+const MODELS: &[&str] = gist_models::MODEL_NAMES;
 
 fn build_model(name: &str, batch: usize) -> Option<Graph> {
-    Some(match name {
-        "alexnet" => gist_models::alexnet(batch),
-        "alexnet-classic" => gist_models::alexnet_classic(batch),
-        "nin" => gist_models::nin(batch),
-        "overfeat" => gist_models::overfeat(batch),
-        "vgg16" => gist_models::vgg16(batch),
-        "inception" => gist_models::inception(batch),
-        "resnet50" => gist_models::resnet50(batch),
-        "resnet-cifar" => gist_models::resnet_cifar(18, batch),
-        "densenet" => gist_models::densenet_cifar(16, 12, batch),
-        "tiny-convnet" => gist_models::tiny_convnet(batch, 3),
-        "small-vgg" => gist_models::small_vgg(batch, 3),
-        "tiny-classic" => gist_models::tiny_classic(batch, 3),
-        _ => return None,
-    })
+    gist_models::by_name(name, batch)
 }
 
 fn parse_mode(mode: &str) -> Option<GistConfig> {
@@ -74,6 +49,20 @@ struct Args {
     offload: gist_runtime::OffloadMode,
     replicas: usize,
     grad_codec: gist_dist::GradCodec,
+    mem_budget: u64,
+    jobs: Vec<String>,
+    order: String,
+}
+
+/// Parses a byte count with an optional `k`/`m` (KiB/MiB) suffix.
+fn parse_bytes(v: &str) -> Option<u64> {
+    let v = v.trim().to_ascii_lowercase();
+    let (num, mult) = match v.strip_suffix(['k', 'm']) {
+        Some(num) if v.ends_with('k') => (num, 1024u64),
+        Some(num) => (num, 1024 * 1024),
+        None => (v.as_str(), 1),
+    };
+    num.parse::<u64>().ok().filter(|&n| n > 0)?.checked_mul(mult)
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -90,6 +79,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         offload: gist_runtime::OffloadMode::None,
         replicas: 1,
         grad_codec: gist_dist::GradCodec::None,
+        mem_budget: 4 * 1024 * 1024,
+        jobs: Vec::new(),
+        order: "ascending".into(),
     };
     let mut it = argv[1..].iter();
     while let Some(a) = it.next() {
@@ -143,6 +135,19 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     "unknown grad codec: {v} (try none|ssdc|dpr:16|dpr:10|dpr:8)"
                 ))?;
             }
+            "--mem-budget" => {
+                let v = it.next().ok_or("--mem-budget needs a value like 512k or 4m")?;
+                args.mem_budget =
+                    parse_bytes(v).ok_or(format!("bad memory budget: {v} (try 512k or 4m)"))?;
+            }
+            "--job" => {
+                args.jobs
+                    .push(it.next().ok_or("--job needs a spec like tiny-convnet,steps=2")?.clone());
+            }
+            "--order" => {
+                args.order =
+                    it.next().ok_or("--order needs ascending|descending|rotating")?.clone();
+            }
             "--dynamic" => args.dynamic = true,
             "--optimized-software" => args.optimized_software = true,
             other if !other.starts_with("--") && args.model.is_none() => {
@@ -155,11 +160,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: gist-cli <models|plan|breakdown|stashes|report|dot|trace|train> [model] \
+    "usage: gist-cli <models|plan|breakdown|stashes|report|dot|trace|train|serve> [model] \
      [--batch N] [--mode baseline|lossless|fp16|fp10|fp8] [--dynamic] [--optimized-software] \
      [--steps N] [--trace out.json] [--alloc heap|arena] \
      [--offload recompute|swap|swap:naive|swap:vdnn|swap:cdma] \
-     [--replicas N] [--grad-codec none|ssdc|dpr:16|dpr:10|dpr:8]"
+     [--replicas N] [--grad-codec none|ssdc|dpr:16|dpr:10|dpr:8] \
+     [--mem-budget N[k|m]] [--job model,key=value,...]* [--order ascending|descending|rotating]"
         .to_string()
 }
 
@@ -169,6 +175,9 @@ fn run(args: Args) -> Result<(), String> {
             println!("{m}");
         }
         return Ok(());
+    }
+    if args.command == "serve" {
+        return run_serve(&args);
     }
     let model_name = args.model.as_deref().ok_or_else(usage)?;
     let graph = build_model(model_name, args.batch)
@@ -260,6 +269,95 @@ fn run(args: Args) -> Result<(), String> {
         }
         other => return Err(format!("unknown command {other}\n{}", usage())),
     }
+    Ok(())
+}
+
+/// The scripted job mix `serve` runs when no `--job` is given: four small
+/// jobs spanning modes, alloc policies, replica counts and grad codecs.
+const DEFAULT_JOB_MIX: &[&str] = &[
+    "tiny-convnet,name=j0,steps=3",
+    "tiny-classic,name=j1,steps=2,mode=fp8",
+    "small-vgg,name=j2,steps=2,alloc=heap",
+    "tiny-convnet,name=j3,steps=2,replicas=2,codec=ssdc",
+];
+
+/// Runs a job mix through the gist-serve scheduler under `--mem-budget`,
+/// printing per-job outcomes plus the budget-oracle verdict.
+fn run_serve(args: &Args) -> Result<(), String> {
+    use gist_serve::{JobSpec, ServeConfig, Server, StepOrder};
+    // Garbage interleave spellings warn and fall back (workspace policy).
+    let (order, warning) = gist_core::parse_or_warn(
+        "gist-cli",
+        "--order",
+        Some(&args.order),
+        "ascending|descending|rotating",
+        "ascending",
+        StepOrder::parse,
+        || StepOrder::Ascending,
+    );
+    if let Some(w) = warning {
+        eprintln!("{w}");
+    }
+    let mut config = ServeConfig::new(args.mem_budget);
+    config.order = order;
+
+    let specs: Vec<&str> = if args.jobs.is_empty() {
+        DEFAULT_JOB_MIX.to_vec()
+    } else {
+        args.jobs.iter().map(String::as_str).collect()
+    };
+    let mut server = Server::new(config);
+    for raw in &specs {
+        let (spec, warnings) = JobSpec::parse(raw).map_err(|e| e.to_string())?;
+        for w in warnings {
+            eprintln!("{w}");
+        }
+        let name = spec.name.clone();
+        let id = server.submit(spec).map_err(|e| e.to_string())?;
+        println!(
+            "job {id}: {name} admitted to queue, slab lease {:.1} KB",
+            server.lease_bytes(id) as f64 / 1024.0
+        );
+    }
+
+    let report = server.run().map_err(|e| e.to_string())?;
+    for job in &report.jobs {
+        println!(
+            "job {}: {} ({}) {} step(s), {} park(s), queued {} tick(s), \
+             finished tick {}, final loss {:.4}",
+            job.job,
+            job.name,
+            job.model,
+            job.steps,
+            job.parks,
+            job.queue_ticks,
+            job.completed_tick,
+            job.loss_bits.last().map_or(f32::NAN, |&b| f32::from_bits(b)),
+        );
+    }
+    let done = report.jobs.iter().filter(|j| j.steps == j.loss_bits.len()).count();
+    println!(
+        "{done}/{} jobs completed in {} ticks ({} admission(s), {} park(s), \
+         mean queue latency {:.1} ticks)",
+        report.jobs.len(),
+        report.ticks,
+        report.admissions,
+        report.parks,
+        report.mean_queue_ticks()
+    );
+    if report.parks > 0 {
+        println!(
+            "parked state peak: {:.1} KB host-side (SSDC wire)",
+            report.parked_wire_bytes_peak as f64 / 1024.0
+        );
+    }
+    if !report.all_completed() {
+        return Err("some jobs did not complete".into());
+    }
+    println!(
+        "budget oracle ok: max live {} B <= budget {} B",
+        report.max_live_bytes, report.budget_bytes
+    );
     Ok(())
 }
 
@@ -545,6 +643,73 @@ mod tests {
         let a = parse_args(&args(&["train", "tiny-convnet", "--batch", "2", "--replicas", "3"]))
             .unwrap();
         assert!(run(a).is_err());
+    }
+
+    #[test]
+    fn parse_bytes_understands_suffixes() {
+        assert_eq!(parse_bytes("4096"), Some(4096));
+        assert_eq!(parse_bytes("512k"), Some(512 * 1024));
+        assert_eq!(parse_bytes("4M"), Some(4 * 1024 * 1024));
+        for bad in ["", "0", "-1", "4g", "lots", "k"] {
+            assert_eq!(parse_bytes(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn serve_runs_the_default_mix_under_the_default_budget() {
+        let a = parse_args(&args(&["serve"])).unwrap();
+        assert_eq!(a.mem_budget, 4 * 1024 * 1024);
+        assert!(a.jobs.is_empty());
+        run(a).unwrap();
+    }
+
+    #[test]
+    fn serve_parses_budget_and_jobs_and_completes_a_tight_mix() {
+        let a = parse_args(&args(&[
+            "serve",
+            "--mem-budget",
+            "768k",
+            "--order",
+            "rotating",
+            "--job",
+            "tiny-convnet,steps=2",
+            "--job",
+            "tiny-classic,steps=2,mode=fp8",
+        ]))
+        .unwrap();
+        assert_eq!(a.mem_budget, 768 * 1024);
+        assert_eq!(a.jobs.len(), 2);
+        run(a).unwrap();
+    }
+
+    #[test]
+    fn serve_rejects_bad_budget_and_unknown_job_model() {
+        assert!(parse_args(&args(&["serve", "--mem-budget", "lots"])).is_err());
+        assert!(parse_args(&args(&["serve", "--mem-budget"])).is_err());
+        assert!(parse_args(&args(&["serve", "--job"])).is_err());
+        // Unknown model in a job spec is a hard error at submit time...
+        let a = parse_args(&args(&["serve", "--job", "warpdrive,steps=1"])).unwrap();
+        assert!(run(a).is_err());
+        // ...and a job whose lease alone exceeds the budget is rejected.
+        let a =
+            parse_args(&args(&["serve", "--mem-budget", "1k", "--job", "tiny-convnet,steps=1"]))
+                .unwrap();
+        assert!(run(a).is_err());
+    }
+
+    #[test]
+    fn serve_garbage_order_and_values_fall_back_instead_of_failing() {
+        // Garbage --order and garbage known-key values warn + fall back, so
+        // the run still completes (workspace parse_or_warn policy).
+        let a = parse_args(&args(&[
+            "serve",
+            "--order",
+            "sideways",
+            "--job",
+            "tiny-convnet,steps=backwards,codec=zip",
+        ]))
+        .unwrap();
+        run(a).unwrap();
     }
 
     #[test]

@@ -31,6 +31,10 @@ pub mod plan;
 pub mod policy;
 
 pub use builder::{ScheduleBuilder, TransformedGraph};
+// Canonical home of the workspace-wide knob-parsing policy. The
+// implementation sits in `gist-par` (the lowest layer, so `gist-simd` and
+// the thread-pool env parsing can share it) and is re-exported here.
 pub use config::{AllocationMode, GistConfig, SparsityModel};
+pub use gist_par::parse_or_warn;
 pub use plan::{EncodingRow, Gist, GistPlan, StashBreakdown};
 pub use policy::{Assignment, Encoding};

@@ -147,6 +147,14 @@ impl DistTrainer {
         &self.execs[r]
     }
 
+    /// Mutable access to replica `r`'s executor. The serve layer restores
+    /// parked parameters through this; a caller that mutates one replica's
+    /// parameters must mutate **every** replica identically, or the
+    /// all-replicas-agree invariant [`Self::replica`] documents breaks.
+    pub fn replica_mut(&mut self, r: usize) -> &mut Executor {
+        &mut self.execs[r]
+    }
+
     /// Runs one global step over `shards()` micro-batch shards: shard
     /// forward/backward on each owning replica, fixed-tree all-reduce with
     /// the codec on every edge, mean-scale, broadcast round-trip, and the

@@ -1,0 +1,92 @@
+//! Little-endian byte cursor shared by the wire serializers
+//! (`transfer::Wire` and the payload containers it carries).
+//!
+//! Reading is total: every primitive checks the remaining length first and
+//! returns [`WireError::Truncated`] instead of slicing out of bounds, and
+//! vector reads size their allocation *after* the bounds check so a
+//! corrupt count field can never trigger a huge allocation.
+
+use crate::dpr::DprFormat;
+use crate::transfer::WireError;
+
+/// Appends a `u32` in little-endian order.
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `f32` bit-exactly (NaN payloads included).
+pub(crate) fn put_f32(out: &mut Vec<u8>, v: f32) {
+    put_u32(out, v.to_bits());
+}
+
+/// Wire tag for a DPR format (`1` FP16, `2` FP10, `3` FP8; `0` is reserved
+/// for "raw f32" where a value-format field allows it).
+pub(crate) fn format_tag(f: DprFormat) -> u8 {
+    match f {
+        DprFormat::Fp16 => 1,
+        DprFormat::Fp10 => 2,
+        DprFormat::Fp8 => 3,
+    }
+}
+
+/// Inverse of [`format_tag`].
+pub(crate) fn tag_format(t: u8) -> Option<DprFormat> {
+    match t {
+        1 => Some(DprFormat::Fp16),
+        2 => Some(DprFormat::Fp10),
+        3 => Some(DprFormat::Fp8),
+        _ => None,
+    }
+}
+
+/// A bounds-checked little-endian read cursor.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated { needed: n, available: self.remaining() });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Exactly `n` raw bytes.
+    pub(crate) fn bytes(&mut self, n: usize) -> Result<Vec<u8>, WireError> {
+        Ok(self.take(n)?.to_vec())
+    }
+
+    /// Exactly `n` little-endian `u32`s.
+    pub(crate) fn u32s(&mut self, n: usize) -> Result<Vec<u32>, WireError> {
+        let total = n.checked_mul(4).ok_or(WireError::Corrupt("element count overflows"))?;
+        let b = self.take(total)?;
+        Ok(b.chunks_exact(4).map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect())
+    }
+
+    /// Exactly `n` `f32`s, bit-exact.
+    pub(crate) fn f32s(&mut self, n: usize) -> Result<Vec<f32>, WireError> {
+        Ok(self.u32s(n)?.into_iter().map(f32::from_bits).collect())
+    }
+}

@@ -11,7 +11,9 @@
 //! sparsity. DPR can additionally be applied to the value array (not the
 //! index metadata, which "affects control").
 
+use crate::bytes::{format_tag, put_f32, put_u32, tag_format, Reader};
 use crate::dpr::{DprBuffer, DprFormat};
+use crate::transfer::WireError;
 use gist_par::{parallel_chunks_mut, parallel_for, parallel_map, SendPtr};
 
 /// Rows per parallel chunk for the CSR encode/decode loops — a pure
@@ -209,6 +211,89 @@ impl CsrMatrix {
                 }
             }
         });
+    }
+
+    /// Serializes the matrix for `transfer::Wire::to_bytes`. The shape
+    /// fields `rows`/`cols` are *derived* (from the narrow flag and dense
+    /// length, exactly as [`Self::encode`] derives them) rather than
+    /// stored, so they cannot be corrupted independently.
+    pub(crate) fn write_bytes(&self, out: &mut Vec<u8>) {
+        assert!(self.total_len <= u32::MAX as usize, "csr length exceeds the u32 format field");
+        out.push(matches!(self.col_idx, ColIndices::U8(_)) as u8);
+        out.push(match &self.values {
+            Values::F32(_) => 0,
+            Values::Dpr(b) => format_tag(b.format()),
+        });
+        put_u32(out, self.total_len as u32);
+        put_u32(out, self.nnz() as u32);
+        self.row_ptr.iter().for_each(|&p| put_u32(out, p));
+        match &self.col_idx {
+            ColIndices::U8(v) => out.extend_from_slice(v),
+            ColIndices::U32(v) => v.iter().for_each(|&c| put_u32(out, c)),
+        }
+        match &self.values {
+            Values::F32(v) => v.iter().for_each(|&x| put_f32(out, x)),
+            Values::Dpr(b) => b.write_words(out),
+        }
+    }
+
+    /// Deserializes a [`Self::write_bytes`] payload, rejecting every
+    /// inconsistency [`Self::decode_into`] would otherwise panic (or
+    /// scatter out of bounds) on: non-monotone row pointers, a pointer
+    /// tail disagreeing with the non-zero count, column indices outside
+    /// their (possibly ragged) row, or a short value array.
+    pub(crate) fn read_bytes(r: &mut Reader) -> Result<CsrMatrix, WireError> {
+        let narrow = match r.u8()? {
+            0 => false,
+            1 => true,
+            t => return Err(WireError::BadTag { field: "csr narrow", value: t }),
+        };
+        let vtag = r.u8()?;
+        let total_len = r.u32()? as usize;
+        let nnz = r.u32()? as usize;
+        if nnz > total_len {
+            return Err(WireError::Corrupt("csr non-zero count exceeds dense length"));
+        }
+        let cols = if narrow { NARROW_COLS } else { total_len.max(1) };
+        let rows = total_len.div_ceil(cols).max(1);
+        let row_ptr = r.u32s(rows + 1)?;
+        if row_ptr[0] != 0 {
+            return Err(WireError::Corrupt("csr row pointers must start at zero"));
+        }
+        if row_ptr.windows(2).any(|w| w[1] < w[0]) {
+            return Err(WireError::Corrupt("csr row pointers not monotone"));
+        }
+        if *row_ptr.last().expect("rows + 1 >= 2") as usize != nnz {
+            return Err(WireError::Corrupt("csr row pointers disagree with non-zero count"));
+        }
+        let col_idx =
+            if narrow { ColIndices::U8(r.bytes(nnz)?) } else { ColIndices::U32(r.u32s(nnz)?) };
+        for row in 0..rows {
+            let (lo, hi) = (row_ptr[row] as usize, row_ptr[row + 1] as usize);
+            let width = cols.min(total_len - (row * cols).min(total_len)) as u32;
+            let mut prev: Option<u32> = None;
+            for k in lo..hi {
+                let c = match &col_idx {
+                    ColIndices::U8(v) => v[k] as u32,
+                    ColIndices::U32(v) => v[k],
+                };
+                if prev.is_some_and(|p| c <= p) {
+                    return Err(WireError::Corrupt("csr column indices not strictly increasing"));
+                }
+                if c >= width {
+                    return Err(WireError::Corrupt("csr column index out of row range"));
+                }
+                prev = Some(c);
+            }
+        }
+        let values = match vtag {
+            0 => Values::F32(r.f32s(nnz)?),
+            t => match tag_format(t) {
+                Some(f) => Values::Dpr(DprBuffer::read_words(f, nnz, r)?),
+                None => return Err(WireError::BadTag { field: "csr value format", value: t }),
+            },
+        };
+        Ok(CsrMatrix { rows, cols, total_len, values, col_idx, row_ptr })
     }
 }
 

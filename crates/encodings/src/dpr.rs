@@ -399,6 +399,24 @@ impl DprBuffer {
         self.words.len() * 4
     }
 
+    /// Serializes just the packed words (format and length travel in the
+    /// caller's header) for `transfer::Wire::to_bytes`.
+    pub(crate) fn write_words(&self, out: &mut Vec<u8>) {
+        self.words.iter().for_each(|&w| crate::bytes::put_u32(out, w));
+    }
+
+    /// Reads the packed words for `len` values of `format` back out of a
+    /// byte cursor. The word count is fully determined by `(format, len)`,
+    /// so the only failure mode is truncation.
+    pub(crate) fn read_words(
+        format: DprFormat,
+        len: usize,
+        r: &mut crate::bytes::Reader,
+    ) -> Result<DprBuffer, crate::transfer::WireError> {
+        let words = r.u32s(len.div_ceil(format.values_per_word()))?;
+        Ok(DprBuffer { format, words, len })
+    }
+
     /// Decodes the buffer back to `f32` values.
     pub fn decode(&self) -> Vec<f32> {
         let mut out = vec![0.0f32; self.len];

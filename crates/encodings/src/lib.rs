@@ -24,6 +24,7 @@
 pub mod altfmt;
 pub mod binarize;
 pub mod bitpack;
+mod bytes;
 pub mod csr;
 pub mod dpr;
 pub mod encoded;
@@ -34,7 +35,7 @@ pub use binarize::{BitMask, PoolIndexMap};
 pub use csr::{CsrMatrix, SsdcConfig};
 pub use dpr::{DprFormat, RoundingMode};
 pub use encoded::EncodedTensor;
-pub use transfer::{max_wire_bytes, TransferCodec, Wire};
+pub use transfer::{max_wire_bytes, TransferCodec, Wire, WireError};
 
 /// Errors from encoding/decoding operations.
 #[derive(Debug, Clone, PartialEq, Eq)]

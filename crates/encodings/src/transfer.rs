@@ -16,8 +16,56 @@
 //! by design — it is the paper's precision-reduction ablation — but its
 //! loss is a pure per-element function, so it is still deterministic.
 
+use crate::bytes::{format_tag, put_f32, put_u32, tag_format, Reader};
 use crate::csr::{self, CsrMatrix, SsdcConfig};
 use crate::dpr::{DprBuffer, DprFormat};
+
+/// A malformed wire byte stream. Every variant is a *rejection*: the
+/// decoder's contract is that any byte slice — truncated, bit-flipped, or
+/// outright garbage — produces an `Err`, never a panic, and that any
+/// [`Wire`] it does accept can [`Wire::decode`] without panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before a field it promised.
+    Truncated {
+        /// Bytes the next field needed.
+        needed: usize,
+        /// Bytes actually remaining.
+        available: usize,
+    },
+    /// The leading magic was not `GWR1`.
+    BadMagic([u8; 4]),
+    /// A tag field held an unassigned value.
+    BadTag {
+        /// Which field.
+        field: &'static str,
+        /// The offending byte.
+        value: u8,
+    },
+    /// Fields were individually readable but mutually inconsistent.
+    Corrupt(&'static str),
+    /// Well-formed wire followed by extra bytes.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { needed, available } => {
+                write!(f, "truncated wire: needed {needed} bytes, {available} available")
+            }
+            WireError::BadMagic(m) => write!(f, "bad wire magic {m:02x?}"),
+            WireError::BadTag { field, value } => write!(f, "bad {field} tag {value}"),
+            WireError::Corrupt(why) => write!(f, "corrupt wire: {why}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after wire"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Leading magic of a serialized [`Wire`] ("Gist WiRe v1").
+const MAGIC: [u8; 4] = *b"GWR1";
 
 /// Which codec a transfer rides through.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -178,6 +226,82 @@ impl Wire {
         self.decode_into(&mut out);
         out
     }
+
+    /// Serializes to a self-describing little-endian byte buffer:
+    /// magic `GWR1`, codec tag, element count, codec payload, fixup list.
+    /// [`Self::from_bytes`] round-trips it exactly.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        assert!(self.len <= u32::MAX as usize, "wire length exceeds the u32 format field");
+        let mut out = Vec::with_capacity(self.wire_bytes() as usize + 32);
+        out.extend_from_slice(&MAGIC);
+        out.push(match self.codec() {
+            TransferCodec::None => 0,
+            TransferCodec::Ssdc => 1,
+            TransferCodec::Dpr(f) => 1 + format_tag(f),
+        });
+        put_u32(&mut out, self.len as u32);
+        match &self.payload {
+            Payload::Dense(v) => v.iter().for_each(|&x| put_f32(&mut out, x)),
+            Payload::Ssdc(c) => c.write_bytes(&mut out),
+            Payload::Dpr(b) => b.write_words(&mut out),
+        }
+        put_u32(&mut out, self.fixups.len() as u32);
+        self.fixups.iter().for_each(|&i| put_u32(&mut out, i));
+        out
+    }
+
+    /// Deserializes a [`Self::to_bytes`] buffer, validating every structural
+    /// invariant the decode kernels rely on (row-pointer monotonicity,
+    /// column indices inside their row, packed-word counts, fixup ordering)
+    /// so that a successfully parsed wire can always decode without
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on any truncation, unknown tag, or inconsistency —
+    /// malformed input never panics.
+    pub fn from_bytes(buf: &[u8]) -> Result<Wire, WireError> {
+        let mut r = Reader::new(buf);
+        let magic = r.bytes(4)?;
+        if magic != MAGIC {
+            return Err(WireError::BadMagic([magic[0], magic[1], magic[2], magic[3]]));
+        }
+        let tag = r.u8()?;
+        let len = r.u32()? as usize;
+        let payload = match tag {
+            0 => Payload::Dense(r.f32s(len)?),
+            1 => {
+                let c = CsrMatrix::read_bytes(&mut r)?;
+                if c.dense_len() != len {
+                    return Err(WireError::Corrupt("csr dense length disagrees with wire header"));
+                }
+                Payload::Ssdc(c)
+            }
+            t => match tag_format(t - 1) {
+                Some(f) => Payload::Dpr(DprBuffer::read_words(f, len, &mut r)?),
+                None => return Err(WireError::BadTag { field: "codec", value: t }),
+            },
+        };
+        let n_fixups = r.u32()? as usize;
+        if n_fixups > 0 && tag != 1 {
+            return Err(WireError::Corrupt("fixups on a non-ssdc wire"));
+        }
+        let fixups = r.u32s(n_fixups)?;
+        let mut prev: Option<u32> = None;
+        for &i in &fixups {
+            if prev.is_some_and(|p| i <= p) {
+                return Err(WireError::Corrupt("fixup indices not strictly increasing"));
+            }
+            if i as usize >= len {
+                return Err(WireError::Corrupt("fixup index out of range"));
+            }
+            prev = Some(i);
+        }
+        if r.remaining() != 0 {
+            return Err(WireError::TrailingBytes(r.remaining()));
+        }
+        Ok(Wire { payload, fixups, len })
+    }
 }
 
 /// Worst-case wire size (bytes) for `len` elements under `codec` — every
@@ -294,6 +418,61 @@ mod tests {
         assert_eq!(TransferCodec::parse("DPR:8"), Some(TransferCodec::Dpr(DprFormat::Fp8)));
         assert_eq!(TransferCodec::parse("zstd"), None);
         assert_eq!(TransferCodec::parse("dpr:7"), None);
+    }
+
+    #[test]
+    fn byte_roundtrip_is_exact_for_every_codec() {
+        for codec in [
+            TransferCodec::None,
+            TransferCodec::Ssdc,
+            TransferCodec::Dpr(DprFormat::Fp16),
+            TransferCodec::Dpr(DprFormat::Fp10),
+            TransferCodec::Dpr(DprFormat::Fp8),
+        ] {
+            for len in [0usize, 1, 255, 256, 257, 700] {
+                let wire = Wire::encode(codec, &hostile(len));
+                let bytes = wire.to_bytes();
+                let back = Wire::from_bytes(&bytes).expect("roundtrip parses");
+                // NaN payloads defeat PartialEq; re-serialization equality
+                // is the stronger bit-level statement anyway.
+                assert_eq!(back.to_bytes(), bytes, "{codec} len={len}");
+                assert_eq!((back.codec(), back.len()), (codec, len));
+                // The reconstructed wire decodes to the same bits.
+                let a: Vec<u32> = wire.decode().iter().map(|v| v.to_bits()).collect();
+                let b: Vec<u32> = back.decode().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(a, b, "{codec} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_truncation_errs_instead_of_panicking() {
+        let wire = Wire::encode(TransferCodec::Ssdc, &hostile(300));
+        let bytes = wire.to_bytes();
+        for cut in 0..bytes.len() {
+            let err = Wire::from_bytes(&bytes[..cut]);
+            assert!(err.is_err(), "prefix of {cut} bytes must not parse");
+        }
+    }
+
+    #[test]
+    fn corrupt_headers_are_rejected() {
+        let wire = Wire::encode(TransferCodec::Ssdc, &hostile(300));
+        let good = wire.to_bytes();
+        // Bad magic.
+        let mut b = good.clone();
+        b[0] ^= 0xff;
+        assert!(matches!(Wire::from_bytes(&b), Err(WireError::BadMagic(_))));
+        // Unassigned codec tag.
+        let mut b = good.clone();
+        b[4] = 9;
+        assert!(matches!(Wire::from_bytes(&b), Err(WireError::BadTag { .. })));
+        // Trailing garbage.
+        let mut b = good.clone();
+        b.push(0);
+        assert!(matches!(Wire::from_bytes(&b), Err(WireError::TrailingBytes(1))));
+        let control = Wire::from_bytes(&good).expect("control stays valid");
+        assert_eq!(control.to_bytes(), good);
     }
 
     #[test]

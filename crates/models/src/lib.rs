@@ -414,6 +414,45 @@ pub fn small_vgg(batch: usize, classes: usize) -> Graph {
     g
 }
 
+/// Canonical zoo names accepted by [`by_name`] — the single spelling list
+/// shared by the CLI's `--model` flag and gist-serve's job-spec grammar.
+pub const MODEL_NAMES: &[&str] = &[
+    "alexnet",
+    "alexnet-classic",
+    "nin",
+    "overfeat",
+    "vgg16",
+    "inception",
+    "resnet50",
+    "resnet-cifar",
+    "densenet",
+    "tiny-convnet",
+    "small-vgg",
+    "tiny-classic",
+];
+
+/// Builds a zoo model by its canonical name at the given minibatch size
+/// (`None` for an unknown name). The parameterised builders are pinned at
+/// their published depths (ResNet-110, DenseNet-BC-100) and the small
+/// trainable networks at 3 classes.
+pub fn by_name(name: &str, batch: usize) -> Option<Graph> {
+    Some(match name {
+        "alexnet" => alexnet(batch),
+        "alexnet-classic" => alexnet_classic(batch),
+        "nin" => nin(batch),
+        "overfeat" => overfeat(batch),
+        "vgg16" => vgg16(batch),
+        "inception" => inception(batch),
+        "resnet50" => resnet50(batch),
+        "resnet-cifar" => resnet_cifar(18, batch),
+        "densenet" => densenet_cifar(16, 12, batch),
+        "tiny-convnet" => tiny_convnet(batch, 3),
+        "small-vgg" => small_vgg(batch, 3),
+        "tiny-classic" => tiny_classic(batch, 3),
+        _ => return None,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -590,5 +629,15 @@ mod tests {
             assert!(g.infer_shapes().is_ok(), "{}", g.name());
             assert!(matches!(g.nodes().last().unwrap().op, gist_graph::OpKind::SoftmaxLoss));
         }
+    }
+
+    #[test]
+    fn every_canonical_name_builds_and_unknowns_do_not() {
+        for name in MODEL_NAMES {
+            let g = by_name(name, 2).unwrap_or_else(|| panic!("{name} must build"));
+            assert!(g.infer_shapes().is_ok(), "{name}");
+        }
+        assert!(by_name("resnet", 2).is_none());
+        assert!(by_name("", 2).is_none());
     }
 }

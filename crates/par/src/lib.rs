@@ -293,13 +293,70 @@ fn worker_loop(shared: &Shared) {
 
 static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
 
-/// Thread count from the environment: `GIST_THREADS` when set to a positive
-/// integer, else `available_parallelism()`.
-pub fn env_threads() -> usize {
-    match std::env::var("GIST_THREADS").ok().and_then(|s| s.trim().parse::<usize>().ok()) {
-        Some(n) if n >= 1 => n,
-        _ => std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1),
+/// Parses one configuration knob, falling back with a warning on garbage.
+///
+/// This is the single spelling-validation policy for every environment
+/// variable and CLI spec field in the workspace (`GIST_THREADS` here,
+/// `GIST_SIMD` in gist-simd, job-spec fields in gist-serve): a missing
+/// value silently takes the fallback, a present-but-unparseable value
+/// takes the fallback **and** returns a warning naming the knob, the
+/// rejected spelling, the accepted grammar, and the fallback. Callers
+/// decide where the warning goes (usually stderr) — the helper never
+/// prints, so it stays testable.
+///
+/// It lives in `gist-par` (below every other crate) and is re-exported
+/// from `gist-core` as the canonical path.
+pub fn parse_or_warn<T>(
+    source: &str,
+    knob: &str,
+    raw: Option<&str>,
+    expected: &str,
+    fallback_label: &str,
+    parse: impl FnOnce(&str) -> Option<T>,
+    fallback: impl FnOnce() -> T,
+) -> (T, Option<String>) {
+    match raw {
+        None => (fallback(), None),
+        Some(s) => match parse(s) {
+            Some(v) => (v, None),
+            None => (
+                fallback(),
+                Some(format!(
+                    "{source}: invalid {knob} value {s:?} (expected {expected}); \
+                     falling back to {fallback_label}"
+                )),
+            ),
+        },
     }
+}
+
+/// Resolves a raw `GIST_THREADS` value to a thread count plus an optional
+/// warning: a positive integer is honoured, anything else falls back to
+/// `available_parallelism()` (with a warning when a value was present but
+/// malformed). Split from [`env_threads`] so the policy is testable
+/// without touching the process environment.
+pub fn resolve_env_threads(raw: Option<&str>) -> (usize, Option<String>) {
+    parse_or_warn(
+        "gist-par",
+        "GIST_THREADS",
+        raw,
+        "a positive integer",
+        "available_parallelism",
+        |s| s.trim().parse::<usize>().ok().filter(|&n| n >= 1),
+        || std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1),
+    )
+}
+
+/// Thread count from the environment: `GIST_THREADS` when set to a positive
+/// integer, else `available_parallelism()` (warning on stderr when the
+/// variable is set but malformed).
+pub fn env_threads() -> usize {
+    let raw = std::env::var("GIST_THREADS").ok();
+    let (threads, warning) = resolve_env_threads(raw.as_deref());
+    if let Some(w) = warning {
+        eprintln!("{w}");
+    }
+    threads
 }
 
 /// The process-wide pool, created on first use from [`env_threads`].
@@ -520,6 +577,42 @@ where
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn parse_or_warn_accepts_valid_values_silently() {
+        let (v, w) = parse_or_warn("t", "K", Some("7"), "int", "1", |s| s.parse().ok(), || 1u32);
+        assert_eq!((v, w), (7, None));
+    }
+
+    #[test]
+    fn parse_or_warn_missing_value_takes_fallback_without_warning() {
+        let (v, w) = parse_or_warn("t", "K", None, "int", "1", |s| s.parse().ok(), || 1u32);
+        assert_eq!((v, w), (1, None));
+    }
+
+    #[test]
+    fn parse_or_warn_garbage_warns_and_falls_back() {
+        let (v, w) =
+            parse_or_warn("gist-x", "KNOB", Some("bogus"), "a|b", "a", |_| None::<u32>, || 9);
+        assert_eq!(v, 9);
+        let w = w.expect("garbage must warn");
+        assert!(w.contains("gist-x") && w.contains("KNOB"), "names source+knob: {w}");
+        assert!(w.contains("invalid") && w.contains("\"bogus\""), "names the spelling: {w}");
+        assert!(w.contains("a|b") && w.contains("falling back to a"), "names the grammar: {w}");
+    }
+
+    #[test]
+    fn resolve_env_threads_policy() {
+        let default = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+        assert_eq!(resolve_env_threads(Some(" 3 ")), (3, None));
+        assert_eq!(resolve_env_threads(None), (default, None));
+        for bad in ["0", "-1", "many", "", "2.5"] {
+            let (n, w) = resolve_env_threads(Some(bad));
+            assert_eq!(n, default, "garbage {bad:?} falls back");
+            let w = w.expect("garbage must warn");
+            assert!(w.contains("GIST_THREADS") && w.contains("invalid"), "{w}");
+        }
+    }
 
     #[test]
     fn parallel_for_covers_every_index_once() {

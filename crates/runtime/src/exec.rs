@@ -441,6 +441,15 @@ impl Executor {
         self.step_counter
     }
 
+    /// Restores the step counter on a freshly built executor — the resume
+    /// half of a park/resume cycle. The counter salts per-step dropout
+    /// masks ([`Self::steps_executed`] doubles as the mask epoch), so a
+    /// resumed job is bitwise-identical to an uninterrupted one only if
+    /// both its parameters *and* this counter are restored.
+    pub fn set_steps_executed(&mut self, steps: u64) {
+        self.step_counter = steps;
+    }
+
     /// The allocation policy this executor runs under.
     pub fn alloc_policy(&self) -> AllocPolicy {
         self.policy

@@ -34,9 +34,9 @@ pub use gist_offload::{OffloadMode, SwapStrategy};
 pub use optim::MomentumSgd;
 pub use params::ParamSet;
 pub use predict::{
-    predict_step_events, predict_step_events_for, predict_step_events_offload,
-    predicted_peak_bytes, predicted_peak_bytes_for, predicted_peak_bytes_offload,
-    predicted_replica_slab_bytes, ssdc_stash_sizes,
+    param_tensor_numels, predict_step_events, predict_step_events_for, predict_step_events_offload,
+    predicted_param_wire_bytes, predicted_peak_bytes, predicted_peak_bytes_for,
+    predicted_peak_bytes_offload, predicted_replica_slab_bytes, ssdc_stash_sizes,
 };
 pub use trainer::{train, train_loop, train_loop_traced, EpochStats, LrSchedule, TrainReport};
 

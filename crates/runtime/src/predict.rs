@@ -442,6 +442,56 @@ pub fn predicted_replica_slab_bytes(
     Ok((per, per * replicas as u64))
 }
 
+/// Element count of every learned-parameter tensor, in the fixed
+/// (node order, weight before bias) layout [`crate::params::ParamSet`]
+/// iterates. The serve layer's park path sizes one host-store slot per
+/// entry of this list, so park and resume agree on the layout by
+/// construction. Parameter shapes are seed-independent.
+///
+/// # Errors
+///
+/// Returns an error if the graph fails shape inference.
+pub fn param_tensor_numels(graph: &Graph) -> Result<Vec<usize>, RuntimeError> {
+    use crate::params::{NodeParams, ParamSet};
+    let params = ParamSet::init(graph, 0)?;
+    let mut numels = Vec::new();
+    for i in 0..graph.len() {
+        match params.get(i) {
+            Some(NodeParams::Conv { weight, bias }) | Some(NodeParams::Linear { weight, bias }) => {
+                numels.push(weight.numel());
+                if let Some(b) = bias {
+                    numels.push(b.numel());
+                }
+            }
+            Some(NodeParams::BatchNorm { gamma, beta }) => {
+                numels.push(gamma.numel());
+                numels.push(beta.numel());
+            }
+            None => {}
+        }
+    }
+    Ok(numels)
+}
+
+/// Worst-case wire bytes for parking a job's learned parameters under
+/// `codec`: the sum of [`gist_encodings::max_wire_bytes`] over every
+/// parameter tensor. A parked job's observed host-store footprint is
+/// bounded by this before it runs, so the admission controller can price
+/// a park without executing anything.
+///
+/// # Errors
+///
+/// As for [`param_tensor_numels`].
+pub fn predicted_param_wire_bytes(
+    graph: &Graph,
+    codec: gist_encodings::TransferCodec,
+) -> Result<u64, RuntimeError> {
+    Ok(param_tensor_numels(graph)?
+        .into_iter()
+        .map(|ne| gist_encodings::max_wire_bytes(ne, codec))
+        .sum())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,153 @@
+//! Parking a job's learned state through the gist-offload host store.
+//!
+//! Parking frees a job's device slab while preserving everything a
+//! bitwise-identical resume needs: every parameter tensor rides an
+//! SSDC-encoded [`Wire`] — serialized through [`Wire::to_bytes`] and
+//! re-parsed with [`Wire::from_bytes`], so the hardened byte decoder is on
+//! the production path, not just in tests — into one [`HostStore`] slot
+//! per tensor. The slot layout is [`gist_runtime::param_tensor_numels`]'s
+//! fixed (node order, weight before bias) order, which both park and
+//! resume iterate, so they agree by construction.
+//!
+//! The *other* cross-step executor state, the dropout-mask epoch, is the
+//! scheduler's job: it rebuilds executors and calls
+//! [`Executor::set_steps_executed`] alongside [`ParkedParams::resume_into`].
+
+use gist_encodings::{TransferCodec, Wire};
+use gist_offload::HostStore;
+use gist_runtime::params::NodeParams;
+use gist_runtime::Executor;
+use gist_tensor::Tensor;
+
+/// Walks a parameter set's tensors in the canonical park order.
+fn visit_params(exec: &Executor, mut f: impl FnMut(&Tensor)) {
+    for i in 0..exec.graph().len() {
+        match exec.params.get(i) {
+            Some(NodeParams::Conv { weight, bias }) | Some(NodeParams::Linear { weight, bias }) => {
+                f(weight);
+                if let Some(b) = bias {
+                    f(b);
+                }
+            }
+            Some(NodeParams::BatchNorm { gamma, beta }) => {
+                f(gamma);
+                f(beta);
+            }
+            None => {}
+        }
+    }
+}
+
+/// A parked job's learned parameters, SSDC-encoded in host pinned slots.
+#[derive(Debug)]
+pub struct ParkedParams {
+    store: HostStore,
+}
+
+impl ParkedParams {
+    /// Encodes every parameter tensor of `exec` into the host store,
+    /// round-tripping each wire through its byte serialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the executor's graph fails shape inference (impossible
+    /// for a graph that already built an executor).
+    pub fn park(exec: &Executor) -> ParkedParams {
+        let numels = gist_runtime::param_tensor_numels(exec.graph())
+            .expect("an executed graph infers shapes");
+        let mut store = HostStore::new(&numels);
+        let mut slot = 0;
+        visit_params(exec, |t| {
+            let bytes = Wire::encode(TransferCodec::Ssdc, t.data()).to_bytes();
+            let wire = Wire::from_bytes(&bytes).expect("self-produced wire bytes always parse");
+            store.store_wire(slot, wire);
+            slot += 1;
+        });
+        debug_assert_eq!(slot, numels.len(), "param walk disagrees with numel layout");
+        ParkedParams { store }
+    }
+
+    /// Decodes every parked tensor back into `exec`'s parameters (SSDC is
+    /// lossless, fixups included, so the restore is bitwise). Call once
+    /// per replica — every replica must receive the identical restore.
+    pub fn resume_into(&self, exec: &mut Executor) {
+        let n = exec.graph().len();
+        let mut slot = 0;
+        let write = |t: &mut Tensor, store: &HostStore, slot: &mut usize| {
+            store.load_wire(*slot).decode_into(t.data_mut());
+            *slot += 1;
+        };
+        for i in 0..n {
+            match exec.params.get_mut(i) {
+                Some(NodeParams::Conv { weight, bias })
+                | Some(NodeParams::Linear { weight, bias }) => {
+                    write(weight, &self.store, &mut slot);
+                    if let Some(b) = bias {
+                        write(b, &self.store, &mut slot);
+                    }
+                }
+                Some(NodeParams::BatchNorm { gamma, beta }) => {
+                    write(gamma, &self.store, &mut slot);
+                    write(beta, &self.store, &mut slot);
+                }
+                None => {}
+            }
+        }
+    }
+
+    /// Observed encoded bytes this parked job holds on the host.
+    pub fn wire_bytes(&self) -> u64 {
+        self.store.stored_wire_bytes()
+    }
+
+    /// Plan-time pinned bytes of the underlying slots (the dense bound).
+    pub fn pinned_bytes(&self) -> u64 {
+        self.store.pinned_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gist_runtime::{ExecMode, SyntheticImages};
+
+    fn param_bits(exec: &Executor) -> Vec<u32> {
+        let mut bits = Vec::new();
+        visit_params(exec, |t| bits.extend(t.data().iter().map(|v| v.to_bits())));
+        bits
+    }
+
+    #[test]
+    fn park_then_resume_restores_every_parameter_bit() {
+        let g = gist_models::tiny_convnet(2, 3);
+        let mut ds = SyntheticImages::new(3, 16, 0.3, 9);
+        let mut exec = Executor::new(g, ExecMode::Baseline, 5).unwrap();
+        let (x, y) = ds.minibatch(2);
+        exec.step(&x, &y, 0.05).unwrap();
+        let want = param_bits(&exec);
+
+        let parked = ParkedParams::park(&exec);
+        assert!(parked.wire_bytes() > 0);
+
+        // Drift the executor, then restore.
+        let (x2, y2) = ds.minibatch(2);
+        exec.step(&x2, &y2, 0.05).unwrap();
+        assert_ne!(param_bits(&exec), want, "second step must move parameters");
+        parked.resume_into(&mut exec);
+        assert_eq!(param_bits(&exec), want, "resume must be bitwise");
+    }
+
+    #[test]
+    fn park_footprint_is_bounded_by_the_predictor() {
+        let g = gist_models::small_vgg(2, 3);
+        let exec = Executor::new(g.clone(), ExecMode::Baseline, 5).unwrap();
+        let parked = ParkedParams::park(&exec);
+        let bound = gist_runtime::predicted_param_wire_bytes(&g, TransferCodec::Ssdc).unwrap();
+        assert!(
+            parked.wire_bytes() <= bound,
+            "{} observed > {} predicted",
+            parked.wire_bytes(),
+            bound
+        );
+    }
+}

@@ -137,27 +137,34 @@ pub fn parse_level(s: &str) -> Option<Level> {
 /// different vector width, so a typo can change speed but not which
 /// vector ISA a differential run believes it is testing.
 pub fn resolve_env(raw: Option<&str>) -> (Level, Option<String>) {
-    match raw {
-        None => (detected_level(), None),
-        Some(s) => match parse_level(s) {
-            Some(l) if l <= detected_level() => (l, None),
-            Some(l) => (
-                Level::Scalar,
-                Some(format!(
-                    "gist-simd: GIST_SIMD={} not supported on this CPU (detected {}); \
-                     falling back to scalar",
-                    l.name(),
-                    detected_level().name()
-                )),
-            ),
-            None => (
-                Level::Scalar,
-                Some(format!(
-                    "gist-simd: invalid GIST_SIMD value {s:?} (expected scalar|sse2|avx2); \
-                     falling back to scalar"
-                )),
-            ),
-        },
+    // Spelling validation goes through the workspace-wide `parse_or_warn`
+    // policy (shared with `GIST_THREADS` and the serve job-spec grammar);
+    // the unsupported-on-this-CPU check is domain knowledge layered on top.
+    let Some(s) = raw else { return (detected_level(), None) };
+    let (parsed, warning) = gist_par::parse_or_warn(
+        "gist-simd",
+        "GIST_SIMD",
+        Some(s),
+        "scalar|sse2|avx2",
+        "scalar",
+        parse_level,
+        || Level::Scalar,
+    );
+    if warning.is_some() {
+        return (Level::Scalar, warning);
+    }
+    if parsed <= detected_level() {
+        (parsed, None)
+    } else {
+        (
+            Level::Scalar,
+            Some(format!(
+                "gist-simd: GIST_SIMD={} not supported on this CPU (detected {}); \
+                 falling back to scalar",
+                parsed.name(),
+                detected_level().name()
+            )),
+        )
     }
 }
 

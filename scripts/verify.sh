@@ -23,6 +23,11 @@
 #      by step 2): merged updates bitwise-invariant across replica counts,
 #      codecs on every wire, executed-cDMA bytes priced exactly — plus a
 #      CLI smoke of `train --replicas N --grad-codec ssdc|dpr:8`
+#   8. the serve gate (tests/serve_equivalence.rs, run twice by step 2):
+#      every job in a concurrent mix fingerprints bitwise-identical to its
+#      solo run across interleavings/threads/alloc, the budget oracle holds
+#      on 64+ random mixes, park/resume is invisible — plus a CLI smoke of
+#      `serve` running a scripted 4-job mix under a tight --mem-budget
 #
 # Run this before committing; record what changed in CHANGELOG.md and
 # append a one-line summary to CHANGES.md as usual.
@@ -69,5 +74,15 @@ out=$(cargo run --release -q --offline -p gist-cli -- \
     train tiny-convnet --batch 2 --steps 1 --replicas 4 --grad-codec dpr:8)
 echo "$out"
 grep -q "replica slab:" <<<"$out" && grep -q "all-reduce" <<<"$out"
+
+echo "==> CLI serve smoke (scripted 4-job mix under a tight budget)"
+out=$(cargo run --release -q --offline -p gist-cli -- \
+    serve --mem-budget 96k --order rotating)
+echo "$out"
+grep -q "4/4 jobs completed" <<<"$out"
+grep -q "budget oracle ok" <<<"$out"
+# 96 KiB is roughly half the mix's summed leases, so the scheduler must
+# queue and park to fit — the smoke asserts that actually happened.
+grep -Eq "[1-9][0-9]* park" <<<"$out"
 
 echo "verify: all tier-1 checks passed"

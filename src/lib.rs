@@ -24,6 +24,7 @@ pub mod prelude {
     pub use gist_offload::OffloadMode;
     pub use gist_perf::SwapStrategy;
     pub use gist_runtime::{train, ExecMode, Executor, SyntheticImages};
+    pub use gist_serve::{JobSpec, ServeConfig, Server};
     pub use gist_tensor::{Shape, Tensor};
 }
 
@@ -38,5 +39,6 @@ pub use gist_offload as offload;
 pub use gist_par as par;
 pub use gist_perf as perf;
 pub use gist_runtime as runtime;
+pub use gist_serve as serve;
 pub use gist_simd as simd;
 pub use gist_tensor as tensor;

@@ -433,3 +433,114 @@ fn link_engine_is_causal_on_random_reduction_topologies() {
             },
         );
 }
+
+// ---------------------------------------------------------------------------
+// Wire byte-level hardening: malformed bytes are errors, never panics
+// ---------------------------------------------------------------------------
+
+/// A hostile payload: denormals, NaN, ±Inf, ±0, and a run of zeros long
+/// enough that SSDC emits fixups and a multi-row CSR.
+fn hostile_payload() -> Vec<f32> {
+    let mut v = vec![
+        f32::NAN,
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        -0.0,
+        0.0,
+        f32::MIN_POSITIVE / 2.0,
+        1.5e-39,
+        -7.25,
+    ];
+    v.extend(std::iter::repeat_n(0.0, 300));
+    v.extend((0..200).map(|i| (i as f32 - 100.0) * 0.37));
+    v
+}
+
+fn wire_codecs() -> Vec<gist::encodings::TransferCodec> {
+    use gist::encodings::TransferCodec;
+    vec![
+        TransferCodec::None,
+        TransferCodec::Ssdc,
+        TransferCodec::Dpr(DprFormat::Fp16),
+        TransferCodec::Dpr(DprFormat::Fp10),
+        TransferCodec::Dpr(DprFormat::Fp8),
+    ]
+}
+
+/// Round-trip: `to_bytes → from_bytes` reproduces the wire bit-for-bit
+/// (compared through re-serialization, which is NaN-proof) and decodes to
+/// the same values for every codec.
+#[test]
+fn wire_bytes_roundtrip_for_every_codec() {
+    use gist::encodings::Wire;
+    let data = hostile_payload();
+    for codec in wire_codecs() {
+        let wire = Wire::encode(codec, &data);
+        let bytes = wire.to_bytes();
+        let back = Wire::from_bytes(&bytes)
+            .unwrap_or_else(|e| panic!("{codec:?}: self-produced bytes rejected: {e}"));
+        assert_eq!(back.to_bytes(), bytes, "{codec:?}: re-serialization drifted");
+        let mut got = vec![0.0f32; data.len()];
+        back.decode_into(&mut got);
+        let mut want = vec![0.0f32; data.len()];
+        wire.decode_into(&mut want);
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&got), bits(&want), "{codec:?}: decode changed bits");
+    }
+}
+
+/// Every strict prefix of a valid wire is a clean `Err` — the decoder
+/// never panics, never over-reads, never returns a half-parsed `Ok`.
+#[test]
+fn truncated_wire_bytes_err_instead_of_panicking() {
+    use gist::encodings::Wire;
+    let data = hostile_payload();
+    for codec in wire_codecs() {
+        let bytes = Wire::encode(codec, &data).to_bytes();
+        for cut in 0..bytes.len() {
+            match Wire::from_bytes(&bytes[..cut]) {
+                Err(_) => {}
+                Ok(_) => panic!("{codec:?}: prefix of {cut}/{} bytes parsed", bytes.len()),
+            }
+        }
+    }
+}
+
+/// Single-byte corruption across the whole buffer either fails cleanly or
+/// yields a wire that still decodes without panicking — no input reaches
+/// an unchecked index or allocation.
+#[test]
+fn corrupt_wire_headers_are_rejected_not_trusted() {
+    use gist::encodings::Wire;
+    let data = hostile_payload();
+    for codec in wire_codecs() {
+        let bytes = Wire::encode(codec, &data).to_bytes();
+        // Flip every byte in the header region and a sample of the rest.
+        let positions: Vec<usize> =
+            (0..bytes.len().min(64)).chain((64..bytes.len()).step_by(97)).collect();
+        for pos in positions {
+            for flip in [0xffu8, 0x01, 0x80] {
+                let mut bad = bytes.clone();
+                bad[pos] ^= flip;
+                if let Ok(wire) = Wire::from_bytes(&bad) {
+                    // Validation passed (e.g. a corrupted length that is
+                    // still internally consistent): decoding into the
+                    // wire's own claimed length must still be safe.
+                    let mut out = vec![0.0f32; wire.len()];
+                    wire.decode_into(&mut out);
+                }
+            }
+        }
+        // Wrong magic and an undefined codec tag are specific errors.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(Wire::from_bytes(&bad).is_err(), "{codec:?}: bad magic accepted");
+        let mut bad = bytes.clone();
+        bad[4] = 0x7f;
+        assert!(Wire::from_bytes(&bad).is_err(), "{codec:?}: tag 0x7f accepted");
+        // Trailing garbage is not silently ignored.
+        let mut bad = bytes.clone();
+        bad.push(0);
+        assert!(Wire::from_bytes(&bad).is_err(), "{codec:?}: trailing byte accepted");
+    }
+}

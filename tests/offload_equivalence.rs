@@ -272,3 +272,63 @@ fn recompute_plans_rebuild_every_read_stash_exactly_once() {
         },
     );
 }
+
+// ---------------------------------------------------------------------------
+// Park/resume through the host store (the serve layer's offload path)
+// ---------------------------------------------------------------------------
+
+/// Parking a job mid-run — parameters SSDC-encoded into the host store,
+/// executor torn down — and resuming into a freshly built executor is
+/// bitwise invisible, on randomly generated chains. The resume restores
+/// both halves of the cross-step state: every parameter bit
+/// (`ParkedParams::resume_into`) and the dropout-mask epoch
+/// (`Executor::set_steps_executed`); forgetting either must fail this
+/// property, so it is the offload-side guarantee the serve scheduler's
+/// equivalence gate stands on.
+#[test]
+fn park_and_resume_into_a_fresh_executor_is_bitwise_invisible() {
+    use gist::serve::ParkedParams;
+    Runner::new("park_and_resume_into_a_fresh_executor_is_bitwise_invisible").cases(32).run(
+        &vec_of(layer_strategy(), 1..6),
+        |choices: &Vec<LayerChoice>| {
+            let g = build_chain(choices);
+            let seed = 9 + choices.len() as u64;
+            let total_steps = 4usize;
+            let park_after = 1 + choices.len() % 3; // 1..=3 of 4 steps
+
+            // Reference: one uninterrupted run. The chain input is
+            // batch 2 of 3-channel 16x16 images.
+            let chain_batch = 2;
+            let mut ds = SyntheticImages::rgb(3, 16, 0.35, 23);
+            let mut exec = Executor::new(g.clone(), ExecMode::Baseline, seed).expect("executor");
+            let mut want = Vec::new();
+            for _ in 0..total_steps {
+                let (x, y) = ds.minibatch(chain_batch);
+                want.push(exec.step(&x, &y, 0.05).expect("step").loss.to_bits());
+            }
+
+            // Interrupted run: same data stream, park at the boundary.
+            let mut ds = SyntheticImages::rgb(3, 16, 0.35, 23);
+            let mut exec = Executor::new(g.clone(), ExecMode::Baseline, seed).expect("executor");
+            let mut got = Vec::new();
+            for _ in 0..park_after {
+                let (x, y) = ds.minibatch(chain_batch);
+                got.push(exec.step(&x, &y, 0.05).expect("step").loss.to_bits());
+            }
+            let parked = ParkedParams::park(&exec);
+            assert!(parked.wire_bytes() > 0);
+            drop(exec);
+
+            // A fresh executor starts from init params at step epoch 0;
+            // the resume must overwrite both.
+            let mut exec = Executor::new(g.clone(), ExecMode::Baseline, seed).expect("executor");
+            parked.resume_into(&mut exec);
+            exec.set_steps_executed(park_after as u64);
+            for _ in park_after..total_steps {
+                let (x, y) = ds.minibatch(chain_batch);
+                got.push(exec.step(&x, &y, 0.05).expect("step").loss.to_bits());
+            }
+            assert_eq!(got, want, "park@{park_after} changed the trajectory");
+        },
+    );
+}

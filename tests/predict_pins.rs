@@ -1,0 +1,149 @@
+//! Predictor pins: the static numbers the serve layer prices admissions
+//! with, held against execution.
+//!
+//! `gist-serve` trusts [`gist::runtime::predicted_replica_slab_bytes`]
+//! enough to *lease device memory on it before a job runs*. This suite
+//! pins that trust: for every executable small-zoo model × execution mode
+//! × allocation policy, the predicted peak equals the peak the executor's
+//! meter observes; the arena prediction equals the capacity of the slab
+//! the executor actually packs; the heap peak never exceeds the arena
+//! reservation (so one lease number covers both policies); and the replica
+//! arithmetic is exactly `per × replicas` for replicas ∈ {1, 2, 4}. For
+//! the full-size zoo the predictions are held to the structural invariants
+//! alone (no execution — vgg16 at batch 64 is not a unit test).
+
+use gist::obs::{MemoryAccountant, TraceSink};
+use gist::prelude::*;
+use gist::runtime::{
+    predicted_param_wire_bytes, predicted_peak_bytes_for, predicted_replica_slab_bytes,
+    ssdc_stash_sizes, AllocPolicy,
+};
+use std::collections::HashMap;
+
+const BATCH: usize = 4;
+const CLASSES: usize = 3;
+
+/// Models small enough to execute a traced step in a unit test.
+fn small_zoo() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("tiny-convnet", gist::models::tiny_convnet(BATCH, CLASSES)),
+        ("small-vgg", gist::models::small_vgg(BATCH, CLASSES)),
+        ("tiny-classic", gist::models::tiny_classic(BATCH, CLASSES)),
+    ]
+}
+
+fn modes() -> Vec<(&'static str, ExecMode)> {
+    vec![
+        ("baseline", ExecMode::Baseline),
+        ("lossless", ExecMode::Gist(GistConfig::lossless())),
+        ("fp8", ExecMode::Gist(GistConfig::lossy(DprFormat::Fp8))),
+    ]
+}
+
+/// One traced step under `policy`; returns (observed peak, arena capacity
+/// if the policy has one, observed ssdc stash sizes).
+fn observe(
+    graph: &Graph,
+    mode: &ExecMode,
+    policy: AllocPolicy,
+) -> (u64, Option<u64>, HashMap<String, u64>) {
+    let mut exec =
+        Executor::new_with_policy(graph.clone(), mode.clone(), 7, policy).expect("executor");
+    let mut ds = SyntheticImages::new(CLASSES, 16, 0.3, 11);
+    let (x, y) = ds.minibatch(BATCH);
+    let sink = TraceSink::new();
+    let stats = exec.step_traced(&x, &y, 0.05, &sink).expect("step");
+    let trace = sink.take();
+    let mut acc = MemoryAccountant::new();
+    acc.fold_all(&trace).expect("well-formed stream");
+    assert_eq!(acc.peak_bytes(), stats.peak_live_bytes as u64, "meter vs accountant");
+    (acc.peak_bytes(), exec.arena_capacity_bytes().map(|c| c as u64), ssdc_stash_sizes(&trace))
+}
+
+#[test]
+fn predicted_peak_matches_observed_for_small_zoo_both_policies() {
+    for (net, graph) in small_zoo() {
+        for (label, mode) in modes() {
+            let (heap_peak, none, ssdc) = observe(&graph, &mode, AllocPolicy::Heap);
+            assert!(none.is_none(), "{net}: heap policy has no arena");
+            let predicted_heap = predicted_peak_bytes_for(&graph, &mode, AllocPolicy::Heap, &ssdc)
+                .unwrap_or_else(|e| panic!("{net}/{label}: {e}"));
+            assert_eq!(predicted_heap, heap_peak, "{net}/{label}: heap peak pin");
+
+            let (arena_peak, capacity, _) = observe(&graph, &mode, AllocPolicy::Arena);
+            let predicted_arena =
+                predicted_peak_bytes_for(&graph, &mode, AllocPolicy::Arena, &HashMap::new())
+                    .unwrap_or_else(|e| panic!("{net}/{label}: {e}"));
+            assert_eq!(predicted_arena, arena_peak, "{net}/{label}: arena peak pin");
+            // The predicted peak fits inside the slab the executor packed
+            // (capacity is the packed-plan total, so it may carry padding
+            // above the peak, never the other way round).
+            let capacity = capacity.unwrap_or_else(|| panic!("{net}/{label}: no arena"));
+            assert!(
+                predicted_arena <= capacity,
+                "{net}/{label}: predicted peak {predicted_arena} exceeds slab {capacity}"
+            );
+            // One lease covers both policies: a heap job never outgrows
+            // the arena reservation its lease was priced from.
+            assert!(
+                heap_peak <= predicted_arena,
+                "{net}/{label}: heap peak {heap_peak} exceeds arena lease {predicted_arena}"
+            );
+        }
+    }
+}
+
+#[test]
+fn replica_slab_bytes_is_per_slab_times_replicas() {
+    for (net, graph) in small_zoo() {
+        for (label, mode) in modes() {
+            let arena =
+                predicted_peak_bytes_for(&graph, &mode, AllocPolicy::Arena, &HashMap::new())
+                    .unwrap();
+            for replicas in [1usize, 2, 4] {
+                let (per, total) = predicted_replica_slab_bytes(&graph, &mode, replicas).unwrap();
+                assert_eq!(per, arena, "{net}/{label}: per-replica slab vs arena peak");
+                assert_eq!(
+                    total,
+                    per * replicas as u64,
+                    "{net}/{label}: total at {replicas} replicas"
+                );
+            }
+        }
+    }
+}
+
+/// The full zoo, prediction-only: every canonical model prices without
+/// error, deterministically, with sane structure. This is what a serve
+/// admission controller runs at submit time for models far too large to
+/// train in a test.
+#[test]
+fn every_canonical_model_prices_admission_statically() {
+    for name in gist::models::MODEL_NAMES {
+        let graph = gist::models::by_name(name, 2).expect("canonical name");
+        let mode = ExecMode::Gist(GistConfig::lossless());
+        let (per, total) = predicted_replica_slab_bytes(&graph, &mode, 4)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(per > 0, "{name}: empty slab prediction");
+        assert_eq!(total, per * 4, "{name}: replica arithmetic");
+        // Deterministic: pricing twice gives the same lease.
+        assert_eq!(
+            predicted_replica_slab_bytes(&graph, &mode, 4).unwrap(),
+            (per, total),
+            "{name}: prediction is not deterministic"
+        );
+        // The park-side bound prices too, and a parked job's encoded
+        // parameters are never larger than ~9/8 of their dense bytes
+        // (SSDC worst case) — sanity, not exactness.
+        let wire = predicted_param_wire_bytes(&graph, gist::encodings::TransferCodec::Ssdc)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(wire > 0, "{name}: no parameters to park");
+        let dense: u64 =
+            gist::runtime::param_tensor_numels(&graph).unwrap().iter().map(|&n| 4 * n as u64).sum();
+        assert!(wire >= dense, "{name}: SSDC worst case cannot beat dense ({wire} < {dense})");
+        assert!(
+            wire <= dense * 2 + 4096,
+            "{name}: park bound implausibly large ({wire} vs dense {dense})"
+        );
+    }
+}
