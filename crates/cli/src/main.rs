@@ -46,6 +46,7 @@ struct Args {
     steps: usize,
     trace: Option<String>,
     alloc: gist_runtime::AllocPolicy,
+    plan: gist_runtime::PlanGranularity,
     offload: gist_runtime::OffloadMode,
     replicas: usize,
     grad_codec: gist_dist::GradCodec,
@@ -76,6 +77,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         steps: 1,
         trace: None,
         alloc: gist_runtime::AllocPolicy::Heap,
+        plan: gist_runtime::PlanGranularity::Event,
         offload: gist_runtime::OffloadMode::None,
         replicas: 1,
         grad_codec: gist_dist::GradCodec::None,
@@ -106,6 +108,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     "arena" => gist_runtime::AllocPolicy::Arena,
                     other => return Err(format!("unknown alloc policy: {other}")),
                 };
+            }
+            "--plan" => {
+                let v = it.next().ok_or("--plan needs event or wave")?;
+                args.plan = gist_runtime::PlanGranularity::parse(v)
+                    .ok_or(format!("unknown plan granularity: {v} (try event|wave)"))?;
             }
             "--offload" => {
                 use gist_runtime::{OffloadMode, SwapStrategy};
@@ -162,7 +169,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
 fn usage() -> String {
     "usage: gist-cli <models|plan|breakdown|stashes|report|dot|trace|train|serve> [model] \
      [--batch N] [--mode baseline|lossless|fp16|fp10|fp8] [--dynamic] [--optimized-software] \
-     [--steps N] [--trace out.json] [--alloc heap|arena] \
+     [--steps N] [--trace out.json] [--alloc heap|arena] [--plan event|wave] \
      [--offload recompute|swap|swap:naive|swap:vdnn|swap:cdma] \
      [--replicas N] [--grad-codec none|ssdc|dpr:16|dpr:10|dpr:8] \
      [--mem-budget N[k|m]] [--job model,key=value,...]* [--order ascending|descending|rotating]"
@@ -275,7 +282,7 @@ fn run(args: Args) -> Result<(), String> {
 /// The scripted job mix `serve` runs when no `--job` is given: four small
 /// jobs spanning modes, alloc policies, replica counts and grad codecs.
 const DEFAULT_JOB_MIX: &[&str] = &[
-    "tiny-convnet,name=j0,steps=3",
+    "tiny-convnet,name=j0,steps=3,plan=wave",
     "tiny-classic,name=j1,steps=2,mode=fp8",
     "small-vgg,name=j2,steps=2,alloc=heap",
     "tiny-convnet,name=j3,steps=2,replicas=2,codec=ssdc",
@@ -364,6 +371,38 @@ fn run_serve(args: &Args) -> Result<(), String> {
 /// Runs `--steps` training steps on synthetic data, optionally recording an
 /// execution trace (`--trace out.json`, chrome://tracing format) and
 /// printing the aggregate counters report.
+/// FNV-1a over each step's loss bits plus every trained parameter bit —
+/// the fingerprint shape the equivalence gates pin, printed by `train` so
+/// `scripts/verify.sh` can demand bitwise-identical training across plan
+/// granularities and thread counts.
+fn train_fingerprint(loss_bits: &[u32], exec: &gist_runtime::Executor) -> u64 {
+    use gist_runtime::params::NodeParams;
+    let mut words: Vec<u32> = loss_bits.to_vec();
+    for i in 0..exec.graph().len() {
+        match exec.params.get(i) {
+            Some(NodeParams::Conv { weight, bias }) | Some(NodeParams::Linear { weight, bias }) => {
+                words.extend(weight.data().iter().map(|v| v.to_bits()));
+                if let Some(b) = bias {
+                    words.extend(b.data().iter().map(|v| v.to_bits()));
+                }
+            }
+            Some(NodeParams::BatchNorm { gamma, beta }) => {
+                words.extend(gamma.data().iter().map(|v| v.to_bits()));
+                words.extend(beta.data().iter().map(|v| v.to_bits()));
+            }
+            None => {}
+        }
+    }
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for w in words {
+        for byte in w.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    h
+}
+
 fn run_train(graph: Graph, mode: gist_runtime::ExecMode, args: &Args) -> Result<(), String> {
     let shapes = graph.infer_shapes().map_err(|e| e.to_string())?;
     let loss = graph
@@ -378,11 +417,21 @@ fn run_train(graph: Graph, mode: gist_runtime::ExecMode, args: &Args) -> Result<
     } else {
         gist_runtime::SyntheticImages::new(classes, input.h(), 0.3, 42)
     };
-    let mut exec =
-        gist_runtime::Executor::new_with_offload(graph, mode, 7, args.alloc, args.offload)
-            .map_err(|e| e.to_string())?;
+    let mut exec = gist_runtime::Executor::new_with_granularity(
+        graph,
+        mode,
+        7,
+        args.alloc,
+        args.offload,
+        args.plan,
+    )
+    .map_err(|e| e.to_string())?;
     if let Some(capacity) = exec.arena_capacity_bytes() {
-        println!("arena slab: {:.1} KB pre-planned", capacity as f64 / 1024.0);
+        println!(
+            "arena slab: {:.1} KB pre-planned ({} granularity)",
+            capacity as f64 / 1024.0,
+            exec.plan_granularity()
+        );
     }
     if let Some(plan) = exec.offload_plan() {
         let r = gist_offload::simulate(exec.graph(), plan, &gist_perf::GpuModel::titan_x())
@@ -403,9 +452,11 @@ fn run_train(graph: Graph, mode: gist_runtime::ExecMode, args: &Args) -> Result<
     let sink = gist_obs::TraceSink::new();
     let null = gist_obs::NullRecorder;
     let rec: &dyn gist_obs::Recorder = if args.trace.is_some() { &sink } else { &null };
+    let mut loss_bits = Vec::with_capacity(args.steps);
     for step in 0..args.steps {
         let (x, y) = ds.minibatch(args.batch);
         let stats = exec.step_traced(&x, &y, 0.05, rec).map_err(|e| e.to_string())?;
+        loss_bits.push(stats.loss.to_bits());
         println!(
             "step {:>3}: loss {:.4}  acc {:5.1}%  peak live {:.1} KB  stash {:.1} KB",
             step,
@@ -415,6 +466,7 @@ fn run_train(graph: Graph, mode: gist_runtime::ExecMode, args: &Args) -> Result<
             stats.stash_bytes as f64 / 1024.0
         );
     }
+    println!("train fingerprint: 0x{:016x}", train_fingerprint(&loss_bits, &exec));
     if let Some(path) = &args.trace {
         let events = sink.take();
         std::fs::write(path, gist_obs::export_chrome(&events)).map_err(|e| e.to_string())?;
@@ -448,16 +500,29 @@ fn run_train_dist(graph: Graph, mode: gist_runtime::ExecMode, args: &Args) -> Re
     } else {
         gist_runtime::SyntheticImages::new(classes, input.h(), 0.3, 42)
     };
-    let (per, total) = gist_runtime::predicted_replica_slab_bytes(&graph, &mode, args.replicas)
-        .map_err(|e| e.to_string())?;
+    let (per, total) = gist_runtime::predicted_replica_slab_bytes_granular(
+        &graph,
+        &mode,
+        args.replicas,
+        args.plan,
+    )
+    .map_err(|e| e.to_string())?;
     println!(
-        "replica slab: {:.1} KB per replica, {:.1} KB across {} replica(s)",
+        "replica slab: {:.1} KB per replica, {:.1} KB across {} replica(s) ({} granularity)",
         per as f64 / 1024.0,
         total as f64 / 1024.0,
-        args.replicas
+        args.replicas,
+        args.plan
     );
     let mut trainer = DistTrainer::new(args.replicas, shards, args.grad_codec, || {
-        gist_runtime::Executor::new_with_policy(graph.clone(), mode.clone(), 7, args.alloc)
+        gist_runtime::Executor::new_with_granularity(
+            graph.clone(),
+            mode.clone(),
+            7,
+            args.alloc,
+            gist_runtime::OffloadMode::None,
+            args.plan,
+        )
     })
     .map_err(|e| e.to_string())?;
     let gpu = gist_perf::GpuModel::titan_x();
@@ -710,6 +775,42 @@ mod tests {
         ]))
         .unwrap();
         run(a).unwrap();
+    }
+
+    #[test]
+    fn parses_plan_granularity_and_trains_wave_arena() {
+        let a = parse_args(&args(&[
+            "train",
+            "tiny-convnet",
+            "--batch",
+            "2",
+            "--alloc",
+            "arena",
+            "--plan",
+            "wave",
+        ]))
+        .unwrap();
+        assert_eq!(a.plan, gist_runtime::PlanGranularity::Wave);
+        run(a).unwrap();
+        // Wave planning composes with the distributed path (lease pricing
+        // and replica construction both take the granularity).
+        let a = parse_args(&args(&[
+            "train",
+            "tiny-convnet",
+            "--batch",
+            "2",
+            "--replicas",
+            "2",
+            "--alloc",
+            "arena",
+            "--plan",
+            "wave",
+        ]))
+        .unwrap();
+        run(a).unwrap();
+        // Unlike serve's key=value grammar, a bad --plan is a hard error.
+        assert!(parse_args(&args(&["train", "tiny-convnet", "--plan", "tick"])).is_err());
+        assert!(parse_args(&args(&["train", "tiny-convnet", "--plan"])).is_err());
     }
 
     #[test]

@@ -68,14 +68,32 @@ impl BitMask {
         if dy.len() != self.len {
             return Err(EncodingError::LengthMismatch { expected: self.len, actual: dy.len() });
         }
+        let mut dx = vec![0.0f32; dy.len()];
+        self.relu_backward_into(dy, &mut dx)?;
+        Ok(dx)
+    }
+
+    /// [`Self::relu_backward`] writing into a preallocated buffer (e.g. a
+    /// planned arena side region). Every element of `dx` is overwritten;
+    /// bit-exact with [`Self::relu_backward`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::relu_backward`], plus a mismatch on `dx.len()`.
+    pub fn relu_backward_into(&self, dy: &[f32], dx: &mut [f32]) -> Result<(), EncodingError> {
+        if dy.len() != self.len {
+            return Err(EncodingError::LengthMismatch { expected: self.len, actual: dy.len() });
+        }
+        if dx.len() != self.len {
+            return Err(EncodingError::LengthMismatch { expected: self.len, actual: dx.len() });
+        }
         // Grain is a multiple of 32, so every chunk starts on a word
         // boundary (select_by_mask's contract).
         const GRAIN: usize = 1 << 14;
-        let mut dx = vec![0.0f32; dy.len()];
-        parallel_chunks_mut(&mut dx, GRAIN, |ci, chunk| {
+        parallel_chunks_mut(dx, GRAIN, |ci, chunk| {
             gist_simd::select_by_mask(&self.words, dy, ci * GRAIN, chunk);
         });
-        Ok(dx)
+        Ok(())
     }
 }
 

@@ -10,6 +10,7 @@
 //! per op — which is what turns the planner's footprint numbers from
 //! accounting into a measured property of execution.
 
+use crate::granularity::{coarsen_lifetimes, PlanGranularity};
 use crate::layout::{plan_offsets_aligned, LayoutViolation, OffsetPlan};
 use crate::observed_inventory;
 use gist_graph::DataStructure;
@@ -83,15 +84,37 @@ pub struct Arena {
 impl Arena {
     /// Builds an arena for a step whose memory behavior is described by
     /// `events` (typically the *predicted* stream for the planned mode, so
-    /// the slab exists before the first kernel runs).
+    /// the slab exists before the first kernel runs). Lifetimes are packed
+    /// tick-exact ([`PlanGranularity::Event`]); the slab is only sound for
+    /// an executor that serializes each wave.
     ///
     /// # Errors
     ///
     /// See [`ArenaError`].
     pub fn from_events(events: &[Event]) -> Result<Self, ArenaError> {
+        Self::from_events_granular(events, PlanGranularity::Event, &[])
+    }
+
+    /// [`Arena::from_events`] with an explicit granularity. Under
+    /// [`PlanGranularity::Wave`], every lifetime is widened to the wave
+    /// `groups` (inclusive tick ranges on the stream's accountant timeline)
+    /// it intersects before packing, so any two buffers of one wave get
+    /// disjoint regions — the plan the executor may run wave items on the
+    /// thread pool against. The coarsening happens *here*, in the planner,
+    /// so the slab's soundness does not depend on the event stream already
+    /// being ordered conservatively.
+    ///
+    /// # Errors
+    ///
+    /// See [`ArenaError`].
+    pub fn from_events_granular(
+        events: &[Event],
+        granularity: PlanGranularity,
+        groups: &[(usize, usize)],
+    ) -> Result<Self, ArenaError> {
         let mut acc = MemoryAccountant::new();
         acc.fold_all(events).map_err(|e| ArenaError::Stream(e.to_string()))?;
-        let items = observed_inventory(&acc);
+        let items = coarsen_lifetimes(&observed_inventory(&acc), granularity, groups);
         let plan = plan_offsets_aligned(&items, ARENA_ALIGN);
         plan.verify_aligned(&items, ARENA_ALIGN).map_err(|v| match v {
             LayoutViolation::Overlap(a, b) => ArenaError::Layout(format!(
@@ -300,6 +323,24 @@ mod tests {
         // name-addressed handle table.
         let err = Arena::from_events(&[alloc("x", 4), free("x", 4), alloc("x", 4)]).unwrap_err();
         assert!(matches!(err, ArenaError::DuplicateName(_)));
+    }
+
+    #[test]
+    fn wave_granularity_separates_same_wave_back_to_back_buffers() {
+        // a.y is freed and c.y allocated inside one wave: event packing
+        // shares the region; wave packing must not, because the free and
+        // the alloc may race once the wave runs concurrently.
+        let events = vec![alloc("a.y", 64), free("a.y", 64), alloc("c.y", 64), free("c.y", 64)];
+        let event_plan = Arena::from_events(&events).unwrap();
+        assert_eq!(event_plan.region("a.y"), event_plan.region("c.y"));
+        assert_eq!(event_plan.capacity_bytes(), 64);
+        let wave_plan =
+            Arena::from_events_granular(&events, PlanGranularity::Wave, &[(0, 3)]).unwrap();
+        assert_ne!(wave_plan.region("a.y"), wave_plan.region("c.y"));
+        assert_eq!(wave_plan.capacity_bytes(), 128);
+        // Ticks outside every group keep event behavior.
+        let outside = Arena::from_events_granular(&events, PlanGranularity::Wave, &[]).unwrap();
+        assert_eq!(outside.capacity_bytes(), 64);
     }
 
     #[test]

@@ -1,0 +1,159 @@
+//! The plan-granularity seam: how finely buffer lifetimes are resolved
+//! when an offset plan is packed.
+//!
+//! [`PlanGranularity::Event`] keeps the accountant's tick-exact intervals:
+//! two buffers may share a region if their event-time lifetimes are
+//! disjoint, even when both belong to the same schedule wave. That plan is
+//! only sound if the executor *serializes* each wave, because event-time
+//! disjointness within a wave says nothing about real time once wave items
+//! run concurrently.
+//!
+//! [`PlanGranularity::Wave`] coarsens every lifetime to the boundaries of
+//! the wave groups it touches, so all buffers of a wave are treated as
+//! concurrently live. Any two same-wave buffers then overlap in plan time
+//! and must receive disjoint regions — which is exactly the invariant that
+//! makes it safe to run a wave's kernels on the `gist-par` pool while they
+//! read and write arena views. The price is capacity: wave plans can never
+//! be smaller than event plans over the same stream, and the delta is the
+//! measured cost of concurrency.
+//!
+//! A *wave group* is an inclusive tick range `(first, last)` on the
+//! accountant timeline covering every memory event a wave emitted. Groups
+//! are disjoint and sorted; ticks outside every group (offload
+//! materialization prologues, end-of-step close-out frees) stay
+//! event-granular, because the executor really does run them sequentially.
+
+use gist_graph::{DataStructure, Interval};
+
+/// How finely an offset plan resolves buffer lifetimes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlanGranularity {
+    /// Tick-exact lifetimes; sound only for serialized waves.
+    #[default]
+    Event,
+    /// Wave-coarsened lifetimes; sound for concurrent wave execution.
+    Wave,
+}
+
+impl PlanGranularity {
+    /// Parses `event|wave` (the CLI `--plan` spelling).
+    pub fn parse(s: &str) -> Option<PlanGranularity> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "event" => Some(PlanGranularity::Event),
+            "wave" => Some(PlanGranularity::Wave),
+            _ => None,
+        }
+    }
+
+    /// Display label (inverse of [`PlanGranularity::parse`]).
+    pub fn label(self) -> &'static str {
+        match self {
+            PlanGranularity::Event => "event",
+            PlanGranularity::Wave => "wave",
+        }
+    }
+}
+
+impl std::fmt::Display for PlanGranularity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Widens one lifetime to the boundaries of every wave group it intersects.
+///
+/// Because a buffer's liveness is contiguous and groups are disjoint and
+/// sorted, it suffices to stretch the start to the first intersected
+/// group's start and the end to the last intersected group's end.
+pub fn coarsen_interval(iv: Interval, groups: &[(usize, usize)]) -> Interval {
+    debug_assert!(groups.windows(2).all(|w| w[0].1 < w[1].0), "groups must be sorted, disjoint");
+    // First group whose end reaches the interval.
+    let lo = groups.partition_point(|&(_, last)| last < iv.start);
+    // One past the last group whose start is inside the interval.
+    let hi = groups.partition_point(|&(first, _)| first <= iv.end);
+    if lo >= hi {
+        return iv; // touches no group: stays event-granular
+    }
+    Interval::new(iv.start.min(groups[lo].0), iv.end.max(groups[hi - 1].1))
+}
+
+/// Returns the inventory with every lifetime coarsened per `granularity`:
+/// a no-op under [`PlanGranularity::Event`], wave-group widening under
+/// [`PlanGranularity::Wave`].
+pub fn coarsen_lifetimes(
+    items: &[DataStructure],
+    granularity: PlanGranularity,
+    groups: &[(usize, usize)],
+) -> Vec<DataStructure> {
+    let mut out = items.to_vec();
+    if granularity == PlanGranularity::Wave {
+        for d in &mut out {
+            d.interval = coarsen_interval(d.interval, groups);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gist_graph::{DataClass, NodeId, TensorRole};
+
+    fn ds(name: &str, bytes: usize, start: usize, end: usize) -> DataStructure {
+        DataStructure {
+            name: name.into(),
+            role: TensorRole::FeatureMap(NodeId::new(0)),
+            class: DataClass::ImmediateFmap,
+            bytes,
+            interval: Interval::new(start, end),
+        }
+    }
+
+    #[test]
+    fn parse_and_label_roundtrip() {
+        for g in [PlanGranularity::Event, PlanGranularity::Wave] {
+            assert_eq!(PlanGranularity::parse(g.label()), Some(g));
+        }
+        assert_eq!(PlanGranularity::parse(" WAVE "), Some(PlanGranularity::Wave));
+        assert_eq!(PlanGranularity::parse("tick"), None);
+        assert_eq!(PlanGranularity::default(), PlanGranularity::Event);
+    }
+
+    #[test]
+    fn coarsening_widens_to_intersected_group_bounds() {
+        let groups = [(2, 5), (8, 11)];
+        // Entirely inside one group: widened to the group.
+        assert_eq!(coarsen_interval(Interval::new(3, 4), &groups), Interval::new(2, 5));
+        // Spanning both groups: widened to the union's bounds.
+        assert_eq!(coarsen_interval(Interval::new(4, 9), &groups), Interval::new(2, 11));
+        // Starting before a group, ending inside: only the end stretches.
+        assert_eq!(coarsen_interval(Interval::new(0, 3), &groups), Interval::new(0, 5));
+        // Between groups, touching neither: unchanged.
+        assert_eq!(coarsen_interval(Interval::new(6, 7), &groups), Interval::new(6, 7));
+        // After every group: unchanged.
+        assert_eq!(coarsen_interval(Interval::new(12, 14), &groups), Interval::new(12, 14));
+    }
+
+    #[test]
+    fn wave_coarsening_makes_same_wave_buffers_overlap() {
+        // Back-to-back lifetimes inside one wave group: event-disjoint,
+        // wave-overlapping — the whole point of the seam.
+        let items = vec![ds("a", 64, 2, 3), ds("b", 64, 4, 5)];
+        let groups = [(2, 5)];
+        assert!(!items[0].interval.overlaps(&items[1].interval));
+        let event = coarsen_lifetimes(&items, PlanGranularity::Event, &groups);
+        assert_eq!(event[0].interval, items[0].interval);
+        let wave = coarsen_lifetimes(&items, PlanGranularity::Wave, &groups);
+        assert!(wave[0].interval.overlaps(&wave[1].interval));
+        assert_eq!(wave[0].interval, Interval::new(2, 5));
+        assert_eq!(wave[1].interval, Interval::new(2, 5));
+    }
+
+    #[test]
+    fn ticks_outside_every_group_stay_event_granular() {
+        let items = vec![ds("prologue", 32, 0, 1), ds("closeout", 32, 12, 13)];
+        let wave = coarsen_lifetimes(&items, PlanGranularity::Wave, &[(4, 9)]);
+        assert_eq!(wave[0].interval, Interval::new(0, 1));
+        assert_eq!(wave[1].interval, Interval::new(12, 13));
+    }
+}

@@ -10,6 +10,7 @@
 //! reproduces the accountant's running peak exactly — that identity is
 //! asserted in tests here and exercised end-to-end by the memory oracle.
 
+use crate::granularity::{coarsen_lifetimes, PlanGranularity};
 use crate::{peak_dynamic, plan_offsets, OffsetPlan};
 use gist_graph::{DataClass, DataStructure, Interval, NodeId, TensorRole};
 use gist_obs::MemoryAccountant;
@@ -84,6 +85,35 @@ pub fn check_no_overlap(acc: &MemoryAccountant) -> Result<OffsetPlan, (String, S
     let plan = plan_offsets(&items);
     plan.verify(&items).map_err(|(a, b)| (items[a].name.clone(), items[b].name.clone()))?;
     Ok(plan)
+}
+
+/// The wave-liveness end of the oracle: verifies an *executed* address
+/// assignment (`region`, e.g. an arena handle table) against the observed
+/// lifetimes **coarsened to the wave groups** — any two buffers live in
+/// the same wave must occupy disjoint ranges, even if their event-time
+/// lifetimes were back-to-back. An event-granular plan run against a
+/// genuinely multi-node wave fails here; that failure is precisely the
+/// race the wave plan exists to exclude.
+///
+/// # Errors
+///
+/// A description of the first violation, as for
+/// [`MemoryAccountant::verify_offsets`].
+pub fn check_no_overlap_waves(
+    acc: &MemoryAccountant,
+    groups: &[(usize, usize)],
+    region: impl Fn(&str) -> Option<(usize, usize)>,
+) -> Result<(), String> {
+    acc.verify_offsets_grouped(region, groups)
+}
+
+/// Observed peak under wave-coarsened lifetimes: what the slab must hold
+/// once all buffers of a wave count as concurrently live. Always `>=`
+/// [`observed_peak`]; the delta is the measured capacity cost of running
+/// waves on the thread pool.
+pub fn observed_peak_waves(acc: &MemoryAccountant, groups: &[(usize, usize)]) -> usize {
+    let items = coarsen_lifetimes(&observed_inventory(acc), PlanGranularity::Wave, groups);
+    peak_dynamic(&items, acc.num_ticks())
 }
 
 #[cfg(test)]

@@ -232,8 +232,43 @@ impl MemoryAccountant {
         &self,
         region: impl Fn(&str) -> Option<(usize, usize)>,
     ) -> Result<(), String> {
+        self.verify_offsets_grouped(region, &[])
+    }
+
+    /// [`Self::verify_offsets`] under **wave-coarsened** liveness: before
+    /// the sweep, every lifetime is widened to the boundaries of the wave
+    /// `groups` (sorted, disjoint, inclusive tick ranges) it intersects, so
+    /// any two buffers live in the same wave count as concurrently live
+    /// even if their event-time lifetimes were back-to-back. This is the
+    /// check that actually catches a racy arena plan: an event-granular
+    /// layout that shares a region between a buffer freed and a buffer
+    /// allocated inside one concurrent wave passes the plain verifier but
+    /// fails here. Empty `groups` degenerates to [`Self::verify_offsets`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::verify_offsets`], with same-wave overlaps included.
+    pub fn verify_offsets_grouped(
+        &self,
+        region: impl Fn(&str) -> Option<(usize, usize)>,
+        groups: &[(usize, usize)],
+    ) -> Result<(), String> {
         use std::collections::BTreeMap;
+        debug_assert!(groups.windows(2).all(|w| w[0].1 < w[1].0), "groups sorted, disjoint");
         let last_tick = self.ticks.saturating_sub(1);
+        // Mirrors `gist_memory::coarsen_interval` (the observation layer
+        // stays planner-independent): liveness is contiguous and groups are
+        // disjoint, so stretching to the first/last intersected group's
+        // bounds covers every group in between.
+        let coarsen = |start: usize, end: usize| -> (usize, usize) {
+            let lo = groups.partition_point(|&(_, g_last)| g_last < start);
+            let hi = groups.partition_point(|&(g_first, _)| g_first <= end);
+            if lo >= hi {
+                (start, end)
+            } else {
+                (start.min(groups[lo].0), end.max(groups[hi - 1].1))
+            }
+        };
         // Resolve every life to its placed range up front.
         let mut placed: Vec<(usize, usize, &BufferLife)> = Vec::with_capacity(self.lives.len());
         for life in &self.lives {
@@ -255,8 +290,9 @@ impl MemoryAccountant {
         // same tick let back-to-back lifetimes share a region.
         let mut edges: Vec<(usize, u8, usize)> = Vec::with_capacity(placed.len() * 2);
         for (i, (_, _, life)) in placed.iter().enumerate() {
-            edges.push((life.start, 1, i));
-            edges.push((life.end_or(last_tick) + 1, 0, i));
+            let (start, end) = coarsen(life.start, life.end_or(last_tick));
+            edges.push((start, 1, i));
+            edges.push((end + 1, 0, i));
         }
         edges.sort_unstable();
         let mut live: BTreeMap<(usize, usize), usize> = BTreeMap::new();
@@ -427,6 +463,27 @@ mod tests {
         // is a violation.
         let err = a.verify_offsets(|_| Some((0, 64))).unwrap_err();
         assert!(err.contains("overlap"), "{err}");
+    }
+
+    #[test]
+    fn grouped_verify_catches_same_wave_region_sharing() {
+        // x freed at tick 1, z allocated at tick 2: event-disjoint, so the
+        // shared region passes the plain verifier — but ticks 0..=3 are one
+        // wave, so under wave liveness the same layout is a race.
+        let mut a = MemoryAccountant::new();
+        a.fold_all(&[alloc("x", 8), free("x", 8), alloc("z", 8), free("z", 8)]).unwrap();
+        let shared = |_: &str| Some((0usize, 8usize));
+        a.verify_offsets(shared).unwrap();
+        let err = a.verify_offsets_grouped(shared, &[(0, 3)]).unwrap_err();
+        assert!(err.contains("overlap"), "{err}");
+        // Disjoint placements satisfy the wave check.
+        a.verify_offsets_grouped(
+            |n| if n == "x" { Some((0, 8)) } else { Some((64, 8)) },
+            &[(0, 3)],
+        )
+        .unwrap();
+        // A group that covers only one of the lifetimes changes nothing.
+        a.verify_offsets_grouped(shared, &[(0, 1)]).unwrap();
     }
 
     #[test]

@@ -7,7 +7,7 @@ use gist_encodings::csr::SsdcConfig;
 use gist_encodings::dpr::DprBuffer;
 use gist_encodings::{BitMask, CsrMatrix, DprFormat, TransferCodec, Wire};
 use gist_graph::{Graph, Node, NodeId, OpKind, Schedule};
-use gist_memory::{align_arena, Arena};
+use gist_memory::{align_arena, Arena, PlanGranularity};
 use gist_obs::{Event, NullRecorder, Phase, Recorder};
 use gist_offload::{Action, HostStore, OffloadMode, OffloadPlan, StashDisposition, SwapStrategy};
 use gist_par::parallel_map;
@@ -250,6 +250,10 @@ struct BufNames {
     stash: String,
     dy: String,
     dec: String,
+    /// One `{node}.dx{k}` gradient side region per backward target (arena
+    /// policy only): backward kernels land contributions directly in these
+    /// planned regions instead of fresh heap tensors.
+    dx: Vec<String>,
 }
 
 /// Executes training steps over a graph under a stash mode.
@@ -263,14 +267,24 @@ pub struct Executor {
     /// Minibatches executed so far; also salts the per-step dropout masks.
     step_counter: u64,
     policy: AllocPolicy,
+    /// Lifetime granularity the arena plan was packed at. Under
+    /// [`PlanGranularity::Wave`] every buffer of a wave is planned
+    /// concurrently live, so the executor may run arena waves on the
+    /// `gist-par` pool exactly as the heap policy does. A no-op under the
+    /// heap policy, whose buffers are independent heap allocations.
+    granularity: PlanGranularity,
     /// The pre-planned slab every step executes out of (arena policy only).
     arena: Option<Arena>,
     /// Planned per-node stash reservations (arena policy only): the event
     /// and meter size for `{node}.stash`, matching the region the plan
     /// packed, which for SSDC is a data-independent worst-case bound.
     planned_stash: Vec<u64>,
-    /// Precomputed `{node}.y` / `.stash` / `.dy` / `.dec` names.
+    /// Precomputed `{node}.y` / `.stash` / `.dy` / `.dec` / `.dx{k}` names.
     names: Vec<BufNames>,
+    /// Precomputed backward targets (the producers each node's backward
+    /// contributes a gradient to), so the per-step hot path never rebuilds
+    /// the per-op target list on the heap.
+    targets: Vec<Vec<NodeId>>,
     /// The offload mechanism this executor runs under.
     offload: OffloadMode,
     /// The offload plan, present only when it actually changes something
@@ -341,6 +355,31 @@ impl Executor {
         policy: AllocPolicy,
         offload: OffloadMode,
     ) -> Result<Self, RuntimeError> {
+        Self::new_with_granularity(graph, mode, seed, policy, offload, PlanGranularity::Event)
+    }
+
+    /// [`Executor::new_with_offload`] with an explicit plan granularity.
+    ///
+    /// Under [`PlanGranularity::Event`] arena lifetimes are tick-exact and
+    /// arena waves are serialized (event-time disjointness is only sound in
+    /// event order). Under [`PlanGranularity::Wave`] the plan treats every
+    /// buffer of a wave as concurrently live, so the executor runs
+    /// multi-node arena waves on the `gist-par` pool — trading slab bytes
+    /// for wall-clock exactly like the heap policy's parallelism, with
+    /// bitwise-identical training results. The granularity is ignored under
+    /// the heap policy.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Executor::new_with_policy`].
+    pub fn new_with_granularity(
+        graph: Graph,
+        mode: ExecMode,
+        seed: u64,
+        policy: AllocPolicy,
+        offload: OffloadMode,
+        granularity: PlanGranularity,
+    ) -> Result<Self, RuntimeError> {
         let shapes = graph.infer_shapes()?;
         let params = ParamSet::init(&graph, seed)?;
         let encodings = match &mode {
@@ -374,14 +413,15 @@ impl Executor {
         let (arena, planned_stash) = match policy {
             AllocPolicy::Heap => (None, Vec::new()),
             AllocPolicy::Arena => {
-                let events = crate::predict::predict_step_events_offload(
+                let (events, groups) = crate::predict::predict_step_events_granular(
                     &graph,
                     &mode,
                     AllocPolicy::Arena,
                     &HashMap::new(),
                     oplan.as_ref(),
+                    granularity,
                 )?;
-                let arena = Arena::from_events(&events)
+                let arena = Arena::from_events_granular(&events, granularity, &groups)
                     .map_err(|e| RuntimeError::Trace(format!("arena build: {e}")))?;
                 let planned: Vec<u64> = graph
                     .nodes()
@@ -401,14 +441,17 @@ impl Executor {
                 (Some(arena), planned)
             }
         };
+        let targets: Vec<Vec<NodeId>> = graph.nodes().iter().map(Self::backward_targets).collect();
         let names = graph
             .nodes()
             .iter()
-            .map(|nd| BufNames {
+            .zip(&targets)
+            .map(|(nd, tg)| BufNames {
                 y: format!("{}.y", nd.name),
                 stash: format!("{}.stash", nd.name),
                 dy: format!("{}.dy", nd.name),
                 dec: format!("{}.dec", nd.name),
+                dx: (0..tg.len()).map(|k| format!("{}.dx{k}", nd.name)).collect(),
             })
             .collect();
         Ok(Executor {
@@ -419,9 +462,11 @@ impl Executor {
             seed,
             step_counter: 0,
             policy,
+            granularity,
             arena,
             planned_stash,
             names,
+            targets,
             offload,
             oplan,
             host,
@@ -455,6 +500,12 @@ impl Executor {
         self.policy
     }
 
+    /// The plan granularity the executor (and its arena plan, if any) runs
+    /// under.
+    pub fn plan_granularity(&self) -> PlanGranularity {
+        self.granularity
+    }
+
     /// The packed slab steps execute out of (arena policy only).
     pub fn arena(&self) -> Option<&Arena> {
         self.arena.as_ref()
@@ -485,6 +536,43 @@ impl Executor {
     /// pool absorbed.
     pub fn scratch_counters(&self) -> (u64, u64) {
         self.scratch.counters()
+    }
+
+    /// The producers a node's backward pass contributes a gradient to, in
+    /// the order the backward kernels emit them. Empty for inputs (no
+    /// backward) — and therefore the length of the node's `.dx{k}` name and
+    /// side-region lists.
+    fn backward_targets(node: &Node) -> Vec<NodeId> {
+        match &node.op {
+            OpKind::Input(_) => Vec::new(),
+            OpKind::Add => vec![node.inputs[0], node.inputs[1]],
+            OpKind::Concat => node.inputs.clone(),
+            _ => vec![node.inputs[0]],
+        }
+    }
+
+    /// Planned size of the node's backward decode buffer (`{node}.dec`), or
+    /// `None` when its backward decodes nothing — the static mirror of
+    /// [`Executor::decode_stash`]'s transient, used by the wave-granular
+    /// entry/free blocks whose events must be emitted before the compute
+    /// that would measure it.
+    fn dec_bytes_static(&self, id: NodeId) -> Option<u64> {
+        let node = self.graph.node(id);
+        match &node.op {
+            OpKind::SoftmaxLoss
+            | OpKind::Conv { .. }
+            | OpKind::Linear { .. }
+            | OpKind::BatchNorm
+            | OpKind::Lrn(_)
+                if matches!(
+                    self.encodings[node.inputs[0].index()],
+                    Encoding::Ssdc { .. } | Encoding::Dpr(_)
+                ) =>
+            {
+                Some(self.ev_bytes(self.shapes[node.inputs[0].index()].numel() * 4))
+            }
+            _ => None,
+        }
     }
 
     /// What the plan says happens to this node's stash (Resident when no
@@ -614,6 +702,11 @@ impl Executor {
     /// resident dispositions, skip it entirely for dropped ones, or copy it
     /// out to the host store (a [`Event::Transfer`], not a memory event —
     /// the bytes leave the device) for swapped ones.
+    /// `emit_alloc` is false only inside a wave-granular forward block,
+    /// where the stash's Alloc event and meter traffic were already issued
+    /// by the wave's entry block (the Encode event still fires here — it is
+    /// not a memory event and carries the data-dependent encoded size).
+    #[allow(clippy::too_many_arguments)]
     fn stash_forward(
         &self,
         st: &mut StepState,
@@ -622,6 +715,7 @@ impl Executor {
         rec: &dyn Recorder,
         on: bool,
         epoch: &Instant,
+        emit_alloc: bool,
     ) -> Result<(), RuntimeError> {
         if !gist_graph::class::is_stashed(&self.graph, id) {
             return Ok(());
@@ -631,7 +725,9 @@ impl Executor {
             StashDisposition::Resident => {
                 let stash = self.make_stash(id, y)?;
                 let stash_bytes = self.stash_event_bytes(id, &stash);
-                st.meter.alloc(stash_bytes as usize);
+                if emit_alloc {
+                    st.meter.alloc(stash_bytes as usize);
+                }
                 if on {
                     if let Some(codec) = stash.codec_label() {
                         rec.record(Event::Encode {
@@ -641,10 +737,12 @@ impl Executor {
                             encoded_bytes: stash.encoded_bytes() as u64,
                         });
                     }
-                    rec.record(Event::Alloc {
-                        name: self.names[id.index()].stash.clone(),
-                        bytes: stash_bytes,
-                    });
+                    if emit_alloc {
+                        rec.record(Event::Alloc {
+                            name: self.names[id.index()].stash.clone(),
+                            bytes: stash_bytes,
+                        });
+                    }
                 }
                 st.stashes[id.index()] = Some(stash);
             }
@@ -862,6 +960,19 @@ impl Executor {
         let mut transient = 0usize;
         let mut decodes: Vec<(NodeId, &'static str, u64, u64)> = Vec::new();
         let dec_name = &self.names[id.index()].dec;
+        // Under the arena policy each contribution lands directly in this
+        // node's planned `.dx{k}` side region (the gradient-merge scratch);
+        // on the heap contributions stay owned, unmetered tensors.
+        let dx_view = |k: usize, shape: Shape| -> Result<Option<Tensor>, RuntimeError> {
+            match &self.arena {
+                Some(arena) => Ok(Some(
+                    arena
+                        .view(&self.names[id.index()].dx[k], shape)
+                        .map_err(|e| RuntimeError::Trace(format!("arena: {e}")))?,
+                )),
+                None => Ok(None),
+            }
+        };
         if matches!(node.op, OpKind::SoftmaxLoss) {
             let producer = node.inputs[0];
             let (logits, tr, drec) = self.decode_stash(stashes, producer, dec_name)?;
@@ -869,9 +980,16 @@ impl Executor {
             if record {
                 decodes.extend(drec);
             }
-            let dlogits = softmax::cross_entropy(&logits, labels)?.dlogits;
-            // Reshape the [N, K] gradient back to the producer's shape.
-            let mut dlogits = dlogits.reshape(self.shapes[producer.index()])?;
+            let mut dlogits = match dx_view(0, self.shapes[producer.index()])? {
+                Some(mut v) => {
+                    softmax::cross_entropy_into(&logits, labels, &mut v)?;
+                    v
+                }
+                // Reshape the [N, K] gradient back to the producer's shape.
+                None => softmax::cross_entropy(&logits, labels)?
+                    .dlogits
+                    .reshape(self.shapes[producer.index()])?,
+            };
             self.quantize_immediate(&mut dlogits);
             let dur_ns = elapsed_ns(epoch).saturating_sub(t0_ns);
             return Ok(BwdOut {
@@ -897,9 +1015,19 @@ impl Executor {
                 let Some(NodeParams::Conv { weight, .. }) = self.params.get(id.index()) else {
                     unreachable!("conv has params")
                 };
-                let g = conv::backward_with(&x, weight, dy, *cp, &self.scratch)?;
-                pg = Some(ParamGrads { main: g.dw, secondary: Some(g.db) });
-                contrib.push((producer, g.dx));
+                let (dw, db, dx) = match dx_view(0, self.shapes[producer.index()])? {
+                    Some(mut v) => {
+                        let (dw, db) =
+                            conv::backward_with_into(&x, weight, dy, *cp, &self.scratch, &mut v)?;
+                        (dw, db, v)
+                    }
+                    None => {
+                        let g = conv::backward_with(&x, weight, dy, *cp, &self.scratch)?;
+                        (g.dw, g.db, g.dx)
+                    }
+                };
+                pg = Some(ParamGrads { main: dw, secondary: Some(db) });
+                contrib.push((producer, dx));
             }
             OpKind::Linear { .. } => {
                 let producer = node.inputs[0];
@@ -913,18 +1041,36 @@ impl Executor {
                 };
                 let (rows, cols) = self.shapes[id.index()].as_matrix();
                 let dy2 = dy.clone().reshape(Shape::matrix(rows, cols))?;
-                let g = linear::backward_with(&x, weight, &dy2, &self.scratch)?;
-                pg = Some(ParamGrads { main: g.dw, secondary: Some(g.db) });
-                contrib.push((producer, g.dx.reshape(self.shapes[producer.index()])?));
+                let (dw, db, dx) = match dx_view(0, self.shapes[producer.index()])? {
+                    // The view carries the producer's (possibly NCHW) shape;
+                    // backward_with_into matrix-checks it, so no reshape.
+                    Some(mut v) => {
+                        let (dw, db) =
+                            linear::backward_with_into(&x, weight, &dy2, &self.scratch, &mut v)?;
+                        (dw, db, v)
+                    }
+                    None => {
+                        let g = linear::backward_with(&x, weight, &dy2, &self.scratch)?;
+                        (g.dw, g.db, g.dx.reshape(self.shapes[producer.index()])?)
+                    }
+                };
+                pg = Some(ParamGrads { main: dw, secondary: Some(db) });
+                contrib.push((producer, dx));
             }
             OpKind::Relu => {
                 let producer = node.inputs[0];
-                let dx = match &stashes[id.index()] {
-                    Some(Stash::Bits(mask, shape)) => {
-                        // Binarize: backward directly on the 1-bit mask.
+                let dxv = dx_view(0, self.shapes[producer.index()])?;
+                let dx = match (&stashes[id.index()], dxv) {
+                    (Some(Stash::Bits(mask, _)), Some(mut v)) => {
+                        // Binarize: backward directly on the 1-bit mask,
+                        // straight into the planned side region.
+                        mask.relu_backward_into(dy.data(), v.data_mut())?;
+                        v
+                    }
+                    (Some(Stash::Bits(mask, shape)), None) => {
                         Tensor::from_vec(*shape, mask.relu_backward(dy.data())?)?
                     }
-                    Some(other) => {
+                    (Some(other), dxv) => {
                         // Decode scratch here stays heap-allocated under
                         // both policies: it has never been metered (it is
                         // part of the backward compute, not a tracked
@@ -940,9 +1086,15 @@ impl Executor {
                                 ));
                             }
                         }
-                        relu::backward(&x, dy)
+                        match dxv {
+                            Some(mut v) => {
+                                relu::backward_into(&x, dy, &mut v);
+                                v
+                            }
+                            None => relu::backward(&x, dy),
+                        }
                     }
-                    None => unreachable!("relu output is always stashed"),
+                    (None, _) => unreachable!("relu output is always stashed"),
                 };
                 contrib.push((producer, dx));
             }
@@ -950,14 +1102,26 @@ impl Executor {
                 let producer = node.inputs[0];
                 let x_shape = self.shapes[producer.index()];
                 let argmax = argmaxes[id.index()].as_ref().expect("maxpool ran forward");
-                contrib.push((producer, pool::maxpool_backward(x_shape, argmax, dy, *p)?));
+                let dx = match dx_view(0, x_shape)? {
+                    Some(mut v) => {
+                        pool::maxpool_backward_into(x_shape, argmax, dy, *p, &mut v)?;
+                        v
+                    }
+                    None => pool::maxpool_backward(x_shape, argmax, dy, *p)?,
+                };
+                contrib.push((producer, dx));
             }
             OpKind::AvgPool(p) => {
                 let producer = node.inputs[0];
-                contrib.push((
-                    producer,
-                    pool::avgpool_backward(self.shapes[producer.index()], dy, *p)?,
-                ));
+                let x_shape = self.shapes[producer.index()];
+                let dx = match dx_view(0, x_shape)? {
+                    Some(mut v) => {
+                        pool::avgpool_backward_into(x_shape, dy, *p, &mut v)?;
+                        v
+                    }
+                    None => pool::avgpool_backward(x_shape, dy, *p)?,
+                };
+                contrib.push((producer, dx));
             }
             OpKind::BatchNorm => {
                 let producer = node.inputs[0];
@@ -970,9 +1134,18 @@ impl Executor {
                     unreachable!("bn has params")
                 };
                 let cache = bn_caches[id.index()].as_ref().expect("bn ran forward");
-                let g = batchnorm::backward(&x, gamma, cache, dy)?;
-                pg = Some(ParamGrads { main: g.dgamma, secondary: Some(g.dbeta) });
-                contrib.push((producer, g.dx));
+                let (dgamma, dbeta, dx) = match dx_view(0, self.shapes[producer.index()])? {
+                    Some(mut v) => {
+                        let (dg, db) = batchnorm::backward_into(&x, gamma, cache, dy, &mut v)?;
+                        (dg, db, v)
+                    }
+                    None => {
+                        let g = batchnorm::backward(&x, gamma, cache, dy)?;
+                        (g.dgamma, g.dbeta, g.dx)
+                    }
+                };
+                pg = Some(ParamGrads { main: dgamma, secondary: Some(dbeta) });
+                contrib.push((producer, dx));
             }
             OpKind::Lrn(p) => {
                 let producer = node.inputs[0];
@@ -981,24 +1154,63 @@ impl Executor {
                 if record {
                     decodes.extend(drec);
                 }
-                contrib.push((producer, lrn::backward(&x, dy, *p)?));
+                let dx = match dx_view(0, self.shapes[producer.index()])? {
+                    Some(mut v) => {
+                        lrn::backward_into(&x, dy, *p, &mut v)?;
+                        v
+                    }
+                    None => lrn::backward(&x, dy, *p)?,
+                };
+                contrib.push((producer, dx));
             }
             OpKind::Dropout { p } => {
                 let producer = node.inputs[0];
                 let mask = drop_masks[id.index()].as_ref().expect("dropout ran forward");
-                contrib.push((producer, dropout::backward(dy, mask, *p)?));
+                let dx = match dx_view(0, self.shapes[producer.index()])? {
+                    Some(mut v) => {
+                        dropout::backward_into(dy, mask, *p, &mut v)?;
+                        v
+                    }
+                    None => dropout::backward(dy, mask, *p)?,
+                };
+                contrib.push((producer, dx));
             }
             OpKind::Add => {
-                let (da, db) = elementwise::add_backward(dy);
-                contrib.push((node.inputs[0], da));
-                contrib.push((node.inputs[1], db));
+                if self.arena.is_some() {
+                    let mut v0 = dx_view(0, self.shapes[node.inputs[0].index()])?
+                        .expect("arena has dx views");
+                    let mut v1 = dx_view(1, self.shapes[node.inputs[1].index()])?
+                        .expect("arena has dx views");
+                    elementwise::add_backward_into(dy, &mut v0);
+                    elementwise::add_backward_into(dy, &mut v1);
+                    contrib.push((node.inputs[0], v0));
+                    contrib.push((node.inputs[1], v1));
+                } else {
+                    let (da, db) = elementwise::add_backward(dy);
+                    contrib.push((node.inputs[0], da));
+                    contrib.push((node.inputs[1], db));
+                }
             }
             OpKind::Concat => {
                 let shapes: Vec<Shape> =
                     node.inputs.iter().map(|&i| self.shapes[i.index()]).collect();
-                let parts = elementwise::concat_backward(dy, &shapes)?;
-                for (&inp, part) in node.inputs.iter().zip(parts) {
-                    contrib.push((inp, part));
+                if self.arena.is_some() {
+                    let mut views: Vec<Tensor> = Vec::with_capacity(shapes.len());
+                    for (k, &sh) in shapes.iter().enumerate() {
+                        views.push(dx_view(k, sh)?.expect("arena has dx views"));
+                    }
+                    {
+                        let mut refs: Vec<&mut Tensor> = views.iter_mut().collect();
+                        elementwise::concat_backward_into(dy, &shapes, &mut refs)?;
+                    }
+                    for (&inp, v) in node.inputs.iter().zip(views) {
+                        contrib.push((inp, v));
+                    }
+                } else {
+                    let parts = elementwise::concat_backward(dy, &shapes)?;
+                    for (&inp, part) in node.inputs.iter().zip(parts) {
+                        contrib.push((inp, part));
+                    }
                 }
             }
             OpKind::Input(_) | OpKind::SoftmaxLoss => unreachable!("handled by the caller"),
@@ -1157,8 +1369,11 @@ impl Executor {
 
     /// Sequential forward post-processing of one node's output:
     /// quantization, stats, stashing, metering/events, and last-use
-    /// relinquishment. Shared by the parallel heap path and the serialized
-    /// arena path.
+    /// relinquishment. Shared by the parallel heap path, the serialized
+    /// event-granular arena path, and (with `wave_block` set) the
+    /// wave-granular arena path — where the wave's entry block already
+    /// emitted the stash/output allocations and its free block will handle
+    /// relinquishment, so this only runs the value-level post-processing.
     #[allow(clippy::too_many_arguments)]
     fn absorb_forward(
         &self,
@@ -1170,6 +1385,7 @@ impl Executor {
         rec: &dyn Recorder,
         on: bool,
         epoch: &Instant,
+        wave_block: bool,
     ) -> Result<(), RuntimeError> {
         let node = self.graph.node(id);
         let NodeOut { mut y, argmax, bn, mask, loss, t0_ns, dur_ns } = out;
@@ -1200,13 +1416,18 @@ impl Executor {
             st.loss = l;
             st.correct = c;
         }
-        self.stash_forward(st, id, &y, rec, on, epoch)?;
-        let y_bytes = self.ev_bytes(y.numel() * 4);
-        st.meter.alloc(y_bytes as usize);
-        if on {
-            rec.record(Event::Alloc { name: self.names[id.index()].y.clone(), bytes: y_bytes });
+        self.stash_forward(st, id, &y, rec, on, epoch, !wave_block)?;
+        if !wave_block {
+            let y_bytes = self.ev_bytes(y.numel() * 4);
+            st.meter.alloc(y_bytes as usize);
+            if on {
+                rec.record(Event::Alloc { name: self.names[id.index()].y.clone(), bytes: y_bytes });
+            }
         }
         st.fmaps[id.index()] = Some(y);
+        if wave_block {
+            return Ok(());
+        }
         // Relinquish every dense buffer whose last forward use was this
         // position (including this node's own output if nothing reads it).
         for j in 0..self.graph.len() {
@@ -1229,9 +1450,13 @@ impl Executor {
 
     /// Sequential backward merge of one node's contributions: trace events,
     /// transient accounting, gradient-map release/accumulation, and stash
-    /// release. The per-node event order here — transient, own-`dy` free,
-    /// contribution allocs, stash free — is the contract the predictor and
-    /// the arena plan replicate.
+    /// release. The per-node event order here — side-region allocs (arena),
+    /// transient, own-`dy` free, contribution allocs, side-region frees,
+    /// stash free — is the contract the predictor and the arena plan
+    /// replicate. With `wave_block` set (wave-granular arena path) only the
+    /// value-level work runs: span/decode events, param grads, and the
+    /// gradient merge into pre-allocated regions — every memory event of the
+    /// wave is issued by its entry/free blocks instead.
     #[allow(clippy::too_many_arguments)]
     fn absorb_backward(
         &self,
@@ -1243,6 +1468,7 @@ impl Executor {
         out: BwdOut,
         rec: &dyn Recorder,
         on: bool,
+        wave_block: bool,
     ) -> Result<(), RuntimeError> {
         let node = self.graph.node(id);
         let BwdOut { pgrads: pg, contrib, transient, t0_ns, dur_ns, decodes } = out;
@@ -1264,7 +1490,19 @@ impl Executor {
                 });
             }
         }
-        if transient > 0 {
+        // The backward kernels already wrote this node's contributions into
+        // its planned side regions; their Allocs precede every same-item
+        // free so the plan holds them live across the whole merge.
+        if !wave_block && self.arena.is_some() {
+            for (k, &t) in self.targets[id.index()].iter().enumerate() {
+                let bytes = self.ev_bytes(self.shapes[t.index()].numel() * 4);
+                st.meter.alloc(bytes as usize);
+                if on {
+                    rec.record(Event::Alloc { name: self.names[id.index()].dx[k].clone(), bytes });
+                }
+            }
+        }
+        if !wave_block && transient > 0 {
             let bytes = self.ev_bytes(transient);
             st.meter.transient(bytes as usize);
             let name = &self.names[id.index()].dec;
@@ -1294,11 +1532,13 @@ impl Executor {
             match &mut st.grads[target.index()] {
                 Some(existing) => existing.add_scaled(&g, 1.0).expect("gradient shapes agree"),
                 slot @ None => {
-                    let bytes = self.ev_bytes(g.numel() * 4);
-                    st.meter.alloc(bytes as usize);
                     let name = &self.names[target.index()].dy;
-                    if on {
-                        rec.record(Event::Alloc { name: name.clone(), bytes });
+                    if !wave_block {
+                        let bytes = self.ev_bytes(g.numel() * 4);
+                        st.meter.alloc(bytes as usize);
+                        if on {
+                            rec.record(Event::Alloc { name: name.clone(), bytes });
+                        }
                     }
                     let held = match &self.arena {
                         Some(arena) => {
@@ -1312,6 +1552,21 @@ impl Executor {
                     };
                     *slot = Some(held);
                 }
+            }
+        }
+        if wave_block {
+            return Ok(());
+        }
+        // The side regions' last read was the merge above.
+        if self.arena.is_some() {
+            for (k, &t) in self.targets[id.index()].iter().enumerate() {
+                let bytes = self.ev_bytes(self.shapes[t.index()].numel() * 4);
+                st.meter.free(bytes as usize);
+                let name = &self.names[id.index()].dx[k];
+                if on {
+                    rec.record(Event::Free { name: name.clone(), bytes });
+                }
+                self.poison_region(name);
             }
         }
         // This node's backward pass was the last reader of its own stash
@@ -1602,6 +1857,11 @@ impl Executor {
 
         // ---- Forward pass ----
         let inplace_on = matches!(&self.mode, ExecMode::Gist(cfg) if cfg.inplace);
+        // Wave-granular arena execution: the plan holds every buffer of a
+        // wave concurrently live, so waves run on the pool exactly like the
+        // heap policy, with all memory events issued from sequential
+        // entry/free blocks around the parallel computes.
+        let wave_mode = self.arena.is_some() && matches!(self.granularity, PlanGranularity::Wave);
         for (wv, wave) in sched.waves().iter().enumerate() {
             // Inplace ReLU (Section III-C): when this ReLU is the sole and
             // final reader of its producer's buffer, overwrite it instead
@@ -1639,7 +1899,7 @@ impl Executor {
                             });
                         }
                         st.relu_sparsity.push((node.name.clone(), y.sparsity()));
-                        self.stash_forward(&mut st, id, &y, rec, on, &epoch)?;
+                        self.stash_forward(&mut st, id, &y, rec, on, &epoch, true)?;
                         st.fmaps[id.index()] = Some(y);
                         // Release this node's own buffer if nothing reads it.
                         if st.last_use_pos[id.index()] == pos[id.index()] {
@@ -1659,11 +1919,99 @@ impl Executor {
                     }
                 }
             }
-            if let Some(arena) = &self.arena {
-                // Arena policy: compute and post-process one node at a
-                // time, in the exact order the plan's events were packed
-                // against — event-time disjointness then implies real-time
-                // safety for writes into the shared slab.
+            if wave_mode {
+                let arena = self.arena.as_ref().expect("wave mode is arena-only");
+                // Entry block: allocate every stash and output region of the
+                // wave before any compute — the event order the wave plan
+                // was packed against, so the concurrently-written regions
+                // are all disjoint.
+                for &id in wave {
+                    if gist_graph::class::is_stashed(&self.graph, id)
+                        && matches!(self.stash_disposition(id), StashDisposition::Resident)
+                    {
+                        let bytes = self.planned_stash[id.index()];
+                        st.meter.alloc(bytes as usize);
+                        if on {
+                            rec.record(Event::Alloc {
+                                name: self.names[id.index()].stash.clone(),
+                                bytes,
+                            });
+                        }
+                    }
+                    let y_bytes = self.ev_bytes(self.shapes[id.index()].numel() * 4);
+                    st.meter.alloc(y_bytes as usize);
+                    if on {
+                        rec.record(Event::Alloc {
+                            name: self.names[id.index()].y.clone(),
+                            bytes: y_bytes,
+                        });
+                    }
+                }
+                // Concurrent computes into the planned (disjoint) regions.
+                // Singleton waves skip the result vector so the arena hot
+                // path stays allocation-free outside the kernels.
+                if wave.len() == 1 {
+                    let id = wave[0];
+                    let out_view = arena
+                        .view(&self.names[id.index()].y, self.shapes[id.index()])
+                        .map_err(|e| RuntimeError::Trace(format!("arena: {e}")))?;
+                    let out = self.compute_forward(
+                        self.graph.node(id),
+                        &st.fmaps,
+                        images,
+                        labels,
+                        &epoch,
+                        Some(out_view),
+                    )?;
+                    self.absorb_forward(&mut st, wv, 0, id, out, rec, on, &epoch, true)?;
+                } else {
+                    let outs: Vec<Result<NodeOut, RuntimeError>> = {
+                        let this = &*self;
+                        let fview = &st.fmaps;
+                        let ep = &epoch;
+                        parallel_map(wave.len(), 1, |wi| {
+                            let id = wave[wi];
+                            let out_view = arena
+                                .view(&this.names[id.index()].y, this.shapes[id.index()])
+                                .map_err(|e| RuntimeError::Trace(format!("arena: {e}")))?;
+                            this.compute_forward(
+                                this.graph.node(id),
+                                fview,
+                                images,
+                                labels,
+                                ep,
+                                Some(out_view),
+                            )
+                        })
+                    };
+                    for (lane, (&id, out)) in wave.iter().zip(outs).enumerate() {
+                        self.absorb_forward(&mut st, wv, lane, id, out?, rec, on, &epoch, true)?;
+                    }
+                }
+                // Free block: relinquish every dense buffer whose last read
+                // was inside this wave (including wave members' own outputs
+                // if nothing reads them).
+                let wave_end = st.cursor + wave.len() - 1;
+                for j in 0..n {
+                    if st.last_use_pos[j] >= st.cursor && st.last_use_pos[j] <= wave_end {
+                        if let Some(t) = st.fmaps[j].take() {
+                            let bytes = self.ev_bytes(t.numel() * 4);
+                            st.meter.free(bytes as usize);
+                            let name = &self.names[j].y;
+                            if on {
+                                rec.record(Event::Free { name: name.clone(), bytes });
+                            }
+                            drop(t);
+                            self.poison_region(name);
+                        }
+                    }
+                }
+                st.cursor += wave.len();
+            } else if let Some(arena) = &self.arena {
+                // Event-granular arena policy: compute and post-process one
+                // node at a time, in the exact order the plan's events were
+                // packed against — event-time disjointness then implies
+                // real-time safety for writes into the shared slab.
                 for (lane, &id) in wave.iter().enumerate() {
                     let node = self.graph.node(id);
                     let out_view = arena
@@ -1677,7 +2025,7 @@ impl Executor {
                         &epoch,
                         Some(out_view),
                     )?;
-                    self.absorb_forward(&mut st, wv, lane, id, out, rec, on, &epoch)?;
+                    self.absorb_forward(&mut st, wv, lane, id, out, rec, on, &epoch, false)?;
                 }
             } else {
                 // Heap policy: compute the wave — concurrently when it has
@@ -1708,7 +2056,7 @@ impl Executor {
                     })
                 };
                 for (lane, (&id, out)) in wave.iter().zip(outs).enumerate() {
-                    self.absorb_forward(&mut st, wv, lane, id, out?, rec, on, &epoch)?;
+                    self.absorb_forward(&mut st, wv, lane, id, out?, rec, on, &epoch, false)?;
                 }
             }
         }
@@ -1732,8 +2080,13 @@ impl Executor {
         // (gradient accumulation, param grads, meter, stash release) is
         // sequential in descending-id order so shared producers always
         // accumulate contributions in one fixed order.
+        let mut dy_entered = if wave_mode { vec![false; n] } else { Vec::new() };
+        // One work buffer reused across waves keeps the steady-state wave
+        // loop off the heap entirely.
+        let mut work: Vec<(NodeId, Option<Tensor>)> =
+            Vec::with_capacity(sched.waves().iter().map(Vec::len).max().unwrap_or(0));
         for (wv, wave) in sched.waves().iter().enumerate().rev() {
-            let mut work: Vec<(NodeId, Option<Tensor>)> = Vec::new();
+            work.clear();
             for &id in wave.iter().rev() {
                 let node = self.graph.node(id);
                 if matches!(node.op, OpKind::Input(_)) {
@@ -1750,10 +2103,144 @@ impl Executor {
                 work.push((id, Some(dy)));
             }
             self.materialize_offload(&mut st, &work, wv, images, labels, &epoch, rec, on)?;
-            if self.arena.is_some() {
-                // Arena policy: serialize compute+merge per work item so
-                // the gradient-map and decode regions are only written
-                // inside their planned lifetimes.
+            if wave_mode {
+                // Entry block: decode buffers, gradient side regions, and
+                // every target gradient map of the wave are allocated before
+                // any compute, matching the wave plan's conservative
+                // lifetimes.
+                for (id, _) in &work {
+                    let i = id.index();
+                    if let Some(dec) = self.dec_bytes_static(*id) {
+                        st.meter.alloc(dec as usize);
+                        if on {
+                            rec.record(Event::Alloc {
+                                name: self.names[i].dec.clone(),
+                                bytes: dec,
+                            });
+                        }
+                    }
+                    for (k, &t) in self.targets[i].iter().enumerate() {
+                        let bytes = self.ev_bytes(self.shapes[t.index()].numel() * 4);
+                        st.meter.alloc(bytes as usize);
+                        if on {
+                            rec.record(Event::Alloc { name: self.names[i].dx[k].clone(), bytes });
+                        }
+                    }
+                    for &t in &self.targets[i] {
+                        if st.grads[t.index()].is_none() && !dy_entered[t.index()] {
+                            dy_entered[t.index()] = true;
+                            let bytes = self.ev_bytes(self.shapes[t.index()].numel() * 4);
+                            st.meter.alloc(bytes as usize);
+                            if on {
+                                rec.record(Event::Alloc {
+                                    name: self.names[t.index()].dy.clone(),
+                                    bytes,
+                                });
+                            }
+                        }
+                    }
+                }
+                // Concurrent computes; every region they write (dx, dec) is
+                // planned concurrently live and mutually disjoint. Singleton
+                // waves compute and merge inline, skipping the result vector
+                // so the steady-state arena loop stays off the heap.
+                if work.len() <= 1 {
+                    for (lane, item) in work.iter().enumerate() {
+                        let (id, dy) = (item.0, item.1.as_ref());
+                        let out = self.backward_node(
+                            self.graph.node(id),
+                            dy,
+                            &st.stashes,
+                            &st.argmaxes,
+                            &st.drop_masks,
+                            &st.bn_caches,
+                            labels,
+                            on,
+                            &epoch,
+                        )?;
+                        self.absorb_backward(&mut st, wv, lane, id, None, out, rec, on, true)?;
+                    }
+                } else {
+                    let outs: Vec<Result<BwdOut, RuntimeError>> = {
+                        let this = &*self;
+                        let wview = &work;
+                        let sview = &st.stashes;
+                        let aview = &st.argmaxes;
+                        let dview = &st.drop_masks;
+                        let bview = &st.bn_caches;
+                        let ep = &epoch;
+                        parallel_map(work.len(), 1, |wi| {
+                            let (id, dy) = &wview[wi];
+                            this.backward_node(
+                                this.graph.node(*id),
+                                dy.as_ref(),
+                                sview,
+                                aview,
+                                dview,
+                                bview,
+                                labels,
+                                on,
+                                ep,
+                            )
+                        })
+                    };
+                    // Sequential merge in work order — same fixed accumulation
+                    // order as every other path, so results are identical at
+                    // every thread count.
+                    for (lane, ((id, _), out)) in work.iter().zip(outs).enumerate() {
+                        self.absorb_backward(&mut st, wv, lane, *id, None, out?, rec, on, true)?;
+                    }
+                }
+                for (id, _) in &work {
+                    for &t in &self.targets[id.index()] {
+                        dy_entered[t.index()] = false;
+                    }
+                }
+                // Free block: release the wave's decode buffers, consumed
+                // upstream gradients, side regions, and stashes, in work
+                // order.
+                for item in work.iter_mut() {
+                    let (id, dy) = (item.0, item.1.take());
+                    let i = id.index();
+                    if let Some(dec) = self.dec_bytes_static(id) {
+                        st.meter.free(dec as usize);
+                        if on {
+                            rec.record(Event::Free { name: self.names[i].dec.clone(), bytes: dec });
+                        }
+                        self.poison_region(&self.names[i].dec);
+                    }
+                    if let Some(dy) = dy {
+                        let bytes = self.ev_bytes(dy.numel() * 4);
+                        st.meter.free(bytes as usize);
+                        if on {
+                            rec.record(Event::Free { name: self.names[i].dy.clone(), bytes });
+                        }
+                        drop(dy);
+                        self.poison_region(&self.names[i].dy);
+                    }
+                    for (k, &t) in self.targets[i].iter().enumerate() {
+                        let bytes = self.ev_bytes(self.shapes[t.index()].numel() * 4);
+                        st.meter.free(bytes as usize);
+                        if on {
+                            rec.record(Event::Free { name: self.names[i].dx[k].clone(), bytes });
+                        }
+                        self.poison_region(&self.names[i].dx[k]);
+                    }
+                    if let Some(stash) = st.stashes[i].take() {
+                        let bytes = self.stash_event_bytes(id, &stash);
+                        st.meter.free(bytes as usize);
+                        let name = self.stash_free_name(id);
+                        if on {
+                            rec.record(Event::Free { name: name.to_string(), bytes });
+                        }
+                        drop(stash);
+                        self.poison_region(name);
+                    }
+                }
+            } else if self.arena.is_some() {
+                // Event-granular arena policy: serialize compute+merge per
+                // work item so the gradient-map, side, and decode regions
+                // are only written inside their planned lifetimes.
                 for (lane, item) in work.iter_mut().enumerate() {
                     let (id, dy) = (item.0, item.1.take());
                     let out = self.backward_node(
@@ -1767,7 +2254,7 @@ impl Executor {
                         on,
                         &epoch,
                     )?;
-                    self.absorb_backward(&mut st, wv, lane, id, dy, out, rec, on)?;
+                    self.absorb_backward(&mut st, wv, lane, id, dy, out, rec, on, false)?;
                 }
             } else {
                 let outs: Vec<Result<BwdOut, RuntimeError>> = if work.len() <= 1 {
@@ -1809,8 +2296,8 @@ impl Executor {
                         )
                     })
                 };
-                for (lane, ((id, dy), out)) in work.into_iter().zip(outs).enumerate() {
-                    self.absorb_backward(&mut st, wv, lane, id, dy, out?, rec, on)?;
+                for (lane, ((id, dy), out)) in work.drain(..).zip(outs).enumerate() {
+                    self.absorb_backward(&mut st, wv, lane, id, dy, out?, rec, on, false)?;
                 }
             }
         }

@@ -28,10 +28,33 @@ use crate::RuntimeError;
 use gist_core::Encoding;
 use gist_encodings::csr::{max_encoded_bytes, SsdcConfig};
 use gist_graph::{Graph, NodeId, OpKind, Schedule};
-use gist_memory::align_arena;
+use gist_memory::{align_arena, PlanGranularity};
 use gist_obs::{Event, MemoryAccountant};
 use gist_offload::{Action, OffloadPlan, StashDisposition};
 use std::collections::HashMap;
+
+/// An event stream under construction, tracking the accountant's logical
+/// tick alongside emission (every memory event consumes one tick except
+/// `Reuse`) so wave groups can be recorded in tick space as the stream is
+/// built — the exact coordinates [`gist_memory::coarsen_lifetimes`] widens
+/// against.
+struct Stream {
+    events: Vec<Event>,
+    tick: usize,
+}
+
+impl Stream {
+    fn new() -> Self {
+        Stream { events: Vec::new(), tick: 0 }
+    }
+
+    fn push(&mut self, ev: Event) {
+        if !matches!(ev, Event::Reuse { .. }) {
+            self.tick += 1;
+        }
+        self.events.push(ev);
+    }
+}
 
 /// Extracts observed SSDC stash sizes (`node name -> encoded bytes`) from a
 /// trace — the only data-dependent sizes the heap-policy predictor needs.
@@ -116,6 +139,48 @@ pub fn predict_step_events_offload(
     ssdc_bytes: &HashMap<String, u64>,
     plan: Option<&OffloadPlan>,
 ) -> Result<Vec<Event>, RuntimeError> {
+    Ok(predict_step_events_granular(graph, mode, policy, ssdc_bytes, plan, PlanGranularity::Event)?
+        .0)
+}
+
+/// A predicted event stream paired with its wave groups: sorted, disjoint,
+/// inclusive tick ranges on the stream's accountant timeline, one per
+/// schedule wave that emitted memory events inside its wave block (empty
+/// under [`PlanGranularity::Event`]).
+pub type GranularEvents = (Vec<Event>, Vec<(usize, usize)>);
+
+/// [`predict_step_events_offload`] under an explicit plan granularity,
+/// additionally returning the **wave groups**: sorted, disjoint, inclusive
+/// tick ranges on the stream's accountant timeline, one per schedule wave
+/// that emitted memory events inside its wave block.
+///
+/// Under [`PlanGranularity::Wave`] (arena policy only — the granularity is
+/// a no-op under the heap policy, whose executor ignores it) the stream is
+/// emitted **wave-conservatively**: each wave's allocations all precede its
+/// computes and its frees all follow them, backward decode buffers become
+/// named `.dec` allocations (concurrent decodes need simultaneously-live
+/// distinct regions, which a single-tick `Transient` cannot express), and
+/// gradient side regions `.dx{k}` are held across the whole wave. Offload
+/// materialization prologues and the close-out frees stay event-granular
+/// and *outside* the groups — they run sequentially in the executor.
+///
+/// Because every group's allocations precede its frees, folding the stream
+/// through the accountant yields the same peak as packing the
+/// group-coarsened lifetimes — so observed peak, predicted peak, and the
+/// planned slab agree event-for-event under wave granularity too.
+///
+/// # Errors
+///
+/// As for [`predict_step_events`].
+#[allow(clippy::too_many_lines)]
+pub fn predict_step_events_granular(
+    graph: &Graph,
+    mode: &ExecMode,
+    policy: AllocPolicy,
+    ssdc_bytes: &HashMap<String, u64>,
+    plan: Option<&OffloadPlan>,
+    granularity: PlanGranularity,
+) -> Result<GranularEvents, RuntimeError> {
     let n = graph.len();
     let shapes = graph.infer_shapes()?;
     let encodings: Vec<Encoding> = match mode {
@@ -190,7 +255,41 @@ pub fn predict_step_events_offload(
             .unwrap_or_else(|| format!("{}.stash", graph.node(id).name))
     };
 
-    let mut events = Vec::new();
+    // Wave granularity only changes the arena stream: the heap executor
+    // ignores the granularity entirely (its buffers are independent heap
+    // allocations, so same-wave concurrency needs no planned disjointness).
+    let wave_mode = arena && matches!(granularity, PlanGranularity::Wave);
+    // Per-consumer gradient side regions (`{node}.dx{k}`) exist only under
+    // the arena policy — the heap path keeps owned, unmetered contribution
+    // tensors.
+    let dx_name = |id: NodeId, k: usize| -> String { format!("{}.dx{k}", graph.node(id).name) };
+    let backward_targets = |node: &gist_graph::Node| -> Vec<NodeId> {
+        match &node.op {
+            OpKind::Add => vec![node.inputs[0], node.inputs[1]],
+            OpKind::Concat => node.inputs.clone(),
+            _ => vec![node.inputs[0]],
+        }
+    };
+    // Ops whose backward decodes a stashed producer into a dense buffer
+    // (the executor's `decode_stash` on an encoded stash; dense stashes are
+    // borrowed in place and leave no trace).
+    let dec_bytes = |node: &gist_graph::Node| -> u64 {
+        match &node.op {
+            OpKind::SoftmaxLoss
+            | OpKind::Conv { .. }
+            | OpKind::Linear { .. }
+            | OpKind::BatchNorm
+            | OpKind::Lrn(_)
+                if decode_is_transient(node.inputs[0]) =>
+            {
+                sz(numel(node.inputs[0]) * 4)
+            }
+            _ => 0,
+        }
+    };
+
+    let mut st = Stream::new();
+    let mut groups: Vec<(usize, usize)> = Vec::new();
     // fmaps[j].is_some() / stashes[j].is_some() / grads[j].is_some() in the
     // executor, respectively.
     let mut live_fmap = vec![false; n];
@@ -200,6 +299,7 @@ pub fn predict_step_events_offload(
     // ---- Forward pass ----
     let mut cursor = 0usize;
     for wave in sched.waves() {
+        let group_start = st.tick;
         if inplace_on && wave.len() == 1 {
             let node = graph.node(wave[0]);
             let id = node.id;
@@ -210,12 +310,12 @@ pub fn predict_step_events_offload(
                     && !matches!(graph.node(producer).op, OpKind::Input(_));
                 if sole_reader {
                     live_fmap[producer.index()] = false;
-                    events.push(Event::Reuse { from: y_name(producer), into: y_name(id) });
+                    st.push(Event::Reuse { from: y_name(producer), into: y_name(id) });
                     live_fmap[id.index()] = true;
                     if gist_graph::class::is_stashed(graph, id)
                         && matches!(disposition(id), StashDisposition::Resident)
                     {
-                        events.push(Event::Alloc {
+                        st.push(Event::Alloc {
                             name: format!("{}.stash", node.name),
                             bytes: stash_size(id)?,
                         });
@@ -223,31 +323,67 @@ pub fn predict_step_events_offload(
                     }
                     if last_use_pos[id.index()] == pos[id.index()] {
                         live_fmap[id.index()] = false;
-                        events.push(Event::Free { name: y_name(id), bytes: sz(numel(id) * 4) });
+                        st.push(Event::Free { name: y_name(id), bytes: sz(numel(id) * 4) });
                     }
                     cursor += 1;
+                    if wave_mode && st.tick > group_start {
+                        groups.push((group_start, st.tick - 1));
+                    }
                     continue;
                 }
             }
+        }
+        if wave_mode {
+            // Wave block: every allocation of the wave precedes every free,
+            // so all of the wave's buffers are planned concurrently live —
+            // the invariant that lets the executor run the wave's computes
+            // on the thread pool.
+            for &id in wave {
+                let node = graph.node(id);
+                if gist_graph::class::is_stashed(graph, id)
+                    && matches!(disposition(id), StashDisposition::Resident)
+                {
+                    st.push(Event::Alloc {
+                        name: format!("{}.stash", node.name),
+                        bytes: stash_size(id)?,
+                    });
+                    stashed[id.index()] = true;
+                }
+                st.push(Event::Alloc { name: y_name(id), bytes: sz(numel(id) * 4) });
+                live_fmap[id.index()] = true;
+            }
+            let wave_end = cursor + wave.len() - 1;
+            for j in 0..n {
+                if live_fmap[j] && last_use_pos[j] >= cursor && last_use_pos[j] <= wave_end {
+                    live_fmap[j] = false;
+                    let jid = graph.nodes()[j].id;
+                    st.push(Event::Free { name: y_name(jid), bytes: sz(numel(jid) * 4) });
+                }
+            }
+            cursor += wave.len();
+            if st.tick > group_start {
+                groups.push((group_start, st.tick - 1));
+            }
+            continue;
         }
         for &id in wave {
             let node = graph.node(id);
             if gist_graph::class::is_stashed(graph, id)
                 && matches!(disposition(id), StashDisposition::Resident)
             {
-                events.push(Event::Alloc {
+                st.push(Event::Alloc {
                     name: format!("{}.stash", node.name),
                     bytes: stash_size(id)?,
                 });
                 stashed[id.index()] = true;
             }
-            events.push(Event::Alloc { name: y_name(id), bytes: sz(numel(id) * 4) });
+            st.push(Event::Alloc { name: y_name(id), bytes: sz(numel(id) * 4) });
             live_fmap[id.index()] = true;
             for j in 0..n {
                 if last_use_pos[j] == cursor && live_fmap[j] {
                     live_fmap[j] = false;
                     let jid = graph.nodes()[j].id;
-                    events.push(Event::Free { name: y_name(jid), bytes: sz(numel(jid) * 4) });
+                    st.push(Event::Free { name: y_name(jid), bytes: sz(numel(jid) * 4) });
                 }
             }
             cursor += 1;
@@ -273,7 +409,8 @@ pub fn predict_step_events_offload(
         }
         // The executor's wave-entry materialization pass: swap-ins and
         // recompute replays fire in work order before any per-item backward
-        // events of this wave.
+        // events of this wave. They run sequentially in the executor, so
+        // they stay event-granular and outside the wave group.
         if let Some(p) = plan {
             for &(id, _) in &work {
                 for action in &p.triggers[id.index()] {
@@ -283,12 +420,12 @@ pub fn predict_step_events_offload(
                             let name = p.swap_in_name[vi]
                                 .clone()
                                 .expect("triggered swap-in has a slot name");
-                            events.push(Event::Alloc { name, bytes: sz(p.numel[vi] as u64 * 4) });
+                            st.push(Event::Alloc { name, bytes: sz(p.numel[vi] as u64 * 4) });
                             stashed[vi] = true;
                         }
                         Action::Replay(s) => {
                             for step in &p.segments[*s].replay {
-                                events.push(Event::Alloc {
+                                st.push(Event::Alloc {
                                     name: step.buf.clone(),
                                     bytes: sz(numel(step.node) * 4),
                                 });
@@ -296,7 +433,7 @@ pub fn predict_step_events_offload(
                                     stashed[step.node.index()] = true;
                                 }
                                 for (fid, fbuf) in &step.frees_after {
-                                    events.push(Event::Free {
+                                    st.push(Event::Free {
                                         name: fbuf.clone(),
                                         bytes: sz(numel(*fid) * 4),
                                     });
@@ -307,67 +444,103 @@ pub fn predict_step_events_offload(
                 }
             }
         }
+        let group_start = st.tick;
+        if wave_mode {
+            // Entry block: everything the wave's backward computes touch —
+            // decode buffers, gradient side regions, and every target
+            // gradient map — is allocated before any compute, so the plan
+            // holds all of it concurrently live.
+            for &(id, _) in &work {
+                let node = graph.node(id);
+                let dec = dec_bytes(node);
+                if dec > 0 {
+                    st.push(Event::Alloc { name: format!("{}.dec", node.name), bytes: dec });
+                }
+                for (k, &t) in backward_targets(node).iter().enumerate() {
+                    st.push(Event::Alloc { name: dx_name(id, k), bytes: sz(numel(t) * 4) });
+                }
+                for &t in &backward_targets(node) {
+                    if !grads_live[t.index()] {
+                        grads_live[t.index()] = true;
+                        st.push(Event::Alloc { name: dy_name(t), bytes: sz(numel(t) * 4) });
+                    }
+                }
+            }
+            // (Computes and the serial merge emit no memory events.)
+            for &(id, has_dy) in &work {
+                let node = graph.node(id);
+                let dec = dec_bytes(node);
+                if dec > 0 {
+                    st.push(Event::Free { name: format!("{}.dec", node.name), bytes: dec });
+                }
+                if has_dy {
+                    grads_live[id.index()] = false;
+                    st.push(Event::Free { name: dy_name(id), bytes: sz(numel(id) * 4) });
+                }
+                for (k, &t) in backward_targets(node).iter().enumerate() {
+                    st.push(Event::Free { name: dx_name(id, k), bytes: sz(numel(t) * 4) });
+                }
+                if stashed[id.index()] {
+                    stashed[id.index()] = false;
+                    st.push(Event::Free { name: stash_free_name(id), bytes: stash_size(id)? });
+                }
+            }
+            if st.tick > group_start {
+                groups.push((group_start, st.tick - 1));
+            }
+            continue;
+        }
         for &(id, has_dy) in &work {
             let node = graph.node(id);
-            // Ops whose backward decodes a stashed producer into a dense
-            // transient (the executor's `decode_stash` on an encoded stash;
-            // dense stashes are borrowed in place and leave no trace).
-            let transient = match &node.op {
-                OpKind::SoftmaxLoss
-                | OpKind::Conv { .. }
-                | OpKind::Linear { .. }
-                | OpKind::BatchNorm
-                | OpKind::Lrn(_)
-                    if decode_is_transient(node.inputs[0]) =>
-                {
-                    sz(numel(node.inputs[0]) * 4)
+            // Gradient side regions are allocated before the backward
+            // compute writes into them (under the heap policy contributions
+            // are owned, unmetered tensors instead).
+            if arena {
+                for (k, &t) in backward_targets(node).iter().enumerate() {
+                    st.push(Event::Alloc { name: dx_name(id, k), bytes: sz(numel(t) * 4) });
                 }
-                _ => 0,
-            };
+            }
+            let transient = dec_bytes(node);
             if transient > 0 {
-                events.push(Event::Transient {
-                    name: format!("{}.dec", node.name),
-                    bytes: transient,
-                });
+                st.push(Event::Transient { name: format!("{}.dec", node.name), bytes: transient });
             }
             // The upstream gradient is released at merge time, after this
             // node's backward compute has read it for the last time.
             if has_dy {
                 grads_live[id.index()] = false;
-                events.push(Event::Free { name: dy_name(id), bytes: sz(numel(id) * 4) });
+                st.push(Event::Free { name: dy_name(id), bytes: sz(numel(id) * 4) });
             }
-            let targets: Vec<NodeId> = match &node.op {
-                OpKind::Add => vec![node.inputs[0], node.inputs[1]],
-                OpKind::Concat => node.inputs.clone(),
-                _ => vec![node.inputs[0]],
-            };
-            for t in targets {
+            for &t in &backward_targets(node) {
                 if !grads_live[t.index()] {
                     grads_live[t.index()] = true;
-                    events.push(Event::Alloc { name: dy_name(t), bytes: sz(numel(t) * 4) });
+                    st.push(Event::Alloc { name: dy_name(t), bytes: sz(numel(t) * 4) });
+                }
+            }
+            if arena {
+                for (k, &t) in backward_targets(node).iter().enumerate() {
+                    st.push(Event::Free { name: dx_name(id, k), bytes: sz(numel(t) * 4) });
                 }
             }
             if stashed[id.index()] {
                 stashed[id.index()] = false;
-                events.push(Event::Free { name: stash_free_name(id), bytes: stash_size(id)? });
+                st.push(Event::Free { name: stash_free_name(id), bytes: stash_size(id)? });
             }
         }
     }
 
     // Stream close-out: buffers still live when the step returns (the
-    // executor's trailing frees).
+    // executor's trailing frees, sequential under every granularity).
     for node in graph.nodes() {
         if stashed[node.id.index()] {
-            events
-                .push(Event::Free { name: stash_free_name(node.id), bytes: stash_size(node.id)? });
+            st.push(Event::Free { name: stash_free_name(node.id), bytes: stash_size(node.id)? });
         }
     }
     for node in graph.nodes() {
         if grads_live[node.id.index()] {
-            events.push(Event::Free { name: dy_name(node.id), bytes: sz(numel(node.id) * 4) });
+            st.push(Event::Free { name: dy_name(node.id), bytes: sz(numel(node.id) * 4) });
         }
     }
-    Ok(events)
+    Ok((st.events, groups))
 }
 
 /// Predicted peak footprint in bytes under the heap policy: the predicted
@@ -416,7 +589,29 @@ pub fn predicted_peak_bytes_offload(
     ssdc_bytes: &HashMap<String, u64>,
     plan: Option<&OffloadPlan>,
 ) -> Result<u64, RuntimeError> {
-    let events = predict_step_events_offload(graph, mode, policy, ssdc_bytes, plan)?;
+    predicted_peak_bytes_granular(graph, mode, policy, ssdc_bytes, plan, PlanGranularity::Event)
+}
+
+/// [`predicted_peak_bytes_offload`] under an explicit plan granularity.
+///
+/// Because wave-conservative streams allocate every buffer of a group
+/// before freeing any (see [`predict_step_events_granular`]), the stream
+/// fold's peak already *is* the group-coarsened packing peak — no separate
+/// coarsening pass is needed here.
+///
+/// # Errors
+///
+/// As for [`predict_step_events`].
+pub fn predicted_peak_bytes_granular(
+    graph: &Graph,
+    mode: &ExecMode,
+    policy: AllocPolicy,
+    ssdc_bytes: &HashMap<String, u64>,
+    plan: Option<&OffloadPlan>,
+    granularity: PlanGranularity,
+) -> Result<u64, RuntimeError> {
+    let (events, _) =
+        predict_step_events_granular(graph, mode, policy, ssdc_bytes, plan, granularity)?;
     let mut acc = MemoryAccountant::new();
     acc.fold_all(&events)
         .map_err(|e| RuntimeError::Trace(format!("predicted stream malformed: {e}")))?;
@@ -438,7 +633,30 @@ pub fn predicted_replica_slab_bytes(
     mode: &ExecMode,
     replicas: usize,
 ) -> Result<(u64, u64), RuntimeError> {
-    let per = predicted_peak_bytes_for(graph, mode, AllocPolicy::Arena, &HashMap::new())?;
+    predicted_replica_slab_bytes_granular(graph, mode, replicas, PlanGranularity::Event)
+}
+
+/// [`predicted_replica_slab_bytes`] under an explicit plan granularity:
+/// replicas planned at wave granularity pay for the wave-conservative slab,
+/// and the fleet total prices that honestly.
+///
+/// # Errors
+///
+/// As for [`predict_step_events`].
+pub fn predicted_replica_slab_bytes_granular(
+    graph: &Graph,
+    mode: &ExecMode,
+    replicas: usize,
+    granularity: PlanGranularity,
+) -> Result<(u64, u64), RuntimeError> {
+    let per = predicted_peak_bytes_granular(
+        graph,
+        mode,
+        AllocPolicy::Arena,
+        &HashMap::new(),
+        None,
+        granularity,
+    )?;
     Ok((per, per * replicas as u64))
 }
 

@@ -318,9 +318,13 @@ impl Server {
     /// the predictor rejects the graph.
     pub fn submit(&mut self, spec: JobSpec) -> Result<usize, ServeError> {
         let graph = spec.graph();
-        let (_, lease) =
-            gist_runtime::predicted_replica_slab_bytes(&graph, &spec.mode, spec.replicas)
-                .map_err(|e| ServeError::Predict(e.to_string()))?;
+        let (_, lease) = gist_runtime::predicted_replica_slab_bytes_granular(
+            &graph,
+            &spec.mode,
+            spec.replicas,
+            spec.plan,
+        )
+        .map_err(|e| ServeError::Predict(e.to_string()))?;
         if lease > self.config.budget_bytes {
             return Err(ServeError::OverBudget {
                 job: spec.name.clone(),
@@ -583,7 +587,14 @@ impl Server {
         let job = &mut self.jobs[id];
         let (graph, spec) = (job.graph.clone(), job.spec.clone());
         let mut trainer = DistTrainer::new(spec.replicas, spec.replicas, spec.codec, || {
-            Executor::new_with_policy(graph.clone(), spec.mode.clone(), spec.seed, spec.alloc)
+            Executor::new_with_granularity(
+                graph.clone(),
+                spec.mode.clone(),
+                spec.seed,
+                spec.alloc,
+                gist_runtime::OffloadMode::None,
+                spec.plan,
+            )
         })
         .map_err(|e| ServeError::Train(e.to_string()))?;
         if let Some(parked) = job.parked.take() {
@@ -678,8 +689,13 @@ fn job_id(jobs: &[Job], job: &Job) -> usize {
 /// As for [`Server::run`].
 pub fn solo_report(spec: &JobSpec, lr: f32) -> Result<JobReport, ServeError> {
     let graph = spec.graph();
-    let (_, lease) = gist_runtime::predicted_replica_slab_bytes(&graph, &spec.mode, spec.replicas)
-        .map_err(|e| ServeError::Predict(e.to_string()))?;
+    let (_, lease) = gist_runtime::predicted_replica_slab_bytes_granular(
+        &graph,
+        &spec.mode,
+        spec.replicas,
+        spec.plan,
+    )
+    .map_err(|e| ServeError::Predict(e.to_string()))?;
     let mut config = ServeConfig::new(lease);
     config.lr = lr;
     let mut server = Server::new(config);

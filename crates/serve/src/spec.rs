@@ -14,7 +14,7 @@ use gist_core::GistConfig;
 use gist_encodings::{DprFormat, TransferCodec};
 use gist_graph::Graph;
 use gist_par::parse_or_warn;
-use gist_runtime::{AllocPolicy, ExecMode};
+use gist_runtime::{AllocPolicy, ExecMode, PlanGranularity};
 
 /// An invalid job specification, naming what was wrong.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -100,6 +100,10 @@ pub struct JobSpec {
     pub replicas: usize,
     /// Allocation policy for every replica executor.
     pub alloc: AllocPolicy,
+    /// Plan granularity for every replica's arena (and its lease pricing):
+    /// `Event` serializes arena waves, `Wave` leases the wave-conservative
+    /// slab and runs them on the pool.
+    pub plan: PlanGranularity,
     /// Execution mode (baseline or a Gist config).
     pub mode: ExecMode,
     /// Gradient codec on every all-reduce transfer.
@@ -118,6 +122,7 @@ impl JobSpec {
             steps: 2,
             replicas: 1,
             alloc: AllocPolicy::Arena,
+            plan: PlanGranularity::Event,
             mode: ExecMode::Gist(GistConfig::lossless()),
             codec: TransferCodec::None,
             seed: 7,
@@ -135,7 +140,7 @@ impl JobSpec {
     }
 
     /// Parses the CLI spec grammar `model[,key=value]*` with keys
-    /// `name|batch|steps|replicas|codec|mode|alloc|seed`. Returns the spec
+    /// `name|batch|steps|replicas|codec|mode|alloc|plan|seed`. Returns the spec
     /// plus any warnings from garbage values that fell back to defaults.
     ///
     /// # Errors
@@ -235,6 +240,19 @@ impl JobSpec {
                     warn(w);
                     b = b.alloc(v);
                 }
+                "plan" => {
+                    let (v, w) = parse_or_warn(
+                        "gist-serve",
+                        "plan",
+                        Some(value),
+                        "event|wave",
+                        "event",
+                        PlanGranularity::parse,
+                        || PlanGranularity::Event,
+                    );
+                    warn(w);
+                    b = b.plan(v);
+                }
                 "seed" => {
                     let (v, w) = parse_or_warn(
                         "gist-serve",
@@ -255,7 +273,7 @@ impl JobSpec {
                         "gist-serve",
                         "job-spec key",
                         Some(other),
-                        "name|batch|steps|replicas|codec|mode|alloc|seed",
+                        "name|batch|steps|replicas|codec|mode|alloc|plan|seed",
                         "ignoring it",
                         |_| None::<()>,
                         || (),
@@ -277,6 +295,7 @@ pub struct JobSpecBuilder {
     steps: usize,
     replicas: usize,
     alloc: AllocPolicy,
+    plan: PlanGranularity,
     mode: ExecMode,
     codec: TransferCodec,
     seed: u64,
@@ -310,6 +329,12 @@ impl JobSpecBuilder {
     /// Allocation policy.
     pub fn alloc(mut self, alloc: AllocPolicy) -> Self {
         self.alloc = alloc;
+        self
+    }
+
+    /// Plan granularity (arena lifetime coarseness and lease pricing).
+    pub fn plan(mut self, plan: PlanGranularity) -> Self {
+        self.plan = plan;
         self
     }
 
@@ -366,6 +391,7 @@ impl JobSpecBuilder {
             steps: self.steps,
             replicas: self.replicas,
             alloc: self.alloc,
+            plan: self.plan,
             mode: self.mode,
             codec: self.codec,
             seed: self.seed,
@@ -400,7 +426,7 @@ mod tests {
     fn parse_accepts_the_full_grammar() {
         let (spec, warnings) = JobSpec::parse(
             "small-vgg, name=svc, batch=4, steps=3, replicas=2, codec=ssdc, mode=baseline, \
-             alloc=heap, seed=11",
+             alloc=heap, plan=wave, seed=11",
         )
         .unwrap();
         assert!(warnings.is_empty(), "{warnings:?}");
@@ -410,6 +436,7 @@ mod tests {
         assert_eq!(spec.codec, TransferCodec::Ssdc);
         assert!(matches!(spec.mode, ExecMode::Baseline));
         assert_eq!(spec.alloc, AllocPolicy::Heap);
+        assert_eq!(spec.plan, PlanGranularity::Wave);
     }
 
     #[test]
@@ -440,5 +467,10 @@ mod tests {
         }
         assert!(parse_exec_mode("fast").is_none());
         assert!(parse_alloc("stack").is_none());
+        // Garbage plan values fall back (with a warning) like every other
+        // known key; the default stays event-granular.
+        let (spec, warnings) = JobSpec::parse("tiny-convnet,plan=tick").unwrap();
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert_eq!(spec.plan, PlanGranularity::Event);
     }
 }

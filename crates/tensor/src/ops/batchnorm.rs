@@ -124,9 +124,32 @@ pub fn backward(
     cache: &BatchNormCache,
     dy: &Tensor,
 ) -> Result<BatchNormGrads, TensorError> {
+    let mut dx = Tensor::zeros(x.shape());
+    let (dgamma, dbeta) = backward_into(x, gamma, cache, dy, &mut dx)?;
+    Ok(BatchNormGrads { dx, dgamma, dbeta })
+}
+
+/// [`backward`] landing `dx` in a preallocated buffer (e.g. a planned
+/// arena side region) instead of a fresh allocation; returns
+/// `(dgamma, dbeta)`. Every element of `dx` is overwritten by the
+/// elementwise pass. Bit-exact with [`backward`].
+///
+/// # Errors
+///
+/// As for [`backward`], plus a shape mismatch on `dx`.
+pub fn backward_into(
+    x: &Tensor,
+    gamma: &Tensor,
+    cache: &BatchNormCache,
+    dy: &Tensor,
+    dx: &mut Tensor,
+) -> Result<(Tensor, Tensor), TensorError> {
     let s = x.shape();
     if dy.shape() != s {
         return Err(TensorError::ShapeMismatch { left: dy.shape(), right: s });
+    }
+    if dx.shape() != s {
+        return Err(TensorError::ShapeMismatch { left: dx.shape(), right: s });
     }
     let c = s.c();
     let (sn, sh, sw) = (s.n(), s.h(), s.w());
@@ -152,7 +175,6 @@ pub fn backward(
     });
     let dgamma: Vec<f32> = stats.iter().map(|s| s.0).collect();
     let dbeta: Vec<f32> = stats.iter().map(|s| s.1).collect();
-    let mut dx = Tensor::zeros(s);
     parallel_chunks_mut(dx.data_mut(), c * sh * sw, |n, img| {
         for ci in 0..c {
             let (g, m, is) = (gamma.data()[ci], cache.mean[ci], cache.inv_std[ci]);
@@ -167,11 +189,7 @@ pub fn backward(
             }
         }
     });
-    Ok(BatchNormGrads {
-        dx,
-        dgamma: Tensor::from_vec(Shape::vector(c), dgamma)?,
-        dbeta: Tensor::from_vec(Shape::vector(c), dbeta)?,
-    })
+    Ok((Tensor::from_vec(Shape::vector(c), dgamma)?, Tensor::from_vec(Shape::vector(c), dbeta)?))
 }
 
 #[cfg(test)]

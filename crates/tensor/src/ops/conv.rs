@@ -259,6 +259,28 @@ pub fn backward_with(
     p: ConvParams,
     scratch: &ScratchPool,
 ) -> Result<ConvGrads, TensorError> {
+    let mut dx = Tensor::zeros(x.shape());
+    let (dw, db) = backward_with_into(x, weight, dy, p, scratch, &mut dx)?;
+    Ok(ConvGrads { dx, dw, db })
+}
+
+/// [`backward_with`] landing `dx` in a preallocated buffer (e.g. a planned
+/// arena side region) instead of a fresh allocation; returns `(dw, db)`.
+/// Every element of `dx` is overwritten — it is zero-filled first, then
+/// accumulated into by the col2im scatter — so a poisoned view is fine.
+/// Bit-exact with [`backward_with`].
+///
+/// # Errors
+///
+/// As for [`backward`], plus a shape mismatch on `dx`.
+pub fn backward_with_into(
+    x: &Tensor,
+    weight: &Tensor,
+    dy: &Tensor,
+    p: ConvParams,
+    scratch: &ScratchPool,
+    dx: &mut Tensor,
+) -> Result<(Tensor, Tensor), TensorError> {
     let s = x.shape();
     let ws = weight.shape();
     let out_c = ws.n();
@@ -266,9 +288,12 @@ pub fn backward_with(
     if dy.shape() != expected {
         return Err(TensorError::ShapeMismatch { left: dy.shape(), right: expected });
     }
+    if dx.shape() != s {
+        return Err(TensorError::ShapeMismatch { left: dx.shape(), right: s });
+    }
     let (oh, ow) = (expected.h(), expected.w());
     let ckk = s.c() * p.kernel * p.kernel;
-    let mut dx = Tensor::zeros(s);
+    dx.data_mut().fill(0.0);
     let mut dw = Tensor::zeros(ws);
     let mut db = Tensor::zeros(Shape::vector(out_c));
     let per_dx = s.c() * s.h() * s.w();
@@ -323,7 +348,7 @@ pub fn backward_with(
         dw.data_mut().copy_from_slice(&dw_sum);
         db.data_mut().copy_from_slice(&db_sum);
     }
-    Ok(ConvGrads { dx, dw, db })
+    Ok((dw, db))
 }
 
 #[cfg(test)]

@@ -81,6 +81,22 @@ pub fn backward(dy: &Tensor, mask: &[bool], drop_p: f32) -> Result<Tensor, Tenso
     forward(dy, mask, drop_p)
 }
 
+/// [`backward`] landing `dx` in a preallocated buffer (e.g. a planned arena
+/// side region). Every element of `dx` is overwritten; bit-exact with
+/// [`backward`].
+///
+/// # Errors
+///
+/// As for [`backward`], plus a shape mismatch on `dx`.
+pub fn backward_into(
+    dy: &Tensor,
+    mask: &[bool],
+    drop_p: f32,
+    dx: &mut Tensor,
+) -> Result<(), TensorError> {
+    forward_into(dy, mask, drop_p, dx)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -38,6 +38,18 @@ pub fn add_backward(dy: &Tensor) -> (Tensor, Tensor) {
     (dy.clone(), dy.clone())
 }
 
+/// [`add_backward`] for one input, writing into a preallocated buffer (e.g.
+/// a planned arena side region). Every element of `dx` is overwritten;
+/// bit-exact with the corresponding [`add_backward`] output.
+///
+/// # Panics
+///
+/// Panics if `dx.numel() != dy.numel()`.
+pub fn add_backward_into(dy: &Tensor, dx: &mut Tensor) {
+    assert_eq!(dx.numel(), dy.numel(), "add backward output size");
+    dx.data_mut().copy_from_slice(dy.data());
+}
+
 /// Concatenation of tensors along the channel dimension.
 ///
 /// # Errors
@@ -98,19 +110,46 @@ pub fn concat_forward_into(inputs: &[&Tensor], y: &mut Tensor) -> Result<(), Ten
 ///
 /// Returns an error if the channel sum of `input_shapes` differs from `dy`.
 pub fn concat_backward(dy: &Tensor, input_shapes: &[Shape]) -> Result<Vec<Tensor>, TensorError> {
+    let mut grads: Vec<Tensor> = input_shapes.iter().map(|&sh| Tensor::zeros(sh)).collect();
+    {
+        let mut views: Vec<&mut Tensor> = grads.iter_mut().collect();
+        concat_backward_into(dy, input_shapes, &mut views)?;
+    }
+    Ok(grads)
+}
+
+/// [`concat_backward`] writing each per-input gradient into a preallocated
+/// buffer (e.g. planned arena side regions). Every element of every output
+/// is overwritten; bit-exact with [`concat_backward`].
+///
+/// # Errors
+///
+/// As for [`concat_backward`], plus a mismatch if any output's element count
+/// differs from its input shape.
+pub fn concat_backward_into(
+    dy: &Tensor,
+    input_shapes: &[Shape],
+    outs: &mut [&mut Tensor],
+) -> Result<(), TensorError> {
     let s = dy.shape();
     let total_c: usize = input_shapes.iter().map(|sh| sh.c()).sum();
-    if total_c != s.c() {
+    if total_c != s.c() || outs.len() != input_shapes.len() {
         return Err(TensorError::UnsupportedShape(format!(
-            "concat backward: channel sum {total_c} != dy channels {}",
-            s.c()
+            "concat backward: channel sum {total_c} != dy channels {} or {} outputs for {} shapes",
+            s.c(),
+            outs.len(),
+            input_shapes.len()
         )));
     }
+    for (g, sh) in outs.iter().zip(input_shapes) {
+        if g.numel() != sh.numel() {
+            return Err(TensorError::ShapeMismatch { left: g.shape(), right: *sh });
+        }
+    }
     let plane = s.h() * s.w();
-    let mut grads: Vec<Tensor> = input_shapes.iter().map(|&sh| Tensor::zeros(sh)).collect();
     for n in 0..s.n() {
         let mut c_off = 0;
-        for (g, sh) in grads.iter_mut().zip(input_shapes) {
+        for (g, sh) in outs.iter_mut().zip(input_shapes) {
             let c = sh.c();
             let src_start = (n * total_c + c_off) * plane;
             let dst_start = n * c * plane;
@@ -119,7 +158,7 @@ pub fn concat_backward(dy: &Tensor, input_shapes: &[Shape]) -> Result<Vec<Tensor
             c_off += c;
         }
     }
-    Ok(grads)
+    Ok(())
 }
 
 #[cfg(test)]

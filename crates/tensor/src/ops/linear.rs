@@ -105,13 +105,38 @@ pub fn backward_with(
     scratch: &ScratchPool,
 ) -> Result<LinearGrads, TensorError> {
     let (n, f_in) = x.shape().as_matrix();
+    let mut dx = Tensor::zeros(Shape::matrix(n, f_in));
+    let (dw, db) = backward_with_into(x, weight, dy, scratch, &mut dx)?;
+    Ok(LinearGrads { dx, dw, db })
+}
+
+/// [`backward_with`] landing `dx` in a preallocated buffer (e.g. a planned
+/// arena side region) instead of a fresh allocation; returns `(dw, db)`.
+/// `dx` may carry any shape that flattens to `[N, F_in]` (the producer's
+/// NCHW shape included); every element is overwritten by the matmul.
+/// Bit-exact with [`backward_with`].
+///
+/// # Errors
+///
+/// As for [`backward`], plus a shape mismatch on `dx`.
+pub fn backward_with_into(
+    x: &Tensor,
+    weight: &Tensor,
+    dy: &Tensor,
+    scratch: &ScratchPool,
+    dx: &mut Tensor,
+) -> Result<(Tensor, Tensor), TensorError> {
+    let (n, f_in) = x.shape().as_matrix();
     let (f_out, wf_in) = weight.shape().as_matrix();
     let (dn, df) = dy.shape().as_matrix();
     if wf_in != f_in || dn != n || df != f_out {
         return Err(TensorError::ShapeMismatch { left: dy.shape(), right: weight.shape() });
     }
+    if dx.shape().as_matrix() != (n, f_in) {
+        return Err(TensorError::ShapeMismatch { left: dx.shape(), right: Shape::matrix(n, f_in) });
+    }
     // dX[N, F_in] = dY[N, F_out] * W[F_out, F_in]
-    let dx = crate::ops::matmul::matmul(dy.data(), weight.data(), n, f_out, f_in);
+    gist_simd::matmul_into(dy.data(), weight.data(), n, f_out, f_in, dx.data_mut());
     // dW[F_out, F_in] = dY^T[F_out, N] * X[N, F_in]
     let dw = matmul_at_b(dy.data(), x.data(), f_out, n, f_in);
     // db[j] = sum over batch rows of dy[n][j], combined along gist-par's
@@ -137,11 +162,7 @@ pub fn backward_with(
         },
     )
     .map_or_else(|| vec![0.0f32; f_out], |part| part.to_vec());
-    Ok(LinearGrads {
-        dx: Tensor::from_vec(Shape::matrix(n, f_in), dx)?,
-        dw: Tensor::from_vec(weight.shape(), dw)?,
-        db: Tensor::from_vec(Shape::vector(f_out), db)?,
-    })
+    Ok((Tensor::from_vec(weight.shape(), dw)?, Tensor::from_vec(Shape::vector(f_out), db)?))
 }
 
 #[cfg(test)]

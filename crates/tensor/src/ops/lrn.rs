@@ -103,9 +103,30 @@ pub fn forward_into(x: &Tensor, p: LrnParams, y: &mut Tensor) -> Result<(), Tens
 ///
 /// Returns an error on shape mismatch.
 pub fn backward(x: &Tensor, dy: &Tensor, p: LrnParams) -> Result<Tensor, TensorError> {
+    let mut dx = Tensor::zeros(x.shape());
+    backward_into(x, dy, p, &mut dx)?;
+    Ok(dx)
+}
+
+/// [`backward`] landing `dx` in a preallocated buffer (e.g. a planned arena
+/// side region). Every element of `dx` is overwritten; bit-exact with
+/// [`backward`].
+///
+/// # Errors
+///
+/// As for [`backward`], plus a shape mismatch on `dx`.
+pub fn backward_into(
+    x: &Tensor,
+    dy: &Tensor,
+    p: LrnParams,
+    dx: &mut Tensor,
+) -> Result<(), TensorError> {
     let s = x.shape();
     if dy.shape() != s {
         return Err(TensorError::ShapeMismatch { left: dy.shape(), right: s });
+    }
+    if dx.shape() != s {
+        return Err(TensorError::ShapeMismatch { left: dx.shape(), right: s });
     }
     let den = denominators(x, p);
     // ratio[c] = dy[c]*y[c]/s[c] = dy[c]*x[c]*s[c]^(-beta-1)
@@ -117,7 +138,6 @@ pub fn backward(x: &Tensor, dy: &Tensor, p: LrnParams) -> Result<Tensor, TensorE
             *v = dy.data()[i] * x.data()[i] * den[i].powf(-p.beta - 1.0);
         }
     });
-    let mut dx = Tensor::zeros(s);
     let scale = 2.0 * p.alpha * p.beta / p.size as f32;
     let per = s.c() * s.h() * s.w();
     parallel_chunks_mut(dx.data_mut(), per, |n, img| {
@@ -136,7 +156,7 @@ pub fn backward(x: &Tensor, dy: &Tensor, p: LrnParams) -> Result<Tensor, TensorE
             }
         }
     });
-    Ok(dx)
+    Ok(())
 }
 
 #[cfg(test)]

@@ -147,11 +147,34 @@ pub fn maxpool_backward(
     dy: &Tensor,
     p: PoolParams,
 ) -> Result<Tensor, TensorError> {
+    let mut dx = Tensor::zeros(x_shape);
+    maxpool_backward_into(x_shape, argmax, dy, p, &mut dx)?;
+    Ok(dx)
+}
+
+/// [`maxpool_backward`] landing `dx` in a preallocated buffer (e.g. a
+/// planned arena side region). Every element of `dx` is overwritten — the
+/// buffer is zero-filled, then the scatter accumulates — so a poisoned
+/// view is fine. Bit-exact with [`maxpool_backward`].
+///
+/// # Errors
+///
+/// As for [`maxpool_backward`], plus a shape mismatch on `dx`.
+pub fn maxpool_backward_into(
+    x_shape: Shape,
+    argmax: &[u8],
+    dy: &Tensor,
+    p: PoolParams,
+    dx: &mut Tensor,
+) -> Result<(), TensorError> {
     let out = p.out_shape(x_shape);
     if dy.shape() != out {
         return Err(TensorError::ShapeMismatch { left: dy.shape(), right: out });
     }
-    let mut dx = Tensor::zeros(x_shape);
+    if dx.shape() != x_shape {
+        return Err(TensorError::ShapeMismatch { left: dx.shape(), right: x_shape });
+    }
+    dx.data_mut().fill(0.0);
     let mut oi = 0usize;
     for n in 0..x_shape.n() {
         for c in 0..x_shape.c() {
@@ -175,7 +198,7 @@ pub fn maxpool_backward(
             }
         }
     }
-    Ok(dx)
+    Ok(())
 }
 
 /// Average-pool forward pass (used by Inception and ResNet heads).
@@ -237,11 +260,33 @@ pub fn avgpool_forward_into(x: &Tensor, p: PoolParams, y: &mut Tensor) -> Result
 /// Returns [`TensorError::ShapeMismatch`] if `dy` does not match the implied
 /// output shape.
 pub fn avgpool_backward(x_shape: Shape, dy: &Tensor, p: PoolParams) -> Result<Tensor, TensorError> {
+    let mut dx = Tensor::zeros(x_shape);
+    avgpool_backward_into(x_shape, dy, p, &mut dx)?;
+    Ok(dx)
+}
+
+/// [`avgpool_backward`] landing `dx` in a preallocated buffer (e.g. a
+/// planned arena side region). Every element of `dx` is overwritten — the
+/// buffer is zero-filled, then the spread accumulates — so a poisoned view
+/// is fine. Bit-exact with [`avgpool_backward`].
+///
+/// # Errors
+///
+/// As for [`avgpool_backward`], plus a shape mismatch on `dx`.
+pub fn avgpool_backward_into(
+    x_shape: Shape,
+    dy: &Tensor,
+    p: PoolParams,
+    dx: &mut Tensor,
+) -> Result<(), TensorError> {
     let out = p.out_shape(x_shape);
     if dy.shape() != out {
         return Err(TensorError::ShapeMismatch { left: dy.shape(), right: out });
     }
-    let mut dx = Tensor::zeros(x_shape);
+    if dx.shape() != x_shape {
+        return Err(TensorError::ShapeMismatch { left: dx.shape(), right: x_shape });
+    }
+    dx.data_mut().fill(0.0);
     let area = (p.window * p.window) as f32;
     let mut oi = 0usize;
     for n in 0..x_shape.n() {
@@ -268,7 +313,7 @@ pub fn avgpool_backward(x_shape: Shape, dy: &Tensor, p: PoolParams) -> Result<Te
             }
         }
     }
-    Ok(dx)
+    Ok(())
 }
 
 #[cfg(test)]

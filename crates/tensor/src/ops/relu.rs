@@ -68,6 +68,21 @@ pub fn backward_from_mask(mask: &[bool], dy: &Tensor) -> Tensor {
     Tensor::from_vec(dy.shape(), data).expect("same shape")
 }
 
+/// [`backward`] writing into a preallocated buffer (e.g. a planned arena
+/// side region). Every element of `dx` is overwritten; bit-exact with
+/// [`backward`].
+///
+/// # Panics
+///
+/// Panics if the shapes differ or `dx.numel() != dy.numel()`.
+pub fn backward_into(y: &Tensor, dy: &Tensor, dx: &mut Tensor) {
+    assert_eq!(y.shape(), dy.shape(), "relu backward shapes");
+    assert_eq!(dx.numel(), dy.numel(), "relu backward output size");
+    for (out, (&yv, &dv)) in dx.data_mut().iter_mut().zip(y.data().iter().zip(dy.data())) {
+        *out = if yv > 0.0 { dv } else { 0.0 };
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

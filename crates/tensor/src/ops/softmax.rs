@@ -40,6 +40,26 @@ pub struct SoftmaxLoss {
 /// label is out of range.
 pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<SoftmaxLoss, TensorError> {
     let (n, k) = logits.shape().as_matrix();
+    let mut dlogits = Tensor::zeros(Shape::matrix(n, k));
+    let (loss, correct) = cross_entropy_into(logits, labels, &mut dlogits)?;
+    Ok(SoftmaxLoss { loss, dlogits, correct })
+}
+
+/// [`cross_entropy`] landing `dlogits` in a preallocated buffer (e.g. a
+/// planned arena side region) instead of a fresh allocation; returns
+/// `(loss, correct)`. `dlogits` may carry any shape that flattens to the
+/// logits' `[N, classes]`; every element is overwritten. Bit-exact with
+/// [`cross_entropy`].
+///
+/// # Errors
+///
+/// As for [`cross_entropy`], plus a shape mismatch on `dlogits`.
+pub fn cross_entropy_into(
+    logits: &Tensor,
+    labels: &[usize],
+    dlogits: &mut Tensor,
+) -> Result<(f32, usize), TensorError> {
+    let (n, k) = logits.shape().as_matrix();
     if labels.len() != n {
         return Err(TensorError::UnsupportedShape(format!(
             "{} labels for minibatch of {n}",
@@ -49,10 +69,17 @@ pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<SoftmaxLoss, T
     if let Some(&bad) = labels.iter().find(|&&l| l >= k) {
         return Err(TensorError::UnsupportedShape(format!("label {bad} out of range 0..{k}")));
     }
+    if dlogits.shape().as_matrix() != (n, k) {
+        return Err(TensorError::ShapeMismatch {
+            left: dlogits.shape(),
+            right: Shape::matrix(n, k),
+        });
+    }
     let probs = softmax(logits);
     let mut loss = 0.0f64;
     let mut correct = 0usize;
-    let mut dl = probs.data().to_vec();
+    let dl = dlogits.data_mut();
+    dl.copy_from_slice(probs.data());
     for (i, &label) in labels.iter().enumerate() {
         let row = &probs.data()[i * k..(i + 1) * k];
         loss -= (row[label].max(1e-12) as f64).ln();
@@ -67,14 +94,10 @@ pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<SoftmaxLoss, T
         }
         dl[i * k + label] -= 1.0;
     }
-    for v in &mut dl {
+    for v in dl.iter_mut() {
         *v /= n as f32;
     }
-    Ok(SoftmaxLoss {
-        loss: (loss / n as f64) as f32,
-        dlogits: Tensor::from_vec(Shape::matrix(n, k), dl)?,
-        correct,
-    })
+    Ok(((loss / n as f64) as f32, correct))
 }
 
 #[cfg(test)]

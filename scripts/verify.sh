@@ -28,6 +28,11 @@
 #      solo run across interleavings/threads/alloc, the budget oracle holds
 #      on 64+ random mixes, park/resume is invisible — plus a CLI smoke of
 #      `serve` running a scripted 4-job mix under a tight --mem-budget
+#   9. the plan-granularity gate: arena training crossed over
+#      `--plan event|wave` x GIST_THREADS={1,2} must print one identical
+#      train fingerprint (per-step loss bits + all trained weight bits)
+#      across all four runs — wave-concurrent arena execution is only
+#      allowed to change the slab, never a bit of the training
 #
 # Run this before committing; record what changed in CHANGELOG.md and
 # append a one-line summary to CHANGES.md as usual.
@@ -84,5 +89,23 @@ grep -q "budget oracle ok" <<<"$out"
 # 96 KiB is roughly half the mix's summed leases, so the scheduler must
 # queue and park to fit — the smoke asserts that actually happened.
 grep -Eq "[1-9][0-9]* park" <<<"$out"
+
+echo "==> CLI plan-granularity smoke (event|wave x serial|pool, one fingerprint)"
+fp=""
+for plan in event wave; do
+    for threads in 1 2; do
+        out=$(GIST_THREADS=$threads cargo run --release -q --offline -p gist-cli -- \
+            train small-vgg --batch 4 --steps 2 --alloc arena --plan "$plan")
+        echo "$out" | sed -n "1p;\$p"
+        grep -q "($plan granularity)" <<<"$out"
+        this=$(grep -o "train fingerprint: 0x[0-9a-f]*" <<<"$out")
+        test -n "$this"
+        if [ -z "$fp" ]; then fp="$this"; fi
+        if [ "$this" != "$fp" ]; then
+            echo "plan=$plan GIST_THREADS=$threads diverged: '$this' != '$fp'" >&2
+            exit 1
+        fi
+    done
+done
 
 echo "verify: all tier-1 checks passed"

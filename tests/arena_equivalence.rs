@@ -15,7 +15,7 @@
 
 use gist::par::with_threads;
 use gist::prelude::*;
-use gist::runtime::AllocPolicy;
+use gist::runtime::{AllocPolicy, PlanGranularity};
 use gist::tensor::ops::conv::ConvParams;
 use gist::tensor::ops::lrn::LrnParams;
 use gist::tensor::ops::pool::PoolParams;
@@ -48,10 +48,27 @@ fn train_fingerprint_on(
     graph: &Graph,
     mode: &ExecMode,
     policy: AllocPolicy,
+    ds: SyntheticImages,
+) -> Vec<u32> {
+    train_fingerprint_gran(graph, mode, policy, PlanGranularity::Event, ds)
+}
+
+fn train_fingerprint_gran(
+    graph: &Graph,
+    mode: &ExecMode,
+    policy: AllocPolicy,
+    granularity: PlanGranularity,
     mut ds: SyntheticImages,
 ) -> Vec<u32> {
-    let mut exec =
-        Executor::new_with_policy(graph.clone(), mode.clone(), 9, policy).expect("executor");
+    let mut exec = Executor::new_with_granularity(
+        graph.clone(),
+        mode.clone(),
+        9,
+        policy,
+        OffloadMode::None,
+        granularity,
+    )
+    .expect("executor");
     let mut fp = Vec::new();
     for _ in 0..STEPS {
         let (x, y) = ds.minibatch(BATCH);
@@ -95,6 +112,67 @@ fn train_fingerprints_match_across_policy_threads_and_modes() {
                     "{name}: {policy:?} at {threads} threads diverged from heap/1"
                 );
             }
+        }
+    }
+}
+
+/// The PR 9 headline gate: train-step fingerprints are byte-identical
+/// across plan granularity x thread count x alloc policy x SIMD level.
+/// `PlanGranularity::Wave` lets the arena executor run multi-node waves on
+/// the thread pool (buffers of a wave are planned concurrently live), so
+/// this matrix is the proof that wave-granular plans change *where* results
+/// are computed — never *what* is computed.
+#[test]
+fn train_fingerprints_match_across_granularity_threads_policies_and_simd() {
+    use gist::simd::{available_levels, with_level, Level};
+    let graph = gist::models::tiny_convnet(BATCH, CLASSES);
+    let mode = ExecMode::Gist(GistConfig::lossless());
+    let ds = || SyntheticImages::new(CLASSES, 16, 0.35, 23);
+    let max_threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let reference = with_level(Level::Scalar, || {
+        with_threads(1, || {
+            train_fingerprint_gran(&graph, &mode, AllocPolicy::Heap, PlanGranularity::Event, ds())
+        })
+    });
+    assert!(reference.len() > 100, "fingerprint covers real state");
+    for granularity in [PlanGranularity::Event, PlanGranularity::Wave] {
+        for lvl in available_levels() {
+            for threads in [1, 2, max_threads] {
+                for policy in [AllocPolicy::Heap, AllocPolicy::Arena] {
+                    let fp = with_level(lvl, || {
+                        with_threads(threads, || {
+                            train_fingerprint_gran(&graph, &mode, policy, granularity, ds())
+                        })
+                    });
+                    assert_eq!(
+                        fp, reference,
+                        "plan={granularity:?} policy={policy:?} threads={threads} \
+                         GIST_SIMD={lvl}: diverged from heap/event/scalar/1"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Wave-granular planning on branchy graphs: `Add`/`Concat` fan-in means
+/// several same-wave nodes contribute to one upstream gradient map, whose
+/// single wave-lifetime alloc and fixed-order serial merge are exactly the
+/// machinery this PR added. Both granularities must reproduce the heap
+/// fingerprint bit-for-bit.
+#[test]
+fn branchy_graphs_match_across_granularities() {
+    let nets: Vec<(&str, Graph)> = vec![
+        ("resnet_cifar", gist::models::resnet_cifar(1, BATCH)),
+        ("densenet_cifar", gist::models::densenet_cifar(1, 4, BATCH)),
+    ];
+    let mode = ExecMode::Gist(GistConfig::lossless());
+    for (net, graph) in nets {
+        let ds = || SyntheticImages::rgb(10, 32, 0.35, 23);
+        let heap = train_fingerprint_on(&graph, &mode, AllocPolicy::Heap, ds());
+        for granularity in [PlanGranularity::Event, PlanGranularity::Wave] {
+            let fp = train_fingerprint_gran(&graph, &mode, AllocPolicy::Arena, granularity, ds());
+            assert_eq!(fp, heap, "{net}: arena/{granularity:?} diverged from heap");
         }
     }
 }

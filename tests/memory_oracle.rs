@@ -6,13 +6,14 @@
 //! enforced as a release gate by `gist-bench`'s `extra_runtime_validation`
 //! binary; this test keeps it under plain `cargo test`.
 
-use gist::memory::{check_no_overlap, observed_peak};
+use gist::memory::{check_no_overlap, check_no_overlap_waves, observed_peak, observed_peak_waves};
 use gist::obs::{Event, MemoryAccountant, TraceSink};
 use gist::par::with_threads;
 use gist::prelude::*;
 use gist::runtime::{
-    predict_step_events, predict_step_events_for, predicted_peak_bytes, predicted_peak_bytes_for,
-    ssdc_stash_sizes, AllocPolicy,
+    predict_step_events, predict_step_events_for, predict_step_events_granular,
+    predicted_peak_bytes, predicted_peak_bytes_for, predicted_peak_bytes_granular,
+    ssdc_stash_sizes, AllocPolicy, PlanGranularity,
 };
 use std::collections::HashMap;
 
@@ -185,6 +186,135 @@ fn arena_and_heap_steps_agree_bitwise() {
             "{policy}: arena step diverged from heap step"
         );
     }
+}
+
+/// The wave-granular arena oracle, across the zoo x stash policy x offload
+/// mechanism: the observed memory stream matches the wave-conservative
+/// predicted stream event for event; three peak derivations agree; and —
+/// the property event granularity cannot even state — every pair of
+/// buffers live in the *same wave* occupies byte-disjoint slab regions
+/// (`check_no_overlap_waves`), which is what makes it sound to run the
+/// wave's kernels concurrently.
+#[test]
+fn wave_arena_oracle_over_zoo_and_offload_modes() {
+    for (net, graph) in zoo() {
+        for (policy, mode) in policies() {
+            for (oname, offload) in [
+                ("resident", OffloadMode::None),
+                ("recompute", OffloadMode::Recompute),
+                ("swap", OffloadMode::Swap(SwapStrategy::Vdnn)),
+            ] {
+                let mut exec = Executor::new_with_granularity(
+                    graph.clone(),
+                    mode.clone(),
+                    7,
+                    AllocPolicy::Arena,
+                    offload,
+                    PlanGranularity::Wave,
+                )
+                .unwrap_or_else(|e| panic!("{net}/{policy}/{oname}: executor: {e}"));
+                let mut ds = SyntheticImages::new(CLASSES, 16, 0.4, 11);
+                let (x, y) = ds.minibatch(BATCH);
+                let sink = TraceSink::new();
+                let stats = exec.step_traced(&x, &y, 0.05, &sink).expect("step");
+                let trace = sink.take();
+
+                let (predicted, groups) = predict_step_events_granular(
+                    &graph,
+                    &mode,
+                    AllocPolicy::Arena,
+                    &HashMap::new(),
+                    exec.offload_plan(),
+                    PlanGranularity::Wave,
+                )
+                .unwrap_or_else(|e| panic!("{net}/{policy}/{oname}: predictor: {e}"));
+                let observed: Vec<Event> =
+                    trace.iter().filter(|ev| ev.is_memory()).cloned().collect();
+                assert_eq!(observed, predicted, "{net}/{policy}/{oname}: wave stream divergence");
+
+                let mut acc = MemoryAccountant::new();
+                acc.fold_all(&trace)
+                    .unwrap_or_else(|e| panic!("{net}/{policy}/{oname}: bad stream: {e}"));
+                assert_eq!(acc.peak_bytes(), stats.peak_live_bytes as u64);
+                let predicted_peak = predicted_peak_bytes_granular(
+                    &graph,
+                    &mode,
+                    AllocPolicy::Arena,
+                    &HashMap::new(),
+                    exec.offload_plan(),
+                    PlanGranularity::Wave,
+                )
+                .unwrap();
+                assert_eq!(
+                    acc.peak_bytes(),
+                    predicted_peak,
+                    "{net}/{policy}/{oname}: wave peak mismatch"
+                );
+
+                // Same-wave concurrent liveness: no two buffers alive in
+                // one wave share a byte of the slab.
+                let arena = exec.arena().expect("arena policy implies an arena");
+                check_no_overlap_waves(&acc, &groups, |name| arena.region(name)).unwrap_or_else(
+                    |e| panic!("{net}/{policy}/{oname}: wave layout violates trace: {e}"),
+                );
+
+                // The slab holds the wave-coarsened footprint, which in
+                // turn dominates the tick-exact one.
+                let wave_peak = observed_peak_waves(&acc, &groups);
+                assert!(acc.peak_bytes() as usize <= wave_peak);
+                assert!(
+                    wave_peak <= arena.capacity_bytes(),
+                    "{net}/{policy}/{oname}: wave-coarsened peak exceeds slab"
+                );
+                assert_eq!(arena.capacity_bytes(), arena.plan().total_bytes);
+
+                // Wave conservatism is monotone: the wave plan never
+                // undercuts the event plan's footprint.
+                let event_peak = predicted_peak_bytes_granular(
+                    &graph,
+                    &mode,
+                    AllocPolicy::Arena,
+                    &HashMap::new(),
+                    exec.offload_plan(),
+                    PlanGranularity::Event,
+                )
+                .unwrap();
+                assert!(
+                    predicted_peak >= event_peak,
+                    "{net}/{policy}/{oname}: wave peak {predicted_peak} < event peak {event_peak}"
+                );
+            }
+        }
+    }
+}
+
+/// The negative control that proves the wave check has teeth: an
+/// event-granular layout happily time-multiplexes two buffers of the same
+/// wave (the first dies mid-wave, the second inherits its bytes). That
+/// layout is tick-exactly sound — `verify_offsets` accepts it — but under
+/// wave-coarsened liveness the two buffers are concurrently live, and the
+/// same-wave disjointness check must reject the sharing.
+#[test]
+fn event_plan_fails_wave_disjointness_check() {
+    let events = vec![
+        Event::Alloc { name: "a".into(), bytes: 64 },
+        Event::Free { name: "a".into(), bytes: 64 },
+        Event::Alloc { name: "b".into(), bytes: 64 },
+        Event::Free { name: "b".into(), bytes: 64 },
+    ];
+    let arena = gist::memory::Arena::from_events(&events).expect("event arena");
+    assert_eq!(
+        arena.region("a"),
+        arena.region("b"),
+        "event-granular packing should reuse the dead buffer's bytes"
+    );
+    let mut acc = MemoryAccountant::new();
+    acc.fold_all(&events).expect("stream");
+    acc.verify_offsets(|name| arena.region(name))
+        .expect("tick-exact liveness accepts the shared region");
+    // All four ticks form one wave: "a" and "b" are now concurrently live.
+    check_no_overlap_waves(&acc, &[(0, 3)], |name| arena.region(name))
+        .expect_err("same-wave liveness must reject the shared region");
 }
 
 /// The memory substream — and therefore the observed peak — is identical

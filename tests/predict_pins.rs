@@ -15,8 +15,9 @@
 use gist::obs::{MemoryAccountant, TraceSink};
 use gist::prelude::*;
 use gist::runtime::{
-    predicted_param_wire_bytes, predicted_peak_bytes_for, predicted_replica_slab_bytes,
-    ssdc_stash_sizes, AllocPolicy,
+    predicted_param_wire_bytes, predicted_peak_bytes_for, predicted_peak_bytes_granular,
+    predicted_replica_slab_bytes, predicted_replica_slab_bytes_granular, ssdc_stash_sizes,
+    AllocPolicy, PlanGranularity,
 };
 use std::collections::HashMap;
 
@@ -109,6 +110,87 @@ fn replica_slab_bytes_is_per_slab_times_replicas() {
                     "{net}/{label}: total at {replicas} replicas"
                 );
             }
+        }
+    }
+}
+
+/// The `--plan wave` pins: the wave-conservative prediction equals the
+/// peak a wave-plan executor's meter observes; the wave lease dominates
+/// the event lease (serve can upgrade a job's granularity without
+/// re-admission only in the event direction); and the replica lease
+/// arithmetic is exact under both granularities, with `Event` pricing
+/// bit-identical to the legacy entry point.
+#[test]
+fn wave_plan_predicted_peak_matches_observed_and_prices_leases() {
+    for (net, graph) in small_zoo() {
+        for (label, mode) in modes() {
+            let mut exec = Executor::new_with_granularity(
+                graph.clone(),
+                mode.clone(),
+                7,
+                AllocPolicy::Arena,
+                OffloadMode::None,
+                PlanGranularity::Wave,
+            )
+            .unwrap_or_else(|e| panic!("{net}/{label}: executor: {e}"));
+            let mut ds = SyntheticImages::new(CLASSES, 16, 0.3, 11);
+            let (x, y) = ds.minibatch(BATCH);
+            let sink = TraceSink::new();
+            let stats = exec.step_traced(&x, &y, 0.05, &sink).expect("step");
+            let mut acc = MemoryAccountant::new();
+            acc.fold_all(&sink.take()).expect("well-formed stream");
+            assert_eq!(acc.peak_bytes(), stats.peak_live_bytes as u64, "meter vs accountant");
+
+            let predicted_wave = predicted_peak_bytes_granular(
+                &graph,
+                &mode,
+                AllocPolicy::Arena,
+                &HashMap::new(),
+                None,
+                PlanGranularity::Wave,
+            )
+            .unwrap_or_else(|e| panic!("{net}/{label}: {e}"));
+            assert_eq!(predicted_wave, acc.peak_bytes(), "{net}/{label}: wave peak pin");
+            let capacity = exec.arena_capacity_bytes().expect("arena") as u64;
+            assert!(
+                predicted_wave <= capacity,
+                "{net}/{label}: predicted wave peak {predicted_wave} exceeds slab {capacity}"
+            );
+
+            let predicted_event = predicted_peak_bytes_granular(
+                &graph,
+                &mode,
+                AllocPolicy::Arena,
+                &HashMap::new(),
+                None,
+                PlanGranularity::Event,
+            )
+            .unwrap();
+            assert!(
+                predicted_wave >= predicted_event,
+                "{net}/{label}: wave lease {predicted_wave} below event lease {predicted_event}"
+            );
+
+            for replicas in [1usize, 2, 4] {
+                let (per, total) = predicted_replica_slab_bytes_granular(
+                    &graph,
+                    &mode,
+                    replicas,
+                    PlanGranularity::Wave,
+                )
+                .unwrap();
+                assert_eq!(per, predicted_wave, "{net}/{label}: per-replica wave lease");
+                assert_eq!(
+                    total,
+                    per * replicas as u64,
+                    "{net}/{label}: wave total at {replicas} replicas"
+                );
+            }
+            let (per_event, _) =
+                predicted_replica_slab_bytes_granular(&graph, &mode, 2, PlanGranularity::Event)
+                    .unwrap();
+            let (per_legacy, _) = predicted_replica_slab_bytes(&graph, &mode, 2).unwrap();
+            assert_eq!(per_event, per_legacy, "{net}/{label}: event pricing drifted from legacy");
         }
     }
 }
