@@ -30,6 +30,7 @@ pub mod link;
 pub mod reduce;
 pub mod trainer;
 
+pub use gist_encodings::CodecPolicy as GradCodecPolicy;
 pub use gist_encodings::TransferCodec as GradCodec;
 pub use link::{simulate_allreduce, AllReduceReport, LinkTransfer};
 pub use reduce::{combine_into, reduction_rounds, Edge, GradReduceTree};

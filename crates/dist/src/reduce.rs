@@ -13,7 +13,7 @@
 //!    N = 8; placement changes which edges cross a physical link (and thus
 //!    the wire bytes and simulated stall), never the merged values.
 
-use gist_encodings::{TransferCodec, Wire};
+use gist_encodings::{CodecPolicy, TransferCodec, Wire};
 
 /// One combine edge: `slots[dst] += decode(encode(slots[src]))`.
 pub type Edge = (usize, usize);
@@ -78,15 +78,25 @@ pub fn combine_into(acc: &mut [f32], src: &[f32], codec: TransferCodec) -> u64 {
 #[derive(Debug)]
 pub struct GradReduceTree {
     slots: Vec<Option<Vec<f32>>>,
-    codec: TransferCodec,
+    policy: CodecPolicy,
 }
 
 impl GradReduceTree {
     /// A tree over `shards` slots, applying `codec` on every edge.
     #[must_use]
     pub fn new(shards: usize, codec: TransferCodec) -> Self {
+        Self::new_with_policy(shards, CodecPolicy::Fixed(codec))
+    }
+
+    /// A tree over `shards` slots whose per-edge codec is chosen by
+    /// `policy` from each edge's payload ([`CodecPolicy::Auto`] picks SSDC
+    /// vs raw from observed density). The choice is a pure function of the
+    /// payload values, so arrival-order and placement independence hold
+    /// exactly as for a fixed codec.
+    #[must_use]
+    pub fn new_with_policy(shards: usize, policy: CodecPolicy) -> Self {
         assert!(shards > 0, "GradReduceTree needs at least one shard");
-        Self { slots: (0..shards).map(|_| None).collect(), codec }
+        Self { slots: (0..shards).map(|_| None).collect(), policy }
     }
 
     /// Number of shard slots.
@@ -146,7 +156,7 @@ impl GradReduceTree {
             for (dst, src) in round {
                 let incoming = self.slots[src].take().expect("source slot consumed twice");
                 let acc = self.slots[dst].as_mut().expect("destination slot missing");
-                round_bytes.push(combine_into(acc, &incoming, self.codec));
+                round_bytes.push(combine_into(acc, &incoming, self.policy.choose(&incoming)));
             }
             per_edge.push(round_bytes);
         }

@@ -11,7 +11,7 @@
 
 use crate::link::{simulate_allreduce, AllReduceReport};
 use crate::reduce::{reduction_rounds, GradReduceTree};
-use gist_encodings::{TransferCodec, Wire};
+use gist_encodings::{CodecPolicy, TransferCodec, Wire};
 use gist_par as par;
 use gist_par::ThreadPool;
 use gist_perf::GpuModel;
@@ -81,7 +81,7 @@ pub struct DistStepReport {
 pub struct DistTrainer {
     execs: Vec<Executor>,
     pools: Vec<ThreadPool>,
-    codec: TransferCodec,
+    policy: CodecPolicy,
     shards: usize,
 }
 
@@ -99,6 +99,22 @@ impl DistTrainer {
         replicas: usize,
         shards: usize,
         codec: TransferCodec,
+        build: impl FnMut() -> Result<Executor, RuntimeError>,
+    ) -> Result<Self, DistError> {
+        Self::new_with_policy(replicas, shards, CodecPolicy::Fixed(codec), build)
+    }
+
+    /// [`Self::new`], but the per-transfer codec is chosen by `policy`
+    /// from each payload ([`CodecPolicy::Auto`] = density-driven SSDC vs
+    /// raw, still bitwise lossless).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::new`].
+    pub fn new_with_policy(
+        replicas: usize,
+        shards: usize,
+        policy: CodecPolicy,
         mut build: impl FnMut() -> Result<Executor, RuntimeError>,
     ) -> Result<Self, DistError> {
         if replicas == 0 || shards == 0 {
@@ -119,7 +135,7 @@ impl DistTrainer {
         } else {
             Vec::new()
         };
-        Ok(Self { execs, pools, codec, shards })
+        Ok(Self { execs, pools, policy, shards })
     }
 
     /// Replica count.
@@ -134,10 +150,10 @@ impl DistTrainer {
         self.shards
     }
 
-    /// The transfer codec applied on every tree edge and the broadcast.
+    /// The codec policy applied on every tree edge and the broadcast.
     #[must_use]
-    pub fn codec(&self) -> TransferCodec {
-        self.codec
+    pub fn policy(&self) -> CodecPolicy {
+        self.policy
     }
 
     /// Replica `r`'s executor (all replicas hold identical parameters
@@ -218,7 +234,7 @@ impl DistTrainer {
             let shape_main = shard_out[0].1[node].as_ref().expect("grads").main.shape();
             let main = self.reduce_tensor(&shard_out, node, false, &mut edge_bytes);
             dense_grad_bytes += main.len() as u64 * 4;
-            let (main, mb) = Self::broadcast_roundtrip(main, inv, self.codec);
+            let (main, mb) = Self::broadcast_roundtrip(main, inv, self.policy);
             broadcast_bytes += mb;
             let main_t = Tensor::from_vec(shape_main, main).map_err(RuntimeError::from)?;
             let secondary =
@@ -226,7 +242,7 @@ impl DistTrainer {
                     let shape_sec = sec.shape();
                     let sec = self.reduce_tensor(&shard_out, node, true, &mut edge_bytes);
                     dense_grad_bytes += sec.len() as u64 * 4;
-                    let (sec, sb) = Self::broadcast_roundtrip(sec, inv, self.codec);
+                    let (sec, sb) = Self::broadcast_roundtrip(sec, inv, self.policy);
                     broadcast_bytes += sb;
                     Some(Tensor::from_vec(shape_sec, sec).map_err(RuntimeError::from)?)
                 } else {
@@ -345,7 +361,7 @@ impl DistTrainer {
         secondary: bool,
         edge_bytes: &mut [Vec<u64>],
     ) -> Vec<f32> {
-        let mut tree = GradReduceTree::new(self.shards, self.codec);
+        let mut tree = GradReduceTree::new_with_policy(self.shards, self.policy);
         for (shard, (_, grads)) in shard_out.iter().enumerate() {
             let g = grads[node].as_ref().expect("shard grad structure mismatch");
             let data = if secondary {
@@ -367,11 +383,11 @@ impl DistTrainer {
     /// Mean-scales the tree sum, then rides it through one codec
     /// round-trip — the broadcast every replica decodes on arrival.
     /// Returns the applied gradient and the bytes of one broadcast copy.
-    fn broadcast_roundtrip(mut sum: Vec<f32>, inv: f32, codec: TransferCodec) -> (Vec<f32>, u64) {
+    fn broadcast_roundtrip(mut sum: Vec<f32>, inv: f32, policy: CodecPolicy) -> (Vec<f32>, u64) {
         for v in &mut sum {
             *v *= inv;
         }
-        let wire = Wire::encode(codec, &sum);
+        let wire = Wire::encode(policy.choose(&sum), &sum);
         let bytes = wire.wire_bytes();
         (wire.decode(), bytes)
     }

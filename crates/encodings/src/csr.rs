@@ -309,6 +309,15 @@ pub fn max_encoded_bytes(len: usize, config: SsdcConfig) -> usize {
 /// given `sparsity`, used by the static planner before real data exists.
 pub fn predicted_bytes(len: usize, sparsity: f64, config: SsdcConfig) -> usize {
     let nnz = ((1.0 - sparsity.clamp(0.0, 1.0)) * len as f64).round() as usize;
+    encoded_bytes_for(len, nnz, config)
+}
+
+/// Exact encoded size (bytes) for a feature map of `len` elements holding
+/// exactly `nnz` non-zeros — the same arithmetic [`CsrMatrix::encode`]
+/// realizes, so a caller that has counted non-zeros (e.g. the
+/// density-driven codec policy in `transfer`) can price an encoding
+/// without performing it.
+pub fn encoded_bytes_for(len: usize, nnz: usize, config: SsdcConfig) -> usize {
     let cols = if config.narrow { NARROW_COLS } else { len.max(1) };
     let rows = len.div_ceil(cols).max(1);
     let value_bits = match config.value_format {

@@ -35,7 +35,7 @@ pub use binarize::{BitMask, PoolIndexMap};
 pub use csr::{CsrMatrix, SsdcConfig};
 pub use dpr::{DprFormat, RoundingMode};
 pub use encoded::EncodedTensor;
-pub use transfer::{max_wire_bytes, TransferCodec, Wire, WireError};
+pub use transfer::{auto_codec, max_wire_bytes, CodecPolicy, TransferCodec, Wire, WireError};
 
 /// Errors from encoding/decoding operations.
 #[derive(Debug, Clone, PartialEq, Eq)]

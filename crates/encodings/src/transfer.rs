@@ -125,6 +125,99 @@ impl std::fmt::Display for TransferCodec {
     }
 }
 
+/// How the sender of a transfer picks its [`TransferCodec`].
+///
+/// Gist's SSDC wins on sparse payloads and *loses* on dense ones (the
+/// column-index and row-pointer metadata costs ~1.16x on dense gradients —
+/// see EXPERIMENTS.md), so a fixed fleet-wide codec leaves bytes on the
+/// wire. `Auto` prices both encodings from the payload's observed non-zero
+/// density — pure arithmetic over the values, no encode performed — and
+/// ships whichever is smaller. The choice is a function of the payload
+/// alone, so it is deterministic and placement-independent: the same tree
+/// edge carries the same bytes no matter which replica or process computed
+/// it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecPolicy {
+    /// Always use this codec.
+    Fixed(TransferCodec),
+    /// Per-payload density decision between [`TransferCodec::Ssdc`] and
+    /// [`TransferCodec::None`] (lossless either way).
+    Auto,
+}
+
+impl CodecPolicy {
+    /// Parses the CLI/bench spelling: everything [`TransferCodec::parse`]
+    /// accepts, plus `auto`.
+    pub fn parse(s: &str) -> Option<CodecPolicy> {
+        if s.trim().eq_ignore_ascii_case("auto") {
+            return Some(CodecPolicy::Auto);
+        }
+        TransferCodec::parse(s).map(CodecPolicy::Fixed)
+    }
+
+    /// Display / JSON-meta label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CodecPolicy::Fixed(c) => c.label(),
+            CodecPolicy::Auto => "auto",
+        }
+    }
+
+    /// Whether every codec this policy can pick round-trips bitwise.
+    pub fn is_lossless(&self) -> bool {
+        match self {
+            CodecPolicy::Fixed(c) => c.is_lossless(),
+            CodecPolicy::Auto => true,
+        }
+    }
+
+    /// Stable numeric id for JSON meta columns (`100` = auto, otherwise
+    /// the fixed codec's [`TransferCodec::meta_id`]).
+    pub fn meta_id(&self) -> u64 {
+        match self {
+            CodecPolicy::Fixed(c) => c.meta_id(),
+            CodecPolicy::Auto => 100,
+        }
+    }
+
+    /// The codec this payload ships under.
+    pub fn choose(&self, data: &[f32]) -> TransferCodec {
+        match self {
+            CodecPolicy::Fixed(c) => *c,
+            CodecPolicy::Auto => auto_codec(data),
+        }
+    }
+}
+
+impl std::fmt::Display for CodecPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The density decision [`CodecPolicy::Auto`] makes: SSDC when its exact
+/// wire size (CSR payload priced from the counted non-zeros via
+/// [`csr::encoded_bytes_for`], plus 4 bytes per `-0.0` fixup) undercuts
+/// the dense `4 * len` payload, raw otherwise. Ties go to raw — equal
+/// bytes buy no win and the dense path skips the scatter on decode.
+pub fn auto_codec(data: &[f32]) -> TransferCodec {
+    let mut nnz = 0usize;
+    let mut fixups = 0usize;
+    for v in data {
+        if v.to_bits() == 0x8000_0000 {
+            fixups += 1;
+        } else if *v != 0.0 {
+            nnz += 1;
+        }
+    }
+    let ssdc = csr::encoded_bytes_for(data.len(), nnz, SsdcConfig::default()) + fixups * 4;
+    if ssdc < data.len() * 4 {
+        TransferCodec::Ssdc
+    } else {
+        TransferCodec::None
+    }
+}
+
 /// The encoded payload variants.
 #[derive(Debug, Clone, PartialEq)]
 enum Payload {
@@ -473,6 +566,64 @@ mod tests {
         assert!(matches!(Wire::from_bytes(&b), Err(WireError::TrailingBytes(1))));
         let control = Wire::from_bytes(&good).expect("control stays valid");
         assert_eq!(control.to_bytes(), good);
+    }
+
+    #[test]
+    fn auto_codec_prices_the_wire_it_would_ship() {
+        // At every density the auto choice encodes to no more bytes than
+        // either fixed alternative actually realizes.
+        let len = 1024usize;
+        for permille in [0usize, 50, 200, 500, 790, 800, 810, 900, 1000] {
+            let data: Vec<f32> = (0..len)
+                .map(|i| if (i * 997) % 1000 < permille { (i as f32) * 0.13 + 1.0 } else { 0.0 })
+                .collect();
+            let chosen = auto_codec(&data);
+            let auto_bytes = Wire::encode(chosen, &data).wire_bytes();
+            let raw = Wire::encode(TransferCodec::None, &data).wire_bytes();
+            let ssdc = Wire::encode(TransferCodec::Ssdc, &data).wire_bytes();
+            assert_eq!(auto_bytes, raw.min(ssdc), "density {permille}/1000 chose {chosen}");
+        }
+    }
+
+    #[test]
+    fn auto_codec_threshold_is_pinned() {
+        // len = 1024 (4 narrow rows): ssdc payload = 5*nnz + 5*4 row
+        // pointers. 5*nnz + 20 < 4096 ⟺ nnz <= 815 — the committed
+        // break-even of the density policy. A drifted pin means the SSDC
+        // byte layout (and every EXPERIMENTS.md wire table) moved.
+        let dense = |nnz: usize| -> Vec<f32> {
+            (0..1024).map(|i| if i < nnz { 1.0 } else { 0.0 }).collect()
+        };
+        assert_eq!(auto_codec(&dense(815)), TransferCodec::Ssdc);
+        assert_eq!(auto_codec(&dense(816)), TransferCodec::None);
+        // Fully dense gradients (the EXPERIMENTS.md 1.16x loss case) ship
+        // raw; fully sparse ships SSDC; an empty payload ties to raw.
+        assert_eq!(auto_codec(&dense(1024)), TransferCodec::None);
+        assert_eq!(auto_codec(&dense(0)), TransferCodec::Ssdc);
+        assert_eq!(auto_codec(&[]), TransferCodec::None);
+        // -0.0 is priced as a fixup (4 bytes), not a non-zero.
+        let with_neg_zero = vec![-0.0f32; 1024];
+        assert_eq!(auto_codec(&with_neg_zero), TransferCodec::None);
+    }
+
+    #[test]
+    fn codec_policy_parses_labels_and_stays_lossless() {
+        assert_eq!(CodecPolicy::parse("auto"), Some(CodecPolicy::Auto));
+        assert_eq!(CodecPolicy::parse("AUTO"), Some(CodecPolicy::Auto));
+        assert_eq!(CodecPolicy::parse("ssdc"), Some(CodecPolicy::Fixed(TransferCodec::Ssdc)));
+        assert_eq!(CodecPolicy::parse("warp"), None);
+        assert_eq!(CodecPolicy::Auto.label(), "auto");
+        assert_eq!(CodecPolicy::Auto.meta_id(), 100);
+        assert!(CodecPolicy::Auto.is_lossless());
+        assert!(!CodecPolicy::Fixed(TransferCodec::Dpr(DprFormat::Fp8)).is_lossless());
+        // Auto's chosen wire round-trips hostile bits exactly.
+        for len in [0usize, 7, 256, 1000] {
+            let data = hostile(len);
+            let wire = Wire::encode(CodecPolicy::Auto.choose(&data), &data);
+            let got: Vec<u32> = wire.decode().iter().map(|v| v.to_bits()).collect();
+            let want: Vec<u32> = data.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got, want, "len={len}");
+        }
     }
 
     #[test]

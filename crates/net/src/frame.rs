@@ -1,0 +1,559 @@
+//! The framed, versioned gist-net message layer.
+//!
+//! Every message that crosses a process boundary travels as one frame:
+//!
+//! ```text
+//! | u32 body_len | "GNT1" | u8 version | u8 kind | kind fields ... |
+//! |  (LE, excl.  |  magic |    = 1     |         |                 |
+//! |  this field) |        |            |         |                 |
+//! ```
+//!
+//! Kind `0` is [`Msg::Hello`] (rendezvous validation: rank, world, shard
+//! count, codec-policy id), kind `1` is [`Msg::Grad`] (an epoch/step/
+//! tensor-id header followed by a serialized [`gist_encodings::Wire`]
+//! payload), kind `2` is [`Msg::Stats`] (the per-shard statistics table).
+//!
+//! The decoding contract mirrors the `Wire` byte layer underneath it:
+//! **any** byte sequence — truncated at any offset, bit-flipped magic or
+//! version or length, garbage kinds, oversized length fields — produces a
+//! typed [`NetError`], never a panic and never an allocation larger than
+//! [`MAX_FRAME_BYTES`].
+
+use gist_encodings::WireError;
+use std::io::{Read, Write};
+
+/// Leading magic of a gist-net frame ("Gist NeT v1").
+pub const MAGIC: [u8; 4] = *b"GNT1";
+
+/// Protocol version carried in every frame; bumped on any layout change.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Upper bound on one frame body. A corrupted length field is rejected
+/// against this cap *before* any allocation, so garbage on the socket can
+/// cost at most one bounded read.
+pub const MAX_FRAME_BYTES: usize = 1 << 28;
+
+/// Fixed framing overhead of a [`Msg::Grad`]: observed socket bytes are
+/// exactly `serialized Wire buffer + GRAD_FRAME_OVERHEAD` (length prefix
+/// 4, magic 4, version 1, kind 1, epoch/step/tensor 12, wire length 4).
+/// Note the serialized buffer (`Wire::to_bytes`) itself carries a header
+/// over the *priced* `Wire::wire_bytes` — for the dense codec that header
+/// is exactly 13 bytes, the relation `tests/net_equivalence.rs` pins.
+pub const GRAD_FRAME_OVERHEAD: u64 = 26;
+
+/// A transport or protocol failure. Every variant is a rejection: malformed
+/// bytes, a dead peer, or a rendezvous that ran out its budget — never a
+/// panic, and (at the trainer layer) never a partially applied gradient.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// A frame body ended before a field it promised.
+    Truncated {
+        /// Bytes the next field needed.
+        needed: usize,
+        /// Bytes actually remaining.
+        available: usize,
+    },
+    /// The leading magic was not `GNT1`.
+    BadMagic([u8; 4]),
+    /// The version byte named a protocol this build does not speak.
+    BadVersion(u8),
+    /// The kind byte held an unassigned value.
+    BadKind(u8),
+    /// The length prefix promised more than [`MAX_FRAME_BYTES`].
+    FrameTooLarge {
+        /// Promised body length.
+        len: usize,
+        /// The cap it violated.
+        max: usize,
+    },
+    /// The embedded `Wire` payload failed to parse.
+    Wire(WireError),
+    /// Frames were individually well-formed but violated the exchange
+    /// protocol (wrong kind, mismatched step/tensor header, wrong Hello).
+    Protocol(String),
+    /// Invalid trainer/transport configuration.
+    Config(String),
+    /// Rendezvous exhausted its retry budget waiting for a peer.
+    Rendezvous {
+        /// The rank that never showed up.
+        missing_rank: u32,
+        /// Connect attempts made before giving up.
+        attempts: u32,
+        /// Last underlying failure.
+        detail: String,
+    },
+    /// The peer closed its end mid-stream.
+    Disconnected {
+        /// The peer rank whose stream died.
+        peer: u32,
+    },
+    /// A socket operation failed or timed out.
+    Io {
+        /// The peer rank involved.
+        peer: u32,
+        /// Which operation (`read`, `write`, `bind`, ...).
+        op: &'static str,
+        /// The underlying error text.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Truncated { needed, available } => {
+                write!(f, "truncated frame: needed {needed} bytes, {available} available")
+            }
+            NetError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            NetError::BadVersion(v) => {
+                write!(f, "unsupported protocol version {v} (this build speaks {PROTOCOL_VERSION})")
+            }
+            NetError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            NetError::FrameTooLarge { len, max } => {
+                write!(f, "frame length {len} exceeds the {max}-byte cap")
+            }
+            NetError::Wire(e) => write!(f, "bad wire payload: {e}"),
+            NetError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            NetError::Config(msg) => write!(f, "net config error: {msg}"),
+            NetError::Rendezvous { missing_rank, attempts, detail } => write!(
+                f,
+                "rendezvous failed: rank {missing_rank} unreachable after {attempts} \
+                 attempt(s) ({detail})"
+            ),
+            NetError::Disconnected { peer } => write!(f, "peer rank {peer} disconnected"),
+            NetError::Io { peer, op, detail } => {
+                write!(f, "socket {op} to/from rank {peer} failed: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        NetError::Wire(e)
+    }
+}
+
+/// One gist-net message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Msg {
+    /// Rendezvous handshake: both sides validate every field against their
+    /// own configuration so a misassembled fleet fails fast and by name.
+    Hello {
+        /// Sender's rank.
+        rank: u32,
+        /// Sender's world size.
+        world: u32,
+        /// Sender's shard count.
+        shards: u32,
+        /// Sender's codec-policy meta id ([`gist_encodings::CodecPolicy::meta_id`]).
+        policy_id: u32,
+    },
+    /// One gradient payload: a reduction-tree edge or a broadcast leg.
+    Grad {
+        /// Training epoch of the sending step.
+        epoch: u32,
+        /// Global step index.
+        step: u32,
+        /// Tensor sequence number within the step (main and secondary
+        /// gradients each get their own id, in node order).
+        tensor: u32,
+        /// A serialized [`gist_encodings::Wire`] (`Wire::to_bytes`).
+        wire: Vec<u8>,
+    },
+    /// The per-shard statistics exchange (loss bits, correct, batch per
+    /// shard), gathered to rank 0 and broadcast back as a full table so
+    /// every rank computes the identical global loss.
+    Stats {
+        /// Global step index.
+        step: u32,
+        /// Flat `u32` payload; layout is the trainer's contract.
+        words: Vec<u32>,
+    },
+}
+
+/// Bounds-checked little-endian reader over one frame body.
+struct Rd<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Rd<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Rd { buf, pos: 0 }
+    }
+
+    fn need(&self, n: usize) -> Result<(), NetError> {
+        let available = self.buf.len() - self.pos;
+        if available < n {
+            return Err(NetError::Truncated { needed: n, available });
+        }
+        Ok(())
+    }
+
+    fn u8(&mut self) -> Result<u8, NetError> {
+        self.need(1)?;
+        let v = self.buf[self.pos];
+        self.pos += 1;
+        Ok(v)
+    }
+
+    fn u32(&mut self) -> Result<u32, NetError> {
+        self.need(4)?;
+        let v = u32::from_le_bytes(self.buf[self.pos..self.pos + 4].try_into().expect("4 bytes"));
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], NetError> {
+        self.need(n)?;
+        let v = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(v)
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+impl Msg {
+    fn kind(&self) -> u8 {
+        match self {
+            Msg::Hello { .. } => 0,
+            Msg::Grad { .. } => 1,
+            Msg::Stats { .. } => 2,
+        }
+    }
+
+    /// Serializes to one complete frame, length prefix included.
+    pub fn to_frame(&self) -> Vec<u8> {
+        let mut body = Vec::with_capacity(32);
+        body.extend_from_slice(&MAGIC);
+        body.push(PROTOCOL_VERSION);
+        body.push(self.kind());
+        match self {
+            Msg::Hello { rank, world, shards, policy_id } => {
+                put_u32(&mut body, *rank);
+                put_u32(&mut body, *world);
+                put_u32(&mut body, *shards);
+                put_u32(&mut body, *policy_id);
+            }
+            Msg::Grad { epoch, step, tensor, wire } => {
+                put_u32(&mut body, *epoch);
+                put_u32(&mut body, *step);
+                put_u32(&mut body, *tensor);
+                put_u32(&mut body, wire.len() as u32);
+                body.extend_from_slice(wire);
+            }
+            Msg::Stats { step, words } => {
+                put_u32(&mut body, *step);
+                put_u32(&mut body, words.len() as u32);
+                for w in words {
+                    put_u32(&mut body, *w);
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(4 + body.len());
+        put_u32(&mut out, body.len() as u32);
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Parses one frame body (the bytes after the length prefix).
+    ///
+    /// # Errors
+    ///
+    /// A typed [`NetError`] on any truncation, bad magic/version/kind, or
+    /// internal length inconsistency — malformed input never panics.
+    pub fn from_body(body: &[u8]) -> Result<Msg, NetError> {
+        let mut r = Rd::new(body);
+        let magic = r.bytes(4)?;
+        if magic != MAGIC {
+            return Err(NetError::BadMagic([magic[0], magic[1], magic[2], magic[3]]));
+        }
+        let version = r.u8()?;
+        if version != PROTOCOL_VERSION {
+            return Err(NetError::BadVersion(version));
+        }
+        let kind = r.u8()?;
+        let msg = match kind {
+            0 => Msg::Hello {
+                rank: r.u32()?,
+                world: r.u32()?,
+                shards: r.u32()?,
+                policy_id: r.u32()?,
+            },
+            1 => {
+                let epoch = r.u32()?;
+                let step = r.u32()?;
+                let tensor = r.u32()?;
+                let n = r.u32()? as usize;
+                Msg::Grad { epoch, step, tensor, wire: r.bytes(n)?.to_vec() }
+            }
+            2 => {
+                let step = r.u32()?;
+                let n = r.u32()? as usize;
+                // Bound before allocating: the body can hold at most
+                // remaining/4 words, so a corrupt count is a truncation.
+                r.need(n.saturating_mul(4))?;
+                let words = (0..n).map(|_| r.u32()).collect::<Result<Vec<u32>, _>>()?;
+                Msg::Stats { step, words }
+            }
+            k => return Err(NetError::BadKind(k)),
+        };
+        if r.remaining() != 0 {
+            return Err(NetError::Protocol(format!(
+                "{} trailing bytes after frame body",
+                r.remaining()
+            )));
+        }
+        Ok(msg)
+    }
+
+    /// Parses one complete frame (length prefix included), rejecting
+    /// prefix/body length disagreements and trailing bytes.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`NetError`]; see [`Msg::from_body`].
+    pub fn from_frame(frame: &[u8]) -> Result<Msg, NetError> {
+        let mut r = Rd::new(frame);
+        let len = r.u32()? as usize;
+        if len > MAX_FRAME_BYTES {
+            return Err(NetError::FrameTooLarge { len, max: MAX_FRAME_BYTES });
+        }
+        let available = r.remaining();
+        if available != len {
+            if available < len {
+                return Err(NetError::Truncated { needed: len, available });
+            }
+            return Err(NetError::Protocol(format!(
+                "{} trailing bytes after frame",
+                available - len
+            )));
+        }
+        Msg::from_body(r.bytes(len)?)
+    }
+}
+
+/// Maps one socket-level failure to a typed [`NetError`].
+fn io_err(peer: u32, op: &'static str, e: &std::io::Error) -> NetError {
+    use std::io::ErrorKind;
+    match e.kind() {
+        ErrorKind::UnexpectedEof
+        | ErrorKind::ConnectionReset
+        | ErrorKind::BrokenPipe
+        | ErrorKind::ConnectionAborted => NetError::Disconnected { peer },
+        ErrorKind::WouldBlock | ErrorKind::TimedOut => {
+            NetError::Io { peer, op, detail: "timed out".into() }
+        }
+        _ => NetError::Io { peer, op, detail: e.to_string() },
+    }
+}
+
+/// Writes one framed message to a stream. Returns the observed bytes that
+/// hit the stream (body plus the 4-byte length prefix).
+///
+/// # Errors
+///
+/// [`NetError::Disconnected`] when the peer is gone, [`NetError::Io`] on
+/// timeouts and other socket failures.
+pub fn write_frame(w: &mut impl Write, peer: u32, msg: &Msg) -> Result<u64, NetError> {
+    let frame = msg.to_frame();
+    w.write_all(&frame).map_err(|e| io_err(peer, "write", &e))?;
+    w.flush().map_err(|e| io_err(peer, "write", &e))?;
+    Ok(frame.len() as u64)
+}
+
+/// Reads one framed message from a stream. Returns the message plus the
+/// observed bytes consumed (body plus the 4-byte length prefix).
+///
+/// # Errors
+///
+/// [`NetError::Disconnected`] on mid-frame EOF, [`NetError::Io`] on
+/// timeouts, and the [`Msg::from_body`] errors on malformed bodies.
+pub fn read_frame(r: &mut impl Read, peer: u32) -> Result<(Msg, u64), NetError> {
+    let mut prefix = [0u8; 4];
+    r.read_exact(&mut prefix).map_err(|e| io_err(peer, "read", &e))?;
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(NetError::FrameTooLarge { len, max: MAX_FRAME_BYTES });
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body).map_err(|e| io_err(peer, "read", &e))?;
+    Ok((Msg::from_body(&body)?, 4 + len as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gist_encodings::{TransferCodec, Wire};
+
+    fn samples() -> Vec<Msg> {
+        vec![
+            Msg::Hello { rank: 3, world: 4, shards: 8, policy_id: 100 },
+            Msg::Grad {
+                epoch: 0,
+                step: 17,
+                tensor: 5,
+                wire: Wire::encode(TransferCodec::Ssdc, &[0.0, -0.0, 1.5, f32::NAN]).to_bytes(),
+            },
+            Msg::Grad { epoch: 1, step: 0, tensor: 0, wire: Vec::new() },
+            Msg::Stats { step: 2, words: vec![0x3f80_0000, 3, 4, 0, 0, 0] },
+            Msg::Stats { step: 0, words: Vec::new() },
+        ]
+    }
+
+    #[test]
+    fn frames_round_trip_exactly() {
+        for msg in samples() {
+            let frame = msg.to_frame();
+            assert_eq!(Msg::from_frame(&frame).unwrap(), msg);
+            assert_eq!(Msg::from_body(&frame[4..]).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn stream_read_write_round_trips_and_counts_observed_bytes() {
+        let mut buf = Vec::new();
+        let mut total = 0u64;
+        for msg in samples() {
+            total += write_frame(&mut buf, 1, &msg).unwrap();
+        }
+        assert_eq!(total, buf.len() as u64);
+        let mut r = &buf[..];
+        let mut seen = 0u64;
+        for msg in samples() {
+            let (got, n) = read_frame(&mut r, 1).unwrap();
+            assert_eq!(got, msg);
+            seen += n;
+        }
+        assert_eq!(seen, total);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn every_truncation_of_every_frame_is_a_typed_error() {
+        for msg in samples() {
+            let frame = msg.to_frame();
+            for cut in 0..frame.len() {
+                let err = Msg::from_frame(&frame[..cut])
+                    .expect_err(&format!("cut at {cut}/{} parsed", frame.len()));
+                assert!(matches!(err, NetError::Truncated { .. }), "cut {cut}: {err:?}");
+                // The streaming reader rejects the same cut as a typed
+                // error too (EOF mid-frame = disconnect).
+                let mut r = &frame[..cut];
+                let err = read_frame(&mut r, 2).expect_err("stream cut parsed");
+                assert!(
+                    matches!(err, NetError::Disconnected { .. } | NetError::Truncated { .. }),
+                    "stream cut {cut}: {err:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_magic_version_and_kind_are_rejected_by_name() {
+        let frame = samples()[0].to_frame();
+        let mut bad = frame.clone();
+        bad[4] = b'X';
+        assert!(matches!(Msg::from_frame(&bad), Err(NetError::BadMagic(_))));
+        let mut bad = frame.clone();
+        bad[8] = PROTOCOL_VERSION + 1;
+        assert_eq!(Msg::from_frame(&bad), Err(NetError::BadVersion(PROTOCOL_VERSION + 1)));
+        let mut bad = frame.clone();
+        bad[9] = 7;
+        assert_eq!(Msg::from_frame(&bad), Err(NetError::BadKind(7)));
+    }
+
+    #[test]
+    fn corrupted_length_fields_never_allocate_unbounded() {
+        // Oversized length prefix: rejected against the cap, body unread.
+        let mut frame = samples()[1].to_frame();
+        frame[..4].copy_from_slice(&(MAX_FRAME_BYTES as u32 + 1).to_le_bytes());
+        assert!(matches!(Msg::from_frame(&frame), Err(NetError::FrameTooLarge { .. })));
+        let mut r = &frame[..];
+        assert!(matches!(read_frame(&mut r, 0), Err(NetError::FrameTooLarge { .. })));
+        // Oversized interior count (Stats word count): a truncation, not
+        // an allocation.
+        let msg = Msg::Stats { step: 1, words: vec![1, 2, 3] };
+        let mut frame = msg.to_frame();
+        let count_at = frame.len() - 3 * 4 - 4;
+        frame[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(Msg::from_frame(&frame), Err(NetError::Truncated { .. })));
+    }
+
+    #[test]
+    fn trailing_bytes_and_prefix_mismatch_are_rejected() {
+        let mut frame = samples()[0].to_frame();
+        frame.push(0);
+        assert!(matches!(Msg::from_frame(&frame), Err(NetError::Protocol(_))));
+        let frame = samples()[3].to_frame();
+        // Shrink the prefix so the body carries trailing bytes.
+        let mut short = frame.clone();
+        let body_len = u32::from_le_bytes(frame[..4].try_into().unwrap());
+        short[..4].copy_from_slice(&(body_len - 4).to_le_bytes());
+        assert!(Msg::from_frame(&short).is_err());
+    }
+
+    #[test]
+    fn random_garbage_never_panics() {
+        // A cheap deterministic LCG fuzz over the whole parse surface.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u8
+        };
+        for len in 0..200usize {
+            let buf: Vec<u8> = (0..len).map(|_| next()).collect();
+            let _ = Msg::from_frame(&buf);
+            let _ = Msg::from_body(&buf);
+            let mut r = &buf[..];
+            let _ = read_frame(&mut r, 0);
+        }
+        // Garbage that *starts* like a real frame but decays into noise.
+        for msg in samples() {
+            let mut frame = msg.to_frame();
+            for i in 4..frame.len() {
+                let orig = frame[i];
+                frame[i] ^= 0xa5;
+                let _ = Msg::from_frame(&frame);
+                frame[i] = orig;
+            }
+        }
+    }
+
+    #[test]
+    fn grad_frame_overhead_is_the_documented_constant() {
+        for wire_len in [0usize, 1, 33, 4096] {
+            let msg = Msg::Grad { epoch: 9, step: 8, tensor: 7, wire: vec![0xab; wire_len] };
+            assert_eq!(
+                msg.to_frame().len() as u64,
+                wire_len as u64 + GRAD_FRAME_OVERHEAD,
+                "wire_len={wire_len}"
+            );
+        }
+    }
+
+    #[test]
+    fn grad_wire_payload_survives_framing_bit_exactly() {
+        let data = [1.0f32, -0.0, 0.0, f32::INFINITY, -2.5e-40];
+        for codec in [TransferCodec::None, TransferCodec::Ssdc] {
+            let wire = Wire::encode(codec, &data);
+            let msg = Msg::Grad { epoch: 0, step: 0, tensor: 1, wire: wire.to_bytes() };
+            let Msg::Grad { wire: back, .. } = Msg::from_frame(&msg.to_frame()).unwrap() else {
+                panic!("wrong kind");
+            };
+            let got = Wire::from_bytes(&back).unwrap().decode();
+            let want: Vec<u32> = data.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(), want);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! # gist-net
+//!
+//! Real multi-process transport for compressed gradient exchange — the
+//! executed counterpart of `gist-dist`'s virtual-clock link engine.
+//!
+//! `gist-dist` proved the fixed-reduction-tree all-reduce is bitwise
+//! invariant to replica count and *priced* its encoded bytes on a
+//! simulated link. This crate makes the placement real: `N` OS processes,
+//! one model replica each, exchanging [`gist_encodings::Wire`]-encoded
+//! gradients over framed, versioned `std::net` TCP — and the merged
+//! update stays bit-identical to the in-process run, because nothing
+//! about the arithmetic moved, only who carries the bytes.
+//!
+//! Three layers, three modules:
+//!
+//! - [`frame`]: the length-prefixed, magic+version-checked message layer.
+//!   Every truncation or corruption is a typed [`NetError`]; malformed
+//!   bytes never panic and never partially apply a gradient.
+//! - [`transport`]: the [`Transport`] seam with two impls — [`InProcess`]
+//!   (a channel mesh that still rides the frame byte path) and [`Tcp`]
+//!   (deterministic rendezvous: rank 0..N bind their own address, dial
+//!   lower ranks with bounded [`backoff_ms`] retries, accept higher
+//!   ranks, and validate [`Msg::Hello`] both ways).
+//! - [`trainer`]: [`NetTrainer`] — one rank mirroring in-process replica
+//!   `r` exactly: same shard sequence, same local-edge
+//!   [`gist_dist::combine_into`], same encoded bytes on crossing edges,
+//!   rank-0 mean-scale-then-broadcast, and the no-partial-apply rule.
+//!
+//! Observability: every crossing edge and broadcast leg records a
+//! [`gist_obs::Event::NetTransfer`] with the observed wall-clock and the
+//! observed-vs-priced byte pair, so a trace shows where the link model
+//! and the real socket diverge.
+
+pub mod frame;
+pub mod trainer;
+pub mod transport;
+
+pub use frame::{
+    read_frame, write_frame, Msg, NetError, GRAD_FRAME_OVERHEAD, MAGIC, MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+};
+pub use trainer::{NetStepReport, NetTrainer};
+pub use transport::{backoff_ms, InProcess, NetConfig, Tcp, Transport};

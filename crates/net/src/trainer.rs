@@ -1,0 +1,514 @@
+//! One rank of a multi-process data-parallel trainer.
+//!
+//! [`NetTrainer`] is the transport-threaded twin of
+//! [`gist_dist::DistTrainer`]: rank `r` of `N` runs exactly the shard
+//! sequence in-process replica `r` runs (`r, r + N, r + 2N, ...`), every
+//! reduction-tree edge whose endpoints share the rank uses the identical
+//! [`gist_dist::combine_into`] path, and every crossing edge ships the
+//! same `Wire::encode(policy.choose(payload))` bytes through the
+//! [`Transport`] — `Wire::to_bytes`/`from_bytes` round-trips exactly, so
+//! the decoded values (and hence the serial accumulation) are bit-equal to
+//! the in-process run. Slot `0` (rank 0) mean-scales the tree sum and
+//! broadcasts one encoded copy; every rank — rank 0 included — decodes
+//! that same wire, so lossy codecs (DPR) perturb identically everywhere.
+//! The result: merged updates bitwise-identical to in-process gist-dist
+//! for every replica count and codec, which `tests/net_equivalence.rs`
+//! pins.
+//!
+//! **No partial application:** every merged tensor for a step is computed
+//! (and every transport exchange completed) before any parameter moves. A
+//! typed [`NetError`] aborts the step with parameters untouched.
+
+use crate::frame::{Msg, NetError};
+use crate::transport::Transport;
+use gist_dist::{combine_into, reduction_rounds};
+use gist_encodings::{CodecPolicy, Wire};
+use gist_obs::Event;
+use gist_runtime::params::{sgd_update, ParamGrads};
+use gist_runtime::{Executor, RuntimeError, StepStats};
+use gist_tensor::Tensor;
+use std::time::Instant;
+
+/// What one global step produced on this rank. Field-for-field comparable
+/// with [`gist_dist::DistStepReport`]; the global loss/correct/batch and
+/// all byte counters are identical across ranks by construction.
+#[derive(Debug)]
+pub struct NetStepReport {
+    /// Mean of the shard mean losses (summed in shard-id order — the
+    /// identical `f32` operation sequence on every rank).
+    pub loss: f32,
+    /// Correct top-1 predictions summed over all shards.
+    pub correct: usize,
+    /// Total examples over all shards.
+    pub batch: usize,
+    /// The merged (mean, broadcast-decoded) gradient applied everywhere.
+    pub merged: Vec<Option<ParamGrads>>,
+    /// Priced encoded bytes per tree edge, `[round][edge]` matching
+    /// [`reduction_rounds`] — restricted to edges **this rank touches**
+    /// (local combines and crossing edges it sends or receives). A
+    /// crossing edge is priced identically on both endpoints, so
+    /// overlaying every rank's table reconstructs the in-process report's
+    /// full table exactly — which `tests/net_equivalence.rs` checks.
+    pub edge_bytes: Vec<Vec<u64>>,
+    /// Priced encoded bytes of one broadcast copy of the merged gradient
+    /// (identical on every rank: receivers price the same wire the root
+    /// priced once).
+    pub broadcast_bytes: u64,
+    /// Total priced bytes over this rank's reduction-tree edges.
+    pub reduce_bytes: u64,
+    /// Dense baseline bytes for one gradient copy (`scalars * 4`).
+    pub dense_grad_bytes: u64,
+    /// Observed bytes that actually crossed this rank's transport this
+    /// step (framing included) — the measured side of the
+    /// observed-vs-priced pair.
+    pub observed_wire_bytes: u64,
+}
+
+/// One rank of the multi-process trainer: a single local executor plus a
+/// [`Transport`] carrying the tree edges and broadcast legs that cross
+/// rank boundaries.
+#[derive(Debug)]
+pub struct NetTrainer<T: Transport> {
+    exec: Executor,
+    transport: T,
+    policy: CodecPolicy,
+    shards: usize,
+    epoch: u32,
+    step_no: u32,
+    events: Vec<Event>,
+}
+
+impl<T: Transport> NetTrainer<T> {
+    /// Builds this rank's executor via `build` (every rank must use the
+    /// same graph and seed — identical initial parameters are the other
+    /// half of the lockstep invariant).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Config`] unless `1 <= world <= shards` and `world`
+    /// divides `shards`; builder failures surface as `Config` too.
+    pub fn new(
+        transport: T,
+        shards: usize,
+        policy: CodecPolicy,
+        build: impl FnOnce() -> Result<Executor, RuntimeError>,
+    ) -> Result<Self, NetError> {
+        let world = transport.world();
+        if world == 0 || shards == 0 {
+            return Err(NetError::Config("world and shards must be positive".into()));
+        }
+        if world > shards || !shards.is_multiple_of(world) {
+            return Err(NetError::Config(format!("world ({world}) must divide shards ({shards})")));
+        }
+        let exec = build().map_err(|e| NetError::Config(e.to_string()))?;
+        Ok(Self { exec, transport, policy, shards, epoch: 0, step_no: 0, events: Vec::new() })
+    }
+
+    /// This rank.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.transport.rank()
+    }
+
+    /// Total rank count.
+    #[must_use]
+    pub fn world(&self) -> usize {
+        self.transport.world()
+    }
+
+    /// Micro-batch shards per global step.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The codec policy applied on every tree edge and the broadcast.
+    #[must_use]
+    pub fn policy(&self) -> CodecPolicy {
+        self.policy
+    }
+
+    /// This rank's executor (identical parameters on every rank after
+    /// every step — the fingerprint the equivalence gate compares).
+    #[must_use]
+    pub fn exec(&self) -> &Executor {
+        &self.exec
+    }
+
+    /// Drains the [`Event::NetTransfer`] trace events recorded so far
+    /// (observed wall-clock and observed-vs-priced bytes per crossing
+    /// edge and broadcast leg).
+    pub fn take_events(&mut self) -> Vec<Event> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Runs one global step: this rank's shards forward/backward, the
+    /// fixed-tree all-reduce with local edges combined in place and
+    /// crossing edges framed over the transport, the rank-0 mean-scale +
+    /// broadcast, the per-shard stats exchange, and — only after every
+    /// tensor merged — the identical SGD update.
+    ///
+    /// `images`/`labels` must hold **all** `shards()` shard minibatches on
+    /// every rank (each rank computes only its own, but indexes the shared
+    /// table), exactly as the in-process trainer is fed.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Config`] on malformed inputs; transport and protocol
+    /// errors abort the step with parameters untouched.
+    pub fn step(
+        &mut self,
+        images: &[Tensor],
+        labels: &[Vec<usize>],
+        lr: f32,
+    ) -> Result<NetStepReport, NetError> {
+        let s = self.shards;
+        let n = self.world();
+        let r = self.rank();
+        if images.len() != s || labels.len() != s {
+            return Err(NetError::Config(format!(
+                "expected {s} shard minibatches, got {} images / {} labels",
+                images.len(),
+                labels.len()
+            )));
+        }
+        let t0 = Instant::now();
+        let observed_before: u64 = 0;
+        let mut observed = observed_before;
+
+        // Phase 1: this rank's shards, in the same order replica r of the
+        // in-process trainer steps them.
+        let mut local: Vec<(usize, StepStats, Vec<Option<ParamGrads>>)> = Vec::with_capacity(s / n);
+        let mut shard = r;
+        while shard < s {
+            let (stats, grads) = self
+                .exec
+                .forward_backward(&images[shard], &labels[shard])
+                .map_err(|e| NetError::Config(e.to_string()))?;
+            local.push((shard, stats, grads));
+            shard += n;
+        }
+
+        // Phase 2: per-tensor fixed-tree reduce + broadcast. Tensor ids
+        // count main-then-secondary in node order on every rank, so the
+        // frame headers line up without negotiation.
+        let rounds = reduction_rounds(s);
+        let mut edge_bytes: Vec<Vec<u64>> = rounds.iter().map(|rd| vec![0u64; rd.len()]).collect();
+        let num_nodes = local[0].2.len();
+        let inv = 1.0f32 / s as f32;
+        let mut merged: Vec<Option<ParamGrads>> = Vec::with_capacity(num_nodes);
+        let mut broadcast_bytes = 0u64;
+        let mut dense_grad_bytes = 0u64;
+        let mut tensor_id = 0u32;
+        for node in 0..num_nodes {
+            if local[0].2[node].is_none() {
+                merged.push(None);
+                continue;
+            }
+            let shape_main = local[0].2[node].as_ref().expect("grads").main.shape();
+            let main = self.exchange_tensor(
+                &local,
+                node,
+                false,
+                tensor_id,
+                &rounds,
+                &mut edge_bytes,
+                &mut broadcast_bytes,
+                &mut observed,
+                t0,
+            )?;
+            tensor_id += 1;
+            dense_grad_bytes += main.len() as u64 * 4;
+            let main_t = Tensor::from_vec(shape_main, main)
+                .map_err(|e| NetError::Config(RuntimeError::from(e).to_string()))?;
+            let secondary = if let Some(sec) = &local[0].2[node].as_ref().expect("grads").secondary
+            {
+                let shape_sec = sec.shape();
+                let sec = self.exchange_tensor(
+                    &local,
+                    node,
+                    true,
+                    tensor_id,
+                    &rounds,
+                    &mut edge_bytes,
+                    &mut broadcast_bytes,
+                    &mut observed,
+                    t0,
+                )?;
+                tensor_id += 1;
+                dense_grad_bytes += sec.len() as u64 * 4;
+                Some(
+                    Tensor::from_vec(shape_sec, sec)
+                        .map_err(|e| NetError::Config(RuntimeError::from(e).to_string()))?,
+                )
+            } else {
+                None
+            };
+            merged.push(Some(ParamGrads { main: main_t, secondary }));
+        }
+
+        // Phase 3: stats exchange — gather per-shard stats to rank 0,
+        // broadcast the assembled table, and sum losses in shard-id order
+        // so every rank runs the identical f32 operation sequence.
+        let table = self.exchange_stats(&local, &mut observed)?;
+        let loss = table.iter().map(|(l, _, _)| f32::from_bits(*l)).sum::<f32>() * inv;
+        let correct = table.iter().map(|(_, c, _)| *c as usize).sum();
+        let batch = table.iter().map(|(_, _, b)| *b as usize).sum();
+
+        // Phase 4: every exchange succeeded — only now touch parameters.
+        sgd_update(&mut self.exec.params, &merged, lr);
+        self.step_no += 1;
+
+        let reduce_bytes = edge_bytes.iter().flatten().sum();
+        Ok(NetStepReport {
+            loss,
+            correct,
+            batch,
+            merged,
+            edge_bytes,
+            broadcast_bytes,
+            reduce_bytes,
+            dense_grad_bytes,
+            observed_wire_bytes: observed,
+        })
+    }
+
+    /// Reduces and broadcasts one gradient tensor across ranks. The
+    /// mean-scale happens on rank 0 *before* the broadcast encode,
+    /// exactly as `DistTrainer::broadcast_roundtrip` orders it, so the
+    /// returned vector is already the broadcast-decoded mean.
+    #[allow(clippy::too_many_arguments)]
+    fn exchange_tensor(
+        &mut self,
+        local: &[(usize, StepStats, Vec<Option<ParamGrads>>)],
+        node: usize,
+        secondary: bool,
+        tensor_id: u32,
+        rounds: &[Vec<(usize, usize)>],
+        edge_bytes: &mut [Vec<u64>],
+        broadcast_bytes: &mut u64,
+        observed: &mut u64,
+        t0: Instant,
+    ) -> Result<Vec<f32>, NetError> {
+        let s = self.shards;
+        let n = self.world();
+        let r = self.rank();
+        // Slot s lives on rank s % n (the rank that computed shard s).
+        let mut slots: Vec<Option<Vec<f32>>> = (0..s).map(|_| None).collect();
+        for (shard, _, grads) in local {
+            let g = grads[node].as_ref().expect("shard grad structure mismatch");
+            let data = if secondary {
+                g.secondary.as_ref().expect("secondary grad").data()
+            } else {
+                g.main.data()
+            };
+            slots[*shard] = Some(data.to_vec());
+        }
+        for (round_idx, round) in rounds.iter().enumerate() {
+            for (edge_idx, &(dst, src)) in round.iter().enumerate() {
+                let dst_rank = dst % n;
+                let src_rank = src % n;
+                if dst_rank == r && src_rank == r {
+                    // Local edge: the in-process combine, byte for byte.
+                    let incoming = slots[src].take().expect("source slot");
+                    let acc = slots[dst].as_mut().expect("destination slot");
+                    edge_bytes[round_idx][edge_idx] +=
+                        combine_into(acc, &incoming, self.policy.choose(&incoming));
+                } else if src_rank == r {
+                    let payload = slots[src].take().expect("source slot");
+                    let wire = Wire::encode(self.policy.choose(&payload), &payload);
+                    let priced = wire.wire_bytes();
+                    let msg = Msg::Grad {
+                        epoch: self.epoch,
+                        step: self.step_no,
+                        tensor: tensor_id,
+                        wire: wire.to_bytes(),
+                    };
+                    let start = t0.elapsed().as_nanos() as u64;
+                    let sent = self.transport.send(dst_rank, &msg)?;
+                    *observed += sent;
+                    edge_bytes[round_idx][edge_idx] += priced;
+                    self.events.push(Event::NetTransfer {
+                        name: format!("allreduce.n{n}.t{tensor_id}.r{round_idx}e{edge_idx}"),
+                        rank: r as u32,
+                        peer: dst_rank as u32,
+                        sent: true,
+                        priced_bytes: priced,
+                        observed_bytes: sent,
+                        ts_ns: start,
+                        dur_ns: t0.elapsed().as_nanos() as u64 - start,
+                    });
+                } else if dst_rank == r {
+                    let start = t0.elapsed().as_nanos() as u64;
+                    let (msg, got) = self.transport.recv(src_rank)?;
+                    *observed += got;
+                    let wire = self.expect_grad(msg, tensor_id)?;
+                    let incoming = wire.decode();
+                    let acc = slots[dst].as_mut().expect("destination slot");
+                    if incoming.len() != acc.len() {
+                        return Err(NetError::Protocol(format!(
+                            "tensor {tensor_id}: peer sent {} elements, expected {}",
+                            incoming.len(),
+                            acc.len()
+                        )));
+                    }
+                    // The identical serial accumulation `combine_into`
+                    // performs after its own encode/decode round-trip.
+                    for (a, d) in acc.iter_mut().zip(&incoming) {
+                        *a += *d;
+                    }
+                    edge_bytes[round_idx][edge_idx] += wire.wire_bytes();
+                    self.events.push(Event::NetTransfer {
+                        name: format!("allreduce.n{n}.t{tensor_id}.r{round_idx}e{edge_idx}"),
+                        rank: r as u32,
+                        peer: src_rank as u32,
+                        sent: false,
+                        priced_bytes: wire.wire_bytes(),
+                        observed_bytes: got,
+                        ts_ns: start,
+                        dur_ns: t0.elapsed().as_nanos() as u64 - start,
+                    });
+                }
+            }
+        }
+
+        // Broadcast: rank 0 owns slot 0, mean-scales, encodes once; every
+        // rank (sender included) decodes the same wire.
+        let inv = 1.0f32 / s as f32;
+        if r == 0 {
+            let mut sum = slots[0].take().expect("root slot");
+            for v in &mut sum {
+                *v *= inv;
+            }
+            let wire = Wire::encode(self.policy.choose(&sum), &sum);
+            let priced = wire.wire_bytes();
+            let bytes = wire.to_bytes();
+            for peer in 1..n {
+                let msg = Msg::Grad {
+                    epoch: self.epoch,
+                    step: self.step_no,
+                    tensor: tensor_id,
+                    wire: bytes.clone(),
+                };
+                let start = t0.elapsed().as_nanos() as u64;
+                let sent = self.transport.send(peer, &msg)?;
+                *observed += sent;
+                self.events.push(Event::NetTransfer {
+                    name: format!("allreduce.n{n}.t{tensor_id}.bcast{peer}"),
+                    rank: 0,
+                    peer: peer as u32,
+                    sent: true,
+                    priced_bytes: priced,
+                    observed_bytes: sent,
+                    ts_ns: start,
+                    dur_ns: t0.elapsed().as_nanos() as u64 - start,
+                });
+            }
+            *broadcast_bytes += priced;
+            Ok(wire.decode())
+        } else {
+            let start = t0.elapsed().as_nanos() as u64;
+            let (msg, got) = self.transport.recv(0)?;
+            *observed += got;
+            let wire = self.expect_grad(msg, tensor_id)?;
+            *broadcast_bytes += wire.wire_bytes();
+            self.events.push(Event::NetTransfer {
+                name: format!("allreduce.n{n}.t{tensor_id}.bcast{r}"),
+                rank: r as u32,
+                peer: 0,
+                sent: false,
+                priced_bytes: wire.wire_bytes(),
+                observed_bytes: got,
+                ts_ns: start,
+                dur_ns: t0.elapsed().as_nanos() as u64 - start,
+            });
+            Ok(wire.decode())
+        }
+    }
+
+    /// Validates a received frame as this step's gradient for `tensor_id`
+    /// and parses its wire payload.
+    fn expect_grad(&self, msg: Msg, tensor_id: u32) -> Result<Wire, NetError> {
+        let Msg::Grad { epoch, step, tensor, wire } = msg else {
+            return Err(NetError::Protocol(format!(
+                "expected a Grad frame for tensor {tensor_id}"
+            )));
+        };
+        if epoch != self.epoch || step != self.step_no || tensor != tensor_id {
+            return Err(NetError::Protocol(format!(
+                "header mismatch: got epoch {epoch} step {step} tensor {tensor}, \
+                 expected epoch {} step {} tensor {tensor_id}",
+                self.epoch, self.step_no
+            )));
+        }
+        Ok(Wire::from_bytes(&wire)?)
+    }
+
+    /// Gathers per-shard `(loss_bits, correct, batch)` to rank 0 and
+    /// broadcasts the assembled table in shard-id order.
+    fn exchange_stats(
+        &mut self,
+        local: &[(usize, StepStats, Vec<Option<ParamGrads>>)],
+        observed: &mut u64,
+    ) -> Result<Vec<(u32, u32, u32)>, NetError> {
+        let s = self.shards;
+        let n = self.world();
+        let r = self.rank();
+        let mut table: Vec<Option<(u32, u32, u32)>> = (0..s).map(|_| None).collect();
+        for (shard, stats, _) in local {
+            table[*shard] = Some((stats.loss.to_bits(), stats.correct as u32, stats.batch as u32));
+        }
+        if r == 0 {
+            for peer in 1..n {
+                let (msg, got) = self.transport.recv(peer)?;
+                *observed += got;
+                let Msg::Stats { step, words } = msg else {
+                    return Err(NetError::Protocol("expected a Stats frame".into()));
+                };
+                if step != self.step_no || words.len() % 4 != 0 {
+                    return Err(NetError::Protocol("malformed stats gather".into()));
+                }
+                for chunk in words.chunks_exact(4) {
+                    let shard = chunk[0] as usize;
+                    if shard >= s || shard % n != peer || table[shard].is_some() {
+                        return Err(NetError::Protocol(format!(
+                            "stats for shard {shard} from rank {peer} violate ownership"
+                        )));
+                    }
+                    table[shard] = Some((chunk[1], chunk[2], chunk[3]));
+                }
+            }
+            let full: Vec<(u32, u32, u32)> = table
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    t.ok_or_else(|| NetError::Protocol(format!("shard {i} never reported stats")))
+                })
+                .collect::<Result<_, _>>()?;
+            let words: Vec<u32> = full.iter().flat_map(|&(l, c, b)| [l, c, b]).collect();
+            for peer in 1..n {
+                *observed += self
+                    .transport
+                    .send(peer, &Msg::Stats { step: self.step_no, words: words.clone() })?;
+            }
+            Ok(full)
+        } else {
+            let words: Vec<u32> = local
+                .iter()
+                .flat_map(|(shard, stats, _)| {
+                    [*shard as u32, stats.loss.to_bits(), stats.correct as u32, stats.batch as u32]
+                })
+                .collect();
+            *observed += self.transport.send(0, &Msg::Stats { step: self.step_no, words })?;
+            let (msg, got) = self.transport.recv(0)?;
+            *observed += got;
+            let Msg::Stats { step, words } = msg else {
+                return Err(NetError::Protocol("expected the stats broadcast".into()));
+            };
+            if step != self.step_no || words.len() != s * 3 {
+                return Err(NetError::Protocol("malformed stats broadcast".into()));
+            }
+            Ok(words.chunks_exact(3).map(|c| (c[0], c[1], c[2])).collect())
+        }
+    }
+}

@@ -177,7 +177,8 @@ impl MemoryAccountant {
             Event::Span { .. }
             | Event::Encode { .. }
             | Event::Decode { .. }
-            | Event::Transfer { .. } => {}
+            | Event::Transfer { .. }
+            | Event::NetTransfer { .. } => {}
         }
         Ok(())
     }

@@ -40,6 +40,24 @@ pub fn export_chrome(events: &[Event]) -> String {
             Event::Decode { name, codec, raw_bytes, encoded_bytes } => {
                 codec_event(i, name, "decode", codec, *raw_bytes, *encoded_bytes)
             }
+            Event::NetTransfer {
+                name,
+                rank,
+                peer,
+                sent,
+                priced_bytes,
+                observed_bytes,
+                ts_ns,
+                dur_ns,
+            } => {
+                format!(
+                    "{{\"name\": \"{}\", \"cat\": \"net\", \"ph\": \"X\", \"ts\": {ts_ns}, \
+                     \"dur\": {dur_ns}, \"pid\": 1, \"tid\": \"net-rank{rank}\", \"args\": \
+                     {{\"kind\": \"net\", \"rank\": {rank}, \"peer\": {peer}, \"sent\": {sent}, \
+                     \"priced_bytes\": {priced_bytes}, \"observed_bytes\": {observed_bytes}}}}}",
+                    json::escape(name),
+                )
+            }
             Event::Transfer { name, to_host, bytes, ts_ns, dur_ns } => format!(
                 "{{\"name\": \"{}\", \"cat\": \"pcie\", \"ph\": \"X\", \"ts\": {ts_ns}, \
                  \"dur\": {dur_ns}, \"pid\": 1, \"tid\": \"pcie-{}\", \"args\": \
@@ -167,6 +185,24 @@ fn parse_event(index: usize, item: &Value) -> Result<Event, ParseError> {
                 dur_ns: top_u64("dur")?,
             }
         }
+        "net" => {
+            let top_u64 = |key: &str| -> Result<u64, ParseError> {
+                item.get(key).and_then(Value::as_u64).ok_or_else(|| bad(&format!("missing {key}")))
+            };
+            Event::NetTransfer {
+                name,
+                rank: arg_u64("rank")? as u32,
+                peer: arg_u64("peer")? as u32,
+                sent: args
+                    .get("sent")
+                    .and_then(Value::as_bool)
+                    .ok_or_else(|| bad("missing sent"))?,
+                priced_bytes: arg_u64("priced_bytes")?,
+                observed_bytes: arg_u64("observed_bytes")?,
+                ts_ns: top_u64("ts")?,
+                dur_ns: top_u64("dur")?,
+            }
+        }
         "encode" | "decode" => {
             let codec = args
                 .get("codec")
@@ -237,6 +273,16 @@ mod tests {
                 ts_ns: 900,
                 dur_ns: 86,
             },
+            Event::NetTransfer {
+                name: "allreduce.n3.main.r0e1".into(),
+                rank: 1,
+                peer: 0,
+                sent: true,
+                priced_bytes: 1033,
+                observed_bytes: 1061,
+                ts_ns: 1_200,
+                dur_ns: 95,
+            },
         ]
     }
 
@@ -263,7 +309,7 @@ mod tests {
         let doc = export_chrome(&sample());
         assert!(doc.trim_start().starts_with('['));
         assert!(doc.trim_end().ends_with(']'));
-        assert_eq!(doc.matches("\"ph\": \"X\"").count(), 4);
+        assert_eq!(doc.matches("\"ph\": \"X\"").count(), 5);
         assert_eq!(doc.matches("\"ph\": \"i\"").count(), 6);
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
     }

@@ -111,6 +111,33 @@ pub enum Event {
         /// Encoded stash size in bytes.
         encoded_bytes: u64,
     },
+    /// A gradient payload crossed a **real** transport (gist-net): one
+    /// reduction-tree edge or broadcast leg whose endpoints live in
+    /// different OS processes. Records the observed-vs-priced byte pair —
+    /// `priced_bytes` is the encoded `Wire` payload the virtual-clock link
+    /// engine prices, `observed_bytes` what actually moved on the socket
+    /// (frame header included) — plus observed wall-clock, so a trace shows
+    /// where modeled and measured transport diverge. Not a memory event.
+    NetTransfer {
+        /// Transfer name, e.g. `allreduce.n3.main.r0e1` (round 0, edge 1)
+        /// or `allreduce.n3.main.bcast2` (broadcast leg to rank 2).
+        name: String,
+        /// Local rank that recorded the event.
+        rank: u32,
+        /// Remote rank on the other end of the socket.
+        peer: u32,
+        /// `true` when the local rank was the sender.
+        sent: bool,
+        /// Encoded `Wire` payload bytes — what the link engine prices.
+        priced_bytes: u64,
+        /// Bytes observed on the socket, framing included.
+        observed_bytes: u64,
+        /// Observed start, nanoseconds since the step began (wall-clock;
+        /// varies run to run like `Span` timestamps).
+        ts_ns: u64,
+        /// Observed duration in nanoseconds.
+        dur_ns: u64,
+    },
     /// A stash crossed the (simulated) PCIe bus between the device arena and
     /// host pinned memory (gist-offload swap modes). Not a memory event: the
     /// device-side residency change is carried by the paired `Alloc`/`Free`;
@@ -171,6 +198,17 @@ mod tests {
             name: "relu1.stash".into(),
             to_host: true,
             bytes: 4096,
+            ts_ns: 0,
+            dur_ns: 10
+        }
+        .is_memory());
+        assert!(!Event::NetTransfer {
+            name: "allreduce.n3.main.r0e1".into(),
+            rank: 1,
+            peer: 0,
+            sent: true,
+            priced_bytes: 1033,
+            observed_bytes: 1061,
             ts_ns: 0,
             dur_ns: 10
         }

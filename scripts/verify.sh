@@ -33,6 +33,13 @@
 #      train fingerprint (per-step loss bits + all trained weight bits)
 #      across all four runs — wave-concurrent arena execution is only
 #      allowed to change the slab, never a bit of the training
+#  10. the multi-process transport gate (tests/net_equivalence.rs, run
+#      twice by step 2): NetTrainer over channel-mesh and loopback-TCP
+#      transports bitwise-identical to in-process gist-dist across worlds
+#      x codecs — plus a CLI smoke forking a real 2-process loopback world
+#      (`train --transport tcp --spawn-local 2`) whose printed fingerprint
+#      must equal the in-process `--replicas 2` run's, with garbage
+#      GIST_NET_TIMEOUT_MS warning and falling back (parse_or_warn policy)
 #
 # Run this before committing; record what changed in CHANGELOG.md and
 # append a one-line summary to CHANGES.md as usual.
@@ -107,5 +114,24 @@ for plan in event wave; do
         fi
     done
 done
+
+echo "==> CLI multi-process transport smoke (2 forked TCP ranks == in-process)"
+out=$(GIST_NET_TIMEOUT_MS=soon cargo run --release -q --offline -p gist-cli -- \
+    train tiny-convnet --batch 2 --steps 2 --replicas 2 --transport tcp \
+    --spawn-local 2 --grad-codec dpr:8 2>&1)
+echo "$out"
+grep -q "rendezvous complete" <<<"$out"
+# Garbage GIST_NET_TIMEOUT_MS must warn and fall back, not fail the run.
+grep -q "GIST_NET_TIMEOUT_MS" <<<"$out"
+tcp_fp=$(grep -o "^train fingerprint: 0x[0-9a-f]*" <<<"$out")
+test -n "$tcp_fp"
+out=$(cargo run --release -q --offline -p gist-cli -- \
+    train tiny-convnet --batch 2 --steps 2 --replicas 2 --grad-codec dpr:8)
+echo "$out"
+dist_fp=$(grep -o "train fingerprint: 0x[0-9a-f]*" <<<"$out")
+if [ "$tcp_fp" != "$dist_fp" ]; then
+    echo "multi-process TCP fingerprint '$tcp_fp' != in-process '$dist_fp'" >&2
+    exit 1
+fi
 
 echo "verify: all tier-1 checks passed"

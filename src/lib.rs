@@ -16,10 +16,11 @@
 /// `use gist::prelude::*;`
 pub mod prelude {
     pub use gist_core::{Gist, GistConfig, GistPlan, ScheduleBuilder};
-    pub use gist_dist::{DistTrainer, GradCodec};
+    pub use gist_dist::{DistTrainer, GradCodec, GradCodecPolicy};
     pub use gist_encodings::DprFormat;
     pub use gist_graph::{Graph, NodeId, OpKind};
     pub use gist_memory::{plan_static, SharingPolicy};
+    pub use gist_net::{InProcess, NetTrainer, Tcp, Transport};
     pub use gist_obs::{MemoryAccountant, NullRecorder, Recorder, TraceSink};
     pub use gist_offload::OffloadMode;
     pub use gist_perf::SwapStrategy;
@@ -34,6 +35,7 @@ pub use gist_encodings as encodings;
 pub use gist_graph as graph;
 pub use gist_memory as memory;
 pub use gist_models as models;
+pub use gist_net as net;
 pub use gist_obs as obs;
 pub use gist_offload as offload;
 pub use gist_par as par;
